@@ -1,0 +1,82 @@
+//! Criterion target for Table 2: incremental vs materialized browse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wow_core::browse::BrowseCursor;
+use wow_core::config::WorldConfig;
+use wow_core::world::World;
+use wow_rel::quel::ast::SortKey;
+use wow_rel::value::Value;
+use wow_views::expand::ViewQuery;
+use wow_views::updatable::analyze;
+use wow_views::ViewCatalog;
+
+fn student_world(n: usize) -> World {
+    let mut world = World::new(WorldConfig::default());
+    world
+        .db_mut()
+        .run("CREATE TABLE student (sid INT KEY, sname TEXT NOT NULL, year INT)")
+        .unwrap();
+    for sid in 0..n {
+        world
+            .db_mut()
+            .insert(
+                "student",
+                vec![
+                    Value::Int(sid as i64),
+                    Value::text(format!("student-{sid:07}")),
+                    Value::Int((sid % 4 + 1) as i64),
+                ],
+            )
+            .unwrap();
+    }
+    world
+        .define_view("students", "RANGE OF s IS student RETRIEVE (s.sid, s.sname, s.year)")
+        .unwrap();
+    world
+}
+
+fn bench_browse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_browse");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let mut world = student_world(n);
+        let upd = analyze(world.db(), world.views(), "students").unwrap();
+        g.bench_with_input(BenchmarkId::new("open_indexed", n), &n, |b, _| {
+            b.iter(|| {
+                BrowseCursor::indexed(world.db_mut(), &upd, "pk_student", 16, None).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("open_materialized", n), &n, |b, _| {
+            b.iter(|| {
+                let query = ViewQuery {
+                    sort: vec![SortKey { column: "sid".into(), ascending: true }],
+                    ..Default::default()
+                };
+                BrowseCursor::materialized(
+                    world.db_mut(),
+                    &ViewCatalog::new(),
+                    "students",
+                    query,
+                    Some(&upd),
+                )
+                .unwrap()
+            })
+        });
+        let mut cursor =
+            BrowseCursor::indexed(world.db_mut(), &upd, "pk_student", 16, None).unwrap();
+        g.bench_with_input(BenchmarkId::new("page_indexed", n), &n, |b, _| {
+            b.iter(|| {
+                if !cursor.next_page(world.db_mut(), &ViewCatalog::new()).unwrap() {
+                    // wrap around
+                    cursor =
+                        BrowseCursor::indexed(world.db_mut(), &upd, "pk_student", 16, None)
+                            .unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_browse);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion target for Table 7: query modification vs materialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wow_core::config::WorldConfig;
+use wow_rel::expr::{BinOp, Expr};
+use wow_rel::value::Value;
+use wow_views::expand::{query_via_materialization, run_view_query, ViewQuery};
+use wow_views::ViewCatalog;
+use wow_workload::suppliers::{build_world, SuppliersConfig};
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7_expansion");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let mut world = build_world(
+            WorldConfig::default(),
+            &SuppliersConfig { suppliers: n, parts: 10, shipments: 10, seed: 71 },
+        );
+        let mut vc = ViewCatalog::new();
+        for name in world.views().names() {
+            vc.register(world.views().get(&name).unwrap().clone()).unwrap();
+        }
+        let q = ViewQuery {
+            pred: Some(Expr::Binary {
+                op: BinOp::Eq,
+                left: Box::new(Expr::ColumnRef("sno".into())),
+                right: Box::new(Expr::Literal(Value::Int((n / 2) as i64))),
+            }),
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("expansion", n), &n, |b, _| {
+            b.iter(|| run_view_query(world.db_mut(), &vc, "suppliers", &q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("materialization", n), &n, |b, _| {
+            b.iter(|| query_via_materialization(world.db_mut(), &vc, "suppliers", &q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_expansion);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion target for Table 1: form compilation vs schema width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wow_forms::compiler::compile_form_all_writable;
+use wow_rel::schema::{Column, Schema};
+use wow_rel::types::DataType;
+
+fn bench_form_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_form_compile");
+    for k in [2usize, 8, 32, 64] {
+        let schema = Schema::new(
+            (0..k)
+                .map(|i| Column::new(format!("attr_{i}_name"), DataType::Text))
+                .collect(),
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(k), &schema, |b, s| {
+            b.iter(|| compile_form_all_writable("f", "F", s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_form_compile);
+criterion_main!(benches);

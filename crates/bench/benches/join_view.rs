@@ -1,0 +1,40 @@
+//! Criterion target for Figure 2: hash join vs nested loop over a join view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wow_core::config::WorldConfig;
+use wow_rel::expr::{BinOp, Expr};
+use wow_rel::value::Value;
+use wow_views::expand::{run_view_query, ViewQuery};
+use wow_views::ViewCatalog;
+use wow_workload::suppliers::{build_world, SuppliersConfig};
+
+fn bench_join_view(c: &mut Criterion) {
+    let cfg = SuppliersConfig { suppliers: 200, parts: 50, shipments: 5_000, seed: 31 };
+    let mut world = build_world(WorldConfig::default(), &cfg);
+    let mut vc = ViewCatalog::new();
+    for name in world.views().names() {
+        vc.register(world.views().get(&name).unwrap().clone()).unwrap();
+    }
+    let mut g = c.benchmark_group("figure2_join_view");
+    g.sample_size(20);
+    for sel_pct in [1u64, 20, 50] {
+        let threshold = (1000 * sel_pct / 100).max(1) as i64;
+        let pred = Expr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(Expr::ColumnRef("qty".into())),
+            right: Box::new(Expr::Literal(Value::Int(threshold))),
+        };
+        let query = ViewQuery { pred: Some(pred), ..Default::default() };
+        g.bench_with_input(
+            BenchmarkId::new("expanded_hash_join", sel_pct),
+            &sel_pct,
+            |b, _| {
+                b.iter(|| run_view_query(world.db_mut(), &vc, "shipment_detail", &query).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join_view);
+criterion_main!(benches);

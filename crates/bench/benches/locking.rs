@@ -1,0 +1,31 @@
+//! Criterion target for Table 5: lock acquire/release cost per commit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wow_core::config::WorldConfig;
+use wow_workload::suppliers::{build_world, SuppliersConfig};
+
+fn bench_locking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_locking");
+    for locking in [true, false] {
+        let mut world = build_world(
+            WorldConfig { locking, ..WorldConfig::default() },
+            &SuppliersConfig { suppliers: 100, parts: 10, shipments: 10, seed: 51 },
+        );
+        let s = world.open_session();
+        let win = world.open_window(s, "suppliers", None).unwrap();
+        let mut v = 0i64;
+        let label = if locking { "locked_commit" } else { "unlocked_commit" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &locking, |b, _| {
+            b.iter(|| {
+                world.enter_edit(win).unwrap();
+                v += 1;
+                world.window_mut(win).unwrap().form.set_text(3, &(v % 97).to_string());
+                world.commit(win).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_locking);
+criterion_main!(benches);

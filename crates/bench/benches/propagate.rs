@@ -1,0 +1,43 @@
+//! Criterion target for Figure 4: commit propagation vs dependent windows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wow_core::config::WorldConfig;
+use wow_tui::geom::Size;
+use wow_workload::suppliers::{build_world, SuppliersConfig};
+
+fn bench_propagate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure4_propagate");
+    g.sample_size(20);
+    for k in [1usize, 4, 16] {
+        let mut world = build_world(
+            WorldConfig { screen: Size::new(200, 60), ..WorldConfig::default() },
+            &SuppliersConfig { suppliers: 200, parts: 100, shipments: 400, seed: 41 },
+        );
+        let s = world.open_session();
+        let editor = world.open_window(s, "suppliers", None).unwrap();
+        for i in 0..k {
+            let view = if i % 2 == 0 { "london_suppliers" } else { "suppliers" };
+            world.open_window(s, view, None).unwrap();
+        }
+        for _ in 0..4 {
+            world.open_window(s, "parts", None).unwrap();
+        }
+        let mut toggle = 100i64;
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                world.enter_edit(editor).unwrap();
+                toggle += 1;
+                world
+                    .window_mut(editor)
+                    .unwrap()
+                    .form
+                    .set_text(3, &toggle.to_string());
+                world.commit(editor).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_propagate);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion target for Table 4: QBF synthesis and execution vs QUEL.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wow_core::config::WorldConfig;
+use wow_forms::compiler::compile_form_all_writable;
+use wow_forms::qbf::form_predicate;
+use wow_views::expand::{run_view_query, view_schema, ViewQuery};
+use wow_views::ViewCatalog;
+use wow_workload::suppliers::{build_world, SuppliersConfig};
+
+fn bench_qbf(c: &mut Criterion) {
+    let cfg = SuppliersConfig { suppliers: 1000, parts: 50, shipments: 100, seed: 11 };
+    let mut world = build_world(WorldConfig::default(), &cfg);
+    let schema = view_schema(world.db(), world.views(), "suppliers").unwrap();
+    let spec = compile_form_all_writable("suppliers", "Suppliers", &schema);
+    let entries: Vec<String> =
+        vec!["".into(), "".into(), "london".into(), ">15".into()];
+    let mut vc = ViewCatalog::new();
+    for name in world.views().names() {
+        vc.register(world.views().get(&name).unwrap().clone()).unwrap();
+    }
+    let mut g = c.benchmark_group("table4_qbf");
+    g.bench_function("synthesize", |b| {
+        b.iter(|| form_predicate(&spec, &entries).unwrap())
+    });
+    let pred = form_predicate(&spec, &entries).unwrap();
+    g.bench_function("qbf_execute", |b| {
+        b.iter(|| {
+            let q = ViewQuery { pred: pred.clone(), ..Default::default() };
+            run_view_query(world.db_mut(), &vc, "suppliers", &q).unwrap()
+        })
+    });
+    g.bench_function("quel_execute", |b| {
+        b.iter(|| {
+            world
+                .db_mut()
+                .run(r#"RETRIEVE (s.sno, s.sname, s.city, s.status) WHERE s.city = "london" AND s.status > 15"#)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_qbf);
+criterion_main!(benches);

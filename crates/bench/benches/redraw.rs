@@ -1,0 +1,38 @@
+//! Criterion target for Figure 1: damage-tracked vs full redraw.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wow_core::config::WorldConfig;
+use wow_tui::geom::{Rect, Size};
+use wow_workload::suppliers::{build_world, SuppliersConfig};
+
+fn bench_redraw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure1_redraw");
+    for wcount in [1usize, 4, 16] {
+        let mut world = build_world(
+            WorldConfig { screen: Size::new(160, 48), ..WorldConfig::default() },
+            &SuppliersConfig { suppliers: 50, parts: 20, shipments: 100, seed: 21 },
+        );
+        let s = world.open_session();
+        let mut wins = Vec::new();
+        for i in 0..wcount {
+            let rect = Rect::new((i as i32 % 4) * 38, (i as i32 / 4) * 11, 38, 11);
+            wins.push(world.open_window(s, "suppliers", Some(rect)).unwrap());
+        }
+        world.render();
+        let mut toggle = false;
+        g.bench_with_input(BenchmarkId::new("damage", wcount), &wcount, |b, _| {
+            b.iter(|| {
+                toggle = !toggle;
+                world.set_status(wins[0], if toggle { "A" } else { "B" });
+                world.render().len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("full", wcount), &wcount, |b, _| {
+            b.iter(|| world.render_snapshot().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_redraw);
+criterion_main!(benches);

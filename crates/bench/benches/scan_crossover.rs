@@ -1,0 +1,71 @@
+//! Criterion target for Figure 3: index vs sequential scan by selectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wow_rel::db::Database;
+use wow_rel::exec::{execute, KeyBound, PhysicalPlan};
+use wow_rel::expr::{BinOp, Expr};
+use wow_rel::value::Value;
+
+fn setup(n: usize) -> Database {
+    let mut db = Database::in_memory();
+    db.run(
+        "CREATE TABLE nums (k INT KEY, v INT NOT NULL, pad TEXT)
+         CREATE INDEX nums_v ON nums (v)",
+    )
+    .unwrap();
+    let pad = "x".repeat(40);
+    for k in 0..n {
+        db.insert(
+            "nums",
+            vec![
+                Value::Int(k as i64),
+                Value::Int(((k * 2654435761) % n) as i64),
+                Value::text(pad.clone()),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_scan_crossover(c: &mut Criterion) {
+    let n = 20_000usize;
+    let mut db = setup(n);
+    let mut g = c.benchmark_group("figure3_scan_crossover");
+    g.sample_size(20);
+    for sel_bp in [10u64, 100, 1000, 5000] {
+        // basis points of selectivity
+        let threshold = ((n as u64 * sel_bp) / 10_000).max(1) as i64;
+        let schema = db.catalog().table("nums").unwrap().schema.qualified("x");
+        let pred = Expr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(Expr::ColumnRef("x.v".into())),
+            right: Box::new(Expr::Literal(Value::Int(threshold))),
+        }
+        .resolve(&schema)
+        .unwrap();
+        let seq = PhysicalPlan::SeqScan {
+            table: "nums".into(),
+            alias: "x".into(),
+            pred: Some(pred),
+        };
+        let index = PhysicalPlan::IndexRange {
+            table: "nums".into(),
+            alias: "x".into(),
+            index: "nums_v".into(),
+            lower: None,
+            upper: Some(KeyBound { values: vec![Value::Int(threshold)], inclusive: false }),
+            residual: None,
+        };
+        g.bench_with_input(BenchmarkId::new("index", sel_bp), &sel_bp, |b, _| {
+            b.iter(|| execute(&mut db, &index).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("seq", sel_bp), &sel_bp, |b, _| {
+            b.iter(|| execute(&mut db, &seq).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan_crossover);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion target for Table 3: direct vs through-view updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wow_core::config::WorldConfig;
+use wow_rel::value::Value;
+use wow_views::translate::{update_through_view, view_rows_with_rids, CheckOption};
+use wow_views::updatable::analyze;
+use wow_workload::suppliers::{build_world, SuppliersConfig};
+
+fn bench_view_update(c: &mut Criterion) {
+    let cfg = SuppliersConfig { suppliers: 500, parts: 10, shipments: 10, seed: 7 };
+    let mut world = build_world(WorldConfig::default(), &cfg);
+    let upd = analyze(world.db(), world.views(), "suppliers").unwrap();
+    let rows = view_rows_with_rids(world.db_mut(), &upd).unwrap();
+    let mut i = 0usize;
+    let mut g = c.benchmark_group("table3_view_update");
+    g.bench_function("direct", |b| {
+        b.iter(|| {
+            let (rid, row) = &rows[i % rows.len()];
+            i += 1;
+            let mut vals = row.values.clone();
+            vals[3] = Value::Int((i % 50) as i64);
+            world.db_mut().update_rid("supplier", *rid, vals).unwrap()
+        })
+    });
+    g.bench_function("through_view", |b| {
+        b.iter(|| {
+            let (rid, _) = &rows[i % rows.len()];
+            i += 1;
+            update_through_view(
+                world.db_mut(),
+                &upd,
+                *rid,
+                &[(3, Value::Int((i % 50) as i64))],
+                CheckOption::Checked,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_view_update);
+criterion_main!(benches);

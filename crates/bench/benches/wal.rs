@@ -1,0 +1,45 @@
+//! Criterion target for Table 6: insert cost with and without the WAL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wow_rel::db::Database;
+use wow_rel::schema::{Column, Schema};
+use wow_rel::types::DataType;
+use wow_rel::value::Value;
+use wow_storage::wal::Wal;
+
+fn make_db(wal: bool) -> Database {
+    let mut db = Database::in_memory();
+    if wal {
+        db.attach_wal(Wal::in_memory());
+    }
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            Column::not_null("k", DataType::Int),
+            Column::new("payload", DataType::Text),
+        ]),
+        &["k"],
+    )
+    .unwrap();
+    db
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6_wal");
+    for wal in [false, true] {
+        let mut db = make_db(wal);
+        let mut k = 0i64;
+        let label = if wal { "insert_with_wal" } else { "insert_no_wal" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &wal, |b, _| {
+            b.iter(|| {
+                k += 1;
+                db.insert("t", vec![Value::Int(k), Value::text(format!("row-{k:08}"))])
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wal);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! `repro` — regenerate every table and figure of the evaluation.
+//!
+//! ```text
+//! cargo run -p wow-bench --bin repro --release            # everything
+//! cargo run -p wow-bench --bin repro --release -- table2  # one experiment
+//! cargo run -p wow-bench --bin repro --release -- --smoke # tiny sizes
+//! ```
+
+use wow_bench::experiments::{self, Scale};
+use wow_bench::render_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let runs: Vec<(&str, fn(Scale) -> wow_bench::Table)> = vec![
+        ("table1", experiments::table1_form_compile),
+        ("table2", experiments::table2_browse),
+        ("table3", experiments::table3_view_update),
+        ("table4", experiments::table4_qbf),
+        ("figure1", experiments::figure1_redraw),
+        ("figure2", experiments::figure2_join_view),
+        ("figure3", experiments::figure3_scan_crossover),
+        ("figure4", experiments::figure4_propagate),
+        ("table5", experiments::table5_locking),
+        ("table6", experiments::table6_wal),
+        ("table7", experiments::table7_expansion),
+    ];
+    println!("Windows on the World — evaluation reproduction (scale: {scale:?})");
+    println!("(reconstructed experiments; see DESIGN.md for the paper-text mismatch note)\n");
+    let mut ran = 0;
+    for (key, f) in runs {
+        if !filter.is_empty() && !filter.iter().any(|w| w.as_str() == key) {
+            continue;
+        }
+        let table = f(scale);
+        println!("{}", render_table(&table));
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched; known keys: table1..table7, figure1..figure4");
+        std::process::exit(2);
+    }
+}

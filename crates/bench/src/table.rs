@@ -1,0 +1,100 @@
+//! Result tables: the shape every experiment reports in.
+
+/// A rendered experiment result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment id ("Table 1", "Figure 3", ...).
+    pub id: String,
+    /// One-line question the experiment answers.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// The qualitative claim the numbers should exhibit.
+    pub expectation: String,
+}
+
+impl Table {
+    /// Build a table.
+    pub fn new(
+        id: &str,
+        title: &str,
+        headers: &[&str],
+        expectation: &str,
+    ) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            expectation: expectation.to_string(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity");
+        self.rows.push(row);
+    }
+}
+
+/// Render a table as aligned text.
+pub fn render_table(t: &Table) -> String {
+    let mut widths: Vec<usize> = t.headers.iter().map(|h| h.chars().count()).collect();
+    for row in &t.rows {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.chars().count());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {}: {} ==\n", t.id, t.title));
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        let mut s = String::new();
+        for (c, w) in cells.iter().zip(widths) {
+            let pad = w - c.chars().count();
+            s.push_str(c);
+            s.push_str(&" ".repeat(pad + 2));
+        }
+        s.trim_end().to_string()
+    };
+    out.push_str(&line(&t.headers, &widths));
+    out.push('\n');
+    out.push_str(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  "),
+    );
+    out.push('\n');
+    for row in &t.rows {
+        out.push_str(&line(row, &widths));
+        out.push('\n');
+    }
+    out.push_str(&format!("expected shape: {}\n", t.expectation));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Table 0", "demo", &["n", "time"], "grows");
+        t.push(vec!["1".into(), "10 µs".into()]);
+        t.push(vec!["1000".into(), "1.2 ms".into()]);
+        let s = render_table(&t);
+        assert!(s.contains("Table 0"));
+        assert!(s.contains("n     time"));
+        assert!(s.contains("expected shape: grows"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("T", "x", &["a", "b"], "");
+        t.push(vec!["only-one".into()]);
+    }
+}

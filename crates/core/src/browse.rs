@@ -1,0 +1,500 @@
+//! Browse cursors: how a window walks its view's extension.
+//!
+//! Two strategies, matching the Table 2 comparison:
+//!
+//! * [`BrowseCursor::indexed`] — **incremental**: fetch one screenful at a
+//!   time through the base table's primary-key B+tree, filtering and
+//!   projecting through the view as pages stream in. Opening a window on a
+//!   million-row relation costs one page fetch.
+//! * [`BrowseCursor::materialized`] — **the baseline**: run the whole view
+//!   query (optionally sorted) up front and page through the copy. This is
+//!   also the only option for non-updatable (join/aggregate) views, which
+//!   have no base rids to seek by.
+//!
+//! Cursor positions survive refreshes: after another window commits a
+//! write, [`BrowseCursor::refresh`] re-fetches the current page in place.
+
+use crate::error::{WowError, WowResult};
+use wow_rel::db::Database;
+use wow_rel::eval::{eval, eval_pred};
+use wow_rel::exec::infer_type;
+use wow_rel::expr::Expr;
+use wow_rel::schema::{Column, Schema};
+use wow_rel::tuple::Tuple;
+use wow_rel::types::DataType;
+use wow_storage::Rid;
+use wow_views::expand::{run_view_query, ViewQuery};
+use wow_views::translate::view_rows_with_rids;
+use wow_views::updatable::Updatability;
+use wow_views::ViewCatalog;
+
+/// One browse row: the view-shaped tuple plus (for updatable views) the
+/// base rid behind it.
+pub type BrowseRow = (Option<Rid>, Tuple);
+
+/// The view-shaped schema an updatable view presents (bare column names).
+pub fn view_schema_of(db: &Database, upd: &Updatability) -> WowResult<Schema> {
+    let info = db.catalog().table(&upd.base_table)?.clone();
+    let base = info.schema.qualified(&upd.base_alias);
+    let mut columns = Vec::with_capacity(upd.column_names.len());
+    for (name, expr) in upd.column_names.iter().zip(&upd.target_exprs) {
+        let ty = infer_type(expr, &base).unwrap_or(DataType::Text);
+        let nullable = match upd.column_map[columns.len()] {
+            Some(bcol) => info.schema.column(bcol).nullable,
+            None => true,
+        };
+        columns.push(Column {
+            name: name.clone(),
+            ty,
+            nullable,
+        });
+    }
+    Ok(Schema::new(columns))
+}
+
+/// State for the incremental, index-ordered strategy.
+#[derive(Debug)]
+pub struct Indexed {
+    upd: Updatability,
+    index: String,
+    page_size: usize,
+    /// Resolved view restriction over the base row.
+    base_pred: Option<Expr>,
+    /// Resolved projection over the base row.
+    targets: Vec<Expr>,
+    /// Extra (QBF) restriction over the *view* row.
+    view_pred: Option<Expr>,
+    /// `page_starts[i]` = index key strictly before page `i` (None = start).
+    page_starts: Vec<Option<Vec<u8>>>,
+    page_no: usize,
+    page: Vec<(Rid, Tuple)>,
+    /// Key to continue after for the *next* page.
+    next_start: Option<Vec<u8>>,
+    /// Rows on fully-consumed earlier pages (for position display).
+    rows_before: usize,
+    /// No further pages exist.
+    at_end: bool,
+    pos: usize,
+}
+
+/// State for the materialize-everything baseline.
+#[derive(Debug)]
+pub struct Materialized {
+    rows: Vec<BrowseRow>,
+    pos: usize,
+    /// How to rebuild on refresh.
+    view: String,
+    query: ViewQuery,
+    upd: Option<Updatability>,
+}
+
+/// A window's position in its view.
+#[derive(Debug)]
+pub enum BrowseCursor {
+    /// Incremental, index-ordered paging.
+    Indexed(Indexed),
+    /// Materialized result paging.
+    Materialized(Materialized),
+}
+
+impl BrowseCursor {
+    /// Build the incremental cursor over an updatable view, paging through
+    /// `index` (the base table's primary-key B+tree). `view_pred` is an
+    /// extra restriction over bare view columns (from QBF).
+    pub fn indexed(
+        db: &mut Database,
+        upd: &Updatability,
+        index: &str,
+        page_size: usize,
+        view_pred: Option<Expr>,
+    ) -> WowResult<BrowseCursor> {
+        let info = db.catalog().table(&upd.base_table)?.clone();
+        let base_schema = info.schema.qualified(&upd.base_alias);
+        let base_pred = match &upd.base_pred {
+            Some(p) => Some(p.clone().resolve(&base_schema)?),
+            None => None,
+        };
+        let targets: Vec<Expr> = upd
+            .target_exprs
+            .iter()
+            .map(|e| e.clone().resolve(&base_schema))
+            .collect::<Result<_, _>>()?;
+        let view_schema = view_schema_of(db, upd)?;
+        let view_pred = match view_pred {
+            Some(p) => Some(p.resolve(&view_schema)?),
+            None => None,
+        };
+        let mut ix = Indexed {
+            upd: upd.clone(),
+            index: index.to_string(),
+            page_size: page_size.max(1),
+            base_pred,
+            targets,
+            view_pred,
+            page_starts: vec![None],
+            page_no: 0,
+            page: Vec::new(),
+            next_start: None,
+            rows_before: 0,
+            at_end: false,
+            pos: 0,
+        };
+        ix.fetch_page(db, None)?;
+        Ok(BrowseCursor::Indexed(ix))
+    }
+
+    /// Build the materialized cursor. With an [`Updatability`] proof the
+    /// rows carry base rids (edits allowed); without one the window is
+    /// read-only.
+    pub fn materialized(
+        db: &mut Database,
+        vc: &ViewCatalog,
+        view: &str,
+        query: ViewQuery,
+        upd: Option<&Updatability>,
+    ) -> WowResult<BrowseCursor> {
+        let mut m = Materialized {
+            rows: Vec::new(),
+            pos: 0,
+            view: view.to_string(),
+            query,
+            upd: upd.cloned(),
+        };
+        m.refill(db, vc)?;
+        Ok(BrowseCursor::Materialized(m))
+    }
+
+    /// The current row, owned (uniform across strategies).
+    pub fn current_row(&self) -> Option<BrowseRow> {
+        match self {
+            BrowseCursor::Indexed(ix) => ix
+                .page
+                .get(ix.pos)
+                .map(|(rid, t)| (Some(*rid), t.clone())),
+            BrowseCursor::Materialized(m) => m.rows.get(m.pos).cloned(),
+        }
+    }
+
+    /// 0-based global position of the current row, when known.
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            BrowseCursor::Indexed(ix) => {
+                if ix.page.is_empty() {
+                    None
+                } else {
+                    Some(ix.rows_before + ix.pos)
+                }
+            }
+            BrowseCursor::Materialized(m) => {
+                if m.rows.is_empty() {
+                    None
+                } else {
+                    Some(m.pos)
+                }
+            }
+        }
+    }
+
+    /// Total row count, when the strategy knows it (materialized only).
+    pub fn known_len(&self) -> Option<usize> {
+        match self {
+            BrowseCursor::Indexed(_) => None,
+            BrowseCursor::Materialized(m) => Some(m.rows.len()),
+        }
+    }
+
+    /// Whether the cursor currently has no row.
+    pub fn is_empty(&self) -> bool {
+        self.current_row().is_none()
+    }
+
+    /// Index of the current row within the page returned by
+    /// [`BrowseCursor::page_rows`].
+    pub fn pos_in_page(&self) -> usize {
+        match self {
+            BrowseCursor::Indexed(ix) => ix.pos,
+            BrowseCursor::Materialized(m) => m.pos % 16,
+        }
+    }
+
+    /// Advance one row. Returns `false` at the end.
+    pub fn next(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<bool> {
+        let _ = vc;
+        match self {
+            BrowseCursor::Indexed(ix) => {
+                if ix.pos + 1 < ix.page.len() {
+                    ix.pos += 1;
+                    return Ok(true);
+                }
+                if ix.at_end {
+                    return Ok(false);
+                }
+                ix.advance_page(db)
+            }
+            BrowseCursor::Materialized(m) => {
+                if m.pos + 1 < m.rows.len() {
+                    m.pos += 1;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// Step back one row. Returns `false` at the beginning.
+    pub fn prev(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<bool> {
+        let _ = vc;
+        match self {
+            BrowseCursor::Indexed(ix) => {
+                if ix.pos > 0 {
+                    ix.pos -= 1;
+                    return Ok(true);
+                }
+                if ix.page_no == 0 {
+                    return Ok(false);
+                }
+                ix.retreat_page(db)?;
+                ix.pos = ix.page.len().saturating_sub(1);
+                Ok(true)
+            }
+            BrowseCursor::Materialized(m) => {
+                if m.pos > 0 {
+                    m.pos -= 1;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// Jump forward one page (a screenful). Returns `false` when already on
+    /// the last page.
+    pub fn next_page(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<bool> {
+        let _ = vc;
+        match self {
+            BrowseCursor::Indexed(ix) => {
+                if ix.at_end {
+                    return Ok(false);
+                }
+                ix.advance_page(db)
+            }
+            BrowseCursor::Materialized(m) => {
+                let page = 16;
+                if m.pos + page < m.rows.len() {
+                    m.pos += page;
+                    Ok(true)
+                } else if m.pos + 1 < m.rows.len() {
+                    m.pos = m.rows.len() - 1;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// Jump back one page.
+    pub fn prev_page(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<bool> {
+        let _ = vc;
+        match self {
+            BrowseCursor::Indexed(ix) => {
+                if ix.page_no == 0 {
+                    if ix.pos == 0 {
+                        return Ok(false);
+                    }
+                    ix.pos = 0;
+                    return Ok(true);
+                }
+                ix.retreat_page(db)?;
+                Ok(true)
+            }
+            BrowseCursor::Materialized(m) => {
+                if m.pos == 0 {
+                    return Ok(false);
+                }
+                m.pos = m.pos.saturating_sub(16);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Re-fetch the current page after external writes, keeping the
+    /// position as stable as the data allows.
+    pub fn refresh(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<()> {
+        match self {
+            BrowseCursor::Indexed(ix) => {
+                let start = ix.page_starts[ix.page_no].clone();
+                let pos = ix.pos;
+                ix.fetch_page(db, start)?;
+                ix.pos = pos.min(ix.page.len().saturating_sub(1));
+                Ok(())
+            }
+            BrowseCursor::Materialized(m) => {
+                let pos = m.pos;
+                m.refill(db, vc)?;
+                m.pos = pos.min(m.rows.len().saturating_sub(1));
+                Ok(())
+            }
+        }
+    }
+
+    /// The rows of the current page (for grid displays).
+    pub fn page_rows(&self) -> Vec<BrowseRow> {
+        match self {
+            BrowseCursor::Indexed(ix) => ix
+                .page
+                .iter()
+                .map(|(rid, t)| (Some(*rid), t.clone()))
+                .collect(),
+            BrowseCursor::Materialized(m) => {
+                let start = (m.pos / 16) * 16;
+                m.rows
+                    .iter()
+                    .skip(start)
+                    .take(16)
+                    .cloned()
+                    .collect()
+            }
+        }
+    }
+}
+
+impl Indexed {
+    /// Fetch the page that starts strictly after `start` into `self.page`,
+    /// setting `next_start`/`at_end` for the page after it.
+    fn fetch_page(&mut self, db: &mut Database, start: Option<Vec<u8>>) -> WowResult<()> {
+        let info = db.catalog().table(&self.upd.base_table)?.clone();
+        self.page.clear();
+        self.pos = 0;
+        let mut after = start.clone();
+        self.at_end = false;
+        // Keep pulling index chunks until the page is full (predicates can
+        // reject arbitrarily many base rows) or the index runs dry.
+        loop {
+            let chunk = db.index_scan_page(&self.index, after.as_deref(), self.page_size)?;
+            if chunk.is_empty() {
+                self.at_end = true;
+                break;
+            }
+            let exhausted_chunk = chunk.len() < self.page_size;
+            for (key, rid) in chunk {
+                after = Some(key.clone());
+                let Some(base) = db.get_row(info.id, rid)? else {
+                    continue; // deleted under us
+                };
+                let keep = match &self.base_pred {
+                    Some(p) => eval_pred(p, &base)?,
+                    None => true,
+                };
+                if !keep {
+                    continue;
+                }
+                let mut vals = Vec::with_capacity(self.targets.len());
+                for t in &self.targets {
+                    vals.push(eval(t, &base)?);
+                }
+                let view_row = Tuple::new(vals);
+                let keep = match &self.view_pred {
+                    Some(p) => eval_pred(p, &view_row)?,
+                    None => true,
+                };
+                if !keep {
+                    continue;
+                }
+                self.page.push((rid, view_row));
+                if self.page.len() == self.page_size {
+                    break;
+                }
+            }
+            if self.page.len() == self.page_size {
+                break;
+            }
+            if exhausted_chunk {
+                self.at_end = true;
+                break;
+            }
+        }
+        self.next_start = after;
+        // A full page might still be the last one; that is discovered on
+        // the next advance (same trade every cursor implementation makes).
+        if self.page.is_empty() {
+            self.at_end = true;
+        }
+        Ok(())
+    }
+
+    fn advance_page(&mut self, db: &mut Database) -> WowResult<bool> {
+        let start = self.next_start.clone();
+        let prev_len = self.page.len();
+        let prev_start = self.page_starts[self.page_no].clone();
+        self.fetch_page(db, start.clone())?;
+        if self.page.is_empty() {
+            // Walked off the end: restore the previous page.
+            self.fetch_page(db, prev_start)?;
+            self.pos = self.page.len().saturating_sub(1);
+            self.at_end = true;
+            return Ok(false);
+        }
+        self.rows_before += prev_len;
+        self.page_no += 1;
+        if self.page_starts.len() == self.page_no {
+            self.page_starts.push(start);
+        } else {
+            self.page_starts[self.page_no] = start;
+        }
+        Ok(true)
+    }
+
+    fn retreat_page(&mut self, db: &mut Database) -> WowResult<()> {
+        debug_assert!(self.page_no > 0);
+        self.page_no -= 1;
+        let start = self.page_starts[self.page_no].clone();
+        self.fetch_page(db, start)?;
+        self.rows_before = self.rows_before.saturating_sub(self.page.len());
+        Ok(())
+    }
+}
+
+impl Materialized {
+    fn refill(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<()> {
+        self.rows = match &self.upd {
+            Some(upd) => {
+                // Updatable: fetch with rids, filter/sort client-side.
+                let mut rows = view_rows_with_rids(db, upd)?;
+                if let Some(pred) = &self.query.pred {
+                    let schema = view_schema_of(db, upd)?;
+                    let resolved = pred.clone().resolve(&schema)?;
+                    let mut err = None;
+                    rows.retain(|(_, t)| match eval_pred(&resolved, t) {
+                        Ok(k) => k,
+                        Err(e) => {
+                            err = Some(e);
+                            false
+                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(WowError::Rel(e));
+                    }
+                }
+                if !self.query.sort.is_empty() {
+                    let schema = view_schema_of(db, upd)?;
+                    let keys: Vec<(usize, bool)> = self
+                        .query
+                        .sort
+                        .iter()
+                        .map(|k| Ok::<_, wow_rel::RelError>((schema.resolve(&k.column)?, k.ascending)))
+                        .collect::<Result<_, _>>()?;
+                    rows.sort_by(|a, b| wow_rel::exec::sort::compare(&a.1, &b.1, &keys));
+                }
+                rows.into_iter().map(|(rid, t)| (Some(rid), t)).collect()
+            }
+            None => {
+                let result = run_view_query(db, vc, &self.view, &self.query)?;
+                result.tuples.into_iter().map(|t| (None, t)).collect()
+            }
+        };
+        Ok(())
+    }
+}

@@ -1,0 +1,46 @@
+//! Tunables for a [`crate::world::World`].
+
+use wow_tui::geom::Size;
+use wow_views::translate::CheckOption;
+
+/// Configuration for a world.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Screen size the window manager composes onto.
+    pub screen: Size,
+    /// Rows fetched per browse page (one "screenful", the paper's unit).
+    pub page_size: usize,
+    /// Whether through-view writes are checked against the view predicate.
+    pub check_option: CheckOption,
+    /// Whether the lock manager is consulted (Table 5 turns this off for
+    /// the unsafe baseline).
+    pub locking: bool,
+    /// Per-session undo depth.
+    pub undo_depth: usize,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            screen: Size::new(80, 24),
+            page_size: 16,
+            check_option: CheckOption::Checked,
+            locking: true,
+            undo_depth: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = WorldConfig::default();
+        assert_eq!(c.screen, Size::new(80, 24));
+        assert!(c.page_size > 0);
+        assert!(c.locking);
+        assert_eq!(c.check_option, CheckOption::Checked);
+    }
+}

@@ -1,0 +1,54 @@
+//! # wow-core — Windows on the World
+//!
+//! The paper's contribution: a **window manager over a shared database**.
+//! Each window displays a form bound to a view; users browse, query-by-form,
+//! and update the database *through* the window, and concurrent windows over
+//! overlapping data stay consistent.
+//!
+//! * [`world`] — the [`world::World`] facade: database + views + forms +
+//!   windows + sessions, embeddable headlessly or over a terminal.
+//! * [`session`] — user sessions owning windows and locks.
+//! * [`window_mgr`] — window state machines: Browse / Edit / Insert / Query
+//!   modes and their key grammar.
+//! * [`browse`] — browse cursors: incremental, index-ordered page fetch
+//!   (Table 2's subject) with a materialize-and-sort baseline.
+//! * [`edit`] — edit/insert/delete commits through updatable views.
+//! * [`qbf_mode`] — query-by-form execution.
+//! * [`propagate`] — cross-window refresh after commits (Figure 4).
+//! * [`locks`] — a strict two-phase relation-lock manager with waits-for
+//!   deadlock detection (Table 5's ablation subject).
+//! * [`undo`] — per-session undo of through-window writes.
+//! * [`config`] — tunables.
+//!
+//! ```
+//! use wow_core::world::World;
+//! use wow_core::config::WorldConfig;
+//!
+//! let mut world = World::new(WorldConfig::default());
+//! world.db_mut().run("CREATE TABLE emp (name TEXT KEY, salary INT)").unwrap();
+//! world.db_mut().run(r#"APPEND TO emp (name = "alice", salary = 120)"#).unwrap();
+//! world.define_view("all_emps", "RANGE OF e IS emp RETRIEVE (e.name, e.salary)").unwrap();
+//! let session = world.open_session();
+//! let win = world.open_window(session, "all_emps", None).unwrap();
+//! let row = world.current_row(win).unwrap().unwrap();
+//! assert_eq!(row.values[0].to_string(), "alice");
+//! ```
+
+pub mod browse;
+pub mod config;
+pub mod edit;
+pub mod error;
+pub mod forms_store;
+pub mod locks;
+pub mod propagate;
+pub mod qbf_mode;
+pub mod session;
+pub mod undo;
+pub mod window_mgr;
+pub mod world;
+
+pub use config::WorldConfig;
+pub use error::{WowError, WowResult};
+pub use session::SessionId;
+pub use window_mgr::{Mode, WinId, WindowStyle};
+pub use world::World;

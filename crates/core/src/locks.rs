@@ -1,0 +1,297 @@
+//! Relation-level locking: strict two-phase locking with waits-for
+//! deadlock detection.
+//!
+//! The engine itself is single-threaded; sessions interleave their
+//! operations on one thread (exactly how the 1983 system multiplexed
+//! terminals). The lock manager therefore never *parks* a requester —
+//! a conflicting request either returns `Conflict` (caller may retry
+//! later, which records a waits-for edge) or `Deadlock` (granting the
+//! wait would close a cycle, so the requester must abort).
+//!
+//! Lock modes are the classic S/X on whole relations; that is the
+//! granularity the original forms systems shipped with.
+
+use std::collections::{HashMap, HashSet};
+
+/// A session identifier (mirrors [`crate::session::SessionId`]'s payload;
+/// kept as a bare u32 here so the lock manager has no upward deps).
+pub type Locker = u32;
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Shared (browse).
+    Shared,
+    /// Exclusive (write).
+    Exclusive,
+}
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// Granted (or already held at a sufficient mode).
+    Granted,
+    /// Denied: held incompatibly by `blockers`. A waits-for edge was
+    /// recorded; retry after the blockers release.
+    Conflict {
+        /// Sessions holding incompatible locks.
+        blockers: Vec<Locker>,
+    },
+    /// Denied: waiting would create a deadlock cycle. The caller must give
+    /// up (abort or drop its locks) — no edge was recorded.
+    Deadlock,
+}
+
+#[derive(Debug, Default)]
+struct TableLock {
+    shared: HashSet<Locker>,
+    exclusive: Option<Locker>,
+}
+
+/// The lock manager.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    tables: HashMap<String, TableLock>,
+    /// waits_for[a] = sessions a is currently waiting on.
+    waits_for: HashMap<Locker, HashSet<Locker>>,
+    /// Grants/denials counters (Table 5 reporting).
+    pub grants: u64,
+    /// Conflicts returned.
+    pub conflicts: u64,
+    /// Deadlocks detected.
+    pub deadlocks: u64,
+}
+
+impl LockManager {
+    /// A fresh lock manager.
+    pub fn new() -> LockManager {
+        LockManager::default()
+    }
+
+    /// Request a lock.
+    pub fn acquire(&mut self, who: Locker, table: &str, mode: LockMode) -> LockOutcome {
+        let entry = self.tables.entry(table.to_string()).or_default();
+        let blockers: Vec<Locker> = match mode {
+            LockMode::Shared => match entry.exclusive {
+                Some(x) if x != who => vec![x],
+                _ => Vec::new(),
+            },
+            LockMode::Exclusive => {
+                let mut b: Vec<Locker> = entry
+                    .shared
+                    .iter()
+                    .copied()
+                    .filter(|&s| s != who)
+                    .collect();
+                if let Some(x) = entry.exclusive {
+                    if x != who {
+                        b.push(x);
+                    }
+                }
+                b.sort_unstable();
+                b.dedup();
+                b
+            }
+        };
+        if blockers.is_empty() {
+            match mode {
+                LockMode::Shared => {
+                    // An X holder taking S keeps X (it covers S).
+                    if entry.exclusive != Some(who) {
+                        entry.shared.insert(who);
+                    }
+                }
+                LockMode::Exclusive => {
+                    entry.shared.remove(&who); // upgrade
+                    entry.exclusive = Some(who);
+                }
+            }
+            self.waits_for.remove(&who);
+            self.grants += 1;
+            return LockOutcome::Granted;
+        }
+        // Would the wait close a cycle?
+        if self.would_deadlock(who, &blockers) {
+            self.deadlocks += 1;
+            return LockOutcome::Deadlock;
+        }
+        self.waits_for
+            .entry(who)
+            .or_default()
+            .extend(blockers.iter().copied());
+        self.conflicts += 1;
+        LockOutcome::Conflict { blockers }
+    }
+
+    /// Whether `who` waiting on `on` reaches back to `who`.
+    fn would_deadlock(&self, who: Locker, on: &[Locker]) -> bool {
+        let mut stack: Vec<Locker> = on.to_vec();
+        let mut seen: HashSet<Locker> = HashSet::new();
+        while let Some(s) = stack.pop() {
+            if s == who {
+                return true;
+            }
+            if !seen.insert(s) {
+                continue;
+            }
+            if let Some(next) = self.waits_for.get(&s) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Release every lock `who` holds (end of transaction — strict 2PL).
+    pub fn release_all(&mut self, who: Locker) {
+        for lock in self.tables.values_mut() {
+            lock.shared.remove(&who);
+            if lock.exclusive == Some(who) {
+                lock.exclusive = None;
+            }
+        }
+        self.waits_for.remove(&who);
+        // Nobody waits on a session that holds nothing.
+        for waits in self.waits_for.values_mut() {
+            waits.remove(&who);
+        }
+    }
+
+    /// Locks `who` currently holds, as `(table, mode)` pairs (sorted).
+    pub fn held_by(&self, who: Locker) -> Vec<(String, LockMode)> {
+        let mut out: Vec<(String, LockMode)> = self
+            .tables
+            .iter()
+            .filter_map(|(t, l)| {
+                if l.exclusive == Some(who) {
+                    Some((t.clone(), LockMode::Exclusive))
+                } else if l.shared.contains(&who) {
+                    Some((t.clone(), LockMode::Shared))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Whether anybody holds any lock on `table`.
+    pub fn is_locked(&self, table: &str) -> bool {
+        self.tables
+            .get(table)
+            .is_some_and(|l| l.exclusive.is_some() || !l.shared.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(1, "emp", LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.acquire(2, "emp", LockMode::Shared), LockOutcome::Granted);
+        assert!(lm.is_locked("emp"));
+        assert_eq!(lm.held_by(1), vec![("emp".to_string(), LockMode::Shared)]);
+    }
+
+    #[test]
+    fn exclusive_excludes() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(1, "emp", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(2, "emp", LockMode::Shared),
+            LockOutcome::Conflict { blockers: vec![1] }
+        );
+        assert_eq!(
+            lm.acquire(2, "emp", LockMode::Exclusive),
+            LockOutcome::Conflict { blockers: vec![1] }
+        );
+        lm.release_all(1);
+        assert_eq!(lm.acquire(2, "emp", LockMode::Exclusive), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn reacquire_is_idempotent_and_upgrade_works() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(1, "emp", LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.acquire(1, "emp", LockMode::Shared), LockOutcome::Granted);
+        // Upgrade S → X with no other holders.
+        assert_eq!(lm.acquire(1, "emp", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.held_by(1), vec![("emp".to_string(), LockMode::Exclusive)]);
+        // X covers S.
+        assert_eq!(lm.acquire(1, "emp", LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(lm.held_by(1), vec![("emp".to_string(), LockMode::Exclusive)]);
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_readers() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, "emp", LockMode::Shared);
+        lm.acquire(2, "emp", LockMode::Shared);
+        assert_eq!(
+            lm.acquire(1, "emp", LockMode::Exclusive),
+            LockOutcome::Conflict { blockers: vec![2] }
+        );
+    }
+
+    #[test]
+    fn deadlock_detected_on_cycle() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(1, "emp", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(2, "dept", LockMode::Exclusive), LockOutcome::Granted);
+        // 1 waits on dept (held by 2).
+        assert!(matches!(
+            lm.acquire(1, "dept", LockMode::Exclusive),
+            LockOutcome::Conflict { .. }
+        ));
+        // 2 requesting emp would close the cycle.
+        assert_eq!(lm.acquire(2, "emp", LockMode::Exclusive), LockOutcome::Deadlock);
+        assert_eq!(lm.deadlocks, 1);
+        // 2 gives up its locks; 1 can proceed.
+        lm.release_all(2);
+        assert_eq!(lm.acquire(1, "dept", LockMode::Exclusive), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn three_party_deadlock_cycle() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, "a", LockMode::Exclusive);
+        lm.acquire(2, "b", LockMode::Exclusive);
+        lm.acquire(3, "c", LockMode::Exclusive);
+        assert!(matches!(lm.acquire(1, "b", LockMode::Exclusive), LockOutcome::Conflict { .. }));
+        assert!(matches!(lm.acquire(2, "c", LockMode::Exclusive), LockOutcome::Conflict { .. }));
+        assert_eq!(lm.acquire(3, "a", LockMode::Exclusive), LockOutcome::Deadlock);
+    }
+
+    #[test]
+    fn release_clears_waits() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, "emp", LockMode::Exclusive);
+        let _ = lm.acquire(2, "emp", LockMode::Shared); // 2 waits on 1
+        lm.release_all(1);
+        // No stale edge: 1 requesting what 2 now takes must not "deadlock".
+        assert_eq!(lm.acquire(2, "emp", LockMode::Exclusive), LockOutcome::Granted);
+        assert!(matches!(
+            lm.acquire(1, "emp", LockMode::Shared),
+            LockOutcome::Conflict { .. }
+        ));
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, "emp", LockMode::Exclusive);
+        let _ = lm.acquire(2, "emp", LockMode::Shared);
+        assert_eq!(lm.grants, 1);
+        assert_eq!(lm.conflicts, 1);
+    }
+
+    #[test]
+    fn different_tables_do_not_conflict() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(1, "emp", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(lm.acquire(2, "dept", LockMode::Exclusive), LockOutcome::Granted);
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-window consistency: after a commit, refresh every window whose
+//! view can see the written relation.
+//!
+//! This is the "windows stay consistent" half of the paper's thesis and
+//! the subject of Figure 4: propagation cost is proportional to the number
+//! of *affected* windows; windows over disjoint data cost nothing.
+
+use crate::error::WowResult;
+use crate::window_mgr::{Mode, WinId};
+use crate::world::World;
+use wow_views::deps::base_tables;
+
+impl World {
+    /// Refresh every window whose view (transitively) reads `table`.
+    /// `source` is the window that performed the write (refreshed already
+    /// by its commit path, so skipped here). Windows that are mid-edit are
+    /// not yanked out from under the user — they are marked stale instead.
+    ///
+    /// Returns the ids of the windows refreshed.
+    pub fn propagate_write(
+        &mut self,
+        table: &str,
+        source: Option<WinId>,
+    ) -> WowResult<Vec<WinId>> {
+        self.stats.propagations += 1;
+        // Collect affected windows first (borrow discipline: the refresh
+        // loop needs &mut self).
+        let mut affected = Vec::new();
+        for (id, w) in &self.windows {
+            if Some(*id) == source {
+                continue;
+            }
+            let touches = base_tables(self.db(), self.views(), &w.view)
+                .map(|t| t.contains(table))
+                .unwrap_or(false);
+            if touches {
+                affected.push(*id);
+            }
+        }
+        let mut refreshed = Vec::new();
+        for id in affected {
+            let mid_edit = matches!(
+                self.window(id)?.mode,
+                Mode::Edit | Mode::Insert | Mode::Query
+            );
+            if mid_edit {
+                self.window_mut(id)?.stale = true;
+                continue;
+            }
+            self.refresh_window(id)?;
+            self.stats.windows_refreshed += 1;
+            refreshed.push(id);
+        }
+        Ok(refreshed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::WorldConfig;
+    use crate::window_mgr::Mode;
+    use crate::world::World;
+
+    fn world() -> World {
+        let mut w = World::new(WorldConfig::default());
+        w.db_mut()
+            .run("CREATE TABLE emp (name TEXT KEY, dept TEXT, salary INT)")
+            .unwrap();
+        w.db_mut()
+            .run("CREATE TABLE part (pno INT KEY, pname TEXT)")
+            .unwrap();
+        for (n, d, s) in [("alice", "toy", 120), ("bob", "shoe", 90)] {
+            w.db_mut()
+                .run(&format!(
+                    r#"APPEND TO emp (name = "{n}", dept = "{d}", salary = {s})"#
+                ))
+                .unwrap();
+        }
+        w.db_mut()
+            .run(r#"APPEND TO part (pno = 1, pname = "nut")"#)
+            .unwrap();
+        w.define_view("emps", "RANGE OF e IS emp RETRIEVE (e.name, e.dept, e.salary)")
+            .unwrap();
+        w.define_view(
+            "toy_emps",
+            r#"RANGE OF e IS emp RETRIEVE (e.name, e.salary) WHERE e.dept = "toy""#,
+        )
+        .unwrap();
+        w.define_view("parts", "RANGE OF p IS part RETRIEVE (p.pno, p.pname)")
+            .unwrap();
+        w
+    }
+
+    #[test]
+    fn commit_in_one_window_updates_the_other() {
+        let mut w = world();
+        let s1 = w.open_session();
+        let s2 = w.open_session();
+        let editor = w.open_window(s1, "emps", None).unwrap();
+        let watcher = w.open_window(s2, "toy_emps", None).unwrap();
+        // watcher sees alice with 120.
+        assert_eq!(
+            w.current_row(watcher).unwrap().unwrap().values[1].to_string(),
+            "120"
+        );
+        // editor raises alice through its own window.
+        w.enter_edit(editor).unwrap();
+        w.window_mut(editor).unwrap().form.set_text(2, "130");
+        w.commit(editor).unwrap();
+        // watcher was refreshed by propagation, no manual refresh.
+        assert_eq!(
+            w.current_row(watcher).unwrap().unwrap().values[1].to_string(),
+            "130"
+        );
+        assert_eq!(w.stats.windows_refreshed, 1);
+    }
+
+    #[test]
+    fn unrelated_windows_are_not_touched() {
+        let mut w = world();
+        let s = w.open_session();
+        let editor = w.open_window(s, "emps", None).unwrap();
+        let _parts = w.open_window(s, "parts", None).unwrap();
+        w.enter_edit(editor).unwrap();
+        w.window_mut(editor).unwrap().form.set_text(2, "121");
+        w.commit(editor).unwrap();
+        assert_eq!(
+            w.stats.windows_refreshed, 0,
+            "parts window reads a disjoint table"
+        );
+    }
+
+    #[test]
+    fn mid_edit_windows_go_stale_instead() {
+        let mut w = world();
+        let s1 = w.open_session();
+        let s2 = w.open_session();
+        let editor = w.open_window(s1, "emps", None).unwrap();
+        let other = w.open_window(s2, "toy_emps", None).unwrap();
+        w.enter_edit(other).unwrap(); // user is typing here
+        w.enter_edit(editor).unwrap();
+        w.window_mut(editor).unwrap().form.set_text(2, "500");
+        w.commit(editor).unwrap();
+        let other_state = w.window(other).unwrap();
+        assert!(other_state.stale);
+        assert_eq!(other_state.mode, Mode::Edit);
+        // When the user finishes, a refresh clears staleness.
+        w.cancel_mode(other).unwrap();
+        w.refresh_window(other).unwrap();
+        assert!(!w.window(other).unwrap().stale);
+        assert_eq!(
+            w.current_row(other).unwrap().unwrap().values[1].to_string(),
+            "500"
+        );
+    }
+
+    #[test]
+    fn deletion_propagates_row_out_of_filtered_views() {
+        let mut w = world();
+        let s = w.open_session();
+        let all = w.open_window(s, "emps", None).unwrap();
+        let toys = w.open_window(s, "toy_emps", None).unwrap();
+        assert!(w.current_row(toys).unwrap().is_some());
+        // Delete alice (the only toy employee) via the all-emps window.
+        w.delete_current(all).unwrap();
+        assert!(
+            w.current_row(toys).unwrap().is_none(),
+            "toy_emps is now empty"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! User sessions.
+
+use crate::window_mgr::WinId;
+use std::fmt;
+
+/// Identifier of a session (one user at one terminal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u32);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session {}", self.0)
+    }
+}
+
+/// A session: a user with a set of open windows and (while a write is in
+/// flight) a set of locks.
+#[derive(Debug, Default)]
+pub struct Session {
+    /// Windows owned by this session, in creation order.
+    pub windows: Vec<WinId>,
+    /// Writes committed by this session (status display, tests).
+    pub commits: u64,
+    /// When a batch transaction is open: the undo-stack depth at `BEGIN`,
+    /// so `abort_batch` knows how far to roll back. Locks taken by commits
+    /// are held (strict 2PL) until the batch ends.
+    pub batch_mark: Option<usize>,
+}
+
+impl Session {
+    /// A fresh session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Register a window.
+    pub fn add_window(&mut self, w: WinId) {
+        self.windows.push(w);
+    }
+
+    /// Deregister a window.
+    pub fn remove_window(&mut self, w: WinId) {
+        self.windows.retain(|&x| x != w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_bookkeeping() {
+        let mut s = Session::new();
+        s.add_window(WinId(1));
+        s.add_window(WinId(2));
+        s.remove_window(WinId(1));
+        assert_eq!(s.windows, vec![WinId(2)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SessionId(3).to_string(), "session 3");
+    }
+}

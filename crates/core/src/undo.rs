@@ -1,0 +1,134 @@
+//! Per-session undo of through-window writes.
+//!
+//! Every committed edit/insert/delete pushes its inverse; `undo` pops and
+//! applies it. The stack is bounded ([`crate::config::WorldConfig::undo_depth`]);
+//! the oldest entries fall off, as they did when undo logs were core memory.
+
+use wow_rel::value::Value;
+use wow_storage::Rid;
+
+/// The inverse of one committed write.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UndoEntry {
+    /// An update happened: restore these base-table values at `rid`.
+    Update {
+        /// Base table.
+        table: String,
+        /// Base row.
+        rid: Rid,
+        /// The full previous row image.
+        old: Vec<Value>,
+    },
+    /// An insert happened: delete `rid` again.
+    Insert {
+        /// Base table.
+        table: String,
+        /// Base row.
+        rid: Rid,
+    },
+    /// A delete happened: re-insert this row image.
+    Delete {
+        /// Base table.
+        table: String,
+        /// The deleted row image.
+        old: Vec<Value>,
+    },
+}
+
+/// A bounded undo stack.
+#[derive(Debug, Default)]
+pub struct UndoStack {
+    entries: Vec<UndoEntry>,
+    depth: usize,
+}
+
+impl UndoStack {
+    /// A stack keeping at most `depth` entries.
+    pub fn new(depth: usize) -> UndoStack {
+        UndoStack {
+            entries: Vec::new(),
+            depth,
+        }
+    }
+
+    /// Number of undoable writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there is nothing to undo.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record a write's inverse.
+    pub fn push(&mut self, entry: UndoEntry) {
+        if self.depth == 0 {
+            return;
+        }
+        if self.entries.len() == self.depth {
+            self.entries.remove(0);
+        }
+        self.entries.push(entry);
+    }
+
+    /// Pop the most recent inverse.
+    pub fn pop(&mut self) -> Option<UndoEntry> {
+        self.entries.pop()
+    }
+
+    /// Drop everything (session close).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wow_storage::PageId;
+
+    fn ins(n: u64) -> UndoEntry {
+        UndoEntry::Insert {
+            table: "t".into(),
+            rid: Rid::new(PageId(n), 0),
+        }
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut s = UndoStack::new(8);
+        s.push(ins(1));
+        s.push(ins(2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pop(), Some(ins(2)));
+        assert_eq!(s.pop(), Some(ins(1)));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn bounded_depth_drops_oldest() {
+        let mut s = UndoStack::new(2);
+        s.push(ins(1));
+        s.push(ins(2));
+        s.push(ins(3));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pop(), Some(ins(3)));
+        assert_eq!(s.pop(), Some(ins(2)));
+    }
+
+    #[test]
+    fn zero_depth_disables_undo() {
+        let mut s = UndoStack::new(0);
+        s.push(ins(1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = UndoStack::new(4);
+        s.push(ins(1));
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Window state: modes, the per-window record, and rendering.
+
+use crate::browse::BrowseCursor;
+use crate::session::SessionId;
+use std::fmt;
+use wow_forms::FormInstance;
+use wow_rel::expr::Expr;
+use wow_rel::schema::Schema;
+use wow_rel::value::Value;
+use wow_tui::geom::Rect;
+use wow_tui::tree::WindowId as TuiId;
+use wow_tui::widget::Widget;
+use wow_views::updatable::Updatability;
+
+/// Identifier of a logical window (a form over a view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WinId(pub u32);
+
+impl fmt::Display for WinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "window {}", self.0)
+    }
+}
+
+/// How the window displays rows while browsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowStyle {
+    /// One record at a time, as a form (the classic 1983 presentation).
+    #[default]
+    Form,
+    /// A whole page of records as a grid with a selection bar; editing
+    /// still happens on the form, which replaces the grid in Edit/Insert/
+    /// Query modes.
+    Grid,
+}
+
+/// What the window is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Walking the view's rows; the form shows the current row read-only.
+    #[default]
+    Browse,
+    /// The form's writable fields are open for editing the current row.
+    Edit,
+    /// The form is blank, collecting a new row.
+    Insert,
+    /// The form is blank, collecting query-by-form restrictions.
+    Query,
+}
+
+impl Mode {
+    /// Status-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Browse => "Browse",
+            Mode::Edit => "Edit",
+            Mode::Insert => "Insert",
+            Mode::Query => "Query",
+        }
+    }
+}
+
+/// The full state of one window.
+#[derive(Debug)]
+pub struct WindowState {
+    /// Logical id.
+    pub id: WinId,
+    /// Owning session.
+    pub session: SessionId,
+    /// The view this window looks through.
+    pub view: String,
+    /// Updatability proof (None ⇒ the window is read-only).
+    pub upd: Option<Updatability>,
+    /// Why the window is read-only (empty when updatable).
+    pub read_only_reasons: Vec<String>,
+    /// The view's schema (bare column names).
+    pub schema: Schema,
+    /// The live form.
+    pub form: FormInstance,
+    /// The browse cursor.
+    pub cursor: BrowseCursor,
+    /// Current mode.
+    pub mode: Mode,
+    /// The screen window this renders into.
+    pub tui: TuiId,
+    /// Browse presentation.
+    pub style: WindowStyle,
+    /// Row image captured when Edit mode was entered.
+    pub original: Option<Vec<Value>>,
+    /// The active query-by-form restriction, if any.
+    pub qbf_pred: Option<Expr>,
+    /// Status-line message (errors, confirmations).
+    pub status: String,
+    /// Set when another window changed data this window may display while
+    /// this window couldn't be refreshed (it was mid-edit).
+    pub stale: bool,
+}
+
+impl WindowState {
+    /// Whether the window can write through its view.
+    pub fn is_updatable(&self) -> bool {
+        self.upd.is_some()
+    }
+
+    /// Load the form from the cursor's current row (Browse display).
+    pub fn show_current(&mut self) {
+        match self.cursor.current_row() {
+            Some((_, tuple)) => self.form.fill(&tuple.values),
+            None => self.form.clear(),
+        }
+    }
+
+    /// The one-line status for the window's bottom row.
+    pub fn status_line(&self) -> (String, String) {
+        let left = if self.status.is_empty() {
+            let ro = if self.is_updatable() { "" } else { " [read-only]" };
+            let q = if self.qbf_pred.is_some() { " [query]" } else { "" };
+            let stale = if self.stale { " [stale]" } else { "" };
+            format!("{}{ro}{q}{stale}", self.mode.name())
+        } else {
+            self.status.clone()
+        };
+        let right = match (self.cursor.position(), self.cursor.known_len()) {
+            (Some(p), Some(n)) => format!("row {}/{}", p + 1, n),
+            (Some(p), None) => format!("row {}", p + 1),
+            (None, Some(0)) | (None, None) => "no rows".to_string(),
+            (None, Some(n)) => format!("{n} rows"),
+        };
+        (left, right)
+    }
+
+    /// Paint the window's interior: the form (or grid) plus the status row.
+    pub fn render_into(&mut self, tui_win: &mut wow_tui::window::Window) {
+        let local = tui_win.local();
+        let buf = tui_win.content_mut();
+        buf.clear();
+        if local.is_empty() {
+            return;
+        }
+        let body = Rect::new(local.x, local.y, local.w, local.h.saturating_sub(1));
+        let active = matches!(self.mode, Mode::Edit | Mode::Insert | Mode::Query);
+        let grid_browse = self.style == WindowStyle::Grid && self.mode == Mode::Browse;
+        if grid_browse {
+            self.render_grid(buf, body);
+        } else {
+            self.form.render(buf, body, active);
+        }
+        let (left, right) = self.status_line();
+        let mut bar = wow_tui::widget::StatusBar::new();
+        bar.set(left, right);
+        bar.render(buf, local.row(local.h - 1), false);
+    }
+
+    /// Grid presentation of the cursor's current page.
+    fn render_grid(&self, buf: &mut wow_tui::buffer::ScreenBuffer, area: Rect) {
+        use wow_tui::widget::{TableGrid, Widget};
+        let headers: Vec<String> = self
+            .form
+            .spec
+            .fields
+            .iter()
+            .map(|f| f.caption.clone())
+            .collect();
+        let widths: Vec<u16> = self.form.spec.fields.iter().map(|f| f.width).collect();
+        let mut grid = TableGrid::new(headers, widths);
+        let rows: Vec<Vec<String>> = self
+            .cursor
+            .page_rows()
+            .iter()
+            .map(|(_, t)| {
+                t.values
+                    .iter()
+                    .zip(&self.form.spec.fields)
+                    .map(|(v, f)| wow_forms::format::display_cell(v, f.ty, f.width))
+                    .collect()
+            })
+            .collect();
+        grid.set_rows(rows);
+        grid.select(self.cursor.pos_in_page());
+        grid.render(buf, area, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(Mode::Browse.name(), "Browse");
+        assert_eq!(Mode::Query.name(), "Query");
+        assert_eq!(Mode::default(), Mode::Browse);
+    }
+
+    #[test]
+    fn win_id_display() {
+        assert_eq!(WinId(4).to_string(), "window 4");
+    }
+}

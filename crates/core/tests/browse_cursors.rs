@@ -1,0 +1,255 @@
+//! Browse-cursor behaviour under the microscope: paging, filtering,
+//! refresh under concurrent mutation, and strategy equivalence.
+
+use wow_core::browse::BrowseCursor;
+use wow_core::config::WorldConfig;
+use wow_core::world::World;
+use wow_rel::expr::{BinOp, Expr};
+use wow_rel::quel::ast::SortKey;
+use wow_rel::value::Value;
+use wow_views::expand::ViewQuery;
+use wow_views::updatable::{analyze, Updatability};
+use wow_views::ViewCatalog;
+
+fn world(n: usize) -> (World, Updatability) {
+    let mut w = World::new(WorldConfig::default());
+    w.db_mut()
+        .run("CREATE TABLE item (k INT KEY, grp INT, label TEXT) RANGE OF i IS item")
+        .unwrap();
+    for k in 0..n {
+        w.db_mut()
+            .insert(
+                "item",
+                vec![
+                    Value::Int(k as i64),
+                    Value::Int((k % 5) as i64),
+                    Value::text(format!("item-{k:05}")),
+                ],
+            )
+            .unwrap();
+    }
+    w.define_view("items", "RANGE OF i IS item RETRIEVE (i.k, i.grp, i.label)")
+        .unwrap();
+    let upd = analyze(w.db(), w.views(), "items").unwrap();
+    (w, upd)
+}
+
+fn drain_keys(cursor: &mut BrowseCursor, w: &mut World) -> Vec<i64> {
+    let vc = ViewCatalog::new();
+    let mut out = Vec::new();
+    loop {
+        match cursor.current_row() {
+            Some((_, t)) => match t.values[0] {
+                Value::Int(k) => out.push(k),
+                _ => panic!(),
+            },
+            None => break,
+        }
+        if !cursor.next(w.db_mut(), &vc).unwrap() {
+            break;
+        }
+    }
+    out
+}
+
+#[test]
+fn indexed_cursor_walks_every_row_in_key_order() {
+    let (mut w, upd) = world(100);
+    let mut c = BrowseCursor::indexed(w.db_mut(), &upd, "pk_item", 7, None).unwrap();
+    let keys = drain_keys(&mut c, &mut w);
+    assert_eq!(keys, (0..100).collect::<Vec<i64>>());
+}
+
+#[test]
+fn indexed_and_materialized_agree() {
+    let (mut w, upd) = world(64);
+    let mut ix = BrowseCursor::indexed(w.db_mut(), &upd, "pk_item", 10, None).unwrap();
+    let ix_keys = drain_keys(&mut ix, &mut w);
+    let q = ViewQuery {
+        sort: vec![SortKey {
+            column: "k".into(),
+            ascending: true,
+        }],
+        ..Default::default()
+    };
+    let mut mat =
+        BrowseCursor::materialized(w.db_mut(), &ViewCatalog::new(), "items", q, Some(&upd))
+            .unwrap();
+    let mat_keys = drain_keys(&mut mat, &mut w);
+    assert_eq!(ix_keys, mat_keys);
+}
+
+#[test]
+fn filtered_indexed_cursor_skips_non_matching_pages() {
+    let (mut w, upd) = world(100);
+    // grp = 3 matches exactly every 5th row.
+    let pred = Expr::Binary {
+        op: BinOp::Eq,
+        left: Box::new(Expr::ColumnRef("grp".into())),
+        right: Box::new(Expr::Literal(Value::Int(3))),
+    };
+    let mut c = BrowseCursor::indexed(w.db_mut(), &upd, "pk_item", 6, Some(pred)).unwrap();
+    let keys = drain_keys(&mut c, &mut w);
+    assert_eq!(keys.len(), 20);
+    assert!(keys.iter().all(|k| k % 5 == 3));
+    // Still in ascending order despite page-crossing filtering.
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn paging_forward_and_back_is_symmetric() {
+    let (mut w, upd) = world(90);
+    let vc = ViewCatalog::new();
+    let mut c = BrowseCursor::indexed(w.db_mut(), &upd, "pk_item", 10, None).unwrap();
+    let first = c.current_row().unwrap().1.values[0].clone();
+    for _ in 0..5 {
+        assert!(c.next_page(w.db_mut(), &vc).unwrap());
+    }
+    let deep = c.current_row().unwrap().1.values[0].clone();
+    assert_eq!(deep, Value::Int(50));
+    for _ in 0..5 {
+        assert!(c.prev_page(w.db_mut(), &vc).unwrap());
+    }
+    assert_eq!(c.current_row().unwrap().1.values[0], first);
+    assert!(!c.prev_page(w.db_mut(), &vc).unwrap(), "at the very start");
+}
+
+#[test]
+fn next_page_stops_cleanly_at_the_end() {
+    let (mut w, upd) = world(25);
+    let vc = ViewCatalog::new();
+    let mut c = BrowseCursor::indexed(w.db_mut(), &upd, "pk_item", 10, None).unwrap();
+    assert!(c.next_page(w.db_mut(), &vc).unwrap());
+    assert!(c.next_page(w.db_mut(), &vc).unwrap());
+    // Third page exists (5 rows); fourth does not.
+    assert!(!c.next_page(w.db_mut(), &vc).unwrap());
+    // The cursor still points at a real row afterwards.
+    assert!(c.current_row().is_some());
+}
+
+#[test]
+fn refresh_survives_concurrent_deletes() {
+    let (mut w, upd) = world(40);
+    let vc = ViewCatalog::new();
+    let mut c = BrowseCursor::indexed(w.db_mut(), &upd, "pk_item", 10, None).unwrap();
+    c.next_page(w.db_mut(), &vc).unwrap(); // rows 10..20
+    assert_eq!(c.current_row().unwrap().1.values[0], Value::Int(10));
+    // Another window deletes the row under the cursor and its neighbour.
+    for key in [10i64, 11] {
+        let rid = w
+            .db_mut()
+            .index_lookup("pk_item", &[Value::Int(key)])
+            .unwrap()[0];
+        w.db_mut().delete_rid("item", rid).unwrap();
+    }
+    c.refresh(w.db_mut(), &vc).unwrap();
+    // The page refilled from the same start key; first visible row is 12.
+    assert_eq!(c.current_row().unwrap().1.values[0], Value::Int(12));
+}
+
+#[test]
+fn refresh_survives_concurrent_inserts() {
+    let (mut w, upd) = world(20);
+    let vc = ViewCatalog::new();
+    let mut c = BrowseCursor::indexed(w.db_mut(), &upd, "pk_item", 10, None).unwrap();
+    c.next(w.db_mut(), &vc).unwrap();
+    c.next(w.db_mut(), &vc).unwrap(); // on row 2
+    // Insert a row *before* the cursor.
+    w.db_mut()
+        .insert(
+            "item",
+            vec![Value::Int(-1), Value::Int(0), Value::text("early")],
+        )
+        .unwrap();
+    c.refresh(w.db_mut(), &vc).unwrap();
+    // Position is by page slot, so the new first-page content shifts; the
+    // cursor still points at a valid row and ordering holds.
+    let keys = drain_keys(&mut c, &mut w);
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn empty_view_cursor_is_well_behaved() {
+    let (mut w, upd) = world(0);
+    let vc = ViewCatalog::new();
+    let mut c = BrowseCursor::indexed(w.db_mut(), &upd, "pk_item", 10, None).unwrap();
+    assert!(c.is_empty());
+    assert!(c.current_row().is_none());
+    assert_eq!(c.position(), None);
+    assert!(!c.next(w.db_mut(), &vc).unwrap());
+    assert!(!c.prev(w.db_mut(), &vc).unwrap());
+    assert!(!c.next_page(w.db_mut(), &vc).unwrap());
+    assert!(!c.prev_page(w.db_mut(), &vc).unwrap());
+    c.refresh(w.db_mut(), &vc).unwrap();
+    assert!(c.is_empty());
+}
+
+#[test]
+fn materialized_cursor_for_read_only_views() {
+    let mut w = World::new(WorldConfig::default());
+    w.db_mut()
+        .run("CREATE TABLE a (k INT KEY, v INT) CREATE TABLE b (k INT KEY, v INT)")
+        .unwrap();
+    for k in 0..10 {
+        w.db_mut()
+            .insert("a", vec![Value::Int(k), Value::Int(k * 2)])
+            .unwrap();
+        w.db_mut()
+            .insert("b", vec![Value::Int(k), Value::Int(k * 3)])
+            .unwrap();
+    }
+    w.define_view(
+        "ab",
+        "RANGE OF x IS a RANGE OF y IS b RETRIEVE (x.k, av = x.v, bv = y.v) WHERE x.k = y.k",
+    )
+    .unwrap();
+    let vc = {
+        let mut vc = ViewCatalog::new();
+        vc.register(w.views().get("ab").unwrap().clone()).unwrap();
+        vc
+    };
+    let mut c = BrowseCursor::materialized(
+        w.db_mut(),
+        &vc,
+        "ab",
+        ViewQuery {
+            sort: vec![SortKey {
+                column: "k".into(),
+                ascending: true,
+            }],
+            ..Default::default()
+        },
+        None,
+    )
+    .unwrap();
+    assert_eq!(c.known_len(), Some(10));
+    let (rid, row) = c.current_row().unwrap();
+    assert!(rid.is_none(), "join views carry no base rid");
+    assert_eq!(row.values, vec![Value::Int(0), Value::Int(0), Value::Int(0)]);
+    // Refresh picks up base-table changes.
+    w.db_mut().run("RANGE OF x IS a REPLACE x (v = 100) WHERE x.k = 0").unwrap();
+    c.refresh(w.db_mut(), &vc).unwrap();
+    assert_eq!(c.current_row().unwrap().1.values[1], Value::Int(100));
+}
+
+#[test]
+fn position_reporting_counts_matches_only() {
+    let (mut w, upd) = world(50);
+    let vc = ViewCatalog::new();
+    let pred = Expr::Binary {
+        op: BinOp::Eq,
+        left: Box::new(Expr::ColumnRef("grp".into())),
+        right: Box::new(Expr::Literal(Value::Int(0))),
+    };
+    let mut c = BrowseCursor::indexed(w.db_mut(), &upd, "pk_item", 4, Some(pred)).unwrap();
+    assert_eq!(c.position(), Some(0));
+    // Walk 6 matching rows; position counts matches, not base rows.
+    for _ in 0..6 {
+        assert!(c.next(w.db_mut(), &vc).unwrap());
+    }
+    assert_eq!(c.position(), Some(6));
+}

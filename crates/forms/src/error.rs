@@ -1,0 +1,81 @@
+//! Errors of the forms layer.
+
+use std::fmt;
+use wow_rel::RelError;
+
+/// Result alias for the forms layer.
+pub type FormResult<T> = Result<T, FormError>;
+
+/// Errors raised by form compilation, validation, and QBF synthesis.
+#[derive(Debug)]
+pub enum FormError {
+    /// Underlying relational error.
+    Rel(RelError),
+    /// A named field does not exist on the form.
+    NoSuchField(String),
+    /// A field's text failed validation. The message is user-facing — it
+    /// lands in the window's status bar.
+    Validation {
+        /// Field name.
+        field: String,
+        /// User-facing message.
+        message: String,
+    },
+    /// A QBF entry could not be understood.
+    BadQuery {
+        /// Field name.
+        field: String,
+        /// User-facing message.
+        message: String,
+    },
+}
+
+impl fmt::Display for FormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormError::Rel(e) => write!(f, "relational engine: {e}"),
+            FormError::NoSuchField(n) => write!(f, "no such field: {n}"),
+            FormError::Validation { field, message } => {
+                write!(f, "{field}: {message}")
+            }
+            FormError::BadQuery { field, message } => {
+                write!(f, "{field}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormError::Rel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for FormError {
+    fn from(e: RelError) -> Self {
+        FormError::Rel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_user_facing() {
+        let e = FormError::Validation {
+            field: "salary".into(),
+            message: "expected a whole number".into(),
+        };
+        assert_eq!(e.to_string(), "salary: expected a whole number");
+    }
+
+    #[test]
+    fn rel_conversion() {
+        let e: FormError = RelError::NoSuchColumn("x".into()).into();
+        assert!(matches!(e, FormError::Rel(_)));
+    }
+}

@@ -1,0 +1,115 @@
+//! Value ↔ display-text conversion.
+
+use wow_rel::types::DataType;
+use wow_rel::value::Value;
+
+/// Format a value for display in a field or grid cell.
+pub fn display(v: &Value) -> String {
+    v.to_string()
+}
+
+/// Format a value into a fixed-width cell: numeric types right-align,
+/// everything else left-aligns; overlong text is truncated with a `…`
+/// marker in the final cell.
+pub fn display_cell(v: &Value, ty: DataType, width: u16) -> String {
+    let width = width as usize;
+    if width == 0 {
+        return String::new();
+    }
+    let text = display(v);
+    let len = text.chars().count();
+    if len > width {
+        let mut out: String = text.chars().take(width.saturating_sub(1)).collect();
+        out.push('…');
+        return out;
+    }
+    let pad = width - len;
+    if ty.is_numeric() {
+        format!("{}{}", " ".repeat(pad), text)
+    } else {
+        format!("{}{}", text, " ".repeat(pad))
+    }
+}
+
+/// Parse user-entered text as a value of the field's type (empty → NULL).
+pub fn parse(input: &str, ty: DataType) -> Result<Value, String> {
+    Value::parse_as(input, ty).map_err(|_| type_hint(ty).to_string())
+}
+
+/// A user-facing hint about what a field of this type accepts.
+pub fn type_hint(ty: DataType) -> &'static str {
+    match ty {
+        DataType::Int => "expected a whole number",
+        DataType::Float => "expected a number",
+        DataType::Text => "expected text",
+        DataType::Bool => "expected yes/no",
+        DataType::Date => "expected a date (YYYY-MM-DD)",
+    }
+}
+
+/// Default field width for a type (the compiler's choice).
+pub fn default_width(ty: DataType) -> u16 {
+    match ty {
+        DataType::Int => 10,
+        DataType::Float => 12,
+        DataType::Text => 20,
+        DataType::Bool => 5,
+        DataType::Date => 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_cell_alignment() {
+        assert_eq!(display_cell(&Value::Int(42), DataType::Int, 6), "    42");
+        assert_eq!(
+            display_cell(&Value::text("ab"), DataType::Text, 6),
+            "ab    "
+        );
+        assert_eq!(
+            display_cell(&Value::Float(1.5), DataType::Float, 6),
+            "   1.5"
+        );
+    }
+
+    #[test]
+    fn display_cell_truncates_with_marker() {
+        assert_eq!(
+            display_cell(&Value::text("abcdefgh"), DataType::Text, 5),
+            "abcd…"
+        );
+        assert_eq!(display_cell(&Value::text("ab"), DataType::Text, 0), "");
+    }
+
+    #[test]
+    fn null_displays_blank() {
+        assert_eq!(display_cell(&Value::Null, DataType::Int, 4), "    ");
+    }
+
+    #[test]
+    fn parse_round_trips_by_type() {
+        assert_eq!(parse("7", DataType::Int), Ok(Value::Int(7)));
+        assert_eq!(parse("", DataType::Int), Ok(Value::Null));
+        assert_eq!(
+            parse("1983-05-23", DataType::Date),
+            Ok(Value::Date(4890))
+        );
+        assert_eq!(
+            parse("x", DataType::Int).unwrap_err(),
+            "expected a whole number"
+        );
+        assert_eq!(
+            parse("maybe", DataType::Bool).unwrap_err(),
+            "expected yes/no"
+        );
+    }
+
+    #[test]
+    fn default_widths_sane() {
+        assert_eq!(default_width(DataType::Date), 10);
+        assert!(default_width(DataType::Text) >= 10);
+    }
+}

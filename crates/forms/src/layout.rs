@@ -1,0 +1,114 @@
+//! Form layout: caption/editor geometry inside a window interior.
+
+use crate::spec::FormSpec;
+use wow_tui::geom::Rect;
+
+/// Where one field's caption and editor land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldLayout {
+    /// Caption position (one row).
+    pub caption: Rect,
+    /// Editor position (one row).
+    pub editor: Rect,
+}
+
+/// The computed layout of a form within an area.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormLayout {
+    /// Per-field geometry, index-aligned with the spec's fields.
+    pub fields: Vec<FieldLayout>,
+    /// Number of fields that fit (`fields.len()` may exceed the area; the
+    /// binding layer scrolls by whole fields).
+    pub visible: usize,
+}
+
+/// Lay out one field per row: `Caption: [editor        ]`.
+///
+/// `scroll` is the index of the first visible field (fields above it are
+/// off-screen). The caption column is as wide as the widest caption plus a
+/// separating colon and space.
+pub fn layout_form(spec: &FormSpec, area: Rect, scroll: usize) -> FormLayout {
+    let caption_w = spec.caption_width() + 2; // ": "
+    let mut fields = Vec::with_capacity(spec.fields.len());
+    let rows_available = area.h as usize;
+    let mut visible = 0;
+    for (i, f) in spec.fields.iter().enumerate() {
+        if i < scroll || visible >= rows_available {
+            // Off-screen: record an empty rect so indexes stay aligned.
+            fields.push(FieldLayout {
+                caption: Rect::new(area.x, area.bottom(), 0, 0),
+                editor: Rect::new(area.x, area.bottom(), 0, 0),
+            });
+            continue;
+        }
+        let y = area.y + visible as i32;
+        let editor_w = f
+            .width
+            .min(area.w.saturating_sub(caption_w))
+            .max(1);
+        fields.push(FieldLayout {
+            caption: Rect::new(area.x, y, caption_w.min(area.w), 1),
+            editor: Rect::new(area.x + caption_w as i32, y, editor_w, 1),
+        });
+        visible += 1;
+    }
+    FormLayout { fields, visible }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FieldSpec;
+    use wow_rel::types::DataType;
+
+    fn spec(n: usize) -> FormSpec {
+        FormSpec {
+            name: "t".into(),
+            title: "t".into(),
+            fields: (0..n)
+                .map(|i| FieldSpec::new(format!("field_{i}"), DataType::Text, 12))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn one_field_per_row() {
+        let s = spec(3);
+        let l = layout_form(&s, Rect::new(1, 1, 40, 10), 0);
+        assert_eq!(l.visible, 3);
+        assert_eq!(l.fields[0].caption.y, 1);
+        assert_eq!(l.fields[1].caption.y, 2);
+        assert_eq!(l.fields[2].editor.y, 3);
+        // Editors start after the caption column.
+        let cap_w = s.caption_width() + 2;
+        assert_eq!(l.fields[0].editor.x, 1 + cap_w as i32);
+    }
+
+    #[test]
+    fn scrolling_hides_leading_fields() {
+        let s = spec(5);
+        let l = layout_form(&s, Rect::new(0, 0, 40, 2), 2);
+        assert!(l.fields[0].editor.is_empty());
+        assert!(l.fields[1].editor.is_empty());
+        assert_eq!(l.fields[2].caption.y, 0);
+        assert_eq!(l.fields[3].caption.y, 1);
+        assert!(l.fields[4].editor.is_empty(), "beyond the viewport");
+        assert_eq!(l.visible, 2);
+    }
+
+    #[test]
+    fn narrow_areas_shrink_editors() {
+        let s = spec(1);
+        let l = layout_form(&s, Rect::new(0, 0, 12, 2), 0);
+        assert!(l.fields[0].editor.w >= 1);
+        assert!(l.fields[0].editor.right() <= 13);
+    }
+
+    #[test]
+    fn empty_form_lays_out_empty() {
+        let s = spec(0);
+        let l = layout_form(&s, Rect::new(0, 0, 10, 5), 0);
+        assert!(l.fields.is_empty());
+        assert_eq!(l.visible, 0);
+    }
+}

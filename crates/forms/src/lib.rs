@@ -1,0 +1,32 @@
+//! # wow-forms
+//!
+//! The forms package of *Windows on the World*: the layer that turns a
+//! relation or view schema into an interactive, validated data-entry
+//! surface.
+//!
+//! * [`spec`] — the form description: fields with captions, widths,
+//!   types, writability, enumerated domains. Serializable (forms were
+//!   stored in the database in 1983; we store them as data too).
+//! * [`compiler`] — the **form compiler**: a default form from any schema,
+//!   mechanically (Table 1 measures it).
+//! * [`mod@format`] — value ↔ display-text conversions per type.
+//! * [`validate`] — per-field and whole-form validation.
+//! * [`layout`] — caption/field geometry inside a window.
+//! * [`binding`] — the live form: text editors, focus ring, fill/collect.
+//! * [`qbf`] — **query by form**: synthesizing a predicate from what the
+//!   user typed into the fields (Table 4 measures it against hand-written
+//!   QUEL).
+
+pub mod binding;
+pub mod compiler;
+pub mod error;
+pub mod format;
+pub mod layout;
+pub mod qbf;
+pub mod spec;
+pub mod validate;
+
+pub use binding::FormInstance;
+pub use compiler::compile_form;
+pub use error::{FormError, FormResult};
+pub use spec::{FieldSpec, FormSpec};

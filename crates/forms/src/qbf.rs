@@ -1,0 +1,224 @@
+//! Query by form: synthesizing a predicate from filled-in fields.
+//!
+//! The user types restrictions directly into a blank form; each non-empty
+//! field contributes one conjunct (Table 4 measures the synthesis against
+//! hand-written QUEL):
+//!
+//! | entry            | meaning                          |
+//! |------------------|----------------------------------|
+//! | `smith`          | equality                         |
+//! | `>100`, `<=5`    | comparison                       |
+//! | `!=toy`          | inequality                       |
+//! | `100..200`       | inclusive range                  |
+//! | `Sm*`, `b?b`     | pattern match (text fields)      |
+//! | `null` / `!null` | is-null / is-not-null            |
+
+use crate::error::{FormError, FormResult};
+use crate::format;
+use crate::spec::{FieldSpec, FormSpec};
+use wow_rel::expr::{BinOp, Expr, UnOp};
+use wow_rel::types::DataType;
+use wow_rel::value::Value;
+
+/// Parse one field's query entry into a predicate over `ColumnRef(name)`.
+/// Empty entries contribute nothing (`Ok(None)`).
+pub fn field_predicate(spec: &FieldSpec, entry: &str) -> FormResult<Option<Expr>> {
+    let text = entry.trim();
+    if text.is_empty() {
+        return Ok(None);
+    }
+    let col = || Expr::ColumnRef(spec.name.clone());
+    let bad = |message: String| FormError::BadQuery {
+        field: spec.name.clone(),
+        message,
+    };
+    // Null tests.
+    if text.eq_ignore_ascii_case("null") {
+        return Ok(Some(Expr::IsNull(Box::new(col()))));
+    }
+    if text.eq_ignore_ascii_case("!null") {
+        return Ok(Some(Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(Expr::IsNull(Box::new(col()))),
+        }));
+    }
+    // Comparison prefixes (two-char forms first).
+    for (prefix, op) in [
+        (">=", BinOp::Ge),
+        ("<=", BinOp::Le),
+        ("!=", BinOp::Ne),
+        (">", BinOp::Gt),
+        ("<", BinOp::Lt),
+        ("=", BinOp::Eq),
+    ] {
+        if let Some(rest) = text.strip_prefix(prefix) {
+            let v = parse_operand(spec, rest.trim()).map_err(bad)?;
+            return Ok(Some(Expr::Binary {
+                op,
+                left: Box::new(col()),
+                right: Box::new(Expr::Literal(v)),
+            }));
+        }
+    }
+    // Inclusive range `lo..hi`.
+    if let Some((lo, hi)) = text.split_once("..") {
+        if !lo.is_empty() && !hi.is_empty() {
+            let lo = parse_operand(spec, lo.trim()).map_err(&bad)?;
+            let hi = parse_operand(spec, hi.trim()).map_err(&bad)?;
+            let lower = Expr::Binary {
+                op: BinOp::Ge,
+                left: Box::new(col()),
+                right: Box::new(Expr::Literal(lo)),
+            };
+            let upper = Expr::Binary {
+                op: BinOp::Le,
+                left: Box::new(col()),
+                right: Box::new(Expr::Literal(hi)),
+            };
+            return Ok(Some(Expr::and(lower, upper)));
+        }
+    }
+    // Patterns (text fields only).
+    if spec.ty == DataType::Text && (text.contains('*') || text.contains('?')) {
+        return Ok(Some(Expr::Like {
+            expr: Box::new(col()),
+            pattern: text.to_string(),
+        }));
+    }
+    // Plain equality.
+    let v = parse_operand(spec, text).map_err(bad)?;
+    Ok(Some(Expr::Binary {
+        op: BinOp::Eq,
+        left: Box::new(col()),
+        right: Box::new(Expr::Literal(v)),
+    }))
+}
+
+fn parse_operand(spec: &FieldSpec, text: &str) -> Result<Value, String> {
+    if text.is_empty() {
+        return Err(format!("missing value after operator ({})", format::type_hint(spec.ty)));
+    }
+    format::parse(text, spec.ty)
+}
+
+/// Synthesize the whole form's predicate: the conjunction of every
+/// non-empty field entry. `Ok(None)` means "no restriction".
+pub fn form_predicate(spec: &FormSpec, entries: &[String]) -> FormResult<Option<Expr>> {
+    if entries.len() != spec.fields.len() {
+        return Err(FormError::BadQuery {
+            field: spec.name.clone(),
+            message: format!(
+                "form has {} fields but {} entries were supplied",
+                spec.fields.len(),
+                entries.len()
+            ),
+        });
+    }
+    let mut conjuncts = Vec::new();
+    for (f, e) in spec.fields.iter().zip(entries) {
+        if let Some(p) = field_predicate(f, e)? {
+            conjuncts.push(p);
+        }
+    }
+    if conjuncts.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(Expr::conjunction(conjuncts)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(ty: DataType) -> FieldSpec {
+        FieldSpec::new("fld", ty, 10)
+    }
+
+    fn pred(ty: DataType, entry: &str) -> String {
+        field_predicate(&f(ty), entry).unwrap().unwrap().to_string()
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(field_predicate(&f(DataType::Int), "  ").unwrap().is_none());
+    }
+
+    #[test]
+    fn equality_default() {
+        assert_eq!(pred(DataType::Int, "42"), "(fld = 42)");
+        assert_eq!(pred(DataType::Text, "smith"), "(fld = \"smith\")");
+        assert_eq!(pred(DataType::Bool, "yes"), "(fld = true)");
+        assert_eq!(pred(DataType::Date, "1983-05-23"), "(fld = 1983-05-23)");
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(pred(DataType::Int, ">100"), "(fld > 100)");
+        assert_eq!(pred(DataType::Int, ">= 100"), "(fld >= 100)");
+        assert_eq!(pred(DataType::Int, "<=5"), "(fld <= 5)");
+        assert_eq!(pred(DataType::Text, "!=toy"), "(fld != \"toy\")");
+        assert_eq!(pred(DataType::Int, "=7"), "(fld = 7)");
+    }
+
+    #[test]
+    fn ranges() {
+        assert_eq!(
+            pred(DataType::Int, "100..200"),
+            "((fld >= 100) AND (fld <= 200))"
+        );
+        assert_eq!(
+            pred(DataType::Date, "1983-01-01..1983-12-31"),
+            "((fld >= 1983-01-01) AND (fld <= 1983-12-31))"
+        );
+    }
+
+    #[test]
+    fn patterns_only_on_text() {
+        assert_eq!(pred(DataType::Text, "Sm*"), "(fld LIKE \"Sm*\")");
+        assert_eq!(pred(DataType::Text, "b?b"), "(fld LIKE \"b?b\")");
+        // On an int field, `*` is just a parse error.
+        assert!(field_predicate(&f(DataType::Int), "4*").is_err());
+    }
+
+    #[test]
+    fn null_tests() {
+        assert_eq!(pred(DataType::Text, "null"), "(fld IS NULL)");
+        assert_eq!(pred(DataType::Text, "NULL"), "(fld IS NULL)");
+        assert_eq!(pred(DataType::Text, "!null"), "(NOT (fld IS NULL))");
+    }
+
+    #[test]
+    fn bad_entries_error_with_field_name() {
+        let err = field_predicate(&f(DataType::Int), ">abc").unwrap_err();
+        assert!(err.to_string().starts_with("fld:"));
+        let err = field_predicate(&f(DataType::Int), ">").unwrap_err();
+        assert!(err.to_string().contains("missing value"));
+    }
+
+    #[test]
+    fn form_level_conjunction() {
+        let spec = FormSpec {
+            name: "emp".into(),
+            title: "t".into(),
+            fields: vec![
+                FieldSpec::new("name", DataType::Text, 10),
+                FieldSpec::new("salary", DataType::Int, 10),
+                FieldSpec::new("dept", DataType::Text, 10),
+            ],
+        };
+        let p = form_predicate(
+            &spec,
+            &["Sm*".to_string(), ">100".to_string(), String::new()],
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            p.to_string(),
+            "((name LIKE \"Sm*\") AND (salary > 100))"
+        );
+        // All blank → no restriction.
+        assert!(form_predicate(&spec, &vec![String::new(); 3]).unwrap().is_none());
+        // Arity mismatch errors.
+        assert!(form_predicate(&spec, &[String::new()]).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Form specifications.
+
+use serde::{Deserialize, Serialize};
+use wow_rel::types::DataType;
+
+// DataType is foreign; mirror it for serde without forcing serde into
+// wow-rel's public surface.
+mod dt_serde {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use wow_rel::types::DataType;
+
+    pub fn serialize<S: Serializer>(dt: &DataType, s: S) -> Result<S::Ok, S::Error> {
+        dt.keyword().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<DataType, D::Error> {
+        let word = String::deserialize(d)?;
+        DataType::from_keyword(&word)
+            .ok_or_else(|| serde::de::Error::custom(format!("unknown type {word}")))
+    }
+}
+
+/// One field of a form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldSpec {
+    /// The bound column name (view/table column).
+    pub name: String,
+    /// Caption shown next to the field.
+    pub caption: String,
+    /// Data type (drives parsing, validation, and alignment).
+    #[serde(with = "dt_serde")]
+    pub ty: DataType,
+    /// Editor width in cells.
+    pub width: u16,
+    /// Whether the field can be edited (computed view columns cannot).
+    pub read_only: bool,
+    /// Whether a value is required (NOT NULL columns).
+    pub required: bool,
+    /// Optional enumerated domain: the only values accepted.
+    #[serde(default)]
+    pub domain: Vec<String>,
+    /// One-line help shown in the status bar when the field has focus.
+    #[serde(default)]
+    pub help: String,
+}
+
+impl FieldSpec {
+    /// A plain writable field.
+    pub fn new(name: impl Into<String>, ty: DataType, width: u16) -> FieldSpec {
+        let name = name.into();
+        FieldSpec {
+            caption: default_caption(&name),
+            name,
+            ty,
+            width,
+            read_only: false,
+            required: false,
+            domain: Vec::new(),
+            help: String::new(),
+        }
+    }
+}
+
+/// Turn a column name into a human caption: `dept_id` → `Dept id`.
+pub fn default_caption(name: &str) -> String {
+    let bare = name.rsplit('.').next().unwrap_or(name);
+    let spaced = bare.replace('_', " ");
+    let mut chars = spaced.chars();
+    match chars.next() {
+        None => String::new(),
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+    }
+}
+
+/// A complete form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FormSpec {
+    /// Form name (usually the view it binds to).
+    pub name: String,
+    /// Window title.
+    pub title: String,
+    /// Fields in tab order.
+    pub fields: Vec<FieldSpec>,
+}
+
+impl FormSpec {
+    /// Index of a field by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The widest caption, in characters (layout uses this).
+    pub fn caption_width(&self) -> u16 {
+        self.fields
+            .iter()
+            .map(|f| f.caption.chars().count() as u16)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Serialize to the stored-form format.
+    pub fn to_stored(&self) -> String {
+        stored::encode(self)
+    }
+}
+
+// Forms were stored *in the database* in 1983; this tiny line-oriented
+// stable encoding is what we persist. (The Serialize/Deserialize derives
+// remain useful to embedders who bring their own format.)
+mod stored {
+    use super::FormSpec;
+
+    /// A compact, line-oriented stable text encoding of a form spec.
+    pub fn encode(spec: &FormSpec) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("form {}\n", spec.name));
+        out.push_str(&format!("title {}\n", spec.title));
+        for f in &spec.fields {
+            out.push_str(&format!(
+                "field {}|{}|{}|{}|{}|{}|{}|{}\n",
+                f.name,
+                f.caption,
+                f.ty.keyword(),
+                f.width,
+                f.read_only as u8,
+                f.required as u8,
+                f.domain.join(","),
+                f.help,
+            ));
+        }
+        out
+    }
+}
+
+impl FormSpec {
+    /// Parse the stored-form format produced by [`FormSpec::to_stored`].
+    pub fn from_stored(text: &str) -> Option<FormSpec> {
+        let mut name = None;
+        let mut title = None;
+        let mut fields = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("form ") {
+                name = Some(rest.to_string());
+            } else if let Some(rest) = line.strip_prefix("title ") {
+                title = Some(rest.to_string());
+            } else if let Some(rest) = line.strip_prefix("field ") {
+                let parts: Vec<&str> = rest.splitn(8, '|').collect();
+                if parts.len() != 8 {
+                    return None;
+                }
+                fields.push(FieldSpec {
+                    name: parts[0].to_string(),
+                    caption: parts[1].to_string(),
+                    ty: DataType::from_keyword(parts[2])?,
+                    width: parts[3].parse().ok()?,
+                    read_only: parts[4] == "1",
+                    required: parts[5] == "1",
+                    domain: if parts[6].is_empty() {
+                        Vec::new()
+                    } else {
+                        parts[6].split(',').map(|s| s.to_string()).collect()
+                    },
+                    help: parts[7].to_string(),
+                });
+            }
+        }
+        Some(FormSpec {
+            name: name?,
+            title: title?,
+            fields,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FormSpec {
+        FormSpec {
+            name: "emp".into(),
+            title: "Employees".into(),
+            fields: vec![
+                FieldSpec::new("name", DataType::Text, 20),
+                FieldSpec {
+                    required: true,
+                    domain: vec!["toy".into(), "shoe".into()],
+                    help: "the department".into(),
+                    ..FieldSpec::new("dept", DataType::Text, 10)
+                },
+                FieldSpec {
+                    read_only: true,
+                    ..FieldSpec::new("salary", DataType::Int, 10)
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn captions_default_nicely() {
+        assert_eq!(default_caption("dept_id"), "Dept id");
+        assert_eq!(default_caption("e.start_date"), "Start date");
+        assert_eq!(default_caption("x"), "X");
+        assert_eq!(default_caption(""), "");
+    }
+
+    #[test]
+    fn field_index_and_caption_width() {
+        let s = spec();
+        assert_eq!(s.field_index("dept"), Some(1));
+        assert_eq!(s.field_index("nope"), None);
+        assert_eq!(s.caption_width(), 6); // "Salary"
+    }
+
+    #[test]
+    fn stored_round_trip() {
+        let s = spec();
+        let text = s.to_stored();
+        let back = FormSpec::from_stored(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn stored_rejects_garbage() {
+        assert!(FormSpec::from_stored("nonsense").is_none());
+        assert!(FormSpec::from_stored("form x\ntitle t\nfield broken|only|three").is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Field and form validation.
+
+use crate::error::{FormError, FormResult};
+use crate::format;
+use crate::spec::{FieldSpec, FormSpec};
+use wow_rel::value::Value;
+
+/// Validate one field's entered text, producing its value.
+///
+/// Checks, in order: read-only fields must be untouched by callers (that is
+/// enforced by the binding layer, not here), required fields must be
+/// non-empty, the text must parse as the field type, and enumerated domains
+/// must contain the value.
+pub fn validate_field(spec: &FieldSpec, text: &str) -> FormResult<Value> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        if spec.required {
+            return Err(FormError::Validation {
+                field: spec.name.clone(),
+                message: "a value is required".into(),
+            });
+        }
+        return Ok(Value::Null);
+    }
+    let value = format::parse(trimmed, spec.ty).map_err(|message| FormError::Validation {
+        field: spec.name.clone(),
+        message,
+    })?;
+    if !spec.domain.is_empty() {
+        let shown = format::display(&value);
+        if !spec.domain.iter().any(|d| d == &shown) {
+            return Err(FormError::Validation {
+                field: spec.name.clone(),
+                message: format!("must be one of: {}", spec.domain.join(", ")),
+            });
+        }
+    }
+    Ok(value)
+}
+
+/// Validate a whole form's entered texts (one per field, in order),
+/// producing the value row. Fails on the first offending field so the
+/// binding layer can focus it.
+pub fn validate_form(spec: &FormSpec, texts: &[String]) -> FormResult<Vec<Value>> {
+    if texts.len() != spec.fields.len() {
+        return Err(FormError::Validation {
+            field: spec.name.clone(),
+            message: format!(
+                "form has {} fields but {} values were supplied",
+                spec.fields.len(),
+                texts.len()
+            ),
+        });
+    }
+    spec.fields
+        .iter()
+        .zip(texts)
+        .map(|(f, t)| validate_field(f, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wow_rel::types::DataType;
+
+    fn field(ty: DataType) -> FieldSpec {
+        FieldSpec::new("f", ty, 10)
+    }
+
+    #[test]
+    fn empty_optional_is_null() {
+        assert_eq!(validate_field(&field(DataType::Int), "  ").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn empty_required_fails() {
+        let mut f = field(DataType::Text);
+        f.required = true;
+        let err = validate_field(&f, "").unwrap_err();
+        assert!(err.to_string().contains("required"));
+    }
+
+    #[test]
+    fn type_errors_carry_hints() {
+        let err = validate_field(&field(DataType::Date), "05/23/1983").unwrap_err();
+        assert!(err.to_string().contains("YYYY-MM-DD"));
+    }
+
+    #[test]
+    fn domain_enforced() {
+        let mut f = field(DataType::Text);
+        f.domain = vec!["toy".into(), "shoe".into()];
+        assert_eq!(
+            validate_field(&f, "toy").unwrap(),
+            Value::text("toy")
+        );
+        let err = validate_field(&f, "candy").unwrap_err();
+        assert!(err.to_string().contains("one of"));
+    }
+
+    #[test]
+    fn domain_on_ints_compares_display_form() {
+        let mut f = field(DataType::Int);
+        f.domain = vec!["1".into(), "2".into()];
+        assert_eq!(validate_field(&f, "2").unwrap(), Value::Int(2));
+        assert!(validate_field(&f, "3").is_err());
+    }
+
+    #[test]
+    fn whole_form_validates_in_order() {
+        let spec = FormSpec {
+            name: "t".into(),
+            title: "t".into(),
+            fields: vec![field(DataType::Int), {
+                let mut f = field(DataType::Text);
+                f.required = true;
+                f
+            }],
+        };
+        let vals =
+            validate_form(&spec, &["5".to_string(), "hi".to_string()]).unwrap();
+        assert_eq!(vals, vec![Value::Int(5), Value::text("hi")]);
+        assert!(validate_form(&spec, &["5".to_string(), "".to_string()]).is_err());
+        assert!(validate_form(&spec, &["5".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,882 @@
+//! The [`Database`] facade: storage + catalog + WAL + transactions.
+//!
+//! Every higher layer (views, forms, the window manager) talks to this one
+//! object. It owns the buffer pool, the heap file and index handles, the
+//! statistics registry, and — when durability is enabled — the write-ahead
+//! log.
+
+use crate::catalog::{Catalog, IndexInfo, IndexKind, TableId, TableInfo};
+use crate::error::{RelError, RelResult};
+use crate::schema::Schema;
+use crate::stats::StatsRegistry;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use wow_storage::btree::BTree;
+use wow_storage::buffer::BufferPool;
+use wow_storage::hash_index::{HashIndex, DEFAULT_BUCKETS};
+use wow_storage::heap::HeapFile;
+use wow_storage::page::{Page, PageId};
+use wow_storage::store::{FileStore, MemStore, PageStore};
+use wow_storage::wal::{TxnId, Wal};
+use wow_storage::Rid;
+use wow_storage::StorageResult;
+
+/// Number of buffer-pool frames used by default (8 MiB of cache).
+pub const DEFAULT_POOL_FRAMES: usize = 1024;
+
+/// A page store that is either memory- or file-backed, so [`Database`]
+/// stays non-generic and pleasant to embed.
+pub enum AnyStore {
+    /// In-memory pages.
+    Mem(MemStore),
+    /// File-backed pages.
+    File(FileStore),
+}
+
+impl PageStore for AnyStore {
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        match self {
+            AnyStore::Mem(s) => s.allocate(),
+            AnyStore::File(s) => s.allocate(),
+        }
+    }
+    fn read(&mut self, id: PageId, out: &mut Page) -> StorageResult<()> {
+        match self {
+            AnyStore::Mem(s) => s.read(id, out),
+            AnyStore::File(s) => s.read(id, out),
+        }
+    }
+    fn write(&mut self, id: PageId, page: &Page) -> StorageResult<()> {
+        match self {
+            AnyStore::Mem(s) => s.write(id, page),
+            AnyStore::File(s) => s.write(id, page),
+        }
+    }
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        match self {
+            AnyStore::Mem(s) => s.free(id),
+            AnyStore::File(s) => s.free(id),
+        }
+    }
+    fn page_count(&self) -> u64 {
+        match self {
+            AnyStore::Mem(s) => s.page_count(),
+            AnyStore::File(s) => s.page_count(),
+        }
+    }
+    fn sync(&mut self) -> StorageResult<()> {
+        match self {
+            AnyStore::Mem(s) => s.sync(),
+            AnyStore::File(s) => s.sync(),
+        }
+    }
+}
+
+/// Physical index handle.
+pub(crate) enum IndexHandle {
+    BTree(BTree),
+    Hash(HashIndex),
+}
+
+/// One logged-and-undoable data operation (for `ABORT`). `Delete` keeps
+/// the original rid for diagnostics even though replay re-inserts at a
+/// fresh rid.
+#[derive(Debug)]
+#[allow(dead_code)]
+pub(crate) enum UndoOp {
+    Insert { table: TableId, rid: Rid },
+    Update { table: TableId, rid: Rid, old: Tuple },
+    Delete { table: TableId, rid: Rid, old: Tuple },
+}
+
+/// Transaction state.
+#[derive(Default)]
+pub(crate) struct TxnState {
+    /// The open explicit transaction, if any.
+    pub current: Option<TxnId>,
+    /// Next transaction id to hand out.
+    pub next: TxnId,
+    /// Undo log of the open transaction, oldest first.
+    pub undo: Vec<UndoOp>,
+}
+
+/// Executor-side counters, readable by benches and tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Tuples read by sequential scans.
+    pub rows_scanned: u64,
+    /// Index probes (equality or range-start).
+    pub index_probes: u64,
+    /// Tuples produced by joins.
+    pub join_rows: u64,
+    /// Statements executed.
+    pub statements: u64,
+}
+
+/// The database: the "world" that every window looks into.
+pub struct Database {
+    pub(crate) pool: BufferPool<AnyStore>,
+    pub(crate) catalog: Catalog,
+    pub(crate) heaps: HashMap<TableId, HeapFile>,
+    pub(crate) indexes: HashMap<String, IndexHandle>,
+    pub(crate) wal: Option<Wal>,
+    pub(crate) stats: StatsRegistry,
+    pub(crate) txn: TxnState,
+    pub(crate) counters: ExecCounters,
+    /// Persistent `RANGE OF var IS table` declarations, QUEL-style.
+    pub(crate) ranges: BTreeMap<String, String>,
+}
+
+impl Database {
+    /// An in-memory database with the default pool size and no WAL.
+    pub fn in_memory() -> Database {
+        Self::with_store(AnyStore::Mem(MemStore::new()), DEFAULT_POOL_FRAMES)
+    }
+
+    /// An in-memory database with an explicit buffer-pool frame count.
+    pub fn in_memory_with_frames(frames: usize) -> Database {
+        Self::with_store(AnyStore::Mem(MemStore::new()), frames)
+    }
+
+    /// A file-backed database (pages persist; catalog is rebuilt by the
+    /// embedding application, see `DESIGN.md`).
+    pub fn open_file(path: &Path) -> RelResult<Database> {
+        Ok(Self::with_store(
+            AnyStore::File(FileStore::open(path)?),
+            DEFAULT_POOL_FRAMES,
+        ))
+    }
+
+    fn with_store(store: AnyStore, frames: usize) -> Database {
+        Database {
+            pool: BufferPool::new(store, frames),
+            catalog: Catalog::new(),
+            heaps: HashMap::new(),
+            indexes: HashMap::new(),
+            wal: None,
+            stats: StatsRegistry::new(),
+            txn: TxnState::default(),
+            counters: ExecCounters::default(),
+            ranges: BTreeMap::new(),
+        }
+    }
+
+    /// Enable write-ahead logging (in-memory log; see [`Wal::open`] for a
+    /// file-backed one via [`Database::attach_wal`]).
+    pub fn with_wal(mut self) -> Database {
+        self.wal = Some(Wal::in_memory());
+        self
+    }
+
+    /// Attach a specific WAL (e.g. a file-backed one).
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// Detach and return the WAL (for crash-simulation tests).
+    pub fn take_wal(&mut self) -> Option<Wal> {
+        self.wal.take()
+    }
+
+    /// Borrow the WAL, if attached.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// The catalog (read-only).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Executor counters accumulated so far.
+    pub fn counters(&self) -> ExecCounters {
+        self.counters
+    }
+
+    /// Reset executor counters (benches call this between phases).
+    pub fn reset_counters(&mut self) {
+        self.counters = ExecCounters::default();
+        self.pool.reset_stats();
+    }
+
+    /// Buffer-pool statistics.
+    pub fn pool_stats(&self) -> wow_storage::buffer::PoolStats {
+        self.pool.stats()
+    }
+
+    // -- DDL ----------------------------------------------------------------
+
+    /// Create a table. `key` names the primary-key columns (possibly empty);
+    /// when non-empty a unique B+tree index `pk_<table>` is created on them
+    /// automatically — the ordered access path browse cursors rely on.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        key: &[&str],
+    ) -> RelResult<TableId> {
+        if self.catalog.has_table(name) {
+            return Err(RelError::AlreadyExists(name.to_string()));
+        }
+        let key_idx: Vec<usize> = key
+            .iter()
+            .map(|k| schema.resolve(k))
+            .collect::<RelResult<_>>()?;
+        let heap = HeapFile::create(&mut self.pool)?;
+        let heap_meta = heap.meta_page();
+        let id = self
+            .catalog
+            .add_table(name, schema, heap_meta, key_idx.clone())?;
+        self.heaps.insert(id, heap);
+        if !key_idx.is_empty() {
+            let pk_name = format!("pk_{name}");
+            self.create_index_internal(&pk_name, name, key_idx, IndexKind::BTree, true)?;
+        }
+        Ok(id)
+    }
+
+    /// Create a secondary index on one column, backfilling existing rows.
+    pub fn create_index(
+        &mut self,
+        index_name: &str,
+        table: &str,
+        column: &str,
+        kind: IndexKind,
+        unique: bool,
+    ) -> RelResult<()> {
+        let col = self.catalog.table(table)?.schema.resolve(column)?;
+        self.create_index_internal(index_name, table, vec![col], kind, unique)
+    }
+
+    fn create_index_internal(
+        &mut self,
+        index_name: &str,
+        table: &str,
+        columns: Vec<usize>,
+        kind: IndexKind,
+        unique: bool,
+    ) -> RelResult<()> {
+        if self.indexes.contains_key(index_name) {
+            return Err(RelError::AlreadyExists(index_name.to_string()));
+        }
+        let tinfo = self.catalog.table(table)?.clone();
+        let handle = match kind {
+            IndexKind::BTree => {
+                // Non-unique B+trees store composite (key ++ rid) entries, so
+                // the tree itself is created unique either way.
+                IndexHandle::BTree(BTree::create(&mut self.pool, unique)?)
+            }
+            IndexKind::Hash => IndexHandle::Hash(HashIndex::create(&mut self.pool, DEFAULT_BUCKETS)?),
+        };
+        let meta = match &handle {
+            IndexHandle::BTree(t) => t.meta_page(),
+            IndexHandle::Hash(h) => h.meta_page(),
+        };
+        self.catalog
+            .add_index(index_name, table, columns.clone(), kind, unique, meta)?;
+        self.indexes.insert(index_name.to_string(), handle);
+        // Backfill from existing rows.
+        let rows = self.scan_table_raw(tinfo.id)?;
+        for (rid, tuple) in rows {
+            let idx = self.catalog.index(index_name)?.clone();
+            self.index_insert(&idx, &tuple, rid)?;
+        }
+        Ok(())
+    }
+
+    /// Drop a table, its heap, and its indexes.
+    pub fn drop_table(&mut self, name: &str) -> RelResult<()> {
+        let (info, indexes) = self.catalog.remove_table(name)?;
+        if let Some(heap) = self.heaps.remove(&info.id) {
+            heap.destroy(&mut self.pool)?;
+        }
+        for idx in indexes {
+            if let Some(handle) = self.indexes.remove(&idx.name) {
+                match handle {
+                    IndexHandle::BTree(t) => t.destroy(&mut self.pool)?,
+                    IndexHandle::Hash(h) => h.destroy(&mut self.pool)?,
+                }
+            }
+        }
+        self.stats.remove(info.id);
+        self.ranges.retain(|_, t| t != name);
+        Ok(())
+    }
+
+    /// Drop a secondary index.
+    pub fn drop_index(&mut self, name: &str) -> RelResult<()> {
+        let info = self.catalog.remove_index(name)?;
+        if let Some(handle) = self.indexes.remove(&info.name) {
+            match handle {
+                IndexHandle::BTree(t) => t.destroy(&mut self.pool)?,
+                IndexHandle::Hash(h) => h.destroy(&mut self.pool)?,
+            }
+        }
+        Ok(())
+    }
+
+    // -- Range variables ------------------------------------------------------
+
+    /// Declare `RANGE OF var IS table` (persists across statements, as in
+    /// QUEL).
+    pub fn declare_range(&mut self, var: &str, table: &str) -> RelResult<()> {
+        if !self.catalog.has_table(table) {
+            return Err(RelError::NoSuchTable(table.to_string()));
+        }
+        self.ranges.insert(var.to_string(), table.to_string());
+        Ok(())
+    }
+
+    /// Resolve a range variable to its table name.
+    pub fn range_table(&self, var: &str) -> RelResult<&str> {
+        self.ranges
+            .get(var)
+            .map(|s| s.as_str())
+            .ok_or_else(|| RelError::NoSuchRange(var.to_string()))
+    }
+
+    /// All declared range variables.
+    pub fn ranges(&self) -> &BTreeMap<String, String> {
+        &self.ranges
+    }
+
+    // -- Row access ----------------------------------------------------------
+
+    /// Fetch one row by rid.
+    pub fn get_row(&mut self, table: TableId, rid: Rid) -> RelResult<Option<Tuple>> {
+        let heap = self
+            .heaps
+            .get(&table)
+            .ok_or_else(|| RelError::NoSuchTable(format!("#{table}")))?;
+        match heap.get(&mut self.pool, rid)? {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(Tuple::decode(&bytes)?)),
+        }
+    }
+
+    /// Scan a full table into memory as `(rid, tuple)` pairs.
+    pub fn scan_table_raw(&mut self, table: TableId) -> RelResult<Vec<(Rid, Tuple)>> {
+        let heap = self
+            .heaps
+            .get(&table)
+            .ok_or_else(|| RelError::NoSuchTable(format!("#{table}")))?;
+        let mut decode_err = None;
+        let mut out = Vec::with_capacity(heap.len() as usize);
+        heap.scan(&mut self.pool, |rid, bytes| {
+            match Tuple::decode(bytes) {
+                Ok(t) => out.push((rid, t)),
+                Err(e) => decode_err = Some(e),
+            }
+        })?;
+        if let Some(e) = decode_err {
+            return Err(e);
+        }
+        self.counters.rows_scanned += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Number of rows in a table (from stats, exact under normal operation).
+    pub fn row_count(&self, table: TableId) -> u64 {
+        self.stats.get(table).rows
+    }
+
+    /// Full statistics for a table (row count plus any analyzed
+    /// distinct-value estimates).
+    pub fn table_stats(&self, table: TableId) -> crate::stats::TableStats {
+        self.stats.get(table)
+    }
+
+    /// The primary-key values of a tuple of `table`, or `None` if the table
+    /// has no declared key.
+    pub fn key_of(&self, table: &TableInfo, tuple: &Tuple) -> Option<Vec<Value>> {
+        if table.key.is_empty() {
+            return None;
+        }
+        Some(table.key.iter().map(|&i| tuple.values[i].clone()).collect())
+    }
+
+    /// Recompute per-column distinct counts for a table (ANALYZE).
+    pub fn analyze(&mut self, table: &str) -> RelResult<()> {
+        let info = self.catalog.table(table)?.clone();
+        let rows = self.scan_table_raw(info.id)?;
+        let mut distinct: HashMap<usize, u64> = HashMap::new();
+        for col in 0..info.schema.len() {
+            let mut seen: Vec<&Value> = rows.iter().map(|(_, t)| &t.values[col]).collect();
+            seen.sort_by(|a, b| a.total_cmp(b));
+            seen.dedup_by(|a, b| *a == *b);
+            distinct.insert(col, seen.len() as u64);
+        }
+        self.stats.set_distinct(info.id, distinct);
+        // Row count may have drifted if stats were bypassed; resync.
+        self.stats.entry(info.id).rows = rows.len() as u64;
+        Ok(())
+    }
+
+    // -- Index plumbing (used by dml and exec) --------------------------------
+
+    /// Build the key bytes for an index entry of `tuple`.
+    pub(crate) fn index_key(idx: &IndexInfo, tuple: &Tuple) -> Vec<u8> {
+        let vals: Vec<Value> = idx.columns.iter().map(|&i| tuple.values[i].clone()).collect();
+        Value::encode_composite(&vals)
+    }
+
+    pub(crate) fn index_insert(
+        &mut self,
+        idx: &IndexInfo,
+        tuple: &Tuple,
+        rid: Rid,
+    ) -> RelResult<()> {
+        let key = Self::index_key(idx, tuple);
+        match self.indexes.get_mut(&idx.name).expect("handle exists") {
+            IndexHandle::BTree(t) => {
+                if idx.unique {
+                    t.insert(&mut self.pool, &key, rid).map_err(|e| match e {
+                        wow_storage::StorageError::DuplicateKey => {
+                            RelError::UniqueViolation(idx.name.clone())
+                        }
+                        other => other.into(),
+                    })?;
+                } else {
+                    let ck = wow_storage::btree::composite_key(&key, rid);
+                    t.insert(&mut self.pool, &ck, rid)?;
+                }
+            }
+            IndexHandle::Hash(h) => {
+                if idx.unique && !h.lookup(&mut self.pool, &key)?.is_empty() {
+                    return Err(RelError::UniqueViolation(idx.name.clone()));
+                }
+                h.insert(&mut self.pool, &key, rid)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn index_delete(
+        &mut self,
+        idx: &IndexInfo,
+        tuple: &Tuple,
+        rid: Rid,
+    ) -> RelResult<()> {
+        let key = Self::index_key(idx, tuple);
+        match self.indexes.get_mut(&idx.name).expect("handle exists") {
+            IndexHandle::BTree(t) => {
+                if idx.unique {
+                    t.delete(&mut self.pool, &key, rid)?;
+                } else {
+                    let ck = wow_storage::btree::composite_key(&key, rid);
+                    t.delete(&mut self.pool, &ck, rid)?;
+                }
+            }
+            IndexHandle::Hash(h) => {
+                h.delete(&mut self.pool, &key, rid)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Probe an index for exact-match rids on `values` (the index's full
+    /// column list).
+    pub fn index_lookup(&mut self, index_name: &str, values: &[Value]) -> RelResult<Vec<Rid>> {
+        let idx = self.catalog.index(index_name)?.clone();
+        let key = Value::encode_composite(values);
+        self.counters.index_probes += 1;
+        match self.indexes.get_mut(&idx.name).expect("handle exists") {
+            IndexHandle::BTree(t) => {
+                if idx.unique {
+                    Ok(t.lookup(&mut self.pool, &key)?)
+                } else {
+                    Ok(t.lookup_prefix(&mut self.pool, &key)?)
+                }
+            }
+            IndexHandle::Hash(h) => Ok(h.lookup(&mut self.pool, &key)?),
+        }
+    }
+
+    /// Fetch one *page* of index entries in key order, starting strictly
+    /// after `after` (pass `None` to start at the beginning). Returns up to
+    /// `limit` `(key, rid)` pairs. This is the incremental access path that
+    /// browse cursors page through — cost is proportional to the page, not
+    /// the relation.
+    pub fn index_scan_page(
+        &mut self,
+        index: &str,
+        after: Option<&[u8]>,
+        limit: usize,
+    ) -> RelResult<Vec<(Vec<u8>, Rid)>> {
+        let idx = self.catalog.index(index)?.clone();
+        let IndexHandle::BTree(tree) = self.indexes.get(&idx.name).expect("handle exists")
+        else {
+            return Err(RelError::Unsupported(
+                "ordered paging requires a B+tree index".into(),
+            ));
+        };
+        self.counters.index_probes += 1;
+        let mut out = Vec::with_capacity(limit);
+        let lower = match after {
+            Some(k) => std::ops::Bound::Excluded(k),
+            None => std::ops::Bound::Unbounded,
+        };
+        tree.range_scan(&mut self.pool, lower, std::ops::Bound::Unbounded, |k, rid| {
+            out.push((k.to_vec(), rid));
+            out.len() < limit
+        })?;
+        Ok(out)
+    }
+
+    // -- Transactions ----------------------------------------------------------
+
+    /// Begin an explicit transaction.
+    pub fn begin(&mut self) -> RelResult<TxnId> {
+        if self.txn.current.is_some() {
+            return Err(RelError::Txn("transaction already open"));
+        }
+        let id = self.txn.next;
+        self.txn.next += 1;
+        self.txn.current = Some(id);
+        self.txn.undo.clear();
+        if let Some(wal) = &mut self.wal {
+            wal.append(&wow_storage::wal::LogRecord::Begin { txn: id })?;
+        }
+        Ok(id)
+    }
+
+    /// Commit the open transaction (durable if a WAL is attached).
+    pub fn commit(&mut self) -> RelResult<()> {
+        let Some(id) = self.txn.current.take() else {
+            return Err(RelError::Txn("no open transaction"));
+        };
+        self.txn.undo.clear();
+        if let Some(wal) = &mut self.wal {
+            wal.append(&wow_storage::wal::LogRecord::Commit { txn: id })?;
+            wal.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Abort the open transaction, rolling back its data changes.
+    pub fn abort(&mut self) -> RelResult<()> {
+        let Some(id) = self.txn.current.take() else {
+            return Err(RelError::Txn("no open transaction"));
+        };
+        let undo = std::mem::take(&mut self.txn.undo);
+        for op in undo.into_iter().rev() {
+            self.apply_undo(op)?;
+        }
+        if let Some(wal) = &mut self.wal {
+            wal.append(&wow_storage::wal::LogRecord::Abort { txn: id })?;
+        }
+        Ok(())
+    }
+
+    /// The transaction id DML should log under: the open transaction, or a
+    /// fresh auto-commit id. Returns `(txn, auto_commit)`.
+    pub(crate) fn dml_txn(&mut self) -> (TxnId, bool) {
+        match self.txn.current {
+            Some(id) => (id, false),
+            None => {
+                let id = self.txn.next;
+                self.txn.next += 1;
+                (id, true)
+            }
+        }
+    }
+
+    fn apply_undo(&mut self, op: UndoOp) -> RelResult<()> {
+        match op {
+            UndoOp::Insert { table, rid } => {
+                // Reverse of insert: physically delete, maintain indexes.
+                if let Some(tuple) = self.get_row(table, rid)? {
+                    let info = self.catalog.table_by_id(table)?.clone();
+                    for idx_name in &info.indexes {
+                        let idx = self.catalog.index(idx_name)?.clone();
+                        self.index_delete(&idx, &tuple, rid)?;
+                    }
+                    let heap = self.heaps.get_mut(&table).expect("heap exists");
+                    heap.delete(&mut self.pool, rid)?;
+                    self.stats.on_delete(table, 1);
+                }
+            }
+            UndoOp::Update { table, rid, old } => {
+                if let Some(new) = self.get_row(table, rid)? {
+                    let info = self.catalog.table_by_id(table)?.clone();
+                    for idx_name in &info.indexes {
+                        let idx = self.catalog.index(idx_name)?.clone();
+                        self.index_delete(&idx, &new, rid)?;
+                        self.index_insert(&idx, &old, rid)?;
+                    }
+                    let heap = self.heaps.get_mut(&table).expect("heap exists");
+                    heap.update(&mut self.pool, rid, &old.encode())?;
+                }
+            }
+            UndoOp::Delete { table, rid: _, old } => {
+                // Reverse of delete: re-insert. The rid may change; indexes
+                // are rebuilt against the new rid.
+                let heap = self.heaps.get_mut(&table).expect("heap exists");
+                let new_rid = heap.insert(&mut self.pool, &old.encode())?;
+                let info = self.catalog.table_by_id(table)?.clone();
+                for idx_name in &info.indexes {
+                    let idx = self.catalog.index(idx_name)?.clone();
+                    self.index_insert(&idx, &old, new_rid)?;
+                }
+                self.stats.on_insert(table, 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush all dirty pages (and the WAL) to the backing store.
+    pub fn checkpoint(&mut self) -> RelResult<()> {
+        if let Some(wal) = &mut self.wal {
+            wal.flush()?;
+        }
+        self.pool.flush_all()?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statement execution (the QUEL front door)
+// ---------------------------------------------------------------------------
+
+impl Database {
+    /// Parse and execute a QUEL program. Returns the rows of the *last*
+    /// `RETRIEVE` (or `EXPLAIN`) in the program; other statements return an
+    /// empty result.
+    pub fn run(&mut self, src: &str) -> RelResult<crate::exec::Rows> {
+        use crate::quel::Statement;
+        let stmts = crate::quel::parse_program(src)?;
+        let mut last = crate::exec::Rows::empty(Schema::default());
+        for stmt in stmts {
+            match stmt {
+                Statement::CreateTable { name, columns } => {
+                    let mut cols = Vec::with_capacity(columns.len());
+                    let mut key: Vec<String> = Vec::new();
+                    for c in &columns {
+                        cols.push(if c.not_null {
+                            crate::schema::Column::not_null(c.name.clone(), c.ty)
+                        } else {
+                            crate::schema::Column::new(c.name.clone(), c.ty)
+                        });
+                        if c.key {
+                            key.push(c.name.clone());
+                        }
+                    }
+                    let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
+                    self.create_table(&name, Schema::new(cols), &key_refs)?;
+                }
+                Statement::CreateIndex { name, table, column, kind, unique } => {
+                    self.create_index(&name, &table, &column, kind, unique)?;
+                }
+                Statement::DropTable(name) => self.drop_table(&name)?,
+                Statement::DropIndex(name) => self.drop_index(&name)?,
+                Statement::RangeOf { var, table } => self.declare_range(&var, &table)?,
+                Statement::Retrieve(r) => {
+                    let block = crate::plan::build_query_block(self, &r)?;
+                    let plan = crate::plan::optimize(self, &block)?;
+                    last = crate::exec::execute(self, &plan)?;
+                    self.counters.statements += 1;
+                }
+                Statement::Explain(r) => {
+                    let block = crate::plan::build_query_block(self, &r)?;
+                    let plan = crate::plan::optimize(self, &block)?;
+                    last = crate::exec::Rows {
+                        schema: Schema::new(vec![crate::schema::Column::new(
+                            "plan",
+                            crate::types::DataType::Text,
+                        )]),
+                        tuples: plan
+                            .explain()
+                            .lines()
+                            .map(|l| Tuple::new(vec![Value::text(l)]))
+                            .collect(),
+                    };
+                }
+                Statement::Append { table, assigns } => {
+                    self.exec_append(&table, &assigns)?;
+                }
+                Statement::Replace { var, assigns, where_ } => {
+                    self.exec_replace(&var, &assigns, where_.as_ref())?;
+                }
+                Statement::Delete { var, where_ } => {
+                    self.exec_delete(&var, where_.as_ref())?;
+                }
+                Statement::Begin => {
+                    self.begin()?;
+                }
+                Statement::Commit => self.commit()?,
+                Statement::Abort => self.abort()?,
+                Statement::Analyze(table) => self.analyze(&table)?,
+            }
+        }
+        Ok(last)
+    }
+
+    fn exec_append(
+        &mut self,
+        table: &str,
+        assigns: &[(String, crate::expr::Expr)],
+    ) -> RelResult<()> {
+        let info = self.catalog.table(table)?.clone();
+        let empty = Tuple::default();
+        let mut values = vec![Value::Null; info.schema.len()];
+        for (col, expr) in assigns {
+            let i = info.schema.resolve(col)?;
+            if !expr.is_constant() {
+                return Err(RelError::Unsupported(format!(
+                    "APPEND value for `{col}` must be constant"
+                )));
+            }
+            values[i] = crate::eval::eval(expr, &empty)?;
+        }
+        self.insert(table, values)?;
+        Ok(())
+    }
+
+    /// Rows of `var`'s table matching `where_`, as `(rid, tuple)` pairs.
+    pub(crate) fn matching_rows(
+        &mut self,
+        var: &str,
+        where_: Option<&crate::expr::Expr>,
+    ) -> RelResult<(String, Vec<(Rid, Tuple)>)> {
+        let table = self.range_table(var)?.to_string();
+        let info = self.catalog.table(&table)?.clone();
+        let qualified = info.schema.qualified(var);
+        let pred = match where_ {
+            Some(w) => Some(w.clone().resolve(&qualified)?),
+            None => None,
+        };
+        let rows = self.scan_table_raw(info.id)?;
+        let mut hits = Vec::new();
+        for (rid, t) in rows {
+            let keep = match &pred {
+                Some(p) => crate::eval::eval_pred(p, &t)?,
+                None => true,
+            };
+            if keep {
+                hits.push((rid, t));
+            }
+        }
+        Ok((table, hits))
+    }
+
+    fn exec_replace(
+        &mut self,
+        var: &str,
+        assigns: &[(String, crate::expr::Expr)],
+        where_: Option<&crate::expr::Expr>,
+    ) -> RelResult<u64> {
+        let (table, hits) = self.matching_rows(var, where_)?;
+        let info = self.catalog.table(&table)?.clone();
+        let qualified = info.schema.qualified(var);
+        // Resolve assignment expressions once against the qualified schema.
+        let mut resolved: Vec<(usize, crate::expr::Expr)> = Vec::with_capacity(assigns.len());
+        for (col, expr) in assigns {
+            let i = info.schema.resolve(col)?;
+            resolved.push((i, expr.clone().resolve(&qualified)?));
+        }
+        let mut n = 0;
+        for (rid, tuple) in hits {
+            let mut new_vals = tuple.values.clone();
+            for (i, expr) in &resolved {
+                new_vals[*i] = crate::eval::eval(expr, &tuple)?;
+            }
+            if self.update_rid(&table, rid, new_vals)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    fn exec_delete(
+        &mut self,
+        var: &str,
+        where_: Option<&crate::expr::Expr>,
+    ) -> RelResult<u64> {
+        let (table, hits) = self.matching_rows(var, where_)?;
+        let mut n = 0;
+        for (rid, _) in hits {
+            if self.delete_rid(&table, rid)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::types::DataType;
+
+    fn emp_schema() -> Schema {
+        Schema::new(vec![
+            Column::not_null("name", DataType::Text),
+            Column::new("dept", DataType::Text),
+            Column::new("salary", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn create_table_makes_pk_index() {
+        let mut db = Database::in_memory();
+        db.create_table("emp", emp_schema(), &["name"]).unwrap();
+        let info = db.catalog().table("emp").unwrap();
+        assert_eq!(info.key, vec![0]);
+        assert_eq!(info.indexes, vec!["pk_emp"]);
+        let idx = db.catalog().index("pk_emp").unwrap();
+        assert!(idx.unique);
+        assert_eq!(idx.kind, IndexKind::BTree);
+    }
+
+    #[test]
+    fn duplicate_table_is_rejected() {
+        let mut db = Database::in_memory();
+        db.create_table("emp", emp_schema(), &[]).unwrap();
+        assert!(db.create_table("emp", emp_schema(), &[]).is_err());
+    }
+
+    #[test]
+    fn bad_key_column_is_rejected() {
+        let mut db = Database::in_memory();
+        assert!(db.create_table("emp", emp_schema(), &["bogus"]).is_err());
+    }
+
+    #[test]
+    fn range_declarations() {
+        let mut db = Database::in_memory();
+        db.create_table("emp", emp_schema(), &[]).unwrap();
+        db.declare_range("e", "emp").unwrap();
+        assert_eq!(db.range_table("e").unwrap(), "emp");
+        assert!(db.declare_range("x", "nope").is_err());
+        assert!(db.range_table("z").is_err());
+        db.drop_table("emp").unwrap();
+        assert!(db.range_table("e").is_err(), "range dies with its table");
+    }
+
+    #[test]
+    fn txn_misuse_errors() {
+        let mut db = Database::in_memory();
+        assert!(db.commit().is_err());
+        assert!(db.abort().is_err());
+        db.begin().unwrap();
+        assert!(db.begin().is_err());
+        db.commit().unwrap();
+    }
+
+    #[test]
+    fn drop_table_frees_everything() {
+        let mut db = Database::in_memory();
+        db.create_table("emp", emp_schema(), &["name"]).unwrap();
+        db.create_index("by_dept", "emp", "dept", IndexKind::Hash, false)
+            .unwrap();
+        db.drop_table("emp").unwrap();
+        assert!(db.catalog().table("emp").is_err());
+        assert!(db.catalog().index("pk_emp").is_err());
+        assert!(db.catalog().index("by_dept").is_err());
+        // Name can be reused.
+        db.create_table("emp", emp_schema(), &["name"]).unwrap();
+    }
+}

@@ -1,0 +1,111 @@
+//! Errors produced by the relational engine.
+
+use std::fmt;
+use wow_storage::StorageError;
+
+/// Result alias for the relational engine.
+pub type RelResult<T> = Result<T, RelError>;
+
+/// Errors produced while planning or executing statements.
+#[derive(Debug)]
+pub enum RelError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// A named table does not exist.
+    NoSuchTable(String),
+    /// A named column does not exist in the referenced relation.
+    NoSuchColumn(String),
+    /// A named range variable was not declared with `RANGE OF`.
+    NoSuchRange(String),
+    /// A named index does not exist.
+    NoSuchIndex(String),
+    /// A table/index with this name already exists.
+    AlreadyExists(String),
+    /// A value's type did not match the column or operator expectation.
+    TypeMismatch { expected: String, got: String },
+    /// NULL supplied for a NOT NULL column.
+    NullViolation(String),
+    /// A duplicate primary-key / unique-index value.
+    UniqueViolation(String),
+    /// Syntax error in a QUEL statement.
+    Parse { pos: usize, message: String },
+    /// Statement is valid but unsupported (documented dialect limits).
+    Unsupported(String),
+    /// Division by zero or similar runtime arithmetic failure.
+    Arithmetic(&'static str),
+    /// Transaction misuse (commit without begin, nested begin, ...).
+    Txn(&'static str),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::Storage(e) => write!(f, "storage: {e}"),
+            RelError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            RelError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            RelError::NoSuchRange(r) => write!(f, "no such range variable: {r}"),
+            RelError::NoSuchIndex(i) => write!(f, "no such index: {i}"),
+            RelError::AlreadyExists(n) => write!(f, "already exists: {n}"),
+            RelError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            RelError::NullViolation(c) => write!(f, "column {c} may not be NULL"),
+            RelError::UniqueViolation(k) => write!(f, "duplicate key: {k}"),
+            RelError::Parse { pos, message } => {
+                write!(f, "parse error at byte {pos}: {message}")
+            }
+            RelError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            RelError::Arithmetic(what) => write!(f, "arithmetic error: {what}"),
+            RelError::Txn(what) => write!(f, "transaction error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for RelError {
+    fn from(e: StorageError) -> Self {
+        RelError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            RelError::NoSuchTable("emp".into()).to_string(),
+            "no such table: emp"
+        );
+        assert_eq!(
+            RelError::TypeMismatch {
+                expected: "INT".into(),
+                got: "TEXT".into()
+            }
+            .to_string(),
+            "type mismatch: expected INT, got TEXT"
+        );
+        assert!(RelError::Parse {
+            pos: 7,
+            message: "expected )".into()
+        }
+        .to_string()
+        .contains("byte 7"));
+    }
+
+    #[test]
+    fn storage_errors_convert() {
+        let e: RelError = StorageError::DuplicateKey.into();
+        assert!(matches!(e, RelError::Storage(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

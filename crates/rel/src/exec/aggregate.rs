@@ -1,0 +1,427 @@
+//! Grouping and aggregation.
+
+use super::Rows;
+use crate::error::{RelError, RelResult};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::types::DataType;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Count of non-null inputs (or of rows, when the input column is none).
+    Count,
+    /// Sum of numeric inputs.
+    Sum,
+    /// Mean of numeric inputs.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AggFunc {
+    /// Parse an aggregate keyword.
+    pub fn from_keyword(word: &str) -> Option<AggFunc> {
+        match word.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Keyword form.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// One aggregate to compute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column in the child schema (`None` = COUNT(*) style).
+    pub input: Option<usize>,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggSpec {
+    /// Output type of this aggregate given the input schema.
+    pub fn output_type(&self, input_schema: &Schema) -> DataType {
+        match self.func {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => self
+                .input
+                .and_then(|i| input_schema.columns.get(i))
+                .map(|c| c.ty)
+                .unwrap_or(DataType::Int),
+        }
+    }
+}
+
+/// Running state for one aggregate in one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    SumInt(i64, bool),
+    SumFloat(f64, bool),
+    Avg(f64, i64),
+    MinMax(Option<Value>, bool /* is_min */),
+}
+
+impl AggState {
+    fn new(spec: &AggSpec, input_schema: &Schema) -> AggState {
+        match spec.func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => {
+                let is_int = spec
+                    .input
+                    .and_then(|i| input_schema.columns.get(i))
+                    .map(|c| c.ty == DataType::Int)
+                    .unwrap_or(true);
+                if is_int {
+                    AggState::SumInt(0, false)
+                } else {
+                    AggState::SumFloat(0.0, false)
+                }
+            }
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+            AggFunc::Min => AggState::MinMax(None, true),
+            AggFunc::Max => AggState::MinMax(None, false),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> RelResult<()> {
+        match self {
+            AggState::Count(n) => {
+                // COUNT(*) counts rows; COUNT(col) counts non-nulls.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            AggState::SumInt(acc, any) => {
+                if let Some(val) = v {
+                    match val {
+                        Value::Null => {}
+                        Value::Int(i) => {
+                            *acc = acc
+                                .checked_add(*i)
+                                .ok_or(RelError::Arithmetic("SUM overflow"))?;
+                            *any = true;
+                        }
+                        other => {
+                            return Err(RelError::TypeMismatch {
+                                expected: "INT".into(),
+                                got: other.type_name().into(),
+                            })
+                        }
+                    }
+                }
+            }
+            AggState::SumFloat(acc, any) => {
+                if let Some(val) = v {
+                    match val.as_f64() {
+                        Some(f) => {
+                            *acc += f;
+                            *any = true;
+                        }
+                        None if val.is_null() => {}
+                        None => {
+                            return Err(RelError::TypeMismatch {
+                                expected: "numeric".into(),
+                                got: val.type_name().into(),
+                            })
+                        }
+                    }
+                }
+            }
+            AggState::Avg(acc, n) => {
+                if let Some(val) = v {
+                    match val.as_f64() {
+                        Some(f) => {
+                            *acc += f;
+                            *n += 1;
+                        }
+                        None if val.is_null() => {}
+                        None => {
+                            return Err(RelError::TypeMismatch {
+                                expected: "numeric".into(),
+                                got: val.type_name().into(),
+                            })
+                        }
+                    }
+                }
+            }
+            AggState::MinMax(best, is_min) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let better = match best {
+                            None => true,
+                            Some(b) => {
+                                let ord = val.total_cmp(b);
+                                if *is_min {
+                                    ord == std::cmp::Ordering::Less
+                                } else {
+                                    ord == std::cmp::Ordering::Greater
+                                }
+                            }
+                        };
+                        if better {
+                            *best = Some(val.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::SumInt(acc, any) => {
+                if any {
+                    Value::Int(acc)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::SumFloat(acc, any) => {
+                if any {
+                    Value::Float(acc)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::Avg(acc, n) => {
+                if n > 0 {
+                    Value::Float(acc / n as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            AggState::MinMax(best, _) => best.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Execute grouping + aggregation over materialized input rows.
+///
+/// With an empty `group_by`, exactly one output row is produced even for
+/// empty input (COUNT = 0, other aggregates NULL) — SQL semantics. Group
+/// output order follows first-appearance order of each group, which keeps
+/// results deterministic.
+pub fn aggregate(
+    schema: Schema,
+    input: &Rows,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+) -> RelResult<Rows> {
+    let mut order: Vec<Vec<u8>> = Vec::new();
+    let mut groups: HashMap<Vec<u8>, (Vec<Value>, Vec<AggState>)> = HashMap::new();
+    if group_by.is_empty() {
+        let states: Vec<AggState> = aggs
+            .iter()
+            .map(|a| AggState::new(a, &input.schema))
+            .collect();
+        order.push(Vec::new());
+        groups.insert(Vec::new(), (Vec::new(), states));
+    }
+    for t in &input.tuples {
+        let key_vals: Vec<Value> = group_by.iter().map(|&g| t.values[g].clone()).collect();
+        let key = Value::encode_composite(&key_vals);
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (
+                key_vals,
+                aggs.iter().map(|a| AggState::new(a, &input.schema)).collect(),
+            )
+        });
+        for (spec, state) in aggs.iter().zip(entry.1.iter_mut()) {
+            state.update(spec.input.map(|i| &t.values[i]))?;
+        }
+    }
+    let mut tuples = Vec::with_capacity(order.len());
+    for key in order {
+        let (key_vals, states) = groups.remove(&key).expect("group recorded");
+        let mut vals = key_vals;
+        vals.extend(states.into_iter().map(AggState::finish));
+        tuples.push(Tuple::new(vals));
+    }
+    Ok(Rows { schema, tuples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn input() -> Rows {
+        Rows {
+            schema: Schema::new(vec![
+                Column::new("dept", DataType::Text),
+                Column::new("salary", DataType::Int),
+            ]),
+            tuples: vec![
+                Tuple::new(vec![Value::text("toy"), Value::Int(120)]),
+                Tuple::new(vec![Value::text("shoe"), Value::Int(90)]),
+                Tuple::new(vec![Value::text("toy"), Value::Int(150)]),
+                Tuple::new(vec![Value::text("shoe"), Value::Null]),
+            ],
+        }
+    }
+
+    fn out_schema(group: &[usize], aggs: &[AggSpec], input: &Rows) -> Schema {
+        let mut cols: Vec<Column> = group
+            .iter()
+            .map(|&g| input.schema.column(g).clone())
+            .collect();
+        for a in aggs {
+            cols.push(Column::new(a.name.clone(), a.output_type(&input.schema)));
+        }
+        Schema::new(cols)
+    }
+
+    #[test]
+    fn grouped_sum_count_avg() {
+        let rows = input();
+        let aggs = vec![
+            AggSpec { func: AggFunc::Sum, input: Some(1), name: "total".into() },
+            AggSpec { func: AggFunc::Count, input: Some(1), name: "n".into() },
+            AggSpec { func: AggFunc::Avg, input: Some(1), name: "mean".into() },
+        ];
+        let schema = out_schema(&[0], &aggs, &rows);
+        let out = aggregate(schema, &rows, &[0], &aggs).unwrap();
+        assert_eq!(out.len(), 2);
+        // First-appearance order: toy then shoe.
+        assert_eq!(out.tuples[0].values[0], Value::text("toy"));
+        assert_eq!(out.tuples[0].values[1], Value::Int(270));
+        assert_eq!(out.tuples[0].values[2], Value::Int(2));
+        assert_eq!(out.tuples[0].values[3], Value::Float(135.0));
+        // shoe: one null salary → COUNT(col)=1, SUM=90.
+        assert_eq!(out.tuples[1].values[1], Value::Int(90));
+        assert_eq!(out.tuples[1].values[2], Value::Int(1));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let rows = Rows::empty(input().schema);
+        let aggs = vec![
+            AggSpec { func: AggFunc::Count, input: None, name: "n".into() },
+            AggSpec { func: AggFunc::Sum, input: Some(1), name: "s".into() },
+            AggSpec { func: AggFunc::Min, input: Some(1), name: "lo".into() },
+        ];
+        let schema = out_schema(&[], &aggs, &rows);
+        let out = aggregate(schema, &rows, &[], &aggs).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples[0].values[0], Value::Int(0));
+        assert!(out.tuples[0].values[1].is_null());
+        assert!(out.tuples[0].values[2].is_null());
+    }
+
+    #[test]
+    fn count_star_counts_null_rows() {
+        let rows = input();
+        let aggs = vec![
+            AggSpec { func: AggFunc::Count, input: None, name: "all".into() },
+            AggSpec { func: AggFunc::Count, input: Some(1), name: "nonnull".into() },
+        ];
+        let schema = out_schema(&[], &aggs, &rows);
+        let out = aggregate(schema, &rows, &[], &aggs).unwrap();
+        assert_eq!(out.tuples[0].values[0], Value::Int(4));
+        assert_eq!(out.tuples[0].values[1], Value::Int(3));
+    }
+
+    #[test]
+    fn min_max() {
+        let rows = input();
+        let aggs = vec![
+            AggSpec { func: AggFunc::Min, input: Some(1), name: "lo".into() },
+            AggSpec { func: AggFunc::Max, input: Some(1), name: "hi".into() },
+        ];
+        let schema = out_schema(&[], &aggs, &rows);
+        let out = aggregate(schema, &rows, &[], &aggs).unwrap();
+        assert_eq!(out.tuples[0].values[0], Value::Int(90));
+        assert_eq!(out.tuples[0].values[1], Value::Int(150));
+    }
+
+    #[test]
+    fn min_max_on_text() {
+        let rows = input();
+        let aggs = vec![
+            AggSpec { func: AggFunc::Min, input: Some(0), name: "first".into() },
+            AggSpec { func: AggFunc::Max, input: Some(0), name: "last".into() },
+        ];
+        let schema = out_schema(&[], &aggs, &rows);
+        let out = aggregate(schema, &rows, &[], &aggs).unwrap();
+        assert_eq!(out.tuples[0].values[0], Value::text("shoe"));
+        assert_eq!(out.tuples[0].values[1], Value::text("toy"));
+    }
+
+    #[test]
+    fn sum_type_error_is_reported() {
+        let rows = input();
+        let aggs = vec![AggSpec {
+            func: AggFunc::Sum,
+            input: Some(0),
+            name: "bad".into(),
+        }];
+        let schema = out_schema(&[], &aggs, &rows);
+        // Column 0 is TEXT but the state was built expecting numeric — the
+        // engine reports a type mismatch instead of silently mangling data.
+        assert!(aggregate(schema, &rows, &[], &aggs).is_err());
+    }
+
+    #[test]
+    fn sum_over_floats() {
+        let rows = Rows {
+            schema: Schema::new(vec![Column::new("x", DataType::Float)]),
+            tuples: vec![
+                Tuple::new(vec![Value::Float(1.5)]),
+                Tuple::new(vec![Value::Float(2.5)]),
+            ],
+        };
+        let aggs = vec![AggSpec { func: AggFunc::Sum, input: Some(0), name: "s".into() }];
+        let schema = out_schema(&[], &aggs, &rows);
+        let out = aggregate(schema, &rows, &[], &aggs).unwrap();
+        assert_eq!(out.tuples[0].values[0], Value::Float(4.0));
+    }
+
+    #[test]
+    fn group_by_null_values_forms_a_group() {
+        let rows = Rows {
+            schema: Schema::new(vec![
+                Column::new("g", DataType::Text),
+                Column::new("x", DataType::Int),
+            ]),
+            tuples: vec![
+                Tuple::new(vec![Value::Null, Value::Int(1)]),
+                Tuple::new(vec![Value::Null, Value::Int(2)]),
+                Tuple::new(vec![Value::text("a"), Value::Int(3)]),
+            ],
+        };
+        let aggs = vec![AggSpec { func: AggFunc::Sum, input: Some(1), name: "s".into() }];
+        let schema = out_schema(&[0], &aggs, &rows);
+        let out = aggregate(schema, &rows, &[0], &aggs).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.tuples[0].values[0].is_null());
+        assert_eq!(out.tuples[0].values[1], Value::Int(3));
+    }
+}

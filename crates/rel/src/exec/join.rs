@@ -1,0 +1,279 @@
+//! Join operators: nested-loop (baseline) and hash equi-join.
+
+use super::Rows;
+use crate::db::Database;
+use crate::error::RelResult;
+use crate::eval::eval_pred;
+use crate::expr::Expr;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Nested-loop join: for every left tuple, test every right tuple.
+///
+/// This is the join the 1983 substrate would have used for arbitrary
+/// predicates, and the baseline Figure 2 compares hash join against.
+pub fn nested_loop(
+    db: &mut Database,
+    schema: Schema,
+    left: &Rows,
+    right: &Rows,
+    pred: Option<&Expr>,
+) -> RelResult<Rows> {
+    let mut tuples = Vec::new();
+    for l in &left.tuples {
+        for r in &right.tuples {
+            let joined = l.concat(r);
+            let keep = match pred {
+                Some(p) => eval_pred(p, &joined)?,
+                None => true,
+            };
+            if keep {
+                tuples.push(joined);
+            }
+        }
+    }
+    db.counters.join_rows += tuples.len() as u64;
+    Ok(Rows { schema, tuples })
+}
+
+/// Hash equi-join: build a table on the right input, probe with the left.
+///
+/// NULL keys never join (SQL semantics). An optional residual predicate is
+/// applied to surviving pairs.
+pub fn hash_join(
+    db: &mut Database,
+    schema: Schema,
+    left: &Rows,
+    right: &Rows,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    residual: Option<&Expr>,
+) -> RelResult<Rows> {
+    // Build phase: hash the right side by encoded key bytes.
+    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(right.tuples.len());
+    'build: for (i, r) in right.tuples.iter().enumerate() {
+        let mut key_vals = Vec::with_capacity(right_keys.len());
+        for &k in right_keys {
+            let v = &r.values[k];
+            if v.is_null() {
+                continue 'build;
+            }
+            key_vals.push(v.clone());
+        }
+        table
+            .entry(Value::encode_composite(&key_vals))
+            .or_default()
+            .push(i);
+    }
+    // Probe phase.
+    let mut tuples = Vec::new();
+    'probe: for l in &left.tuples {
+        let mut key_vals = Vec::with_capacity(left_keys.len());
+        for &k in left_keys {
+            let v = &l.values[k];
+            if v.is_null() {
+                continue 'probe;
+            }
+            key_vals.push(v.clone());
+        }
+        let key = Value::encode_composite(&key_vals);
+        if let Some(matches) = table.get(&key) {
+            for &ri in matches {
+                let joined = l.concat(&right.tuples[ri]);
+                let keep = match residual {
+                    Some(p) => eval_pred(p, &joined)?,
+                    None => true,
+                };
+                if keep {
+                    tuples.push(joined);
+                }
+            }
+        }
+    }
+    db.counters.join_rows += tuples.len() as u64;
+    Ok(Rows { schema, tuples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::tuple::Tuple;
+    use crate::schema::Column;
+    use crate::types::DataType;
+
+    fn rows(names: &[&str], vals: Vec<Vec<Value>>) -> Rows {
+        Rows {
+            schema: Schema::new(
+                names
+                    .iter()
+                    .map(|n| Column::new(*n, DataType::Int))
+                    .collect(),
+            ),
+            tuples: vals.into_iter().map(Tuple::new).collect(),
+        }
+    }
+
+    fn joined_schema(l: &Rows, r: &Rows) -> Schema {
+        Schema::join(&l.schema, "l", &r.schema, "r")
+    }
+
+    #[test]
+    fn nested_loop_cross_product() {
+        let mut db = Database::in_memory();
+        let l = rows(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let r = rows(
+            &["b"],
+            vec![vec![Value::Int(10)], vec![Value::Int(20)], vec![Value::Int(30)]],
+        );
+        let out = nested_loop(&mut db, joined_schema(&l, &r), &l, &r, None).unwrap();
+        assert_eq!(out.len(), 6);
+        assert_eq!(db.counters().join_rows, 6);
+    }
+
+    #[test]
+    fn nested_loop_with_predicate() {
+        let mut db = Database::in_memory();
+        let l = rows(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let r = rows(&["b"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let pred = Expr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(Expr::Column(0)),
+            right: Box::new(Expr::Column(1)),
+        };
+        let out = nested_loop(&mut db, joined_schema(&l, &r), &l, &r, Some(&pred)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples[0].values, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn hash_join_equi() {
+        let mut db = Database::in_memory();
+        let l = rows(
+            &["id", "x"],
+            vec![
+                vec![Value::Int(1), Value::Int(100)],
+                vec![Value::Int(2), Value::Int(200)],
+                vec![Value::Int(3), Value::Int(300)],
+            ],
+        );
+        let r = rows(
+            &["id", "y"],
+            vec![
+                vec![Value::Int(2), Value::Int(-2)],
+                vec![Value::Int(3), Value::Int(-3)],
+                vec![Value::Int(3), Value::Int(-33)],
+                vec![Value::Int(4), Value::Int(-4)],
+            ],
+        );
+        let out = hash_join(&mut db, joined_schema(&l, &r), &l, &r, &[0], &[0], None).unwrap();
+        assert_eq!(out.len(), 3, "2 matches once, 3 matches twice");
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let mut db = Database::in_memory();
+        let l = rows(
+            &["k"],
+            (0..50).map(|i| vec![Value::Int(i % 7)]).collect(),
+        );
+        let r = rows(
+            &["k"],
+            (0..30).map(|i| vec![Value::Int(i % 5)]).collect(),
+        );
+        let pred = Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(Expr::Column(0)),
+            right: Box::new(Expr::Column(1)),
+        };
+        let nl = nested_loop(&mut db, joined_schema(&l, &r), &l, &r, Some(&pred)).unwrap();
+        let hj = hash_join(&mut db, joined_schema(&l, &r), &l, &r, &[0], &[0], None).unwrap();
+        assert_eq!(nl.len(), hj.len());
+        // Same multiset of rows.
+        let canon = |rows: &Rows| {
+            let mut v: Vec<String> = rows.tuples.iter().map(|t| t.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&nl), canon(&hj));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut db = Database::in_memory();
+        let l = rows(&["k"], vec![vec![Value::Null], vec![Value::Int(1)]]);
+        let r = rows(&["k"], vec![vec![Value::Null], vec![Value::Int(1)]]);
+        let out = hash_join(&mut db, joined_schema(&l, &r), &l, &r, &[0], &[0], None).unwrap();
+        assert_eq!(out.len(), 1, "only the 1=1 pair joins");
+    }
+
+    #[test]
+    fn hash_join_residual_filters() {
+        let mut db = Database::in_memory();
+        let l = rows(
+            &["id", "x"],
+            vec![
+                vec![Value::Int(1), Value::Int(5)],
+                vec![Value::Int(1), Value::Int(50)],
+            ],
+        );
+        let r = rows(&["id", "y"], vec![vec![Value::Int(1), Value::Int(10)]]);
+        // residual: l.x < r.y  (columns 1 and 3 of the concatenated row)
+        let residual = Expr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(Expr::Column(1)),
+            right: Box::new(Expr::Column(3)),
+        };
+        let out = hash_join(
+            &mut db,
+            joined_schema(&l, &r),
+            &l,
+            &r,
+            &[0],
+            &[0],
+            Some(&residual),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples[0].values[1], Value::Int(5));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut db = Database::in_memory();
+        let l = rows(&["a"], vec![]);
+        let r = rows(&["b"], vec![vec![Value::Int(1)]]);
+        assert_eq!(
+            nested_loop(&mut db, joined_schema(&l, &r), &l, &r, None)
+                .unwrap()
+                .len(),
+            0
+        );
+        assert_eq!(
+            hash_join(&mut db, joined_schema(&l, &r), &l, &r, &[0], &[0], None)
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn composite_keys() {
+        let mut db = Database::in_memory();
+        let l = rows(
+            &["a", "b"],
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(1), Value::Int(3)],
+            ],
+        );
+        let r = rows(
+            &["a", "b"],
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        );
+        let out =
+            hash_join(&mut db, joined_schema(&l, &r), &l, &r, &[0, 1], &[0, 1], None).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Sorting.
+
+use crate::tuple::Tuple;
+use std::cmp::Ordering;
+
+/// Stable sort of tuples by `(column, ascending)` keys, most significant
+/// first. NULLs sort first in ascending order (and last in descending),
+/// matching the browse-order convention of the forms layer.
+pub fn sort_rows(tuples: &mut [Tuple], keys: &[(usize, bool)]) {
+    tuples.sort_by(|a, b| compare(a, b, keys));
+}
+
+/// The comparison used by [`sort_rows`], exposed for merge-style consumers.
+pub fn compare(a: &Tuple, b: &Tuple, keys: &[(usize, bool)]) -> Ordering {
+    for &(col, asc) in keys {
+        let ord = a.values[col].total_cmp(&b.values[col]);
+        let ord = if asc { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t(a: i64, b: &str) -> Tuple {
+        Tuple::new(vec![Value::Int(a), Value::text(b)])
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let mut rows = vec![t(3, "c"), t(1, "a"), t(2, "b")];
+        sort_rows(&mut rows, &[(0, true)]);
+        let got: Vec<i64> = rows
+            .iter()
+            .map(|r| match r.values[0] {
+                Value::Int(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn descending_and_secondary_key() {
+        let mut rows = vec![t(1, "b"), t(2, "a"), t(1, "a"), t(2, "b")];
+        sort_rows(&mut rows, &[(0, false), (1, true)]);
+        let got: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+        assert_eq!(got, vec!["(2, \"a\")", "(2, \"b\")", "(1, \"a\")", "(1, \"b\")"]);
+    }
+
+    #[test]
+    fn nulls_sort_first_ascending() {
+        let mut rows = vec![
+            Tuple::new(vec![Value::Int(1)]),
+            Tuple::new(vec![Value::Null]),
+            Tuple::new(vec![Value::Int(0)]),
+        ];
+        sort_rows(&mut rows, &[(0, true)]);
+        assert!(rows[0].values[0].is_null());
+        sort_rows(&mut rows, &[(0, false)]);
+        assert!(rows[2].values[0].is_null());
+    }
+
+    #[test]
+    fn stability_preserved_on_ties() {
+        let mut rows = vec![t(1, "first"), t(1, "second"), t(1, "third")];
+        sort_rows(&mut rows, &[(0, true)]);
+        assert_eq!(rows[0].values[1], Value::text("first"));
+        assert_eq!(rows[2].values[1], Value::text("third"));
+    }
+
+    #[test]
+    fn empty_keys_is_identity() {
+        let mut rows = vec![t(2, "x"), t(1, "y")];
+        sort_rows(&mut rows, &[]);
+        assert_eq!(rows[0].values[0], Value::Int(2));
+    }
+}

@@ -1,0 +1,478 @@
+//! Scalar expressions.
+//!
+//! The parser produces expressions with *named* column references
+//! ([`Expr::ColumnRef`]); binding against a schema (see [`Expr::resolve`])
+//! rewrites them to positional [`Expr::Column`] references which is what the
+//! evaluator requires.
+
+use crate::error::{RelError, RelResult};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl BinOp {
+    /// Whether this operator is a comparison.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Whether this operator is arithmetic.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+
+    /// The comparison with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> BinOp {
+        match self {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        }
+    }
+
+    /// Display token.
+    pub fn token(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical `NOT`.
+    Not,
+    /// Numeric negation.
+    Neg,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Resolved column reference (index into the input tuple).
+    Column(usize),
+    /// Unresolved column reference (name, possibly qualified `e.salary`).
+    ColumnRef(String),
+    /// A constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Glob-style pattern match (`*` any run, `?` one char), the INGRES
+    /// pattern dialect.
+    Like {
+        /// The text expression being matched.
+        expr: Box<Expr>,
+        /// The pattern.
+        pattern: String,
+    },
+    /// `IS NULL` test (negate with [`UnOp::Not`]).
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand: equality between a column ref and a literal.
+    pub fn col_eq(name: &str, v: Value) -> Expr {
+        Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(Expr::ColumnRef(name.to_string())),
+            right: Box::new(Expr::Literal(v)),
+        }
+    }
+
+    /// Shorthand: conjunction of two expressions.
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Fold a list of conjuncts back into one expression (`true` if empty).
+    pub fn conjunction(mut parts: Vec<Expr>) -> Expr {
+        match parts.len() {
+            0 => Expr::Literal(Value::Bool(true)),
+            1 => parts.pop().unwrap(),
+            _ => {
+                let mut it = parts.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, Expr::and)
+            }
+        }
+    }
+
+    /// Split a predicate into its top-level AND conjuncts.
+    pub fn split_conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                let mut out = left.split_conjuncts();
+                out.extend(right.split_conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Resolve all [`Expr::ColumnRef`]s against `schema`, producing an
+    /// executable expression.
+    pub fn resolve(self, schema: &Schema) -> RelResult<Expr> {
+        Ok(match self {
+            Expr::ColumnRef(name) => Expr::Column(schema.resolve(&name)?),
+            Expr::Column(i) => Expr::Column(i),
+            Expr::Literal(v) => Expr::Literal(v),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(left.resolve(schema)?),
+                right: Box::new(right.resolve(schema)?),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op,
+                expr: Box::new(expr.resolve(schema)?),
+            },
+            Expr::Like { expr, pattern } => Expr::Like {
+                expr: Box::new(expr.resolve(schema)?),
+                pattern,
+            },
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.resolve(schema)?)),
+        })
+    }
+
+    /// Collect the names of all unresolved column references.
+    pub fn column_names(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::ColumnRef(n) => out.push(n.clone()),
+            Expr::Binary { left, right, .. } => {
+                left.column_names(out);
+                right.column_names(out);
+            }
+            Expr::Unary { expr, .. } => expr.column_names(out),
+            Expr::Like { expr, .. } => expr.column_names(out),
+            Expr::IsNull(e) => e.column_names(out),
+            Expr::Column(_) | Expr::Literal(_) => {}
+        }
+    }
+
+    /// Collect the indexes of all resolved column references.
+    pub fn column_indexes(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Column(i) => out.push(*i),
+            Expr::Binary { left, right, .. } => {
+                left.column_indexes(out);
+                right.column_indexes(out);
+            }
+            Expr::Unary { expr, .. } => expr.column_indexes(out),
+            Expr::Like { expr, .. } => expr.column_indexes(out),
+            Expr::IsNull(e) => e.column_indexes(out),
+            Expr::ColumnRef(_) | Expr::Literal(_) => {}
+        }
+    }
+
+    /// Whether the expression references no columns (safe to pre-evaluate).
+    pub fn is_constant(&self) -> bool {
+        let mut names = Vec::new();
+        self.column_names(&mut names);
+        let mut idx = Vec::new();
+        self.column_indexes(&mut idx);
+        names.is_empty() && idx.is_empty()
+    }
+
+    /// The range-variable prefixes mentioned by unresolved refs (`e.name`
+    /// contributes `e`). Used by pushdown to decide which side of a join a
+    /// conjunct belongs to.
+    pub fn range_vars(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.column_names(&mut names);
+        let mut vars: Vec<String> = names
+            .into_iter()
+            .filter_map(|n| n.split_once('.').map(|(v, _)| v.to_string()))
+            .collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    /// Rewrite every resolved column index through `map` (used when an
+    /// expression moves across a projection or join boundary).
+    pub fn remap_columns(self, map: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Column(i) => Expr::Column(map(i)),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(left.remap_columns(map)),
+                right: Box::new(right.remap_columns(map)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op,
+                expr: Box::new(expr.remap_columns(map)),
+            },
+            Expr::Like { expr, pattern } => Expr::Like {
+                expr: Box::new(expr.remap_columns(map)),
+                pattern,
+            },
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.remap_columns(map))),
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::ColumnRef(n) => f.write_str(n),
+            Expr::Literal(Value::Text(s)) => write!(f, "\"{s}\""),
+            Expr::Literal(v) if v.is_null() => f.write_str("NULL"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.token())
+            }
+            Expr::Unary { op: UnOp::Not, expr } => write!(f, "(NOT {expr})"),
+            Expr::Unary { op: UnOp::Neg, expr } => write!(f, "(-{expr})"),
+            Expr::Like { expr, pattern } => write!(f, "({expr} LIKE \"{pattern}\")"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+        }
+    }
+}
+
+/// Glob match with `*` (any run, including empty) and `?` (exactly one
+/// character). Matching is over characters, not bytes, so multibyte UTF-8
+/// behaves intuitively.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // Classic two-pointer with backtracking to the last star.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Ensure an expression for a predicate position is resolved; helper the
+/// executor uses in debug builds.
+pub fn assert_resolved(expr: &Expr) -> RelResult<()> {
+    let mut names = Vec::new();
+    expr.column_names(&mut names);
+    if let Some(n) = names.first() {
+        return Err(RelError::NoSuchColumn(format!("unresolved: {n}")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::types::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("e.name", DataType::Text),
+            Column::new("e.salary", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn resolve_rewrites_names() {
+        let e = Expr::col_eq("e.salary", Value::Int(10)).resolve(&schema()).unwrap();
+        match e {
+            Expr::Binary { left, .. } => assert_eq!(*left, Expr::Column(1)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn resolve_unknown_column_errors() {
+        assert!(Expr::col_eq("e.bogus", Value::Int(1)).resolve(&schema()).is_err());
+    }
+
+    #[test]
+    fn split_and_rejoin_conjuncts() {
+        let e = Expr::and(
+            Expr::col_eq("a", Value::Int(1)),
+            Expr::and(
+                Expr::col_eq("b", Value::Int(2)),
+                Expr::col_eq("c", Value::Int(3)),
+            ),
+        );
+        let parts = e.split_conjuncts();
+        assert_eq!(parts.len(), 3);
+        let rejoined = Expr::conjunction(parts);
+        assert_eq!(rejoined.split_conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn conjunction_of_empty_is_true() {
+        assert_eq!(
+            Expr::conjunction(vec![]),
+            Expr::Literal(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn range_vars_extracted() {
+        let e = Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(Expr::ColumnRef("e.dept".into())),
+            right: Box::new(Expr::ColumnRef("d.dname".into())),
+        };
+        assert_eq!(e.range_vars(), vec!["d".to_string(), "e".to_string()]);
+    }
+
+    #[test]
+    fn is_constant_detects_literals_only() {
+        assert!(Expr::Literal(Value::Int(1)).is_constant());
+        assert!(!Expr::ColumnRef("x".into()).is_constant());
+        assert!(!Expr::Column(0).is_constant());
+    }
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob_match("abc", "abc"));
+        assert!(!glob_match("abc", "abd"));
+        assert!(glob_match("a*c", "abbbc"));
+        assert!(glob_match("a*c", "ac"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("a?c", "abc"));
+        assert!(!glob_match("a?c", "ac"));
+        assert!(glob_match("*son", "anderson"));
+        assert!(glob_match("Sm*", "Smith"));
+        assert!(!glob_match("Sm*", "smith"));
+    }
+
+    #[test]
+    fn glob_star_backtracking() {
+        assert!(glob_match("a*b*c", "aXbYbZc"));
+        assert!(!glob_match("a*b*c", "aXbYbZ"));
+        assert!(glob_match("**a**", "banana"));
+    }
+
+    #[test]
+    fn glob_multibyte() {
+        assert!(glob_match("?", "é"));
+        assert!(glob_match("caf?", "café"));
+        assert!(glob_match("*é", "café"));
+    }
+
+    #[test]
+    fn flipped_comparisons() {
+        assert_eq!(BinOp::Lt.flipped(), BinOp::Gt);
+        assert_eq!(BinOp::Ge.flipped(), BinOp::Le);
+        assert_eq!(BinOp::Eq.flipped(), BinOp::Eq);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::and(
+            Expr::col_eq("e.dept", Value::text("toy")),
+            Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(Expr::IsNull(Box::new(Expr::ColumnRef("e.mgr".into())))),
+            },
+        );
+        assert_eq!(
+            e.to_string(),
+            "((e.dept = \"toy\") AND (NOT (e.mgr IS NULL)))"
+        );
+    }
+
+    #[test]
+    fn remap_columns_applies_function() {
+        let e = Expr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(Expr::Column(0)),
+            right: Box::new(Expr::Column(2)),
+        };
+        let remapped = e.remap_columns(&|i| i + 10);
+        let mut idx = Vec::new();
+        remapped.column_indexes(&mut idx);
+        assert_eq!(idx, vec![10, 12]);
+    }
+}

@@ -1,0 +1,655 @@
+//! Rule-and-statistics optimizer: query block → physical plan.
+//!
+//! Decisions made here, in order:
+//!
+//! 1. **Conjunct classification** — each WHERE conjunct is scan-local
+//!    (mentions ≤ 1 range variable), a join edge (`a.x = b.y`), or residual.
+//! 2. **Access-path selection** — an equality conjunct on an indexed column
+//!    becomes an index probe (hash preferred); range conjuncts on a B+tree
+//!    column become an index range scan *when estimated selectivity is low
+//!    enough*; everything else is a sequential scan with the conjuncts as a
+//!    pushed-down predicate.
+//! 3. **Greedy join ordering** — start from the cheapest scan, repeatedly
+//!    join the cheapest connected relation (hash join on equi edges,
+//!    nested-loop otherwise).
+//! 4. Aggregation, projection, sorting, and limiting are layered on top.
+
+use super::logical::QueryBlock;
+use super::planner::default_target_name;
+use crate::catalog::IndexKind;
+use crate::db::Database;
+use crate::error::{RelError, RelResult};
+use crate::exec::{AggSpec, KeyBound, PhysicalPlan};
+use crate::expr::{BinOp, Expr};
+use crate::quel::ast::Target;
+use crate::schema::Schema;
+use crate::stats::{DEFAULT_RANGE_SELECTIVITY, TableStats};
+use crate::value::Value;
+
+/// Range selectivity above which a sequential scan beats an index range
+/// scan (random fetches per match vs one pass); the classical few-percent
+/// rule, made explicit so the ablation bench can reference it.
+pub const INDEX_RANGE_MAX_SELECTIVITY: f64 = 0.15;
+
+/// Optimize a query block into an executable plan.
+pub fn optimize(db: &Database, block: &QueryBlock) -> RelResult<PhysicalPlan> {
+    // -- 1. classify conjuncts ------------------------------------------------
+    let mut local: Vec<Vec<Expr>> = vec![Vec::new(); block.scans.len()];
+    let mut edges: Vec<JoinEdge> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    for conj in &block.conjuncts {
+        let vars = conj.range_vars();
+        match vars.len() {
+            0 => {
+                // Constant or unqualified-reference conjunct: keep it as a
+                // residual filter over the joined row.
+                residual.push(conj.clone());
+            }
+            1 => {
+                match block.scans.iter().position(|s| s.alias == vars[0]) {
+                    Some(i) => local[i].push(conj.clone()),
+                    None => residual.push(conj.clone()),
+                }
+            }
+            2 => {
+                if let Some(edge) = as_join_edge(conj, block) {
+                    edges.push(edge);
+                } else {
+                    residual.push(conj.clone());
+                }
+            }
+            _ => residual.push(conj.clone()),
+        }
+    }
+
+    // -- 2. access paths -------------------------------------------------------
+    let mut parts: Vec<PlanPart> = Vec::with_capacity(block.scans.len());
+    for (i, scan) in block.scans.iter().enumerate() {
+        parts.push(build_access_path(
+            db,
+            &scan.table,
+            &scan.alias,
+            std::mem::take(&mut local[i]),
+        )?);
+    }
+
+    // -- 3. greedy join order ---------------------------------------------------
+    let mut current = {
+        // Cheapest part first.
+        let (mi, _) = parts
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.est_rows.total_cmp(&b.est_rows))
+            .ok_or_else(|| RelError::Unsupported("query touches no relations".into()))?;
+        parts.swap_remove(mi)
+    };
+    while !parts.is_empty() {
+        // Prefer a connected relation; among candidates pick the cheapest.
+        let connected: Vec<usize> = parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                edges.iter().any(|e| {
+                    (current.aliases.contains(&e.left_var) && p.aliases.contains(&e.right_var))
+                        || (current.aliases.contains(&e.right_var)
+                            && p.aliases.contains(&e.left_var))
+                })
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let pick_from: Vec<usize> = if connected.is_empty() {
+            (0..parts.len()).collect()
+        } else {
+            connected
+        };
+        let &next_i = pick_from
+            .iter()
+            .min_by(|&&a, &&b| parts[a].est_rows.total_cmp(&parts[b].est_rows))
+            .expect("non-empty");
+        let right = parts.swap_remove(next_i);
+        current = join_parts(db, current, right, &mut edges)?;
+        // Apply any residual conjuncts that are now fully bound.
+        current = apply_ready_residuals(db, current, &mut residual)?;
+    }
+    current = apply_ready_residuals(db, current, &mut residual)?;
+    if let Some(leftover) = residual.first() {
+        // A conjunct that still doesn't resolve references an unknown name.
+        let mut names = Vec::new();
+        leftover.column_names(&mut names);
+        return Err(RelError::NoSuchColumn(names.first().cloned().unwrap_or_default()));
+    }
+
+    let joined_schema = current.schema.clone();
+    let mut plan = current.plan;
+
+    // -- 4. aggregation ------------------------------------------------------------
+    let mut out_schema;
+    if block.has_aggregates() {
+        // Pre-projection: group columns first, then aggregate arguments.
+        let mut pre_exprs: Vec<Expr> = Vec::new();
+        let mut pre_names: Vec<String> = Vec::new();
+        for g in &block.group_by {
+            pre_exprs.push(Expr::ColumnRef(g.clone()).resolve(&joined_schema)?);
+            pre_names.push(g.clone());
+        }
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        for t in &block.targets {
+            if let Target::Agg { name, func, arg } = t {
+                let input = match arg {
+                    None => None,
+                    Some(a) => {
+                        let idx = pre_exprs.len();
+                        pre_exprs.push(a.clone().resolve(&joined_schema)?);
+                        pre_names.push(format!("__agg_arg_{idx}"));
+                        Some(idx)
+                    }
+                };
+                aggs.push(AggSpec {
+                    func: *func,
+                    input,
+                    name: name.clone().unwrap_or_else(|| func.keyword().to_lowercase()),
+                });
+            }
+        }
+        // Every non-aggregate target must be a grouping column.
+        for t in &block.targets {
+            if let Target::Expr { expr, .. } = t {
+                let ref_name = match expr {
+                    Expr::ColumnRef(n) => n.clone(),
+                    other => {
+                        return Err(RelError::Unsupported(format!(
+                            "non-aggregate target `{other}` must be a GROUP BY column"
+                        )))
+                    }
+                };
+                if !block.group_by.contains(&ref_name) {
+                    return Err(RelError::Unsupported(format!(
+                        "target `{ref_name}` is not in GROUP BY"
+                    )));
+                }
+            }
+        }
+        plan = PhysicalPlan::Project {
+            input: Box::new(plan),
+            exprs: pre_exprs,
+            names: pre_names,
+        };
+        plan = PhysicalPlan::Aggregate {
+            input: Box::new(plan),
+            group_by: (0..block.group_by.len()).collect(),
+            aggs,
+        };
+        // Final projection: targets in output order, with output names.
+        let agg_out = plan.output_schema(db)?;
+        let mut exprs = Vec::with_capacity(block.targets.len());
+        let mut names = Vec::with_capacity(block.targets.len());
+        for t in &block.targets {
+            match t {
+                Target::Expr { name, expr } => {
+                    let rn = default_target_name(expr);
+                    exprs.push(Expr::ColumnRef(rn.clone()).resolve(&agg_out)?);
+                    names.push(name.clone().unwrap_or(rn));
+                }
+                Target::Agg { name, func, .. } => {
+                    let out_name =
+                        name.clone().unwrap_or_else(|| func.keyword().to_lowercase());
+                    exprs.push(Expr::ColumnRef(out_name.clone()).resolve(&agg_out)?);
+                    names.push(out_name);
+                }
+            }
+        }
+        plan = PhysicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+            names,
+        };
+        if block.unique {
+            plan = PhysicalPlan::Distinct { input: Box::new(plan) };
+        }
+        out_schema = plan.output_schema(db)?;
+    } else {
+        let mut exprs = Vec::with_capacity(block.targets.len());
+        let mut names = Vec::with_capacity(block.targets.len());
+        for t in &block.targets {
+            let Target::Expr { name, expr } = t else {
+                unreachable!("no aggregates in this branch");
+            };
+            exprs.push(expr.clone().resolve(&joined_schema)?);
+            names.push(name.clone().unwrap_or_else(|| default_target_name(expr)));
+        }
+        // Sort keys that reference *input* columns force the sort below the
+        // projection.
+        let sort_in_input = !block.sort_by.is_empty()
+            && block
+                .sort_by
+                .iter()
+                .any(|k| {
+                    joined_schema.index_of(&k.column).is_some()
+                        && !names.contains(&k.column)
+                });
+        if sort_in_input {
+            let keys = resolve_sort_keys(&block.sort_by, &joined_schema)?;
+            plan = PhysicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
+        }
+        plan = PhysicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+            names,
+        };
+        if block.unique {
+            // Distinct preserves first-occurrence order, so it composes with
+            // a sort on either side of the projection.
+            plan = PhysicalPlan::Distinct { input: Box::new(plan) };
+        }
+        out_schema = plan.output_schema(db)?;
+        if sort_in_input {
+            // Sorting already happened below the projection.
+            return Ok(apply_limit(plan, block));
+        }
+    }
+
+    // -- 5. sort over the output schema ---------------------------------------
+    if !block.sort_by.is_empty() {
+        let keys = resolve_sort_keys(&block.sort_by, &out_schema)?;
+        plan = PhysicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+        };
+        out_schema = plan.output_schema(db)?;
+    }
+    let _ = &out_schema;
+    Ok(apply_limit(plan, block))
+}
+
+fn apply_limit(plan: PhysicalPlan, block: &QueryBlock) -> PhysicalPlan {
+    match block.limit {
+        Some((offset, count)) => PhysicalPlan::Limit {
+            input: Box::new(plan),
+            offset,
+            count: Some(count),
+        },
+        None => plan,
+    }
+}
+
+fn resolve_sort_keys(
+    keys: &[crate::quel::ast::SortKey],
+    schema: &Schema,
+) -> RelResult<Vec<(usize, bool)>> {
+    keys.iter()
+        .map(|k| Ok((schema.resolve(&k.column)?, k.ascending)))
+        .collect()
+}
+
+/// An equi-join edge `left_var.left_col = right_var.right_col`.
+#[derive(Debug, Clone)]
+struct JoinEdge {
+    left_var: String,
+    left_col: String,
+    right_var: String,
+    right_col: String,
+}
+
+fn as_join_edge(conj: &Expr, block: &QueryBlock) -> Option<JoinEdge> {
+    let Expr::Binary { op: BinOp::Eq, left, right } = conj else {
+        return None;
+    };
+    let (Expr::ColumnRef(l), Expr::ColumnRef(r)) = (left.as_ref(), right.as_ref()) else {
+        return None;
+    };
+    let (lv, _) = l.split_once('.')?;
+    let (rv, _) = r.split_once('.')?;
+    if lv == rv {
+        return None;
+    }
+    // Both vars must be actual scans of this block.
+    if !block.scans.iter().any(|s| s.alias == lv) || !block.scans.iter().any(|s| s.alias == rv) {
+        return None;
+    }
+    Some(JoinEdge {
+        left_var: lv.to_string(),
+        left_col: l.clone(),
+        right_var: rv.to_string(),
+        right_col: r.clone(),
+    })
+}
+
+/// A partial plan with its bookkeeping.
+struct PlanPart {
+    plan: PhysicalPlan,
+    schema: Schema,
+    aliases: Vec<String>,
+    est_rows: f64,
+}
+
+/// A `col op const` pattern extracted from a conjunct.
+struct ColConst {
+    col_name: String,
+    op: BinOp,
+    value: Value,
+}
+
+fn as_col_const(conj: &Expr) -> Option<ColConst> {
+    let Expr::Binary { op, left, right } = conj else {
+        return None;
+    };
+    if !op.is_comparison() {
+        return None;
+    }
+    match (left.as_ref(), right.as_ref()) {
+        (Expr::ColumnRef(c), Expr::Literal(v)) if !v.is_null() => Some(ColConst {
+            col_name: c.clone(),
+            op: *op,
+            value: v.clone(),
+        }),
+        (Expr::Literal(v), Expr::ColumnRef(c)) if !v.is_null() => Some(ColConst {
+            col_name: c.clone(),
+            op: op.flipped(),
+            value: v.clone(),
+        }),
+        _ => None,
+    }
+}
+
+/// Choose the access path for one scan given its local conjuncts.
+fn build_access_path(
+    db: &Database,
+    table: &str,
+    alias: &str,
+    conjuncts: Vec<Expr>,
+) -> RelResult<PlanPart> {
+    let info = db.catalog().table(table)?.clone();
+    let schema = info.schema.qualified(alias);
+    let stats = db_stats(db, &info);
+    let base_rows = stats.rows.max(1) as f64;
+
+    // Index every conjunct; find equality and range candidates.
+    let mut eq_pick: Option<(usize, usize, String, Value)> = None; // (conj idx, col, index name, value)
+    for (ci, conj) in conjuncts.iter().enumerate() {
+        let Some(cc) = as_col_const(conj) else { continue };
+        if cc.op != BinOp::Eq {
+            continue;
+        }
+        let Some(col) = schema.index_of(&cc.col_name) else { continue };
+        if let Some(idx) = db
+            .catalog()
+            .index_on_column(info.id, col, Some(IndexKind::Hash))
+        {
+            if idx.columns.len() == 1 {
+                eq_pick = Some((ci, col, idx.name.clone(), cc.value.clone()));
+                break;
+            }
+        }
+    }
+    if let Some((ci, col, index, value)) = eq_pick {
+        let residual = residual_pred(&conjuncts, &[ci], &schema)?;
+        let est = base_rows * stats.eq_selectivity(col);
+        return Ok(PlanPart {
+            plan: PhysicalPlan::IndexScanEq {
+                table: table.to_string(),
+                alias: alias.to_string(),
+                index,
+                key: vec![value],
+                residual,
+            },
+            schema,
+            aliases: vec![alias.to_string()],
+            est_rows: est.max(1.0),
+        });
+    }
+
+    // Range candidate: group bounds per indexed B+tree column.
+    let mut range_pick: Option<RangePick> = None;
+    for col in 0..schema.len() {
+        let Some(idx) = db
+            .catalog()
+            .index_on_column(info.id, col, Some(IndexKind::BTree))
+        else {
+            continue;
+        };
+        if idx.kind != IndexKind::BTree || idx.columns.len() != 1 {
+            continue;
+        }
+        let col_name = &schema.columns[col].name;
+        let mut lower: Option<KeyBound> = None;
+        let mut upper: Option<KeyBound> = None;
+        let mut used: Vec<usize> = Vec::new();
+        for (ci, conj) in conjuncts.iter().enumerate() {
+            let Some(cc) = as_col_const(conj) else { continue };
+            if schema.index_of(&cc.col_name) != Some(col) {
+                continue;
+            }
+            let _ = col_name;
+            match cc.op {
+                BinOp::Gt | BinOp::Ge => {
+                    let cand = KeyBound {
+                        values: vec![cc.value.clone()],
+                        inclusive: cc.op == BinOp::Ge,
+                    };
+                    if tighter_lower(&lower, &cand) {
+                        lower = Some(cand);
+                    }
+                    used.push(ci);
+                }
+                BinOp::Lt | BinOp::Le => {
+                    let cand = KeyBound {
+                        values: vec![cc.value.clone()],
+                        inclusive: cc.op == BinOp::Le,
+                    };
+                    if tighter_upper(&upper, &cand) {
+                        upper = Some(cand);
+                    }
+                    used.push(ci);
+                }
+                BinOp::Eq => {
+                    // An equality on a btree column (no hash index found).
+                    let cand = KeyBound {
+                        values: vec![cc.value.clone()],
+                        inclusive: true,
+                    };
+                    lower = Some(cand.clone());
+                    upper = Some(cand);
+                    used.push(ci);
+                }
+                _ => {}
+            }
+        }
+        if lower.is_some() || upper.is_some() {
+            range_pick = Some(RangePick {
+                index: idx.name.clone(),
+                lower,
+                upper,
+                used,
+            });
+            break;
+        }
+    }
+    if let Some(pick) = range_pick {
+        // Estimate selectivity; fall back to a seq scan when the range is
+        // too wide to be worth random fetches.
+        let exact = pick
+            .lower
+            .as_ref()
+            .zip(pick.upper.as_ref())
+            .is_some_and(|(l, u)| l.values == u.values);
+        let sel = if exact {
+            stats.eq_selectivity(0)
+        } else if pick.lower.is_some() && pick.upper.is_some() {
+            // Two-sided ranges are assumed independent one-sided cuts — the
+            // System R default in the absence of histograms.
+            DEFAULT_RANGE_SELECTIVITY * DEFAULT_RANGE_SELECTIVITY
+        } else {
+            DEFAULT_RANGE_SELECTIVITY
+        };
+        if exact || sel <= INDEX_RANGE_MAX_SELECTIVITY || base_rows < 256.0 {
+            let residual = residual_pred(&conjuncts, &pick.used, &schema)?;
+            let est = (base_rows * sel).max(1.0);
+            return Ok(PlanPart {
+                plan: PhysicalPlan::IndexRange {
+                    table: table.to_string(),
+                    alias: alias.to_string(),
+                    index: pick.index,
+                    lower: pick.lower,
+                    upper: pick.upper,
+                    residual,
+                },
+                schema,
+                aliases: vec![alias.to_string()],
+                est_rows: est,
+            });
+        }
+    }
+
+    // Sequential scan with everything pushed down.
+    let pred = residual_pred(&conjuncts, &[], &schema)?;
+    let est = if conjuncts.is_empty() {
+        base_rows
+    } else {
+        (base_rows * 0.25f64.powi(conjuncts.len() as i32)).max(1.0)
+    };
+    Ok(PlanPart {
+        plan: PhysicalPlan::SeqScan {
+            table: table.to_string(),
+            alias: alias.to_string(),
+            pred,
+        },
+        schema,
+        aliases: vec![alias.to_string()],
+        est_rows: est,
+    })
+}
+
+struct RangePick {
+    index: String,
+    lower: Option<KeyBound>,
+    upper: Option<KeyBound>,
+    used: Vec<usize>,
+}
+
+fn tighter_lower(current: &Option<KeyBound>, cand: &KeyBound) -> bool {
+    match current {
+        None => true,
+        Some(c) => cand.values[0].total_cmp(&c.values[0]) == std::cmp::Ordering::Greater,
+    }
+}
+
+fn tighter_upper(current: &Option<KeyBound>, cand: &KeyBound) -> bool {
+    match current {
+        None => true,
+        Some(c) => cand.values[0].total_cmp(&c.values[0]) == std::cmp::Ordering::Less,
+    }
+}
+
+/// Conjuncts not consumed by the access path, folded and resolved.
+fn residual_pred(
+    conjuncts: &[Expr],
+    consumed: &[usize],
+    schema: &Schema,
+) -> RelResult<Option<Expr>> {
+    let rest: Vec<Expr> = conjuncts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !consumed.contains(i))
+        .map(|(_, e)| e.clone())
+        .collect();
+    if rest.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(Expr::conjunction(rest).resolve(schema)?))
+}
+
+fn db_stats(db: &Database, info: &crate::catalog::TableInfo) -> TableStats {
+    db.table_stats(info.id)
+}
+
+/// Join two plan parts, consuming the edges that connect them.
+fn join_parts(
+    _db: &Database,
+    left: PlanPart,
+    right: PlanPart,
+    edges: &mut Vec<JoinEdge>,
+) -> RelResult<PlanPart> {
+    let joined_schema = Schema::join(&left.schema, "l", &right.schema, "r");
+    // Find all edges connecting left ↔ right.
+    let mut left_keys = Vec::new();
+    let mut right_keys = Vec::new();
+    let mut consumed = Vec::new();
+    for (i, e) in edges.iter().enumerate() {
+        let (l_ref, r_ref) = if left.aliases.contains(&e.left_var)
+            && right.aliases.contains(&e.right_var)
+        {
+            (&e.left_col, &e.right_col)
+        } else if left.aliases.contains(&e.right_var) && right.aliases.contains(&e.left_var) {
+            (&e.right_col, &e.left_col)
+        } else {
+            continue;
+        };
+        let li = left.schema.resolve(l_ref)?;
+        let ri = right.schema.resolve(r_ref)?;
+        left_keys.push(li);
+        right_keys.push(ri);
+        consumed.push(i);
+    }
+    let mut est = left.est_rows * right.est_rows;
+    let plan = if left_keys.is_empty() {
+        // No equi edge: cross join (any non-equi relation between the two
+        // sides lives in the residual list and is applied right after).
+        PhysicalPlan::NestedLoopJoin {
+            left: Box::new(left.plan),
+            right: Box::new(right.plan),
+            pred: None,
+        }
+    } else {
+        est *= 0.1f64.powi(left_keys.len() as i32).max(1e-9);
+        PhysicalPlan::HashJoin {
+            left: Box::new(left.plan),
+            right: Box::new(right.plan),
+            left_keys,
+            right_keys,
+            residual: None,
+        }
+    };
+    for i in consumed.into_iter().rev() {
+        edges.remove(i);
+    }
+    let mut aliases = left.aliases;
+    aliases.extend(right.aliases);
+    Ok(PlanPart {
+        plan,
+        schema: joined_schema,
+        aliases,
+        est_rows: est.max(1.0),
+    })
+}
+
+/// Attach residual conjuncts whose names now all resolve.
+fn apply_ready_residuals(
+    _db: &Database,
+    mut part: PlanPart,
+    residual: &mut Vec<Expr>,
+) -> RelResult<PlanPart> {
+    let mut ready = Vec::new();
+    let mut keep = Vec::new();
+    for conj in residual.drain(..) {
+        let mut names = Vec::new();
+        conj.column_names(&mut names);
+        if names.iter().all(|n| part.schema.index_of(n).is_some()) {
+            ready.push(conj);
+        } else {
+            keep.push(conj);
+        }
+    }
+    *residual = keep;
+    if !ready.is_empty() {
+        part.est_rows = (part.est_rows * 0.25f64.powi(ready.len() as i32)).max(1.0);
+        let pred = Expr::conjunction(ready).resolve(&part.schema)?;
+        part.plan = PhysicalPlan::Filter {
+            input: Box::new(part.plan),
+            pred,
+        };
+    }
+    Ok(part)
+}

@@ -1,0 +1,211 @@
+//! Normalizing a `RETRIEVE` statement into a [`QueryBlock`].
+
+use super::logical::{QueryBlock, ScanSpec};
+use crate::db::Database;
+use crate::error::{RelError, RelResult};
+use crate::expr::Expr;
+use crate::quel::ast::{RetrieveStmt, Target};
+
+/// Build the query block for a `RETRIEVE`, resolving range variables
+/// against the database's persistent `RANGE OF` declarations.
+///
+/// The set of scans is the set of range variables actually *used* by the
+/// statement (targets, WHERE, GROUP BY, SORT BY) — declaring ranges that a
+/// given query does not touch must not drag their tables into the join.
+pub fn build_query_block(db: &Database, stmt: &RetrieveStmt) -> RelResult<QueryBlock> {
+    let mut used: Vec<String> = Vec::new();
+    let mut note = |name: &str| {
+        if let Some((var, _)) = name.split_once('.') {
+            if !used.iter().any(|u| u == var) {
+                used.push(var.to_string());
+            }
+        }
+    };
+    let mut names = Vec::new();
+    for t in &stmt.targets {
+        match t {
+            Target::Expr { expr, .. } => expr.column_names(&mut names),
+            Target::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.column_names(&mut names);
+                }
+            }
+        }
+    }
+    if let Some(w) = &stmt.where_ {
+        w.column_names(&mut names);
+    }
+    for n in &names {
+        note(n);
+    }
+    for g in &stmt.group_by {
+        note(g);
+    }
+    for s in &stmt.sort_by {
+        note(&s.column);
+    }
+    // Bare (unqualified) references are allowed when exactly one range is in
+    // play; if no qualified reference appeared at all, fall back to every
+    // declared range — matching QUEL's "tuple variables in scope" reading.
+    if used.is_empty() {
+        for (var, _) in db.ranges() {
+            used.push(var.clone());
+        }
+        if used.is_empty() {
+            return Err(RelError::NoSuchRange(
+                "no RANGE OF declarations in scope".to_string(),
+            ));
+        }
+        // Without qualified refs, joining every declared range is almost
+        // certainly wrong; keep only the first and let resolution fail
+        // loudly if the query meant something else.
+        used.truncate(1);
+    }
+    let mut scans = Vec::with_capacity(used.len());
+    for var in used {
+        let table = db.range_table(&var)?.to_string();
+        scans.push(ScanSpec { alias: var, table });
+    }
+    let conjuncts = match &stmt.where_ {
+        Some(w) => w.clone().split_conjuncts(),
+        None => Vec::new(),
+    };
+    // Expand `var.all` targets into one target per column of var's table.
+    let mut targets = Vec::with_capacity(stmt.targets.len());
+    for t in &stmt.targets {
+        match t {
+            Target::Expr { name: None, expr: Expr::ColumnRef(n) }
+                if n.ends_with(".all") =>
+            {
+                let var = &n[..n.len() - 4];
+                let table = db.range_table(var)?;
+                let info = db.catalog().table(table)?;
+                for col in &info.schema.columns {
+                    targets.push(Target::Expr {
+                        name: None,
+                        expr: Expr::ColumnRef(format!("{var}.{}", col.name)),
+                    });
+                }
+            }
+            other => targets.push(other.clone()),
+        }
+    }
+    Ok(QueryBlock {
+        unique: stmt.unique,
+        scans,
+        conjuncts,
+        targets,
+        group_by: stmt.group_by.clone(),
+        sort_by: stmt.sort_by.clone(),
+        limit: stmt.limit,
+    })
+}
+
+/// Default output name for an expression target.
+pub fn default_target_name(expr: &Expr) -> String {
+    match expr {
+        Expr::ColumnRef(n) => n.clone(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quel::parse_program;
+    use crate::quel::Statement;
+    use crate::schema::{Column, Schema};
+    use crate::types::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::in_memory();
+        let schema = |names: &[&str]| {
+            Schema::new(
+                names
+                    .iter()
+                    .map(|n| Column::new(*n, DataType::Int))
+                    .collect(),
+            )
+        };
+        db.create_table("emp", schema(&["id", "dept_id", "salary"]), &[]).unwrap();
+        db.create_table("dept", schema(&["id", "floor"]), &[]).unwrap();
+        db.declare_range("e", "emp").unwrap();
+        db.declare_range("d", "dept").unwrap();
+        db
+    }
+
+    fn retrieve(src: &str) -> RetrieveStmt {
+        match parse_program(src).unwrap().pop().unwrap() {
+            Statement::Retrieve(r) => r,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn only_used_ranges_become_scans() {
+        let db = db();
+        let block = build_query_block(&db, &retrieve("RETRIEVE (e.id)")).unwrap();
+        assert_eq!(block.scans.len(), 1);
+        assert_eq!(block.scans[0].alias, "e");
+    }
+
+    #[test]
+    fn join_pulls_both_ranges() {
+        let db = db();
+        let block = build_query_block(
+            &db,
+            &retrieve("RETRIEVE (e.id, d.floor) WHERE e.dept_id = d.id"),
+        )
+        .unwrap();
+        assert_eq!(block.scans.len(), 2);
+        assert_eq!(block.conjuncts.len(), 1);
+    }
+
+    #[test]
+    fn where_conjuncts_split() {
+        let db = db();
+        let block = build_query_block(
+            &db,
+            &retrieve("RETRIEVE (e.id) WHERE e.salary > 10 AND e.dept_id = 3 AND e.id != 0"),
+        )
+        .unwrap();
+        assert_eq!(block.conjuncts.len(), 3);
+    }
+
+    #[test]
+    fn sort_key_can_pull_a_range() {
+        let db = db();
+        let block =
+            build_query_block(&db, &retrieve("RETRIEVE (d.floor) SORT BY e.salary")).unwrap();
+        assert_eq!(block.scans.len(), 2);
+    }
+
+    #[test]
+    fn undeclared_range_errors() {
+        let db = db();
+        assert!(matches!(
+            build_query_block(&db, &retrieve("RETRIEVE (z.id)")),
+            Err(RelError::NoSuchRange(_))
+        ));
+    }
+
+    #[test]
+    fn no_ranges_at_all_errors() {
+        let db = Database::in_memory();
+        assert!(build_query_block(&db, &retrieve("RETRIEVE (x)")).is_err());
+    }
+
+    #[test]
+    fn unqualified_refs_use_single_declared_range() {
+        let mut db = Database::in_memory();
+        db.create_table(
+            "emp",
+            Schema::new(vec![Column::new("id", DataType::Int)]),
+            &[],
+        )
+        .unwrap();
+        db.declare_range("e", "emp").unwrap();
+        let block = build_query_block(&db, &retrieve("RETRIEVE (id)")).unwrap();
+        assert_eq!(block.scans.len(), 1);
+    }
+}

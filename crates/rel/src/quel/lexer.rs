@@ -1,0 +1,375 @@
+//! Tokenizer for the QUEL dialect.
+
+use crate::error::{RelError, RelResult};
+
+/// A token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal (with `\"` and `\\` escapes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable token description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(i) => format!("integer {i}"),
+            TokenKind::Float(f) => format!("float {f}"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.glyph()),
+        }
+    }
+
+    fn glyph(&self) -> &'static str {
+        match self {
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::Eq => "=",
+            TokenKind::Ne => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            _ => "?",
+        }
+    }
+}
+
+fn err(pos: usize, message: impl Into<String>) -> RelError {
+    RelError::Parse {
+        pos,
+        message: message.into(),
+    }
+}
+
+/// Tokenize a source string. Comments run from `--` to end of line.
+pub fn tokenize(src: &str) -> RelResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < bytes.len()
+                && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+            {
+                j += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Ident(src[i..j].to_string()),
+                pos: start,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut is_float = false;
+            while j < bytes.len() {
+                let cj = bytes[j] as char;
+                if cj.is_ascii_digit() {
+                    j += 1;
+                } else if cj == '.'
+                    && !is_float
+                    && bytes.get(j + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                {
+                    is_float = true;
+                    j += 1;
+                } else if (cj == 'e' || cj == 'E')
+                    && bytes.get(j + 1).is_some_and(|b| {
+                        (*b as char).is_ascii_digit() || *b == b'+' || *b == b'-'
+                    })
+                {
+                    is_float = true;
+                    j += 2;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                    break;
+                } else {
+                    break;
+                }
+            }
+            let text = &src[i..j];
+            let kind = if is_float {
+                TokenKind::Float(
+                    text.parse()
+                        .map_err(|_| err(start, format!("bad float literal `{text}`")))?,
+                )
+            } else {
+                TokenKind::Int(
+                    text.parse()
+                        .map_err(|_| err(start, format!("integer literal `{text}` out of range")))?,
+                )
+            };
+            out.push(Token { kind, pos: start });
+            i = j;
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let mut j = i + 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(j) {
+                    None => return Err(err(start, "unterminated string literal")),
+                    Some(b'"') => {
+                        j += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        match bytes.get(j + 1) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            _ => return Err(err(j, "bad escape in string literal")),
+                        }
+                        j += 2;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar.
+                        let rest = &src[j..];
+                        let ch = rest.chars().next().unwrap();
+                        s.push(ch);
+                        j += ch.len_utf8();
+                    }
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Str(s),
+                pos: start,
+            });
+            i = j;
+            continue;
+        }
+        // Operators.
+        let (kind, len) = match c {
+            '(' => (TokenKind::LParen, 1),
+            ')' => (TokenKind::RParen, 1),
+            ',' => (TokenKind::Comma, 1),
+            '.' => (TokenKind::Dot, 1),
+            '=' => (TokenKind::Eq, 1),
+            '!' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::Ne, 2),
+            '<' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::Le, 2),
+            '<' if bytes.get(i + 1) == Some(&b'>') => (TokenKind::Ne, 2),
+            '<' => (TokenKind::Lt, 1),
+            '>' if bytes.get(i + 1) == Some(&b'=') => (TokenKind::Ge, 2),
+            '>' => (TokenKind::Gt, 1),
+            '+' => (TokenKind::Plus, 1),
+            '-' => (TokenKind::Minus, 1),
+            '*' => (TokenKind::Star, 1),
+            '/' => (TokenKind::Slash, 1),
+            '%' => (TokenKind::Percent, 1),
+            other => return Err(err(i, format!("unexpected character `{other}`"))),
+        };
+        out.push(Token { kind, pos: start });
+        i += len;
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_symbols() {
+        assert_eq!(
+            kinds("RANGE OF e IS emp"),
+            vec![
+                TokenKind::Ident("RANGE".into()),
+                TokenKind::Ident("OF".into()),
+                TokenKind::Ident("e".into()),
+                TokenKind::Ident("IS".into()),
+                TokenKind::Ident("emp".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.25 1e3 7"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.25),
+                TokenKind::Float(1000.0),
+                TokenKind::Int(7),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_vs_float() {
+        // `e.salary` must lex as ident dot ident, not a float.
+        assert_eq!(
+            kinds("e.salary"),
+            vec![
+                TokenKind::Ident("e".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("salary".into()),
+                TokenKind::Eof,
+            ]
+        );
+        // `1.x` is int, dot, ident (trailing-dot floats are not supported).
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""plain" "with \"quote\"" "back\\slash""#),
+            vec![
+                TokenKind::Str("plain".into()),
+                TokenKind::Str("with \"quote\"".into()),
+                TokenKind::Str("back\\slash".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(
+            tokenize(r#""oops"#),
+            Err(RelError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= != < <= > >= <>"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a -- the rest is noise = != \n b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_errors_with_position() {
+        match tokenize("abc @ def") {
+            Err(RelError::Parse { pos, .. }) => assert_eq!(pos, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("\"café\""),
+            vec![TokenKind::Str("café".into()), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Relation schemas.
+
+use crate::error::{RelError, RelResult};
+use crate::types::DataType;
+use crate::value::Value;
+use std::fmt;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name. Output schemas of joins use qualified names
+    /// (`alias.column`); base tables use bare names.
+    pub name: String,
+    /// Data type.
+    pub ty: DataType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A nullable column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Column {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+
+    /// A NOT NULL column.
+    pub fn not_null(name: impl Into<String>, ty: DataType) -> Column {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The columns, in tuple order.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by name. Accepts either an exact match or, when
+    /// the stored name is qualified (`e.salary`), a match on the part after
+    /// the dot — so unqualified references work over join outputs when
+    /// unambiguous.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        if let Some(i) = self.columns.iter().position(|c| c.name == name) {
+            return Some(i);
+        }
+        let mut found = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if let Some((_, bare)) = c.name.split_once('.') {
+                if bare == name {
+                    if found.is_some() {
+                        return None; // ambiguous
+                    }
+                    found = Some(i);
+                }
+            }
+        }
+        found
+    }
+
+    /// Index of a column, as an error-producing lookup.
+    pub fn resolve(&self, name: &str) -> RelResult<usize> {
+        self.index_of(name)
+            .ok_or_else(|| RelError::NoSuchColumn(name.to_string()))
+    }
+
+    /// The column at `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Validate a row against this schema: arity, types (with int→float
+    /// coercion applied), and NOT NULL constraints.
+    pub fn validate_row(&self, values: Vec<Value>) -> RelResult<Vec<Value>> {
+        if values.len() != self.columns.len() {
+            return Err(RelError::TypeMismatch {
+                expected: format!("{} columns", self.columns.len()),
+                got: format!("{} values", values.len()),
+            });
+        }
+        let mut out = Vec::with_capacity(values.len());
+        for (v, c) in values.into_iter().zip(&self.columns) {
+            if v.is_null() && !c.nullable {
+                return Err(RelError::NullViolation(c.name.clone()));
+            }
+            out.push(v.coerce_to(c.ty).map_err(|_| RelError::TypeMismatch {
+                expected: format!("{} for column {}", c.ty, c.name),
+                got: "incompatible value".to_string(),
+            })?);
+        }
+        Ok(out)
+    }
+
+    /// Concatenate two schemas, qualifying with the given aliases if the
+    /// names are not already qualified (used by joins).
+    pub fn join(left: &Schema, left_alias: &str, right: &Schema, right_alias: &str) -> Schema {
+        let mut columns = Vec::with_capacity(left.len() + right.len());
+        for c in &left.columns {
+            columns.push(Column {
+                name: qualify(left_alias, &c.name),
+                ty: c.ty,
+                nullable: c.nullable,
+            });
+        }
+        for c in &right.columns {
+            columns.push(Column {
+                name: qualify(right_alias, &c.name),
+                ty: c.ty,
+                nullable: c.nullable,
+            });
+        }
+        Schema { columns }
+    }
+
+    /// Rename all columns to `alias.name` (used when a scan is bound to a
+    /// range variable).
+    pub fn qualified(&self, alias: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    name: qualify(alias, &c.name),
+                    ty: c.ty,
+                    nullable: c.nullable,
+                })
+                .collect(),
+        }
+    }
+}
+
+fn qualify(alias: &str, name: &str) -> String {
+    if name.contains('.') {
+        name.to_string()
+    } else {
+        format!("{alias}.{name}")
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+            if !c.nullable {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp_schema() -> Schema {
+        Schema::new(vec![
+            Column::not_null("name", DataType::Text),
+            Column::new("dept", DataType::Text),
+            Column::new("salary", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn index_of_exact_and_suffix() {
+        let s = emp_schema().qualified("e");
+        assert_eq!(s.index_of("e.name"), Some(0));
+        assert_eq!(s.index_of("salary"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn ambiguous_suffix_is_none() {
+        let left = emp_schema();
+        let right = emp_schema();
+        let joined = Schema::join(&left, "a", &right, "b");
+        assert_eq!(joined.len(), 6);
+        assert_eq!(joined.index_of("a.name"), Some(0));
+        assert_eq!(joined.index_of("b.name"), Some(3));
+        assert_eq!(joined.index_of("name"), None, "ambiguous must not resolve");
+    }
+
+    #[test]
+    fn validate_row_checks_arity_null_type() {
+        let s = emp_schema();
+        assert!(s
+            .validate_row(vec![Value::text("a"), Value::Null, Value::Int(1)])
+            .is_ok());
+        // Wrong arity.
+        assert!(s.validate_row(vec![Value::text("a")]).is_err());
+        // NOT NULL violation.
+        assert!(matches!(
+            s.validate_row(vec![Value::Null, Value::Null, Value::Int(1)]),
+            Err(RelError::NullViolation(_))
+        ));
+        // Type mismatch.
+        assert!(s
+            .validate_row(vec![Value::text("a"), Value::Null, Value::text("x")])
+            .is_err());
+    }
+
+    #[test]
+    fn validate_row_widens_ints() {
+        let s = Schema::new(vec![Column::new("x", DataType::Float)]);
+        let row = s.validate_row(vec![Value::Int(3)]).unwrap();
+        assert_eq!(row[0], Value::Float(3.0));
+    }
+
+    #[test]
+    fn join_does_not_requalify() {
+        let l = emp_schema().qualified("e");
+        let r = emp_schema();
+        let j = Schema::join(&l, "ignored", &r, "d");
+        assert_eq!(j.columns[0].name, "e.name");
+        assert_eq!(j.columns[3].name, "d.name");
+    }
+
+    #[test]
+    fn display_shows_columns() {
+        let s = emp_schema();
+        let shown = s.to_string();
+        assert!(shown.contains("name TEXT NOT NULL"));
+        assert!(shown.contains("salary INT"));
+    }
+
+    #[test]
+    fn resolve_errors_on_missing() {
+        assert!(matches!(
+            emp_schema().resolve("bogus"),
+            Err(RelError::NoSuchColumn(_))
+        ));
+    }
+}

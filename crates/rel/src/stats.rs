@@ -1,0 +1,128 @@
+//! Table statistics for the optimizer.
+//!
+//! Row counts are maintained incrementally by DML; per-column distinct
+//! counts are computed on demand by `ANALYZE`-style full scans (see
+//! [`crate::db::Database::analyze`]) and decay gracefully: a missing
+//! distinct estimate falls back to a fixed default selectivity, exactly the
+//! System R compromise.
+
+use crate::catalog::TableId;
+use std::collections::HashMap;
+
+/// Default selectivity used when no statistics exist for a column.
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+/// Default selectivity for range predicates.
+pub const DEFAULT_RANGE_SELECTIVITY: f64 = 0.3;
+
+/// Statistics for one table.
+#[derive(Debug, Default, Clone)]
+pub struct TableStats {
+    /// Current row count.
+    pub rows: u64,
+    /// Estimated distinct values per column index (from the last analyze).
+    pub distinct: HashMap<usize, u64>,
+}
+
+impl TableStats {
+    /// Estimated selectivity of `col = const`.
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        match self.distinct.get(&col) {
+            Some(&d) if d > 0 => 1.0 / d as f64,
+            _ => DEFAULT_EQ_SELECTIVITY,
+        }
+    }
+
+    /// Estimated output rows of an equality predicate on `col`.
+    pub fn eq_cardinality(&self, col: usize) -> f64 {
+        self.rows as f64 * self.eq_selectivity(col)
+    }
+}
+
+/// Statistics for all tables.
+#[derive(Debug, Default)]
+pub struct StatsRegistry {
+    tables: HashMap<TableId, TableStats>,
+}
+
+impl StatsRegistry {
+    /// Empty registry.
+    pub fn new() -> StatsRegistry {
+        StatsRegistry::default()
+    }
+
+    /// Stats for a table (zeroes if never touched).
+    pub fn get(&self, table: TableId) -> TableStats {
+        self.tables.get(&table).cloned().unwrap_or_default()
+    }
+
+    /// Mutable stats entry.
+    pub fn entry(&mut self, table: TableId) -> &mut TableStats {
+        self.tables.entry(table).or_default()
+    }
+
+    /// Record `n` inserted rows.
+    pub fn on_insert(&mut self, table: TableId, n: u64) {
+        self.entry(table).rows += n;
+    }
+
+    /// Record `n` deleted rows.
+    pub fn on_delete(&mut self, table: TableId, n: u64) {
+        let e = self.entry(table);
+        e.rows = e.rows.saturating_sub(n);
+    }
+
+    /// Replace the distinct-count map after an analyze scan.
+    pub fn set_distinct(&mut self, table: TableId, distinct: HashMap<usize, u64>) {
+        self.entry(table).distinct = distinct;
+    }
+
+    /// Forget a dropped table.
+    pub fn remove(&mut self, table: TableId) {
+        self.tables.remove(&table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_delete_counting() {
+        let mut r = StatsRegistry::new();
+        r.on_insert(1, 10);
+        r.on_insert(1, 5);
+        r.on_delete(1, 3);
+        assert_eq!(r.get(1).rows, 12);
+        // Underflow saturates.
+        r.on_delete(1, 100);
+        assert_eq!(r.get(1).rows, 0);
+    }
+
+    #[test]
+    fn selectivity_uses_distinct_when_known() {
+        let mut r = StatsRegistry::new();
+        r.on_insert(1, 1000);
+        let mut d = HashMap::new();
+        d.insert(0, 50u64);
+        r.set_distinct(1, d);
+        let s = r.get(1);
+        assert!((s.eq_selectivity(0) - 0.02).abs() < 1e-12);
+        assert!((s.eq_cardinality(0) - 20.0).abs() < 1e-9);
+        // Unknown column falls back to the default.
+        assert_eq!(s.eq_selectivity(7), DEFAULT_EQ_SELECTIVITY);
+    }
+
+    #[test]
+    fn unknown_table_is_empty() {
+        let r = StatsRegistry::new();
+        assert_eq!(r.get(99).rows, 0);
+    }
+
+    #[test]
+    fn remove_forgets() {
+        let mut r = StatsRegistry::new();
+        r.on_insert(1, 10);
+        r.remove(1);
+        assert_eq!(r.get(1).rows, 0);
+    }
+}

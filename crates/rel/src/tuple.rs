@@ -1,0 +1,129 @@
+//! Tuples: rows of values, with their storage encoding.
+
+use crate::error::RelResult;
+use crate::value::{decode_row, encode_row, Value};
+use std::fmt;
+
+/// A row of values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tuple {
+    /// The values, in schema column order.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the tuple has no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at column `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Serialize for heap storage.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_row(&self.values)
+    }
+
+    /// Deserialize from heap storage.
+    pub fn decode(bytes: &[u8]) -> RelResult<Tuple> {
+        Ok(Tuple {
+            values: decode_row(bytes)?,
+        })
+    }
+
+    /// Concatenate two tuples (used by joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.len() + other.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Project the tuple onto the given column indexes.
+    pub fn project(&self, indexes: &[usize]) -> Tuple {
+        Tuple {
+            values: indexes.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match v {
+                Value::Text(s) => write!(f, "\"{s}\"")?,
+                Value::Null => write!(f, "NULL")?,
+                other => write!(f, "{other}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tuple {
+        Tuple::new(vec![
+            Value::text("alice"),
+            Value::Int(30),
+            Value::Null,
+            Value::Bool(true),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let t = sample();
+        assert_eq!(Tuple::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = Tuple::new(vec![Value::Int(1)]);
+        let b = Tuple::new(vec![Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            a.concat(&b).values,
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn project_reorders_and_duplicates() {
+        let t = sample();
+        let p = t.project(&[1, 0, 1]);
+        assert_eq!(
+            p.values,
+            vec![Value::Int(30), Value::text("alice"), Value::Int(30)]
+        );
+    }
+
+    #[test]
+    fn display_quotes_text_and_shows_null() {
+        assert_eq!(sample().to_string(), "(\"alice\", 30, NULL, true)");
+    }
+}

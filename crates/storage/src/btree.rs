@@ -1,0 +1,942 @@
+//! A page-based B+tree mapping byte-comparable keys to [`Rid`]s.
+//!
+//! This is the ordered access path underneath browse cursors: the *Windows
+//! on the World* browse model fetches one screenful of records at a time by
+//! walking the leaf chain, so the tree exposes both point/range queries and
+//! a resumable [`BTreeCursor`].
+//!
+//! Keys are arbitrary byte strings compared lexicographically; the typed
+//! layer (`wow-rel`) produces order-preserving encodings. Non-unique indexes
+//! disambiguate duplicates by appending the rid to the key (see
+//! [`composite_key`]), so every entry in the tree is physically unique.
+//!
+//! Deletion is *lazy*: entries are removed from leaves but nodes are never
+//! merged. Underfull nodes cost some space, never correctness — the same
+//! trade early commercial engines made.
+//!
+//! Node pages are (de)serialized whole:
+//!
+//! ```text
+//! 0      tag: 0 = leaf, 1 = internal
+//! 1..3   entry count (u16)
+//! 3..11  leaf: next-leaf page id   | internal: leftmost child page id
+//! 11..   entries
+//!         leaf:     {klen: u16, key, rid: 10 bytes}
+//!         internal: {klen: u16, key, child: 8 bytes}  (child holds keys >= key)
+//! ```
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{get_u16, get_u64, put_u16, put_u64, PageId, PAGE_SIZE};
+use crate::rid::Rid;
+use crate::store::PageStore;
+use std::ops::Bound;
+
+/// Maximum key length accepted by the tree.
+pub const MAX_KEY: usize = 1024;
+
+const TAG_LEAF: u8 = 0;
+const TAG_INTERNAL: u8 = 1;
+const NODE_HEADER: usize = 11;
+const LEAF_ENTRY_OVERHEAD: usize = 2 + 10;
+const INTERNAL_ENTRY_OVERHEAD: usize = 2 + 8;
+
+/// Meta-page field offsets.
+const META_ROOT: usize = 0;
+const META_COUNT: usize = 8;
+const META_UNIQUE: usize = 16;
+
+/// Build the composite key used by non-unique indexes: `key ++ rid`, which
+/// sorts by key then rid and makes every entry unique.
+pub fn composite_key(key: &[u8], rid: Rid) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() + 10);
+    out.extend_from_slice(key);
+    out.extend_from_slice(&rid.to_bytes());
+    out
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        next: PageId,
+        entries: Vec<(Vec<u8>, Rid)>,
+    },
+    Internal {
+        first_child: PageId,
+        entries: Vec<(Vec<u8>, PageId)>,
+    },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                NODE_HEADER
+                    + entries
+                        .iter()
+                        .map(|(k, _)| LEAF_ENTRY_OVERHEAD + k.len())
+                        .sum::<usize>()
+            }
+            Node::Internal { entries, .. } => {
+                NODE_HEADER
+                    + entries
+                        .iter()
+                        .map(|(k, _)| INTERNAL_ENTRY_OVERHEAD + k.len())
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    fn write_to(&self, buf: &mut [u8]) {
+        match self {
+            Node::Leaf { next, entries } => {
+                buf[0] = TAG_LEAF;
+                put_u16(buf, 1, entries.len() as u16);
+                put_u64(buf, 3, next.0);
+                let mut off = NODE_HEADER;
+                for (k, rid) in entries {
+                    put_u16(buf, off, k.len() as u16);
+                    off += 2;
+                    buf[off..off + k.len()].copy_from_slice(k);
+                    off += k.len();
+                    buf[off..off + 10].copy_from_slice(&rid.to_bytes());
+                    off += 10;
+                }
+            }
+            Node::Internal {
+                first_child,
+                entries,
+            } => {
+                buf[0] = TAG_INTERNAL;
+                put_u16(buf, 1, entries.len() as u16);
+                put_u64(buf, 3, first_child.0);
+                let mut off = NODE_HEADER;
+                for (k, child) in entries {
+                    put_u16(buf, off, k.len() as u16);
+                    off += 2;
+                    buf[off..off + k.len()].copy_from_slice(k);
+                    off += k.len();
+                    put_u64(buf, off, child.0);
+                    off += 8;
+                }
+            }
+        }
+    }
+
+    fn read_from(buf: &[u8]) -> StorageResult<Node> {
+        let count = get_u16(buf, 1) as usize;
+        let mut off = NODE_HEADER;
+        match buf[0] {
+            TAG_LEAF => {
+                let next = PageId(get_u64(buf, 3));
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let klen = get_u16(buf, off) as usize;
+                    off += 2;
+                    let key = buf[off..off + klen].to_vec();
+                    off += klen;
+                    let rid = Rid::from_bytes(&buf[off..off + 10])
+                        .ok_or(StorageError::Corrupt("bad leaf rid"))?;
+                    off += 10;
+                    entries.push((key, rid));
+                }
+                Ok(Node::Leaf { next, entries })
+            }
+            TAG_INTERNAL => {
+                let first_child = PageId(get_u64(buf, 3));
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let klen = get_u16(buf, off) as usize;
+                    off += 2;
+                    let key = buf[off..off + klen].to_vec();
+                    off += klen;
+                    let child = PageId(get_u64(buf, off));
+                    off += 8;
+                    entries.push((key, child));
+                }
+                Ok(Node::Internal {
+                    first_child,
+                    entries,
+                })
+            }
+            _ => Err(StorageError::Corrupt("bad btree node tag")),
+        }
+    }
+}
+
+/// A B+tree index rooted at a meta page.
+pub struct BTree {
+    meta: PageId,
+    root: PageId,
+    count: u64,
+    unique: bool,
+}
+
+impl BTree {
+    /// Create an empty tree. `unique` rejects duplicate keys on insert.
+    pub fn create<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        unique: bool,
+    ) -> StorageResult<BTree> {
+        let meta = pool.allocate_page()?;
+        let root = pool.allocate_page()?;
+        let empty = Node::Leaf {
+            next: PageId::INVALID,
+            entries: Vec::new(),
+        };
+        pool.with_page_mut(root, |p| empty.write_to(p.as_mut_slice()))?;
+        pool.with_page_mut(meta, |p| {
+            let b = p.as_mut_slice();
+            put_u64(b, META_ROOT, root.0);
+            put_u64(b, META_COUNT, 0);
+            b[META_UNIQUE] = unique as u8;
+        })?;
+        Ok(BTree {
+            meta,
+            root,
+            count: 0,
+            unique,
+        })
+    }
+
+    /// Open an existing tree rooted at `meta`.
+    pub fn open<S: PageStore>(pool: &mut BufferPool<S>, meta: PageId) -> StorageResult<BTree> {
+        let (root, count, unique) = pool.with_page(meta, |p| {
+            let b = p.as_slice();
+            (
+                PageId(get_u64(b, META_ROOT)),
+                get_u64(b, META_COUNT),
+                b[META_UNIQUE] != 0,
+            )
+        })?;
+        Ok(BTree {
+            meta,
+            root,
+            count,
+            unique,
+        })
+    }
+
+    /// The meta page id (persist this to reopen the index).
+    pub fn meta_page(&self) -> PageId {
+        self.meta
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether the tree enforces key uniqueness.
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    fn read_node<S: PageStore>(pool: &mut BufferPool<S>, pid: PageId) -> StorageResult<Node> {
+        pool.with_page(pid, |p| Node::read_from(p.as_slice()))?
+    }
+
+    fn write_node<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        pid: PageId,
+        node: &Node,
+    ) -> StorageResult<()> {
+        debug_assert!(node.serialized_size() <= PAGE_SIZE);
+        pool.with_page_mut(pid, |p| node.write_to(p.as_mut_slice()))
+    }
+
+    fn persist_meta<S: PageStore>(&self, pool: &mut BufferPool<S>) -> StorageResult<()> {
+        let (root, count) = (self.root, self.count);
+        pool.with_page_mut(self.meta, |p| {
+            let b = p.as_mut_slice();
+            put_u64(b, META_ROOT, root.0);
+            put_u64(b, META_COUNT, count);
+        })
+    }
+
+    /// Insert an entry. For unique trees, returns [`StorageError::DuplicateKey`]
+    /// if the key is already present.
+    pub fn insert<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        key: &[u8],
+        rid: Rid,
+    ) -> StorageResult<()> {
+        if key.len() > MAX_KEY {
+            return Err(StorageError::RecordTooLarge {
+                size: key.len(),
+                max: MAX_KEY,
+            });
+        }
+        if let Some((split_key, right)) = self.insert_rec(pool, self.root, key, rid)? {
+            // Root split: grow the tree by one level.
+            let new_root = pool.allocate_page()?;
+            let node = Node::Internal {
+                first_child: self.root,
+                entries: vec![(split_key, right)],
+            };
+            Self::write_node(pool, new_root, &node)?;
+            self.root = new_root;
+        }
+        self.count += 1;
+        self.persist_meta(pool)
+    }
+
+    fn insert_rec<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        pid: PageId,
+        key: &[u8],
+        rid: Rid,
+    ) -> StorageResult<Option<(Vec<u8>, PageId)>> {
+        let node = Self::read_node(pool, pid)?;
+        match node {
+            Node::Leaf { next, mut entries } => {
+                let pos = entries.partition_point(|(k, _)| k.as_slice() < key);
+                if self.unique && entries.get(pos).is_some_and(|(k, _)| k == key) {
+                    return Err(StorageError::DuplicateKey);
+                }
+                entries.insert(pos, (key.to_vec(), rid));
+                let node = Node::Leaf { next, entries };
+                if node.serialized_size() <= PAGE_SIZE {
+                    Self::write_node(pool, pid, &node)?;
+                    return Ok(None);
+                }
+                // Split the leaf at the size midpoint.
+                let Node::Leaf { next, entries } = node else {
+                    unreachable!()
+                };
+                let mid = split_point(
+                    entries.iter().map(|(k, _)| LEAF_ENTRY_OVERHEAD + k.len()),
+                );
+                let right_entries = entries[mid..].to_vec();
+                let left_entries = entries[..mid].to_vec();
+                let right_pid = pool.allocate_page()?;
+                let split_key = right_entries[0].0.clone();
+                Self::write_node(
+                    pool,
+                    right_pid,
+                    &Node::Leaf {
+                        next,
+                        entries: right_entries,
+                    },
+                )?;
+                Self::write_node(
+                    pool,
+                    pid,
+                    &Node::Leaf {
+                        next: right_pid,
+                        entries: left_entries,
+                    },
+                )?;
+                Ok(Some((split_key, right_pid)))
+            }
+            Node::Internal {
+                first_child,
+                mut entries,
+            } => {
+                // Child for `key`: last entry with sep <= key, else first_child.
+                let pos = entries.partition_point(|(k, _)| k.as_slice() <= key);
+                let child = if pos == 0 {
+                    first_child
+                } else {
+                    entries[pos - 1].1
+                };
+                let Some((split_key, right)) = self.insert_rec(pool, child, key, rid)? else {
+                    return Ok(None);
+                };
+                entries.insert(pos, (split_key, right));
+                let node = Node::Internal {
+                    first_child,
+                    entries,
+                };
+                if node.serialized_size() <= PAGE_SIZE {
+                    Self::write_node(pool, pid, &node)?;
+                    return Ok(None);
+                }
+                let Node::Internal {
+                    first_child,
+                    entries,
+                } = node
+                else {
+                    unreachable!()
+                };
+                let mid = split_point(
+                    entries
+                        .iter()
+                        .map(|(k, _)| INTERNAL_ENTRY_OVERHEAD + k.len()),
+                );
+                // The separator at `mid` moves *up*, not into the right node.
+                let promote = entries[mid].0.clone();
+                let right_first = entries[mid].1;
+                let right_entries = entries[mid + 1..].to_vec();
+                let left_entries = entries[..mid].to_vec();
+                let right_pid = pool.allocate_page()?;
+                Self::write_node(
+                    pool,
+                    right_pid,
+                    &Node::Internal {
+                        first_child: right_first,
+                        entries: right_entries,
+                    },
+                )?;
+                Self::write_node(
+                    pool,
+                    pid,
+                    &Node::Internal {
+                        first_child,
+                        entries: left_entries,
+                    },
+                )?;
+                Ok(Some((promote, right_pid)))
+            }
+        }
+    }
+
+    /// Find the leaf that would contain `key`, returning its page id.
+    fn find_leaf<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        key: &[u8],
+    ) -> StorageResult<PageId> {
+        let mut pid = self.root;
+        loop {
+            match Self::read_node(pool, pid)? {
+                Node::Leaf { .. } => return Ok(pid),
+                Node::Internal {
+                    first_child,
+                    entries,
+                } => {
+                    let pos = entries.partition_point(|(k, _)| k.as_slice() <= key);
+                    pid = if pos == 0 {
+                        first_child
+                    } else {
+                        entries[pos - 1].1
+                    };
+                }
+            }
+        }
+    }
+
+    /// All rids stored under exactly `key`.
+    pub fn lookup<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        key: &[u8],
+    ) -> StorageResult<Vec<Rid>> {
+        let mut out = Vec::new();
+        let mut pid = self.find_leaf(pool, key)?;
+        'chain: while pid.is_valid() {
+            let Node::Leaf { next, entries } = Self::read_node(pool, pid)? else {
+                return Err(StorageError::Corrupt("expected leaf"));
+            };
+            let start = entries.partition_point(|(k, _)| k.as_slice() < key);
+            for (k, rid) in &entries[start..] {
+                if k.as_slice() != key {
+                    break 'chain;
+                }
+                out.push(*rid);
+            }
+            // Key run may continue on the next leaf only if it reached the end.
+            if entries.is_empty() || entries.last().unwrap().0.as_slice() == key {
+                pid = next;
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// All rids whose (composite) key starts with `prefix` — the lookup used
+    /// by non-unique indexes built with [`composite_key`].
+    pub fn lookup_prefix<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        prefix: &[u8],
+    ) -> StorageResult<Vec<Rid>> {
+        let mut out = Vec::new();
+        self.range_scan(
+            pool,
+            Bound::Included(prefix),
+            Bound::Unbounded,
+            |k, rid| {
+                if k.starts_with(prefix) {
+                    out.push(rid);
+                    true
+                } else {
+                    false
+                }
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// Remove the entry `(key, rid)`. Returns whether it existed.
+    pub fn delete<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        key: &[u8],
+        rid: Rid,
+    ) -> StorageResult<bool> {
+        let mut pid = self.find_leaf(pool, key)?;
+        while pid.is_valid() {
+            let Node::Leaf { next, mut entries } = Self::read_node(pool, pid)? else {
+                return Err(StorageError::Corrupt("expected leaf"));
+            };
+            let start = entries.partition_point(|(k, _)| k.as_slice() < key);
+            if start == entries.len() {
+                // Run may continue on the next leaf.
+                pid = next;
+                continue;
+            }
+            let mut i = start;
+            while i < entries.len() && entries[i].0.as_slice() == key {
+                if entries[i].1 == rid {
+                    entries.remove(i);
+                    Self::write_node(pool, pid, &Node::Leaf { next, entries })?;
+                    self.count -= 1;
+                    self.persist_meta(pool)?;
+                    return Ok(true);
+                }
+                i += 1;
+            }
+            if i < entries.len() {
+                return Ok(false); // passed the key run without a rid match
+            }
+            pid = next;
+        }
+        Ok(false)
+    }
+
+    /// Scan entries in `[lower, upper]` order, calling `f(key, rid)`; stop
+    /// early when `f` returns `false`.
+    pub fn range_scan<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        lower: Bound<&[u8]>,
+        upper: Bound<&[u8]>,
+        mut f: impl FnMut(&[u8], Rid) -> bool,
+    ) -> StorageResult<()> {
+        let mut cursor = self.cursor_at(pool, lower)?;
+        while let Some((key, rid)) = cursor.next(pool, self)? {
+            let in_range = match upper {
+                Bound::Unbounded => true,
+                Bound::Included(u) => key.as_slice() <= u,
+                Bound::Excluded(u) => key.as_slice() < u,
+            };
+            if !in_range || !f(&key, rid) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect a bounded range (convenience for tests).
+    pub fn range<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        lower: Bound<&[u8]>,
+        upper: Bound<&[u8]>,
+    ) -> StorageResult<Vec<(Vec<u8>, Rid)>> {
+        let mut out = Vec::new();
+        self.range_scan(pool, lower, upper, |k, r| {
+            out.push((k.to_vec(), r));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Position a cursor at the first entry >= `lower`.
+    pub fn cursor_at<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        lower: Bound<&[u8]>,
+    ) -> StorageResult<BTreeCursor> {
+        let (leaf, idx) = match lower {
+            Bound::Unbounded => {
+                // Descend to the leftmost leaf.
+                let mut pid = self.root;
+                loop {
+                    match Self::read_node(pool, pid)? {
+                        Node::Leaf { .. } => break (pid, 0),
+                        Node::Internal { first_child, .. } => pid = first_child,
+                    }
+                }
+            }
+            Bound::Included(key) | Bound::Excluded(key) => {
+                let pid = self.find_leaf(pool, key)?;
+                let Node::Leaf { entries, .. } = Self::read_node(pool, pid)? else {
+                    return Err(StorageError::Corrupt("expected leaf"));
+                };
+                let idx = match lower {
+                    Bound::Included(_) => {
+                        entries.partition_point(|(k, _)| k.as_slice() < key)
+                    }
+                    _ => entries.partition_point(|(k, _)| k.as_slice() <= key),
+                };
+                (pid, idx)
+            }
+        };
+        Ok(BTreeCursor {
+            leaf,
+            idx: idx as u32,
+        })
+    }
+
+    /// Free every page of the tree.
+    pub fn destroy<S: PageStore>(self, pool: &mut BufferPool<S>) -> StorageResult<()> {
+        let mut stack = vec![self.root];
+        while let Some(pid) = stack.pop() {
+            if let Node::Internal {
+                first_child,
+                entries,
+            } = Self::read_node(pool, pid)?
+            {
+                stack.push(first_child);
+                stack.extend(entries.iter().map(|(_, c)| *c));
+            }
+            pool.free_page(pid)?;
+        }
+        pool.free_page(self.meta)
+    }
+
+    /// Depth of the tree (1 = just a root leaf). For tests and stats.
+    pub fn height<S: PageStore>(&self, pool: &mut BufferPool<S>) -> StorageResult<usize> {
+        let mut h = 1;
+        let mut pid = self.root;
+        loop {
+            match Self::read_node(pool, pid)? {
+                Node::Leaf { .. } => return Ok(h),
+                Node::Internal { first_child, .. } => {
+                    pid = first_child;
+                    h += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Pick the split index such that both halves have at least one entry and
+/// sizes are as balanced as possible.
+fn split_point(sizes: impl Iterator<Item = usize>) -> usize {
+    let sizes: Vec<usize> = sizes.collect();
+    let total: usize = sizes.iter().sum();
+    let mut acc = 0;
+    for (i, s) in sizes.iter().enumerate() {
+        acc += s;
+        if acc * 2 >= total {
+            // Never split off an empty half.
+            return (i + 1).clamp(1, sizes.len() - 1);
+        }
+    }
+    sizes.len() / 2
+}
+
+/// A resumable position in the leaf chain.
+///
+/// The cursor is a *hint*: if the tree is mutated between `next` calls the
+/// position may drift (a split moves entries right). Layers that interleave
+/// mutation with browsing re-seek by the last-seen key instead of trusting a
+/// stale cursor; within a read-only browse the cursor is exact.
+#[derive(Debug, Clone, Copy)]
+pub struct BTreeCursor {
+    leaf: PageId,
+    idx: u32,
+}
+
+impl BTreeCursor {
+    /// Advance and return the next `(key, rid)` entry, or `None` at the end.
+    pub fn next<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        tree: &BTree,
+    ) -> StorageResult<Option<(Vec<u8>, Rid)>> {
+        let _ = tree;
+        while self.leaf.is_valid() {
+            let node = BTree::read_node(pool, self.leaf)?;
+            let Node::Leaf { next, entries } = node else {
+                return Err(StorageError::Corrupt("cursor not on a leaf"));
+            };
+            if (self.idx as usize) < entries.len() {
+                let (k, rid) = entries[self.idx as usize].clone();
+                self.idx += 1;
+                return Ok(Some((k, rid)));
+            }
+            self.leaf = next;
+            self.idx = 0;
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn setup(unique: bool) -> (BufferPool<MemStore>, BTree) {
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let tree = BTree::create(&mut pool, unique).unwrap();
+        (pool, tree)
+    }
+
+    fn rid(n: u64) -> Rid {
+        Rid::new(PageId(n), (n % 7) as u16)
+    }
+
+    #[test]
+    fn insert_lookup_small() {
+        let (mut pool, mut t) = setup(true);
+        t.insert(&mut pool, b"banana", rid(1)).unwrap();
+        t.insert(&mut pool, b"apple", rid(2)).unwrap();
+        t.insert(&mut pool, b"cherry", rid(3)).unwrap();
+        assert_eq!(t.lookup(&mut pool, b"apple").unwrap(), vec![rid(2)]);
+        assert_eq!(t.lookup(&mut pool, b"banana").unwrap(), vec![rid(1)]);
+        assert_eq!(t.lookup(&mut pool, b"durian").unwrap(), Vec::<Rid>::new());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn unique_tree_rejects_duplicates() {
+        let (mut pool, mut t) = setup(true);
+        t.insert(&mut pool, b"k", rid(1)).unwrap();
+        assert!(matches!(
+            t.insert(&mut pool, b"k", rid(2)),
+            Err(StorageError::DuplicateKey)
+        ));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn non_unique_tree_accumulates_duplicates() {
+        let (mut pool, mut t) = setup(false);
+        for i in 0..10 {
+            t.insert(&mut pool, b"same", rid(i)).unwrap();
+        }
+        let rids = t.lookup(&mut pool, b"same").unwrap();
+        assert_eq!(rids.len(), 10);
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let (mut pool, mut t) = setup(true);
+        let n = 5000u32;
+        // Insert in a scrambled order.
+        let mut keys: Vec<u32> = (0..n).collect();
+        let mut state = 0x12345678u64;
+        for i in (1..keys.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            keys.swap(i, j);
+        }
+        for &k in &keys {
+            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+        }
+        assert!(t.height(&mut pool).unwrap() >= 2, "tree must have split");
+        // Full ordered scan returns every key in order.
+        let all = t
+            .range(&mut pool, Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        assert_eq!(all.len(), n as usize);
+        for (i, (k, r)) in all.iter().enumerate() {
+            assert_eq!(k.as_slice(), (i as u32).to_be_bytes());
+            assert_eq!(*r, rid(i as u64));
+        }
+        // Point lookups all work.
+        for probe in [0u32, 1, 17, 999, 2500, n - 1] {
+            assert_eq!(
+                t.lookup(&mut pool, &probe.to_be_bytes()).unwrap(),
+                vec![rid(probe as u64)]
+            );
+        }
+    }
+
+    #[test]
+    fn range_bounds_are_respected() {
+        let (mut pool, mut t) = setup(true);
+        for k in 0..100u32 {
+            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+        }
+        let lo = 10u32.to_be_bytes();
+        let hi = 20u32.to_be_bytes();
+        let incl = t
+            .range(&mut pool, Bound::Included(&lo), Bound::Included(&hi))
+            .unwrap();
+        assert_eq!(incl.len(), 11);
+        let excl = t
+            .range(&mut pool, Bound::Excluded(&lo), Bound::Excluded(&hi))
+            .unwrap();
+        assert_eq!(excl.len(), 9);
+        assert_eq!(excl[0].0, 11u32.to_be_bytes());
+    }
+
+    #[test]
+    fn delete_removes_exact_entry() {
+        let (mut pool, mut t) = setup(false);
+        t.insert(&mut pool, b"k", rid(1)).unwrap();
+        t.insert(&mut pool, b"k", rid(2)).unwrap();
+        assert!(t.delete(&mut pool, b"k", rid(1)).unwrap());
+        assert_eq!(t.lookup(&mut pool, b"k").unwrap(), vec![rid(2)]);
+        assert!(!t.delete(&mut pool, b"k", rid(1)).unwrap());
+        assert!(!t.delete(&mut pool, b"missing", rid(1)).unwrap());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_across_split_leaves() {
+        let (mut pool, mut t) = setup(true);
+        let n = 3000u32;
+        for k in 0..n {
+            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+        }
+        for k in (0..n).step_by(2) {
+            assert!(t.delete(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap());
+        }
+        assert_eq!(t.len() as u32, n / 2);
+        let all = t
+            .range(&mut pool, Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        assert!(all.iter().all(|(k, _)| {
+            u32::from_be_bytes(k.as_slice().try_into().unwrap()) % 2 == 1
+        }));
+    }
+
+    #[test]
+    fn cursor_walks_whole_tree_incrementally() {
+        let (mut pool, mut t) = setup(true);
+        for k in 0..1000u32 {
+            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+        }
+        let mut cur = t.cursor_at(&mut pool, Bound::Unbounded).unwrap();
+        let mut seen = 0u32;
+        while let Some((k, _)) = cur.next(&mut pool, &t).unwrap() {
+            assert_eq!(k, seen.to_be_bytes());
+            seen += 1;
+        }
+        assert_eq!(seen, 1000);
+    }
+
+    #[test]
+    fn cursor_seek_positions_mid_tree() {
+        let (mut pool, mut t) = setup(true);
+        for k in (0..1000u32).step_by(2) {
+            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+        }
+        // Seek to a key that is absent (odd): next entry is the even above it.
+        let probe = 501u32.to_be_bytes();
+        let mut cur = t.cursor_at(&mut pool, Bound::Included(&probe)).unwrap();
+        let (k, _) = cur.next(&mut pool, &t).unwrap().unwrap();
+        assert_eq!(k, 502u32.to_be_bytes());
+    }
+
+    #[test]
+    fn composite_keys_give_per_duplicate_deletion() {
+        let (mut pool, mut t) = setup(true); // physically unique
+        for i in 0..50u64 {
+            let ck = composite_key(b"dept=sales", rid(i));
+            t.insert(&mut pool, &ck, rid(i)).unwrap();
+        }
+        let hits = t.lookup_prefix(&mut pool, b"dept=sales").unwrap();
+        assert_eq!(hits.len(), 50);
+        let ck = composite_key(b"dept=sales", rid(7));
+        assert!(t.delete(&mut pool, &ck, rid(7)).unwrap());
+        assert_eq!(t.lookup_prefix(&mut pool, b"dept=sales").unwrap().len(), 49);
+    }
+
+    #[test]
+    fn reopen_preserves_tree() {
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let meta;
+        {
+            let mut t = BTree::create(&mut pool, true).unwrap();
+            meta = t.meta_page();
+            for k in 0..2000u32 {
+                t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+            }
+        }
+        let t = BTree::open(&mut pool, meta).unwrap();
+        assert_eq!(t.len(), 2000);
+        assert!(t.is_unique());
+        assert_eq!(
+            t.lookup(&mut pool, &1234u32.to_be_bytes()).unwrap(),
+            vec![rid(1234)]
+        );
+    }
+
+    #[test]
+    fn oversized_key_is_rejected() {
+        let (mut pool, mut t) = setup(true);
+        let big = vec![0u8; MAX_KEY + 1];
+        assert!(t.insert(&mut pool, &big, rid(0)).is_err());
+    }
+
+    #[test]
+    fn variable_length_keys_sort_lexicographically() {
+        let (mut pool, mut t) = setup(true);
+        let keys: &[&[u8]] = &[b"a", b"aa", b"ab", b"b", b"ba", b""];
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(&mut pool, k, rid(i as u64)).unwrap();
+        }
+        let all = t
+            .range(&mut pool, Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        let got: Vec<&[u8]> = all.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(got, vec![&b""[..], b"a", b"aa", b"ab", b"b", b"ba"]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::store::MemStore;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn matches_std_btreemap(
+            ops in proptest::collection::vec(
+                (proptest::collection::vec(any::<u8>(), 0..24), any::<bool>()),
+                1..300,
+            )
+        ) {
+            let mut pool = BufferPool::new(MemStore::new(), 64);
+            let mut tree = BTree::create(&mut pool, true).unwrap();
+            let mut model: BTreeMap<Vec<u8>, Rid> = BTreeMap::new();
+            let mut next_rid = 0u64;
+            for (key, is_insert) in ops {
+                if is_insert {
+                    let r = Rid::new(PageId(next_rid), 0);
+                    next_rid += 1;
+                    match tree.insert(&mut pool, &key, r) {
+                        Ok(()) => {
+                            prop_assert!(!model.contains_key(&key));
+                            model.insert(key, r);
+                        }
+                        Err(StorageError::DuplicateKey) => {
+                            prop_assert!(model.contains_key(&key));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                } else if let Some(&r) = model.get(&key) {
+                    prop_assert!(tree.delete(&mut pool, &key, r).unwrap());
+                    model.remove(&key);
+                } else {
+                    // Deleting a missing key with an arbitrary rid is a no-op.
+                    let _ = tree.delete(&mut pool, &key, Rid::new(PageId(0), 0)).unwrap();
+                }
+            }
+            prop_assert_eq!(tree.len() as usize, model.len());
+            let all = tree.range(&mut pool, Bound::Unbounded, Bound::Unbounded).unwrap();
+            let expect: Vec<(Vec<u8>, Rid)> =
+                model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            prop_assert_eq!(all, expect);
+        }
+    }
+}

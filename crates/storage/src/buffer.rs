@@ -1,0 +1,318 @@
+//! A pinning buffer pool with clock (second-chance) eviction.
+//!
+//! All page access from the heap/index layers goes through the pool, which
+//! caches hot pages in fixed-capacity frames over any [`PageStore`]. Access
+//! is closure-scoped — [`BufferPool::with_page`] / [`BufferPool::with_page_mut`]
+//! pin the frame for the duration of the closure, which makes pin leaks
+//! impossible by construction.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId};
+use crate::store::PageStore;
+use std::collections::HashMap;
+
+struct Frame {
+    id: PageId,
+    page: Page,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+/// Cache statistics, readable at any time (used by benches to demonstrate
+/// locality of browse cursors).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read from the store.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back.
+    pub writebacks: u64,
+}
+
+/// A buffer pool over a [`PageStore`].
+pub struct BufferPool<S: PageStore> {
+    store: S,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    clock: usize,
+    capacity: usize,
+    stats: PoolStats,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Create a pool caching up to `capacity` pages.
+    pub fn new(store: S, capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            store,
+            frames: Vec::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity),
+            clock: 0,
+            capacity,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Reset cache statistics (between bench phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    /// Number of frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Allocate a fresh page in the store and fault it into the pool.
+    pub fn allocate_page(&mut self) -> StorageResult<PageId> {
+        let id = self.store.allocate()?;
+        // Fault it in dirty so the zero image need not be re-read.
+        let idx = self.frame_for(id, /*load=*/ false)?;
+        self.frames[idx].dirty = true;
+        self.frames[idx].pins -= 1;
+        Ok(id)
+    }
+
+    /// Drop the page from the pool (without writeback) and free it in the
+    /// store.
+    pub fn free_page(&mut self, id: PageId) -> StorageResult<()> {
+        if let Some(idx) = self.map.remove(&id) {
+            assert_eq!(self.frames[idx].pins, 0, "freeing a pinned page");
+            self.frames[idx].id = PageId::INVALID;
+            self.frames[idx].dirty = false;
+        }
+        self.store.free(id)
+    }
+
+    /// Run `f` with read access to the page.
+    pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
+        let idx = self.frame_for(id, true)?;
+        let out = f(&self.frames[idx].page);
+        self.frames[idx].pins -= 1;
+        Ok(out)
+    }
+
+    /// Run `f` with write access to the page; the frame is marked dirty.
+    pub fn with_page_mut<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> StorageResult<R> {
+        let idx = self.frame_for(id, true)?;
+        self.frames[idx].dirty = true;
+        let out = f(&mut self.frames[idx].page);
+        self.frames[idx].pins -= 1;
+        Ok(out)
+    }
+
+    /// Write back every dirty frame and sync the store.
+    pub fn flush_all(&mut self) -> StorageResult<()> {
+        for idx in 0..self.frames.len() {
+            if self.frames[idx].id.is_valid() && self.frames[idx].dirty {
+                self.store
+                    .write(self.frames[idx].id, &self.frames[idx].page)?;
+                self.frames[idx].dirty = false;
+                self.stats.writebacks += 1;
+            }
+        }
+        self.store.sync()
+    }
+
+    /// Borrow the underlying store (e.g. for direct recovery reads).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutably borrow the underlying store.
+    ///
+    /// Care: bypassing the pool for writes invalidates cached frames; this is
+    /// only sound for pages not resident, as in recovery before any access.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Locate (or fault in) the frame for `id`, returning its index with one
+    /// pin taken. `load` controls whether a miss reads the store (false for
+    /// fresh allocations whose content is known-zero).
+    fn frame_for(&mut self, id: PageId, load: bool) -> StorageResult<usize> {
+        if let Some(&idx) = self.map.get(&id) {
+            self.stats.hits += 1;
+            self.frames[idx].pins += 1;
+            self.frames[idx].referenced = true;
+            return Ok(idx);
+        }
+        self.stats.misses += 1;
+        let idx = self.victim()?;
+        // Write back the evictee.
+        if self.frames[idx].id.is_valid() {
+            self.map.remove(&self.frames[idx].id);
+            if self.frames[idx].dirty {
+                self.store
+                    .write(self.frames[idx].id, &self.frames[idx].page)?;
+                self.stats.writebacks += 1;
+            }
+            self.stats.evictions += 1;
+        }
+        if load {
+            let (store, frame) = (&mut self.store, &mut self.frames[idx]);
+            store.read(id, &mut frame.page)?;
+        } else {
+            self.frames[idx].page.as_mut_slice().fill(0);
+        }
+        self.frames[idx].id = id;
+        self.frames[idx].dirty = false;
+        self.frames[idx].pins = 1;
+        self.frames[idx].referenced = true;
+        self.map.insert(id, idx);
+        Ok(idx)
+    }
+
+    /// Pick a frame to (re)use: an unused slot if capacity remains, else the
+    /// clock algorithm over unpinned frames.
+    fn victim(&mut self) -> StorageResult<usize> {
+        if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                id: PageId::INVALID,
+                page: Page::zeroed(),
+                dirty: false,
+                pins: 0,
+                referenced: false,
+            });
+            return Ok(self.frames.len() - 1);
+        }
+        // Two full sweeps: first clears reference bits, second must find a
+        // victim unless everything is pinned.
+        for _ in 0..2 * self.frames.len() {
+            let idx = self.clock;
+            self.clock = (self.clock + 1) % self.frames.len();
+            let f = &mut self.frames[idx];
+            if f.pins > 0 {
+                continue;
+            }
+            if f.referenced {
+                f.referenced = false;
+                continue;
+            }
+            return Ok(idx);
+        }
+        Err(StorageError::PoolExhausted {
+            capacity: self.capacity,
+        })
+    }
+}
+
+impl<S: PageStore> Drop for BufferPool<S> {
+    fn drop(&mut self) {
+        // Best-effort writeback; errors on drop are ignored by design.
+        let _ = self.flush_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn pool(cap: usize) -> BufferPool<MemStore> {
+        BufferPool::new(MemStore::new(), cap)
+    }
+
+    #[test]
+    fn read_your_writes_through_pool() {
+        let mut p = pool(4);
+        let id = p.allocate_page().unwrap();
+        p.with_page_mut(id, |pg| pg.as_mut_slice()[0] = 42).unwrap();
+        let v = p.with_page(id, |pg| pg.as_slice()[0]).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let mut p = pool(2);
+        let ids: Vec<PageId> = (0..8).map(|_| p.allocate_page().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            p.with_page_mut(*id, |pg| pg.as_mut_slice()[0] = i as u8)
+                .unwrap();
+        }
+        // Every page must still read back correctly despite evictions.
+        for (i, id) in ids.iter().enumerate() {
+            let v = p.with_page(*id, |pg| pg.as_slice()[0]).unwrap();
+            assert_eq!(v, i as u8, "page {i} lost its contents");
+        }
+        assert!(p.stats().evictions > 0, "capacity 2 must evict");
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut p = pool(4);
+        let id = p.allocate_page().unwrap();
+        p.reset_stats();
+        p.with_page(id, |_| ()).unwrap();
+        p.with_page(id, |_| ()).unwrap();
+        let s = p.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn flush_all_persists_to_store() {
+        let mut p = pool(4);
+        let id = p.allocate_page().unwrap();
+        p.with_page_mut(id, |pg| pg.as_mut_slice()[7] = 9).unwrap();
+        p.flush_all().unwrap();
+        let mut out = Page::zeroed();
+        p.store_mut().read(id, &mut out).unwrap();
+        assert_eq!(out.as_slice()[7], 9);
+    }
+
+    #[test]
+    fn free_page_removes_from_pool_and_store() {
+        let mut p = pool(4);
+        let id = p.allocate_page().unwrap();
+        p.free_page(id).unwrap();
+        assert!(p.with_page(id, |_| ()).is_err());
+    }
+
+    #[test]
+    fn single_frame_pool_works() {
+        let mut p = pool(1);
+        let a = p.allocate_page().unwrap();
+        let b = p.allocate_page().unwrap();
+        p.with_page_mut(a, |pg| pg.as_mut_slice()[0] = 1).unwrap();
+        p.with_page_mut(b, |pg| pg.as_mut_slice()[0] = 2).unwrap();
+        assert_eq!(p.with_page(a, |pg| pg.as_slice()[0]).unwrap(), 1);
+        assert_eq!(p.with_page(b, |pg| pg.as_slice()[0]).unwrap(), 2);
+        assert_eq!(p.resident(), 1);
+    }
+
+    #[test]
+    fn many_pages_random_access_consistency() {
+        let mut p = pool(8);
+        let n = 100u8;
+        let ids: Vec<PageId> = (0..n).map(|_| p.allocate_page().unwrap()).collect();
+        for (i, id) in ids.iter().enumerate() {
+            p.with_page_mut(*id, |pg| pg.as_mut_slice()[100] = i as u8)
+                .unwrap();
+        }
+        // Strided access pattern to churn the clock.
+        for stride in [1usize, 3, 7, 13] {
+            let mut i = 0usize;
+            for _ in 0..n {
+                let v = p
+                    .with_page(ids[i], |pg| pg.as_slice()[100])
+                    .unwrap();
+                assert_eq!(v, i as u8);
+                i = (i + stride) % n as usize;
+            }
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! A bucket-chained hash index for equality lookups.
+//!
+//! The forms interface resolves key lookups (e.g. "fetch the row the cursor
+//! is on" or an exact-match query-by-form field) through either a B+tree or
+//! this hash index; the optimizer picks the hash index for pure equality
+//! predicates because it needs no descent.
+//!
+//! Structure: a meta page holds a directory of `B` bucket-head page ids.
+//! Each bucket is a chain of pages of `(key, rid)` entries. Keys hash with
+//! FNV-1a. Duplicates are allowed (uniqueness, when needed, is enforced by
+//! the table layer which probes before insert).
+//!
+//! Bucket page layout:
+//!
+//! ```text
+//! 0..8   next page in chain (PageId, INVALID at end)
+//! 8..10  entry count (u16)
+//! 10..   entries {klen: u16, key, rid: 10 bytes}
+//! ```
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{get_u16, get_u64, put_u16, put_u64, PageId, PAGE_SIZE};
+use crate::rid::Rid;
+use crate::store::PageStore;
+
+/// Default number of buckets.
+pub const DEFAULT_BUCKETS: usize = 128;
+/// Maximum number of buckets (directory must fit on the meta page).
+pub const MAX_BUCKETS: usize = (PAGE_SIZE - 16) / 8;
+/// Maximum key length accepted by the index.
+pub const MAX_KEY: usize = 1024;
+
+const PAGE_HEADER: usize = 10;
+const ENTRY_OVERHEAD: usize = 2 + 10;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A hash index rooted at a meta page.
+pub struct HashIndex {
+    meta: PageId,
+    buckets: Vec<PageId>,
+    count: u64,
+}
+
+impl HashIndex {
+    /// Create an empty index with `buckets` buckets.
+    pub fn create<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        buckets: usize,
+    ) -> StorageResult<HashIndex> {
+        assert!(buckets >= 1 && buckets <= MAX_BUCKETS);
+        let meta = pool.allocate_page()?;
+        let heads = vec![PageId::INVALID; buckets];
+        pool.with_page_mut(meta, |p| {
+            let b = p.as_mut_slice();
+            put_u64(b, 0, buckets as u64);
+            put_u64(b, 8, 0); // entry count
+            for (i, h) in heads.iter().enumerate() {
+                put_u64(b, 16 + i * 8, h.0);
+            }
+        })?;
+        Ok(HashIndex {
+            meta,
+            buckets: heads,
+            count: 0,
+        })
+    }
+
+    /// Open an existing index rooted at `meta`.
+    pub fn open<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        meta: PageId,
+    ) -> StorageResult<HashIndex> {
+        let (buckets, count) = pool.with_page(meta, |p| {
+            let b = p.as_slice();
+            let n = get_u64(b, 0) as usize;
+            let count = get_u64(b, 8);
+            let heads: Vec<PageId> = (0..n).map(|i| PageId(get_u64(b, 16 + i * 8))).collect();
+            (heads, count)
+        })?;
+        Ok(HashIndex {
+            meta,
+            buckets,
+            count,
+        })
+    }
+
+    /// The meta page id (persist this to reopen the index).
+    pub fn meta_page(&self) -> PageId {
+        self.meta
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn bucket_of(&self, key: &[u8]) -> usize {
+        (fnv1a(key) % self.buckets.len() as u64) as usize
+    }
+
+    fn persist_meta<S: PageStore>(&self, pool: &mut BufferPool<S>) -> StorageResult<()> {
+        let count = self.count;
+        let heads = self.buckets.clone();
+        pool.with_page_mut(self.meta, |p| {
+            let b = p.as_mut_slice();
+            put_u64(b, 8, count);
+            for (i, h) in heads.iter().enumerate() {
+                put_u64(b, 16 + i * 8, h.0);
+            }
+        })
+    }
+
+    /// Insert an entry (duplicates allowed).
+    pub fn insert<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        key: &[u8],
+        rid: Rid,
+    ) -> StorageResult<()> {
+        if key.len() > MAX_KEY {
+            return Err(StorageError::RecordTooLarge {
+                size: key.len(),
+                max: MAX_KEY,
+            });
+        }
+        let b = self.bucket_of(key);
+        let need = ENTRY_OVERHEAD + key.len();
+        // Walk the chain looking for a page with room.
+        let mut pid = self.buckets[b];
+        let mut prev = PageId::INVALID;
+        while pid.is_valid() {
+            let inserted = pool.with_page_mut(pid, |p| {
+                let buf = p.as_mut_slice();
+                let count = get_u16(buf, 8) as usize;
+                let used = Self::used_bytes(buf, count);
+                if used + need > PAGE_SIZE {
+                    return false;
+                }
+                Self::write_entry(buf, used, key, rid);
+                put_u16(buf, 8, (count + 1) as u16);
+                true
+            })?;
+            if inserted {
+                self.count += 1;
+                return self.persist_meta(pool);
+            }
+            prev = pid;
+            pid = pool.with_page(pid, |p| PageId(get_u64(p.as_slice(), 0)))?;
+        }
+        // Chain full (or empty): add a page.
+        let new = pool.allocate_page()?;
+        pool.with_page_mut(new, |p| {
+            let buf = p.as_mut_slice();
+            put_u64(buf, 0, PageId::INVALID.0);
+            put_u16(buf, 8, 1);
+            Self::write_entry(buf, PAGE_HEADER, key, rid);
+        })?;
+        if prev.is_valid() {
+            pool.with_page_mut(prev, |p| put_u64(p.as_mut_slice(), 0, new.0))?;
+        } else {
+            self.buckets[b] = new;
+        }
+        self.count += 1;
+        self.persist_meta(pool)
+    }
+
+    fn used_bytes(buf: &[u8], count: usize) -> usize {
+        let mut off = PAGE_HEADER;
+        for _ in 0..count {
+            let klen = get_u16(buf, off) as usize;
+            off += 2 + klen + 10;
+        }
+        off
+    }
+
+    fn write_entry(buf: &mut [u8], off: usize, key: &[u8], rid: Rid) {
+        put_u16(buf, off, key.len() as u16);
+        buf[off + 2..off + 2 + key.len()].copy_from_slice(key);
+        buf[off + 2 + key.len()..off + 2 + key.len() + 10].copy_from_slice(&rid.to_bytes());
+    }
+
+    fn for_each_entry<S: PageStore>(
+        pool: &mut BufferPool<S>,
+        head: PageId,
+        mut f: impl FnMut(&[u8], Rid),
+    ) -> StorageResult<()> {
+        let mut pid = head;
+        while pid.is_valid() {
+            let next = pool.with_page(pid, |p| {
+                let buf = p.as_slice();
+                let count = get_u16(buf, 8) as usize;
+                let mut off = PAGE_HEADER;
+                for _ in 0..count {
+                    let klen = get_u16(buf, off) as usize;
+                    off += 2;
+                    let key = &buf[off..off + klen];
+                    off += klen;
+                    let rid = Rid::from_bytes(&buf[off..off + 10]).expect("10-byte rid");
+                    off += 10;
+                    f(key, rid);
+                }
+                PageId(get_u64(buf, 0))
+            })?;
+            pid = next;
+        }
+        Ok(())
+    }
+
+    /// All rids stored under `key`.
+    pub fn lookup<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        key: &[u8],
+    ) -> StorageResult<Vec<Rid>> {
+        let head = self.buckets[self.bucket_of(key)];
+        let mut out = Vec::new();
+        Self::for_each_entry(pool, head, |k, rid| {
+            if k == key {
+                out.push(rid);
+            }
+        })?;
+        Ok(out)
+    }
+
+    /// Remove the entry `(key, rid)`. Returns whether it existed.
+    ///
+    /// Removal shifts the page's remaining entries over the hole; ordering
+    /// within a bucket is incidental and hash lookups never depend on it.
+    pub fn delete<S: PageStore>(
+        &mut self,
+        pool: &mut BufferPool<S>,
+        key: &[u8],
+        rid: Rid,
+    ) -> StorageResult<bool> {
+        let b = self.bucket_of(key);
+        let mut pid = self.buckets[b];
+        while pid.is_valid() {
+            let (removed, next) = pool.with_page_mut(pid, |p| {
+                let buf = p.as_mut_slice();
+                let count = get_u16(buf, 8) as usize;
+                // Locate the entry.
+                let mut off = PAGE_HEADER;
+                let mut found: Option<(usize, usize)> = None; // (offset, total len)
+                for _ in 0..count {
+                    let klen = get_u16(buf, off) as usize;
+                    let total = 2 + klen + 10;
+                    let k = &buf[off + 2..off + 2 + klen];
+                    let r = Rid::from_bytes(&buf[off + 2 + klen..off + total]).unwrap();
+                    if k == key && r == rid {
+                        found = Some((off, total));
+                        break;
+                    }
+                    off += total;
+                }
+                let next = PageId(get_u64(buf, 0));
+                match found {
+                    None => (false, next),
+                    Some((at, len)) => {
+                        let used = Self::used_bytes(buf, count);
+                        // Shift the tail left over the hole.
+                        buf.copy_within(at + len..used, at);
+                        put_u16(buf, 8, (count - 1) as u16);
+                        (true, next)
+                    }
+                }
+            })?;
+            if removed {
+                self.count -= 1;
+                self.persist_meta(pool)?;
+                return Ok(true);
+            }
+            pid = next;
+        }
+        Ok(false)
+    }
+
+    /// Free every page of the index.
+    pub fn destroy<S: PageStore>(self, pool: &mut BufferPool<S>) -> StorageResult<()> {
+        for head in &self.buckets {
+            let mut pid = *head;
+            while pid.is_valid() {
+                let next = pool.with_page(pid, |p| PageId(get_u64(p.as_slice(), 0)))?;
+                pool.free_page(pid)?;
+                pid = next;
+            }
+        }
+        pool.free_page(self.meta)
+    }
+
+    /// Longest bucket chain, in pages (for stats/tests).
+    pub fn max_chain_pages<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+    ) -> StorageResult<usize> {
+        let mut max = 0;
+        for head in &self.buckets {
+            let mut len = 0;
+            let mut pid = *head;
+            while pid.is_valid() {
+                len += 1;
+                pid = pool.with_page(pid, |p| PageId(get_u64(p.as_slice(), 0)))?;
+            }
+            max = max.max(len);
+        }
+        Ok(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn setup(buckets: usize) -> (BufferPool<MemStore>, HashIndex) {
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let idx = HashIndex::create(&mut pool, buckets).unwrap();
+        (pool, idx)
+    }
+
+    fn rid(n: u64) -> Rid {
+        Rid::new(PageId(n), 0)
+    }
+
+    #[test]
+    fn insert_lookup_delete() {
+        let (mut pool, mut idx) = setup(DEFAULT_BUCKETS);
+        idx.insert(&mut pool, b"alice", rid(1)).unwrap();
+        idx.insert(&mut pool, b"bob", rid(2)).unwrap();
+        assert_eq!(idx.lookup(&mut pool, b"alice").unwrap(), vec![rid(1)]);
+        assert_eq!(idx.lookup(&mut pool, b"carol").unwrap(), Vec::<Rid>::new());
+        assert!(idx.delete(&mut pool, b"alice", rid(1)).unwrap());
+        assert!(!idx.delete(&mut pool, b"alice", rid(1)).unwrap());
+        assert_eq!(idx.lookup(&mut pool, b"alice").unwrap(), Vec::<Rid>::new());
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_kept_and_deleted_individually() {
+        let (mut pool, mut idx) = setup(8);
+        for i in 0..20 {
+            idx.insert(&mut pool, b"dup", rid(i)).unwrap();
+        }
+        assert_eq!(idx.lookup(&mut pool, b"dup").unwrap().len(), 20);
+        assert!(idx.delete(&mut pool, b"dup", rid(11)).unwrap());
+        let left = idx.lookup(&mut pool, b"dup").unwrap();
+        assert_eq!(left.len(), 19);
+        assert!(!left.contains(&rid(11)));
+    }
+
+    #[test]
+    fn single_bucket_chains_pages() {
+        // Force everything into one bucket to exercise chain growth.
+        let (mut pool, mut idx) = setup(1);
+        let n = 2000u64;
+        for i in 0..n {
+            let key = format!("key-{i:06}");
+            idx.insert(&mut pool, key.as_bytes(), rid(i)).unwrap();
+        }
+        assert!(idx.max_chain_pages(&mut pool).unwrap() > 1);
+        for i in (0..n).step_by(97) {
+            let key = format!("key-{i:06}");
+            assert_eq!(idx.lookup(&mut pool, key.as_bytes()).unwrap(), vec![rid(i)]);
+        }
+    }
+
+    #[test]
+    fn many_keys_spread_over_buckets() {
+        let (mut pool, mut idx) = setup(DEFAULT_BUCKETS);
+        let n = 5000u64;
+        for i in 0..n {
+            idx.insert(&mut pool, &i.to_be_bytes(), rid(i)).unwrap();
+        }
+        assert_eq!(idx.len(), n);
+        for probe in [0u64, 1, 999, 2500, n - 1] {
+            assert_eq!(
+                idx.lookup(&mut pool, &probe.to_be_bytes()).unwrap(),
+                vec![rid(probe)]
+            );
+        }
+        // A decent hash spreads: no chain should be wildly long.
+        assert!(idx.max_chain_pages(&mut pool).unwrap() <= 4);
+    }
+
+    #[test]
+    fn delete_from_middle_of_page_keeps_rest() {
+        let (mut pool, mut idx) = setup(1);
+        for i in 0..10u64 {
+            idx.insert(&mut pool, format!("k{i}").as_bytes(), rid(i)).unwrap();
+        }
+        assert!(idx.delete(&mut pool, b"k4", rid(4)).unwrap());
+        for i in 0..10u64 {
+            let want: Vec<Rid> = if i == 4 { vec![] } else { vec![rid(i)] };
+            assert_eq!(
+                idx.lookup(&mut pool, format!("k{i}").as_bytes()).unwrap(),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn reopen_preserves_index() {
+        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let meta;
+        {
+            let mut idx = HashIndex::create(&mut pool, 16).unwrap();
+            meta = idx.meta_page();
+            for i in 0..500u64 {
+                idx.insert(&mut pool, &i.to_be_bytes(), rid(i)).unwrap();
+            }
+        }
+        let idx = HashIndex::open(&mut pool, meta).unwrap();
+        assert_eq!(idx.len(), 500);
+        assert_eq!(idx.lookup(&mut pool, &42u64.to_be_bytes()).unwrap(), vec![rid(42)]);
+    }
+
+    #[test]
+    fn oversized_key_is_rejected() {
+        let (mut pool, mut idx) = setup(4);
+        let big = vec![0u8; MAX_KEY + 1];
+        assert!(idx.insert(&mut pool, &big, rid(0)).is_err());
+    }
+
+    #[test]
+    fn empty_key_works() {
+        let (mut pool, mut idx) = setup(4);
+        idx.insert(&mut pool, b"", rid(9)).unwrap();
+        assert_eq!(idx.lookup(&mut pool, b"").unwrap(), vec![rid(9)]);
+    }
+}

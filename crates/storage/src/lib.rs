@@ -1,0 +1,47 @@
+//! # wow-storage
+//!
+//! The storage-engine substrate underneath the *Windows on the World* system.
+//!
+//! A 1983 forms interface sat on top of a full relational storage engine; we
+//! build the same stack from scratch:
+//!
+//! * [`page`] — fixed-size pages and page identifiers.
+//! * [`slotted`] — the slotted-page record layout used by heaps and indexes.
+//! * [`store`] — page stores: an in-memory store and a file-backed store.
+//! * [`buffer`] — a pinning buffer pool with clock eviction.
+//! * [`heap`] — heap files of variable-length records addressed by [`rid::Rid`].
+//! * [`btree`] — a B+tree over byte-comparable keys supporting range scans.
+//! * [`hash_index`] — a bucket-chained hash index for equality lookups.
+//! * [`wal`] — a write-ahead log with commit/abort records.
+//! * [`recovery`] — replay of committed work after a crash.
+//!
+//! Everything operates on raw byte strings; typed encoding/decoding lives one
+//! layer up in `wow-rel`.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use wow_storage::{store::MemStore, buffer::BufferPool, heap::HeapFile};
+//!
+//! let store = MemStore::new();
+//! let mut pool = BufferPool::new(store, 64);
+//! let mut heap = HeapFile::create(&mut pool).unwrap();
+//! let rid = heap.insert(&mut pool, b"hello world").unwrap();
+//! assert_eq!(heap.get(&mut pool, rid).unwrap().as_deref(), Some(&b"hello world"[..]));
+//! ```
+
+pub mod btree;
+pub mod buffer;
+pub mod error;
+pub mod hash_index;
+pub mod heap;
+pub mod page;
+pub mod recovery;
+pub mod rid;
+pub mod slotted;
+pub mod store;
+pub mod wal;
+
+pub use error::{StorageError, StorageResult};
+pub use page::{PageId, PAGE_SIZE};
+pub use rid::Rid;

@@ -1,0 +1,105 @@
+//! Record identifiers.
+
+use crate::page::PageId;
+use std::fmt;
+
+/// A record identifier: the physical address of a record in a heap file.
+///
+/// A `Rid` is stable for the lifetime of the record — updates that do not fit
+/// in place are handled by the heap layer so that the rid observed by indexes
+/// and windows never changes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page's slot directory.
+    pub slot: u16,
+}
+
+impl Rid {
+    /// Construct a rid.
+    #[inline]
+    pub fn new(page: PageId, slot: u16) -> Self {
+        Rid { page, slot }
+    }
+
+    /// Sentinel rid (invalid page).
+    pub const INVALID: Rid = Rid {
+        page: PageId::INVALID,
+        slot: 0,
+    };
+
+    /// Whether the rid refers to a real page.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.page.is_valid()
+    }
+
+    /// Serialize to a fixed 10-byte big-endian form that sorts identically to
+    /// `(page, slot)` order. Used as an index-key tiebreaker.
+    pub fn to_bytes(self) -> [u8; 10] {
+        let mut out = [0u8; 10];
+        out[..8].copy_from_slice(&self.page.0.to_be_bytes());
+        out[8..].copy_from_slice(&self.slot.to_be_bytes());
+        out
+    }
+
+    /// Inverse of [`Rid::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Rid> {
+        if bytes.len() != 10 {
+            return None;
+        }
+        let mut p = [0u8; 8];
+        p.copy_from_slice(&bytes[..8]);
+        let mut s = [0u8; 2];
+        s.copy_from_slice(&bytes[8..]);
+        Some(Rid {
+            page: PageId(u64::from_be_bytes(p)),
+            slot: u16::from_be_bytes(s),
+        })
+    }
+}
+
+impl fmt::Debug for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rid({}, {})", self.page.0, self.slot)
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_round_trip() {
+        let r = Rid::new(PageId(123_456_789), 42);
+        assert_eq!(Rid::from_bytes(&r.to_bytes()), Some(r));
+    }
+
+    #[test]
+    fn byte_encoding_preserves_order() {
+        let a = Rid::new(PageId(1), 5);
+        let b = Rid::new(PageId(1), 6);
+        let c = Rid::new(PageId(2), 0);
+        assert!(a.to_bytes() < b.to_bytes());
+        assert!(b.to_bytes() < c.to_bytes());
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_length() {
+        assert_eq!(Rid::from_bytes(&[0u8; 9]), None);
+        assert_eq!(Rid::from_bytes(&[0u8; 11]), None);
+    }
+
+    #[test]
+    fn invalid_sentinel() {
+        assert!(!Rid::INVALID.is_valid());
+        assert!(Rid::new(PageId(0), 0).is_valid());
+    }
+}

@@ -1,0 +1,321 @@
+//! Page stores: where pages physically live.
+//!
+//! [`PageStore`] abstracts the persistence medium. [`MemStore`] keeps pages
+//! in memory (the default for benches and the TUI demos, standing in for the
+//! 1983 machine's disk); [`FileStore`] persists pages to a single file and is
+//! used by the WAL/recovery tests to demonstrate durability.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Abstract page persistence.
+pub trait PageStore {
+    /// Allocate a fresh page (zero-filled) and return its id.
+    fn allocate(&mut self) -> StorageResult<PageId>;
+    /// Read the page into `out`.
+    fn read(&mut self, id: PageId, out: &mut Page) -> StorageResult<()>;
+    /// Persist the page image.
+    fn write(&mut self, id: PageId, page: &Page) -> StorageResult<()>;
+    /// Return a page to the free list. Its id may be recycled by `allocate`.
+    fn free(&mut self, id: PageId) -> StorageResult<()>;
+    /// Number of pages ever allocated (including freed ones).
+    fn page_count(&self) -> u64;
+    /// Flush any buffered writes to the medium.
+    fn sync(&mut self) -> StorageResult<()>;
+}
+
+/// An in-memory page store.
+pub struct MemStore {
+    pages: Vec<Option<Page>>,
+    free: Vec<u64>,
+}
+
+impl MemStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        MemStore {
+            pages: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Approximate resident bytes (for tests/benches).
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count() * PAGE_SIZE
+    }
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageStore for MemStore {
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        if let Some(id) = self.free.pop() {
+            self.pages[id as usize] = Some(Page::zeroed());
+            return Ok(PageId(id));
+        }
+        let id = self.pages.len() as u64;
+        self.pages.push(Some(Page::zeroed()));
+        Ok(PageId(id))
+    }
+
+    fn read(&mut self, id: PageId, out: &mut Page) -> StorageResult<()> {
+        match self.pages.get(id.0 as usize) {
+            Some(Some(p)) => {
+                out.as_mut_slice().copy_from_slice(p.as_slice());
+                Ok(())
+            }
+            _ => Err(StorageError::PageNotFound(id.0)),
+        }
+    }
+
+    fn write(&mut self, id: PageId, page: &Page) -> StorageResult<()> {
+        match self.pages.get_mut(id.0 as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = Some(page.clone());
+                Ok(())
+            }
+            _ => Err(StorageError::PageNotFound(id.0)),
+        }
+    }
+
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        match self.pages.get_mut(id.0 as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.free.push(id.0);
+                Ok(())
+            }
+            _ => Err(StorageError::PageNotFound(id.0)),
+        }
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        Ok(())
+    }
+}
+
+/// Size of the file header holding store metadata.
+const FILE_HEADER: u64 = 16;
+const MAGIC: u32 = 0x574F_5731; // "WOW1"
+
+/// A file-backed page store.
+///
+/// Page `i` lives at byte offset `FILE_HEADER + i * PAGE_SIZE`. The header
+/// records a magic number and the allocated page count. The free list is
+/// kept in memory only: pages freed in a previous process lifetime are not
+/// recycled, which wastes space but never corrupts data — the trade the
+/// original systems of this era also made between checkpoints.
+pub struct FileStore {
+    file: File,
+    next: u64,
+    free: Vec<u64>,
+}
+
+impl FileStore {
+    /// Open (or create) a store at `path`.
+    pub fn open(path: &Path) -> StorageResult<FileStore> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let next = if len < FILE_HEADER {
+            // Fresh file: write the header.
+            let mut header = [0u8; FILE_HEADER as usize];
+            header[..4].copy_from_slice(&MAGIC.to_le_bytes());
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header)?;
+            0
+        } else {
+            let mut header = [0u8; FILE_HEADER as usize];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut header)?;
+            let magic = u32::from_le_bytes(header[..4].try_into().unwrap());
+            if magic != MAGIC {
+                return Err(StorageError::Corrupt("bad file-store magic"));
+            }
+            u64::from_le_bytes(header[8..16].try_into().unwrap())
+        };
+        Ok(FileStore {
+            file,
+            next,
+            free: Vec::new(),
+        })
+    }
+
+    fn write_header(&mut self) -> StorageResult<()> {
+        let mut header = [0u8; FILE_HEADER as usize];
+        header[..4].copy_from_slice(&MAGIC.to_le_bytes());
+        header[8..16].copy_from_slice(&self.next.to_le_bytes());
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header)?;
+        Ok(())
+    }
+
+    fn offset(id: PageId) -> u64 {
+        FILE_HEADER + id.0 * PAGE_SIZE as u64
+    }
+}
+
+impl PageStore for FileStore {
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        let id = if let Some(id) = self.free.pop() {
+            PageId(id)
+        } else {
+            let id = PageId(self.next);
+            self.next += 1;
+            self.write_header()?;
+            id
+        };
+        // Materialize the zero page so reads of fresh pages succeed.
+        let zero = Page::zeroed();
+        self.file.seek(SeekFrom::Start(Self::offset(id)))?;
+        self.file.write_all(zero.as_slice())?;
+        Ok(id)
+    }
+
+    fn read(&mut self, id: PageId, out: &mut Page) -> StorageResult<()> {
+        if id.0 >= self.next {
+            return Err(StorageError::PageNotFound(id.0));
+        }
+        self.file.seek(SeekFrom::Start(Self::offset(id)))?;
+        self.file.read_exact(out.as_mut_slice())?;
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, page: &Page) -> StorageResult<()> {
+        if id.0 >= self.next {
+            return Err(StorageError::PageNotFound(id.0));
+        }
+        self.file.seek(SeekFrom::Start(Self::offset(id)))?;
+        self.file.write_all(page.as_slice())?;
+        Ok(())
+    }
+
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        if id.0 >= self.next {
+            return Err(StorageError::PageNotFound(id.0));
+        }
+        self.free.push(id.0);
+        Ok(())
+    }
+
+    fn page_count(&self) -> u64 {
+        self.next
+    }
+
+    fn sync(&mut self) -> StorageResult<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memstore_alloc_read_write() {
+        let mut s = MemStore::new();
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
+        assert_ne!(a, b);
+        let mut p = Page::zeroed();
+        p.as_mut_slice()[0] = 0x5A;
+        s.write(a, &p).unwrap();
+        let mut out = Page::zeroed();
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out.as_slice()[0], 0x5A);
+        s.read(b, &mut out).unwrap();
+        assert_eq!(out.as_slice()[0], 0);
+    }
+
+    #[test]
+    fn memstore_free_recycles_ids() {
+        let mut s = MemStore::new();
+        let a = s.allocate().unwrap();
+        s.free(a).unwrap();
+        let mut out = Page::zeroed();
+        assert!(matches!(
+            s.read(a, &mut out),
+            Err(StorageError::PageNotFound(_))
+        ));
+        let b = s.allocate().unwrap();
+        assert_eq!(a, b, "freed id is recycled");
+        // Recycled page must come back zeroed.
+        s.read(b, &mut out).unwrap();
+        assert!(out.as_slice().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn memstore_rejects_unallocated() {
+        let mut s = MemStore::new();
+        let mut out = Page::zeroed();
+        assert!(s.read(PageId(3), &mut out).is_err());
+        assert!(s.write(PageId(3), &out).is_err());
+        assert!(s.free(PageId(3)).is_err());
+    }
+
+    #[test]
+    fn filestore_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("wow-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let _ = std::fs::remove_file(&path);
+        let id;
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            id = s.allocate().unwrap();
+            let mut p = Page::zeroed();
+            p.as_mut_slice()[100] = 0x77;
+            s.write(id, &p).unwrap();
+            s.sync().unwrap();
+        }
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            assert_eq!(s.page_count(), 1);
+            let mut out = Page::zeroed();
+            s.read(id, &mut out).unwrap();
+            assert_eq!(out.as_slice()[100], 0x77);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filestore_rejects_bad_magic() {
+        let dir = std::env::temp_dir().join(format!("wow-store-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.db");
+        std::fs::write(&path, vec![9u8; 64]).unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(StorageError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filestore_rejects_out_of_range() {
+        let dir = std::env::temp_dir().join(format!("wow-store-oor-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileStore::open(&path).unwrap();
+        let mut out = Page::zeroed();
+        assert!(s.read(PageId(0), &mut out).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,161 @@
+//! The ANSI backend: escape sequences to a real terminal.
+
+use super::Backend;
+use crate::buffer::Patch;
+use crate::cell::Style;
+use std::io::Write;
+
+/// Renders patches as ANSI cursor-move + SGR sequences into any writer.
+///
+/// Runs of horizontally adjacent patches with the same style are coalesced
+/// into one cursor move and one style change — the escape-byte economy that
+/// mattered at 9600 baud and still keeps scrollback clean today.
+pub struct AnsiBackend<W: Write> {
+    out: W,
+    /// Bytes written (bench counter; the 9600-baud proxy).
+    pub bytes_written: u64,
+}
+
+impl<W: Write> AnsiBackend<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> AnsiBackend<W> {
+        AnsiBackend {
+            out,
+            bytes_written: 0,
+        }
+    }
+
+    /// Emit the "enter UI" prologue: clear screen, hide cursor.
+    pub fn enter(&mut self) -> std::io::Result<()> {
+        self.write_str("\x1b[2J\x1b[H\x1b[?25l")
+    }
+
+    /// Emit the "leave UI" epilogue: reset attributes, show cursor.
+    pub fn leave(&mut self) -> std::io::Result<()> {
+        self.write_str("\x1b[0m\x1b[?25h\n")
+    }
+
+    fn write_str(&mut self, s: &str) -> std::io::Result<()> {
+        self.bytes_written += s.len() as u64;
+        self.out.write_all(s.as_bytes())
+    }
+
+    fn sgr(style: Style) -> String {
+        let mut codes = vec![0u8]; // reset first: styles are absolute
+        if style.bold {
+            codes.push(1);
+        }
+        if style.underline {
+            codes.push(4);
+        }
+        if style.reverse {
+            codes.push(7);
+        }
+        codes.push(style.fg.fg_code());
+        codes.push(style.bg.bg_code());
+        let inner: Vec<String> = codes.iter().map(|c| c.to_string()).collect();
+        format!("\x1b[{}m", inner.join(";"))
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Backend for AnsiBackend<W> {
+    fn present(&mut self, patches: &[Patch]) {
+        let mut i = 0;
+        let mut buf = String::new();
+        while i < patches.len() {
+            let start = &patches[i];
+            // Collect a horizontal same-style run.
+            let mut run = String::new();
+            run.push(start.cell.ch);
+            let mut j = i + 1;
+            while j < patches.len()
+                && patches[j].y == start.y
+                && patches[j].x == patches[j - 1].x + 1
+                && patches[j].cell.style == start.cell.style
+            {
+                run.push(patches[j].cell.ch);
+                j += 1;
+            }
+            // 1-based cursor addressing.
+            buf.push_str(&format!("\x1b[{};{}H", start.y + 1, start.x + 1));
+            buf.push_str(&Self::sgr(start.cell.style));
+            buf.push_str(&run);
+            i = j;
+        }
+        let _ = self.write_str(&buf);
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, Color};
+
+    fn patch(x: u16, y: u16, ch: char, style: Style) -> Patch {
+        Patch {
+            x,
+            y,
+            cell: Cell::new(ch, style),
+        }
+    }
+
+    #[test]
+    fn emits_cursor_moves_and_text() {
+        let mut b = AnsiBackend::new(Vec::new());
+        b.present(&[patch(2, 1, 'h', Style::plain()), patch(3, 1, 'i', Style::plain())]);
+        let out = String::from_utf8(b.into_inner()).unwrap();
+        assert!(out.contains("\x1b[2;3H"), "{out:?}");
+        assert!(out.contains("hi"), "run coalesced: {out:?}");
+        assert_eq!(out.matches('H').count(), 1, "one cursor move for the run");
+    }
+
+    #[test]
+    fn style_changes_break_runs() {
+        let mut b = AnsiBackend::new(Vec::new());
+        b.present(&[
+            patch(0, 0, 'a', Style::plain()),
+            patch(1, 0, 'b', Style::plain().fg(Color::Red)),
+        ]);
+        let out = String::from_utf8(b.into_inner()).unwrap();
+        assert!(out.contains("\x1b[0;31;49m"), "{out:?}");
+        assert_eq!(out.matches('H').count(), 2);
+    }
+
+    #[test]
+    fn gaps_break_runs() {
+        let mut b = AnsiBackend::new(Vec::new());
+        b.present(&[
+            patch(0, 0, 'a', Style::plain()),
+            patch(5, 0, 'b', Style::plain()),
+        ]);
+        let out = String::from_utf8(b.into_inner()).unwrap();
+        assert_eq!(out.matches('H').count(), 2);
+    }
+
+    #[test]
+    fn enter_and_leave_sequences() {
+        let mut b = AnsiBackend::new(Vec::new());
+        b.enter().unwrap();
+        b.leave().unwrap();
+        let out = String::from_utf8(b.into_inner()).unwrap();
+        assert!(out.starts_with("\x1b[2J"));
+        assert!(out.contains("\x1b[?25l"));
+        assert!(out.contains("\x1b[?25h"));
+    }
+
+    #[test]
+    fn byte_counter_advances() {
+        let mut b = AnsiBackend::new(Vec::new());
+        b.present(&[patch(0, 0, 'x', Style::plain())]);
+        assert!(b.bytes_written > 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! The headless backend: an in-memory terminal for tests and benches.
+
+use super::Backend;
+use crate::buffer::{Patch, ScreenBuffer};
+use crate::geom::Size;
+
+/// An in-memory "terminal" that applies patches to a screen buffer and
+/// counts the work done — every test and every Figure 1 measurement runs
+/// against this.
+#[derive(Debug)]
+pub struct HeadlessBackend {
+    screen: ScreenBuffer,
+    /// Total cells written over the backend's lifetime.
+    pub cells_written: u64,
+    /// Present calls.
+    pub frames: u64,
+}
+
+impl HeadlessBackend {
+    /// A blank terminal of the given size.
+    pub fn new(size: Size) -> HeadlessBackend {
+        HeadlessBackend {
+            screen: ScreenBuffer::new(size),
+            cells_written: 0,
+            frames: 0,
+        }
+    }
+
+    /// The current screen contents.
+    pub fn screen(&self) -> &ScreenBuffer {
+        &self.screen
+    }
+
+    /// The screen as text lines (assertions).
+    pub fn lines(&self) -> Vec<String> {
+        self.screen.to_strings()
+    }
+
+    /// Reset counters (between bench phases).
+    pub fn reset_counters(&mut self) {
+        self.cells_written = 0;
+        self.frames = 0;
+    }
+}
+
+impl Backend for HeadlessBackend {
+    fn present(&mut self, patches: &[Patch]) {
+        self.frames += 1;
+        self.cells_written += patches.len() as u64;
+        for p in patches {
+            self.screen.set(p.x as i32, p.y as i32, p.cell);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+
+    #[test]
+    fn applies_patches_and_counts() {
+        let mut b = HeadlessBackend::new(Size::new(4, 2));
+        b.present(&[
+            Patch { x: 0, y: 0, cell: Cell::plain('h') },
+            Patch { x: 1, y: 0, cell: Cell::plain('i') },
+        ]);
+        assert_eq!(b.lines()[0], "hi  ");
+        assert_eq!(b.cells_written, 2);
+        assert_eq!(b.frames, 1);
+        b.reset_counters();
+        assert_eq!(b.cells_written, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_patches_are_clipped() {
+        let mut b = HeadlessBackend::new(Size::new(2, 1));
+        b.present(&[Patch { x: 9, y: 9, cell: Cell::plain('x') }]);
+        assert_eq!(b.lines()[0], "  ");
+    }
+}

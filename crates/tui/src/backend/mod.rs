@@ -1,0 +1,18 @@
+//! Presentation backends: where patches go.
+
+pub mod ansi;
+pub mod headless;
+
+pub use ansi::AnsiBackend;
+pub use headless::HeadlessBackend;
+
+use crate::buffer::Patch;
+
+/// A sink for cell patches.
+pub trait Backend {
+    /// Apply a batch of patches (one frame's damage).
+    fn present(&mut self, patches: &[Patch]);
+
+    /// Flush any buffered output to the device.
+    fn flush(&mut self) {}
+}

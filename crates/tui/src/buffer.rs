@@ -1,0 +1,277 @@
+//! Screen buffers: the drawing surface and the diff primitive.
+
+use crate::cell::{Cell, Style};
+use crate::geom::{Point, Rect, Size};
+
+/// A change to one cell (the unit of damage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Patch {
+    /// Column.
+    pub x: u16,
+    /// Row.
+    pub y: u16,
+    /// New cell value.
+    pub cell: Cell,
+}
+
+/// A rectangular grid of cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenBuffer {
+    size: Size,
+    cells: Vec<Cell>,
+}
+
+impl ScreenBuffer {
+    /// A blank buffer of the given size.
+    pub fn new(size: Size) -> ScreenBuffer {
+        ScreenBuffer {
+            size,
+            cells: vec![Cell::default(); size.area()],
+        }
+    }
+
+    /// Buffer size.
+    pub fn size(&self) -> Size {
+        self.size
+    }
+
+    /// The full-buffer rect.
+    pub fn rect(&self) -> Rect {
+        Rect::of_size(self.size)
+    }
+
+    fn index(&self, x: i32, y: i32) -> Option<usize> {
+        if x < 0 || y < 0 || x >= self.size.w as i32 || y >= self.size.h as i32 {
+            return None;
+        }
+        Some(y as usize * self.size.w as usize + x as usize)
+    }
+
+    /// Read a cell (out-of-bounds reads yield a blank).
+    pub fn get(&self, x: i32, y: i32) -> Cell {
+        self.index(x, y).map(|i| self.cells[i]).unwrap_or_default()
+    }
+
+    /// Write a cell (out-of-bounds writes are clipped away).
+    pub fn set(&mut self, x: i32, y: i32, cell: Cell) {
+        if let Some(i) = self.index(x, y) {
+            self.cells[i] = cell;
+        }
+    }
+
+    /// Clear to blanks.
+    pub fn clear(&mut self) {
+        self.cells.fill(Cell::default());
+    }
+
+    /// Fill a rect with a styled character.
+    pub fn fill(&mut self, rect: Rect, ch: char, style: Style) {
+        let r = rect.intersect(self.rect());
+        for y in r.y..r.bottom() {
+            for x in r.x..r.right() {
+                self.set(x, y, Cell::new(ch, style));
+            }
+        }
+    }
+
+    /// Draw text starting at a point, clipped to `clip`. Returns the number
+    /// of characters actually drawn.
+    pub fn draw_text(&mut self, at: Point, text: &str, style: Style, clip: Rect) -> usize {
+        let clip = clip.intersect(self.rect());
+        let mut x = at.x;
+        let mut drawn = 0;
+        for ch in text.chars() {
+            if ch == '\n' {
+                break;
+            }
+            if clip.contains(Point::new(x, at.y)) {
+                self.set(x, at.y, Cell::new(ch, style));
+                drawn += 1;
+            }
+            x += 1;
+            if x >= clip.right() {
+                break;
+            }
+        }
+        drawn
+    }
+
+    /// Draw a single-line box border around `rect` with an optional title
+    /// centered-left on the top edge.
+    pub fn draw_border(&mut self, rect: Rect, title: Option<&str>, style: Style) {
+        if rect.w < 2 || rect.h < 2 {
+            return;
+        }
+        let (l, r, t, b) = (rect.x, rect.right() - 1, rect.y, rect.bottom() - 1);
+        self.set(l, t, Cell::new('+', style));
+        self.set(r, t, Cell::new('+', style));
+        self.set(l, b, Cell::new('+', style));
+        self.set(r, b, Cell::new('+', style));
+        for x in l + 1..r {
+            self.set(x, t, Cell::new('-', style));
+            self.set(x, b, Cell::new('-', style));
+        }
+        for y in t + 1..b {
+            self.set(l, y, Cell::new('|', style));
+            self.set(r, y, Cell::new('|', style));
+        }
+        if let Some(title) = title {
+            let avail = rect.w.saturating_sub(4) as usize;
+            if avail > 0 {
+                let shown: String = title.chars().take(avail).collect();
+                let text = format!(" {shown} ");
+                self.draw_text(Point::new(l + 1, t), &text, style, rect.row(0));
+            }
+        }
+    }
+
+    /// Copy `src` onto `self` with its top-left at `at`, clipped.
+    pub fn blit(&mut self, src: &ScreenBuffer, at: Point) {
+        for y in 0..src.size.h as i32 {
+            for x in 0..src.size.w as i32 {
+                self.set(at.x + x, at.y + y, src.get(x, y));
+            }
+        }
+    }
+
+    /// The cells that differ from `prev`, in row-major order.
+    ///
+    /// This is the damage primitive: rendering cost downstream is
+    /// proportional to the patch count, not the screen size. Buffers must
+    /// be the same size (resize implies a full repaint and is handled a
+    /// level up).
+    pub fn diff(&self, prev: &ScreenBuffer) -> Vec<Patch> {
+        assert_eq!(self.size, prev.size, "diff requires equal sizes");
+        let mut out = Vec::new();
+        for (i, (new, old)) in self.cells.iter().zip(&prev.cells).enumerate() {
+            if new != old {
+                out.push(Patch {
+                    x: (i % self.size.w as usize) as u16,
+                    y: (i / self.size.w as usize) as u16,
+                    cell: *new,
+                });
+            }
+        }
+        out
+    }
+
+    /// Render the glyphs as lines of text (styles dropped) — the form every
+    /// test asserts against.
+    pub fn to_strings(&self) -> Vec<String> {
+        (0..self.size.h as i32)
+            .map(|y| {
+                (0..self.size.w as i32)
+                    .map(|x| self.get(x, y).ch)
+                    .collect::<String>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Color;
+
+    fn buf(w: u16, h: u16) -> ScreenBuffer {
+        ScreenBuffer::new(Size::new(w, h))
+    }
+
+    #[test]
+    fn get_set_and_bounds() {
+        let mut b = buf(4, 2);
+        b.set(1, 1, Cell::plain('x'));
+        assert_eq!(b.get(1, 1).ch, 'x');
+        // Out of bounds is safe.
+        b.set(-1, 0, Cell::plain('!'));
+        b.set(4, 0, Cell::plain('!'));
+        b.set(0, 2, Cell::plain('!'));
+        assert_eq!(b.get(99, 99).ch, ' ');
+        assert!(b.to_strings().iter().all(|row| !row.contains('!')));
+    }
+
+    #[test]
+    fn draw_text_clips() {
+        let mut b = buf(8, 2);
+        let clip = Rect::new(0, 0, 8, 2);
+        let n = b.draw_text(Point::new(5, 0), "hello", Style::plain(), clip);
+        assert_eq!(n, 3, "only 3 chars fit before the clip edge");
+        assert_eq!(b.to_strings()[0], "     hel");
+        // Newlines stop drawing.
+        let n = b.draw_text(Point::new(0, 1), "ab\ncd", Style::plain(), clip);
+        assert_eq!(n, 2);
+        assert_eq!(b.to_strings()[1], "ab      ");
+    }
+
+    #[test]
+    fn draw_border_with_title() {
+        let mut b = buf(10, 4);
+        b.draw_border(Rect::new(0, 0, 10, 4), Some("emp"), Style::plain());
+        let rows = b.to_strings();
+        assert_eq!(rows[0], "+ emp ---+");
+        assert_eq!(rows[1], "|        |");
+        assert_eq!(rows[3], "+--------+");
+    }
+
+    #[test]
+    fn long_titles_truncate() {
+        let mut b = buf(8, 3);
+        b.draw_border(Rect::new(0, 0, 8, 3), Some("averylongtitle"), Style::plain());
+        assert_eq!(b.to_strings()[0], "+ aver +");
+    }
+
+    #[test]
+    fn degenerate_borders_are_skipped() {
+        let mut b = buf(8, 3);
+        b.draw_border(Rect::new(0, 0, 1, 3), Some("t"), Style::plain());
+        assert_eq!(b.to_strings()[0], "        ");
+    }
+
+    #[test]
+    fn fill_respects_clip() {
+        let mut b = buf(4, 4);
+        b.fill(Rect::new(2, 2, 10, 10), '#', Style::plain());
+        let rows = b.to_strings();
+        assert_eq!(rows[0], "    ");
+        assert_eq!(rows[2], "  ##");
+        assert_eq!(rows[3], "  ##");
+    }
+
+    #[test]
+    fn blit_copies_with_offset() {
+        let mut small = buf(2, 2);
+        small.fill(small.rect(), 'o', Style::plain());
+        let mut big = buf(5, 3);
+        big.blit(&small, Point::new(3, 1));
+        let rows = big.to_strings();
+        assert_eq!(rows[1], "   oo");
+        assert_eq!(rows[2], "   oo");
+    }
+
+    #[test]
+    fn diff_reports_exact_changes() {
+        let a = buf(4, 2);
+        let mut b = a.clone();
+        assert!(b.diff(&a).is_empty(), "identical buffers have no damage");
+        b.set(3, 1, Cell::new('z', Style::plain().fg(Color::Red)));
+        b.set(0, 0, Cell::plain('a'));
+        let patches = b.diff(&a);
+        assert_eq!(patches.len(), 2);
+        assert_eq!((patches[0].x, patches[0].y, patches[0].cell.ch), (0, 0, 'a'));
+        assert_eq!((patches[1].x, patches[1].y, patches[1].cell.ch), (3, 1, 'z'));
+    }
+
+    #[test]
+    fn style_only_changes_are_damage() {
+        let a = buf(2, 1);
+        let mut b = a.clone();
+        b.set(0, 0, Cell::new(' ', Style::plain().reverse()));
+        assert_eq!(b.diff(&a).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal sizes")]
+    fn diff_size_mismatch_panics() {
+        let _ = buf(2, 2).diff(&buf(3, 2));
+    }
+}

@@ -1,0 +1,170 @@
+//! Character cells and styles.
+
+/// The classic 8 terminal colors plus the terminal default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Color {
+    /// Terminal default.
+    #[default]
+    Default,
+    /// Black.
+    Black,
+    /// Red.
+    Red,
+    /// Green.
+    Green,
+    /// Yellow.
+    Yellow,
+    /// Blue.
+    Blue,
+    /// Magenta.
+    Magenta,
+    /// Cyan.
+    Cyan,
+    /// White.
+    White,
+}
+
+impl Color {
+    /// ANSI SGR foreground code.
+    pub fn fg_code(self) -> u8 {
+        match self {
+            Color::Default => 39,
+            Color::Black => 30,
+            Color::Red => 31,
+            Color::Green => 32,
+            Color::Yellow => 33,
+            Color::Blue => 34,
+            Color::Magenta => 35,
+            Color::Cyan => 36,
+            Color::White => 37,
+        }
+    }
+
+    /// ANSI SGR background code.
+    pub fn bg_code(self) -> u8 {
+        self.fg_code() + 10
+    }
+}
+
+/// Visual attributes of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Style {
+    /// Foreground color.
+    pub fg: Color,
+    /// Background color.
+    pub bg: Color,
+    /// Bold.
+    pub bold: bool,
+    /// Reverse video (how 1983 showed focus).
+    pub reverse: bool,
+    /// Underline (how 1983 showed editable fields).
+    pub underline: bool,
+}
+
+impl Style {
+    /// The default style.
+    pub fn plain() -> Style {
+        Style::default()
+    }
+
+    /// Builder: set foreground.
+    pub fn fg(mut self, c: Color) -> Style {
+        self.fg = c;
+        self
+    }
+
+    /// Builder: set background.
+    pub fn bg(mut self, c: Color) -> Style {
+        self.bg = c;
+        self
+    }
+
+    /// Builder: bold.
+    pub fn bold(mut self) -> Style {
+        self.bold = true;
+        self
+    }
+
+    /// Builder: reverse video.
+    pub fn reverse(mut self) -> Style {
+        self.reverse = true;
+        self
+    }
+
+    /// Builder: underline.
+    pub fn underline(mut self) -> Style {
+        self.underline = true;
+        self
+    }
+}
+
+/// One screen cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cell {
+    /// The glyph.
+    pub ch: char,
+    /// Its style.
+    pub style: Style,
+}
+
+impl Default for Cell {
+    fn default() -> Self {
+        Cell {
+            ch: ' ',
+            style: Style::default(),
+        }
+    }
+}
+
+impl Cell {
+    /// A styled cell.
+    pub fn new(ch: char, style: Style) -> Cell {
+        Cell { ch, style }
+    }
+
+    /// An unstyled cell.
+    pub fn plain(ch: char) -> Cell {
+        Cell {
+            ch,
+            style: Style::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cell_is_blank() {
+        let c = Cell::default();
+        assert_eq!(c.ch, ' ');
+        assert_eq!(c.style, Style::default());
+    }
+
+    #[test]
+    fn style_builders_compose() {
+        let s = Style::plain().fg(Color::Red).bg(Color::Blue).bold().reverse();
+        assert_eq!(s.fg, Color::Red);
+        assert_eq!(s.bg, Color::Blue);
+        assert!(s.bold && s.reverse && !s.underline);
+    }
+
+    #[test]
+    fn ansi_codes() {
+        assert_eq!(Color::Red.fg_code(), 31);
+        assert_eq!(Color::Red.bg_code(), 41);
+        assert_eq!(Color::Default.fg_code(), 39);
+        assert_eq!(Color::Default.bg_code(), 49);
+    }
+
+    #[test]
+    fn cells_compare_by_value() {
+        assert_eq!(Cell::plain('x'), Cell::plain('x'));
+        assert_ne!(Cell::plain('x'), Cell::plain('y'));
+        assert_ne!(
+            Cell::new('x', Style::plain().bold()),
+            Cell::plain('x')
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Damage tracking: the minimal set of cell writes between frames.
+//!
+//! The 1983 claim this module supports (Figure 1): with damage tracking,
+//! the cost of a screen update is proportional to what actually changed —
+//! one field edit in one window — rather than to the number of open
+//! windows. [`DamageTracker::frame`] is the tracked path; the full-repaint
+//! baseline just emits every cell.
+
+use crate::buffer::{Patch, ScreenBuffer};
+use crate::geom::Size;
+
+/// Tracks the previously presented frame and yields minimal patches.
+#[derive(Debug)]
+pub struct DamageTracker {
+    prev: Option<ScreenBuffer>,
+    /// Patches emitted over the tracker's lifetime (bench counter).
+    pub cells_emitted: u64,
+    /// Frames processed.
+    pub frames: u64,
+}
+
+impl DamageTracker {
+    /// A tracker with no previous frame (first frame is a full repaint).
+    pub fn new() -> DamageTracker {
+        DamageTracker {
+            prev: None,
+            cells_emitted: 0,
+            frames: 0,
+        }
+    }
+
+    /// Diff `next` against the previous frame, returning the patches to
+    /// present, and remember `next`. A size change forces a full repaint.
+    pub fn frame(&mut self, next: &ScreenBuffer) -> Vec<Patch> {
+        self.frames += 1;
+        let patches = match &self.prev {
+            Some(prev) if prev.size() == next.size() => next.diff(prev),
+            _ => full_repaint(next),
+        };
+        self.cells_emitted += patches.len() as u64;
+        self.prev = Some(next.clone());
+        patches
+    }
+
+    /// Forget the previous frame (forces the next frame to repaint fully).
+    pub fn invalidate(&mut self) {
+        self.prev = None;
+    }
+
+    /// The size of the last presented frame.
+    pub fn last_size(&self) -> Option<Size> {
+        self.prev.as_ref().map(|b| b.size())
+    }
+}
+
+impl Default for DamageTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The baseline: every cell of the frame as a patch (what a tracker-less
+/// redraw must write).
+pub fn full_repaint(buf: &ScreenBuffer) -> Vec<Patch> {
+    let size = buf.size();
+    let mut out = Vec::with_capacity(size.area());
+    for y in 0..size.h {
+        for x in 0..size.w {
+            out.push(Patch {
+                x,
+                y,
+                cell: buf.get(x as i32, y as i32),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+    use crate::geom::Size;
+
+    #[test]
+    fn first_frame_is_full() {
+        let mut t = DamageTracker::new();
+        let b = ScreenBuffer::new(Size::new(4, 2));
+        let patches = t.frame(&b);
+        assert_eq!(patches.len(), 8);
+        assert_eq!(t.cells_emitted, 8);
+    }
+
+    #[test]
+    fn unchanged_frame_emits_nothing() {
+        let mut t = DamageTracker::new();
+        let b = ScreenBuffer::new(Size::new(4, 2));
+        t.frame(&b);
+        assert!(t.frame(&b).is_empty());
+        assert_eq!(t.frames, 2);
+    }
+
+    #[test]
+    fn localized_change_emits_one_patch() {
+        let mut t = DamageTracker::new();
+        let mut b = ScreenBuffer::new(Size::new(80, 24));
+        t.frame(&b);
+        b.set(40, 12, Cell::plain('x'));
+        let patches = t.frame(&b);
+        assert_eq!(patches.len(), 1);
+        assert_eq!((patches[0].x, patches[0].y), (40, 12));
+    }
+
+    #[test]
+    fn resize_forces_full_repaint() {
+        let mut t = DamageTracker::new();
+        t.frame(&ScreenBuffer::new(Size::new(4, 2)));
+        let patches = t.frame(&ScreenBuffer::new(Size::new(6, 2)));
+        assert_eq!(patches.len(), 12);
+        assert_eq!(t.last_size(), Some(Size::new(6, 2)));
+    }
+
+    #[test]
+    fn invalidate_forces_full_repaint() {
+        let mut t = DamageTracker::new();
+        let b = ScreenBuffer::new(Size::new(4, 2));
+        t.frame(&b);
+        t.invalidate();
+        assert_eq!(t.frame(&b).len(), 8);
+    }
+
+    #[test]
+    fn full_repaint_covers_every_cell() {
+        let b = ScreenBuffer::new(Size::new(3, 3));
+        assert_eq!(full_repaint(&b).len(), 9);
+    }
+}

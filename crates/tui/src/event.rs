@@ -1,0 +1,159 @@
+//! Input events.
+
+/// A key press, the only input a 1983 terminal gave us.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Key {
+    /// A printable character.
+    Char(char),
+    /// Enter / Return.
+    Enter,
+    /// Escape.
+    Esc,
+    /// Tab (next field).
+    Tab,
+    /// Shift-Tab (previous field).
+    BackTab,
+    /// Arrow up.
+    Up,
+    /// Arrow down.
+    Down,
+    /// Arrow left.
+    Left,
+    /// Arrow right.
+    Right,
+    /// Backspace.
+    Backspace,
+    /// Delete.
+    Delete,
+    /// Home.
+    Home,
+    /// End.
+    End,
+    /// Page up (browse backward).
+    PageUp,
+    /// Page down (browse forward).
+    PageDown,
+    /// A function key (1-12).
+    F(u8),
+    /// Control chord, e.g. `Ctrl('w')` cycles windows.
+    Ctrl(char),
+}
+
+/// An input or environment event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A key press.
+    Key(Key),
+    /// The terminal was resized.
+    Resize(u16, u16),
+}
+
+/// Parse a compact script notation into key events — tests and the example
+/// binaries drive the UI with strings like `"<tab>hello<enter><pgdn>"`.
+///
+/// Angle-bracket tokens (case-insensitive): `enter esc tab backtab up down
+/// left right backspace del home end pgup pgdn f1..f12 c-X`. Everything
+/// else is literal characters.
+pub fn parse_script(script: &str) -> Vec<Key> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = script.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '<' {
+            if let Some(close) = chars[i..].iter().position(|&c| c == '>') {
+                let token: String = chars[i + 1..i + close].iter().collect();
+                if let Some(key) = token_to_key(&token) {
+                    out.push(key);
+                    i += close + 1;
+                    continue;
+                }
+            }
+        }
+        out.push(Key::Char(chars[i]));
+        i += 1;
+    }
+    out
+}
+
+fn token_to_key(token: &str) -> Option<Key> {
+    let t = token.to_ascii_lowercase();
+    Some(match t.as_str() {
+        "enter" => Key::Enter,
+        "esc" => Key::Esc,
+        "tab" => Key::Tab,
+        "backtab" => Key::BackTab,
+        "up" => Key::Up,
+        "down" => Key::Down,
+        "left" => Key::Left,
+        "right" => Key::Right,
+        "backspace" => Key::Backspace,
+        "del" => Key::Delete,
+        "home" => Key::Home,
+        "end" => Key::End,
+        "pgup" => Key::PageUp,
+        "pgdn" => Key::PageDown,
+        _ => {
+            if let Some(rest) = t.strip_prefix("c-") {
+                let mut cs = rest.chars();
+                let c = cs.next()?;
+                if cs.next().is_some() {
+                    return None;
+                }
+                return Some(Key::Ctrl(c));
+            }
+            if let Some(rest) = t.strip_prefix('f') {
+                let n: u8 = rest.parse().ok()?;
+                if (1..=12).contains(&n) {
+                    return Some(Key::F(n));
+                }
+            }
+            return None;
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_characters() {
+        assert_eq!(
+            parse_script("ab"),
+            vec![Key::Char('a'), Key::Char('b')]
+        );
+    }
+
+    #[test]
+    fn tokens_parse() {
+        assert_eq!(
+            parse_script("<tab>x<enter><pgdn><c-w><f3>"),
+            vec![
+                Key::Tab,
+                Key::Char('x'),
+                Key::Enter,
+                Key::PageDown,
+                Key::Ctrl('w'),
+                Key::F(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_tokens_are_literal() {
+        let keys = parse_script("<nope>");
+        assert_eq!(keys.len(), 6); // '<','n','o','p','e','>'
+        assert_eq!(keys[0], Key::Char('<'));
+    }
+
+    #[test]
+    fn unclosed_bracket_is_literal() {
+        assert_eq!(parse_script("<ta"), vec![Key::Char('<'), Key::Char('t'), Key::Char('a')]);
+    }
+
+    #[test]
+    fn f_keys_bounds() {
+        assert_eq!(parse_script("<f12>"), vec![Key::F(12)]);
+        assert_eq!(parse_script("<f13>").len(), 5, "f13 is not a key");
+    }
+}

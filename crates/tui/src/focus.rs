@@ -1,0 +1,109 @@
+//! Focus rings: Tab/Shift-Tab traversal over a window's widgets.
+
+/// A cyclic focus order over `n` focusable slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FocusRing {
+    len: usize,
+    current: usize,
+}
+
+impl FocusRing {
+    /// A ring over `len` slots, starting at slot 0.
+    pub fn new(len: usize) -> FocusRing {
+        FocusRing { len, current: 0 }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The focused slot, or `None` for an empty ring.
+    pub fn current(&self) -> Option<usize> {
+        (self.len > 0).then_some(self.current)
+    }
+
+    /// Focus the next slot (Tab).
+    pub fn next(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        self.current = (self.current + 1) % self.len;
+        Some(self.current)
+    }
+
+    /// Focus the previous slot (Shift-Tab).
+    pub fn prev(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        self.current = (self.current + self.len - 1) % self.len;
+        Some(self.current)
+    }
+
+    /// Jump to a slot (clamped).
+    pub fn set(&mut self, slot: usize) {
+        if self.len > 0 {
+            self.current = slot.min(self.len - 1);
+        }
+    }
+
+    /// Resize the ring (e.g. a form gained a field), keeping focus stable
+    /// when possible.
+    pub fn resize(&mut self, len: usize) {
+        self.len = len;
+        if len == 0 {
+            self.current = 0;
+        } else if self.current >= len {
+            self.current = len - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_forward_and_back() {
+        let mut r = FocusRing::new(3);
+        assert_eq!(r.current(), Some(0));
+        assert_eq!(r.next(), Some(1));
+        assert_eq!(r.next(), Some(2));
+        assert_eq!(r.next(), Some(0));
+        assert_eq!(r.prev(), Some(2));
+    }
+
+    #[test]
+    fn empty_ring_is_inert() {
+        let mut r = FocusRing::new(0);
+        assert_eq!(r.current(), None);
+        assert_eq!(r.next(), None);
+        assert_eq!(r.prev(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn set_clamps() {
+        let mut r = FocusRing::new(3);
+        r.set(99);
+        assert_eq!(r.current(), Some(2));
+    }
+
+    #[test]
+    fn resize_keeps_focus_stable() {
+        let mut r = FocusRing::new(5);
+        r.set(4);
+        r.resize(3);
+        assert_eq!(r.current(), Some(2));
+        r.resize(10);
+        assert_eq!(r.current(), Some(2));
+        r.resize(0);
+        assert_eq!(r.current(), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Screen geometry: points, sizes, rectangles.
+
+/// A screen position (column, row), 0-based, top-left origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Point {
+    /// Column.
+    pub x: i32,
+    /// Row.
+    pub y: i32,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: i32, y: i32) -> Point {
+        Point { x, y }
+    }
+}
+
+/// A size in cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Size {
+    /// Width in columns.
+    pub w: u16,
+    /// Height in rows.
+    pub h: u16,
+}
+
+impl Size {
+    /// Construct a size.
+    pub fn new(w: u16, h: u16) -> Size {
+        Size { w, h }
+    }
+
+    /// Total cells.
+    pub fn area(self) -> usize {
+        self.w as usize * self.h as usize
+    }
+}
+
+/// An axis-aligned rectangle of cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Left column.
+    pub x: i32,
+    /// Top row.
+    pub y: i32,
+    /// Width.
+    pub w: u16,
+    /// Height.
+    pub h: u16,
+}
+
+impl Rect {
+    /// Construct a rect.
+    pub fn new(x: i32, y: i32, w: u16, h: u16) -> Rect {
+        Rect { x, y, w, h }
+    }
+
+    /// A rect at the origin with the given size.
+    pub fn of_size(size: Size) -> Rect {
+        Rect::new(0, 0, size.w, size.h)
+    }
+
+    /// Right edge (exclusive).
+    pub fn right(self) -> i32 {
+        self.x + self.w as i32
+    }
+
+    /// Bottom edge (exclusive).
+    pub fn bottom(self) -> i32 {
+        self.y + self.h as i32
+    }
+
+    /// Whether the rect has zero area.
+    pub fn is_empty(self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Whether a point lies inside.
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.x && p.x < self.right() && p.y >= self.y && p.y < self.bottom()
+    }
+
+    /// The intersection of two rects (possibly empty).
+    pub fn intersect(self, other: Rect) -> Rect {
+        let x = self.x.max(other.x);
+        let y = self.y.max(other.y);
+        let right = self.right().min(other.right());
+        let bottom = self.bottom().min(other.bottom());
+        if right <= x || bottom <= y {
+            return Rect::new(x, y, 0, 0);
+        }
+        Rect::new(x, y, (right - x) as u16, (bottom - y) as u16)
+    }
+
+    /// Whether two rects share any cell.
+    pub fn intersects(self, other: Rect) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Translate by a delta.
+    pub fn translated(self, dx: i32, dy: i32) -> Rect {
+        Rect::new(self.x + dx, self.y + dy, self.w, self.h)
+    }
+
+    /// Shrink by a uniform margin (used to get a window's interior).
+    pub fn inset(self, margin: u16) -> Rect {
+        let m2 = margin as i32 * 2;
+        if (self.w as i32) <= m2 || (self.h as i32) <= m2 {
+            return Rect::new(self.x + margin as i32, self.y + margin as i32, 0, 0);
+        }
+        Rect::new(
+            self.x + margin as i32,
+            self.y + margin as i32,
+            self.w - margin * 2,
+            self.h - margin * 2,
+        )
+    }
+
+    /// The `n`-th row of the rect as a 1-cell-high rect.
+    pub fn row(self, n: u16) -> Rect {
+        if n >= self.h {
+            return Rect::new(self.x, self.bottom(), 0, 0);
+        }
+        Rect::new(self.x, self.y + n as i32, self.w, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_edges() {
+        let r = Rect::new(2, 3, 4, 2); // cols 2..6, rows 3..5
+        assert!(r.contains(Point::new(2, 3)));
+        assert!(r.contains(Point::new(5, 4)));
+        assert!(!r.contains(Point::new(6, 4)));
+        assert!(!r.contains(Point::new(5, 5)));
+        assert!(!r.contains(Point::new(1, 3)));
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert_eq!(a.intersect(b), Rect::new(5, 5, 5, 5));
+        assert!(a.intersects(b));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = Rect::new(0, 0, 5, 5);
+        let b = Rect::new(5, 0, 5, 5);
+        assert!(a.intersect(b).is_empty());
+        assert!(!a.intersects(b));
+    }
+
+    #[test]
+    fn intersect_negative_coords() {
+        let a = Rect::new(-3, -3, 6, 6);
+        let b = Rect::new(0, 0, 10, 10);
+        assert_eq!(a.intersect(b), Rect::new(0, 0, 3, 3));
+    }
+
+    #[test]
+    fn inset_normal_and_degenerate() {
+        let r = Rect::new(0, 0, 10, 6);
+        assert_eq!(r.inset(1), Rect::new(1, 1, 8, 4));
+        let tiny = Rect::new(0, 0, 2, 2);
+        assert!(tiny.inset(1).is_empty());
+    }
+
+    #[test]
+    fn row_slicing() {
+        let r = Rect::new(1, 1, 5, 3);
+        assert_eq!(r.row(0), Rect::new(1, 1, 5, 1));
+        assert_eq!(r.row(2), Rect::new(1, 3, 5, 1));
+        assert!(r.row(3).is_empty());
+    }
+
+    #[test]
+    fn translated_moves() {
+        assert_eq!(
+            Rect::new(1, 1, 2, 2).translated(-1, 3),
+            Rect::new(0, 4, 2, 2)
+        );
+    }
+
+    #[test]
+    fn size_area() {
+        assert_eq!(Size::new(80, 24).area(), 1920);
+    }
+}

@@ -1,0 +1,44 @@
+//! # wow-tui
+//!
+//! A deterministic terminal windowing substrate — the stand-in for the
+//! 1983 bit-mapped workstation display (per the reproduction note: *"GUI
+//! toolkits less mature; TUI works fine"*).
+//!
+//! The pieces:
+//!
+//! * [`geom`] — points, sizes, rectangles, clipping.
+//! * [`cell`] — the character cell: glyph + style.
+//! * [`buffer`] — screen buffers: draw text/borders, fill, **diff** (the
+//!   primitive behind damage tracking).
+//! * [`window`] — a window: a framed, titled region with its own content
+//!   buffer.
+//! * [`tree`] — the window tree: z-order, focus, composition onto a screen
+//!   buffer.
+//! * [`damage`] — the damage tracker: composes frames and yields the
+//!   minimal cell patches between them (Figure 1's subject).
+//! * [`event`] — key events.
+//! * [`focus`] — focus rings over widgets.
+//! * [`widget`] — label, text field, table grid, menu bar, status bar.
+//! * [`backend`] — where patches go: an ANSI terminal or a headless
+//!   capture used by every test and bench.
+//!
+//! Everything is synchronous and allocation-conscious; rendering the same
+//! scene twice emits zero patches, which is what makes the forms layer's
+//! refresh loop cheap.
+
+pub mod backend;
+pub mod buffer;
+pub mod cell;
+pub mod damage;
+pub mod event;
+pub mod focus;
+pub mod geom;
+pub mod tree;
+pub mod widget;
+pub mod window;
+
+pub use buffer::ScreenBuffer;
+pub use cell::{Cell, Color, Style};
+pub use event::Key;
+pub use geom::{Point, Rect, Size};
+pub use tree::{WindowId, WindowTree};

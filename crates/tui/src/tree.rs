@@ -1,0 +1,207 @@
+//! The window tree: z-order, focus, and composition.
+
+use crate::buffer::ScreenBuffer;
+use crate::geom::{Rect, Size};
+use crate::window::Window;
+use std::collections::HashMap;
+
+/// Identifier of a window within a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WindowId(pub u32);
+
+/// The set of windows on one screen, ordered bottom → top.
+///
+/// The focused window is always composed last (topmost); `Ctrl-W`-style
+/// cycling is [`WindowTree::focus_next`].
+#[derive(Debug, Default)]
+pub struct WindowTree {
+    windows: HashMap<WindowId, Window>,
+    /// Bottom-to-top order.
+    order: Vec<WindowId>,
+    focused: Option<WindowId>,
+    next_id: u32,
+}
+
+impl WindowTree {
+    /// An empty tree.
+    pub fn new() -> WindowTree {
+        WindowTree::default()
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the tree has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Create a window; it becomes topmost and focused.
+    pub fn create(&mut self, rect: Rect, title: impl Into<String>) -> WindowId {
+        let id = WindowId(self.next_id);
+        self.next_id += 1;
+        self.windows.insert(id, Window::new(rect, title));
+        self.order.push(id);
+        self.focused = Some(id);
+        id
+    }
+
+    /// Close a window. Focus moves to the new topmost window.
+    pub fn close(&mut self, id: WindowId) -> bool {
+        if self.windows.remove(&id).is_none() {
+            return false;
+        }
+        self.order.retain(|&w| w != id);
+        if self.focused == Some(id) {
+            self.focused = self.order.last().copied();
+        }
+        true
+    }
+
+    /// Borrow a window.
+    pub fn get(&self, id: WindowId) -> Option<&Window> {
+        self.windows.get(&id)
+    }
+
+    /// Mutably borrow a window.
+    pub fn get_mut(&mut self, id: WindowId) -> Option<&mut Window> {
+        self.windows.get_mut(&id)
+    }
+
+    /// The focused window id.
+    pub fn focused(&self) -> Option<WindowId> {
+        self.focused
+    }
+
+    /// Focus (and raise) a window.
+    pub fn focus(&mut self, id: WindowId) -> bool {
+        if !self.windows.contains_key(&id) {
+            return false;
+        }
+        self.order.retain(|&w| w != id);
+        self.order.push(id);
+        self.focused = Some(id);
+        true
+    }
+
+    /// Cycle focus to the next window (bottom of the z-order comes next,
+    /// so repeated cycling visits every window).
+    pub fn focus_next(&mut self) -> Option<WindowId> {
+        let &next = self.order.first()?;
+        self.focus(next);
+        Some(next)
+    }
+
+    /// Ids bottom → top.
+    pub fn z_order(&self) -> &[WindowId] {
+        &self.order
+    }
+
+    /// The topmost visible window containing screen point `(x, y)`.
+    pub fn window_at(&self, x: i32, y: i32) -> Option<WindowId> {
+        self.order
+            .iter()
+            .rev()
+            .find(|id| {
+                self.windows
+                    .get(id)
+                    .is_some_and(|w| w.visible && w.rect().contains(crate::geom::Point::new(x, y)))
+            })
+            .copied()
+    }
+
+    /// Compose every visible window onto a fresh screen buffer of `size`.
+    pub fn compose(&self, size: Size) -> ScreenBuffer {
+        let mut screen = ScreenBuffer::new(size);
+        for id in &self.order {
+            let w = &self.windows[id];
+            w.compose_onto(&mut screen, self.focused == Some(*id));
+        }
+        screen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Style;
+    use crate::geom::Point;
+
+    #[test]
+    fn create_focus_close() {
+        let mut t = WindowTree::new();
+        let a = t.create(Rect::new(0, 0, 6, 3), "a");
+        let b = t.create(Rect::new(2, 1, 6, 3), "b");
+        assert_eq!(t.focused(), Some(b));
+        assert_eq!(t.len(), 2);
+        assert!(t.focus(a));
+        assert_eq!(t.focused(), Some(a));
+        assert_eq!(t.z_order().last(), Some(&a), "focus raises");
+        assert!(t.close(a));
+        assert_eq!(t.focused(), Some(b));
+        assert!(!t.close(a), "double close is a no-op");
+    }
+
+    #[test]
+    fn focus_next_cycles_through_all() {
+        let mut t = WindowTree::new();
+        let a = t.create(Rect::new(0, 0, 4, 3), "a");
+        let b = t.create(Rect::new(0, 0, 4, 3), "b");
+        let c = t.create(Rect::new(0, 0, 4, 3), "c");
+        assert_eq!(t.focused(), Some(c));
+        let mut seen = vec![c];
+        for _ in 0..2 {
+            seen.push(t.focus_next().unwrap());
+        }
+        seen.sort();
+        let mut all = vec![a, b, c];
+        all.sort();
+        assert_eq!(seen, all);
+        // One more full cycle returns to the start.
+        t.focus_next();
+        assert_eq!(t.focused(), Some(c));
+    }
+
+    #[test]
+    fn composition_respects_z_order() {
+        let mut t = WindowTree::new();
+        let a = t.create(Rect::new(0, 0, 8, 4), "a");
+        let _b = t.create(Rect::new(4, 1, 8, 4), "b");
+        t.get_mut(a).unwrap().content_mut().draw_text(
+            Point::new(0, 0),
+            "AAAAAA",
+            Style::plain(),
+            Rect::new(0, 0, 6, 2),
+        );
+        let screen = t.compose(Size::new(14, 6));
+        let rows = screen.to_strings();
+        // Window b overlaps a's right side; its frame wins there.
+        assert!(rows[1].contains('A'));
+        assert_eq!(screen.get(4, 1).ch, '+', "b's corner occludes a");
+        // Raise a: now a's content covers b's left edge.
+        t.focus(a);
+        let screen = t.compose(Size::new(14, 6));
+        assert_eq!(screen.get(4, 1).ch, 'A');
+    }
+
+    #[test]
+    fn window_at_honors_z_and_visibility() {
+        let mut t = WindowTree::new();
+        let a = t.create(Rect::new(0, 0, 8, 4), "a");
+        let b = t.create(Rect::new(2, 1, 8, 4), "b");
+        assert_eq!(t.window_at(3, 2), Some(b));
+        assert_eq!(t.window_at(0, 0), Some(a));
+        assert_eq!(t.window_at(50, 50), None);
+        t.get_mut(b).unwrap().visible = false;
+        assert_eq!(t.window_at(3, 2), Some(a));
+    }
+
+    #[test]
+    fn compose_empty_tree_is_blank() {
+        let t = WindowTree::new();
+        let screen = t.compose(Size::new(4, 2));
+        assert_eq!(screen.to_strings(), vec!["    ", "    "]);
+    }
+}

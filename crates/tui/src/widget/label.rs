@@ -1,0 +1,60 @@
+//! A static text label.
+
+use super::Widget;
+use crate::buffer::ScreenBuffer;
+use crate::cell::Style;
+use crate::geom::{Point, Rect};
+
+/// Static text (captions, prompts, read-only values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label {
+    /// The text.
+    pub text: String,
+    /// Style.
+    pub style: Style,
+}
+
+impl Label {
+    /// A plain label.
+    pub fn new(text: impl Into<String>) -> Label {
+        Label {
+            text: text.into(),
+            style: Style::plain(),
+        }
+    }
+
+    /// A styled label.
+    pub fn styled(text: impl Into<String>, style: Style) -> Label {
+        Label {
+            text: text.into(),
+            style,
+        }
+    }
+}
+
+impl Widget for Label {
+    fn render(&self, buf: &mut ScreenBuffer, area: Rect, _focused: bool) {
+        buf.draw_text(Point::new(area.x, area.y), &self.text, self.style, area);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Size;
+
+    #[test]
+    fn renders_clipped() {
+        let mut buf = ScreenBuffer::new(Size::new(6, 1));
+        Label::new("hello world").render(&mut buf, Rect::new(0, 0, 6, 1), false);
+        assert_eq!(buf.to_strings()[0], "hello ");
+    }
+
+    #[test]
+    fn keys_are_ignored() {
+        use super::super::{Response, Widget};
+        use crate::event::Key;
+        let mut l = Label::new("x");
+        assert_eq!(l.handle_key(Key::Enter), Response::Ignored);
+    }
+}

@@ -1,0 +1,146 @@
+//! A horizontal menu bar.
+
+use super::{Response, Widget};
+use crate::buffer::ScreenBuffer;
+use crate::cell::Style;
+use crate::event::Key;
+use crate::geom::{Point, Rect};
+
+/// A one-row menu: `Browse  Edit  Query  Quit`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MenuBar {
+    /// The items.
+    pub items: Vec<String>,
+    selected: usize,
+}
+
+impl MenuBar {
+    /// A menu over items (must be non-empty to be useful).
+    pub fn new(items: Vec<String>) -> MenuBar {
+        MenuBar { items, selected: 0 }
+    }
+
+    /// Selected item index.
+    pub fn selected(&self) -> usize {
+        self.selected
+    }
+
+    /// Selected item label.
+    pub fn selected_item(&self) -> Option<&str> {
+        self.items.get(self.selected).map(|s| s.as_str())
+    }
+
+    /// Select by label; returns whether it existed.
+    pub fn select_label(&mut self, label: &str) -> bool {
+        if let Some(i) = self.items.iter().position(|s| s == label) {
+            self.selected = i;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Widget for MenuBar {
+    fn render(&self, buf: &mut ScreenBuffer, area: Rect, focused: bool) {
+        let mut x = area.x;
+        for (i, item) in self.items.iter().enumerate() {
+            let style = if i == self.selected && focused {
+                Style::plain().reverse()
+            } else if i == self.selected {
+                Style::plain().bold()
+            } else {
+                Style::plain()
+            };
+            let text = format!(" {item} ");
+            buf.draw_text(Point::new(x, area.y), &text, style, area);
+            x += text.chars().count() as i32;
+        }
+    }
+
+    fn handle_key(&mut self, key: Key) -> Response {
+        if self.items.is_empty() {
+            return Response::Ignored;
+        }
+        match key {
+            Key::Left => {
+                self.selected = (self.selected + self.items.len() - 1) % self.items.len();
+                Response::Consumed
+            }
+            Key::Right | Key::Tab => {
+                self.selected = (self.selected + 1) % self.items.len();
+                Response::Consumed
+            }
+            Key::Enter => Response::Submit,
+            Key::Esc => Response::Cancel,
+            Key::Char(c) => {
+                // First-letter accelerator, the 1983 idiom.
+                let lower = c.to_ascii_lowercase();
+                if let Some(i) = self
+                    .items
+                    .iter()
+                    .position(|s| s.chars().next().is_some_and(|f| f.to_ascii_lowercase() == lower))
+                {
+                    self.selected = i;
+                    Response::Submit
+                } else {
+                    Response::Ignored
+                }
+            }
+            _ => Response::Ignored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Size;
+
+    fn menu() -> MenuBar {
+        MenuBar::new(vec!["Browse".into(), "Edit".into(), "Quit".into()])
+    }
+
+    #[test]
+    fn arrows_cycle() {
+        let mut m = menu();
+        m.handle_key(Key::Right);
+        assert_eq!(m.selected_item(), Some("Edit"));
+        m.handle_key(Key::Left);
+        m.handle_key(Key::Left);
+        assert_eq!(m.selected_item(), Some("Quit"), "wraps");
+    }
+
+    #[test]
+    fn accelerators_select_and_submit() {
+        let mut m = menu();
+        assert_eq!(m.handle_key(Key::Char('q')), Response::Submit);
+        assert_eq!(m.selected_item(), Some("Quit"));
+        assert_eq!(m.handle_key(Key::Char('z')), Response::Ignored);
+    }
+
+    #[test]
+    fn renders_with_selection_highlight() {
+        let mut buf = ScreenBuffer::new(Size::new(24, 1));
+        let m = menu();
+        m.render(&mut buf, Rect::new(0, 0, 24, 1), true);
+        assert_eq!(buf.to_strings()[0], " Browse  Edit  Quit     ");
+        assert!(buf.get(1, 0).style.reverse);
+        assert!(!buf.get(10, 0).style.reverse);
+    }
+
+    #[test]
+    fn select_label() {
+        let mut m = menu();
+        assert!(m.select_label("Edit"));
+        assert_eq!(m.selected(), 1);
+        assert!(!m.select_label("Nope"));
+    }
+
+    #[test]
+    fn empty_menu_ignores_keys() {
+        let mut m = MenuBar::new(vec![]);
+        assert_eq!(m.handle_key(Key::Right), Response::Ignored);
+        assert_eq!(m.selected_item(), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! Widgets: the building blocks forms are made of.
+
+pub mod label;
+pub mod menu;
+pub mod status;
+pub mod table_grid;
+pub mod text_field;
+
+pub use label::Label;
+pub use menu::MenuBar;
+pub use status::StatusBar;
+pub use table_grid::TableGrid;
+pub use text_field::TextField;
+
+use crate::buffer::ScreenBuffer;
+use crate::event::Key;
+use crate::geom::Rect;
+
+/// What a widget did with a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Response {
+    /// Not interested; the container should handle it.
+    Ignored,
+    /// Consumed (state may have changed; repaint).
+    Consumed,
+    /// The user activated/submitted (Enter on a menu item, etc.).
+    Submit,
+    /// The user cancelled (Esc).
+    Cancel,
+}
+
+/// A renderable, key-driven widget.
+pub trait Widget {
+    /// Paint into `buf`, constrained to `area`. `focused` selects the
+    /// focused visual treatment.
+    fn render(&self, buf: &mut ScreenBuffer, area: Rect, focused: bool);
+
+    /// React to a key. Default: ignore everything.
+    fn handle_key(&mut self, key: Key) -> Response {
+        let _ = key;
+        Response::Ignored
+    }
+}

@@ -1,0 +1,64 @@
+//! A status bar: left-aligned message, right-aligned hint.
+
+use super::Widget;
+use crate::buffer::ScreenBuffer;
+use crate::cell::Style;
+use crate::geom::{Point, Rect};
+
+/// A one-row status line rendered in reverse video.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatusBar {
+    /// Left-aligned text (messages, errors).
+    pub left: String,
+    /// Right-aligned text (key hints, row counts).
+    pub right: String,
+}
+
+impl StatusBar {
+    /// An empty status bar.
+    pub fn new() -> StatusBar {
+        StatusBar::default()
+    }
+
+    /// Set the message.
+    pub fn set(&mut self, left: impl Into<String>, right: impl Into<String>) {
+        self.left = left.into();
+        self.right = right.into();
+    }
+}
+
+impl Widget for StatusBar {
+    fn render(&self, buf: &mut ScreenBuffer, area: Rect, _focused: bool) {
+        let style = Style::plain().reverse();
+        buf.fill(area.row(0), ' ', style);
+        buf.draw_text(Point::new(area.x, area.y), &self.left, style, area.row(0));
+        let rlen = self.right.chars().count() as i32;
+        let rx = (area.right() - rlen).max(area.x);
+        buf.draw_text(Point::new(rx, area.y), &self.right, style, area.row(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Size;
+
+    #[test]
+    fn left_and_right_alignment() {
+        let mut buf = ScreenBuffer::new(Size::new(20, 1));
+        let mut s = StatusBar::new();
+        s.set("3 rows", "PgDn=more");
+        s.render(&mut buf, Rect::new(0, 0, 20, 1), false);
+        assert_eq!(buf.to_strings()[0], "3 rows     PgDn=more");
+        assert!(buf.get(0, 0).style.reverse);
+    }
+
+    #[test]
+    fn overlong_right_clips_at_left_edge() {
+        let mut buf = ScreenBuffer::new(Size::new(6, 1));
+        let mut s = StatusBar::new();
+        s.set("", "much too long");
+        s.render(&mut buf, Rect::new(0, 0, 6, 1), false);
+        assert_eq!(buf.to_strings()[0], "much t");
+    }
+}

@@ -1,0 +1,284 @@
+//! A scrolling table grid — the multi-record browse surface.
+
+use super::{Response, Widget};
+use crate::buffer::ScreenBuffer;
+use crate::cell::Style;
+use crate::event::Key;
+use crate::geom::{Point, Rect};
+
+/// A grid of rows with a header, a selection bar, and vertical scrolling.
+///
+/// The grid shows `area.h - 1` data rows below the header; Up/Down move the
+/// selection, PageUp/PageDown jump by a screenful (the browse unit of the
+/// paper), Home/End jump to the extremes. Scrolling keeps the selection
+/// visible.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TableGrid {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Column widths (cells).
+    pub widths: Vec<u16>,
+    /// Row data (display strings, already formatted by the forms layer).
+    pub rows: Vec<Vec<String>>,
+    /// Selected row index.
+    selected: usize,
+    /// First visible row index.
+    offset: usize,
+}
+
+impl TableGrid {
+    /// An empty grid with the given columns.
+    pub fn new(headers: Vec<String>, widths: Vec<u16>) -> TableGrid {
+        assert_eq!(headers.len(), widths.len());
+        TableGrid {
+            headers,
+            widths,
+            rows: Vec::new(),
+            selected: 0,
+            offset: 0,
+        }
+    }
+
+    /// Replace the rows, clamping selection/scroll.
+    pub fn set_rows(&mut self, rows: Vec<Vec<String>>) {
+        self.rows = rows;
+        if self.rows.is_empty() {
+            self.selected = 0;
+            self.offset = 0;
+        } else {
+            self.selected = self.selected.min(self.rows.len() - 1);
+            self.offset = self.offset.min(self.selected);
+        }
+    }
+
+    /// The selected row index (0 when empty).
+    pub fn selected(&self) -> usize {
+        self.selected
+    }
+
+    /// The first visible row index.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Select a row, scrolling if needed on next render.
+    pub fn select(&mut self, row: usize) {
+        if !self.rows.is_empty() {
+            self.selected = row.min(self.rows.len() - 1);
+        }
+    }
+
+    /// Data rows visible for a given area height.
+    pub fn page_size(&self, area: Rect) -> usize {
+        (area.h as usize).saturating_sub(1)
+    }
+
+    /// Adjust scroll so the selection is visible within `visible` rows.
+    fn normalize(&mut self, visible: usize) {
+        if visible == 0 {
+            return;
+        }
+        if self.selected < self.offset {
+            self.offset = self.selected;
+        } else if self.selected >= self.offset + visible {
+            self.offset = self.selected + 1 - visible;
+        }
+    }
+
+    /// Move the selection by a signed amount (used for paging).
+    pub fn move_selection(&mut self, delta: isize) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let n = self.rows.len() as isize;
+        let next = (self.selected as isize + delta).clamp(0, n - 1);
+        self.selected = next as usize;
+    }
+
+    /// Handle a key given the current viewport height; the plain
+    /// [`Widget::handle_key`] assumes a 10-row page.
+    pub fn handle_key_with_page(&mut self, key: Key, page: usize) -> Response {
+        match key {
+            Key::Up => {
+                self.move_selection(-1);
+                Response::Consumed
+            }
+            Key::Down => {
+                self.move_selection(1);
+                Response::Consumed
+            }
+            Key::PageUp => {
+                self.move_selection(-(page.max(1) as isize));
+                Response::Consumed
+            }
+            Key::PageDown => {
+                self.move_selection(page.max(1) as isize);
+                Response::Consumed
+            }
+            Key::Home => {
+                self.selected = 0;
+                Response::Consumed
+            }
+            Key::End => {
+                if !self.rows.is_empty() {
+                    self.selected = self.rows.len() - 1;
+                }
+                Response::Consumed
+            }
+            Key::Enter => Response::Submit,
+            Key::Esc => Response::Cancel,
+            _ => Response::Ignored,
+        }
+    }
+}
+
+impl Widget for TableGrid {
+    fn render(&self, buf: &mut ScreenBuffer, area: Rect, focused: bool) {
+        if area.is_empty() {
+            return;
+        }
+        // Header.
+        let header_style = Style::plain().bold();
+        let mut x = area.x;
+        for (h, w) in self.headers.iter().zip(&self.widths) {
+            let cell_clip = Rect::new(x, area.y, *w, 1).intersect(area);
+            buf.draw_text(Point::new(x, area.y), h, header_style, cell_clip);
+            x += *w as i32 + 1;
+        }
+        // Rows.
+        let visible = self.page_size(area);
+        // Render-time normalization keeps scroll math in one place.
+        let mut offset = self.offset;
+        if self.selected < offset {
+            offset = self.selected;
+        } else if visible > 0 && self.selected >= offset + visible {
+            offset = self.selected + 1 - visible;
+        }
+        for (vis_i, row_i) in (offset..self.rows.len()).take(visible).enumerate() {
+            let y = area.y + 1 + vis_i as i32;
+            let is_sel = row_i == self.selected;
+            let style = if is_sel && focused {
+                Style::plain().reverse()
+            } else {
+                Style::plain()
+            };
+            if is_sel && focused {
+                buf.fill(Rect::new(area.x, y, area.w, 1), ' ', style);
+            }
+            let mut x = area.x;
+            for (val, w) in self.rows[row_i].iter().zip(&self.widths) {
+                let cell_clip = Rect::new(x, y, *w, 1).intersect(area);
+                buf.draw_text(Point::new(x, y), val, style, cell_clip);
+                x += *w as i32 + 1;
+            }
+        }
+    }
+
+    fn handle_key(&mut self, key: Key) -> Response {
+        let r = self.handle_key_with_page(key, 10);
+        self.normalize(10);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Size;
+
+    fn grid(n: usize) -> TableGrid {
+        let mut g = TableGrid::new(
+            vec!["id".into(), "name".into()],
+            vec![4, 8],
+        );
+        g.set_rows(
+            (0..n)
+                .map(|i| vec![format!("{i}"), format!("row{i}")])
+                .collect(),
+        );
+        g
+    }
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut buf = ScreenBuffer::new(Size::new(14, 4));
+        let g = grid(2);
+        g.render(&mut buf, Rect::new(0, 0, 14, 4), false);
+        let rows = buf.to_strings();
+        assert_eq!(rows[0], "id   name     ");
+        assert_eq!(rows[1], "0    row0     ");
+        assert_eq!(rows[2], "1    row1     ");
+    }
+
+    #[test]
+    fn selection_bar_renders_reversed_when_focused() {
+        let mut buf = ScreenBuffer::new(Size::new(14, 4));
+        let mut g = grid(3);
+        g.select(1);
+        g.render(&mut buf, Rect::new(0, 0, 14, 4), true);
+        assert!(buf.get(0, 2).style.reverse);
+        assert!(!buf.get(0, 1).style.reverse);
+    }
+
+    #[test]
+    fn navigation_keys() {
+        let mut g = grid(30);
+        assert_eq!(g.handle_key(Key::Down), Response::Consumed);
+        assert_eq!(g.selected(), 1);
+        g.handle_key(Key::PageDown);
+        assert_eq!(g.selected(), 11);
+        g.handle_key(Key::PageUp);
+        assert_eq!(g.selected(), 1);
+        g.handle_key(Key::End);
+        assert_eq!(g.selected(), 29);
+        g.handle_key(Key::Home);
+        assert_eq!(g.selected(), 0);
+        g.handle_key(Key::Up);
+        assert_eq!(g.selected(), 0, "clamped at top");
+    }
+
+    #[test]
+    fn scroll_follows_selection() {
+        let mut g = grid(30);
+        for _ in 0..15 {
+            g.handle_key(Key::Down);
+        }
+        assert_eq!(g.selected(), 15);
+        assert!(g.offset() > 0, "scrolled down");
+        // Render 5 visible rows: offset must keep selection on screen.
+        let mut buf = ScreenBuffer::new(Size::new(14, 6));
+        g.render(&mut buf, Rect::new(0, 0, 14, 6), true);
+        let rows = buf.to_strings();
+        assert!(
+            rows.iter().any(|r| r.contains("row15")),
+            "selection visible: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn empty_grid_is_safe() {
+        let mut g = grid(0);
+        assert_eq!(g.handle_key(Key::Down), Response::Consumed);
+        assert_eq!(g.handle_key(Key::End), Response::Consumed);
+        assert_eq!(g.selected(), 0);
+        let mut buf = ScreenBuffer::new(Size::new(14, 3));
+        g.render(&mut buf, Rect::new(0, 0, 14, 3), true);
+        assert_eq!(buf.to_strings()[1], "              ");
+    }
+
+    #[test]
+    fn set_rows_clamps_selection() {
+        let mut g = grid(30);
+        g.select(29);
+        g.set_rows(vec![vec!["0".into(), "only".into()]]);
+        assert_eq!(g.selected(), 0);
+    }
+
+    #[test]
+    fn enter_submits() {
+        let mut g = grid(3);
+        assert_eq!(g.handle_key(Key::Enter), Response::Submit);
+        assert_eq!(g.handle_key(Key::Esc), Response::Cancel);
+        assert_eq!(g.handle_key(Key::Char('z')), Response::Ignored);
+    }
+}

@@ -1,0 +1,230 @@
+//! A single-line editable text field.
+
+use super::{Response, Widget};
+use crate::buffer::ScreenBuffer;
+use crate::cell::{Cell, Style};
+use crate::event::Key;
+use crate::geom::Rect;
+
+/// A single-line editor with a cursor and horizontal scrolling.
+///
+/// Focused fields render underlined with the cursor cell in reverse video;
+/// unfocused fields render plain — the visual grammar of 1983 form
+/// packages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextField {
+    value: Vec<char>,
+    cursor: usize,
+    /// Maximum length in characters (0 = unlimited).
+    pub max_len: usize,
+}
+
+impl TextField {
+    /// An empty field.
+    pub fn new() -> TextField {
+        TextField {
+            value: Vec::new(),
+            cursor: 0,
+            max_len: 0,
+        }
+    }
+
+    /// A field pre-filled with `value`, cursor at the end.
+    pub fn with_value(value: &str) -> TextField {
+        let value: Vec<char> = value.chars().collect();
+        let cursor = value.len();
+        TextField {
+            value,
+            cursor,
+            max_len: 0,
+        }
+    }
+
+    /// The current text.
+    pub fn value(&self) -> String {
+        self.value.iter().collect()
+    }
+
+    /// Replace the text (cursor moves to the end).
+    pub fn set_value(&mut self, value: &str) {
+        self.value = value.chars().collect();
+        self.cursor = self.value.len();
+    }
+
+    /// Cursor position in characters.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Whether the field holds no text.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+impl Default for TextField {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Widget for TextField {
+    fn render(&self, buf: &mut ScreenBuffer, area: Rect, focused: bool) {
+        if area.is_empty() {
+            return;
+        }
+        let width = area.w as usize;
+        // Horizontal scroll: keep the cursor visible in the last column at
+        // most.
+        let start = if self.cursor >= width {
+            self.cursor + 1 - width
+        } else {
+            0
+        };
+        let base = if focused {
+            Style::plain().underline()
+        } else {
+            Style::plain()
+        };
+        for col in 0..width {
+            let idx = start + col;
+            let ch = self.value.get(idx).copied().unwrap_or(' ');
+            let mut style = base;
+            if focused && idx == self.cursor {
+                style.reverse = true;
+            }
+            buf.set(area.x + col as i32, area.y, Cell::new(ch, style));
+        }
+    }
+
+    fn handle_key(&mut self, key: Key) -> Response {
+        match key {
+            Key::Char(c) => {
+                if self.max_len > 0 && self.value.len() >= self.max_len {
+                    return Response::Consumed;
+                }
+                self.value.insert(self.cursor, c);
+                self.cursor += 1;
+                Response::Consumed
+            }
+            Key::Backspace => {
+                if self.cursor > 0 {
+                    self.cursor -= 1;
+                    self.value.remove(self.cursor);
+                }
+                Response::Consumed
+            }
+            Key::Delete => {
+                if self.cursor < self.value.len() {
+                    self.value.remove(self.cursor);
+                }
+                Response::Consumed
+            }
+            Key::Left => {
+                self.cursor = self.cursor.saturating_sub(1);
+                Response::Consumed
+            }
+            Key::Right => {
+                self.cursor = (self.cursor + 1).min(self.value.len());
+                Response::Consumed
+            }
+            Key::Home => {
+                self.cursor = 0;
+                Response::Consumed
+            }
+            Key::End => {
+                self.cursor = self.value.len();
+                Response::Consumed
+            }
+            Key::Enter => Response::Submit,
+            Key::Esc => Response::Cancel,
+            _ => Response::Ignored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_script;
+    use crate::geom::Size;
+
+    fn type_into(f: &mut TextField, script: &str) {
+        for k in parse_script(script) {
+            f.handle_key(k);
+        }
+    }
+
+    #[test]
+    fn typing_and_editing() {
+        let mut f = TextField::new();
+        type_into(&mut f, "helo");
+        assert_eq!(f.value(), "helo");
+        type_into(&mut f, "<left><left>l");
+        assert_eq!(f.value(), "hello", "insert mid-string");
+        type_into(&mut f, "<home><del>");
+        assert_eq!(f.value(), "ello");
+        type_into(&mut f, "<end>!<backspace><backspace>");
+        assert_eq!(f.value(), "ell");
+    }
+
+    #[test]
+    fn cursor_clamps_at_edges() {
+        let mut f = TextField::with_value("ab");
+        type_into(&mut f, "<right><right><right>");
+        assert_eq!(f.cursor(), 2);
+        type_into(&mut f, "<left><left><left><left>");
+        assert_eq!(f.cursor(), 0);
+        type_into(&mut f, "<backspace>");
+        assert_eq!(f.value(), "ab", "backspace at start is a no-op");
+    }
+
+    #[test]
+    fn max_len_enforced() {
+        let mut f = TextField::new();
+        f.max_len = 3;
+        type_into(&mut f, "abcdef");
+        assert_eq!(f.value(), "abc");
+    }
+
+    #[test]
+    fn enter_and_esc_bubble_up() {
+        let mut f = TextField::new();
+        assert_eq!(f.handle_key(Key::Enter), Response::Submit);
+        assert_eq!(f.handle_key(Key::Esc), Response::Cancel);
+        assert_eq!(f.handle_key(Key::PageDown), Response::Ignored);
+    }
+
+    #[test]
+    fn renders_with_cursor_and_scroll() {
+        let mut buf = ScreenBuffer::new(Size::new(5, 1));
+        let f = TextField::with_value("ab");
+        f.render(&mut buf, Rect::new(0, 0, 5, 1), true);
+        assert_eq!(buf.to_strings()[0], "ab   ");
+        // Cursor (at index 2) is the reversed cell.
+        assert!(buf.get(2, 0).style.reverse);
+        assert!(buf.get(0, 0).style.underline);
+        // Long values scroll so the cursor stays visible.
+        let f = TextField::with_value("abcdefghij");
+        f.render(&mut buf, Rect::new(0, 0, 5, 1), true);
+        assert_eq!(buf.to_strings()[0], "ghij ");
+    }
+
+    #[test]
+    fn unfocused_render_is_plain() {
+        let mut buf = ScreenBuffer::new(Size::new(5, 1));
+        let f = TextField::with_value("ab");
+        f.render(&mut buf, Rect::new(0, 0, 5, 1), false);
+        assert!(!buf.get(0, 0).style.underline);
+        assert!(!buf.get(2, 0).style.reverse);
+    }
+
+    #[test]
+    fn set_value_resets_cursor() {
+        let mut f = TextField::with_value("abc");
+        f.set_value("xy");
+        assert_eq!(f.value(), "xy");
+        assert_eq!(f.cursor(), 2);
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! A window: a framed, titled screen region with its own content buffer.
+
+use crate::buffer::ScreenBuffer;
+use crate::cell::Style;
+use crate::geom::{Rect, Size};
+
+/// A window on the screen.
+///
+/// The window owns a content buffer sized to its *interior* (the frame
+/// shrinks the content by one cell on each side). The compositor blits the
+/// interior and draws the frame; widgets draw into the interior buffer via
+/// [`Window::content_mut`].
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Frame rectangle in screen coordinates.
+    rect: Rect,
+    /// Title shown on the top border.
+    pub title: String,
+    /// Whether the window participates in composition.
+    pub visible: bool,
+    /// Interior content.
+    content: ScreenBuffer,
+}
+
+impl Window {
+    /// Create a window with the given frame rect.
+    pub fn new(rect: Rect, title: impl Into<String>) -> Window {
+        Window {
+            rect,
+            title: title.into(),
+            visible: true,
+            content: ScreenBuffer::new(Self::interior_size(rect)),
+        }
+    }
+
+    fn interior_size(rect: Rect) -> Size {
+        Size::new(rect.w.saturating_sub(2), rect.h.saturating_sub(2))
+    }
+
+    /// The frame rect (screen coordinates).
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// The interior rect (screen coordinates).
+    pub fn interior(&self) -> Rect {
+        self.rect.inset(1)
+    }
+
+    /// The interior rect in window-local coordinates (origin 0,0).
+    pub fn local(&self) -> Rect {
+        Rect::of_size(self.content.size())
+    }
+
+    /// Read the content buffer.
+    pub fn content(&self) -> &ScreenBuffer {
+        &self.content
+    }
+
+    /// Draw into the content buffer.
+    pub fn content_mut(&mut self) -> &mut ScreenBuffer {
+        &mut self.content
+    }
+
+    /// Move the window; contents are preserved.
+    pub fn move_to(&mut self, x: i32, y: i32) {
+        self.rect.x = x;
+        self.rect.y = y;
+    }
+
+    /// Resize the frame; contents are cleared (widgets repaint next frame).
+    pub fn resize(&mut self, w: u16, h: u16) {
+        self.rect.w = w;
+        self.rect.h = h;
+        self.content = ScreenBuffer::new(Self::interior_size(self.rect));
+    }
+
+    /// Compose this window onto a screen buffer: frame, title, interior.
+    /// `focused` draws the frame in reverse video, the 1983 focus cue.
+    pub fn compose_onto(&self, screen: &mut ScreenBuffer, focused: bool) {
+        if !self.visible {
+            return;
+        }
+        let style = if focused {
+            Style::plain().reverse()
+        } else {
+            Style::plain()
+        };
+        // Opaque background for the whole frame so windows occlude.
+        screen.fill(self.rect, ' ', Style::plain());
+        screen.draw_border(self.rect, Some(&self.title), style);
+        let interior = self.interior();
+        screen.blit(&self.content, crate::geom::Point::new(interior.x, interior.y));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+    use crate::geom::Point;
+
+    #[test]
+    fn interior_is_inset_by_frame() {
+        let w = Window::new(Rect::new(2, 1, 10, 5), "t");
+        assert_eq!(w.interior(), Rect::new(3, 2, 8, 3));
+        assert_eq!(w.local(), Rect::new(0, 0, 8, 3));
+    }
+
+    #[test]
+    fn compose_draws_frame_title_and_content() {
+        let mut w = Window::new(Rect::new(0, 0, 10, 4), "emp");
+        let local = w.local();
+        w.content_mut()
+            .draw_text(Point::new(0, 0), "hi", Style::plain(), local);
+        let mut screen = ScreenBuffer::new(Size::new(12, 5));
+        w.compose_onto(&mut screen, false);
+        let rows = screen.to_strings();
+        assert_eq!(rows[0], "+ emp ---+  ");
+        assert_eq!(rows[1], "|hi      |  ");
+    }
+
+    #[test]
+    fn hidden_windows_do_not_compose() {
+        let mut w = Window::new(Rect::new(0, 0, 6, 3), "x");
+        w.visible = false;
+        let mut screen = ScreenBuffer::new(Size::new(8, 4));
+        w.compose_onto(&mut screen, false);
+        assert!(screen.to_strings().iter().all(|r| r.trim().is_empty()));
+    }
+
+    #[test]
+    fn focused_frame_is_reverse_video() {
+        let w = Window::new(Rect::new(0, 0, 6, 3), "x");
+        let mut screen = ScreenBuffer::new(Size::new(8, 4));
+        w.compose_onto(&mut screen, true);
+        assert!(screen.get(0, 0).style.reverse);
+    }
+
+    #[test]
+    fn move_preserves_content_resize_clears() {
+        let mut w = Window::new(Rect::new(0, 0, 8, 4), "x");
+        w.content_mut().set(0, 0, Cell::plain('k'));
+        w.move_to(3, 3);
+        assert_eq!(w.content().get(0, 0).ch, 'k');
+        assert_eq!(w.rect(), Rect::new(3, 3, 8, 4));
+        w.resize(12, 6);
+        assert_eq!(w.content().get(0, 0).ch, ' ');
+        assert_eq!(w.local(), Rect::new(0, 0, 10, 4));
+    }
+
+    #[test]
+    fn tiny_windows_have_empty_interiors() {
+        let w = Window::new(Rect::new(0, 0, 2, 2), "x");
+        assert!(w.local().is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! The view catalog.
+
+use crate::def::ViewDef;
+use crate::error::{ViewError, ViewResult};
+use std::collections::BTreeMap;
+
+/// Maximum view-over-view nesting depth accepted at registration.
+pub const MAX_NESTING: usize = 16;
+
+/// A registry of view definitions.
+///
+/// Registration is cycle-safe: a view may range over previously registered
+/// views, and a definition that would create a reference cycle (or nest
+/// deeper than [`MAX_NESTING`]) is rejected.
+#[derive(Debug, Default)]
+pub struct ViewCatalog {
+    views: BTreeMap<String, ViewDef>,
+}
+
+impl ViewCatalog {
+    /// Empty catalog.
+    pub fn new() -> ViewCatalog {
+        ViewCatalog::default()
+    }
+
+    /// Whether a view with this name exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.views.contains_key(name)
+    }
+
+    /// Look up a view.
+    pub fn get(&self, name: &str) -> ViewResult<&ViewDef> {
+        self.views
+            .get(name)
+            .ok_or_else(|| ViewError::NoSuchView(name.to_string()))
+    }
+
+    /// All view names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.views.keys().cloned().collect()
+    }
+
+    /// Register a view. Rejects duplicate view names, duplicate *column*
+    /// names (two targets that would collapse during substitution),
+    /// self-reference, cycles, and excessive nesting.
+    pub fn register(&mut self, def: ViewDef) -> ViewResult<()> {
+        if self.views.contains_key(&def.name) {
+            return Err(ViewError::AlreadyExists(def.name.clone()));
+        }
+        let mut cols = def.column_names();
+        cols.sort();
+        let before = cols.len();
+        cols.dedup();
+        if cols.len() != before {
+            return Err(ViewError::Rel(wow_rel::RelError::Unsupported(format!(
+                "view {} has duplicate column names; name targets explicitly",
+                def.name
+            ))));
+        }
+        // Depth check (which also catches cycles, since any range must name
+        // an already-registered view — self-reference can't resolve).
+        for (_, t) in &def.ranges {
+            if t == &def.name {
+                return Err(ViewError::Cycle(def.name.clone()));
+            }
+            if self.has(t) {
+                let d = self.depth_of(t, 1)?;
+                if d + 1 > MAX_NESTING {
+                    return Err(ViewError::TooDeep(MAX_NESTING));
+                }
+            }
+        }
+        self.views.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    fn depth_of(&self, name: &str, acc: usize) -> ViewResult<usize> {
+        if acc > MAX_NESTING {
+            return Err(ViewError::TooDeep(MAX_NESTING));
+        }
+        let Ok(def) = self.get(name) else {
+            return Ok(acc); // base table
+        };
+        let mut max = acc;
+        for (_, t) in &def.ranges {
+            if self.has(t) {
+                max = max.max(self.depth_of(t, acc + 1)?);
+            }
+        }
+        Ok(max)
+    }
+
+    /// Remove a view. Fails if another view ranges over it.
+    pub fn remove(&mut self, name: &str) -> ViewResult<ViewDef> {
+        if !self.views.contains_key(name) {
+            return Err(ViewError::NoSuchView(name.to_string()));
+        }
+        if let Some(dependent) = self
+            .views
+            .values()
+            .find(|v| v.name != name && v.ranges.iter().any(|(_, t)| t == name))
+        {
+            return Err(ViewError::Cycle(format!(
+                "{} is used by view {}",
+                name, dependent.name
+            )));
+        }
+        Ok(self.views.remove(name).expect("checked above"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str, over: &str) -> ViewDef {
+        ViewDef::parse(
+            name,
+            &format!("RANGE OF x IS {over} RETRIEVE (x.a)"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut c = ViewCatalog::new();
+        c.register(v("v1", "base")).unwrap();
+        assert!(c.has("v1"));
+        assert_eq!(c.get("v1").unwrap().name, "v1");
+        assert!(c.get("nope").is_err());
+        assert_eq!(c.names(), vec!["v1"]);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut c = ViewCatalog::new();
+        c.register(v("v1", "base")).unwrap();
+        assert!(matches!(
+            c.register(v("v1", "base")),
+            Err(ViewError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_column_names_rejected() {
+        let mut c = ViewCatalog::new();
+        let dup = ViewDef::parse(
+            "dup",
+            "RANGE OF x IS a RANGE OF y IS b RETRIEVE (x.v, y.v)",
+        )
+        .unwrap();
+        assert!(c.register(dup).is_err());
+        // Naming one of them fixes it.
+        let ok = ViewDef::parse(
+            "ok",
+            "RANGE OF x IS a RANGE OF y IS b RETRIEVE (x.v, other = y.v)",
+        )
+        .unwrap();
+        c.register(ok).unwrap();
+    }
+
+    #[test]
+    fn self_reference_rejected() {
+        let mut c = ViewCatalog::new();
+        assert!(matches!(
+            c.register(v("v1", "v1")),
+            Err(ViewError::Cycle(_))
+        ));
+    }
+
+    #[test]
+    fn nesting_chain_allowed_to_limit() {
+        // v0 sits at level 1; vN at level N+1. Levels up to MAX_NESTING are
+        // accepted, one more is rejected.
+        let mut c = ViewCatalog::new();
+        c.register(v("v0", "base")).unwrap();
+        for i in 1..MAX_NESTING {
+            c.register(v(&format!("v{i}"), &format!("v{}", i - 1))).unwrap();
+        }
+        let too_deep = v("vdeep", &format!("v{}", MAX_NESTING - 1));
+        assert!(matches!(c.register(too_deep), Err(ViewError::TooDeep(_))));
+    }
+
+    #[test]
+    fn remove_respects_dependents() {
+        let mut c = ViewCatalog::new();
+        c.register(v("inner", "base")).unwrap();
+        c.register(v("outer", "inner")).unwrap();
+        assert!(c.remove("inner").is_err());
+        c.remove("outer").unwrap();
+        c.remove("inner").unwrap();
+        assert!(c.names().is_empty());
+    }
+}

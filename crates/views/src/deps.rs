@@ -1,0 +1,58 @@
+//! The view → base-table dependency graph.
+//!
+//! After a window commits an update to a base table, the window manager
+//! must refresh every other window whose view *could* see the change.
+//! These helpers compute that reachability.
+
+use crate::catalog::ViewCatalog;
+use crate::error::ViewResult;
+use std::collections::BTreeSet;
+use wow_rel::db::Database;
+
+/// The set of base tables a view (transitively) reads.
+pub fn base_tables(
+    db: &Database,
+    vc: &ViewCatalog,
+    view_name: &str,
+) -> ViewResult<BTreeSet<String>> {
+    let mut out = BTreeSet::new();
+    collect(db, vc, view_name, &mut out)?;
+    Ok(out)
+}
+
+fn collect(
+    db: &Database,
+    vc: &ViewCatalog,
+    name: &str,
+    out: &mut BTreeSet<String>,
+) -> ViewResult<()> {
+    let def = vc.get(name)?;
+    for (_, t) in &def.ranges {
+        if db.catalog().has_table(t) {
+            out.insert(t.clone());
+        } else {
+            collect(db, vc, t, out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Every view that (transitively) reads `table`, sorted by name.
+pub fn views_reading(db: &Database, vc: &ViewCatalog, table: &str) -> Vec<String> {
+    vc.names()
+        .into_iter()
+        .filter(|v| {
+            base_tables(db, vc, v)
+                .map(|s| s.contains(table))
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Whether two views overlap — share at least one base table — and hence
+/// whether a write through one may require refreshing the other.
+pub fn overlap(db: &Database, vc: &ViewCatalog, a: &str, b: &str) -> ViewResult<bool> {
+    let ta = base_tables(db, vc, a)?;
+    let tb = base_tables(db, vc, b)?;
+    Ok(ta.intersection(&tb).next().is_some())
+}

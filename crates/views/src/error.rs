@@ -1,0 +1,101 @@
+//! Errors of the view layer.
+
+use std::fmt;
+use wow_rel::RelError;
+
+/// Result alias for the view layer.
+pub type ViewResult<T> = Result<T, ViewError>;
+
+/// Errors raised while defining, expanding, or updating through views.
+#[derive(Debug)]
+pub enum ViewError {
+    /// Underlying relational-engine failure.
+    Rel(RelError),
+    /// A named view does not exist.
+    NoSuchView(String),
+    /// A view with this name already exists.
+    AlreadyExists(String),
+    /// View definitions may not be cyclic.
+    Cycle(String),
+    /// Expansion exceeded the nesting limit.
+    TooDeep(usize),
+    /// The view is not updatable; the payload explains why.
+    NotUpdatable {
+        /// View name.
+        view: String,
+        /// Human-readable reasons (one per violated rule).
+        reasons: Vec<String>,
+    },
+    /// A through-view write would produce a row outside the view.
+    EscapesView {
+        /// View name.
+        view: String,
+    },
+    /// A through-view write touches a column the view does not expose as a
+    /// plain base column.
+    NotWritable {
+        /// View column name.
+        column: String,
+    },
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::Rel(e) => write!(f, "relational engine: {e}"),
+            ViewError::NoSuchView(v) => write!(f, "no such view: {v}"),
+            ViewError::AlreadyExists(v) => write!(f, "view already exists: {v}"),
+            ViewError::Cycle(v) => write!(f, "cyclic view definition involving {v}"),
+            ViewError::TooDeep(n) => write!(f, "view nesting deeper than {n}"),
+            ViewError::NotUpdatable { view, reasons } => {
+                write!(f, "view {view} is not updatable: {}", reasons.join("; "))
+            }
+            ViewError::EscapesView { view } => {
+                write!(f, "write would move the row outside view {view}")
+            }
+            ViewError::NotWritable { column } => {
+                write!(f, "view column {column} is not writable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ViewError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ViewError::Rel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for ViewError {
+    fn from(e: RelError) -> Self {
+        ViewError::Rel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            ViewError::NoSuchView("v".into()).to_string(),
+            "no such view: v"
+        );
+        let e = ViewError::NotUpdatable {
+            view: "v".into(),
+            reasons: vec!["has aggregates".into(), "two ranges".into()],
+        };
+        assert!(e.to_string().contains("has aggregates; two ranges"));
+    }
+
+    #[test]
+    fn rel_errors_convert() {
+        let e: ViewError = RelError::NoSuchTable("t".into()).into();
+        assert!(matches!(e, ViewError::Rel(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

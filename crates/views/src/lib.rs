@@ -1,0 +1,30 @@
+//! # wow-views
+//!
+//! The view layer of *Windows on the World*: every window displays a form
+//! bound to a **view** — a stored relational query. This crate provides:
+//!
+//! * [`def`] — view definitions: a named target list over declared ranges
+//!   with an optional restriction, i.e. a stored `RETRIEVE`.
+//! * [`catalog`] — the view catalog, with cycle-safe registration.
+//! * [`expand`] — **query modification** (Stonebraker 1975): rewriting a
+//!   query over views into a query over base tables by substituting target
+//!   expressions and conjoining view predicates. Views nest.
+//! * [`updatable`] — the classical updatability analysis: a view admits
+//!   updates when it ranges over a single base relation, computes no
+//!   aggregates, projects real columns, and **preserves the key**.
+//! * [`translate`] — translating window edits (update/insert/delete on view
+//!   rows) into base-table DML, including the "row escapes the view" check.
+//! * [`deps`] — the dependency graph from views to base tables, used by the
+//!   window manager to decide which windows to refresh after a commit.
+
+pub mod catalog;
+pub mod def;
+pub mod deps;
+pub mod error;
+pub mod expand;
+pub mod translate;
+pub mod updatable;
+
+pub use catalog::ViewCatalog;
+pub use def::ViewDef;
+pub use error::{ViewError, ViewResult};

@@ -1,0 +1,113 @@
+//! Value distributions.
+
+use crate::rng::DetRng;
+
+/// A Zipf(s) sampler over ranks `0..n` (rank 0 most popular).
+///
+/// Uses the inverse-CDF over a precomputed table — exact, deterministic,
+/// and fast enough for data generation. Skewed access is what separates a
+/// real browse/propagation benchmark from a uniform toy.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n` ranks with exponent `s` (s=0 is
+    /// uniform; s=1 is the classic web-ish skew).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0);
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against FP drift at the top.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Sample a rank.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// Sample a selectivity-controlled subset: a predicate value such that
+/// roughly `selectivity * n` of `n` uniform values in `[0, n)` fall below
+/// it. Used by the crossover sweeps (Figure 3).
+pub fn threshold_for_selectivity(n: u64, selectivity: f64) -> i64 {
+    ((n as f64) * selectivity.clamp(0.0, 1.0)).round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_zipf_is_flat() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = DetRng::new(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(
+            (*max as f64) < (*min as f64) * 1.3,
+            "flat-ish: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn skewed_zipf_front_loads() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = DetRng::new(12);
+        let mut head = 0usize;
+        let total = 20_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s=1 over 100 ranks, the top 10 ranks carry ~56% of the mass.
+        assert!(
+            head as f64 > total as f64 * 0.45,
+            "head got {head}/{total}"
+        );
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(7, 0.8);
+        let mut rng = DetRng::new(13);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+        assert_eq!(z.len(), 7);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn threshold_math() {
+        assert_eq!(threshold_for_selectivity(1000, 0.1), 100);
+        assert_eq!(threshold_for_selectivity(1000, 0.0), 0);
+        assert_eq!(threshold_for_selectivity(1000, 1.0), 1000);
+        assert_eq!(threshold_for_selectivity(1000, 7.0), 1000, "clamped");
+    }
+}

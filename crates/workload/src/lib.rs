@@ -1,0 +1,22 @@
+//! # wow-workload
+//!
+//! Synthetic data and operation streams standing in for the authors' test
+//! database (which, like all 1983 artifacts, is unavailable — see
+//! `DESIGN.md` for the substitution note).
+//!
+//! * [`rng`] — a tiny deterministic PCG-style generator so every bench run
+//!   sees identical data.
+//! * [`dist`] — uniform/Zipf value distributions (skew is what makes
+//!   browse/propagation benchmarks honest).
+//! * [`university`] — the registrar world: students, courses, enrollment.
+//! * [`suppliers`] — the classic suppliers-parts-shipments world.
+//! * [`script`] — reproducible streams of window operations (browse/edit/
+//!   query mixes) for the concurrency and propagation experiments.
+
+pub mod dist;
+pub mod rng;
+pub mod script;
+pub mod suppliers;
+pub mod university;
+
+pub use rng::DetRng;

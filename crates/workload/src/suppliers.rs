@@ -1,0 +1,186 @@
+//! The classic suppliers-parts-shipments world (Date's benchmark schema,
+//! which 1983 readers would have recognized instantly).
+
+use crate::rng::DetRng;
+use wow_core::world::World;
+use wow_core::WorldConfig;
+use wow_rel::db::Database;
+use wow_rel::value::Value;
+
+/// Size knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SuppliersConfig {
+    /// Number of suppliers.
+    pub suppliers: usize,
+    /// Number of parts.
+    pub parts: usize,
+    /// Number of shipments.
+    pub shipments: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SuppliersConfig {
+    fn default() -> Self {
+        SuppliersConfig {
+            suppliers: 100,
+            parts: 200,
+            shipments: 2000,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+const CITIES: &[&str] = &["london", "paris", "athens", "oslo", "madrid", "rome"];
+const COLORS: &[&str] = &["red", "green", "blue", "black", "white"];
+
+/// Create the schema and load synthetic data.
+pub fn build(db: &mut Database, cfg: &SuppliersConfig) {
+    db.run(
+        "CREATE TABLE supplier (sno INT KEY, sname TEXT NOT NULL, city TEXT, status INT)
+         CREATE TABLE part (pno INT KEY, pname TEXT NOT NULL, color TEXT, weight FLOAT)
+         CREATE TABLE shipment (spid INT KEY, sno INT NOT NULL, pno INT NOT NULL, qty INT)
+         CREATE INDEX ship_sno ON shipment (sno) USING HASH
+         CREATE INDEX ship_pno ON shipment (pno)
+         CREATE INDEX supplier_city ON supplier (city) USING HASH
+         CREATE INDEX ship_qty ON shipment (qty)
+         RANGE OF s IS supplier
+         RANGE OF p IS part
+         RANGE OF sp IS shipment",
+    )
+    .expect("schema");
+    let mut rng = DetRng::new(cfg.seed);
+    for sno in 0..cfg.suppliers {
+        db.insert(
+            "supplier",
+            vec![
+                Value::Int(sno as i64),
+                Value::text(format!("supplier-{sno:04}")),
+                Value::text(*rng.pick(CITIES)),
+                Value::Int(rng.range_i64(10, 40)),
+            ],
+        )
+        .expect("supplier row");
+    }
+    for pno in 0..cfg.parts {
+        db.insert(
+            "part",
+            vec![
+                Value::Int(pno as i64),
+                Value::text(format!("part-{pno:04}")),
+                Value::text(*rng.pick(COLORS)),
+                Value::Float(rng.range_i64(10, 500) as f64 / 10.0),
+            ],
+        )
+        .expect("part row");
+    }
+    for spid in 0..cfg.shipments {
+        db.insert(
+            "shipment",
+            vec![
+                Value::Int(spid as i64),
+                Value::Int(rng.below(cfg.suppliers.max(1) as u64) as i64),
+                Value::Int(rng.below(cfg.parts.max(1) as u64) as i64),
+                Value::Int(rng.range_i64(1, 1000)),
+            ],
+        )
+        .expect("shipment row");
+    }
+}
+
+/// Standard inventory views.
+pub fn define_views(world: &mut World) {
+    world
+        .define_view(
+            "suppliers",
+            "RANGE OF s IS supplier RETRIEVE (s.sno, s.sname, s.city, s.status)",
+        )
+        .expect("suppliers view");
+    world
+        .define_view(
+            "parts",
+            "RANGE OF p IS part RETRIEVE (p.pno, p.pname, p.color, p.weight)",
+        )
+        .expect("parts view");
+    world
+        .define_view(
+            "shipments",
+            "RANGE OF sp IS shipment RETRIEVE (sp.spid, sp.sno, sp.pno, sp.qty)",
+        )
+        .expect("shipments view");
+    world
+        .define_view(
+            "london_suppliers",
+            r#"RANGE OF s IS supplier RETRIEVE (s.sno, s.sname, s.status) WHERE s.city = "london""#,
+        )
+        .expect("london view");
+    world
+        .define_view(
+            "shipment_detail",
+            "RANGE OF s IS supplier RANGE OF sp IS shipment
+             RETRIEVE (s.sname, sp.pno, sp.qty) WHERE s.sno = sp.sno",
+        )
+        .expect("detail view");
+    world
+        .define_view(
+            "supplier_volume",
+            "RANGE OF sp IS shipment
+             RETRIEVE (sp.sno, total = SUM(sp.qty)) GROUP BY sp.sno",
+        )
+        .expect("volume view");
+}
+
+/// Build a populated world with the standard views.
+pub fn build_world(world_cfg: WorldConfig, cfg: &SuppliersConfig) -> World {
+    let mut world = World::new(world_cfg);
+    build(world.db_mut(), cfg);
+    define_views(&mut world);
+    world
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_expected_counts() {
+        let cfg = SuppliersConfig {
+            suppliers: 10,
+            parts: 20,
+            shipments: 100,
+            seed: 3,
+        };
+        let mut db = Database::in_memory();
+        build(&mut db, &cfg);
+        let n = db.run("RETRIEVE (n = COUNT(sp.spid))").unwrap();
+        assert_eq!(n.tuples[0].values[0], Value::Int(100));
+        // Foreign keys in range.
+        let bad = db
+            .run("RETRIEVE (n = COUNT(sp.spid)) WHERE sp.sno >= 10")
+            .unwrap();
+        assert_eq!(bad.tuples[0].values[0], Value::Int(0));
+    }
+
+    #[test]
+    fn views_open_and_update() {
+        let mut world = build_world(
+            WorldConfig::default(),
+            &SuppliersConfig {
+                suppliers: 10,
+                parts: 10,
+                shipments: 50,
+                seed: 4,
+            },
+        );
+        let s = world.open_session();
+        let win = world.open_window(s, "suppliers", None).unwrap();
+        assert!(world.window(win).unwrap().is_updatable());
+        let ro = world.open_window(s, "shipment_detail", None).unwrap();
+        assert!(!world.window(ro).unwrap().is_updatable());
+        // Edit through the suppliers window propagates into the detail.
+        world.enter_edit(win).unwrap();
+        world.window_mut(win).unwrap().form.set_text(1, "renamed-supplier");
+        world.commit(win).unwrap();
+        assert!(world.stats.windows_refreshed >= 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Two clerks, one database: lock conflicts, deadlock detection, and
+//! cross-window propagation.
+//!
+//! ```text
+//! cargo run --example concurrent_sessions
+//! ```
+
+use wow::core::config::WorldConfig;
+use wow::core::locks::LockMode;
+use wow::core::world::World;
+
+fn main() {
+    let mut world = World::new(WorldConfig::default());
+    world
+        .db_mut()
+        .run(
+            r#"
+            CREATE TABLE emp (name TEXT KEY, dept TEXT, salary INT)
+            CREATE TABLE dept (dname TEXT KEY, floor INT)
+            APPEND TO emp (name = "alice", dept = "toy", salary = 120)
+            APPEND TO emp (name = "bob", dept = "shoe", salary = 90)
+            APPEND TO dept (dname = "toy", floor = 1)
+            APPEND TO dept (dname = "shoe", floor = 2)
+            "#,
+        )
+        .unwrap();
+    world
+        .define_view("emps", "RANGE OF e IS emp RETRIEVE (e.name, e.dept, e.salary)")
+        .unwrap();
+    world
+        .define_view("depts", "RANGE OF d IS dept RETRIEVE (d.dname, d.floor)")
+        .unwrap();
+
+    let clerk_a = world.open_session();
+    let clerk_b = world.open_session();
+    let win_a = world.open_window(clerk_a, "emps", None).unwrap();
+    let win_b = world.open_window(clerk_b, "emps", None).unwrap();
+
+    // --- Lock conflict -----------------------------------------------------
+    println!("== lock conflict ==");
+    assert!(world.try_lock(clerk_a, "emp", LockMode::Exclusive));
+    println!("clerk A holds X(emp)");
+    let granted = world.try_lock(clerk_b, "emp", LockMode::Exclusive);
+    println!("clerk B requests X(emp): granted = {granted} (denied, retry later)");
+    world.release_locks(clerk_a);
+    let granted = world.try_lock(clerk_b, "emp", LockMode::Exclusive);
+    println!("after A releases: granted = {granted}");
+    world.release_locks(clerk_b);
+
+    // --- Deadlock detection --------------------------------------------------
+    println!("\n== deadlock detection ==");
+    assert!(world.try_lock(clerk_a, "emp", LockMode::Exclusive));
+    assert!(world.try_lock(clerk_b, "dept", LockMode::Exclusive));
+    let a_wants_dept = world.try_lock(clerk_a, "dept", LockMode::Exclusive);
+    println!("A holds emp, B holds dept; A requests dept: granted = {a_wants_dept}");
+    let b_wants_emp = world.try_lock(clerk_b, "emp", LockMode::Exclusive);
+    println!("B requests emp: granted = {b_wants_emp} — the cycle was detected");
+    println!("deadlocks detected so far: {}", world.locks().deadlocks);
+    world.release_locks(clerk_a);
+    world.release_locks(clerk_b);
+
+    // --- Propagation -----------------------------------------------------------
+    println!("\n== propagation between clerks ==");
+    println!(
+        "clerk B sees: {}",
+        world.current_row(win_b).unwrap().unwrap()
+    );
+    world.enter_edit(win_a).unwrap();
+    world.window_mut(win_a).unwrap().form.set_text(2, "200");
+    world.commit(win_a).unwrap();
+    println!("clerk A committed salary = 200 in their window");
+    println!(
+        "clerk B now sees: {} (no manual refresh)",
+        world.current_row(win_b).unwrap().unwrap()
+    );
+    println!(
+        "windows refreshed by propagation: {}",
+        world.stats.windows_refreshed
+    );
+}

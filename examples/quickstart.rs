@@ -1,0 +1,69 @@
+//! Quickstart: the whole system in sixty lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Creates a database, defines a view, opens a window on it, browses,
+//! edits a row through the window, and shows the screen after each step.
+
+use wow::core::config::WorldConfig;
+use wow::core::world::World;
+
+fn show(world: &mut World, caption: &str) {
+    println!("--- {caption} ---");
+    for line in world.render_snapshot() {
+        let trimmed = line.trim_end();
+        if !trimmed.is_empty() {
+            println!("{trimmed}");
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // 1. The "world": one shared database.
+    let mut world = World::new(WorldConfig::default());
+    world
+        .db_mut()
+        .run(
+            r#"
+            CREATE TABLE emp (name TEXT KEY, dept TEXT, salary INT)
+            RANGE OF e IS emp
+            APPEND TO emp (name = "alice", dept = "toy",  salary = 120)
+            APPEND TO emp (name = "bob",   dept = "shoe", salary = 90)
+            APPEND TO emp (name = "carol", dept = "toy",  salary = 150)
+            "#,
+        )
+        .expect("schema and rows");
+
+    // 2. A view: what the window will look through.
+    world
+        .define_view(
+            "emps",
+            "RANGE OF e IS emp RETRIEVE (e.name, e.dept, e.salary)",
+        )
+        .expect("view");
+
+    // 3. A session and a window. The form is compiled from the view schema.
+    let session = world.open_session();
+    let win = world.open_window(session, "emps", None).expect("window");
+    show(&mut world, "window opened: browsing row 1");
+
+    // 4. Browse.
+    world.browse_next(win).unwrap();
+    show(&mut world, "after Down: row 2 (bob)");
+
+    // 5. Edit through the window: raise bob's salary.
+    world.enter_edit(win).unwrap();
+    world.window_mut(win).unwrap().form.set_text(2, "95");
+    world.commit(win).unwrap();
+    show(&mut world, "after edit commit: bob earns 95");
+
+    // 6. The base table saw the write.
+    let rows = world
+        .db_mut()
+        .run(r#"RETRIEVE (e.name, e.salary) WHERE e.name = "bob""#)
+        .unwrap();
+    println!("base table says: {}", rows.tuples[0]);
+}

@@ -1,0 +1,117 @@
+//! The registrar's office: several windows over overlapping student data.
+//!
+//! ```text
+//! cargo run --example registrar            # scripted demo, prints frames
+//! cargo run --example registrar -- --tty   # render live ANSI to stdout
+//! ```
+//!
+//! Demonstrates the paper's core scenario: a clerk browses `students`, a
+//! second window watches the `honor_roll` view, and an edit committed in
+//! the first window propagates into the second automatically.
+
+use wow::core::config::WorldConfig;
+use wow::core::WindowStyle;
+use wow::tui::backend::{AnsiBackend, Backend};
+use wow::tui::geom::{Rect, Size};
+use wow::workload::university::{build_world, UniversityConfig};
+
+fn main() {
+    let tty = std::env::args().any(|a| a == "--tty");
+    let mut world = build_world(
+        WorldConfig {
+            screen: Size::new(100, 30),
+            ..WorldConfig::default()
+        },
+        &UniversityConfig {
+            students: 200,
+            courses: 20,
+            enrollments: 800,
+            zipf_s: 1.0,
+            seed: 1983,
+        },
+    );
+    let clerk = world.open_session();
+    let students = world
+        .open_window(clerk, "students", Some(Rect::new(1, 1, 48, 12)))
+        .unwrap();
+    let honor = world
+        .open_window(clerk, "honor_roll", Some(Rect::new(51, 1, 46, 10)))
+        .unwrap();
+    // A grid window: a whole page of courses at once.
+    let _courses = world
+        .open_window_styled(
+            clerk,
+            "courses",
+            Some(Rect::new(51, 12, 46, 14)),
+            WindowStyle::Grid,
+        )
+        .unwrap();
+    world.focus_window(students).unwrap();
+
+    let mut ansi = AnsiBackend::new(std::io::stdout());
+    fn frame(
+        world: &mut wow::core::world::World,
+        ansi: &mut AnsiBackend<std::io::Stdout>,
+        tty: bool,
+        caption: &str,
+    ) {
+        if tty {
+            let patches = world.render();
+            ansi.present(&patches);
+            ansi.flush();
+            std::thread::sleep(std::time::Duration::from_millis(600));
+        } else {
+            println!("--- {caption} ---");
+            for line in world.render_snapshot() {
+                let t = line.trim_end();
+                if !t.is_empty() {
+                    println!("{t}");
+                }
+            }
+            println!();
+        }
+    }
+    if tty {
+        ansi.enter().unwrap();
+    }
+
+    frame(&mut world, &mut ansi, tty, "two windows: all students + honor roll");
+
+    // Browse a few pages.
+    for _ in 0..2 {
+        world.browse_next_page(students).unwrap();
+    }
+    frame(&mut world, &mut ansi, tty, "clerk paged forward twice (index cursor)");
+
+    // Query-by-form: seniors named with a leading 'A'-ish pattern.
+    world.enter_query(students).unwrap();
+    {
+        let form = &mut world.window_mut(students).unwrap().form;
+        form.set_text(2, "4"); // year = 4
+    }
+    world.apply_query(students).unwrap();
+    frame(&mut world, &mut ansi, tty, "query by form: year = 4 (seniors)");
+
+    // Raise the current senior's GPA to honor-roll territory; the
+    // honor_roll window refreshes by propagation.
+    if world.current_row(students).unwrap().is_some() {
+        world.enter_edit(students).unwrap();
+        world.window_mut(students).unwrap().form.set_text(3, "3.9");
+        world.commit(students).unwrap();
+    }
+    frame(
+        &mut world,
+        &mut ansi,
+        tty,
+        "edit committed: gpa=3.9 — honor_roll window refreshed itself",
+    );
+    println!(
+        "windows refreshed by propagation: {}",
+        world.stats.windows_refreshed
+    );
+    let _ = honor;
+
+    if tty {
+        ansi.leave().unwrap();
+    }
+}

@@ -1,0 +1,13 @@
+//! # wow — Windows on the World
+//!
+//! Umbrella crate re-exporting the whole workspace: a reproduction of the
+//! SIGMOD 1983 forms-over-views database interface. See the repository
+//! README and `DESIGN.md` for architecture; start with [`wow_core::World`].
+
+pub use wow_core as core;
+pub use wow_forms as forms;
+pub use wow_rel as rel;
+pub use wow_storage as storage;
+pub use wow_tui as tui;
+pub use wow_views as views;
+pub use wow_workload as workload;
