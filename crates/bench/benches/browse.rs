@@ -30,7 +30,10 @@ fn student_world(n: usize) -> World {
             .unwrap();
     }
     world
-        .define_view("students", "RANGE OF s IS student RETRIEVE (s.sid, s.sname, s.year)")
+        .define_view(
+            "students",
+            "RANGE OF s IS student RETRIEVE (s.sid, s.sname, s.year)",
+        )
         .unwrap();
     world
 }
@@ -42,14 +45,15 @@ fn bench_browse(c: &mut Criterion) {
         let mut world = student_world(n);
         let upd = analyze(world.db(), world.views(), "students").unwrap();
         g.bench_with_input(BenchmarkId::new("open_indexed", n), &n, |b, _| {
-            b.iter(|| {
-                BrowseCursor::indexed(world.db_mut(), &upd, "pk_student", 16, None).unwrap()
-            })
+            b.iter(|| BrowseCursor::indexed(world.db_mut(), &upd, "pk_student", 16, None).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("open_materialized", n), &n, |b, _| {
             b.iter(|| {
                 let query = ViewQuery {
-                    sort: vec![SortKey { column: "sid".into(), ascending: true }],
+                    sort: vec![SortKey {
+                        column: "sid".into(),
+                        ascending: true,
+                    }],
                     ..Default::default()
                 };
                 BrowseCursor::materialized(
@@ -66,11 +70,13 @@ fn bench_browse(c: &mut Criterion) {
             BrowseCursor::indexed(world.db_mut(), &upd, "pk_student", 16, None).unwrap();
         g.bench_with_input(BenchmarkId::new("page_indexed", n), &n, |b, _| {
             b.iter(|| {
-                if !cursor.next_page(world.db_mut(), &ViewCatalog::new()).unwrap() {
+                if !cursor
+                    .next_page(world.db_mut(), &ViewCatalog::new())
+                    .unwrap()
+                {
                     // wrap around
-                    cursor =
-                        BrowseCursor::indexed(world.db_mut(), &upd, "pk_student", 16, None)
-                            .unwrap();
+                    cursor = BrowseCursor::indexed(world.db_mut(), &upd, "pk_student", 16, None)
+                        .unwrap();
                 }
             })
         });

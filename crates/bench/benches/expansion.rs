@@ -14,11 +14,17 @@ fn bench_expansion(c: &mut Criterion) {
     for n in [1_000usize, 10_000] {
         let mut world = build_world(
             WorldConfig::default(),
-            &SuppliersConfig { suppliers: n, parts: 10, shipments: 10, seed: 71 },
+            &SuppliersConfig {
+                suppliers: n,
+                parts: 10,
+                shipments: 10,
+                seed: 71,
+            },
         );
         let mut vc = ViewCatalog::new();
         for name in world.views().names() {
-            vc.register(world.views().get(&name).unwrap().clone()).unwrap();
+            vc.register(world.views().get(&name).unwrap().clone())
+                .unwrap();
         }
         let q = ViewQuery {
             pred: Some(Expr::Binary {

@@ -9,11 +9,17 @@ use wow_views::ViewCatalog;
 use wow_workload::suppliers::{build_world, SuppliersConfig};
 
 fn bench_join_view(c: &mut Criterion) {
-    let cfg = SuppliersConfig { suppliers: 200, parts: 50, shipments: 5_000, seed: 31 };
+    let cfg = SuppliersConfig {
+        suppliers: 200,
+        parts: 50,
+        shipments: 5_000,
+        seed: 31,
+    };
     let mut world = build_world(WorldConfig::default(), &cfg);
     let mut vc = ViewCatalog::new();
     for name in world.views().names() {
-        vc.register(world.views().get(&name).unwrap().clone()).unwrap();
+        vc.register(world.views().get(&name).unwrap().clone())
+            .unwrap();
     }
     let mut g = c.benchmark_group("figure2_join_view");
     g.sample_size(20);
@@ -24,7 +30,10 @@ fn bench_join_view(c: &mut Criterion) {
             left: Box::new(Expr::ColumnRef("qty".into())),
             right: Box::new(Expr::Literal(Value::Int(threshold))),
         };
-        let query = ViewQuery { pred: Some(pred), ..Default::default() };
+        let query = ViewQuery {
+            pred: Some(pred),
+            ..Default::default()
+        };
         g.bench_with_input(
             BenchmarkId::new("expanded_hash_join", sel_pct),
             &sel_pct,

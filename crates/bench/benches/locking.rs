@@ -8,18 +8,34 @@ fn bench_locking(c: &mut Criterion) {
     let mut g = c.benchmark_group("table5_locking");
     for locking in [true, false] {
         let mut world = build_world(
-            WorldConfig { locking, ..WorldConfig::default() },
-            &SuppliersConfig { suppliers: 100, parts: 10, shipments: 10, seed: 51 },
+            WorldConfig {
+                locking,
+                ..WorldConfig::default()
+            },
+            &SuppliersConfig {
+                suppliers: 100,
+                parts: 10,
+                shipments: 10,
+                seed: 51,
+            },
         );
         let s = world.open_session();
         let win = world.open_window(s, "suppliers", None).unwrap();
         let mut v = 0i64;
-        let label = if locking { "locked_commit" } else { "unlocked_commit" };
+        let label = if locking {
+            "locked_commit"
+        } else {
+            "unlocked_commit"
+        };
         g.bench_with_input(BenchmarkId::from_parameter(label), &locking, |b, _| {
             b.iter(|| {
                 world.enter_edit(win).unwrap();
                 v += 1;
-                world.window_mut(win).unwrap().form.set_text(3, &(v % 97).to_string());
+                world
+                    .window_mut(win)
+                    .unwrap()
+                    .form
+                    .set_text(3, &(v % 97).to_string());
                 world.commit(win).unwrap();
             })
         });

@@ -10,13 +10,25 @@ fn bench_propagate(c: &mut Criterion) {
     g.sample_size(20);
     for k in [1usize, 4, 16] {
         let mut world = build_world(
-            WorldConfig { screen: Size::new(200, 60), ..WorldConfig::default() },
-            &SuppliersConfig { suppliers: 200, parts: 100, shipments: 400, seed: 41 },
+            WorldConfig {
+                screen: Size::new(200, 60),
+                ..WorldConfig::default()
+            },
+            &SuppliersConfig {
+                suppliers: 200,
+                parts: 100,
+                shipments: 400,
+                seed: 41,
+            },
         );
         let s = world.open_session();
         let editor = world.open_window(s, "suppliers", None).unwrap();
         for i in 0..k {
-            let view = if i % 2 == 0 { "london_suppliers" } else { "suppliers" };
+            let view = if i % 2 == 0 {
+                "london_suppliers"
+            } else {
+                "suppliers"
+            };
             world.open_window(s, view, None).unwrap();
         }
         for _ in 0..4 {

@@ -9,15 +9,20 @@ use wow_views::ViewCatalog;
 use wow_workload::suppliers::{build_world, SuppliersConfig};
 
 fn bench_qbf(c: &mut Criterion) {
-    let cfg = SuppliersConfig { suppliers: 1000, parts: 50, shipments: 100, seed: 11 };
+    let cfg = SuppliersConfig {
+        suppliers: 1000,
+        parts: 50,
+        shipments: 100,
+        seed: 11,
+    };
     let mut world = build_world(WorldConfig::default(), &cfg);
     let schema = view_schema(world.db(), world.views(), "suppliers").unwrap();
     let spec = compile_form_all_writable("suppliers", "Suppliers", &schema);
-    let entries: Vec<String> =
-        vec!["".into(), "".into(), "london".into(), ">15".into()];
+    let entries: Vec<String> = vec!["".into(), "".into(), "london".into(), ">15".into()];
     let mut vc = ViewCatalog::new();
     for name in world.views().names() {
-        vc.register(world.views().get(&name).unwrap().clone()).unwrap();
+        vc.register(world.views().get(&name).unwrap().clone())
+            .unwrap();
     }
     let mut g = c.benchmark_group("table4_qbf");
     g.bench_function("synthesize", |b| {
@@ -26,7 +31,10 @@ fn bench_qbf(c: &mut Criterion) {
     let pred = form_predicate(&spec, &entries).unwrap();
     g.bench_function("qbf_execute", |b| {
         b.iter(|| {
-            let q = ViewQuery { pred: pred.clone(), ..Default::default() };
+            let q = ViewQuery {
+                pred: pred.clone(),
+                ..Default::default()
+            };
             run_view_query(world.db_mut(), &vc, "suppliers", &q).unwrap()
         })
     });

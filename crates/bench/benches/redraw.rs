@@ -9,8 +9,16 @@ fn bench_redraw(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure1_redraw");
     for wcount in [1usize, 4, 16] {
         let mut world = build_world(
-            WorldConfig { screen: Size::new(160, 48), ..WorldConfig::default() },
-            &SuppliersConfig { suppliers: 50, parts: 20, shipments: 100, seed: 21 },
+            WorldConfig {
+                screen: Size::new(160, 48),
+                ..WorldConfig::default()
+            },
+            &SuppliersConfig {
+                suppliers: 50,
+                parts: 20,
+                shipments: 100,
+                seed: 21,
+            },
         );
         let s = world.open_session();
         let mut wins = Vec::new();

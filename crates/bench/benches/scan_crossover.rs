@@ -54,7 +54,10 @@ fn bench_scan_crossover(c: &mut Criterion) {
             alias: "x".into(),
             index: "nums_v".into(),
             lower: None,
-            upper: Some(KeyBound { values: vec![Value::Int(threshold)], inclusive: false }),
+            upper: Some(KeyBound {
+                values: vec![Value::Int(threshold)],
+                inclusive: false,
+            }),
             residual: None,
         };
         g.bench_with_input(BenchmarkId::new("index", sel_bp), &sel_bp, |b, _| {

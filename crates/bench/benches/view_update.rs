@@ -8,7 +8,12 @@ use wow_views::updatable::analyze;
 use wow_workload::suppliers::{build_world, SuppliersConfig};
 
 fn bench_view_update(c: &mut Criterion) {
-    let cfg = SuppliersConfig { suppliers: 500, parts: 10, shipments: 10, seed: 7 };
+    let cfg = SuppliersConfig {
+        suppliers: 500,
+        parts: 10,
+        shipments: 10,
+        seed: 7,
+    };
     let mut world = build_world(WorldConfig::default(), &cfg);
     let upd = analyze(world.db(), world.views(), "suppliers").unwrap();
     let rows = view_rows_with_rids(world.db_mut(), &upd).unwrap();

@@ -29,7 +29,11 @@ fn bench_wal(c: &mut Criterion) {
     for wal in [false, true] {
         let mut db = make_db(wal);
         let mut k = 0i64;
-        let label = if wal { "insert_with_wal" } else { "insert_no_wal" };
+        let label = if wal {
+            "insert_with_wal"
+        } else {
+            "insert_no_wal"
+        };
         g.bench_with_input(BenchmarkId::from_parameter(label), &wal, |b, _| {
             b.iter(|| {
                 k += 1;

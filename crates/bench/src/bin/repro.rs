@@ -5,9 +5,52 @@
 //! cargo run -p wow-bench --bin repro --release -- table2  # one experiment
 //! cargo run -p wow-bench --bin repro --release -- --smoke # tiny sizes
 //! ```
+//!
+//! Besides the rendered text, a machine-readable `BENCH_PR1.json` with the
+//! same rows is written to the working directory (disable with `--no-json`).
 
 use wow_bench::experiments::{self, Scale};
-use wow_bench::render_table;
+use wow_bench::{render_table, Table};
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_array(items: impl Iterator<Item = String>) -> String {
+    format!("[{}]", items.collect::<Vec<_>>().join(","))
+}
+
+/// Serialize the run. Hand-rolled: the offline build has no serde_json.
+fn to_json(scale: Scale, tables: &[Table]) -> String {
+    let experiments = json_array(tables.iter().map(|t| {
+        let headers = json_array(t.headers.iter().map(|h| format!("\"{}\"", json_escape(h))));
+        let rows = json_array(
+            t.rows
+                .iter()
+                .map(|r| json_array(r.iter().map(|c| format!("\"{}\"", json_escape(c))))),
+        );
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"headers\":{},\"rows\":{},\"expectation\":\"{}\"}}",
+            json_escape(&t.id),
+            json_escape(&t.title),
+            headers,
+            rows,
+            json_escape(&t.expectation)
+        )
+    }));
+    format!("{{\"bench\":\"PR1\",\"scale\":\"{scale:?}\",\"experiments\":{experiments}}}\n")
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,10 +59,12 @@ fn main() {
     } else {
         Scale::Full
     };
+    let write_json = !args.iter().any(|a| a == "--no-json");
     let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let runs: Vec<(&str, fn(Scale) -> wow_bench::Table)> = vec![
+    let runs: Vec<(&str, fn(Scale) -> Table)> = vec![
         ("table1", experiments::table1_form_compile),
         ("table2", experiments::table2_browse),
+        ("table2b", experiments::table2b_limit_pushdown),
         ("table3", experiments::table3_view_update),
         ("table4", experiments::table4_qbf),
         ("figure1", experiments::figure1_redraw),
@@ -32,17 +77,24 @@ fn main() {
     ];
     println!("Windows on the World — evaluation reproduction (scale: {scale:?})");
     println!("(reconstructed experiments; see DESIGN.md for the paper-text mismatch note)\n");
-    let mut ran = 0;
+    let mut tables = Vec::new();
     for (key, f) in runs {
         if !filter.is_empty() && !filter.iter().any(|w| w.as_str() == key) {
             continue;
         }
         let table = f(scale);
         println!("{}", render_table(&table));
-        ran += 1;
+        tables.push(table);
     }
-    if ran == 0 {
-        eprintln!("no experiment matched; known keys: table1..table7, figure1..figure4");
+    if tables.is_empty() {
+        eprintln!("no experiment matched; known keys: table1..table7, table2b, figure1..figure4");
         std::process::exit(2);
+    }
+    if write_json {
+        let path = "BENCH_PR1.json";
+        match std::fs::write(path, to_json(scale, &tables)) {
+            Ok(()) => println!("wrote {path} ({} experiments)", tables.len()),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
 }

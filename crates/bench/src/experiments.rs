@@ -167,8 +167,14 @@ pub fn table2_browse(scale: Scale) -> Table {
                 ..Default::default()
             };
             let db = world.db_mut();
-            BrowseCursor::materialized(db, &wow_views::ViewCatalog::new(), "students", query, Some(&upd))
-                .unwrap()
+            BrowseCursor::materialized(
+                db,
+                &wow_views::ViewCatalog::new(),
+                "students",
+                query,
+                Some(&upd),
+            )
+            .unwrap()
         });
         let page_mat = time_median(8, || {
             let db = world.db_mut();
@@ -180,6 +186,109 @@ pub fn table2_browse(scale: Scale) -> Table {
             fmt_duration(page_ix),
             fmt_duration(open_mat),
             fmt_duration(page_mat),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Table 2b — limit pushdown: LIMIT 16 queries, streaming vs materializing
+// ---------------------------------------------------------------------------
+
+/// Table 2b: `RETRIEVE ... LIMIT 16` over a growing relation, run by the
+/// streaming executor (the scan stops as soon as the limit quota fills) vs
+/// the materializing reference (scans everything, then truncates). The last
+/// column reports the buffer pool's sequential-readahead counters for the
+/// full scan, demonstrating prefetch hits.
+pub fn table2b_limit_pushdown(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table 2b",
+        "browse-open latency with LIMIT 16 vs base cardinality",
+        &[
+            "rows",
+            "streaming",
+            "materializing",
+            "speedup",
+            "rows scanned (stream/mat)",
+            "prefetch hits (full scan)",
+        ],
+        "streaming cost is flat in N; materializing grows with N; sequential scans prefetch",
+    );
+    let sizes: Vec<usize> = scale.pick(vec![2_000, 8_000], vec![10_000, 100_000]);
+    for n in sizes {
+        // A small pool so full scans actually cycle through storage (and
+        // exercise readahead) instead of finding everything resident.
+        let mut db = Database::in_memory_with_frames(16);
+        db.run("CREATE TABLE big (id INT KEY, v INT, pad TEXT) RANGE OF g IS big")
+            .unwrap();
+        for id in 0..n {
+            db.insert(
+                "big",
+                vec![
+                    Value::Int(id as i64),
+                    Value::Int((id % 97) as i64),
+                    Value::text(format!("{id:0100}")),
+                ],
+            )
+            .unwrap();
+        }
+        let stmt = wow_rel::quel::ast::RetrieveStmt {
+            unique: false,
+            targets: vec![
+                wow_rel::quel::ast::Target::Expr {
+                    name: None,
+                    expr: Expr::ColumnRef("g.id".into()),
+                },
+                wow_rel::quel::ast::Target::Expr {
+                    name: None,
+                    expr: Expr::ColumnRef("g.v".into()),
+                },
+            ],
+            where_: None,
+            group_by: vec![],
+            sort_by: vec![],
+            limit: Some((0, 16)),
+        };
+        let block = wow_rel::plan::build_query_block(&db, &stmt).unwrap();
+        let plan = wow_rel::plan::optimize(&db, &block).unwrap();
+        // Work counters: the streaming path must not scan the whole table.
+        db.reset_counters();
+        let streamed = execute(&mut db, &plan).unwrap();
+        let scanned_stream = db.counters().rows_scanned;
+        db.reset_counters();
+        let materialized = wow_rel::exec::execute_materializing(&mut db, &plan).unwrap();
+        let scanned_mat = db.counters().rows_scanned;
+        let pool = db.pool_stats();
+        assert_eq!(streamed.tuples, materialized.tuples, "paths agree");
+        assert_eq!(streamed.tuples.len(), 16);
+        assert!(
+            scanned_stream < n as u64 && scanned_mat >= n as u64,
+            "limit pushdown must stop the scan early ({scanned_stream} vs {scanned_mat})"
+        );
+        assert!(
+            pool.prefetches > 0 && pool.prefetch_hits > 0,
+            "sequential full scan must prefetch (got {pool:?})"
+        );
+        // Wall-clock comparison.
+        let reps = scale.pick(3, 5);
+        let d_stream = time_median(reps, || execute(&mut db, &plan).unwrap());
+        let d_mat = time_median(reps, || {
+            wow_rel::exec::execute_materializing(&mut db, &plan).unwrap()
+        });
+        let speedup = d_mat.as_secs_f64() / d_stream.as_secs_f64().max(1e-12);
+        if scale == Scale::Full && n >= 100_000 {
+            assert!(
+                speedup >= 5.0,
+                "LIMIT 16 over {n} rows: expected ≥5× from pushdown, got {speedup:.1}×"
+            );
+        }
+        t.push(vec![
+            n.to_string(),
+            fmt_duration(d_stream),
+            fmt_duration(d_mat),
+            format!("{speedup:.1}×"),
+            format!("{scanned_stream}/{scanned_mat}"),
+            format!("{}/{}", pool.prefetch_hits, pool.prefetches),
         ]);
     }
     t
@@ -223,10 +332,7 @@ pub fn table3_view_update(scale: Scale) -> Table {
             // so the view row doubles as the base row here.
             let mut vals = row.values.clone();
             vals[3] = Value::Int(50 + i as i64 % 10);
-            world
-                .db_mut()
-                .update_rid("supplier", *rid, vals)
-                .unwrap();
+            world.db_mut().update_rid("supplier", *rid, vals).unwrap();
         }
     });
     // Through-view updates (same field, different values so rows dirty).
@@ -342,7 +448,8 @@ pub fn table4_qbf(scale: Scale) -> Table {
 fn world_views_clone(world: &World) -> wow_views::ViewCatalog {
     let mut vc = wow_views::ViewCatalog::new();
     for name in world.views().names() {
-        vc.register(world.views().get(&name).unwrap().clone()).unwrap();
+        vc.register(world.views().get(&name).unwrap().clone())
+            .unwrap();
     }
     vc
 }
@@ -383,16 +490,11 @@ pub fn figure1_redraw(scale: Scale) -> Table {
         let s = world.open_session();
         let mut wins = Vec::new();
         for i in 0..wcount {
-            let rect = Rect::new(
-                (i as i32 % 4) * 38,
-                (i as i32 / 4) * 11,
-                38,
-                11,
-            );
+            let rect = Rect::new((i as i32 % 4) * 38, (i as i32 / 4) * 11, 38, 11);
             wins.push(world.open_window(s, "suppliers", Some(rect)).unwrap());
         }
         world.render(); // prime
-        // One localized change: bump the status text of the first window.
+                        // One localized change: bump the status text of the first window.
         let mut toggle = false;
         let reps = scale.pick(5, 50);
         let mut damage_cells = 0u64;
@@ -479,8 +581,18 @@ pub fn figure2_join_view(scale: Scale) -> Table {
 /// Hand-built nested-loop plan equivalent to the expanded
 /// `shipment_detail WHERE qty < threshold` query.
 fn nested_loop_detail_plan(db: &mut Database, threshold: i64) -> PhysicalPlan {
-    let supplier = db.catalog().table("supplier").unwrap().schema.qualified("s");
-    let shipment = db.catalog().table("shipment").unwrap().schema.qualified("sp");
+    let supplier = db
+        .catalog()
+        .table("supplier")
+        .unwrap()
+        .schema
+        .qualified("s");
+    let shipment = db
+        .catalog()
+        .table("shipment")
+        .unwrap()
+        .schema
+        .qualified("sp");
     let joined = Schema::join(&supplier, "l", &shipment, "r");
     let join_pred = Expr::Binary {
         op: BinOp::Eq,
@@ -613,6 +725,7 @@ pub fn figure4_propagate(scale: Scale) -> Table {
             "dependent windows",
             "unrelated windows",
             "refreshed",
+            "dep rebuilds (warm)",
             "commit+propagate time",
         ],
         "time grows linearly with affected windows; unrelated windows are free",
@@ -635,13 +748,22 @@ pub fn figure4_propagate(scale: Scale) -> Table {
         let editor = world.open_window(s, "suppliers", None).unwrap();
         // k windows over views of `supplier` (affected).
         for i in 0..k {
-            let view = if i % 2 == 0 { "london_suppliers" } else { "suppliers" };
+            let view = if i % 2 == 0 {
+                "london_suppliers"
+            } else {
+                "suppliers"
+            };
             world.open_window(s, view, None).unwrap();
         }
         // 4 windows over part views (unaffected).
         for _ in 0..4 {
             world.open_window(s, "parts", None).unwrap();
         }
+        // Warm up: the first propagation derives the dependency cache once.
+        world.enter_edit(editor).unwrap();
+        world.window_mut(editor).unwrap().form.set_text(3, "100");
+        world.commit(editor).unwrap();
+        let warm_rebuilds = world.dep_index().rebuilds();
         world.stats.windows_refreshed = 0;
         let reps = scale.pick(3, 9);
         let mut toggle = 100;
@@ -656,11 +778,20 @@ pub fn figure4_propagate(scale: Scale) -> Table {
             world.commit(editor).unwrap();
         });
         let refreshed_per_commit = world.stats.windows_refreshed / reps as u64;
-        assert_eq!(refreshed_per_commit as usize, k, "exactly the dependent windows refresh");
+        assert_eq!(
+            refreshed_per_commit as usize, k,
+            "exactly the dependent windows refresh"
+        );
+        let rebuilds = world.dep_index().rebuilds() - warm_rebuilds;
+        assert_eq!(
+            rebuilds, 0,
+            "warm propagation must not recompute base-table sets"
+        );
         t.push(vec![
             k.to_string(),
             "4".into(),
             refreshed_per_commit.to_string(),
+            rebuilds.to_string(),
             fmt_duration(d),
         ]);
     }
@@ -676,7 +807,13 @@ pub fn table5_locking(scale: Scale) -> Table {
     let mut t = Table::new(
         "Table 5",
         "lock manager ablation: racing read-modify-write increments",
-        &["configuration", "increments", "final value", "lost updates", "time"],
+        &[
+            "configuration",
+            "increments",
+            "final value",
+            "lost updates",
+            "time",
+        ],
         "locking loses nothing at modest overhead; the unsafe baseline loses updates",
     );
     let rounds = scale.pick(200, 2_000);
@@ -744,7 +881,12 @@ pub fn table5_locking(scale: Scale) -> Table {
             assert_eq!(final_qty, expected, "locking must lose nothing");
         }
         t.push(vec![
-            if locking { "strict 2PL" } else { "no locking (unsafe)" }.into(),
+            if locking {
+                "strict 2PL"
+            } else {
+                "no locking (unsafe)"
+            }
+            .into(),
             (2 * rounds).to_string(),
             format!("{final_qty} (want {expected})"),
             lost.to_string(),
@@ -765,7 +907,10 @@ fn write_qty(world: &mut World, rid: wow_storage::Rid, qty: i64) {
     let info = world.db().catalog().table("shipment").unwrap().clone();
     let mut row = world.db_mut().get_row(info.id, rid).unwrap().unwrap();
     row.values[3] = Value::Int(qty);
-    world.db_mut().update_rid("shipment", rid, row.values).unwrap();
+    world
+        .db_mut()
+        .update_rid("shipment", rid, row.values)
+        .unwrap();
 }
 
 // ---------------------------------------------------------------------------
@@ -848,7 +993,13 @@ pub fn table7_expansion(scale: Scale) -> Table {
     let mut t = Table::new(
         "Table 7",
         "view access: query modification vs materialize-then-filter",
-        &["base rows", "result rows", "expansion", "materialization", "ratio"],
+        &[
+            "base rows",
+            "result rows",
+            "expansion",
+            "materialization",
+            "ratio",
+        ],
         "expansion cost tracks the result; materialization pays for the whole view",
     );
     let sizes: Vec<usize> = scale.pick(vec![500], vec![1_000, 10_000, 50_000]);
@@ -903,6 +1054,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![
         table1_form_compile(scale),
         table2_browse(scale),
+        table2b_limit_pushdown(scale),
         table3_view_update(scale),
         table4_qbf(scale),
         figure1_redraw(scale),

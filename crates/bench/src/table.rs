@@ -17,12 +17,7 @@ pub struct Table {
 
 impl Table {
     /// Build a table.
-    pub fn new(
-        id: &str,
-        title: &str,
-        headers: &[&str],
-        expectation: &str,
-    ) -> Table {
+    pub fn new(id: &str, title: &str, headers: &[&str], expectation: &str) -> Table {
         Table {
             id: id.to_string(),
             title: title.to_string(),

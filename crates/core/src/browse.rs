@@ -1,15 +1,17 @@
 //! Browse cursors: how a window walks its view's extension.
 //!
-//! Two strategies, matching the Table 2 comparison:
+//! Three strategies, matching the Table 2 comparison:
 //!
 //! * [`BrowseCursor::indexed`] — **incremental**: fetch one screenful at a
 //!   time through the base table's primary-key B+tree, filtering and
 //!   projecting through the view as pages stream in. Opening a window on a
 //!   million-row relation costs one page fetch.
+//! * [`BrowseCursor::streamed`] — **incremental for join views**: fetch one
+//!   screenful at a time by pushing `LIMIT page OFFSET k·page` through the
+//!   streaming executor; the join stops producing the moment the page is
+//!   full, so opening a window never materializes the whole extension.
 //! * [`BrowseCursor::materialized`] — **the baseline**: run the whole view
-//!   query (optionally sorted) up front and page through the copy. This is
-//!   also the only option for non-updatable (join/aggregate) views, which
-//!   have no base rids to seek by.
+//!   query (optionally sorted) up front and page through the copy.
 //!
 //! Cursor positions survive refreshes: after another window commits a
 //! write, [`BrowseCursor::refresh`] re-fetches the current page in place.
@@ -88,11 +90,30 @@ pub struct Materialized {
     upd: Option<Updatability>,
 }
 
+/// State for the incremental strategy over *non-updatable* (join /
+/// aggregate) views: each page is a fresh view query with
+/// `LIMIT page_size OFFSET page_no·page_size`, which the optimizer pushes
+/// into the streaming executor — production stops once the page fills.
+#[derive(Debug)]
+pub struct Streamed {
+    view: String,
+    /// Restriction/ordering from QBF; `limit` is overwritten per page.
+    query: ViewQuery,
+    page_size: usize,
+    page_no: usize,
+    page: Vec<Tuple>,
+    pos: usize,
+    /// The current page is the last one.
+    at_end: bool,
+}
+
 /// A window's position in its view.
 #[derive(Debug)]
 pub enum BrowseCursor {
     /// Incremental, index-ordered paging.
     Indexed(Indexed),
+    /// Incremental, limit-pushdown paging (join/aggregate views).
+    Streamed(Streamed),
     /// Materialized result paging.
     Materialized(Materialized),
 }
@@ -143,6 +164,29 @@ impl BrowseCursor {
         Ok(BrowseCursor::Indexed(ix))
     }
 
+    /// Build the incremental cursor for a non-updatable (join/aggregate)
+    /// view. Any `limit` in `query` is ignored; paging supplies its own.
+    /// Rows carry no base rids, so the window is read-only.
+    pub fn streamed(
+        db: &mut Database,
+        vc: &ViewCatalog,
+        view: &str,
+        query: ViewQuery,
+        page_size: usize,
+    ) -> WowResult<BrowseCursor> {
+        let mut s = Streamed {
+            view: view.to_string(),
+            query,
+            page_size: page_size.max(1),
+            page_no: 0,
+            page: Vec::new(),
+            pos: 0,
+            at_end: true,
+        };
+        s.fetch_page(db, vc, 0)?;
+        Ok(BrowseCursor::Streamed(s))
+    }
+
     /// Build the materialized cursor. With an [`Updatability`] proof the
     /// rows carry base rids (edits allowed); without one the window is
     /// read-only.
@@ -167,10 +211,10 @@ impl BrowseCursor {
     /// The current row, owned (uniform across strategies).
     pub fn current_row(&self) -> Option<BrowseRow> {
         match self {
-            BrowseCursor::Indexed(ix) => ix
-                .page
-                .get(ix.pos)
-                .map(|(rid, t)| (Some(*rid), t.clone())),
+            BrowseCursor::Indexed(ix) => {
+                ix.page.get(ix.pos).map(|(rid, t)| (Some(*rid), t.clone()))
+            }
+            BrowseCursor::Streamed(s) => s.page.get(s.pos).map(|t| (None, t.clone())),
             BrowseCursor::Materialized(m) => m.rows.get(m.pos).cloned(),
         }
     }
@@ -183,6 +227,13 @@ impl BrowseCursor {
                     None
                 } else {
                     Some(ix.rows_before + ix.pos)
+                }
+            }
+            BrowseCursor::Streamed(s) => {
+                if s.page.is_empty() {
+                    None
+                } else {
+                    Some(s.page_no * s.page_size + s.pos)
                 }
             }
             BrowseCursor::Materialized(m) => {
@@ -198,7 +249,7 @@ impl BrowseCursor {
     /// Total row count, when the strategy knows it (materialized only).
     pub fn known_len(&self) -> Option<usize> {
         match self {
-            BrowseCursor::Indexed(_) => None,
+            BrowseCursor::Indexed(_) | BrowseCursor::Streamed(_) => None,
             BrowseCursor::Materialized(m) => Some(m.rows.len()),
         }
     }
@@ -213,13 +264,13 @@ impl BrowseCursor {
     pub fn pos_in_page(&self) -> usize {
         match self {
             BrowseCursor::Indexed(ix) => ix.pos,
+            BrowseCursor::Streamed(s) => s.pos,
             BrowseCursor::Materialized(m) => m.pos % 16,
         }
     }
 
     /// Advance one row. Returns `false` at the end.
     pub fn next(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<bool> {
-        let _ = vc;
         match self {
             BrowseCursor::Indexed(ix) => {
                 if ix.pos + 1 < ix.page.len() {
@@ -230,6 +281,16 @@ impl BrowseCursor {
                     return Ok(false);
                 }
                 ix.advance_page(db)
+            }
+            BrowseCursor::Streamed(s) => {
+                if s.pos + 1 < s.page.len() {
+                    s.pos += 1;
+                    return Ok(true);
+                }
+                if s.at_end {
+                    return Ok(false);
+                }
+                s.advance_page(db, vc)
             }
             BrowseCursor::Materialized(m) => {
                 if m.pos + 1 < m.rows.len() {
@@ -244,7 +305,6 @@ impl BrowseCursor {
 
     /// Step back one row. Returns `false` at the beginning.
     pub fn prev(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<bool> {
-        let _ = vc;
         match self {
             BrowseCursor::Indexed(ix) => {
                 if ix.pos > 0 {
@@ -256,6 +316,19 @@ impl BrowseCursor {
                 }
                 ix.retreat_page(db)?;
                 ix.pos = ix.page.len().saturating_sub(1);
+                Ok(true)
+            }
+            BrowseCursor::Streamed(s) => {
+                if s.pos > 0 {
+                    s.pos -= 1;
+                    return Ok(true);
+                }
+                if s.page_no == 0 {
+                    return Ok(false);
+                }
+                let target = s.page_no - 1;
+                s.fetch_page(db, vc, target)?;
+                s.pos = s.page.len().saturating_sub(1);
                 Ok(true)
             }
             BrowseCursor::Materialized(m) => {
@@ -272,13 +345,18 @@ impl BrowseCursor {
     /// Jump forward one page (a screenful). Returns `false` when already on
     /// the last page.
     pub fn next_page(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<bool> {
-        let _ = vc;
         match self {
             BrowseCursor::Indexed(ix) => {
                 if ix.at_end {
                     return Ok(false);
                 }
                 ix.advance_page(db)
+            }
+            BrowseCursor::Streamed(s) => {
+                if s.at_end {
+                    return Ok(false);
+                }
+                s.advance_page(db, vc)
             }
             BrowseCursor::Materialized(m) => {
                 let page = 16;
@@ -297,7 +375,6 @@ impl BrowseCursor {
 
     /// Jump back one page.
     pub fn prev_page(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<bool> {
-        let _ = vc;
         match self {
             BrowseCursor::Indexed(ix) => {
                 if ix.page_no == 0 {
@@ -308,6 +385,18 @@ impl BrowseCursor {
                     return Ok(true);
                 }
                 ix.retreat_page(db)?;
+                Ok(true)
+            }
+            BrowseCursor::Streamed(s) => {
+                if s.page_no == 0 {
+                    if s.pos == 0 {
+                        return Ok(false);
+                    }
+                    s.pos = 0;
+                    return Ok(true);
+                }
+                let target = s.page_no - 1;
+                s.fetch_page(db, vc, target)?;
                 Ok(true)
             }
             BrowseCursor::Materialized(m) => {
@@ -331,6 +420,18 @@ impl BrowseCursor {
                 ix.pos = pos.min(ix.page.len().saturating_sub(1));
                 Ok(())
             }
+            BrowseCursor::Streamed(s) => {
+                let pos = s.pos;
+                let mut page_no = s.page_no;
+                s.fetch_page(db, vc, page_no)?;
+                // Rows may have vanished; back up to the last surviving page.
+                while s.page.is_empty() && page_no > 0 {
+                    page_no -= 1;
+                    s.fetch_page(db, vc, page_no)?;
+                }
+                s.pos = pos.min(s.page.len().saturating_sub(1));
+                Ok(())
+            }
             BrowseCursor::Materialized(m) => {
                 let pos = m.pos;
                 m.refill(db, vc)?;
@@ -348,14 +449,10 @@ impl BrowseCursor {
                 .iter()
                 .map(|(rid, t)| (Some(*rid), t.clone()))
                 .collect(),
+            BrowseCursor::Streamed(s) => s.page.iter().map(|t| (None, t.clone())).collect(),
             BrowseCursor::Materialized(m) => {
                 let start = (m.pos / 16) * 16;
-                m.rows
-                    .iter()
-                    .skip(start)
-                    .take(16)
-                    .cloned()
-                    .collect()
+                m.rows.iter().skip(start).take(16).cloned().collect()
             }
         }
     }
@@ -457,6 +554,36 @@ impl Indexed {
     }
 }
 
+impl Streamed {
+    /// Fetch page `page_no` by running the view query with
+    /// `LIMIT page_size+1 OFFSET page_no·page_size` — the extra row tells
+    /// us whether a further page exists without another round trip.
+    fn fetch_page(&mut self, db: &mut Database, vc: &ViewCatalog, page_no: usize) -> WowResult<()> {
+        let mut q = self.query.clone();
+        q.limit = Some((page_no * self.page_size, self.page_size + 1));
+        let mut tuples = run_view_query(db, vc, &self.view, &q)?.tuples;
+        self.at_end = tuples.len() <= self.page_size;
+        tuples.truncate(self.page_size);
+        self.page = tuples;
+        self.page_no = page_no;
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn advance_page(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<bool> {
+        let prev = self.page_no;
+        self.fetch_page(db, vc, prev + 1)?;
+        if self.page.is_empty() {
+            // Walked off the end: restore the previous page.
+            self.fetch_page(db, vc, prev)?;
+            self.pos = self.page.len().saturating_sub(1);
+            self.at_end = true;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+}
+
 impl Materialized {
     fn refill(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<()> {
         self.rows = match &self.upd {
@@ -484,7 +611,9 @@ impl Materialized {
                         .query
                         .sort
                         .iter()
-                        .map(|k| Ok::<_, wow_rel::RelError>((schema.resolve(&k.column)?, k.ascending)))
+                        .map(|k| {
+                            Ok::<_, wow_rel::RelError>((schema.resolve(&k.column)?, k.ascending))
+                        })
                         .collect::<Result<_, _>>()?;
                     rows.sort_by(|a, b| wow_rel::exec::sort::compare(&a.1, &b.1, &keys));
                 }

@@ -15,9 +15,7 @@ use crate::undo::UndoEntry;
 use crate::window_mgr::{Mode, WinId};
 use crate::world::World;
 use wow_rel::value::Value;
-use wow_views::translate::{
-    delete_through_view, insert_through_view, update_through_view,
-};
+use wow_views::translate::{delete_through_view, insert_through_view, update_through_view};
 
 impl World {
     /// Enter Edit mode on the current row.
@@ -123,8 +121,7 @@ impl World {
             w.status = "no changes".into();
             return Ok(());
         }
-        let assigns: Vec<(usize, Value)> =
-            dirty.iter().map(|&i| (i, values[i].clone())).collect();
+        let assigns: Vec<(usize, Value)> = dirty.iter().map(|&i| (i, values[i].clone())).collect();
         // Lock, snapshot the old base row (for undo), write, unlock.
         self.lock(session, &upd.base_table, LockMode::Exclusive)?;
         let result = (|| -> WowResult<Vec<Value>> {
@@ -313,9 +310,9 @@ impl World {
     pub fn abort_batch(&mut self, session: SessionId) -> WowResult<u64> {
         let mark = {
             let s = self.session_mut(session)?;
-            s.batch_mark.take().ok_or(WowError::Rel(
-                wow_rel::RelError::Txn("no open batch"),
-            ))?
+            s.batch_mark
+                .take()
+                .ok_or(WowError::Rel(wow_rel::RelError::Txn("no open batch")))?
         };
         let mut tables: Vec<String> = Vec::new();
         let mut undone = 0;
@@ -393,7 +390,10 @@ mod tests {
         let (mut w, _, win) = world();
         // 'e' enters edit on alice; tab to salary (dept writable too: name,
         // dept, salary all writable) — focus starts at name.
-        send(&mut w, "e<tab><tab><end><backspace><backspace><backspace>200<enter>");
+        send(
+            &mut w,
+            "e<tab><tab><end><backspace><backspace><backspace>200<enter>",
+        );
         let row = w.current_row(win).unwrap().unwrap();
         assert_eq!(row.values[2].to_string(), "200");
         // The base table saw it.
@@ -414,10 +414,7 @@ mod tests {
         )
         .unwrap();
         let ro = w.open_window(s, "totals", None).unwrap();
-        assert!(matches!(
-            w.enter_edit(ro),
-            Err(WowError::ReadOnly { .. })
-        ));
+        assert!(matches!(w.enter_edit(ro), Err(WowError::ReadOnly { .. })));
         assert!(!w.window(ro).unwrap().is_updatable());
     }
 
@@ -432,7 +429,10 @@ mod tests {
             form.set_text(2, "150");
         }
         w.commit(win).unwrap();
-        let rows = w.db_mut().run("RANGE OF e IS emp RETRIEVE (n = COUNT(e.name))").unwrap();
+        let rows = w
+            .db_mut()
+            .run("RANGE OF e IS emp RETRIEVE (n = COUNT(e.name))")
+            .unwrap();
         assert_eq!(rows.tuples[0].values[0].to_string(), "3");
         // Undo removes it again.
         w.undo_last(s).unwrap();
@@ -497,7 +497,8 @@ mod tests {
     fn edit_without_current_row_errors() {
         let mut w = World::new(WorldConfig::default());
         w.db_mut().run("CREATE TABLE t (k INT KEY)").unwrap();
-        w.define_view("tv", "RANGE OF x IS t RETRIEVE (x.k)").unwrap();
+        w.define_view("tv", "RANGE OF x IS t RETRIEVE (x.k)")
+            .unwrap();
         let s = w.open_session();
         let win = w.open_window(s, "tv", None).unwrap();
         assert!(matches!(w.enter_edit(win), Err(WowError::NoCurrentRow)));

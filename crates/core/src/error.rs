@@ -119,7 +119,9 @@ mod tests {
             reasons: vec!["joins two relations".into()],
         };
         assert!(e.to_string().contains("read-only"));
-        let e = WowError::Deadlock { table: "emp".into() };
+        let e = WowError::Deadlock {
+            table: "emp".into(),
+        };
         assert!(e.to_string().contains("deadlock"));
     }
 }

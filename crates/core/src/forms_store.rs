@@ -21,9 +21,8 @@ impl World {
     /// Ensure the forms relation exists.
     fn ensure_forms_table(&mut self) -> WowResult<()> {
         if !self.db().catalog().has_table(FORMS_TABLE) {
-            self.db_mut().run(
-                "CREATE TABLE wow_forms (view TEXT KEY, spec TEXT NOT NULL)",
-            )?;
+            self.db_mut()
+                .run("CREATE TABLE wow_forms (view TEXT KEY, spec TEXT NOT NULL)")?;
         }
         Ok(())
     }
@@ -147,8 +146,11 @@ mod tests {
                 "#,
             )
             .unwrap();
-        w.define_view("emps", "RANGE OF e IS emp RETRIEVE (e.name, e.dept, e.salary)")
-            .unwrap();
+        w.define_view(
+            "emps",
+            "RANGE OF e IS emp RETRIEVE (e.name, e.dept, e.salary)",
+        )
+        .unwrap();
         w
     }
 
@@ -177,7 +179,10 @@ mod tests {
         assert!(w.delete_form_spec("emps").unwrap());
         w.close_window(win2).unwrap();
         let win3 = w.open_window(s, "emps", None).unwrap();
-        assert_eq!(w.window(win3).unwrap().form.spec.fields[2].caption, "Salary");
+        assert_eq!(
+            w.window(win3).unwrap().form.spec.fields[2].caption,
+            "Salary"
+        );
     }
 
     #[test]
@@ -250,7 +255,10 @@ mod tests {
         // Editing switches to the form and back.
         w.enter_edit(win).unwrap();
         let screen3 = w.render_snapshot().join("\n");
-        assert!(screen3.contains("Name:"), "form shown in edit mode: {screen3}");
+        assert!(
+            screen3.contains("Name:"),
+            "form shown in edit mode: {screen3}"
+        );
         w.cancel_mode(win).unwrap();
         let screen4 = w.render_snapshot().join("\n");
         assert!(!screen4.contains("Name:"), "grid back in browse: {screen4}");

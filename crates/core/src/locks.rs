@@ -77,12 +77,8 @@ impl LockManager {
                 _ => Vec::new(),
             },
             LockMode::Exclusive => {
-                let mut b: Vec<Locker> = entry
-                    .shared
-                    .iter()
-                    .copied()
-                    .filter(|&s| s != who)
-                    .collect();
+                let mut b: Vec<Locker> =
+                    entry.shared.iter().copied().filter(|&s| s != who).collect();
                 if let Some(x) = entry.exclusive {
                     if x != who {
                         b.push(x);
@@ -199,7 +195,10 @@ mod tests {
     #[test]
     fn exclusive_excludes() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(1, "emp", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(1, "emp", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         assert_eq!(
             lm.acquire(2, "emp", LockMode::Shared),
             LockOutcome::Conflict { blockers: vec![1] }
@@ -209,7 +208,10 @@ mod tests {
             LockOutcome::Conflict { blockers: vec![1] }
         );
         lm.release_all(1);
-        assert_eq!(lm.acquire(2, "emp", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(2, "emp", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
     }
 
     #[test]
@@ -218,11 +220,20 @@ mod tests {
         assert_eq!(lm.acquire(1, "emp", LockMode::Shared), LockOutcome::Granted);
         assert_eq!(lm.acquire(1, "emp", LockMode::Shared), LockOutcome::Granted);
         // Upgrade S → X with no other holders.
-        assert_eq!(lm.acquire(1, "emp", LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.held_by(1), vec![("emp".to_string(), LockMode::Exclusive)]);
+        assert_eq!(
+            lm.acquire(1, "emp", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.held_by(1),
+            vec![("emp".to_string(), LockMode::Exclusive)]
+        );
         // X covers S.
         assert_eq!(lm.acquire(1, "emp", LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.held_by(1), vec![("emp".to_string(), LockMode::Exclusive)]);
+        assert_eq!(
+            lm.held_by(1),
+            vec![("emp".to_string(), LockMode::Exclusive)]
+        );
     }
 
     #[test]
@@ -239,19 +250,31 @@ mod tests {
     #[test]
     fn deadlock_detected_on_cycle() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(1, "emp", LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(2, "dept", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(1, "emp", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(2, "dept", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         // 1 waits on dept (held by 2).
         assert!(matches!(
             lm.acquire(1, "dept", LockMode::Exclusive),
             LockOutcome::Conflict { .. }
         ));
         // 2 requesting emp would close the cycle.
-        assert_eq!(lm.acquire(2, "emp", LockMode::Exclusive), LockOutcome::Deadlock);
+        assert_eq!(
+            lm.acquire(2, "emp", LockMode::Exclusive),
+            LockOutcome::Deadlock
+        );
         assert_eq!(lm.deadlocks, 1);
         // 2 gives up its locks; 1 can proceed.
         lm.release_all(2);
-        assert_eq!(lm.acquire(1, "dept", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(1, "dept", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
     }
 
     #[test]
@@ -260,9 +283,18 @@ mod tests {
         lm.acquire(1, "a", LockMode::Exclusive);
         lm.acquire(2, "b", LockMode::Exclusive);
         lm.acquire(3, "c", LockMode::Exclusive);
-        assert!(matches!(lm.acquire(1, "b", LockMode::Exclusive), LockOutcome::Conflict { .. }));
-        assert!(matches!(lm.acquire(2, "c", LockMode::Exclusive), LockOutcome::Conflict { .. }));
-        assert_eq!(lm.acquire(3, "a", LockMode::Exclusive), LockOutcome::Deadlock);
+        assert!(matches!(
+            lm.acquire(1, "b", LockMode::Exclusive),
+            LockOutcome::Conflict { .. }
+        ));
+        assert!(matches!(
+            lm.acquire(2, "c", LockMode::Exclusive),
+            LockOutcome::Conflict { .. }
+        ));
+        assert_eq!(
+            lm.acquire(3, "a", LockMode::Exclusive),
+            LockOutcome::Deadlock
+        );
     }
 
     #[test]
@@ -272,7 +304,10 @@ mod tests {
         let _ = lm.acquire(2, "emp", LockMode::Shared); // 2 waits on 1
         lm.release_all(1);
         // No stale edge: 1 requesting what 2 now takes must not "deadlock".
-        assert_eq!(lm.acquire(2, "emp", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(2, "emp", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         assert!(matches!(
             lm.acquire(1, "emp", LockMode::Shared),
             LockOutcome::Conflict { .. }
@@ -291,7 +326,13 @@ mod tests {
     #[test]
     fn different_tables_do_not_conflict() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(1, "emp", LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(2, "dept", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(1, "emp", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(2, "dept", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
     }
 }

@@ -8,7 +8,6 @@
 use crate::error::WowResult;
 use crate::window_mgr::{Mode, WinId};
 use crate::world::World;
-use wow_views::deps::base_tables;
 
 impl World {
     /// Refresh every window whose view (transitively) reads `table`.
@@ -16,25 +15,27 @@ impl World {
     /// by its commit path, so skipped here). Windows that are mid-edit are
     /// not yanked out from under the user — they are marked stale instead.
     ///
+    /// The view → base-table reachability comes from the cached
+    /// [`wow_views::DepIndex`]: on the warm path (no DDL since the last
+    /// propagation) deciding whether a window is affected is a map lookup,
+    /// not a walk of the view definitions.
+    ///
     /// Returns the ids of the windows refreshed.
-    pub fn propagate_write(
-        &mut self,
-        table: &str,
-        source: Option<WinId>,
-    ) -> WowResult<Vec<WinId>> {
+    pub fn propagate_write(&mut self, table: &str, source: Option<WinId>) -> WowResult<Vec<WinId>> {
         self.stats.propagations += 1;
         // Collect affected windows first (borrow discipline: the refresh
         // loop needs &mut self).
         let mut affected = Vec::new();
-        for (id, w) in &self.windows {
-            if Some(*id) == source {
-                continue;
-            }
-            let touches = base_tables(self.db(), self.views(), &w.view)
-                .map(|t| t.contains(table))
-                .unwrap_or(false);
-            if touches {
-                affected.push(*id);
+        {
+            let (db, views, windows, deps) = self.dep_parts();
+            for (id, w) in windows {
+                if Some(*id) == source {
+                    continue;
+                }
+                let touches = deps.reads(db, views, &w.view, table).unwrap_or(false);
+                if touches {
+                    affected.push(*id);
+                }
             }
         }
         let mut refreshed = Vec::new();
@@ -79,8 +80,11 @@ mod tests {
         w.db_mut()
             .run(r#"APPEND TO part (pno = 1, pname = "nut")"#)
             .unwrap();
-        w.define_view("emps", "RANGE OF e IS emp RETRIEVE (e.name, e.dept, e.salary)")
-            .unwrap();
+        w.define_view(
+            "emps",
+            "RANGE OF e IS emp RETRIEVE (e.name, e.dept, e.salary)",
+        )
+        .unwrap();
         w.define_view(
             "toy_emps",
             r#"RANGE OF e IS emp RETRIEVE (e.name, e.salary) WHERE e.dept = "toy""#,
@@ -152,6 +156,40 @@ mod tests {
             w.current_row(other).unwrap().unwrap().values[1].to_string(),
             "500"
         );
+    }
+
+    #[test]
+    fn propagation_uses_cached_deps_and_sees_ddl() {
+        let mut w = world();
+        let s1 = w.open_session();
+        let s2 = w.open_session();
+        let editor = w.open_window(s1, "emps", None).unwrap();
+        let watcher = w.open_window(s2, "parts", None).unwrap();
+        // Warm the cache: a commit to emp does not touch the parts window.
+        w.enter_edit(editor).unwrap();
+        w.window_mut(editor).unwrap().form.set_text(2, "121");
+        w.commit(editor).unwrap();
+        assert_eq!(w.stats.windows_refreshed, 0);
+        let warm = w.dep_index().rebuilds();
+        // A second commit reuses the cache verbatim.
+        w.enter_edit(editor).unwrap();
+        w.window_mut(editor).unwrap().form.set_text(2, "122");
+        w.commit(editor).unwrap();
+        assert_eq!(
+            w.dep_index().rebuilds(),
+            warm,
+            "warm path recomputes nothing"
+        );
+        // Redefine "parts" to read emp instead: the next propagation must
+        // rebuild the cache (exactly once) and see the fresh dependency.
+        w.redefine_view("parts", "RANGE OF e IS emp RETRIEVE (e.name, e.dept)")
+            .unwrap();
+        w.refresh_window(watcher).unwrap();
+        w.enter_edit(editor).unwrap();
+        w.window_mut(editor).unwrap().form.set_text(2, "123");
+        w.commit(editor).unwrap();
+        assert_eq!(w.stats.windows_refreshed, 1, "watcher now reads emp");
+        assert_eq!(w.dep_index().rebuilds(), warm + 1);
     }
 
     #[test]

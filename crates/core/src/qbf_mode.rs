@@ -52,13 +52,7 @@ impl World {
             Some(u) => {
                 let pk_index = format!("pk_{}", u.base_table);
                 if self.db().catalog().index(&pk_index).is_ok() {
-                    BrowseCursor::indexed(
-                        self.db_mut(),
-                        u,
-                        &pk_index,
-                        page_size,
-                        pred.clone(),
-                    )?
+                    BrowseCursor::indexed(self.db_mut(), u, &pk_index, page_size, pred.clone())?
                 } else {
                     let query = ViewQuery {
                         pred: pred.clone(),
@@ -74,7 +68,7 @@ impl World {
                     ..Default::default()
                 };
                 let (db, vc, _) = self.parts(win)?;
-                BrowseCursor::materialized(db, vc, &view, query, None)?
+                BrowseCursor::streamed(db, vc, &view, query, page_size)?
             }
         };
         // Restore the original (writability-correct) form.
@@ -95,7 +89,11 @@ impl World {
         };
         self.set_status(
             win,
-            if matched { "" } else { "no rows match the query" },
+            if matched {
+                ""
+            } else {
+                "no rows match the query"
+            },
         );
         Ok(())
     }
@@ -122,7 +120,7 @@ impl World {
             }
             None => {
                 let (db, vc, _) = self.parts(win)?;
-                BrowseCursor::materialized(db, vc, &view, ViewQuery::default(), None)?
+                BrowseCursor::streamed(db, vc, &view, ViewQuery::default(), page_size)?
             }
         };
         let w = self.window_mut(win)?;
@@ -217,11 +215,7 @@ mod tests {
         let (mut w, _, win) = world();
         send(&mut w, "qzzz<enter>");
         assert!(w.current_row(win).unwrap().is_none());
-        assert!(w
-            .window(win)
-            .unwrap()
-            .status
-            .contains("no rows"));
+        assert!(w.window(win).unwrap().status.contains("no rows"));
         // Editing with no row errors cleanly.
         assert!(w.enter_edit(win).is_err());
     }

@@ -113,8 +113,16 @@ impl WindowState {
     /// The one-line status for the window's bottom row.
     pub fn status_line(&self) -> (String, String) {
         let left = if self.status.is_empty() {
-            let ro = if self.is_updatable() { "" } else { " [read-only]" };
-            let q = if self.qbf_pred.is_some() { " [query]" } else { "" };
+            let ro = if self.is_updatable() {
+                ""
+            } else {
+                " [read-only]"
+            };
+            let q = if self.qbf_pred.is_some() {
+                " [query]"
+            } else {
+                ""
+            };
             let stale = if self.stale { " [stale]" } else { "" };
             format!("{}{ro}{q}{stale}", self.mode.name())
         } else {

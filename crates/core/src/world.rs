@@ -19,7 +19,7 @@ use wow_tui::geom::Rect;
 use wow_tui::tree::WindowTree;
 use wow_views::expand::{view_schema, ViewQuery};
 use wow_views::updatable::{analyze, why_not};
-use wow_views::{ViewCatalog, ViewDef};
+use wow_views::{DepIndex, ViewCatalog, ViewDef};
 
 /// Counters the benches and the status surface read.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +41,9 @@ pub struct World {
     cfg: WorldConfig,
     db: Database,
     views: ViewCatalog,
+    /// Cached view → base-table map used by write propagation; invalidated
+    /// automatically when either catalog's generation moves (DDL).
+    deps: DepIndex,
     locks: LockManager,
     sessions: BTreeMap<SessionId, Session>,
     undo: BTreeMap<SessionId, UndoStack>,
@@ -67,6 +70,7 @@ impl World {
             cfg,
             db,
             views: ViewCatalog::new(),
+            deps: DepIndex::new(),
             locks: LockManager::new(),
             sessions: BTreeMap::new(),
             undo: BTreeMap::new(),
@@ -101,6 +105,25 @@ impl World {
         &self.views
     }
 
+    /// The cached view-dependency index (inspection; benches read its
+    /// rebuild counter to assert the warm path recomputes nothing).
+    pub fn dep_index(&self) -> &DepIndex {
+        &self.deps
+    }
+
+    /// Split borrow used by propagation: database + view catalog + windows
+    /// (read) alongside the dependency cache (write).
+    pub(crate) fn dep_parts(
+        &mut self,
+    ) -> (
+        &Database,
+        &ViewCatalog,
+        &BTreeMap<WinId, WindowState>,
+        &mut DepIndex,
+    ) {
+        (&self.db, &self.views, &self.windows, &mut self.deps)
+    }
+
     /// The lock manager (inspection).
     pub fn locks(&self) -> &LockManager {
         &self.locks
@@ -130,6 +153,28 @@ impl World {
             }
         }
         self.views.register(def)?;
+        Ok(())
+    }
+
+    /// Replace a view's definition (drop + re-register atomically: the old
+    /// definition is restored if the new one is rejected). Windows already
+    /// open on the view pick up the new definition at their next refresh,
+    /// and the dependency cache re-derives itself before the next
+    /// propagation.
+    pub fn redefine_view(&mut self, name: &str, src: &str) -> WowResult<()> {
+        let def = ViewDef::parse(name, src)?;
+        for (_, t) in &def.ranges {
+            if t != name && !self.db.catalog().has_table(t) && !self.views.has(t) {
+                return Err(WowError::Rel(wow_rel::RelError::NoSuchTable(t.clone())));
+            }
+        }
+        let old = self.views.remove(name)?;
+        if let Err(e) = self.views.register(def) {
+            self.views
+                .register(old)
+                .expect("restoring the prior definition");
+            return Err(e.into());
+        }
         Ok(())
     }
 
@@ -263,13 +308,17 @@ impl World {
                 (schema, cursor)
             }
             None => {
+                // Join/aggregate views have no base rids to seek by, but
+                // they still open incrementally: the streamed cursor pages
+                // through limit pushdown, so the first screenful is all the
+                // join ever produces.
                 let schema = view_schema(&self.db, &self.views, view)?;
-                let cursor = BrowseCursor::materialized(
+                let cursor = BrowseCursor::streamed(
                     &mut self.db,
                     &self.views,
                     view,
                     ViewQuery::default(),
-                    None,
+                    self.cfg.page_size,
                 )?;
                 (schema, cursor)
             }
@@ -291,7 +340,9 @@ impl World {
                 2 + self.cascade as i32 * 3,
                 1 + self.cascade as i32,
                 46,
-                (schema.len() as u16 + 4).min(self.cfg.screen.h.saturating_sub(2)).max(5),
+                (schema.len() as u16 + 4)
+                    .min(self.cfg.screen.h.saturating_sub(2))
+                    .max(5),
             );
             self.cascade = (self.cascade + 1) % 8;
             r
@@ -355,10 +406,7 @@ impl World {
     /// The focused window (topmost on screen), if any.
     pub fn focused_window(&self) -> Option<WinId> {
         let tui = self.tree.focused()?;
-        self.windows
-            .values()
-            .find(|w| w.tui == tui)
-            .map(|w| w.id)
+        self.windows.values().find(|w| w.tui == tui).map(|w| w.id)
     }
 
     /// Focus (and raise) a window.
@@ -377,11 +425,7 @@ impl World {
     /// The screen rectangle of a window's frame.
     pub fn window_rect(&self, win: WinId) -> WowResult<Rect> {
         let tui = self.window(win)?.tui;
-        Ok(self
-            .tree
-            .get(tui)
-            .map(|w| w.rect())
-            .unwrap_or_default())
+        Ok(self.tree.get(tui).map(|w| w.rect()).unwrap_or_default())
     }
 
     /// Move a window's frame.

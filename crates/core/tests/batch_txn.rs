@@ -18,8 +18,11 @@ fn world() -> World {
             "#,
         )
         .unwrap();
-    w.define_view("accts", "RANGE OF a IS acct RETRIEVE (a.id, a.owner, a.balance)")
-        .unwrap();
+    w.define_view(
+        "accts",
+        "RANGE OF a IS acct RETRIEVE (a.id, a.owner, a.balance)",
+    )
+    .unwrap();
     w
 }
 
@@ -39,14 +42,20 @@ fn transfer(w: &mut World, session: wow_core::SessionId, win: wow_core::WinId, a
     // Debit account 1 (cursor starts there).
     w.enter_edit(win).unwrap();
     let from = balance(w, 1);
-    w.window_mut(win).unwrap().form.set_text(2, &(from - amount).to_string());
+    w.window_mut(win)
+        .unwrap()
+        .form
+        .set_text(2, &(from - amount).to_string());
     w.commit(win).unwrap();
     let _ = session;
     // Credit account 2.
     w.browse_next(win).unwrap();
     w.enter_edit(win).unwrap();
     let to = balance(w, 2);
-    w.window_mut(win).unwrap().form.set_text(2, &(to + amount).to_string());
+    w.window_mut(win)
+        .unwrap()
+        .form
+        .set_text(2, &(to + amount).to_string());
     w.commit(win).unwrap();
 }
 
@@ -118,7 +127,11 @@ fn batch_with_insert_and_delete_aborts_cleanly() {
         .db_mut()
         .run("RETRIEVE (a.owner) SORT BY a.owner")
         .unwrap();
-    let owners: Vec<String> = rows.tuples.iter().map(|t| t.values[0].to_string()).collect();
+    let owners: Vec<String> = rows
+        .tuples
+        .iter()
+        .map(|t| t.values[0].to_string())
+        .collect();
     assert_eq!(owners, vec!["alice", "bob"], "carol gone, bob restored");
 }
 

@@ -28,11 +28,7 @@ impl FormInstance {
     /// A blank instance of a form.
     pub fn new(spec: FormSpec) -> FormInstance {
         let editors = spec.fields.iter().map(|_| TextField::new()).collect();
-        let focused = spec
-            .fields
-            .iter()
-            .position(|f| !f.read_only)
-            .unwrap_or(0);
+        let focused = spec.fields.iter().position(|f| !f.read_only).unwrap_or(0);
         FormInstance {
             spec,
             editors,
@@ -119,7 +115,11 @@ impl FormInstance {
         }
         let mut i = from;
         for _ in 0..n {
-            i = if forward { (i + 1) % n } else { (i + n - 1) % n };
+            i = if forward {
+                (i + 1) % n
+            } else {
+                (i + n - 1) % n
+            };
             if !self.spec.fields[i].read_only {
                 return i;
             }
@@ -268,7 +268,10 @@ mod tests {
         f.fill(&[Value::text("bob"), Value::Int(90), Value::Date(4890)]);
         assert_eq!(f.texts(), vec!["bob", "90", "1983-05-23"]);
         let vals = f.values().unwrap();
-        assert_eq!(vals, vec![Value::text("bob"), Value::Int(90), Value::Date(4890)]);
+        assert_eq!(
+            vals,
+            vec![Value::text("bob"), Value::Int(90), Value::Date(4890)]
+        );
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub fn compile_form_all_writable(name: &str, title: &str, schema: &Schema) -> Fo
 /// a stored override file must not break when the schema gains columns).
 pub fn apply_overrides(spec: &mut FormSpec, overrides: &[(String, FieldOverride)]) {
     for (name, ov) in overrides {
-        let Some(i) = spec.field_index(name) else { continue };
+        let Some(i) = spec.field_index(name) else {
+            continue;
+        };
         let f = &mut spec.fields[i];
         if let Some(c) = &ov.caption {
             f.caption = c.clone();

@@ -93,10 +93,7 @@ mod tests {
     fn parse_round_trips_by_type() {
         assert_eq!(parse("7", DataType::Int), Ok(Value::Int(7)));
         assert_eq!(parse("", DataType::Int), Ok(Value::Null));
-        assert_eq!(
-            parse("1983-05-23", DataType::Date),
-            Ok(Value::Date(4890))
-        );
+        assert_eq!(parse("1983-05-23", DataType::Date), Ok(Value::Date(4890)));
         assert_eq!(
             parse("x", DataType::Int).unwrap_err(),
             "expected a whole number"

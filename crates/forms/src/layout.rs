@@ -42,10 +42,7 @@ pub fn layout_form(spec: &FormSpec, area: Rect, scroll: usize) -> FormLayout {
             continue;
         }
         let y = area.y + visible as i32;
-        let editor_w = f
-            .width
-            .min(area.w.saturating_sub(caption_w))
-            .max(1);
+        let editor_w = f.width.min(area.w.saturating_sub(caption_w)).max(1);
         fields.push(FieldLayout {
             caption: Rect::new(area.x, y, caption_w.min(area.w), 1),
             editor: Rect::new(area.x + caption_w as i32, y, editor_w, 1),

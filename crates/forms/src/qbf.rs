@@ -96,7 +96,10 @@ pub fn field_predicate(spec: &FieldSpec, entry: &str) -> FormResult<Option<Expr>
 
 fn parse_operand(spec: &FieldSpec, text: &str) -> Result<Value, String> {
     if text.is_empty() {
-        return Err(format!("missing value after operator ({})", format::type_hint(spec.ty)));
+        return Err(format!(
+            "missing value after operator ({})",
+            format::type_hint(spec.ty)
+        ));
     }
     format::parse(text, spec.ty)
 }
@@ -212,12 +215,11 @@ mod tests {
         )
         .unwrap()
         .unwrap();
-        assert_eq!(
-            p.to_string(),
-            "((name LIKE \"Sm*\") AND (salary > 100))"
-        );
+        assert_eq!(p.to_string(), "((name LIKE \"Sm*\") AND (salary > 100))");
         // All blank → no restriction.
-        assert!(form_predicate(&spec, &vec![String::new(); 3]).unwrap().is_none());
+        assert!(form_predicate(&spec, &vec![String::new(); 3])
+            .unwrap()
+            .is_none());
         // Arity mismatch errors.
         assert!(form_predicate(&spec, &[String::new()]).is_err());
     }

@@ -4,7 +4,10 @@ use serde::{Deserialize, Serialize};
 use wow_rel::types::DataType;
 
 // DataType is foreign; mirror it for serde without forcing serde into
-// wow-rel's public surface.
+// wow-rel's public surface. Only the serde derive references these adapters,
+// so they look dead when building against the offline serde shim's stub
+// derives.
+#[allow(dead_code)]
 mod dt_serde {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
     use wow_rel::types::DataType;

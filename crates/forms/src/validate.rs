@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn empty_optional_is_null() {
-        assert_eq!(validate_field(&field(DataType::Int), "  ").unwrap(), Value::Null);
+        assert_eq!(
+            validate_field(&field(DataType::Int), "  ").unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -91,10 +94,7 @@ mod tests {
     fn domain_enforced() {
         let mut f = field(DataType::Text);
         f.domain = vec!["toy".into(), "shoe".into()];
-        assert_eq!(
-            validate_field(&f, "toy").unwrap(),
-            Value::text("toy")
-        );
+        assert_eq!(validate_field(&f, "toy").unwrap(), Value::text("toy"));
         let err = validate_field(&f, "candy").unwrap_err();
         assert!(err.to_string().contains("one of"));
     }
@@ -118,8 +118,7 @@ mod tests {
                 f
             }],
         };
-        let vals =
-            validate_form(&spec, &["5".to_string(), "hi".to_string()]).unwrap();
+        let vals = validate_form(&spec, &["5".to_string(), "hi".to_string()]).unwrap();
         assert_eq!(vals, vec![Value::Int(5), Value::text("hi")]);
         assert!(validate_form(&spec, &["5".to_string(), "".to_string()]).is_err());
         assert!(validate_form(&spec, &["5".to_string()]).is_err());

@@ -62,12 +62,22 @@ pub struct Catalog {
     ids: BTreeMap<TableId, String>,
     indexes: BTreeMap<String, IndexInfo>,
     next_id: TableId,
+    /// Bumped on every change to the *table set* (create/drop). Layers that
+    /// cache facts derived from table existence — e.g. the view dependency
+    /// index — compare generations instead of re-deriving per use.
+    generation: u64,
 }
 
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// Generation of the table set; changes exactly when a table is
+    /// created or dropped.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Register a table; returns its new id.
@@ -95,6 +105,7 @@ impl Catalog {
             },
         );
         self.ids.insert(id, name.to_string());
+        self.generation += 1;
         Ok(id)
     }
 
@@ -111,6 +122,7 @@ impl Catalog {
                 dropped.push(idx);
             }
         }
+        self.generation += 1;
         Ok((info, dropped))
     }
 
@@ -215,9 +227,7 @@ impl Catalog {
             let better = match best {
                 None => true,
                 Some(b) => {
-                    let score = |i: &IndexInfo| {
-                        (i.unique as u8, (Some(i.kind) == prefer) as u8)
-                    };
+                    let score = |i: &IndexInfo| (i.unique as u8, (Some(i.kind) == prefer) as u8);
                     score(idx) > score(b)
                 }
             };
@@ -266,8 +276,15 @@ mod tests {
     fn index_lifecycle() {
         let mut c = Catalog::new();
         let tid = c.add_table("emp", schema(), PageId(1), vec![0]).unwrap();
-        c.add_index("emp_name", "emp", vec![1], IndexKind::BTree, false, PageId(5))
-            .unwrap();
+        c.add_index(
+            "emp_name",
+            "emp",
+            vec![1],
+            IndexKind::BTree,
+            false,
+            PageId(5),
+        )
+        .unwrap();
         assert_eq!(c.index("emp_name").unwrap().table, tid);
         assert_eq!(c.indexes_on(tid).len(), 1);
         assert_eq!(c.table("emp").unwrap().indexes, vec!["emp_name"]);

@@ -86,9 +86,20 @@ pub(crate) enum IndexHandle {
 #[derive(Debug)]
 #[allow(dead_code)]
 pub(crate) enum UndoOp {
-    Insert { table: TableId, rid: Rid },
-    Update { table: TableId, rid: Rid, old: Tuple },
-    Delete { table: TableId, rid: Rid, old: Tuple },
+    Insert {
+        table: TableId,
+        rid: Rid,
+    },
+    Update {
+        table: TableId,
+        rid: Rid,
+        old: Tuple,
+    },
+    Delete {
+        table: TableId,
+        rid: Rid,
+        old: Tuple,
+    },
 }
 
 /// Transaction state.
@@ -211,12 +222,7 @@ impl Database {
     /// Create a table. `key` names the primary-key columns (possibly empty);
     /// when non-empty a unique B+tree index `pk_<table>` is created on them
     /// automatically — the ordered access path browse cursors rely on.
-    pub fn create_table(
-        &mut self,
-        name: &str,
-        schema: Schema,
-        key: &[&str],
-    ) -> RelResult<TableId> {
+    pub fn create_table(&mut self, name: &str, schema: Schema, key: &[&str]) -> RelResult<TableId> {
         if self.catalog.has_table(name) {
             return Err(RelError::AlreadyExists(name.to_string()));
         }
@@ -268,7 +274,9 @@ impl Database {
                 // the tree itself is created unique either way.
                 IndexHandle::BTree(BTree::create(&mut self.pool, unique)?)
             }
-            IndexKind::Hash => IndexHandle::Hash(HashIndex::create(&mut self.pool, DEFAULT_BUCKETS)?),
+            IndexKind::Hash => {
+                IndexHandle::Hash(HashIndex::create(&mut self.pool, DEFAULT_BUCKETS)?)
+            }
         };
         let meta = match &handle {
             IndexHandle::BTree(t) => t.meta_page(),
@@ -364,17 +372,48 @@ impl Database {
             .ok_or_else(|| RelError::NoSuchTable(format!("#{table}")))?;
         let mut decode_err = None;
         let mut out = Vec::with_capacity(heap.len() as usize);
-        heap.scan(&mut self.pool, |rid, bytes| {
-            match Tuple::decode(bytes) {
-                Ok(t) => out.push((rid, t)),
-                Err(e) => decode_err = Some(e),
-            }
+        heap.scan(&mut self.pool, |rid, bytes| match Tuple::decode(bytes) {
+            Ok(t) => out.push((rid, t)),
+            Err(e) => decode_err = Some(e),
         })?;
         if let Some(e) = decode_err {
             return Err(e);
         }
         self.counters.rows_scanned += out.len() as u64;
         Ok(out)
+    }
+
+    /// Scan one data page of a table as `(rid, tuple)` pairs — the
+    /// page-at-a-time sequential access used by the streaming executor.
+    /// Returns `None` once `page_idx` is past the end of the heap's page
+    /// chain. Sequential calls trigger buffer-pool readahead (see
+    /// [`wow_storage::heap::HeapFile::scan_page`]).
+    pub fn scan_table_page(
+        &mut self,
+        table: TableId,
+        page_idx: usize,
+    ) -> RelResult<Option<Vec<(Rid, Tuple)>>> {
+        let heap = self
+            .heaps
+            .get(&table)
+            .ok_or_else(|| RelError::NoSuchTable(format!("#{table}")))?;
+        let mut decode_err = None;
+        let mut out = Vec::new();
+        let in_range =
+            heap.scan_page(&mut self.pool, page_idx, |rid, bytes| {
+                match Tuple::decode(bytes) {
+                    Ok(t) => out.push((rid, t)),
+                    Err(e) => decode_err = Some(e),
+                }
+            })?;
+        if let Some(e) = decode_err {
+            return Err(e);
+        }
+        if !in_range {
+            return Ok(None);
+        }
+        self.counters.rows_scanned += out.len() as u64;
+        Ok(Some(out))
     }
 
     /// Number of rows in a table (from stats, exact under normal operation).
@@ -418,7 +457,11 @@ impl Database {
 
     /// Build the key bytes for an index entry of `tuple`.
     pub(crate) fn index_key(idx: &IndexInfo, tuple: &Tuple) -> Vec<u8> {
-        let vals: Vec<Value> = idx.columns.iter().map(|&i| tuple.values[i].clone()).collect();
+        let vals: Vec<Value> = idx
+            .columns
+            .iter()
+            .map(|&i| tuple.values[i].clone())
+            .collect();
         Value::encode_composite(&vals)
     }
 
@@ -506,8 +549,7 @@ impl Database {
         limit: usize,
     ) -> RelResult<Vec<(Vec<u8>, Rid)>> {
         let idx = self.catalog.index(index)?.clone();
-        let IndexHandle::BTree(tree) = self.indexes.get(&idx.name).expect("handle exists")
-        else {
+        let IndexHandle::BTree(tree) = self.indexes.get(&idx.name).expect("handle exists") else {
             return Err(RelError::Unsupported(
                 "ordered paging requires a B+tree index".into(),
             ));
@@ -518,10 +560,15 @@ impl Database {
             Some(k) => std::ops::Bound::Excluded(k),
             None => std::ops::Bound::Unbounded,
         };
-        tree.range_scan(&mut self.pool, lower, std::ops::Bound::Unbounded, |k, rid| {
-            out.push((k.to_vec(), rid));
-            out.len() < limit
-        })?;
+        tree.range_scan(
+            &mut self.pool,
+            lower,
+            std::ops::Bound::Unbounded,
+            |k, rid| {
+                out.push((k.to_vec(), rid));
+                out.len() < limit
+            },
+        )?;
         Ok(out)
     }
 
@@ -666,7 +713,13 @@ impl Database {
                     let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
                     self.create_table(&name, Schema::new(cols), &key_refs)?;
                 }
-                Statement::CreateIndex { name, table, column, kind, unique } => {
+                Statement::CreateIndex {
+                    name,
+                    table,
+                    column,
+                    kind,
+                    unique,
+                } => {
                     self.create_index(&name, &table, &column, kind, unique)?;
                 }
                 Statement::DropTable(name) => self.drop_table(&name)?,
@@ -696,7 +749,11 @@ impl Database {
                 Statement::Append { table, assigns } => {
                     self.exec_append(&table, &assigns)?;
                 }
-                Statement::Replace { var, assigns, where_ } => {
+                Statement::Replace {
+                    var,
+                    assigns,
+                    where_,
+                } => {
                     self.exec_replace(&var, &assigns, where_.as_ref())?;
                 }
                 Statement::Delete { var, where_ } => {
@@ -789,11 +846,7 @@ impl Database {
         Ok(n)
     }
 
-    fn exec_delete(
-        &mut self,
-        var: &str,
-        where_: Option<&crate::expr::Expr>,
-    ) -> RelResult<u64> {
+    fn exec_delete(&mut self, var: &str, where_: Option<&crate::expr::Expr>) -> RelResult<u64> {
         let (table, hits) = self.matching_rows(var, where_)?;
         let mut n = 0;
         for (rid, _) in hits {

@@ -30,8 +30,11 @@ impl Database {
         for idx_name in &info.indexes {
             let idx = self.catalog.index(idx_name)?.clone();
             if idx.unique {
-                let key_vals: Vec<Value> =
-                    idx.columns.iter().map(|&i| tuple.values[i].clone()).collect();
+                let key_vals: Vec<Value> = idx
+                    .columns
+                    .iter()
+                    .map(|&i| tuple.values[i].clone())
+                    .collect();
                 if !self.index_lookup(&idx.name, &key_vals)?.is_empty() {
                     return Err(RelError::UniqueViolation(format!(
                         "{} = {:?}",
@@ -68,7 +71,10 @@ impl Database {
                 wal.flush()?;
             }
         } else {
-            self.txn.undo.push(UndoOp::Insert { table: info.id, rid });
+            self.txn.undo.push(UndoOp::Insert {
+                table: info.id,
+                rid,
+            });
         }
         self.stats.on_insert(info.id, 1);
         self.counters.statements += 1;
@@ -185,8 +191,7 @@ impl Database {
     pub fn replay_wal(&mut self, wal: &mut wow_storage::wal::Wal) -> RelResult<u64> {
         let records: Vec<LogRecord> = wal.read_all()?.into_iter().map(|(_, r)| r).collect();
         let report = wow_storage::recovery::analyze(&records);
-        let committed: std::collections::HashSet<u64> =
-            report.committed.iter().copied().collect();
+        let committed: std::collections::HashSet<u64> = report.committed.iter().copied().collect();
         // Logged rids are not stable across replay (fresh heap allocates new
         // pages), so maintain a translation map.
         let mut rid_map: std::collections::HashMap<(TableId, Rid), Rid> =
@@ -197,14 +202,18 @@ impl Database {
                 continue;
             }
             match rec {
-                LogRecord::Insert { table, rid, bytes, .. } => {
+                LogRecord::Insert {
+                    table, rid, bytes, ..
+                } => {
                     let tname = self.catalog.table_by_id(table)?.name.clone();
                     let tuple = Tuple::decode(&bytes)?;
                     let new_rid = self.insert(&tname, tuple.values)?;
                     rid_map.insert((table, rid), new_rid);
                     applied += 1;
                 }
-                LogRecord::Update { table, rid, new, .. } => {
+                LogRecord::Update {
+                    table, rid, new, ..
+                } => {
                     let tname = self.catalog.table_by_id(table)?.name.clone();
                     let actual = rid_map.get(&(table, rid)).copied().unwrap_or(rid);
                     let tuple = Tuple::decode(&new)?;
@@ -280,12 +289,18 @@ mod tests {
         let rid = db.insert("emp", row("alice", "toy", 100)).unwrap();
         db.insert("emp", row("bob", "toy", 90)).unwrap();
         assert_eq!(
-            db.index_lookup("by_dept", &[Value::text("toy")]).unwrap().len(),
+            db.index_lookup("by_dept", &[Value::text("toy")])
+                .unwrap()
+                .len(),
             2
         );
-        assert!(db.update_rid("emp", rid, row("alice", "shoe", 110)).unwrap());
+        assert!(db
+            .update_rid("emp", rid, row("alice", "shoe", 110))
+            .unwrap());
         assert_eq!(
-            db.index_lookup("by_dept", &[Value::text("toy")]).unwrap().len(),
+            db.index_lookup("by_dept", &[Value::text("toy")])
+                .unwrap()
+                .len(),
             1
         );
         assert_eq!(
@@ -309,7 +324,9 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, RelError::UniqueViolation(_)));
         // Updating a row to its own key is fine.
-        assert!(db.update_rid("emp", rid_bob, row("bob", "toy", 95)).unwrap());
+        assert!(db
+            .update_rid("emp", rid_bob, row("bob", "toy", 95))
+            .unwrap());
     }
 
     #[test]
@@ -318,7 +335,10 @@ mod tests {
         let rid = db.insert("emp", row("alice", "toy", 100)).unwrap();
         assert!(db.delete_rid("emp", rid).unwrap());
         assert!(!db.delete_rid("emp", rid).unwrap());
-        assert!(db.index_lookup("pk_emp", &[Value::text("alice")]).unwrap().is_empty());
+        assert!(db
+            .index_lookup("pk_emp", &[Value::text("alice")])
+            .unwrap()
+            .is_empty());
         let info = db.catalog().table("emp").unwrap().clone();
         assert_eq!(db.row_count(info.id), 0);
         // Key becomes insertable again.
@@ -335,7 +355,10 @@ mod tests {
         db.delete_rid("emp", keep).unwrap();
         db.abort().unwrap();
         // Insert rolled back.
-        assert!(db.index_lookup("pk_emp", &[Value::text("alice")]).unwrap().is_empty());
+        assert!(db
+            .index_lookup("pk_emp", &[Value::text("alice")])
+            .unwrap()
+            .is_empty());
         let info = db.catalog().table("emp").unwrap().clone();
         assert!(db.get_row(info.id, rid).unwrap().is_none());
         // Delete + update rolled back: original row intact (possibly at a
@@ -346,7 +369,9 @@ mod tests {
         assert_eq!(db.row_count(info.id), 1);
         // PK index points at the surviving row.
         assert_eq!(
-            db.index_lookup("pk_emp", &[Value::text("keep")]).unwrap().len(),
+            db.index_lookup("pk_emp", &[Value::text("keep")])
+                .unwrap()
+                .len(),
             1
         );
     }
@@ -392,7 +417,9 @@ mod tests {
     #[test]
     fn validation_failures_leave_no_trace() {
         let mut db = db_with_emp();
-        assert!(db.insert("emp", vec![Value::Null, Value::Null, Value::Null]).is_err());
+        assert!(db
+            .insert("emp", vec![Value::Null, Value::Null, Value::Null])
+            .is_err());
         assert!(db
             .insert("emp", vec![Value::Int(1), Value::Null, Value::Null])
             .is_err());

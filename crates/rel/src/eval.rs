@@ -77,9 +77,10 @@ pub fn eval(expr: &Expr, tuple: &Tuple) -> RelResult<Value> {
                 }),
                 UnOp::Neg => match v {
                     Value::Null => Ok(Value::Null),
-                    Value::Int(i) => {
-                        i.checked_neg().map(Value::Int).ok_or(RelError::Arithmetic("overflow"))
-                    }
+                    Value::Int(i) => i
+                        .checked_neg()
+                        .map(Value::Int)
+                        .ok_or(RelError::Arithmetic("overflow")),
                     Value::Float(f) => Ok(Value::Float(-f)),
                     other => Err(RelError::TypeMismatch {
                         expected: "numeric".into(),
@@ -127,9 +128,18 @@ fn arithmetic(op: BinOp, l: Value, r: Value) -> RelResult<Value> {
     if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
         let (a, b) = (*a, *b);
         return match op {
-            BinOp::Add => a.checked_add(b).map(Value::Int).ok_or(RelError::Arithmetic("overflow")),
-            BinOp::Sub => a.checked_sub(b).map(Value::Int).ok_or(RelError::Arithmetic("overflow")),
-            BinOp::Mul => a.checked_mul(b).map(Value::Int).ok_or(RelError::Arithmetic("overflow")),
+            BinOp::Add => a
+                .checked_add(b)
+                .map(Value::Int)
+                .ok_or(RelError::Arithmetic("overflow")),
+            BinOp::Sub => a
+                .checked_sub(b)
+                .map(Value::Int)
+                .ok_or(RelError::Arithmetic("overflow")),
+            BinOp::Mul => a
+                .checked_mul(b)
+                .map(Value::Int)
+                .ok_or(RelError::Arithmetic("overflow")),
             BinOp::Div => {
                 if b == 0 {
                     Err(RelError::Arithmetic("division by zero"))
@@ -198,15 +208,27 @@ mod tests {
     fn comparisons() {
         let empty = t(vec![]);
         assert_eq!(
-            eval(&bin(BinOp::Lt, lit(Value::Int(1)), lit(Value::Int(2))), &empty).unwrap(),
+            eval(
+                &bin(BinOp::Lt, lit(Value::Int(1)), lit(Value::Int(2))),
+                &empty
+            )
+            .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            eval(&bin(BinOp::Ge, lit(Value::text("b")), lit(Value::text("a"))), &empty).unwrap(),
+            eval(
+                &bin(BinOp::Ge, lit(Value::text("b")), lit(Value::text("a"))),
+                &empty
+            )
+            .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            eval(&bin(BinOp::Eq, lit(Value::Int(2)), lit(Value::Float(2.0))), &empty).unwrap(),
+            eval(
+                &bin(BinOp::Eq, lit(Value::Int(2)), lit(Value::Float(2.0))),
+                &empty
+            )
+            .unwrap(),
             Value::Bool(true)
         );
     }
@@ -262,20 +284,36 @@ mod tests {
     fn arithmetic_int_and_float() {
         let empty = t(vec![]);
         assert_eq!(
-            eval(&bin(BinOp::Add, lit(Value::Int(2)), lit(Value::Int(3))), &empty).unwrap(),
+            eval(
+                &bin(BinOp::Add, lit(Value::Int(2)), lit(Value::Int(3))),
+                &empty
+            )
+            .unwrap(),
             Value::Int(5)
         );
         assert_eq!(
-            eval(&bin(BinOp::Div, lit(Value::Int(7)), lit(Value::Int(2))), &empty).unwrap(),
+            eval(
+                &bin(BinOp::Div, lit(Value::Int(7)), lit(Value::Int(2))),
+                &empty
+            )
+            .unwrap(),
             Value::Int(3),
             "integer division truncates"
         );
         assert_eq!(
-            eval(&bin(BinOp::Mul, lit(Value::Float(1.5)), lit(Value::Int(4))), &empty).unwrap(),
+            eval(
+                &bin(BinOp::Mul, lit(Value::Float(1.5)), lit(Value::Int(4))),
+                &empty
+            )
+            .unwrap(),
             Value::Float(6.0)
         );
         assert_eq!(
-            eval(&bin(BinOp::Mod, lit(Value::Int(7)), lit(Value::Int(3))), &empty).unwrap(),
+            eval(
+                &bin(BinOp::Mod, lit(Value::Int(7)), lit(Value::Int(3))),
+                &empty
+            )
+            .unwrap(),
             Value::Int(1)
         );
     }
@@ -284,7 +322,10 @@ mod tests {
     fn arithmetic_errors() {
         let empty = t(vec![]);
         assert!(matches!(
-            eval(&bin(BinOp::Div, lit(Value::Int(1)), lit(Value::Int(0))), &empty),
+            eval(
+                &bin(BinOp::Div, lit(Value::Int(1)), lit(Value::Int(0))),
+                &empty
+            ),
             Err(RelError::Arithmetic(_))
         ));
         assert!(matches!(
@@ -305,7 +346,11 @@ mod tests {
     fn null_arithmetic_propagates() {
         let empty = t(vec![]);
         assert_eq!(
-            eval(&bin(BinOp::Add, lit(Value::Null), lit(Value::Int(1))), &empty).unwrap(),
+            eval(
+                &bin(BinOp::Add, lit(Value::Null), lit(Value::Int(1))),
+                &empty
+            )
+            .unwrap(),
             Value::Null
         );
     }

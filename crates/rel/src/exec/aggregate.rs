@@ -251,7 +251,9 @@ pub fn aggregate(
             order.push(key);
             (
                 key_vals,
-                aggs.iter().map(|a| AggState::new(a, &input.schema)).collect(),
+                aggs.iter()
+                    .map(|a| AggState::new(a, &input.schema))
+                    .collect(),
             )
         });
         for (spec, state) in aggs.iter().zip(entry.1.iter_mut()) {
@@ -303,9 +305,21 @@ mod tests {
     fn grouped_sum_count_avg() {
         let rows = input();
         let aggs = vec![
-            AggSpec { func: AggFunc::Sum, input: Some(1), name: "total".into() },
-            AggSpec { func: AggFunc::Count, input: Some(1), name: "n".into() },
-            AggSpec { func: AggFunc::Avg, input: Some(1), name: "mean".into() },
+            AggSpec {
+                func: AggFunc::Sum,
+                input: Some(1),
+                name: "total".into(),
+            },
+            AggSpec {
+                func: AggFunc::Count,
+                input: Some(1),
+                name: "n".into(),
+            },
+            AggSpec {
+                func: AggFunc::Avg,
+                input: Some(1),
+                name: "mean".into(),
+            },
         ];
         let schema = out_schema(&[0], &aggs, &rows);
         let out = aggregate(schema, &rows, &[0], &aggs).unwrap();
@@ -324,9 +338,21 @@ mod tests {
     fn global_aggregate_on_empty_input() {
         let rows = Rows::empty(input().schema);
         let aggs = vec![
-            AggSpec { func: AggFunc::Count, input: None, name: "n".into() },
-            AggSpec { func: AggFunc::Sum, input: Some(1), name: "s".into() },
-            AggSpec { func: AggFunc::Min, input: Some(1), name: "lo".into() },
+            AggSpec {
+                func: AggFunc::Count,
+                input: None,
+                name: "n".into(),
+            },
+            AggSpec {
+                func: AggFunc::Sum,
+                input: Some(1),
+                name: "s".into(),
+            },
+            AggSpec {
+                func: AggFunc::Min,
+                input: Some(1),
+                name: "lo".into(),
+            },
         ];
         let schema = out_schema(&[], &aggs, &rows);
         let out = aggregate(schema, &rows, &[], &aggs).unwrap();
@@ -340,8 +366,16 @@ mod tests {
     fn count_star_counts_null_rows() {
         let rows = input();
         let aggs = vec![
-            AggSpec { func: AggFunc::Count, input: None, name: "all".into() },
-            AggSpec { func: AggFunc::Count, input: Some(1), name: "nonnull".into() },
+            AggSpec {
+                func: AggFunc::Count,
+                input: None,
+                name: "all".into(),
+            },
+            AggSpec {
+                func: AggFunc::Count,
+                input: Some(1),
+                name: "nonnull".into(),
+            },
         ];
         let schema = out_schema(&[], &aggs, &rows);
         let out = aggregate(schema, &rows, &[], &aggs).unwrap();
@@ -353,8 +387,16 @@ mod tests {
     fn min_max() {
         let rows = input();
         let aggs = vec![
-            AggSpec { func: AggFunc::Min, input: Some(1), name: "lo".into() },
-            AggSpec { func: AggFunc::Max, input: Some(1), name: "hi".into() },
+            AggSpec {
+                func: AggFunc::Min,
+                input: Some(1),
+                name: "lo".into(),
+            },
+            AggSpec {
+                func: AggFunc::Max,
+                input: Some(1),
+                name: "hi".into(),
+            },
         ];
         let schema = out_schema(&[], &aggs, &rows);
         let out = aggregate(schema, &rows, &[], &aggs).unwrap();
@@ -366,8 +408,16 @@ mod tests {
     fn min_max_on_text() {
         let rows = input();
         let aggs = vec![
-            AggSpec { func: AggFunc::Min, input: Some(0), name: "first".into() },
-            AggSpec { func: AggFunc::Max, input: Some(0), name: "last".into() },
+            AggSpec {
+                func: AggFunc::Min,
+                input: Some(0),
+                name: "first".into(),
+            },
+            AggSpec {
+                func: AggFunc::Max,
+                input: Some(0),
+                name: "last".into(),
+            },
         ];
         let schema = out_schema(&[], &aggs, &rows);
         let out = aggregate(schema, &rows, &[], &aggs).unwrap();
@@ -398,7 +448,11 @@ mod tests {
                 Tuple::new(vec![Value::Float(2.5)]),
             ],
         };
-        let aggs = vec![AggSpec { func: AggFunc::Sum, input: Some(0), name: "s".into() }];
+        let aggs = vec![AggSpec {
+            func: AggFunc::Sum,
+            input: Some(0),
+            name: "s".into(),
+        }];
         let schema = out_schema(&[], &aggs, &rows);
         let out = aggregate(schema, &rows, &[], &aggs).unwrap();
         assert_eq!(out.tuples[0].values[0], Value::Float(4.0));
@@ -417,7 +471,11 @@ mod tests {
                 Tuple::new(vec![Value::text("a"), Value::Int(3)]),
             ],
         };
-        let aggs = vec![AggSpec { func: AggFunc::Sum, input: Some(1), name: "s".into() }];
+        let aggs = vec![AggSpec {
+            func: AggFunc::Sum,
+            input: Some(1),
+            name: "s".into(),
+        }];
         let schema = out_schema(&[0], &aggs, &rows);
         let out = aggregate(schema, &rows, &[0], &aggs).unwrap();
         assert_eq!(out.len(), 2);

@@ -99,8 +99,8 @@ pub fn hash_join(
 mod tests {
     use super::*;
     use crate::expr::BinOp;
-    use crate::tuple::Tuple;
     use crate::schema::Column;
+    use crate::tuple::Tuple;
     use crate::types::DataType;
 
     fn rows(names: &[&str], vals: Vec<Vec<Value>>) -> Rows {
@@ -125,7 +125,11 @@ mod tests {
         let l = rows(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
         let r = rows(
             &["b"],
-            vec![vec![Value::Int(10)], vec![Value::Int(20)], vec![Value::Int(30)]],
+            vec![
+                vec![Value::Int(10)],
+                vec![Value::Int(20)],
+                vec![Value::Int(30)],
+            ],
         );
         let out = nested_loop(&mut db, joined_schema(&l, &r), &l, &r, None).unwrap();
         assert_eq!(out.len(), 6);
@@ -174,14 +178,8 @@ mod tests {
     #[test]
     fn hash_join_matches_nested_loop() {
         let mut db = Database::in_memory();
-        let l = rows(
-            &["k"],
-            (0..50).map(|i| vec![Value::Int(i % 7)]).collect(),
-        );
-        let r = rows(
-            &["k"],
-            (0..30).map(|i| vec![Value::Int(i % 5)]).collect(),
-        );
+        let l = rows(&["k"], (0..50).map(|i| vec![Value::Int(i % 7)]).collect());
+        let r = rows(&["k"], (0..30).map(|i| vec![Value::Int(i % 5)]).collect());
         let pred = Expr::Binary {
             op: BinOp::Eq,
             left: Box::new(Expr::Column(0)),
@@ -268,12 +266,17 @@ mod tests {
                 vec![Value::Int(1), Value::Int(3)],
             ],
         );
-        let r = rows(
-            &["a", "b"],
-            vec![vec![Value::Int(1), Value::Int(2)]],
-        );
-        let out =
-            hash_join(&mut db, joined_schema(&l, &r), &l, &r, &[0, 1], &[0, 1], None).unwrap();
+        let r = rows(&["a", "b"], vec![vec![Value::Int(1), Value::Int(2)]]);
+        let out = hash_join(
+            &mut db,
+            joined_schema(&l, &r),
+            &l,
+            &r,
+            &[0, 1],
+            &[0, 1],
+            None,
+        )
+        .unwrap();
         assert_eq!(out.len(), 1);
     }
 }

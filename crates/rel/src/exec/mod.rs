@@ -1,27 +1,31 @@
 //! Physical query plans and their execution.
 //!
 //! Plans are trees of [`PhysicalPlan`] nodes produced by the optimizer
-//! ([`crate::plan`]) and executed by [`execute`] against a
-//! [`crate::db::Database`]. Execution materializes operator outputs — fine
-//! at the scale a forms interface queries (a screenful at a time; the
-//! incremental path for browsing lives in `wow-core`, on top of index
-//! cursors).
+//! ([`crate::plan`]). [`execute`] compiles a plan into the pull-based
+//! [`stream`] operator tree and drains it, so limits stop pulling (and
+//! scanning) as soon as their quota is met; `wow-core` drives the same
+//! operator trees incrementally to page join views. The original
+//! materialize-everything recursion survives as [`execute_materializing`] —
+//! the semantic reference the streaming path is property-tested against,
+//! and the baseline the Table 2b experiment measures limit pushdown over.
 //!
 //! Operators:
 //!
 //! * scans: sequential with optional pushed-down predicate, index equality,
-//!   index range (this module);
+//!   index range (this module, streaming in [`stream`]);
 //! * [`Filter`](PhysicalPlan::Filter), [`Project`](PhysicalPlan::Project),
-//!   [`Limit`](PhysicalPlan::Limit) (this module);
+//!   [`Limit`](PhysicalPlan::Limit) (this module and [`stream`]);
 //! * joins — [`join`]: nested-loop (the 1983 baseline) and hash (the
 //!   comparison point Figure 2 sweeps);
-//! * [`sort`] and [`aggregate`].
+//! * [`sort`] and [`aggregate`] (pipeline breakers in the streaming path).
 
 pub mod aggregate;
 pub mod join;
 pub mod sort;
+pub mod stream;
 
 pub use aggregate::{AggFunc, AggSpec};
+pub use stream::{build_operator, Operator, TupleBlock, BLOCK_CAP};
 
 use crate::catalog::IndexKind;
 use crate::db::{Database, IndexHandle};
@@ -64,7 +68,12 @@ impl Rows {
 
     /// Render as simple aligned text (used by examples and the repro tool).
     pub fn to_table_string(&self) -> String {
-        let headers: Vec<&str> = self.schema.columns.iter().map(|c| c.name.as_str()).collect();
+        let headers: Vec<&str> = self
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
         let cells: Vec<Vec<String>> = self
             .tuples
@@ -230,7 +239,11 @@ impl PhysicalPlan {
             | PhysicalPlan::Limit { input, .. }
             | PhysicalPlan::Distinct { input } => input.output_schema(db),
             PhysicalPlan::Sort { input, .. } => input.output_schema(db),
-            PhysicalPlan::Project { input, exprs, names } => {
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                names,
+            } => {
                 let in_schema = input.output_schema(db)?;
                 let mut columns = Vec::with_capacity(exprs.len());
                 for (e, n) in exprs.iter().zip(names) {
@@ -249,7 +262,11 @@ impl PhysicalPlan {
                 // Children are already alias-qualified; aliases here are moot.
                 Ok(Schema::join(&l, "l", &r, "r"))
             }
-            PhysicalPlan::Aggregate { input, group_by, aggs } => {
+            PhysicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let in_schema = input.output_schema(db)?;
                 let mut columns = Vec::with_capacity(group_by.len() + aggs.len());
                 for &g in group_by {
@@ -277,9 +294,7 @@ impl PhysicalPlan {
             | PhysicalPlan::Limit { input, .. }
             | PhysicalPlan::Distinct { input } => input.node_count(),
             PhysicalPlan::NestedLoopJoin { left, right, .. }
-            | PhysicalPlan::HashJoin { left, right, .. } => {
-                left.node_count() + right.node_count()
-            }
+            | PhysicalPlan::HashJoin { left, right, .. } => left.node_count() + right.node_count(),
             _ => 0,
         }
     }
@@ -301,7 +316,13 @@ impl PhysicalPlan {
                 }
                 out.push('\n');
             }
-            PhysicalPlan::IndexScanEq { table, alias, index, key, residual } => {
+            PhysicalPlan::IndexScanEq {
+                table,
+                alias,
+                index,
+                key,
+                residual,
+            } => {
                 out.push_str(&format!(
                     "{pad}IndexScanEq {table} AS {alias} USING {index} KEY {key:?}"
                 ));
@@ -310,7 +331,14 @@ impl PhysicalPlan {
                 }
                 out.push('\n');
             }
-            PhysicalPlan::IndexRange { table, alias, index, lower, upper, residual } => {
+            PhysicalPlan::IndexRange {
+                table,
+                alias,
+                index,
+                lower,
+                upper,
+                residual,
+            } => {
                 out.push_str(&format!(
                     "{pad}IndexRange {table} AS {alias} USING {index} [{lower:?}, {upper:?}]"
                 ));
@@ -330,15 +358,21 @@ impl PhysicalPlan {
             PhysicalPlan::NestedLoopJoin { left, right, pred } => {
                 out.push_str(&format!(
                     "{pad}NestedLoopJoin{}\n",
-                    pred.as_ref().map(|p| format!(" ON {p}")).unwrap_or_default()
+                    pred.as_ref()
+                        .map(|p| format!(" ON {p}"))
+                        .unwrap_or_default()
                 ));
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            PhysicalPlan::HashJoin { left, right, left_keys, right_keys, .. } => {
-                out.push_str(&format!(
-                    "{pad}HashJoin L{left_keys:?} = R{right_keys:?}\n"
-                ));
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                out.push_str(&format!("{pad}HashJoin L{left_keys:?} = R{right_keys:?}\n"));
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
@@ -346,7 +380,11 @@ impl PhysicalPlan {
                 out.push_str(&format!("{pad}Sort {keys:?}\n"));
                 input.explain_into(out, depth + 1);
             }
-            PhysicalPlan::Aggregate { input, group_by, aggs } => {
+            PhysicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
                 out.push_str(&format!(
                     "{pad}Aggregate BY {group_by:?} COMPUTE {}\n",
@@ -354,7 +392,11 @@ impl PhysicalPlan {
                 ));
                 input.explain_into(out, depth + 1);
             }
-            PhysicalPlan::Limit { input, offset, count } => {
+            PhysicalPlan::Limit {
+                input,
+                offset,
+                count,
+            } => {
                 out.push_str(&format!("{pad}Limit offset={offset} count={count:?}\n"));
                 input.explain_into(out, depth + 1);
             }
@@ -387,24 +429,65 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> Option<DataType> {
                 }
             }
         }
-        Expr::Unary { op: crate::expr::UnOp::Not, .. } => Some(DataType::Bool),
-        Expr::Unary { op: crate::expr::UnOp::Neg, expr } => infer_type(expr, schema),
+        Expr::Unary {
+            op: crate::expr::UnOp::Not,
+            ..
+        } => Some(DataType::Bool),
+        Expr::Unary {
+            op: crate::expr::UnOp::Neg,
+            expr,
+        } => infer_type(expr, schema),
         Expr::Like { .. } | Expr::IsNull(_) => Some(DataType::Bool),
     }
 }
 
 /// Execute a physical plan to completion.
+///
+/// Compiles the plan into a [`stream`] operator tree and collects the
+/// blocks, so limit pushdown and scan readahead apply even to callers that
+/// want a fully materialized [`Rows`].
 pub fn execute(db: &mut Database, plan: &PhysicalPlan) -> RelResult<Rows> {
+    let schema = plan.output_schema(db)?;
+    let mut op = stream::build_operator(db, plan, None)?;
+    let mut tuples = Vec::new();
+    while let Some(block) = op.next_block(db)? {
+        tuples.extend(block.tuples);
+    }
+    Ok(Rows { schema, tuples })
+}
+
+/// Execute a physical plan by materializing every operator's full output —
+/// the pre-streaming semantics. Kept as the reference implementation for
+/// equivalence tests and as the comparison baseline for the limit-pushdown
+/// experiment (Table 2b).
+pub fn execute_materializing(db: &mut Database, plan: &PhysicalPlan) -> RelResult<Rows> {
     match plan {
         PhysicalPlan::SeqScan { table, alias, pred } => seq_scan(db, table, alias, pred.as_ref()),
-        PhysicalPlan::IndexScanEq { table, alias, index, key, residual } => {
-            index_scan_eq(db, table, alias, index, key, residual.as_ref())
-        }
-        PhysicalPlan::IndexRange { table, alias, index, lower, upper, residual } => {
-            index_range(db, table, alias, index, lower.as_ref(), upper.as_ref(), residual.as_ref())
-        }
+        PhysicalPlan::IndexScanEq {
+            table,
+            alias,
+            index,
+            key,
+            residual,
+        } => index_scan_eq(db, table, alias, index, key, residual.as_ref()),
+        PhysicalPlan::IndexRange {
+            table,
+            alias,
+            index,
+            lower,
+            upper,
+            residual,
+        } => index_range(
+            db,
+            table,
+            alias,
+            index,
+            lower.as_ref(),
+            upper.as_ref(),
+            residual.as_ref(),
+        ),
         PhysicalPlan::Filter { input, pred } => {
-            let mut rows = execute(db, input)?;
+            let mut rows = execute_materializing(db, input)?;
             let mut err = None;
             rows.tuples.retain(|t| match eval_pred(pred, t) {
                 Ok(keep) => keep,
@@ -418,9 +501,13 @@ pub fn execute(db: &mut Database, plan: &PhysicalPlan) -> RelResult<Rows> {
             }
             Ok(rows)
         }
-        PhysicalPlan::Project { input, exprs, names } => {
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => {
             let schema = plan.output_schema(db)?;
-            let rows = execute(db, input)?;
+            let rows = execute_materializing(db, input)?;
             let mut tuples = Vec::with_capacity(rows.tuples.len());
             for t in &rows.tuples {
                 let mut vals = Vec::with_capacity(exprs.len());
@@ -434,28 +521,42 @@ pub fn execute(db: &mut Database, plan: &PhysicalPlan) -> RelResult<Rows> {
         }
         PhysicalPlan::NestedLoopJoin { left, right, pred } => {
             let schema = plan.output_schema(db)?;
-            let l = execute(db, left)?;
-            let r = execute(db, right)?;
+            let l = execute_materializing(db, left)?;
+            let r = execute_materializing(db, right)?;
             join::nested_loop(db, schema, &l, &r, pred.as_ref())
         }
-        PhysicalPlan::HashJoin { left, right, left_keys, right_keys, residual } => {
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
             let schema = plan.output_schema(db)?;
-            let l = execute(db, left)?;
-            let r = execute(db, right)?;
+            let l = execute_materializing(db, left)?;
+            let r = execute_materializing(db, right)?;
             join::hash_join(db, schema, &l, &r, left_keys, right_keys, residual.as_ref())
         }
         PhysicalPlan::Sort { input, keys } => {
-            let mut rows = execute(db, input)?;
+            let mut rows = execute_materializing(db, input)?;
             sort::sort_rows(&mut rows.tuples, keys);
             Ok(rows)
         }
-        PhysicalPlan::Aggregate { input, group_by, aggs } => {
+        PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let schema = plan.output_schema(db)?;
-            let rows = execute(db, input)?;
+            let rows = execute_materializing(db, input)?;
             aggregate::aggregate(schema, &rows, group_by, aggs)
         }
-        PhysicalPlan::Limit { input, offset, count } => {
-            let mut rows = execute(db, input)?;
+        PhysicalPlan::Limit {
+            input,
+            offset,
+            count,
+        } => {
+            let mut rows = execute_materializing(db, input)?;
             let start = (*offset).min(rows.tuples.len());
             let end = match count {
                 Some(c) => (start + c).min(rows.tuples.len()),
@@ -465,7 +566,7 @@ pub fn execute(db: &mut Database, plan: &PhysicalPlan) -> RelResult<Rows> {
             Ok(rows)
         }
         PhysicalPlan::Distinct { input } => {
-            let mut rows = execute(db, input)?;
+            let mut rows = execute_materializing(db, input)?;
             let mut seen = std::collections::HashSet::new();
             rows.tuples
                 .retain(|t| seen.insert(Value::encode_composite(&t.values)));
@@ -474,15 +575,10 @@ pub fn execute(db: &mut Database, plan: &PhysicalPlan) -> RelResult<Rows> {
     }
 }
 
-fn seq_scan(
-    db: &mut Database,
-    table: &str,
-    alias: &str,
-    pred: Option<&Expr>,
-) -> RelResult<Rows> {
-    let info = db.catalog().table(table)?.clone();
-    let schema = info.schema.qualified(alias);
-    let raw = db.scan_table_raw(info.id)?;
+fn seq_scan(db: &mut Database, table: &str, alias: &str, pred: Option<&Expr>) -> RelResult<Rows> {
+    let info = db.catalog().table(table)?;
+    let (table_id, schema) = (info.id, info.schema.qualified(alias));
+    let raw = db.scan_table_raw(table_id)?;
     let mut tuples = Vec::new();
     for (_, t) in raw {
         let keep = match pred {
@@ -518,10 +614,10 @@ fn index_scan_eq(
     key: &[Value],
     residual: Option<&Expr>,
 ) -> RelResult<Rows> {
-    let info = db.catalog().table(table)?.clone();
-    let schema = info.schema.qualified(alias);
+    let info = db.catalog().table(table)?;
+    let (table_id, schema) = (info.id, info.schema.qualified(alias));
     let rids = db.index_lookup(index, key)?;
-    let mut tuples = fetch_rids(db, info.id, &rids)?;
+    let mut tuples = fetch_rids(db, table_id, &rids)?;
     if let Some(p) = residual {
         let mut err = None;
         tuples.retain(|t| match eval_pred(p, t) {
@@ -538,19 +634,16 @@ fn index_scan_eq(
     Ok(Rows { schema, tuples })
 }
 
-fn index_range(
+/// Collect the rids of a B+tree index range scan in key order (shared by
+/// the materializing and streaming range-scan operators).
+pub(crate) fn range_rids(
     db: &mut Database,
-    table: &str,
-    alias: &str,
     index: &str,
     lower: Option<&KeyBound>,
     upper: Option<&KeyBound>,
-    residual: Option<&Expr>,
-) -> RelResult<Rows> {
-    let info = db.catalog().table(table)?.clone();
-    let schema = info.schema.qualified(alias);
-    let idx = db.catalog().index(index)?.clone();
-    if idx.kind != IndexKind::BTree {
+) -> RelResult<Vec<wow_storage::Rid>> {
+    let kind = db.catalog().index(index)?.kind;
+    if kind != IndexKind::BTree {
         return Err(RelError::Unsupported(
             "range scan requires a B+tree index".into(),
         ));
@@ -561,34 +654,47 @@ fn index_range(
     let upper_incl = upper.map(|b| b.inclusive).unwrap_or(true);
     db.counters.index_probes += 1;
     let mut rids = Vec::new();
-    {
-        let IndexHandle::BTree(tree) = db.indexes.get(index).expect("handle exists") else {
-            unreachable!("kind checked above");
-        };
-        let lb: Bound<&[u8]> = match &lower_key {
-            Some(k) => Bound::Included(k.as_slice()),
-            None => Bound::Unbounded,
-        };
-        tree.range_scan(&mut db.pool, lb, Bound::Unbounded, |ek, rid| {
-            if let Some(lk) = &lower_key {
-                if !lower_incl && ek.starts_with(lk) {
-                    return true; // skip the excluded lower key, keep going
-                }
+    let IndexHandle::BTree(tree) = db.indexes.get(index).expect("handle exists") else {
+        unreachable!("kind checked above");
+    };
+    let lb: Bound<&[u8]> = match &lower_key {
+        Some(k) => Bound::Included(k.as_slice()),
+        None => Bound::Unbounded,
+    };
+    tree.range_scan(&mut db.pool, lb, Bound::Unbounded, |ek, rid| {
+        if let Some(lk) = &lower_key {
+            if !lower_incl && ek.starts_with(lk) {
+                return true; // skip the excluded lower key, keep going
             }
-            if let Some(uk) = &upper_key {
-                let is_prefix = ek.starts_with(uk.as_slice());
-                if is_prefix && !upper_incl {
-                    return false;
-                }
-                if !is_prefix && ek > uk.as_slice() {
-                    return false;
-                }
+        }
+        if let Some(uk) = &upper_key {
+            let is_prefix = ek.starts_with(uk.as_slice());
+            if is_prefix && !upper_incl {
+                return false;
             }
-            rids.push(rid);
-            true
-        })?;
-    }
-    let mut tuples = fetch_rids(db, info.id, &rids)?;
+            if !is_prefix && ek > uk.as_slice() {
+                return false;
+            }
+        }
+        rids.push(rid);
+        true
+    })?;
+    Ok(rids)
+}
+
+fn index_range(
+    db: &mut Database,
+    table: &str,
+    alias: &str,
+    index: &str,
+    lower: Option<&KeyBound>,
+    upper: Option<&KeyBound>,
+    residual: Option<&Expr>,
+) -> RelResult<Rows> {
+    let info = db.catalog().table(table)?;
+    let (table_id, schema) = (info.id, info.schema.qualified(alias));
+    let rids = range_rids(db, index, lower, upper)?;
+    let mut tuples = fetch_rids(db, table_id, &rids)?;
     if let Some(p) = residual {
         let mut err = None;
         tuples.retain(|t| match eval_pred(p, t) {
@@ -680,7 +786,11 @@ mod tests {
         };
         let rows = execute(&mut db, &plan).unwrap();
         assert_eq!(rows.len(), 2);
-        let names: Vec<String> = rows.tuples.iter().map(|t| t.values[0].to_string()).collect();
+        let names: Vec<String> = rows
+            .tuples
+            .iter()
+            .map(|t| t.values[0].to_string())
+            .collect();
         assert!(names.contains(&"bob".to_string()));
         assert!(names.contains(&"erin".to_string()));
     }
@@ -688,20 +798,21 @@ mod tests {
     #[test]
     fn index_range_bounds() {
         let mut db = db_with_data();
-        let mk = |lower: Option<(i64, bool)>, upper: Option<(i64, bool)>| PhysicalPlan::IndexRange {
-            table: "emp".into(),
-            alias: "e".into(),
-            index: "emp_salary".into(),
-            lower: lower.map(|(v, inclusive)| KeyBound {
-                values: vec![Value::Int(v)],
-                inclusive,
-            }),
-            upper: upper.map(|(v, inclusive)| KeyBound {
-                values: vec![Value::Int(v)],
-                inclusive,
-            }),
-            residual: None,
-        };
+        let mk =
+            |lower: Option<(i64, bool)>, upper: Option<(i64, bool)>| PhysicalPlan::IndexRange {
+                table: "emp".into(),
+                alias: "e".into(),
+                index: "emp_salary".into(),
+                lower: lower.map(|(v, inclusive)| KeyBound {
+                    values: vec![Value::Int(v)],
+                    inclusive,
+                }),
+                upper: upper.map(|(v, inclusive)| KeyBound {
+                    values: vec![Value::Int(v)],
+                    inclusive,
+                }),
+                residual: None,
+            };
         // salary >= 110 → alice(120), carol(150), erin(110)
         let rows = execute(&mut db, &mk(Some((110, true)), None)).unwrap();
         assert_eq!(rows.len(), 3);

@@ -50,7 +50,10 @@ mod tests {
         let mut rows = vec![t(1, "b"), t(2, "a"), t(1, "a"), t(2, "b")];
         sort_rows(&mut rows, &[(0, false), (1, true)]);
         let got: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
-        assert_eq!(got, vec!["(2, \"a\")", "(2, \"b\")", "(1, \"a\")", "(1, \"b\")"]);
+        assert_eq!(
+            got,
+            vec!["(2, \"a\")", "(2, \"b\")", "(1, \"a\")", "(1, \"b\")"]
+        );
     }
 
     #[test]

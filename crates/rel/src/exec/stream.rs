@@ -1,0 +1,708 @@
+//! Pull-based streaming execution over batched tuple blocks.
+//!
+//! A [`PhysicalPlan`] is compiled by [`build_operator`] into a tree of
+//! [`Operator`]s, each of which yields [`TupleBlock`]s of up to
+//! [`BLOCK_CAP`] tuples on demand. Scans, filter, project, limit, and the
+//! join probe sides are fully streaming; sort, aggregate, and the join
+//! build sides are pipeline breakers that drain their input on first pull.
+//!
+//! The payoff is limit pushdown for free: a `Limit` that has emitted its
+//! quota simply stops pulling, so a `Limit 16` over a 100k-row relation
+//! reads a page or two instead of materializing the table. `build_operator`
+//! additionally threads an explicit *stop hint* (the maximum number of rows
+//! an ancestor will ever consume) down through cardinality-preserving
+//! operators, which lets sequential scans stop mid-block and lets a sort
+//! below a limit truncate its output.
+//!
+//! Operators never hold a borrow of the database between pulls: every
+//! [`Operator::next_block`] call is handed `&mut Database` afresh, so the
+//! tree can be built once and driven incrementally (the browse cursors in
+//! `wow-core` rely on this to page join views without materializing them).
+
+use super::{aggregate, range_rids, sort, PhysicalPlan, Rows};
+use crate::catalog::TableId;
+use crate::db::Database;
+use crate::error::RelResult;
+use crate::eval::{eval, eval_pred};
+use crate::expr::Expr;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use wow_storage::Rid;
+
+/// Target number of tuples per [`TupleBlock`]. Operators may emit smaller
+/// blocks (page boundaries, filters) and joins may overshoot by one match
+/// list; consumers must not rely on exact sizing.
+pub const BLOCK_CAP: usize = 1024;
+
+/// A batch of tuples flowing between streaming operators.
+#[derive(Debug, Clone, Default)]
+pub struct TupleBlock {
+    /// The tuples, in operator output order.
+    pub tuples: Vec<Tuple>,
+}
+
+impl TupleBlock {
+    fn new() -> TupleBlock {
+        TupleBlock { tuples: Vec::new() }
+    }
+
+    /// Number of tuples in the block.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the block holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// A streaming operator: a pull source of [`TupleBlock`]s.
+pub trait Operator {
+    /// Produce the next block, or `None` when the stream is exhausted.
+    /// After `None` the operator stays exhausted.
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>>;
+}
+
+/// Compile a physical plan into a streaming operator tree.
+///
+/// `stop_hint`, when set, promises that no consumer will ever pull more
+/// than that many tuples in total; operators use it to stop early (scans)
+/// or shed work (sort truncation). It is threaded down only through
+/// cardinality-preserving edges, so passing `None` is always correct.
+pub fn build_operator(
+    db: &mut Database,
+    plan: &PhysicalPlan,
+    stop_hint: Option<usize>,
+) -> RelResult<Box<dyn Operator>> {
+    match plan {
+        PhysicalPlan::SeqScan {
+            table,
+            alias: _,
+            pred,
+        } => {
+            let table_id = db.catalog().table(table)?.id;
+            // A predicate drops rows unpredictably, so the hint only bounds
+            // the scan when the scan emits every row it reads.
+            let remaining = if pred.is_none() { stop_hint } else { None };
+            Ok(Box::new(SeqScanStream {
+                table_id,
+                pred: pred.clone(),
+                page_idx: 0,
+                exhausted: false,
+                remaining,
+            }))
+        }
+        PhysicalPlan::IndexScanEq {
+            table,
+            alias: _,
+            index,
+            key,
+            residual,
+        } => {
+            let table_id = db.catalog().table(table)?.id;
+            let mut rids = db.index_lookup(index, key)?;
+            if residual.is_none() {
+                if let Some(h) = stop_hint {
+                    rids.truncate(h);
+                }
+            }
+            Ok(Box::new(RidFetchStream {
+                table_id,
+                rids,
+                pos: 0,
+                residual: residual.clone(),
+            }))
+        }
+        PhysicalPlan::IndexRange {
+            table,
+            alias: _,
+            index,
+            lower,
+            upper,
+            residual,
+        } => {
+            let table_id = db.catalog().table(table)?.id;
+            let mut rids = range_rids(db, index, lower.as_ref(), upper.as_ref())?;
+            if residual.is_none() {
+                if let Some(h) = stop_hint {
+                    rids.truncate(h);
+                }
+            }
+            Ok(Box::new(RidFetchStream {
+                table_id,
+                rids,
+                pos: 0,
+                residual: residual.clone(),
+            }))
+        }
+        PhysicalPlan::Filter { input, pred } => {
+            let input = build_operator(db, input, None)?;
+            Ok(Box::new(FilterStream {
+                input,
+                pred: pred.clone(),
+            }))
+        }
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            names: _,
+        } => {
+            // Projection is 1:1, so the hint survives.
+            let input = build_operator(db, input, stop_hint)?;
+            Ok(Box::new(ProjectStream {
+                input,
+                exprs: exprs.clone(),
+            }))
+        }
+        PhysicalPlan::Limit {
+            input,
+            offset,
+            count,
+        } => {
+            let quota = match (stop_hint, count) {
+                (Some(h), Some(c)) => Some(h.min(*c)),
+                (Some(h), None) => Some(h),
+                (None, Some(c)) => Some(*c),
+                (None, None) => None,
+            };
+            let input = build_operator(db, input, quota.map(|q| offset + q))?;
+            Ok(Box::new(LimitStream {
+                input,
+                to_skip: *offset,
+                remaining: quota,
+            }))
+        }
+        PhysicalPlan::Distinct { input } => {
+            let input = build_operator(db, input, None)?;
+            Ok(Box::new(DistinctStream {
+                input,
+                seen: HashSet::new(),
+            }))
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let input = build_operator(db, input, None)?;
+            Ok(Box::new(SortStream {
+                input,
+                keys: keys.clone(),
+                truncate: stop_hint,
+                buf: Vec::new(),
+                pos: 0,
+                built: false,
+            }))
+        }
+        PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let out_schema = plan.output_schema(db)?;
+            let in_schema = input.output_schema(db)?;
+            let input = build_operator(db, input, None)?;
+            Ok(Box::new(AggregateStream {
+                input,
+                in_schema,
+                out_schema,
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+                buf: Vec::new(),
+                pos: 0,
+                built: false,
+            }))
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, pred } => {
+            let left = build_operator(db, left, None)?;
+            let right = build_operator(db, right, None)?;
+            Ok(Box::new(NestedLoopJoinStream {
+                left,
+                right: Some(right),
+                right_rows: Vec::new(),
+                pred: pred.clone(),
+                cur: Vec::new(),
+                li: 0,
+                ri: 0,
+                exhausted: false,
+            }))
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let left = build_operator(db, left, None)?;
+            let right = build_operator(db, right, None)?;
+            Ok(Box::new(HashJoinStream {
+                left,
+                right: Some(right),
+                table: HashMap::new(),
+                right_rows: Vec::new(),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                residual: residual.clone(),
+                cur: Vec::new(),
+                next_li: 0,
+                cur_probe: None,
+                cur_matches: Vec::new(),
+                mi: 0,
+                exhausted: false,
+            }))
+        }
+    }
+}
+
+/// Drain an operator into a plain tuple vector (pipeline-breaker helper).
+fn drain(op: &mut dyn Operator, db: &mut Database) -> RelResult<Vec<Tuple>> {
+    let mut out = Vec::new();
+    while let Some(block) = op.next_block(db)? {
+        out.extend(block.tuples);
+    }
+    Ok(out)
+}
+
+/// Sequential heap scan, one page chain walk with buffer-pool readahead.
+struct SeqScanStream {
+    table_id: TableId,
+    pred: Option<Expr>,
+    page_idx: usize,
+    exhausted: bool,
+    /// Pushed-down limit: stop reading pages once this many tuples have
+    /// been emitted (only set when there is no predicate).
+    remaining: Option<usize>,
+}
+
+impl Operator for SeqScanStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        if self.exhausted || self.remaining == Some(0) {
+            return Ok(None);
+        }
+        let mut block = TupleBlock::new();
+        let target = match self.remaining {
+            Some(r) => r.min(BLOCK_CAP),
+            None => BLOCK_CAP,
+        };
+        while block.len() < target {
+            match db.scan_table_page(self.table_id, self.page_idx)? {
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+                Some(rows) => {
+                    self.page_idx += 1;
+                    for (_, t) in rows {
+                        let keep = match &self.pred {
+                            Some(p) => eval_pred(p, &t)?,
+                            None => true,
+                        };
+                        if keep {
+                            block.tuples.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(r) = &mut self.remaining {
+            *r = r.saturating_sub(block.len());
+        }
+        if block.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(block))
+    }
+}
+
+/// Blockwise fetch of a precomputed rid list (index scans).
+struct RidFetchStream {
+    table_id: TableId,
+    rids: Vec<Rid>,
+    pos: usize,
+    residual: Option<Expr>,
+}
+
+impl Operator for RidFetchStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        while self.pos < self.rids.len() {
+            let mut block = TupleBlock::new();
+            let end = (self.pos + BLOCK_CAP).min(self.rids.len());
+            for &rid in &self.rids[self.pos..end] {
+                let Some(t) = db.get_row(self.table_id, rid)? else {
+                    continue;
+                };
+                let keep = match &self.residual {
+                    Some(p) => eval_pred(p, &t)?,
+                    None => true,
+                };
+                if keep {
+                    block.tuples.push(t);
+                }
+            }
+            self.pos = end;
+            if !block.is_empty() {
+                return Ok(Some(block));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct FilterStream {
+    input: Box<dyn Operator>,
+    pred: Expr,
+}
+
+impl Operator for FilterStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        while let Some(mut block) = self.input.next_block(db)? {
+            let mut err = None;
+            block.tuples.retain(|t| match eval_pred(&self.pred, t) {
+                Ok(keep) => keep,
+                Err(e) => {
+                    err = Some(e);
+                    false
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            if !block.is_empty() {
+                return Ok(Some(block));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct ProjectStream {
+    input: Box<dyn Operator>,
+    exprs: Vec<Expr>,
+}
+
+impl Operator for ProjectStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        let Some(block) = self.input.next_block(db)? else {
+            return Ok(None);
+        };
+        let mut out = TupleBlock::new();
+        out.tuples.reserve(block.len());
+        for t in &block.tuples {
+            let mut vals = Vec::with_capacity(self.exprs.len());
+            for e in &self.exprs {
+                vals.push(eval(e, t)?);
+            }
+            out.tuples.push(Tuple::new(vals));
+        }
+        Ok(Some(out))
+    }
+}
+
+/// Offset/limit: the streaming heart of limit pushdown. Once the quota is
+/// spent this operator never pulls its input again, which transitively
+/// stops every streaming ancestor below it.
+struct LimitStream {
+    input: Box<dyn Operator>,
+    to_skip: usize,
+    remaining: Option<usize>,
+}
+
+impl Operator for LimitStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        if self.remaining == Some(0) {
+            return Ok(None);
+        }
+        while let Some(mut block) = self.input.next_block(db)? {
+            if self.to_skip > 0 {
+                let n = self.to_skip.min(block.len());
+                block.tuples.drain(..n);
+                self.to_skip -= n;
+            }
+            if let Some(rem) = &mut self.remaining {
+                if block.len() > *rem {
+                    block.tuples.truncate(*rem);
+                }
+                *rem -= block.len();
+            }
+            if !block.is_empty() {
+                return Ok(Some(block));
+            }
+            if self.remaining == Some(0) {
+                return Ok(None);
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct DistinctStream {
+    input: Box<dyn Operator>,
+    seen: HashSet<Vec<u8>>,
+}
+
+impl Operator for DistinctStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        while let Some(mut block) = self.input.next_block(db)? {
+            block
+                .tuples
+                .retain(|t| self.seen.insert(Value::encode_composite(&t.values)));
+            if !block.is_empty() {
+                return Ok(Some(block));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Pipeline breaker: drains its input on first pull, sorts, then emits
+/// blocks. A stop hint from an ancestor limit truncates the sorted buffer
+/// (top-k) before emission.
+struct SortStream {
+    input: Box<dyn Operator>,
+    keys: Vec<(usize, bool)>,
+    truncate: Option<usize>,
+    buf: Vec<Tuple>,
+    pos: usize,
+    built: bool,
+}
+
+impl Operator for SortStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        if !self.built {
+            self.buf = drain(self.input.as_mut(), db)?;
+            sort::sort_rows(&mut self.buf, &self.keys);
+            if let Some(k) = self.truncate {
+                self.buf.truncate(k);
+            }
+            self.built = true;
+        }
+        emit_buffered(&mut self.buf, &mut self.pos)
+    }
+}
+
+/// Pipeline breaker: drains its input, groups and aggregates, then emits.
+struct AggregateStream {
+    input: Box<dyn Operator>,
+    in_schema: crate::schema::Schema,
+    out_schema: crate::schema::Schema,
+    group_by: Vec<usize>,
+    aggs: Vec<aggregate::AggSpec>,
+    buf: Vec<Tuple>,
+    pos: usize,
+    built: bool,
+}
+
+impl Operator for AggregateStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        if !self.built {
+            let tuples = drain(self.input.as_mut(), db)?;
+            let rows = Rows {
+                schema: self.in_schema.clone(),
+                tuples,
+            };
+            let out =
+                aggregate::aggregate(self.out_schema.clone(), &rows, &self.group_by, &self.aggs)?;
+            self.buf = out.tuples;
+            self.built = true;
+        }
+        emit_buffered(&mut self.buf, &mut self.pos)
+    }
+}
+
+/// Emit the next [`BLOCK_CAP`]-sized slice of a materialized buffer.
+fn emit_buffered(buf: &mut [Tuple], pos: &mut usize) -> RelResult<Option<TupleBlock>> {
+    if *pos >= buf.len() {
+        return Ok(None);
+    }
+    let end = (*pos + BLOCK_CAP).min(buf.len());
+    let tuples = buf[*pos..end].to_vec();
+    *pos = end;
+    Ok(Some(TupleBlock { tuples }))
+}
+
+/// Nested-loop join: materializes the right (inner) side on first pull and
+/// streams the left side, keeping a `(left tuple, right index)` cursor so
+/// blocks stay near [`BLOCK_CAP`] even for wide cross products.
+struct NestedLoopJoinStream {
+    left: Box<dyn Operator>,
+    right: Option<Box<dyn Operator>>,
+    right_rows: Vec<Tuple>,
+    pred: Option<Expr>,
+    cur: Vec<Tuple>,
+    li: usize,
+    ri: usize,
+    exhausted: bool,
+}
+
+impl Operator for NestedLoopJoinStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        if let Some(mut right) = self.right.take() {
+            self.right_rows = drain(right.as_mut(), db)?;
+            if self.right_rows.is_empty() {
+                self.exhausted = true;
+            }
+        }
+        if self.exhausted {
+            return Ok(None);
+        }
+        let mut block = TupleBlock::new();
+        loop {
+            if self.li >= self.cur.len() {
+                match self.left.next_block(db)? {
+                    None => {
+                        self.exhausted = true;
+                        break;
+                    }
+                    Some(b) => {
+                        self.cur = b.tuples;
+                        self.li = 0;
+                        self.ri = 0;
+                    }
+                }
+            }
+            while self.li < self.cur.len() && block.len() < BLOCK_CAP {
+                let joined = self.cur[self.li].concat(&self.right_rows[self.ri]);
+                let keep = match &self.pred {
+                    Some(p) => eval_pred(p, &joined)?,
+                    None => true,
+                };
+                if keep {
+                    block.tuples.push(joined);
+                }
+                self.ri += 1;
+                if self.ri == self.right_rows.len() {
+                    self.ri = 0;
+                    self.li += 1;
+                }
+            }
+            if block.len() >= BLOCK_CAP {
+                break;
+            }
+        }
+        db.counters.join_rows += block.len() as u64;
+        if block.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(block))
+    }
+}
+
+/// Hash equi-join: builds the hash table over the right side on first pull,
+/// then streams and probes the left side in order. NULL keys never join.
+struct HashJoinStream {
+    left: Box<dyn Operator>,
+    right: Option<Box<dyn Operator>>,
+    table: HashMap<Vec<u8>, Vec<usize>>,
+    right_rows: Vec<Tuple>,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    residual: Option<Expr>,
+    cur: Vec<Tuple>,
+    /// Next unprobed index in `cur`.
+    next_li: usize,
+    /// The probe tuple whose match list is mid-emission.
+    cur_probe: Option<Tuple>,
+    /// Match list of `cur_probe` (build-side indices).
+    cur_matches: Vec<usize>,
+    mi: usize,
+    exhausted: bool,
+}
+
+impl HashJoinStream {
+    fn build(&mut self, db: &mut Database) -> RelResult<()> {
+        let Some(mut right) = self.right.take() else {
+            return Ok(());
+        };
+        self.right_rows = drain(right.as_mut(), db)?;
+        'build: for (i, r) in self.right_rows.iter().enumerate() {
+            let mut key_vals = Vec::with_capacity(self.right_keys.len());
+            for &k in &self.right_keys {
+                let v = &r.values[k];
+                if v.is_null() {
+                    continue 'build;
+                }
+                key_vals.push(v.clone());
+            }
+            self.table
+                .entry(Value::encode_composite(&key_vals))
+                .or_default()
+                .push(i);
+        }
+        if self.table.is_empty() {
+            self.exhausted = true;
+        }
+        Ok(())
+    }
+
+    /// Advance to the next probe tuple with matches, refilling `cur` from
+    /// the left input as needed. Returns `false` at end of stream.
+    fn advance_probe(&mut self, db: &mut Database) -> RelResult<bool> {
+        'next_left: loop {
+            if self.next_li >= self.cur.len() {
+                match self.left.next_block(db)? {
+                    None => {
+                        self.exhausted = true;
+                        return Ok(false);
+                    }
+                    Some(b) => {
+                        self.cur = b.tuples;
+                        self.next_li = 0;
+                        continue 'next_left;
+                    }
+                }
+            }
+            let l = &self.cur[self.next_li];
+            self.next_li += 1;
+            let mut key_vals = Vec::with_capacity(self.left_keys.len());
+            for &k in &self.left_keys {
+                let v = &l.values[k];
+                if v.is_null() {
+                    continue 'next_left;
+                }
+                key_vals.push(v.clone());
+            }
+            let key = Value::encode_composite(&key_vals);
+            if let Some(matches) = self.table.get(&key) {
+                self.cur_matches = matches.clone();
+                self.mi = 0;
+                self.cur_probe = Some(l.clone());
+                return Ok(true);
+            }
+        }
+    }
+}
+
+impl Operator for HashJoinStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        self.build(db)?;
+        if self.exhausted && self.mi >= self.cur_matches.len() {
+            return Ok(None);
+        }
+        let mut block = TupleBlock::new();
+        loop {
+            if self.mi >= self.cur_matches.len() && !self.advance_probe(db)? {
+                break;
+            }
+            let probe = self.cur_probe.as_ref().expect("probe set with matches");
+            while self.mi < self.cur_matches.len() && block.len() < BLOCK_CAP {
+                let ri = self.cur_matches[self.mi];
+                let joined = probe.concat(&self.right_rows[ri]);
+                let keep = match &self.residual {
+                    Some(p) => eval_pred(p, &joined)?,
+                    None => true,
+                };
+                if keep {
+                    block.tuples.push(joined);
+                }
+                self.mi += 1;
+            }
+            if block.len() >= BLOCK_CAP {
+                break;
+            }
+        }
+        db.counters.join_rows += block.len() as u64;
+        if block.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(block))
+    }
+}

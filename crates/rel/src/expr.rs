@@ -296,8 +296,14 @@ impl fmt::Display for Expr {
             Expr::Binary { op, left, right } => {
                 write!(f, "({left} {} {right})", op.token())
             }
-            Expr::Unary { op: UnOp::Not, expr } => write!(f, "(NOT {expr})"),
-            Expr::Unary { op: UnOp::Neg, expr } => write!(f, "(-{expr})"),
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => write!(f, "(NOT {expr})"),
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => write!(f, "(-{expr})"),
             Expr::Like { expr, pattern } => write!(f, "({expr} LIKE \"{pattern}\")"),
             Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
         }
@@ -360,7 +366,9 @@ mod tests {
 
     #[test]
     fn resolve_rewrites_names() {
-        let e = Expr::col_eq("e.salary", Value::Int(10)).resolve(&schema()).unwrap();
+        let e = Expr::col_eq("e.salary", Value::Int(10))
+            .resolve(&schema())
+            .unwrap();
         match e {
             Expr::Binary { left, .. } => assert_eq!(*left, Expr::Column(1)),
             _ => panic!(),
@@ -369,7 +377,9 @@ mod tests {
 
     #[test]
     fn resolve_unknown_column_errors() {
-        assert!(Expr::col_eq("e.bogus", Value::Int(1)).resolve(&schema()).is_err());
+        assert!(Expr::col_eq("e.bogus", Value::Int(1))
+            .resolve(&schema())
+            .is_err());
     }
 
     #[test]
@@ -389,10 +399,7 @@ mod tests {
 
     #[test]
     fn conjunction_of_empty_is_true() {
-        assert_eq!(
-            Expr::conjunction(vec![]),
-            Expr::Literal(Value::Bool(true))
-        );
+        assert_eq!(Expr::conjunction(vec![]), Expr::Literal(Value::Bool(true)));
     }
 
     #[test]

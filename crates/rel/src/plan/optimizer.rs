@@ -23,7 +23,7 @@ use crate::exec::{AggSpec, KeyBound, PhysicalPlan};
 use crate::expr::{BinOp, Expr};
 use crate::quel::ast::Target;
 use crate::schema::Schema;
-use crate::stats::{DEFAULT_RANGE_SELECTIVITY, TableStats};
+use crate::stats::{TableStats, DEFAULT_RANGE_SELECTIVITY};
 use crate::value::Value;
 
 /// Range selectivity above which a sequential scan beats an index range
@@ -45,12 +45,10 @@ pub fn optimize(db: &Database, block: &QueryBlock) -> RelResult<PhysicalPlan> {
                 // residual filter over the joined row.
                 residual.push(conj.clone());
             }
-            1 => {
-                match block.scans.iter().position(|s| s.alias == vars[0]) {
-                    Some(i) => local[i].push(conj.clone()),
-                    None => residual.push(conj.clone()),
-                }
-            }
+            1 => match block.scans.iter().position(|s| s.alias == vars[0]) {
+                Some(i) => local[i].push(conj.clone()),
+                None => residual.push(conj.clone()),
+            },
             2 => {
                 if let Some(edge) = as_join_edge(conj, block) {
                     edges.push(edge);
@@ -116,7 +114,9 @@ pub fn optimize(db: &Database, block: &QueryBlock) -> RelResult<PhysicalPlan> {
         // A conjunct that still doesn't resolve references an unknown name.
         let mut names = Vec::new();
         leftover.column_names(&mut names);
-        return Err(RelError::NoSuchColumn(names.first().cloned().unwrap_or_default()));
+        return Err(RelError::NoSuchColumn(
+            names.first().cloned().unwrap_or_default(),
+        ));
     }
 
     let joined_schema = current.schema.clone();
@@ -147,7 +147,9 @@ pub fn optimize(db: &Database, block: &QueryBlock) -> RelResult<PhysicalPlan> {
                 aggs.push(AggSpec {
                     func: *func,
                     input,
-                    name: name.clone().unwrap_or_else(|| func.keyword().to_lowercase()),
+                    name: name
+                        .clone()
+                        .unwrap_or_else(|| func.keyword().to_lowercase()),
                 });
             }
         }
@@ -191,8 +193,9 @@ pub fn optimize(db: &Database, block: &QueryBlock) -> RelResult<PhysicalPlan> {
                     names.push(name.clone().unwrap_or(rn));
                 }
                 Target::Agg { name, func, .. } => {
-                    let out_name =
-                        name.clone().unwrap_or_else(|| func.keyword().to_lowercase());
+                    let out_name = name
+                        .clone()
+                        .unwrap_or_else(|| func.keyword().to_lowercase());
                     exprs.push(Expr::ColumnRef(out_name.clone()).resolve(&agg_out)?);
                     names.push(out_name);
                 }
@@ -204,7 +207,9 @@ pub fn optimize(db: &Database, block: &QueryBlock) -> RelResult<PhysicalPlan> {
             names,
         };
         if block.unique {
-            plan = PhysicalPlan::Distinct { input: Box::new(plan) };
+            plan = PhysicalPlan::Distinct {
+                input: Box::new(plan),
+            };
         }
         out_schema = plan.output_schema(db)?;
     } else {
@@ -223,10 +228,7 @@ pub fn optimize(db: &Database, block: &QueryBlock) -> RelResult<PhysicalPlan> {
             && block
                 .sort_by
                 .iter()
-                .any(|k| {
-                    joined_schema.index_of(&k.column).is_some()
-                        && !names.contains(&k.column)
-                });
+                .any(|k| joined_schema.index_of(&k.column).is_some() && !names.contains(&k.column));
         if sort_in_input {
             let keys = resolve_sort_keys(&block.sort_by, &joined_schema)?;
             plan = PhysicalPlan::Sort {
@@ -242,7 +244,9 @@ pub fn optimize(db: &Database, block: &QueryBlock) -> RelResult<PhysicalPlan> {
         if block.unique {
             // Distinct preserves first-occurrence order, so it composes with
             // a sort on either side of the projection.
-            plan = PhysicalPlan::Distinct { input: Box::new(plan) };
+            plan = PhysicalPlan::Distinct {
+                input: Box::new(plan),
+            };
         }
         out_schema = plan.output_schema(db)?;
         if sort_in_input {
@@ -266,12 +270,66 @@ pub fn optimize(db: &Database, block: &QueryBlock) -> RelResult<PhysicalPlan> {
 
 fn apply_limit(plan: PhysicalPlan, block: &QueryBlock) -> PhysicalPlan {
     match block.limit {
-        Some((offset, count)) => PhysicalPlan::Limit {
+        Some((offset, count)) => push_limit_down(PhysicalPlan::Limit {
             input: Box::new(plan),
             offset,
             count: Some(count),
-        },
+        }),
         None => plan,
+    }
+}
+
+/// Push a `Limit` below cardinality-preserving operators (projection and
+/// nested limits), so the streaming executor's stop hint starts as deep as
+/// possible and the materializing path never computes projected expressions
+/// for rows the limit would drop anyway.
+pub fn push_limit_down(plan: PhysicalPlan) -> PhysicalPlan {
+    let PhysicalPlan::Limit {
+        input,
+        offset,
+        count,
+    } = plan
+    else {
+        return plan;
+    };
+    match *input {
+        // Projection is 1:1: Limit ∘ Project ≡ Project ∘ Limit.
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => PhysicalPlan::Project {
+            input: Box::new(push_limit_down(PhysicalPlan::Limit {
+                input,
+                offset,
+                count,
+            })),
+            exprs,
+            names,
+        },
+        // Adjacent limits compose: skip both offsets, keep the tighter count.
+        PhysicalPlan::Limit {
+            input,
+            offset: inner_off,
+            count: inner_cnt,
+        } => {
+            let count = match (count, inner_cnt) {
+                (Some(c), Some(ic)) => Some(c.min(ic.saturating_sub(offset))),
+                (Some(c), None) => Some(c),
+                (None, Some(ic)) => Some(ic.saturating_sub(offset)),
+                (None, None) => None,
+            };
+            push_limit_down(PhysicalPlan::Limit {
+                input,
+                offset: offset + inner_off,
+                count,
+            })
+        }
+        other => PhysicalPlan::Limit {
+            input: Box::new(other),
+            offset,
+            count,
+        },
     }
 }
 
@@ -294,7 +352,12 @@ struct JoinEdge {
 }
 
 fn as_join_edge(conj: &Expr, block: &QueryBlock) -> Option<JoinEdge> {
-    let Expr::Binary { op: BinOp::Eq, left, right } = conj else {
+    let Expr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = conj
+    else {
         return None;
     };
     let (Expr::ColumnRef(l), Expr::ColumnRef(r)) = (left.as_ref(), right.as_ref()) else {
@@ -369,11 +432,15 @@ fn build_access_path(
     // Index every conjunct; find equality and range candidates.
     let mut eq_pick: Option<(usize, usize, String, Value)> = None; // (conj idx, col, index name, value)
     for (ci, conj) in conjuncts.iter().enumerate() {
-        let Some(cc) = as_col_const(conj) else { continue };
+        let Some(cc) = as_col_const(conj) else {
+            continue;
+        };
         if cc.op != BinOp::Eq {
             continue;
         }
-        let Some(col) = schema.index_of(&cc.col_name) else { continue };
+        let Some(col) = schema.index_of(&cc.col_name) else {
+            continue;
+        };
         if let Some(idx) = db
             .catalog()
             .index_on_column(info.id, col, Some(IndexKind::Hash))
@@ -418,7 +485,9 @@ fn build_access_path(
         let mut upper: Option<KeyBound> = None;
         let mut used: Vec<usize> = Vec::new();
         for (ci, conj) in conjuncts.iter().enumerate() {
-            let Some(cc) = as_col_const(conj) else { continue };
+            let Some(cc) = as_col_const(conj) else {
+                continue;
+            };
             if schema.index_of(&cc.col_name) != Some(col) {
                 continue;
             }
@@ -578,15 +647,14 @@ fn join_parts(
     let mut right_keys = Vec::new();
     let mut consumed = Vec::new();
     for (i, e) in edges.iter().enumerate() {
-        let (l_ref, r_ref) = if left.aliases.contains(&e.left_var)
-            && right.aliases.contains(&e.right_var)
-        {
-            (&e.left_col, &e.right_col)
-        } else if left.aliases.contains(&e.right_var) && right.aliases.contains(&e.left_var) {
-            (&e.right_col, &e.left_col)
-        } else {
-            continue;
-        };
+        let (l_ref, r_ref) =
+            if left.aliases.contains(&e.left_var) && right.aliases.contains(&e.right_var) {
+                (&e.left_col, &e.right_col)
+            } else if left.aliases.contains(&e.right_var) && right.aliases.contains(&e.left_var) {
+                (&e.right_col, &e.left_col)
+            } else {
+                continue;
+            };
         let li = left.schema.resolve(l_ref)?;
         let ri = right.schema.resolve(r_ref)?;
         left_keys.push(li);
@@ -652,4 +720,78 @@ fn apply_ready_residuals(
         };
     }
     Ok(part)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan() -> PhysicalPlan {
+        PhysicalPlan::SeqScan {
+            table: "t".into(),
+            alias: "t".into(),
+            pred: None,
+        }
+    }
+
+    #[test]
+    fn limit_pushes_below_project() {
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Project {
+                input: Box::new(scan()),
+                exprs: vec![Expr::Column(0)],
+                names: vec!["a".into()],
+            }),
+            offset: 2,
+            count: Some(5),
+        };
+        let pushed = push_limit_down(plan);
+        let PhysicalPlan::Project { input, .. } = pushed else {
+            panic!("expected Project on top, got {pushed:?}");
+        };
+        assert_eq!(
+            *input,
+            PhysicalPlan::Limit {
+                input: Box::new(scan()),
+                offset: 2,
+                count: Some(5),
+            }
+        );
+    }
+
+    #[test]
+    fn limit_does_not_push_below_sort() {
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(scan()),
+                keys: vec![(0, true)],
+            }),
+            offset: 0,
+            count: Some(3),
+        };
+        assert_eq!(push_limit_down(plan.clone()), plan);
+    }
+
+    #[test]
+    fn adjacent_limits_compose() {
+        // inner keeps rows [1, 1+10), outer takes [3, 3+4) of those
+        // → rows [4, 8) of the scan: offset 4, count min(4, 10-3) = 4.
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Limit {
+                input: Box::new(scan()),
+                offset: 1,
+                count: Some(10),
+            }),
+            offset: 3,
+            count: Some(4),
+        };
+        assert_eq!(
+            push_limit_down(plan),
+            PhysicalPlan::Limit {
+                input: Box::new(scan()),
+                offset: 4,
+                count: Some(4),
+            }
+        );
+    }
 }

@@ -48,7 +48,7 @@ pub fn build_query_block(db: &Database, stmt: &RetrieveStmt) -> RelResult<QueryB
     // play; if no qualified reference appeared at all, fall back to every
     // declared range — matching QUEL's "tuple variables in scope" reading.
     if used.is_empty() {
-        for (var, _) in db.ranges() {
+        for var in db.ranges().keys() {
             used.push(var.clone());
         }
         if used.is_empty() {
@@ -74,9 +74,10 @@ pub fn build_query_block(db: &Database, stmt: &RetrieveStmt) -> RelResult<QueryB
     let mut targets = Vec::with_capacity(stmt.targets.len());
     for t in &stmt.targets {
         match t {
-            Target::Expr { name: None, expr: Expr::ColumnRef(n) }
-                if n.ends_with(".all") =>
-            {
+            Target::Expr {
+                name: None,
+                expr: Expr::ColumnRef(n),
+            } if n.ends_with(".all") => {
                 let var = &n[..n.len() - 4];
                 let table = db.range_table(var)?;
                 let info = db.catalog().table(table)?;
@@ -127,8 +128,10 @@ mod tests {
                     .collect(),
             )
         };
-        db.create_table("emp", schema(&["id", "dept_id", "salary"]), &[]).unwrap();
-        db.create_table("dept", schema(&["id", "floor"]), &[]).unwrap();
+        db.create_table("emp", schema(&["id", "dept_id", "salary"]), &[])
+            .unwrap();
+        db.create_table("dept", schema(&["id", "floor"]), &[])
+            .unwrap();
         db.declare_range("e", "emp").unwrap();
         db.declare_range("d", "dept").unwrap();
         db

@@ -144,14 +144,16 @@ pub fn tokenize(src: &str) -> RelResult<Vec<Token>> {
                     j += 1;
                 } else if cj == '.'
                     && !is_float
-                    && bytes.get(j + 1).is_some_and(|b| (*b as char).is_ascii_digit())
+                    && bytes
+                        .get(j + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
                 {
                     is_float = true;
                     j += 1;
                 } else if (cj == 'e' || cj == 'E')
-                    && bytes.get(j + 1).is_some_and(|b| {
-                        (*b as char).is_ascii_digit() || *b == b'+' || *b == b'-'
-                    })
+                    && bytes
+                        .get(j + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit() || *b == b'+' || *b == b'-')
                 {
                     is_float = true;
                     j += 2;
@@ -164,17 +166,17 @@ pub fn tokenize(src: &str) -> RelResult<Vec<Token>> {
                 }
             }
             let text = &src[i..j];
-            let kind = if is_float {
-                TokenKind::Float(
-                    text.parse()
-                        .map_err(|_| err(start, format!("bad float literal `{text}`")))?,
-                )
-            } else {
-                TokenKind::Int(
-                    text.parse()
-                        .map_err(|_| err(start, format!("integer literal `{text}` out of range")))?,
-                )
-            };
+            let kind =
+                if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| err(start, format!("bad float literal `{text}`")))?,
+                    )
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        err(start, format!("integer literal `{text}` out of range"))
+                    })?)
+                };
             out.push(Token { kind, pos: start });
             i = j;
             continue;
@@ -322,10 +324,7 @@ mod tests {
 
     #[test]
     fn unterminated_string_errors() {
-        assert!(matches!(
-            tokenize(r#""oops"#),
-            Err(RelError::Parse { .. })
-        ));
+        assert!(matches!(tokenize(r#""oops"#), Err(RelError::Parse { .. })));
     }
 
     #[test]

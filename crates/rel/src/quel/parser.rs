@@ -75,7 +75,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(self.error(format!("expected `{kw}`, found {}", self.peek().kind.describe())))
+            Err(self.error(format!(
+                "expected `{kw}`, found {}",
+                self.peek().kind.describe()
+            )))
         }
     }
 
@@ -149,7 +152,11 @@ impl Parser {
             let var = self.ident()?;
             let assigns = self.assign_list()?;
             let where_ = self.opt_where()?;
-            return Ok(Statement::Replace { var, assigns, where_ });
+            return Ok(Statement::Replace {
+                var,
+                assigns,
+                where_,
+            });
         }
         if self.eat_kw("DELETE") {
             let var = self.ident()?;
@@ -664,7 +671,9 @@ mod tests {
             parse_program("RANGE OF e IS emp RETRIEVE (e.name, e.salary) WHERE e.salary > 100")
                 .unwrap();
         assert_eq!(stmts.len(), 2);
-        assert!(matches!(&stmts[0], Statement::RangeOf { var, table } if var == "e" && table == "emp"));
+        assert!(
+            matches!(&stmts[0], Statement::RangeOf { var, table } if var == "e" && table == "emp")
+        );
         match &stmts[1] {
             Statement::Retrieve(r) => {
                 assert_eq!(r.targets.len(), 2);
@@ -718,7 +727,11 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match one(r#"REPLACE e (salary = e.salary * 2) WHERE e.dept = "toy""#) {
-            Statement::Replace { var, assigns, where_ } => {
+            Statement::Replace {
+                var,
+                assigns,
+                where_,
+            } => {
                 assert_eq!(var, "e");
                 assert_eq!(assigns.len(), 1);
                 assert!(where_.is_some());
@@ -774,7 +787,8 @@ mod tests {
 
     #[test]
     fn is_null_like_and_not() {
-        let s = one(r#"RETRIEVE (e.x) WHERE e.mgr IS NOT NULL AND e.name LIKE "Sm*" AND NOT e.flag"#);
+        let s =
+            one(r#"RETRIEVE (e.x) WHERE e.mgr IS NOT NULL AND e.name LIKE "Sm*" AND NOT e.flag"#);
         match s {
             Statement::Retrieve(r) => {
                 let text = r.where_.unwrap().to_string();

@@ -57,16 +57,16 @@ impl Value {
     /// Whether this value is acceptable for a column of type `ty`
     /// (ints silently widen to float columns).
     pub fn conforms_to(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Int(_), DataType::Int) => true,
-            (Value::Int(_), DataType::Float) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Text(_), DataType::Text) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            (Value::Date(_), DataType::Date) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int)
+                | (Value::Int(_), DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Text(_), DataType::Text)
+                | (Value::Bool(_), DataType::Bool)
+                | (Value::Date(_), DataType::Date)
+        )
     }
 
     /// Coerce to the column type (int→float widening; text that parses as
@@ -76,12 +76,12 @@ impl Value {
         match (&self, ty) {
             (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
             (Value::Text(s), DataType::Date) => {
-                return parse_date(s).map(Value::Date).ok_or_else(|| {
-                    RelError::TypeMismatch {
+                parse_date(s)
+                    .map(Value::Date)
+                    .ok_or_else(|| RelError::TypeMismatch {
                         expected: "DATE (YYYY-MM-DD)".to_string(),
                         got: format!("\"{s}\""),
-                    }
-                })
+                    })
             }
             _ if self.conforms_to(ty) => Ok(self),
             _ => Err(RelError::TypeMismatch {
@@ -480,10 +480,7 @@ mod tests {
     fn compare_follows_sql_null_semantics() {
         assert_eq!(Value::Null.compare(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).compare(&Value::Null), None);
-        assert_eq!(
-            Value::Int(1).compare(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
         assert_eq!(
             Value::Int(2).compare(&Value::Float(2.0)),
             Some(Ordering::Equal)
@@ -492,7 +489,10 @@ mod tests {
 
     #[test]
     fn parse_as_all_types() {
-        assert_eq!(Value::parse_as("42", DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(
+            Value::parse_as("42", DataType::Int).unwrap(),
+            Value::Int(42)
+        );
         assert_eq!(
             Value::parse_as("-1.5", DataType::Float).unwrap(),
             Value::Float(-1.5)

@@ -55,21 +55,30 @@ fn unicode_values_survive_the_whole_pipeline() {
     // Strings with multibyte characters flow through lexer → storage →
     // index keys → LIKE matching without corruption.
     let mut db = wow_rel::db::Database::in_memory();
-    db.run("CREATE TABLE t (name TEXT KEY, note TEXT) RANGE OF x IS t").unwrap();
+    db.run("CREATE TABLE t (name TEXT KEY, note TEXT) RANGE OF x IS t")
+        .unwrap();
     for (name, note) in [
         ("café", "crème brûlée"),
         ("naïve", "ñandú"),
         ("日本語", "テスト"),
         ("plain", "ascii"),
     ] {
-        db.run(&format!(r#"APPEND TO t (name = "{name}", note = "{note}")"#))
-            .unwrap();
+        db.run(&format!(
+            r#"APPEND TO t (name = "{name}", note = "{note}")"#
+        ))
+        .unwrap();
     }
-    let rows = db.run(r#"RETRIEVE (x.note) WHERE x.name = "café""#).unwrap();
+    let rows = db
+        .run(r#"RETRIEVE (x.note) WHERE x.name = "café""#)
+        .unwrap();
     assert_eq!(rows.tuples[0].values[0].to_string(), "crème brûlée");
-    let rows = db.run(r#"RETRIEVE (x.name) WHERE x.name LIKE "caf?""#).unwrap();
+    let rows = db
+        .run(r#"RETRIEVE (x.name) WHERE x.name LIKE "caf?""#)
+        .unwrap();
     assert_eq!(rows.len(), 1, "? matches one scalar, not one byte");
-    let rows = db.run(r#"RETRIEVE (x.name) WHERE x.name LIKE "日*""#).unwrap();
+    let rows = db
+        .run(r#"RETRIEVE (x.name) WHERE x.name LIKE "日*""#)
+        .unwrap();
     assert_eq!(rows.len(), 1);
     // Unique index on multibyte keys enforces correctly.
     assert!(db

@@ -33,7 +33,8 @@ fn world(rows_a: &[(i64, i64, &str)], rows_b: &[(i64, i64)]) -> Database {
         .unwrap();
     }
     for (id, x) in rows_b {
-        db.insert("tb", vec![Value::Int(*id), Value::Int(*x)]).unwrap();
+        db.insert("tb", vec![Value::Int(*id), Value::Int(*x)])
+            .unwrap();
     }
     db
 }

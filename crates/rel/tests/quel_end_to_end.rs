@@ -6,7 +6,8 @@ use wow_rel::value::Value;
 /// The classic suppliers-and-parts world, QUEL edition.
 fn world() -> Database {
     let mut db = Database::in_memory();
-    db.run(r#"
+    db.run(
+        r#"
         CREATE TABLE supplier (sno INT KEY, sname TEXT NOT NULL, city TEXT)
         CREATE TABLE part (pno INT KEY, pname TEXT NOT NULL, color TEXT, weight FLOAT)
         CREATE TABLE shipment (sno INT NOT NULL, pno INT NOT NULL, qty INT)
@@ -15,7 +16,8 @@ fn world() -> Database {
         RANGE OF s IS supplier
         RANGE OF p IS part
         RANGE OF sp IS shipment
-    "#)
+    "#,
+    )
     .unwrap();
     for (sno, sname, city) in [
         (1, "Smith", "London"),
@@ -43,10 +45,18 @@ fn world() -> Database {
         .unwrap();
     }
     for (sno, pno, qty) in [
-        (1, 1, 300), (1, 2, 200), (1, 3, 400), (1, 4, 200), (1, 5, 100), (1, 6, 100),
-        (2, 1, 300), (2, 2, 400),
+        (1, 1, 300),
+        (1, 2, 200),
+        (1, 3, 400),
+        (1, 4, 200),
+        (1, 5, 100),
+        (1, 6, 100),
+        (2, 1, 300),
+        (2, 2, 400),
         (3, 2, 200),
-        (4, 2, 200), (4, 4, 300), (4, 5, 400),
+        (4, 2, 200),
+        (4, 4, 300),
+        (4, 5, 400),
     ] {
         db.run(&format!(
             "APPEND TO shipment (sno = {sno}, pno = {pno}, qty = {qty})"
@@ -62,7 +72,11 @@ fn simple_projection_and_filter() {
     let rows = db
         .run(r#"RETRIEVE (s.sname) WHERE s.city = "Paris" SORT BY s.sname"#)
         .unwrap();
-    let names: Vec<String> = rows.tuples.iter().map(|t| t.values[0].to_string()).collect();
+    let names: Vec<String> = rows
+        .tuples
+        .iter()
+        .map(|t| t.values[0].to_string())
+        .collect();
     assert_eq!(names, vec!["Blake", "Jones"]);
 }
 
@@ -142,7 +156,9 @@ fn aggregates_grouped() {
 fn global_aggregates() {
     let mut db = world();
     let rows = db
-        .run("RETRIEVE (n = COUNT(*), hi = MAX(p.weight), lo = MIN(p.weight), mean = AVG(p.weight))")
+        .run(
+            "RETRIEVE (n = COUNT(*), hi = MAX(p.weight), lo = MIN(p.weight), mean = AVG(p.weight))",
+        )
         .unwrap();
     assert_eq!(rows.len(), 1);
     assert_eq!(rows.tuples[0].values[0], Value::Int(6));
@@ -182,12 +198,20 @@ fn sort_desc_and_limit() {
     let rows = db
         .run("RETRIEVE (sp.qty) SORT BY sp.qty DESC LIMIT 3")
         .unwrap();
-    let qtys: Vec<String> = rows.tuples.iter().map(|t| t.values[0].to_string()).collect();
+    let qtys: Vec<String> = rows
+        .tuples
+        .iter()
+        .map(|t| t.values[0].to_string())
+        .collect();
     assert_eq!(qtys, vec!["400", "400", "400"]);
     let rows = db
         .run("RETRIEVE (sp.qty) SORT BY sp.qty DESC LIMIT 3 OFFSET 3")
         .unwrap();
-    let qtys: Vec<String> = rows.tuples.iter().map(|t| t.values[0].to_string()).collect();
+    let qtys: Vec<String> = rows
+        .tuples
+        .iter()
+        .map(|t| t.values[0].to_string())
+        .collect();
     assert_eq!(qtys, vec!["300", "300", "300"]);
 }
 
@@ -204,11 +228,14 @@ fn sort_by_non_projected_column() {
 #[test]
 fn replace_updates_matching_rows() {
     let mut db = world();
-    db.run(r#"REPLACE sp (qty = sp.qty + 1000) WHERE sp.sno = 3"#).unwrap();
+    db.run(r#"REPLACE sp (qty = sp.qty + 1000) WHERE sp.sno = 3"#)
+        .unwrap();
     let rows = db.run("RETRIEVE (sp.qty) WHERE sp.sno = 3").unwrap();
     assert_eq!(rows.tuples[0].values[0], Value::Int(1200));
     // Others untouched.
-    let rows = db.run("RETRIEVE (total = SUM(sp.qty)) WHERE sp.sno = 1").unwrap();
+    let rows = db
+        .run("RETRIEVE (total = SUM(sp.qty)) WHERE sp.sno = 1")
+        .unwrap();
     assert_eq!(rows.tuples[0].values[0], Value::Int(1300));
 }
 
@@ -269,7 +296,8 @@ fn index_range_access_path_is_chosen_when_selective() {
     let mut db = Database::in_memory();
     db.run("CREATE TABLE nums (n INT KEY, label TEXT)").unwrap();
     for i in 0..2000 {
-        db.run(&format!(r#"APPEND TO nums (n = {i}, label = "x{i}")"#)).unwrap();
+        db.run(&format!(r#"APPEND TO nums (n = {i}, label = "x{i}")"#))
+            .unwrap();
     }
     db.run("RANGE OF v IS nums").unwrap();
     let rows = db
@@ -293,8 +321,10 @@ fn index_range_access_path_is_chosen_when_selective() {
 fn date_columns_round_trip() {
     let mut db = Database::in_memory();
     db.run("CREATE TABLE ev (name TEXT KEY, day DATE)").unwrap();
-    db.run(r#"APPEND TO ev (name = "sigmod83", day = "1983-05-23")"#).unwrap();
-    db.run(r#"APPEND TO ev (name = "moonshot", day = DATE "1969-07-20")"#).unwrap();
+    db.run(r#"APPEND TO ev (name = "sigmod83", day = "1983-05-23")"#)
+        .unwrap();
+    db.run(r#"APPEND TO ev (name = "moonshot", day = DATE "1969-07-20")"#)
+        .unwrap();
     db.run("RANGE OF e IS ev").unwrap();
     let rows = db
         .run(r#"RETRIEVE (e.name) WHERE e.day > DATE "1980-01-01""#)
@@ -308,7 +338,9 @@ fn errors_are_reported_not_panicked() {
     let mut db = world();
     assert!(db.run("RETRIEVE (s.bogus)").is_err());
     assert!(db.run("RETRIEVE (z.x)").is_err());
-    assert!(db.run(r#"APPEND TO supplier (sno = 1, sname = "dup")"#).is_err());
+    assert!(db
+        .run(r#"APPEND TO supplier (sno = 1, sname = "dup")"#)
+        .is_err());
     assert!(db.run("APPEND TO nosuch (x = 1)").is_err());
     assert!(db.run("RETRIEVE (").is_err());
     assert!(db.run("RETRIEVE (x = 1 / 0)").is_err());
@@ -355,7 +387,11 @@ fn retrieve_unique_deduplicates() {
     let rows = db.run("RETRIEVE (s.city) SORT BY s.city").unwrap();
     assert_eq!(rows.len(), 5, "one row per supplier");
     let rows = db.run("RETRIEVE UNIQUE (s.city) SORT BY s.city").unwrap();
-    let cities: Vec<String> = rows.tuples.iter().map(|t| t.values[0].to_string()).collect();
+    let cities: Vec<String> = rows
+        .tuples
+        .iter()
+        .map(|t| t.values[0].to_string())
+        .collect();
     assert_eq!(cities, vec!["Athens", "London", "Paris"]);
     // UNIQUE over a join.
     let rows = db
@@ -385,5 +421,9 @@ fn dot_all_expands_to_every_column() {
         .run("RETRIEVE (s.sname, sp.all) WHERE s.sno = sp.sno AND sp.qty = 400 SORT BY s.sname")
         .unwrap();
     assert_eq!(rows.schema.len(), 4, "sname + (sno, pno, qty)");
-    assert_eq!(rows.len(), 3, "Smith, Jones and Clark each ship a 400-qty lot");
+    assert_eq!(
+        rows.len(),
+        3,
+        "Smith, Jones and Clark each ship a 400-qty lot"
+    );
 }

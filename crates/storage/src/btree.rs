@@ -174,10 +174,7 @@ pub struct BTree {
 
 impl BTree {
     /// Create an empty tree. `unique` rejects duplicate keys on insert.
-    pub fn create<S: PageStore>(
-        pool: &mut BufferPool<S>,
-        unique: bool,
-    ) -> StorageResult<BTree> {
+    pub fn create<S: PageStore>(pool: &mut BufferPool<S>, unique: bool) -> StorageResult<BTree> {
         let meta = pool.allocate_page()?;
         let root = pool.allocate_page()?;
         let empty = Node::Leaf {
@@ -311,9 +308,7 @@ impl BTree {
                 let Node::Leaf { next, entries } = node else {
                     unreachable!()
                 };
-                let mid = split_point(
-                    entries.iter().map(|(k, _)| LEAF_ENTRY_OVERHEAD + k.len()),
-                );
+                let mid = split_point(entries.iter().map(|(k, _)| LEAF_ENTRY_OVERHEAD + k.len()));
                 let right_entries = entries[mid..].to_vec();
                 let left_entries = entries[..mid].to_vec();
                 let right_pid = pool.allocate_page()?;
@@ -460,19 +455,14 @@ impl BTree {
         prefix: &[u8],
     ) -> StorageResult<Vec<Rid>> {
         let mut out = Vec::new();
-        self.range_scan(
-            pool,
-            Bound::Included(prefix),
-            Bound::Unbounded,
-            |k, rid| {
-                if k.starts_with(prefix) {
-                    out.push(rid);
-                    true
-                } else {
-                    false
-                }
-            },
-        )?;
+        self.range_scan(pool, Bound::Included(prefix), Bound::Unbounded, |k, rid| {
+            if k.starts_with(prefix) {
+                out.push(rid);
+                true
+            } else {
+                false
+            }
+        })?;
         Ok(out)
     }
 
@@ -574,9 +564,7 @@ impl BTree {
                     return Err(StorageError::Corrupt("expected leaf"));
                 };
                 let idx = match lower {
-                    Bound::Included(_) => {
-                        entries.partition_point(|(k, _)| k.as_slice() < key)
-                    }
+                    Bound::Included(_) => entries.partition_point(|(k, _)| k.as_slice() < key),
                     _ => entries.partition_point(|(k, _)| k.as_slice() <= key),
                 };
                 (pid, idx)
@@ -735,7 +723,8 @@ mod tests {
             keys.swap(i, j);
         }
         for &k in &keys {
-            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
+                .unwrap();
         }
         assert!(t.height(&mut pool).unwrap() >= 2, "tree must have split");
         // Full ordered scan returns every key in order.
@@ -760,7 +749,8 @@ mod tests {
     fn range_bounds_are_respected() {
         let (mut pool, mut t) = setup(true);
         for k in 0..100u32 {
-            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
+                .unwrap();
         }
         let lo = 10u32.to_be_bytes();
         let hi = 20u32.to_be_bytes();
@@ -792,25 +782,29 @@ mod tests {
         let (mut pool, mut t) = setup(true);
         let n = 3000u32;
         for k in 0..n {
-            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
+                .unwrap();
         }
         for k in (0..n).step_by(2) {
-            assert!(t.delete(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap());
+            assert!(t
+                .delete(&mut pool, &k.to_be_bytes(), rid(k as u64))
+                .unwrap());
         }
         assert_eq!(t.len() as u32, n / 2);
         let all = t
             .range(&mut pool, Bound::Unbounded, Bound::Unbounded)
             .unwrap();
-        assert!(all.iter().all(|(k, _)| {
-            u32::from_be_bytes(k.as_slice().try_into().unwrap()) % 2 == 1
-        }));
+        assert!(all
+            .iter()
+            .all(|(k, _)| { u32::from_be_bytes(k.as_slice().try_into().unwrap()) % 2 == 1 }));
     }
 
     #[test]
     fn cursor_walks_whole_tree_incrementally() {
         let (mut pool, mut t) = setup(true);
         for k in 0..1000u32 {
-            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
+                .unwrap();
         }
         let mut cur = t.cursor_at(&mut pool, Bound::Unbounded).unwrap();
         let mut seen = 0u32;
@@ -825,7 +819,8 @@ mod tests {
     fn cursor_seek_positions_mid_tree() {
         let (mut pool, mut t) = setup(true);
         for k in (0..1000u32).step_by(2) {
-            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
+                .unwrap();
         }
         // Seek to a key that is absent (odd): next entry is the even above it.
         let probe = 501u32.to_be_bytes();
@@ -856,7 +851,8 @@ mod tests {
             let mut t = BTree::create(&mut pool, true).unwrap();
             meta = t.meta_page();
             for k in 0..2000u32 {
-                t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
+                t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
+                    .unwrap();
             }
         }
         let t = BTree::open(&mut pool, meta).unwrap();

@@ -84,7 +84,11 @@ mod tests {
             "slot 9 not found on page 3"
         );
         assert_eq!(
-            StorageError::RecordTooLarge { size: 9000, max: 8000 }.to_string(),
+            StorageError::RecordTooLarge {
+                size: 9000,
+                max: 8000
+            }
+            .to_string(),
             "record of 9000 bytes exceeds maximum 8000"
         );
         assert_eq!(

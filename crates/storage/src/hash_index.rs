@@ -56,7 +56,7 @@ impl HashIndex {
         pool: &mut BufferPool<S>,
         buckets: usize,
     ) -> StorageResult<HashIndex> {
-        assert!(buckets >= 1 && buckets <= MAX_BUCKETS);
+        assert!((1..=MAX_BUCKETS).contains(&buckets));
         let meta = pool.allocate_page()?;
         let heads = vec![PageId::INVALID; buckets];
         pool.with_page_mut(meta, |p| {
@@ -75,10 +75,7 @@ impl HashIndex {
     }
 
     /// Open an existing index rooted at `meta`.
-    pub fn open<S: PageStore>(
-        pool: &mut BufferPool<S>,
-        meta: PageId,
-    ) -> StorageResult<HashIndex> {
+    pub fn open<S: PageStore>(pool: &mut BufferPool<S>, meta: PageId) -> StorageResult<HashIndex> {
         let (buckets, count) = pool.with_page(meta, |p| {
             let b = p.as_slice();
             let n = get_u64(b, 0) as usize;
@@ -302,10 +299,7 @@ impl HashIndex {
     }
 
     /// Longest bucket chain, in pages (for stats/tests).
-    pub fn max_chain_pages<S: PageStore>(
-        &self,
-        pool: &mut BufferPool<S>,
-    ) -> StorageResult<usize> {
+    pub fn max_chain_pages<S: PageStore>(&self, pool: &mut BufferPool<S>) -> StorageResult<usize> {
         let mut max = 0;
         for head in &self.buckets {
             let mut len = 0;
@@ -399,7 +393,8 @@ mod tests {
     fn delete_from_middle_of_page_keeps_rest() {
         let (mut pool, mut idx) = setup(1);
         for i in 0..10u64 {
-            idx.insert(&mut pool, format!("k{i}").as_bytes(), rid(i)).unwrap();
+            idx.insert(&mut pool, format!("k{i}").as_bytes(), rid(i))
+                .unwrap();
         }
         assert!(idx.delete(&mut pool, b"k4", rid(4)).unwrap());
         for i in 0..10u64 {
@@ -424,7 +419,10 @@ mod tests {
         }
         let idx = HashIndex::open(&mut pool, meta).unwrap();
         assert_eq!(idx.len(), 500);
-        assert_eq!(idx.lookup(&mut pool, &42u64.to_be_bytes()).unwrap(), vec![rid(42)]);
+        assert_eq!(
+            idx.lookup(&mut pool, &42u64.to_be_bytes()).unwrap(),
+            vec![rid(42)]
+        );
     }
 
     #[test]

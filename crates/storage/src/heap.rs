@@ -35,6 +35,10 @@ const META_COUNT: usize = 16;
 /// Largest record a heap file accepts.
 pub const MAX_RECORD: usize = PAGE_SIZE - REGION_OFF - SLOTTED_HEADER - SLOT_ENTRY - 1;
 
+/// Readahead window of [`HeapFile::scan_page`]: how many upcoming data
+/// pages each page-at-a-time scan step prefetches into the buffer pool.
+pub const SCAN_READAHEAD: usize = 8;
+
 /// A heap file rooted at a meta page.
 ///
 /// The struct holds an in-memory mirror of the page chain (rebuilt on
@@ -145,11 +149,7 @@ impl HeapFile {
     }
 
     /// Place a tagged cell somewhere in the file; returns its physical rid.
-    fn place<S: PageStore>(
-        &mut self,
-        pool: &mut BufferPool<S>,
-        cell: &[u8],
-    ) -> StorageResult<Rid> {
+    fn place<S: PageStore>(&mut self, pool: &mut BufferPool<S>, cell: &[u8]) -> StorageResult<Rid> {
         // First fit over the free-space cache, preferring the last page
         // (append locality), then any page with room, then grow.
         let need = cell.len() + SLOT_ENTRY;
@@ -158,9 +158,7 @@ impl HeapFile {
             .len()
             .checked_sub(1)
             .filter(|&i| self.free_hint[i] as usize >= need)
-            .or_else(|| {
-                (0..self.pages.len()).find(|&i| self.free_hint[i] as usize >= need)
-            });
+            .or_else(|| (0..self.pages.len()).find(|&i| self.free_hint[i] as usize >= need));
         let idx = match candidate {
             Some(i) => i,
             None => {
@@ -330,7 +328,11 @@ impl HeapFile {
         };
         // Try to write the new bytes at the record's current physical home.
         let phys = old_target.unwrap_or(home);
-        let tag = if old_target.is_some() { TAG_MOVED } else { TAG_DATA };
+        let tag = if old_target.is_some() {
+            TAG_MOVED
+        } else {
+            TAG_DATA
+        };
         let mut cell = Vec::with_capacity(record.len() + 1);
         cell.push(tag);
         cell.extend_from_slice(record);
@@ -381,28 +383,52 @@ impl HeapFile {
         pool: &mut BufferPool<S>,
         mut f: impl FnMut(Rid, &[u8]),
     ) -> StorageResult<()> {
-        for &pid in &self.pages {
-            let cells: Vec<(u16, Vec<u8>)> = pool.with_page(pid, |p| {
-                let s = SlottedRead::open(&p.as_slice()[REGION_OFF..]);
-                s.iter().map(|(slot, c)| (slot, c.to_vec())).collect()
-            })?;
-            for (slot, cell) in cells {
-                match cell.first() {
-                    Some(&TAG_DATA) => f(Rid::new(pid, slot), &cell[1..]),
-                    Some(&TAG_FWD) => {
-                        let t = Rid::from_bytes(&cell[1..])
-                            .ok_or(StorageError::Corrupt("bad fwd rid"))?;
-                        let body = self
-                            .read_cell(pool, t)?
-                            .ok_or(StorageError::Corrupt("dangling forward"))?;
-                        f(Rid::new(pid, slot), &body[1..]);
-                    }
-                    Some(&TAG_MOVED) => {} // surfaced via its stub
-                    _ => return Err(StorageError::Corrupt("bad record tag")),
-                }
-            }
+        let mut page_idx = 0;
+        while self.scan_page(pool, page_idx, &mut f)? {
+            page_idx += 1;
         }
         Ok(())
+    }
+
+    /// Scan the records of one data page (by position in the page chain),
+    /// invoking `f` exactly as [`HeapFile::scan`] does. Returns `false`
+    /// when `page_idx` is past the end of the chain.
+    ///
+    /// Page-at-a-time access is by construction sequential, so each call
+    /// issues readahead for the next [`SCAN_READAHEAD`] pages of the chain
+    /// through [`BufferPool::prefetch`].
+    pub fn scan_page<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        page_idx: usize,
+        mut f: impl FnMut(Rid, &[u8]),
+    ) -> StorageResult<bool> {
+        if page_idx >= self.pages.len() {
+            return Ok(false);
+        }
+        let ahead = (page_idx + 1 + SCAN_READAHEAD).min(self.pages.len());
+        pool.prefetch(&self.pages[page_idx + 1..ahead])?;
+        let pid = self.pages[page_idx];
+        let cells: Vec<(u16, Vec<u8>)> = pool.with_page(pid, |p| {
+            let s = SlottedRead::open(&p.as_slice()[REGION_OFF..]);
+            s.iter().map(|(slot, c)| (slot, c.to_vec())).collect()
+        })?;
+        for (slot, cell) in cells {
+            match cell.first() {
+                Some(&TAG_DATA) => f(Rid::new(pid, slot), &cell[1..]),
+                Some(&TAG_FWD) => {
+                    let t =
+                        Rid::from_bytes(&cell[1..]).ok_or(StorageError::Corrupt("bad fwd rid"))?;
+                    let body = self
+                        .read_cell(pool, t)?
+                        .ok_or(StorageError::Corrupt("dangling forward"))?;
+                    f(Rid::new(pid, slot), &body[1..]);
+                }
+                Some(&TAG_MOVED) => {} // surfaced via its stub
+                _ => return Err(StorageError::Corrupt("bad record tag")),
+            }
+        }
+        Ok(true)
     }
 
     /// Collect every `(rid, record)` pair (convenience over [`HeapFile::scan`]).
@@ -439,7 +465,10 @@ mod tests {
     fn insert_get_round_trip() {
         let (mut pool, mut heap) = setup();
         let rid = heap.insert(&mut pool, b"hello").unwrap();
-        assert_eq!(heap.get(&mut pool, rid).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(
+            heap.get(&mut pool, rid).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
         assert_eq!(heap.len(), 1);
     }
 
@@ -482,7 +511,10 @@ mod tests {
         let victim = rids[5];
         let big = vec![b'B'; 3000];
         assert!(heap.update(&mut pool, victim, &big).unwrap());
-        assert_eq!(heap.get(&mut pool, victim).unwrap().as_deref(), Some(&big[..]));
+        assert_eq!(
+            heap.get(&mut pool, victim).unwrap().as_deref(),
+            Some(&big[..])
+        );
         // And update it again, even bigger, exercising stub refresh.
         let bigger = vec![b'C'; 6000];
         assert!(heap.update(&mut pool, victim, &bigger).unwrap());
@@ -491,7 +523,10 @@ mod tests {
             Some(&bigger[..])
         );
         // Other records untouched.
-        assert_eq!(heap.get(&mut pool, rids[4]).unwrap().as_deref(), Some(&filler[..]));
+        assert_eq!(
+            heap.get(&mut pool, rids[4]).unwrap().as_deref(),
+            Some(&filler[..])
+        );
     }
 
     #[test]
@@ -509,7 +544,10 @@ mod tests {
         let all = heap.scan_all(&mut pool).unwrap();
         assert_eq!(all.len(), 10);
         let got_rids: Vec<Rid> = all.iter().map(|(r, _)| *r).collect();
-        assert!(got_rids.contains(&rids[3]), "moved record keeps logical rid");
+        assert!(
+            got_rids.contains(&rids[3]),
+            "moved record keeps logical rid"
+        );
         assert!(!got_rids.contains(&rids[7]));
         let moved = all.iter().find(|(r, _)| *r == rids[3]).unwrap();
         assert_eq!(moved.1, big);
@@ -536,6 +574,37 @@ mod tests {
     }
 
     #[test]
+    fn scan_page_matches_scan_and_prefetches() {
+        // Pool smaller than the heap so the scan cannot run entirely from
+        // resident frames.
+        let mut pool = BufferPool::new(MemStore::new(), 12);
+        let mut heap = HeapFile::create(&mut pool).unwrap();
+        for i in 0..12000 {
+            heap.insert(&mut pool, format!("record-{i:05}").as_bytes())
+                .unwrap();
+        }
+        assert!(heap.page_count() > SCAN_READAHEAD);
+        pool.reset_stats();
+        let mut paged = Vec::new();
+        let mut idx = 0;
+        while heap
+            .scan_page(&mut pool, idx, |rid, rec| paged.push((rid, rec.to_vec())))
+            .unwrap()
+        {
+            idx += 1;
+        }
+        assert_eq!(idx, heap.page_count());
+        let stats = pool.stats();
+        assert!(stats.prefetches > 0, "sequential scan issues readahead");
+        assert!(
+            stats.prefetch_hits > 0,
+            "readahead pages are then read: {stats:?}"
+        );
+        let whole = heap.scan_all(&mut pool).unwrap();
+        assert_eq!(paged, whole);
+    }
+
+    #[test]
     fn reopen_preserves_records() {
         let mut pool = BufferPool::new(MemStore::new(), 32);
         let meta;
@@ -550,7 +619,10 @@ mod tests {
         }
         let heap = HeapFile::open(&mut pool, meta).unwrap();
         assert_eq!(heap.len(), 501);
-        assert_eq!(heap.get(&mut pool, rid).unwrap().as_deref(), Some(&b"durable"[..]));
+        assert_eq!(
+            heap.get(&mut pool, rid).unwrap().as_deref(),
+            Some(&b"durable"[..])
+        );
     }
 
     #[test]
@@ -571,7 +643,8 @@ mod tests {
     fn destroy_frees_pages() {
         let (mut pool, mut heap) = setup();
         for i in 0..100 {
-            heap.insert(&mut pool, format!("row{i}").as_bytes()).unwrap();
+            heap.insert(&mut pool, format!("row{i}").as_bytes())
+                .unwrap();
         }
         let meta = heap.meta_page();
         heap.destroy(&mut pool).unwrap();

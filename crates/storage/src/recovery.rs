@@ -189,8 +189,11 @@ mod tests {
         wal.append(&LogRecord::Commit { txn: 2 }).unwrap();
 
         let truncated = &wal.raw().unwrap()[..cut];
-        let records: Vec<LogRecord> =
-            Wal::parse(truncated).unwrap().into_iter().map(|(_, r)| r).collect();
+        let records: Vec<LogRecord> = Wal::parse(truncated)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         let mut survived = Vec::new();
         replay(&records, |rec| {
             if let LogRecord::Insert { bytes, .. } = rec {

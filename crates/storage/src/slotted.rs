@@ -45,7 +45,10 @@ impl<'a> Slotted<'a> {
     /// Initialize `buf` as an empty slotted region and return the view.
     pub fn init(buf: &'a mut [u8]) -> Slotted<'a> {
         assert!(buf.len() >= SLOTTED_HEADER + SLOT_ENTRY, "region too small");
-        assert!(buf.len() <= u16::MAX as usize, "region too large for u16 offsets");
+        assert!(
+            buf.len() <= u16::MAX as usize,
+            "region too large for u16 offsets"
+        );
         put_u16(buf, OFF_COUNT, 0);
         put_u16(buf, OFF_FREE_START, SLOTTED_HEADER as u16);
         put_u16(buf, OFF_FREE_END, buf.len() as u16);
@@ -455,7 +458,10 @@ mod proptests {
         prop_oneof![
             proptest::collection::vec(any::<u8>(), 0..40).prop_map(Op::Insert),
             any::<usize>().prop_map(Op::Delete),
-            (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..40))
+            (
+                any::<usize>(),
+                proptest::collection::vec(any::<u8>(), 0..40)
+            )
                 .prop_map(|(i, v)| Op::Update(i, v)),
         ]
     }

@@ -89,10 +89,10 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn u8(&mut self) -> StorageResult<u8> {
-        let v = *self
-            .buf
-            .get(self.pos)
-            .ok_or(StorageError::WalCorrupt { offset: self.pos as u64, reason: "eof" })?;
+        let v = *self.buf.get(self.pos).ok_or(StorageError::WalCorrupt {
+            offset: self.pos as u64,
+            reason: "eof",
+        })?;
         self.pos += 1;
         Ok(v)
     }
@@ -100,7 +100,10 @@ impl<'a> Reader<'a> {
         let s = self
             .buf
             .get(self.pos..self.pos + 4)
-            .ok_or(StorageError::WalCorrupt { offset: self.pos as u64, reason: "eof" })?;
+            .ok_or(StorageError::WalCorrupt {
+                offset: self.pos as u64,
+                reason: "eof",
+            })?;
         self.pos += 4;
         Ok(u32::from_le_bytes(s.try_into().unwrap()))
     }
@@ -108,7 +111,10 @@ impl<'a> Reader<'a> {
         let s = self
             .buf
             .get(self.pos..self.pos + 8)
-            .ok_or(StorageError::WalCorrupt { offset: self.pos as u64, reason: "eof" })?;
+            .ok_or(StorageError::WalCorrupt {
+                offset: self.pos as u64,
+                reason: "eof",
+            })?;
         self.pos += 8;
         Ok(u64::from_le_bytes(s.try_into().unwrap()))
     }
@@ -116,7 +122,10 @@ impl<'a> Reader<'a> {
         let s = self
             .buf
             .get(self.pos..self.pos + 10)
-            .ok_or(StorageError::WalCorrupt { offset: self.pos as u64, reason: "eof" })?;
+            .ok_or(StorageError::WalCorrupt {
+                offset: self.pos as u64,
+                reason: "eof",
+            })?;
         self.pos += 10;
         Rid::from_bytes(s).ok_or(StorageError::WalCorrupt {
             offset: self.pos as u64,
@@ -128,7 +137,10 @@ impl<'a> Reader<'a> {
         let s = self
             .buf
             .get(self.pos..self.pos + n)
-            .ok_or(StorageError::WalCorrupt { offset: self.pos as u64, reason: "eof" })?;
+            .ok_or(StorageError::WalCorrupt {
+                offset: self.pos as u64,
+                reason: "eof",
+            })?;
         self.pos += n;
         Ok(s.to_vec())
     }
@@ -142,14 +154,25 @@ impl LogRecord {
                 out.push(TAG_BEGIN);
                 out.extend_from_slice(&txn.to_le_bytes());
             }
-            LogRecord::Insert { txn, table, rid, bytes } => {
+            LogRecord::Insert {
+                txn,
+                table,
+                rid,
+                bytes,
+            } => {
                 out.push(TAG_INSERT);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&table.to_le_bytes());
                 out.extend_from_slice(&rid.to_bytes());
                 put_bytes(&mut out, bytes);
             }
-            LogRecord::Update { txn, table, rid, old, new } => {
+            LogRecord::Update {
+                txn,
+                table,
+                rid,
+                old,
+                new,
+            } => {
                 out.push(TAG_UPDATE);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&table.to_le_bytes());
@@ -157,7 +180,12 @@ impl LogRecord {
                 put_bytes(&mut out, old);
                 put_bytes(&mut out, new);
             }
-            LogRecord::Delete { txn, table, rid, old } => {
+            LogRecord::Delete {
+                txn,
+                table,
+                rid,
+                old,
+            } => {
                 out.push(TAG_DELETE);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&table.to_le_bytes());
@@ -177,7 +205,10 @@ impl LogRecord {
     }
 
     fn decode(payload: &[u8], offset: u64) -> StorageResult<LogRecord> {
-        let mut r = Reader { buf: payload, pos: 0 };
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
         let rec = match r.u8()? {
             TAG_BEGIN => LogRecord::Begin { txn: r.u64()? },
             TAG_INSERT => LogRecord::Insert {
@@ -391,7 +422,12 @@ mod tests {
         for r in &recs {
             wal.append(r).unwrap();
         }
-        let read: Vec<LogRecord> = wal.read_all().unwrap().into_iter().map(|(_, r)| r).collect();
+        let read: Vec<LogRecord> = wal
+            .read_all()
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         assert_eq!(read, recs);
         assert_eq!(wal.appended(), recs.len() as u64);
     }

@@ -111,7 +111,10 @@ mod tests {
     #[test]
     fn emits_cursor_moves_and_text() {
         let mut b = AnsiBackend::new(Vec::new());
-        b.present(&[patch(2, 1, 'h', Style::plain()), patch(3, 1, 'i', Style::plain())]);
+        b.present(&[
+            patch(2, 1, 'h', Style::plain()),
+            patch(3, 1, 'i', Style::plain()),
+        ]);
         let out = String::from_utf8(b.into_inner()).unwrap();
         assert!(out.contains("\x1b[2;3H"), "{out:?}");
         assert!(out.contains("hi"), "run coalesced: {out:?}");

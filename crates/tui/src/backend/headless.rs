@@ -62,8 +62,16 @@ mod tests {
     fn applies_patches_and_counts() {
         let mut b = HeadlessBackend::new(Size::new(4, 2));
         b.present(&[
-            Patch { x: 0, y: 0, cell: Cell::plain('h') },
-            Patch { x: 1, y: 0, cell: Cell::plain('i') },
+            Patch {
+                x: 0,
+                y: 0,
+                cell: Cell::plain('h'),
+            },
+            Patch {
+                x: 1,
+                y: 0,
+                cell: Cell::plain('i'),
+            },
         ]);
         assert_eq!(b.lines()[0], "hi  ");
         assert_eq!(b.cells_written, 2);
@@ -75,7 +83,11 @@ mod tests {
     #[test]
     fn out_of_bounds_patches_are_clipped() {
         let mut b = HeadlessBackend::new(Size::new(2, 1));
-        b.present(&[Patch { x: 9, y: 9, cell: Cell::plain('x') }]);
+        b.present(&[Patch {
+            x: 9,
+            y: 9,
+            cell: Cell::plain('x'),
+        }]);
         assert_eq!(b.lines()[0], "  ");
     }
 }

@@ -216,7 +216,11 @@ mod tests {
     #[test]
     fn long_titles_truncate() {
         let mut b = buf(8, 3);
-        b.draw_border(Rect::new(0, 0, 8, 3), Some("averylongtitle"), Style::plain());
+        b.draw_border(
+            Rect::new(0, 0, 8, 3),
+            Some("averylongtitle"),
+            Style::plain(),
+        );
         assert_eq!(b.to_strings()[0], "+ aver +");
     }
 
@@ -257,8 +261,14 @@ mod tests {
         b.set(0, 0, Cell::plain('a'));
         let patches = b.diff(&a);
         assert_eq!(patches.len(), 2);
-        assert_eq!((patches[0].x, patches[0].y, patches[0].cell.ch), (0, 0, 'a'));
-        assert_eq!((patches[1].x, patches[1].y, patches[1].cell.ch), (3, 1, 'z'));
+        assert_eq!(
+            (patches[0].x, patches[0].y, patches[0].cell.ch),
+            (0, 0, 'a')
+        );
+        assert_eq!(
+            (patches[1].x, patches[1].y, patches[1].cell.ch),
+            (3, 1, 'z')
+        );
     }
 
     #[test]

@@ -144,7 +144,11 @@ mod tests {
 
     #[test]
     fn style_builders_compose() {
-        let s = Style::plain().fg(Color::Red).bg(Color::Blue).bold().reverse();
+        let s = Style::plain()
+            .fg(Color::Red)
+            .bg(Color::Blue)
+            .bold()
+            .reverse();
         assert_eq!(s.fg, Color::Red);
         assert_eq!(s.bg, Color::Blue);
         assert!(s.bold && s.reverse && !s.underline);
@@ -162,9 +166,6 @@ mod tests {
     fn cells_compare_by_value() {
         assert_eq!(Cell::plain('x'), Cell::plain('x'));
         assert_ne!(Cell::plain('x'), Cell::plain('y'));
-        assert_ne!(
-            Cell::new('x', Style::plain().bold()),
-            Cell::plain('x')
-        );
+        assert_ne!(Cell::new('x', Style::plain().bold()), Cell::plain('x'));
     }
 }

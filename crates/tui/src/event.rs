@@ -118,10 +118,7 @@ mod tests {
 
     #[test]
     fn literal_characters() {
-        assert_eq!(
-            parse_script("ab"),
-            vec![Key::Char('a'), Key::Char('b')]
-        );
+        assert_eq!(parse_script("ab"), vec![Key::Char('a'), Key::Char('b')]);
     }
 
     #[test]
@@ -148,7 +145,10 @@ mod tests {
 
     #[test]
     fn unclosed_bracket_is_literal() {
-        assert_eq!(parse_script("<ta"), vec![Key::Char('<'), Key::Char('t'), Key::Char('a')]);
+        assert_eq!(
+            parse_script("<ta"),
+            vec![Key::Char('<'), Key::Char('t'), Key::Char('a')]
+        );
     }
 
     #[test]

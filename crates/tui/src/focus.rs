@@ -29,6 +29,7 @@ impl FocusRing {
     }
 
     /// Focus the next slot (Tab).
+    #[allow(clippy::should_implement_trait)] // not an iterator: mutates focus, wraps around
     pub fn next(&mut self) -> Option<usize> {
         if self.len == 0 {
             return None;

@@ -76,11 +76,11 @@ impl Widget for MenuBar {
             Key::Char(c) => {
                 // First-letter accelerator, the 1983 idiom.
                 let lower = c.to_ascii_lowercase();
-                if let Some(i) = self
-                    .items
-                    .iter()
-                    .position(|s| s.chars().next().is_some_and(|f| f.to_ascii_lowercase() == lower))
-                {
+                if let Some(i) = self.items.iter().position(|s| {
+                    s.chars()
+                        .next()
+                        .is_some_and(|f| f.to_ascii_lowercase() == lower)
+                }) {
                     self.selected = i;
                     Response::Submit
                 } else {

@@ -187,10 +187,7 @@ mod tests {
     use crate::geom::Size;
 
     fn grid(n: usize) -> TableGrid {
-        let mut g = TableGrid::new(
-            vec!["id".into(), "name".into()],
-            vec![4, 8],
-        );
+        let mut g = TableGrid::new(vec!["id".into(), "name".into()], vec![4, 8]);
         g.set_rows(
             (0..n)
                 .map(|i| vec![format!("{i}"), format!("row{i}")])

@@ -90,7 +90,10 @@ impl Window {
         screen.fill(self.rect, ' ', Style::plain());
         screen.draw_border(self.rect, Some(&self.title), style);
         let interior = self.interior();
-        screen.blit(&self.content, crate::geom::Point::new(interior.x, interior.y));
+        screen.blit(
+            &self.content,
+            crate::geom::Point::new(interior.x, interior.y),
+        );
     }
 }
 

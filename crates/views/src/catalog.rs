@@ -15,12 +15,21 @@ pub const MAX_NESTING: usize = 16;
 #[derive(Debug, Default)]
 pub struct ViewCatalog {
     views: BTreeMap<String, ViewDef>,
+    /// Bumped on every successful register/remove so dependency caches
+    /// (see [`crate::deps::DepIndex`]) can detect view DDL cheaply.
+    generation: u64,
 }
 
 impl ViewCatalog {
     /// Empty catalog.
     pub fn new() -> ViewCatalog {
         ViewCatalog::default()
+    }
+
+    /// Generation of the view set; changes exactly when a view is
+    /// registered or removed.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Whether a view with this name exists.
@@ -71,6 +80,7 @@ impl ViewCatalog {
             }
         }
         self.views.insert(def.name.clone(), def);
+        self.generation += 1;
         Ok(())
     }
 
@@ -105,7 +115,9 @@ impl ViewCatalog {
                 name, dependent.name
             )));
         }
-        Ok(self.views.remove(name).expect("checked above"))
+        let def = self.views.remove(name).expect("checked above");
+        self.generation += 1;
+        Ok(def)
     }
 }
 
@@ -114,11 +126,7 @@ mod tests {
     use super::*;
 
     fn v(name: &str, over: &str) -> ViewDef {
-        ViewDef::parse(
-            name,
-            &format!("RANGE OF x IS {over} RETRIEVE (x.a)"),
-        )
-        .unwrap()
+        ViewDef::parse(name, &format!("RANGE OF x IS {over} RETRIEVE (x.a)")).unwrap()
     }
 
     #[test]
@@ -144,11 +152,8 @@ mod tests {
     #[test]
     fn duplicate_column_names_rejected() {
         let mut c = ViewCatalog::new();
-        let dup = ViewDef::parse(
-            "dup",
-            "RANGE OF x IS a RANGE OF y IS b RETRIEVE (x.v, y.v)",
-        )
-        .unwrap();
+        let dup =
+            ViewDef::parse("dup", "RANGE OF x IS a RANGE OF y IS b RETRIEVE (x.v, y.v)").unwrap();
         assert!(c.register(dup).is_err());
         // Naming one of them fixes it.
         let ok = ViewDef::parse(
@@ -175,7 +180,8 @@ mod tests {
         let mut c = ViewCatalog::new();
         c.register(v("v0", "base")).unwrap();
         for i in 1..MAX_NESTING {
-            c.register(v(&format!("v{i}"), &format!("v{}", i - 1))).unwrap();
+            c.register(v(&format!("v{i}"), &format!("v{}", i - 1)))
+                .unwrap();
         }
         let too_deep = v("vdeep", &format!("v{}", MAX_NESTING - 1));
         assert!(matches!(c.register(too_deep), Err(ViewError::TooDeep(_))));

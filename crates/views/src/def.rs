@@ -74,9 +74,7 @@ impl ViewDef {
             .targets
             .iter()
             .map(|t| match t {
-                Target::Expr { name, expr } => name
-                    .clone()
-                    .unwrap_or_else(|| default_name(expr)),
+                Target::Expr { name, expr } => name.clone().unwrap_or_else(|| default_name(expr)),
                 Target::Agg { name, func, .. } => name
                     .clone()
                     .unwrap_or_else(|| func.keyword().to_lowercase()),

@@ -100,11 +100,7 @@ fn substitute(expr: &Expr, var: &str, defs: &BTreeMap<String, Expr>) -> ViewResu
 
 /// Substitute a *name* (used by GROUP BY / SORT BY): only allowed when the
 /// view column is itself a plain base column.
-fn substitute_name(
-    name: &str,
-    var: &str,
-    defs: &BTreeMap<String, Expr>,
-) -> ViewResult<String> {
+fn substitute_name(name: &str, var: &str, defs: &BTreeMap<String, Expr>) -> ViewResult<String> {
     if let Some((v, col)) = name.split_once('.') {
         if v == var {
             return match defs.get(col) {
@@ -323,12 +319,7 @@ pub fn view_query_block(
             .collect(),
         limit: query.limit,
     };
-    let expanded = expand(
-        db,
-        vc,
-        &[(var.to_string(), view_name.to_string())],
-        &stmt,
-    )?;
+    let expanded = expand(db, vc, &[(var.to_string(), view_name.to_string())], &stmt)?;
     block_from(db, &expanded.ranges, &expanded.stmt)
 }
 
@@ -392,15 +383,14 @@ pub fn query_via_materialization(
     if let Some(pred) = &query.pred {
         let resolved = pred.clone().resolve(&rows.schema)?;
         let mut err = None;
-        rows.tuples.retain(|t| {
-            match wow_rel::eval::eval_pred(&resolved, t) {
+        rows.tuples
+            .retain(|t| match wow_rel::eval::eval_pred(&resolved, t) {
                 Ok(k) => k,
                 Err(e) => {
                     err = Some(e);
                     false
                 }
-            }
-        });
+            });
         if let Some(e) = err {
             return Err(e.into());
         }

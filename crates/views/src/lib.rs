@@ -27,4 +27,5 @@ pub mod updatable;
 
 pub use catalog::ViewCatalog;
 pub use def::ViewDef;
+pub use deps::DepIndex;
 pub use error::{ViewError, ViewResult};

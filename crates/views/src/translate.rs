@@ -32,10 +32,7 @@ pub enum CheckOption {
 /// This is the access path the browse layer uses for updatable views: each
 /// returned tuple is shaped like the view, and the rid addresses the base
 /// row behind it.
-pub fn view_rows_with_rids(
-    db: &mut Database,
-    upd: &Updatability,
-) -> ViewResult<Vec<(Rid, Tuple)>> {
+pub fn view_rows_with_rids(db: &mut Database, upd: &Updatability) -> ViewResult<Vec<(Rid, Tuple)>> {
     let info = db.catalog().table(&upd.base_table)?.clone();
     let schema = info.schema.qualified(&upd.base_alias);
     let pred = match &upd.base_pred {
@@ -90,11 +87,7 @@ pub fn rewrite_base_row(
     Ok(new_vals)
 }
 
-fn check_membership(
-    db: &Database,
-    upd: &Updatability,
-    new_vals: &[Value],
-) -> ViewResult<bool> {
+fn check_membership(db: &Database, upd: &Updatability, new_vals: &[Value]) -> ViewResult<bool> {
     let Some(pred) = &upd.base_pred else {
         return Ok(true);
     };
@@ -162,10 +155,6 @@ pub fn insert_through_view(
 }
 
 /// Delete the base row behind a view row.
-pub fn delete_through_view(
-    db: &mut Database,
-    upd: &Updatability,
-    rid: Rid,
-) -> ViewResult<bool> {
+pub fn delete_through_view(db: &mut Database, upd: &Updatability, rid: Rid) -> ViewResult<bool> {
     Ok(db.delete_rid(&upd.base_table, rid)?)
 }

@@ -5,26 +5,25 @@ use wow_rel::db::Database;
 use wow_rel::expr::Expr;
 use wow_rel::quel::ast::SortKey;
 use wow_rel::value::Value;
-use wow_views::expand::{
-    query_via_materialization, run_view_query, view_schema, ViewQuery,
-};
+use wow_views::expand::{query_via_materialization, run_view_query, view_schema, ViewQuery};
 use wow_views::translate::{
-    delete_through_view, insert_through_view, update_through_view, view_rows_with_rids,
-    CheckOption,
+    delete_through_view, insert_through_view, update_through_view, view_rows_with_rids, CheckOption,
 };
 use wow_views::updatable::{analyze, why_not};
 use wow_views::{deps, ViewCatalog, ViewDef, ViewError};
 
 fn world() -> (Database, ViewCatalog) {
     let mut db = Database::in_memory();
-    db.run(r#"
+    db.run(
+        r#"
         CREATE TABLE emp (name TEXT KEY, dept TEXT, salary INT, mgr TEXT)
         CREATE TABLE dept (dname TEXT KEY, floor INT)
         RANGE OF e IS emp
         APPEND TO dept (dname = "toy", floor = 1)
         APPEND TO dept (dname = "shoe", floor = 2)
         APPEND TO dept (dname = "candy", floor = 1)
-    "#)
+    "#,
+    )
     .unwrap();
     for (n, d, s, m) in [
         ("alice", "toy", 120, "erin"),
@@ -192,7 +191,10 @@ fn view_schema_shape() {
 fn updatability_rules() {
     let (db, vc) = world();
     assert!(analyze(&db, &vc, "toy_emps").is_ok());
-    assert!(analyze(&db, &vc, "rich_toy_emps").is_ok(), "nested but single-table");
+    assert!(
+        analyze(&db, &vc, "rich_toy_emps").is_ok(),
+        "nested but single-table"
+    );
     let join_reasons = why_not(&db, &vc, "emp_floor");
     assert!(
         join_reasons.iter().any(|r| r.contains("2 base relations")),
@@ -205,14 +207,8 @@ fn updatability_rules() {
 #[test]
 fn key_preservation_required() {
     let (db, mut vc) = world();
-    vc.register(
-        ViewDef::parse(
-            "salaries_only",
-            "RANGE OF e IS emp RETRIEVE (e.salary)",
-        )
-        .unwrap(),
-    )
-    .unwrap();
+    vc.register(ViewDef::parse("salaries_only", "RANGE OF e IS emp RETRIEVE (e.salary)").unwrap())
+        .unwrap();
     let reasons = why_not(&db, &vc, "salaries_only");
     assert!(
         reasons.iter().any(|r| r.contains("key column name")),
@@ -240,10 +236,14 @@ fn update_through_view_rewrites_base() {
         CheckOption::Checked
     )
     .unwrap());
-    let base = db.run(r#"RANGE OF e IS emp RETRIEVE (e.salary) WHERE e.name = "alice""#).unwrap();
+    let base = db
+        .run(r#"RANGE OF e IS emp RETRIEVE (e.salary) WHERE e.name = "alice""#)
+        .unwrap();
     assert_eq!(base.tuples[0].values[0], Value::Int(130));
     // Other base columns (dept, mgr) untouched.
-    let base = db.run(r#"RETRIEVE (e.dept, e.mgr) WHERE e.name = "alice""#).unwrap();
+    let base = db
+        .run(r#"RETRIEVE (e.dept, e.mgr) WHERE e.name = "alice""#)
+        .unwrap();
     assert_eq!(base.tuples[0].values[0], Value::text("toy"));
     assert_eq!(base.tuples[0].values[1], Value::text("erin"));
 }
@@ -285,7 +285,9 @@ fn escape_check_blocks_vanishing_rows() {
     )
     .unwrap());
     let rows = view_rows_with_rids(&mut db, &upd).unwrap();
-    assert!(rows.iter().all(|(_, t)| t.values[0] != Value::text("alice")));
+    assert!(rows
+        .iter()
+        .all(|(_, t)| t.values[0] != Value::text("alice")));
 }
 
 #[test]

@@ -68,10 +68,7 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
-        assert!(
-            (*max as f64) < (*min as f64) * 1.3,
-            "flat-ish: {counts:?}"
-        );
+        assert!((*max as f64) < (*min as f64) * 1.3, "flat-ish: {counts:?}");
     }
 
     #[test]
@@ -86,10 +83,7 @@ mod tests {
             }
         }
         // With s=1 over 100 ranks, the top 10 ranks carry ~56% of the mass.
-        assert!(
-            head as f64 > total as f64 * 0.45,
-            "head got {head}/{total}"
-        );
+        assert!(head as f64 > total as f64 * 0.45, "head got {head}/{total}");
     }
 
     #[test]

@@ -179,7 +179,11 @@ mod tests {
         assert!(!world.window(ro).unwrap().is_updatable());
         // Edit through the suppliers window propagates into the detail.
         world.enter_edit(win).unwrap();
-        world.window_mut(win).unwrap().form.set_text(1, "renamed-supplier");
+        world
+            .window_mut(win)
+            .unwrap()
+            .form
+            .set_text(1, "renamed-supplier");
         world.commit(win).unwrap();
         assert!(world.stats.windows_refreshed >= 1);
     }

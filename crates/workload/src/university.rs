@@ -221,7 +221,9 @@ mod tests {
         let top = db
             .run("RETRIEVE (n = COUNT(en.eid)) WHERE en.cno < 5")
             .unwrap();
-        let Value::Int(head) = top.tuples[0].values[0] else { panic!() };
+        let Value::Int(head) = top.tuples[0].values[0] else {
+            panic!()
+        };
         assert!(head > 2000 / 10, "top-5 courses should be hot: {head}");
     }
 
@@ -236,7 +238,14 @@ mod tests {
         };
         let mut world = build_world(WorldConfig::default(), &cfg);
         let s = world.open_session();
-        for v in ["students", "seniors", "honor_roll", "courses", "transcript", "dept_load"] {
+        for v in [
+            "students",
+            "seniors",
+            "honor_roll",
+            "courses",
+            "transcript",
+            "dept_load",
+        ] {
             let win = world.open_window(s, v, None).unwrap();
             // Every view renders without panicking.
             world.render_snapshot();

@@ -25,7 +25,10 @@ fn main() {
         )
         .unwrap();
     world
-        .define_view("emps", "RANGE OF e IS emp RETRIEVE (e.name, e.dept, e.salary)")
+        .define_view(
+            "emps",
+            "RANGE OF e IS emp RETRIEVE (e.name, e.dept, e.salary)",
+        )
         .unwrap();
     world
         .define_view("depts", "RANGE OF d IS dept RETRIEVE (d.dname, d.floor)")

@@ -57,7 +57,8 @@ fn main() {
     let vc: ViewCatalog = {
         let mut vc = ViewCatalog::new();
         for name in world.views().names() {
-            vc.register(world.views().get(&name).unwrap().clone()).unwrap();
+            vc.register(world.views().get(&name).unwrap().clone())
+                .unwrap();
         }
         vc
     };
@@ -117,11 +118,8 @@ fn main() {
     world.apply_query(win).unwrap();
     let mut shown = 0;
     println!("\n== browsing the restricted window ==");
-    loop {
-        match world.current_row(win).unwrap() {
-            Some(row) => println!("  {row}"),
-            None => break,
-        }
+    while let Some(row) = world.current_row(win).unwrap() {
+        println!("  {row}");
         shown += 1;
         if shown >= 5 || !world.browse_next(win).unwrap() {
             break;

@@ -75,13 +75,23 @@ fn main() {
         ansi.enter().unwrap();
     }
 
-    frame(&mut world, &mut ansi, tty, "two windows: all students + honor roll");
+    frame(
+        &mut world,
+        &mut ansi,
+        tty,
+        "two windows: all students + honor roll",
+    );
 
     // Browse a few pages.
     for _ in 0..2 {
         world.browse_next_page(students).unwrap();
     }
-    frame(&mut world, &mut ansi, tty, "clerk paged forward twice (index cursor)");
+    frame(
+        &mut world,
+        &mut ansi,
+        tty,
+        "clerk paged forward twice (index cursor)",
+    );
 
     // Query-by-form: seniors named with a leading 'A'-ish pattern.
     world.enter_query(students).unwrap();
@@ -90,7 +100,12 @@ fn main() {
         form.set_text(2, "4"); // year = 4
     }
     world.apply_query(students).unwrap();
-    frame(&mut world, &mut ansi, tty, "query by form: year = 4 (seniors)");
+    frame(
+        &mut world,
+        &mut ansi,
+        tty,
+        "query by form: year = 4 (seniors)",
+    );
 
     // Raise the current senior's GPA to honor-roll territory; the
     // honor_roll window refreshes by propagation.

@@ -1,0 +1,164 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Mirrors the subset of the API the workspace's benches use — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `b.iter` — with a
+//! plain median-of-samples wall-clock measurement. Like real criterion,
+//! when the binary is run without `--bench` (as `cargo test` does for bench
+//! targets) every benchmark body executes exactly once as a smoke test, so
+//! the test suite stays fast.
+
+#![allow(clippy::all)] // stand-in shim, not house code
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    measure: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure: std::env::args().any(|a| a == "--bench"),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measure: self.measure,
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measure, self.sample_size, f);
+        self
+    }
+}
+
+/// Names one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure: bool,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{name}", self.name);
+        run_one(&label, self.measure, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.measure, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, measure: bool, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        measure,
+        samples: Vec::new(),
+    };
+    if !measure {
+        f(&mut b);
+        return;
+    }
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    b.samples.sort_unstable();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!(
+        "{label:<56} median {median:>12.2?}  ({} samples)",
+        b.samples.len()
+    );
+}
+
+pub struct Bencher {
+    measure: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A vector of values from `element`, with a length drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.end > len.start, "empty length range");
+    VecStrategy { element, len }
+}
+
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

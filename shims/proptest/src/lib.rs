@@ -1,0 +1,22 @@
+//! Offline stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! The build environment has no network access and no vendored registry, so
+//! this crate reimplements exactly the slice of proptest's API the workspace
+//! uses: `Strategy` + `prop_map`, `Just`, `any::<T>()`, range and string
+//! (char-class regex) strategies, tuple and `collection::vec` composition,
+//! weighted `prop_oneof!`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros. Generation is deterministic per test (seedable
+//! via `PROPTEST_SEED`) so failures reproduce across runs; there is no
+//! shrinking — a failing case panics with the generated inputs' debug output
+//! from the assertion message instead.
+
+#![allow(clippy::all)] // stand-in shim, not house code
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for [serde](https://crates.io/crates/serde).
+//!
+//! The workspace only *compiles against* serde (derives on form specs plus a
+//! `#[serde(with = ...)]` adapter module); nothing serializes through it at
+//! runtime — persistence uses the crate-local stored-form encoding. This shim
+//! therefore provides the trait surface those items need to type-check:
+//! `Serialize`/`Serializer`, `Deserialize`/`Deserializer`, the `ser::Error` /
+//! `de::Error` constructor traits, and (behind the `derive` feature) stub
+//! derive macros that accept `#[serde(...)]` attributes. Embedders who want
+//! real serialization bring the real crates by restoring the registry
+//! versions in `[workspace.dependencies]`.
+
+#![allow(clippy::all)] // stand-in shim, not house code
+use std::fmt::Display;
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for i64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+pub mod ser {
+    use super::Display;
+
+    /// Error constructor every serializer error type must provide.
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    use super::Display;
+
+    /// Error constructor every deserializer error type must provide.
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

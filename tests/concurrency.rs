@@ -3,13 +3,13 @@
 //! manager. (The 1983 system multiplexed terminals onto one CPU; threads
 //! over a mutex model the same serializable interleaving.)
 
-use std::sync::Arc;
 use parking_lot::Mutex;
+use std::sync::Arc;
 use wow::core::config::WorldConfig;
 use wow::core::locks::LockMode;
 use wow::core::world::World;
 use wow::rel::value::Value;
-use wow::workload::script::{mixed_script, run_script};
+use wow::workload::script::mixed_script;
 use wow::workload::suppliers::{build_world, SuppliersConfig};
 use wow::workload::DetRng;
 
@@ -65,10 +65,7 @@ fn threads_share_one_world_without_corruption() {
     // Integrity: the shipment table still has 200 rows, every row decodes,
     // the pk index agrees with the heap.
     let mut w = world.lock();
-    let rows = w
-        .db_mut()
-        .run("RETRIEVE (n = COUNT(sp.spid))")
-        .unwrap();
+    let rows = w.db_mut().run("RETRIEVE (n = COUNT(sp.spid))").unwrap();
     assert_eq!(rows.tuples[0].values[0], Value::Int(200));
     for spid in [0i64, 57, 199] {
         let hits = w
@@ -150,7 +147,13 @@ fn without_locking_races_lose_updates_with_locking_they_dont() {
         };
         let rounds = 50i64;
         let read_qty = |world: &mut World| -> i64 {
-            match world.db_mut().get_row(info.id, rid).unwrap().unwrap().values[3] {
+            match world
+                .db_mut()
+                .get_row(info.id, rid)
+                .unwrap()
+                .unwrap()
+                .values[3]
+            {
                 Value::Int(q) => q,
                 _ => unreachable!(),
             }
@@ -162,7 +165,10 @@ fn without_locking_races_lose_updates_with_locking_they_dont() {
             let b_early = read_qty(&mut world);
             let mut row = world.db_mut().get_row(info.id, rid).unwrap().unwrap();
             row.values[3] = Value::Int(a_read + 1);
-            world.db_mut().update_rid("shipment", rid, row.values).unwrap();
+            world
+                .db_mut()
+                .update_rid("shipment", rid, row.values)
+                .unwrap();
             world.release_locks(a);
             let b_read = if b_granted {
                 b_early
@@ -172,7 +178,10 @@ fn without_locking_races_lose_updates_with_locking_they_dont() {
             };
             let mut row = world.db_mut().get_row(info.id, rid).unwrap().unwrap();
             row.values[3] = Value::Int(b_read + 1);
-            world.db_mut().update_rid("shipment", rid, row.values).unwrap();
+            world
+                .db_mut()
+                .update_rid("shipment", rid, row.values)
+                .unwrap();
             world.release_locks(b);
         }
         let final_qty = read_qty(&mut world);

@@ -79,7 +79,11 @@ fn committed_window_edits_survive_a_crash() {
     recovered.replay_wal(&mut wal).unwrap();
 
     let tid = recovered.catalog().table("account").unwrap().id;
-    assert_eq!(recovered.row_count(tid), 19, "20 seeded, 1 deleted, ghost gone");
+    assert_eq!(
+        recovered.row_count(tid),
+        19,
+        "20 seeded, 1 deleted, ghost gone"
+    );
     recovered.declare_range("a", "account").unwrap();
     let check = |db: &mut Database, id: i64| -> Option<i64> {
         let rows = db
@@ -92,8 +96,16 @@ fn committed_window_edits_survive_a_crash() {
     };
     assert_eq!(check(&mut recovered, 0), Some(500));
     assert_eq!(check(&mut recovered, 1), Some(750));
-    assert_eq!(check(&mut recovered, 2), None, "deleted account stays deleted");
-    assert_eq!(check(&mut recovered, 999), None, "uncommitted insert vanished");
+    assert_eq!(
+        check(&mut recovered, 2),
+        None,
+        "deleted account stays deleted"
+    );
+    assert_eq!(
+        check(&mut recovered, 999),
+        None,
+        "uncommitted insert vanished"
+    );
     assert_eq!(check(&mut recovered, 3), Some(100), "untouched rows intact");
 }
 
@@ -127,7 +139,7 @@ fn torn_log_tail_recovers_the_committed_prefix() {
     schema_ddl(&mut recovered);
     // Logical replay of the surviving committed prefix.
     let report = wow::storage::recovery::analyze(&records);
-    assert!(report.committed.len() >= 1);
+    assert!(!report.committed.is_empty());
     let mut applied = 0;
     for rec in &records {
         if let wow::storage::wal::LogRecord::Insert { bytes, .. } = rec {
@@ -138,7 +150,10 @@ fn torn_log_tail_recovers_the_committed_prefix() {
             }
         }
     }
-    assert_eq!(applied, 1, "only the fully-flushed insert survives the tear");
+    assert_eq!(
+        applied, 1,
+        "only the fully-flushed insert survives the tear"
+    );
 }
 
 #[test]
@@ -157,7 +172,11 @@ fn file_backed_store_round_trips_pages() {
         for i in 0..50 {
             db.insert(
                 "account",
-                vec![Value::Int(i), Value::text(format!("o{i}")), Value::Int(i * 10)],
+                vec![
+                    Value::Int(i),
+                    Value::text(format!("o{i}")),
+                    Value::Int(i * 10),
+                ],
             )
             .unwrap();
         }
