@@ -6,7 +6,7 @@
 //! cargo run -p wow-bench --bin repro --release -- --smoke # tiny sizes
 //! ```
 //!
-//! Besides the rendered text, a machine-readable `BENCH_PR1.json` with the
+//! Besides the rendered text, a machine-readable `BENCH_PR3.json` with the
 //! same rows is written to the working directory (disable with `--no-json`).
 
 use wow_bench::experiments::{self, Scale};
@@ -49,7 +49,7 @@ fn to_json(scale: Scale, tables: &[Table]) -> String {
             json_escape(&t.expectation)
         )
     }));
-    format!("{{\"bench\":\"PR1\",\"scale\":\"{scale:?}\",\"experiments\":{experiments}}}\n")
+    format!("{{\"bench\":\"PR3\",\"scale\":\"{scale:?}\",\"experiments\":{experiments}}}\n")
 }
 
 fn main() {
@@ -91,7 +91,7 @@ fn main() {
         std::process::exit(2);
     }
     if write_json {
-        let path = "BENCH_PR1.json";
+        let path = "BENCH_PR3.json";
         match std::fs::write(path, to_json(scale, &tables)) {
             Ok(()) => println!("wrote {path} ({} experiments)", tables.len()),
             Err(e) => eprintln!("could not write {path}: {e}"),

@@ -9,7 +9,8 @@ use std::time::Duration;
 use wow_core::browse::BrowseCursor;
 use wow_core::config::WorldConfig;
 use wow_core::locks::LockMode;
-use wow_core::world::World;
+use wow_core::window_mgr::WindowStyle;
+use wow_core::world::{CursorStrategy, World};
 use wow_forms::compiler::compile_form_all_writable;
 use wow_forms::qbf::form_predicate;
 use wow_rel::db::Database;
@@ -712,87 +713,122 @@ pub fn figure3_scan_crossover(scale: Scale) -> Table {
 }
 
 // ---------------------------------------------------------------------------
-// Figure 4 — propagation latency vs dependent windows
+// Figure 4 — propagation latency: delta refresh vs full re-query
 // ---------------------------------------------------------------------------
 
-/// Figure 4: one commit, k windows whose views overlap the write (plus a
-/// constant set that don't); propagation time and refresh counts.
+/// Figure 4: one commit against a growing base, watched by an indexed
+/// selection window, a forced-materialized whole-table window, and a
+/// streamed join window. With delta propagation the commit pushes a typed
+/// delta through the view algebra and patches the screenfuls in place;
+/// the baseline re-runs every dependent window's query.
 pub fn figure4_propagate(scale: Scale) -> Table {
     let mut t = Table::new(
         "Figure 4",
-        "commit propagation vs dependent windows",
+        "commit propagation: delta refresh vs full re-query, growing base",
         &[
-            "dependent windows",
-            "unrelated windows",
-            "refreshed",
-            "dep rebuilds (warm)",
-            "commit+propagate time",
+            "base rows",
+            "delta commit",
+            "full commit",
+            "speedup",
+            "delta refreshes/commit",
+            "delta rows/commit",
         ],
-        "time grows linearly with affected windows; unrelated windows are free",
+        "delta refresh stays flat as the base grows; full re-query is linear",
     );
-    let counts: Vec<usize> = scale.pick(vec![1, 4], vec![1, 2, 4, 8, 16]);
-    for k in counts {
-        let mut world = suppliers::build_world(
-            WorldConfig {
-                screen: Size::new(200, 60),
-                ..WorldConfig::default()
-            },
-            &SuppliersConfig {
-                suppliers: 200,
-                parts: 100,
-                shipments: 400,
-                seed: 41,
-            },
-        );
-        let s = world.open_session();
-        let editor = world.open_window(s, "suppliers", None).unwrap();
-        // k windows over views of `supplier` (affected).
-        for i in 0..k {
-            let view = if i % 2 == 0 {
-                "london_suppliers"
-            } else {
-                "suppliers"
-            };
-            world.open_window(s, view, None).unwrap();
-        }
-        // 4 windows over part views (unaffected).
-        for _ in 0..4 {
-            world.open_window(s, "parts", None).unwrap();
-        }
-        // Warm up: the first propagation derives the dependency cache once.
-        world.enter_edit(editor).unwrap();
-        world.window_mut(editor).unwrap().form.set_text(3, "100");
-        world.commit(editor).unwrap();
-        let warm_rebuilds = world.dep_index().rebuilds();
-        world.stats.windows_refreshed = 0;
-        let reps = scale.pick(3, 9);
-        let mut toggle = 100;
-        let d = time_median(reps, || {
-            world.enter_edit(editor).unwrap();
-            toggle += 1;
+    let sizes: Vec<usize> = scale.pick(vec![200, 400], vec![1_000, 10_000, 100_000]);
+    let reps = scale.pick(3, 9);
+    for n in sizes {
+        // (median commit time, delta refreshes, delta rows) per mode.
+        let mut per_mode: Vec<(Duration, u64, u64)> = Vec::new();
+        for delta_on in [true, false] {
+            let mut world = suppliers::build_world(
+                WorldConfig {
+                    screen: Size::new(200, 60),
+                    delta_propagation: delta_on,
+                    ..WorldConfig::default()
+                },
+                &SuppliersConfig {
+                    suppliers: n,
+                    parts: (n / 2).max(50),
+                    shipments: n * 2,
+                    seed: 41,
+                },
+            );
+            // A sentinel supplier with no shipments: the join watcher's
+            // delta reduces to one index probe that finds nothing, so the
+            // window is provably unaffected without running its query.
+            let sentinel = vec![
+                Value::Int(n as i64),
+                Value::text("supplier-bench"),
+                Value::text("london"),
+                Value::Int(10),
+            ];
+            let rid = world.apply_insert("supplier", sentinel.clone()).unwrap();
+            let s = world.open_session();
+            world.open_window(s, "london_suppliers", None).unwrap();
             world
-                .window_mut(editor)
-                .unwrap()
-                .form
-                .set_text(3, &toggle.to_string());
-            world.commit(editor).unwrap();
-        });
-        let refreshed_per_commit = world.stats.windows_refreshed / reps as u64;
-        assert_eq!(
-            refreshed_per_commit as usize, k,
-            "exactly the dependent windows refresh"
-        );
-        let rebuilds = world.dep_index().rebuilds() - warm_rebuilds;
-        assert_eq!(
-            rebuilds, 0,
-            "warm propagation must not recompute base-table sets"
-        );
+                .open_window_using(
+                    s,
+                    "suppliers",
+                    None,
+                    WindowStyle::Form,
+                    CursorStrategy::Materialized,
+                )
+                .unwrap();
+            world.open_window(s, "shipment_detail", None).unwrap();
+            // Warm up: derive the dependency sets and delta plans once.
+            let status_row = |status: i64| {
+                let mut row = sentinel.clone();
+                row[3] = Value::Int(status);
+                row
+            };
+            world.apply_update("supplier", rid, status_row(11)).unwrap();
+            let warm_rebuilds = world.dep_index().rebuilds();
+            world.stats.delta_refreshes = 0;
+            world.stats.full_refreshes = 0;
+            world.stats.delta_rows = 0;
+            let mut status = 11;
+            let d = time_median(reps, || {
+                status += 1;
+                world
+                    .apply_update("supplier", rid, status_row(status))
+                    .unwrap();
+            });
+            assert_eq!(
+                world.dep_index().rebuilds() - warm_rebuilds,
+                0,
+                "warm propagation must not recompute dependency sets"
+            );
+            if delta_on {
+                assert_eq!(
+                    world.stats.full_refreshes, 0,
+                    "warm deltable windows must never fall back to re-query"
+                );
+                assert_eq!(
+                    world.stats.delta_refreshes,
+                    2 * reps as u64,
+                    "the selection and materialized watchers refresh via deltas"
+                );
+            } else {
+                assert_eq!(world.stats.delta_refreshes, 0);
+                assert_eq!(
+                    world.stats.full_refreshes,
+                    3 * reps as u64,
+                    "the baseline re-runs every dependent window"
+                );
+            }
+            per_mode.push((d, world.stats.delta_refreshes, world.stats.delta_rows));
+        }
+        let (d_delta, refreshes, rows) = per_mode[0];
+        let (d_full, _, _) = per_mode[1];
+        let speedup = d_full.as_secs_f64() / d_delta.as_secs_f64().max(1e-9);
         t.push(vec![
-            k.to_string(),
-            "4".into(),
-            refreshed_per_commit.to_string(),
-            rebuilds.to_string(),
-            fmt_duration(d),
+            n.to_string(),
+            fmt_duration(d_delta),
+            fmt_duration(d_full),
+            format!("{speedup:.1}x"),
+            format!("{:.0}", refreshes as f64 / reps as f64),
+            format!("{:.0}", rows as f64 / reps as f64),
         ]);
     }
     t

@@ -17,6 +17,7 @@
 //! write, [`BrowseCursor::refresh`] re-fetches the current page in place.
 
 use crate::error::{WowError, WowResult};
+use std::cmp::Ordering;
 use wow_rel::db::Database;
 use wow_rel::eval::{eval, eval_pred};
 use wow_rel::exec::infer_type;
@@ -25,6 +26,7 @@ use wow_rel::schema::{Column, Schema};
 use wow_rel::tuple::Tuple;
 use wow_rel::types::DataType;
 use wow_storage::Rid;
+use wow_views::delta::{DeltaRow, ViewDelta};
 use wow_views::expand::{run_view_query, ViewQuery};
 use wow_views::translate::view_rows_with_rids;
 use wow_views::updatable::Updatability;
@@ -69,7 +71,9 @@ pub struct Indexed {
     /// `page_starts[i]` = index key strictly before page `i` (None = start).
     page_starts: Vec<Option<Vec<u8>>>,
     page_no: usize,
-    page: Vec<(Rid, Tuple)>,
+    /// The current screenful: `(rid, index key, view row)` — the key keeps
+    /// delta rows placeable without re-reading the index.
+    page: Vec<(Rid, Vec<u8>, Tuple)>,
     /// Key to continue after for the *next* page.
     next_start: Option<Vec<u8>>,
     /// Rows on fully-consumed earlier pages (for position display).
@@ -211,9 +215,10 @@ impl BrowseCursor {
     /// The current row, owned (uniform across strategies).
     pub fn current_row(&self) -> Option<BrowseRow> {
         match self {
-            BrowseCursor::Indexed(ix) => {
-                ix.page.get(ix.pos).map(|(rid, t)| (Some(*rid), t.clone()))
-            }
+            BrowseCursor::Indexed(ix) => ix
+                .page
+                .get(ix.pos)
+                .map(|(rid, _, t)| (Some(*rid), t.clone())),
             BrowseCursor::Streamed(s) => s.page.get(s.pos).map(|t| (None, t.clone())),
             BrowseCursor::Materialized(m) => m.rows.get(m.pos).cloned(),
         }
@@ -441,13 +446,28 @@ impl BrowseCursor {
         }
     }
 
+    /// Apply a view delta to the displayed rows in place instead of
+    /// re-running the view query. Returns `false` when the strategy cannot
+    /// (streamed cursors, non-updatable materialized views, delta rows
+    /// without identity, or a page/delta mismatch) — the caller then falls
+    /// back to a full [`BrowseCursor::refresh`].
+    pub fn apply_delta(&mut self, db: &mut Database, delta: &ViewDelta) -> WowResult<bool> {
+        match self {
+            BrowseCursor::Indexed(ix) => ix.apply_delta(db, delta),
+            // Streamed pages are a fresh query per screenful; there is no
+            // materialized state to patch.
+            BrowseCursor::Streamed(_) => Ok(false),
+            BrowseCursor::Materialized(m) => m.apply_delta(db, delta),
+        }
+    }
+
     /// The rows of the current page (for grid displays).
     pub fn page_rows(&self) -> Vec<BrowseRow> {
         match self {
             BrowseCursor::Indexed(ix) => ix
                 .page
                 .iter()
-                .map(|(rid, t)| (Some(*rid), t.clone()))
+                .map(|(rid, _, t)| (Some(*rid), t.clone()))
                 .collect(),
             BrowseCursor::Streamed(s) => s.page.iter().map(|t| (None, t.clone())).collect(),
             BrowseCursor::Materialized(m) => {
@@ -500,7 +520,7 @@ impl Indexed {
                 if !keep {
                     continue;
                 }
-                self.page.push((rid, view_row));
+                self.page.push((rid, key, view_row));
                 if self.page.len() == self.page_size {
                     break;
                 }
@@ -551,6 +571,141 @@ impl Indexed {
         self.fetch_page(db, start)?;
         self.rows_before = self.rows_before.saturating_sub(self.page.len());
         Ok(())
+    }
+
+    /// Patch the current page from a view delta: rows keyed before the page
+    /// adjust the position counter, rows within the page's key range are
+    /// inserted/removed in place, rows beyond it are a later page's problem.
+    fn apply_delta(&mut self, db: &mut Database, delta: &ViewDelta) -> WowResult<bool> {
+        // Classify every delta row into remove/insert primitives, applying
+        // the window's extra QBF restriction on top of the view's own
+        // predicate (which the delta already honored).
+        let mut removes: Vec<(Rid, Vec<u8>)> = Vec::new();
+        let mut inserts: Vec<(Rid, Vec<u8>, Tuple)> = Vec::new();
+        {
+            let passes = |row: &Tuple| -> WowResult<bool> {
+                Ok(match &self.view_pred {
+                    Some(p) => eval_pred(p, row)?,
+                    None => true,
+                })
+            };
+            let ident = |dr: &DeltaRow| Some((dr.rid?, dr.key.clone()?));
+            for dr in &delta.inserted {
+                if !passes(&dr.row)? {
+                    continue;
+                }
+                let Some((rid, key)) = ident(dr) else {
+                    return Ok(false);
+                };
+                inserts.push((rid, key, dr.row.clone()));
+            }
+            for dr in &delta.deleted {
+                if !passes(&dr.row)? {
+                    continue;
+                }
+                let Some((rid, key)) = ident(dr) else {
+                    return Ok(false);
+                };
+                removes.push((rid, key));
+            }
+            for (old, new) in &delta.updated {
+                if passes(&old.row)? {
+                    let Some((rid, key)) = ident(old) else {
+                        return Ok(false);
+                    };
+                    removes.push((rid, key));
+                }
+                if passes(&new.row)? {
+                    let Some((rid, key)) = ident(new) else {
+                        return Ok(false);
+                    };
+                    inserts.push((rid, key, new.row.clone()));
+                }
+            }
+        }
+        // Snapshot for rollback: a mid-apply mismatch must not leave the
+        // position bookkeeping half-adjusted before the caller's fallback
+        // refresh (which re-fetches the page but not `rows_before`).
+        let saved = (
+            self.page.clone(),
+            self.pos,
+            self.rows_before,
+            self.next_start.clone(),
+            self.at_end,
+        );
+        let start = self.page_starts[self.page_no].clone();
+        let before_start = |key: &[u8]| match &start {
+            Some(s) => key <= s.as_slice(),
+            None => false,
+        };
+        // The page covers keys in `(start, next_start]` — or to infinity on
+        // the last page.
+        let in_page = |key: &[u8], at_end: bool, next_start: &Option<Vec<u8>>| {
+            at_end
+                || match next_start {
+                    Some(ns) => key <= ns.as_slice(),
+                    None => true,
+                }
+        };
+        // The current row is tracked by identity (rid) across the patch; a
+        // running index is the fallback when the row itself vanished.
+        let cur_rid = self.page.get(self.pos).map(|(r, _, _)| *r);
+        let mut cur_idx = self.pos;
+        for (rid, key) in removes {
+            if before_start(&key) {
+                self.rows_before = self.rows_before.saturating_sub(1);
+            } else if in_page(&key, self.at_end, &self.next_start) {
+                let Some(idx) = self.page.iter().position(|(r, _, _)| *r == rid) else {
+                    // The page and the delta disagree; re-query instead of
+                    // guessing.
+                    (
+                        self.page,
+                        self.pos,
+                        self.rows_before,
+                        self.next_start,
+                        self.at_end,
+                    ) = saved;
+                    return Ok(false);
+                };
+                self.page.remove(idx);
+                if idx < cur_idx {
+                    cur_idx -= 1;
+                }
+            }
+        }
+        for (rid, key, row) in inserts {
+            if before_start(&key) {
+                self.rows_before += 1;
+            } else if in_page(&key, self.at_end, &self.next_start) {
+                let idx = self
+                    .page
+                    .partition_point(|(_, k, _)| k.as_slice() <= key.as_slice());
+                self.page.insert(idx, (rid, key, row));
+                if idx <= cur_idx && cur_rid.is_some() {
+                    cur_idx += 1;
+                }
+            }
+        }
+        self.pos = cur_rid
+            .and_then(|rid| self.page.iter().position(|(r, _, _)| *r == rid))
+            .unwrap_or_else(|| cur_idx.min(self.page.len().saturating_sub(1)));
+        // Spill: the page holds one screenful; extra rows belong to the
+        // next page, which now starts after our new last key.
+        if self.page.len() > self.page_size {
+            self.page.truncate(self.page_size);
+            self.next_start = self.page.last().map(|(_, k, _)| k.clone());
+            self.at_end = false;
+        }
+        self.pos = self.pos.min(self.page.len().saturating_sub(1));
+        // Backfill: removals may have made room for rows sitting beyond the
+        // old page boundary; one page-local refetch restores a full
+        // screenful (still incremental — no full view re-query).
+        if self.page.len() < self.page_size && !self.at_end {
+            let pos = self.pos;
+            self.fetch_page(db, start)?;
+            self.pos = pos.min(self.page.len().saturating_sub(1));
+        }
+        Ok(true)
     }
 }
 
@@ -625,5 +780,105 @@ impl Materialized {
             }
         };
         Ok(())
+    }
+
+    /// Patch the materialized rows from a view delta: remove by rid, insert
+    /// at the position a full refill would have produced (heap order when
+    /// unsorted, the resolved sort keys with rid tie-break otherwise).
+    fn apply_delta(&mut self, db: &mut Database, delta: &ViewDelta) -> WowResult<bool> {
+        // Without an updatability proof rows carry no rids to patch by.
+        let Some(upd) = self.upd.clone() else {
+            return Ok(false);
+        };
+        let schema = view_schema_of(db, &upd)?;
+        let pred = match &self.query.pred {
+            Some(p) => Some(p.clone().resolve(&schema)?),
+            None => None,
+        };
+        let keys: Vec<(usize, bool)> = self
+            .query
+            .sort
+            .iter()
+            .map(|k| Ok::<_, wow_rel::RelError>((schema.resolve(&k.column)?, k.ascending)))
+            .collect::<Result<_, _>>()?;
+        let passes = |row: &Tuple| -> WowResult<bool> {
+            Ok(match &pred {
+                Some(p) => eval_pred(p, row)?,
+                None => true,
+            })
+        };
+        let mut removes: Vec<Rid> = Vec::new();
+        let mut inserts: Vec<(Rid, Tuple)> = Vec::new();
+        for dr in &delta.inserted {
+            if !passes(&dr.row)? {
+                continue;
+            }
+            let Some(rid) = dr.rid else {
+                return Ok(false);
+            };
+            inserts.push((rid, dr.row.clone()));
+        }
+        for dr in &delta.deleted {
+            if !passes(&dr.row)? {
+                continue;
+            }
+            let Some(rid) = dr.rid else {
+                return Ok(false);
+            };
+            removes.push(rid);
+        }
+        for (old, new) in &delta.updated {
+            if passes(&old.row)? {
+                let Some(rid) = old.rid else {
+                    return Ok(false);
+                };
+                removes.push(rid);
+            }
+            if passes(&new.row)? {
+                let Some(rid) = new.rid else {
+                    return Ok(false);
+                };
+                inserts.push((rid, new.row.clone()));
+            }
+        }
+        // Track the current row by identity across the patch, with a
+        // running index as the fallback when it was itself removed.
+        let cur_rid = self.rows.get(self.pos).and_then(|(r, _)| *r);
+        let mut cur_idx = self.pos;
+        for rid in removes {
+            let Some(idx) = self.rows.iter().position(|(r, _)| *r == Some(rid)) else {
+                // Mismatch: the caller's fallback refill rebuilds everything,
+                // so partially applied removals are harmless here.
+                return Ok(false);
+            };
+            self.rows.remove(idx);
+            if idx < cur_idx {
+                cur_idx -= 1;
+            }
+        }
+        for (rid, row) in inserts {
+            let idx = if keys.is_empty() {
+                // `view_rows_with_rids` yields heap-scan order, which is rid
+                // order (pages ascending, slots ascending).
+                self.rows
+                    .partition_point(|(r, _)| r.is_some_and(|r| r <= rid))
+            } else {
+                self.rows.partition_point(|(r, t)| {
+                    match wow_rel::exec::sort::compare(t, &row, &keys) {
+                        Ordering::Less => true,
+                        Ordering::Equal => r.is_some_and(|r| r <= rid),
+                        Ordering::Greater => false,
+                    }
+                })
+            };
+            self.rows.insert(idx, (Some(rid), row));
+            if idx <= cur_idx && cur_rid.is_some() {
+                cur_idx += 1;
+            }
+        }
+        self.pos = cur_rid
+            .and_then(|rid| self.rows.iter().position(|(r, _)| *r == Some(rid)))
+            .unwrap_or_else(|| cur_idx.min(self.rows.len().saturating_sub(1)));
+        Ok(true)
     }
 }

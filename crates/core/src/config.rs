@@ -17,6 +17,10 @@ pub struct WorldConfig {
     pub locking: bool,
     /// Per-session undo depth.
     pub undo_depth: usize,
+    /// Whether write propagation pushes typed deltas through the view
+    /// algebra and patches browse cursors in place; off forces the full
+    /// re-query path on every affected window (the Figure 4 baseline).
+    pub delta_propagation: bool,
 }
 
 impl Default for WorldConfig {
@@ -27,6 +31,7 @@ impl Default for WorldConfig {
             check_option: CheckOption::Checked,
             locking: true,
             undo_depth: 64,
+            delta_propagation: true,
         }
     }
 }

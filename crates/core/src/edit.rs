@@ -14,6 +14,8 @@ use crate::session::SessionId;
 use crate::undo::UndoEntry;
 use crate::window_mgr::{Mode, WinId};
 use crate::world::World;
+use wow_rel::delta::BaseDelta;
+use wow_rel::tuple::Tuple;
 use wow_rel::value::Value;
 use wow_views::translate::{delete_through_view, insert_through_view, update_through_view};
 
@@ -66,13 +68,22 @@ impl World {
         Ok(())
     }
 
-    /// Leave Edit/Insert/Query mode without committing.
+    /// Leave Edit/Insert/Query mode without committing. A window that went
+    /// stale while the user was typing catches up the moment it returns to
+    /// Browse — no manual refresh required.
     pub fn cancel_mode(&mut self, win: WinId) -> WowResult<()> {
-        let w = self.window_mut(win)?;
-        w.mode = Mode::Browse;
-        w.original = None;
-        w.status.clear();
-        w.show_current();
+        let stale = {
+            let w = self.window_mut(win)?;
+            w.mode = Mode::Browse;
+            w.original = None;
+            w.status.clear();
+            w.show_current();
+            w.stale
+        };
+        if stale {
+            self.refresh_window(win)?;
+            self.stats.full_refreshes += 1;
+        }
         Ok(())
     }
 
@@ -122,9 +133,10 @@ impl World {
             return Ok(());
         }
         let assigns: Vec<(usize, Value)> = dirty.iter().map(|&i| (i, values[i].clone())).collect();
-        // Lock, snapshot the old base row (for undo), write, unlock.
+        // Lock, snapshot the old base row (for undo and the delta), write,
+        // re-read the new image, unlock.
         self.lock(session, &upd.base_table, LockMode::Exclusive)?;
-        let result = (|| -> WowResult<Vec<Value>> {
+        let result = (|| -> WowResult<(Tuple, Tuple)> {
             let info = self.db_mut().catalog().table(&upd.base_table)?.clone();
             let old_base = self
                 .db_mut()
@@ -132,18 +144,23 @@ impl World {
                 .ok_or(WowError::NoCurrentRow)?;
             let check = self.config().check_option;
             update_through_view(self.db_mut(), &upd, rid, &assigns, check)?;
-            Ok(old_base.values)
+            let new_base = self
+                .db_mut()
+                .get_row(info.id, rid)?
+                .ok_or(WowError::NoCurrentRow)?;
+            Ok((old_base, new_base))
         })();
         self.maybe_release(session);
-        let old_base = result?;
+        let (old_base, new_base) = result?;
         self.undo_stack(session)?.push(UndoEntry::Update {
             table: upd.base_table.clone(),
             rid,
-            old: old_base,
+            old: old_base.values.clone(),
         });
         self.stats.commits += 1;
         self.session_mut(session)?.commits += 1;
-        // Back to browse; refresh self; propagate to overlapping windows.
+        // Back to browse; refresh self; propagate the delta to overlapping
+        // windows.
         {
             let w = self.window_mut(win)?;
             w.mode = Mode::Browse;
@@ -151,7 +168,8 @@ impl World {
             w.status = "saved".into();
         }
         self.refresh_window(win)?;
-        self.propagate_write(&upd.base_table, Some(win))?;
+        let delta = BaseDelta::update(upd.base_table.clone(), rid, old_base, new_base);
+        self.propagate_delta(&delta, Some(win))?;
         let _ = view;
         Ok(())
     }
@@ -191,7 +209,13 @@ impl World {
             w.status = "inserted".into();
         }
         self.refresh_window(win)?;
-        self.propagate_write(&upd.base_table, Some(win))?;
+        let info = self.db_mut().catalog().table(&upd.base_table)?.clone();
+        let new_row = self
+            .db_mut()
+            .get_row(info.id, rid)?
+            .ok_or(WowError::NoCurrentRow)?;
+        let delta = BaseDelta::insert(upd.base_table.clone(), rid, new_row);
+        self.propagate_delta(&delta, Some(win))?;
         Ok(())
     }
 
@@ -218,26 +242,27 @@ impl World {
         };
         let _ = old_view_row;
         self.lock(session, &upd.base_table, LockMode::Exclusive)?;
-        let result = (|| -> WowResult<Vec<Value>> {
+        let result = (|| -> WowResult<Tuple> {
             let info = self.db_mut().catalog().table(&upd.base_table)?.clone();
             let old_base = self
                 .db_mut()
                 .get_row(info.id, rid)?
                 .ok_or(WowError::NoCurrentRow)?;
             delete_through_view(self.db_mut(), &upd, rid)?;
-            Ok(old_base.values)
+            Ok(old_base)
         })();
         self.maybe_release(session);
         let old = result?;
         self.undo_stack(session)?.push(UndoEntry::Delete {
             table: upd.base_table.clone(),
-            old,
+            old: old.values.clone(),
         });
         self.stats.commits += 1;
         self.session_mut(session)?.commits += 1;
         self.set_status(win, "deleted");
         self.refresh_window(win)?;
-        self.propagate_write(&upd.base_table, Some(win))?;
+        let delta = BaseDelta::delete(upd.base_table.clone(), rid, old);
+        self.propagate_delta(&delta, Some(win))?;
         Ok(())
     }
 
@@ -255,24 +280,48 @@ impl World {
         self.lock(session, &table, LockMode::Exclusive)?;
         let result = self.apply_undo_entry(entry);
         self.maybe_release(session);
-        result?;
-        self.propagate_write(&table, None)?;
+        let delta = result?;
+        self.propagate_delta(&delta, None)?;
         Ok(())
     }
 
-    fn apply_undo_entry(&mut self, entry: UndoEntry) -> WowResult<()> {
+    /// Apply the inverse write and return the delta it produced (empty when
+    /// the target row no longer exists).
+    fn apply_undo_entry(&mut self, entry: UndoEntry) -> WowResult<BaseDelta> {
         match entry {
             UndoEntry::Update { table, rid, old } => {
-                self.db_mut().update_rid(&table, rid, old)?;
+                let info = self.db_mut().catalog().table(&table)?.clone();
+                let before = self.db_mut().get_row(info.id, rid)?;
+                let mut delta = BaseDelta::new(&table);
+                if self.db_mut().update_rid(&table, rid, old)? {
+                    let after = self.db_mut().get_row(info.id, rid)?;
+                    if let (Some(before), Some(after)) = (before, after) {
+                        delta.updated.push((rid, before, after));
+                    }
+                }
+                Ok(delta)
             }
             UndoEntry::Insert { table, rid } => {
-                self.db_mut().delete_rid(&table, rid)?;
+                let info = self.db_mut().catalog().table(&table)?.clone();
+                let before = self.db_mut().get_row(info.id, rid)?;
+                let mut delta = BaseDelta::new(&table);
+                if self.db_mut().delete_rid(&table, rid)? {
+                    if let Some(before) = before {
+                        delta.deleted.push((rid, before));
+                    }
+                }
+                Ok(delta)
             }
             UndoEntry::Delete { table, old } => {
-                self.db_mut().insert(&table, old)?;
+                let rid = self.db_mut().insert(&table, old)?;
+                let info = self.db_mut().catalog().table(&table)?.clone();
+                let row = self
+                    .db_mut()
+                    .get_row(info.id, rid)?
+                    .ok_or(WowError::NoCurrentRow)?;
+                Ok(BaseDelta::insert(table, rid, row))
             }
         }
-        Ok(())
     }
 
     // -- Batch transactions ---------------------------------------------------

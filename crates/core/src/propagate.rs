@@ -8,8 +8,110 @@
 use crate::error::WowResult;
 use crate::window_mgr::{Mode, WinId};
 use crate::world::World;
+use std::collections::BTreeMap;
+use wow_rel::delta::BaseDelta;
+use wow_views::delta::{compute_view_delta, ViewDelta};
 
 impl World {
+    /// Push a typed write delta through the view algebra and patch every
+    /// affected window's screenful in place, falling back to a full
+    /// re-query per window only when the view is not delta-maintainable
+    /// (aggregates, DISTINCT, grouping, self-joins), the delta is too large
+    /// to be worth translating, or the cursor cannot place the delta rows.
+    ///
+    /// Windows whose view provably cannot see the change (the view delta is
+    /// empty — e.g. a filtered view the written row never matched, or a
+    /// join the written row joins with nothing through) are skipped
+    /// entirely: no refresh, no query, no counter.
+    ///
+    /// Mid-edit windows are marked stale, exactly like
+    /// [`World::propagate_write`]. Returns the ids of the windows updated.
+    pub fn propagate_delta(
+        &mut self,
+        delta: &BaseDelta,
+        source: Option<WinId>,
+    ) -> WowResult<Vec<WinId>> {
+        self.stats.propagations += 1;
+        let table = delta.table.clone();
+        // Phase 1: which windows can see the table at all (cached map).
+        let mut affected: Vec<(WinId, String)> = Vec::new();
+        {
+            let (db, views, windows, deps) = self.dep_parts();
+            for (id, w) in windows {
+                if Some(*id) == source {
+                    continue;
+                }
+                if deps.reads(db, views, &w.view, &table).unwrap_or(false) {
+                    affected.push((*id, w.view.clone()));
+                }
+            }
+        }
+        // Phase 2: translate the base delta once per distinct view. `None`
+        // means "fall back to a full refresh" for that view's windows.
+        let mut view_deltas: BTreeMap<String, Option<ViewDelta>> = BTreeMap::new();
+        if self.config().delta_propagation {
+            for (_, view) in &affected {
+                if view_deltas.contains_key(view) {
+                    continue;
+                }
+                let (db, views, deps) = self.delta_parts();
+                let plan = deps.delta_plan(db, views, view, &table)?.clone();
+                let vd = compute_view_delta(db, &plan, delta)?;
+                view_deltas.insert(view.clone(), vd);
+            }
+        }
+        // Phase 3: apply per window.
+        let mut refreshed = Vec::new();
+        for (id, view) in affected {
+            let mid_edit = matches!(
+                self.window(id)?.mode,
+                Mode::Edit | Mode::Insert | Mode::Query
+            );
+            if mid_edit {
+                self.window_mut(id)?.stale = true;
+                continue;
+            }
+            match view_deltas.get(&view) {
+                Some(Some(vd)) if vd.is_empty() => {
+                    // The write is invisible to this view; leave the
+                    // window untouched.
+                    continue;
+                }
+                Some(Some(vd)) => {
+                    let applied = {
+                        let (db, _vc, w) = self.parts(id)?;
+                        let ok = w.cursor.apply_delta(db, vd)?;
+                        if ok {
+                            w.stale = false;
+                            if matches!(w.mode, Mode::Browse) {
+                                w.show_current();
+                            }
+                        }
+                        ok
+                    };
+                    if applied {
+                        self.stats.delta_refreshes += 1;
+                        self.stats.delta_rows += vd.len() as u64;
+                    } else {
+                        self.refresh_window(id)?;
+                        self.stats.full_refreshes += 1;
+                    }
+                    self.stats.windows_refreshed += 1;
+                    refreshed.push(id);
+                }
+                _ => {
+                    // Non-deltable view, oversized delta, or delta
+                    // propagation disabled: the classic full re-query.
+                    self.refresh_window(id)?;
+                    self.stats.full_refreshes += 1;
+                    self.stats.windows_refreshed += 1;
+                    refreshed.push(id);
+                }
+            }
+        }
+        Ok(refreshed)
+    }
+
     /// Refresh every window whose view (transitively) reads `table`.
     /// `source` is the window that performed the write (refreshed already
     /// by its commit path, so skipped here). Windows that are mid-edit are
@@ -49,6 +151,7 @@ impl World {
                 continue;
             }
             self.refresh_window(id)?;
+            self.stats.full_refreshes += 1;
             self.stats.windows_refreshed += 1;
             refreshed.push(id);
         }
@@ -148,13 +251,116 @@ mod tests {
         let other_state = w.window(other).unwrap();
         assert!(other_state.stale);
         assert_eq!(other_state.mode, Mode::Edit);
-        // When the user finishes, a refresh clears staleness.
+        // Leaving edit mode refreshes the stale window automatically.
         w.cancel_mode(other).unwrap();
-        w.refresh_window(other).unwrap();
         assert!(!w.window(other).unwrap().stale);
         assert_eq!(
             w.current_row(other).unwrap().unwrap().values[1].to_string(),
             "500"
+        );
+    }
+
+    #[test]
+    fn leaving_any_mode_catches_up_stale_windows() {
+        let mut w = world();
+        let s1 = w.open_session();
+        let s2 = w.open_session();
+        let editor = w.open_window(s1, "emps", None).unwrap();
+        let other = w.open_window(s2, "toy_emps", None).unwrap();
+        // The watcher is composing an insert while the editor commits.
+        w.enter_insert(other).unwrap();
+        w.enter_edit(editor).unwrap();
+        w.window_mut(editor).unwrap().form.set_text(2, "640");
+        w.commit(editor).unwrap();
+        assert!(w.window(other).unwrap().stale);
+        w.cancel_mode(other).unwrap();
+        let state = w.window(other).unwrap();
+        assert_eq!(state.mode, Mode::Browse);
+        assert!(!state.stale, "insert-mode exit auto-refreshes");
+        assert_eq!(
+            w.current_row(other).unwrap().unwrap().values[1].to_string(),
+            "640"
+        );
+        // Same through Query mode: running the query rebuilds the cursor
+        // against current data, which also clears staleness.
+        w.enter_query(other).unwrap();
+        w.enter_edit(editor).unwrap();
+        w.window_mut(editor).unwrap().form.set_text(2, "650");
+        w.commit(editor).unwrap();
+        assert!(w.window(other).unwrap().stale);
+        w.apply_query(other).unwrap();
+        assert!(!w.window(other).unwrap().stale, "query run refreshes");
+        assert_eq!(
+            w.current_row(other).unwrap().unwrap().values[1].to_string(),
+            "650"
+        );
+    }
+
+    #[test]
+    fn invisible_writes_skip_windows_entirely() {
+        let mut w = world();
+        let s1 = w.open_session();
+        let s2 = w.open_session();
+        let editor = w.open_window(s1, "emps", None).unwrap();
+        let toys = w.open_window(s2, "toy_emps", None).unwrap();
+        // bob is a shoe employee: raising his salary is invisible to
+        // toy_emps, so the watcher is neither refreshed nor counted.
+        w.browse_next(editor).unwrap(); // move to bob
+        w.enter_edit(editor).unwrap();
+        w.window_mut(editor).unwrap().form.set_text(2, "95");
+        w.commit(editor).unwrap();
+        assert_eq!(w.stats.windows_refreshed, 0, "empty view delta → skip");
+        assert_eq!(w.stats.delta_refreshes, 0);
+        assert_eq!(w.stats.full_refreshes, 0);
+        // alice is a toy employee: her raise patches the watcher in place.
+        w.browse_prev(editor).unwrap();
+        w.enter_edit(editor).unwrap();
+        w.window_mut(editor).unwrap().form.set_text(2, "121");
+        w.commit(editor).unwrap();
+        assert_eq!(w.stats.delta_refreshes, 1, "visible delta applied");
+        assert_eq!(w.stats.full_refreshes, 0, "no fallback on deltable view");
+        assert_eq!(
+            w.current_row(toys).unwrap().unwrap().values[1].to_string(),
+            "121"
+        );
+        let _ = toys;
+    }
+
+    #[test]
+    fn delta_propagation_off_forces_full_refreshes() {
+        let cfg = WorldConfig {
+            delta_propagation: false,
+            ..WorldConfig::default()
+        };
+        let mut w = World::new(cfg);
+        w.db_mut()
+            .run("CREATE TABLE emp (name TEXT KEY, dept TEXT, salary INT)")
+            .unwrap();
+        w.db_mut()
+            .run(r#"APPEND TO emp (name = "alice", dept = "toy", salary = 120)"#)
+            .unwrap();
+        w.define_view(
+            "emps",
+            "RANGE OF e IS emp RETRIEVE (e.name, e.dept, e.salary)",
+        )
+        .unwrap();
+        w.define_view(
+            "toy_emps",
+            r#"RANGE OF e IS emp RETRIEVE (e.name, e.salary) WHERE e.dept = "toy""#,
+        )
+        .unwrap();
+        let s1 = w.open_session();
+        let s2 = w.open_session();
+        let editor = w.open_window(s1, "emps", None).unwrap();
+        let watcher = w.open_window(s2, "toy_emps", None).unwrap();
+        w.enter_edit(editor).unwrap();
+        w.window_mut(editor).unwrap().form.set_text(2, "130");
+        w.commit(editor).unwrap();
+        assert_eq!(w.stats.full_refreshes, 1, "baseline re-queries");
+        assert_eq!(w.stats.delta_refreshes, 0);
+        assert_eq!(
+            w.current_row(watcher).unwrap().unwrap().values[1].to_string(),
+            "130"
         );
     }
 

@@ -84,6 +84,9 @@ impl World {
             w.form = wow_forms::FormInstance::new(spec);
             w.qbf_pred = pred;
             w.mode = Mode::Browse;
+            // The rebuilt cursor read the current data, so any staleness
+            // accrued while the user typed the query is gone.
+            w.stale = false;
             w.show_current();
             !w.cursor.is_empty()
         };
@@ -126,6 +129,7 @@ impl World {
         let w = self.window_mut(win)?;
         w.cursor = cursor;
         w.qbf_pred = None;
+        w.stale = false;
         w.status.clear();
         w.show_current();
         Ok(())

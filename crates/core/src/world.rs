@@ -30,10 +30,29 @@ pub struct WorldStats {
     pub windows_refreshed: u64,
     /// Propagation passes run.
     pub propagations: u64,
+    /// Windows refreshed by applying a view delta in place.
+    pub delta_refreshes: u64,
+    /// Windows refreshed by re-running their view query (fallback).
+    pub full_refreshes: u64,
+    /// View-delta rows applied to browse cursors.
+    pub delta_rows: u64,
     /// Frames rendered.
     pub frames: u64,
     /// Cells emitted by damage-tracked rendering.
     pub cells_emitted: u64,
+}
+
+/// How a window's browse cursor is chosen at open time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CursorStrategy {
+    /// Indexed when the base table has a primary-key index, materialized
+    /// for key-less updatable views, streamed otherwise.
+    #[default]
+    Auto,
+    /// Force a fully materialized cursor (benches measure the O(N) refill
+    /// baseline against it; also the only strategy that holds a whole join
+    /// result).
+    Materialized,
 }
 
 /// The world: database, views, forms, sessions, windows, locks, screen.
@@ -122,6 +141,12 @@ impl World {
         &mut DepIndex,
     ) {
         (&self.db, &self.views, &self.windows, &mut self.deps)
+    }
+
+    /// Split borrow used by delta computation: database (write — residual
+    /// queries bump probe counters) + view catalog alongside the plan cache.
+    pub(crate) fn delta_parts(&mut self) -> (&mut Database, &ViewCatalog, &mut DepIndex) {
+        (&mut self.db, &self.views, &mut self.deps)
     }
 
     /// The lock manager (inspection).
@@ -279,6 +304,19 @@ impl World {
         rect: Option<Rect>,
         style: crate::window_mgr::WindowStyle,
     ) -> WowResult<WinId> {
+        self.open_window_using(session, view, rect, style, CursorStrategy::Auto)
+    }
+
+    /// Open a window with an explicit cursor strategy (benches force
+    /// `Materialized` to measure the full-refill baseline).
+    pub fn open_window_using(
+        &mut self,
+        session: SessionId,
+        view: &str,
+        rect: Option<Rect>,
+        style: crate::window_mgr::WindowStyle,
+        strategy: CursorStrategy,
+    ) -> WowResult<WinId> {
         if !self.sessions.contains_key(&session) {
             return Err(WowError::NoSuchSession(session.0));
         }
@@ -294,7 +332,9 @@ impl World {
             Some(u) => {
                 let schema = view_schema_of(&self.db, u)?;
                 let pk_index = format!("pk_{}", u.base_table);
-                let cursor = if self.db.catalog().index(&pk_index).is_ok() {
+                let use_index = matches!(strategy, CursorStrategy::Auto)
+                    && self.db.catalog().index(&pk_index).is_ok();
+                let cursor = if use_index {
                     BrowseCursor::indexed(&mut self.db, u, &pk_index, self.cfg.page_size, None)?
                 } else {
                     BrowseCursor::materialized(
@@ -313,13 +353,22 @@ impl World {
                 // through limit pushdown, so the first screenful is all the
                 // join ever produces.
                 let schema = view_schema(&self.db, &self.views, view)?;
-                let cursor = BrowseCursor::streamed(
-                    &mut self.db,
-                    &self.views,
-                    view,
-                    ViewQuery::default(),
-                    self.cfg.page_size,
-                )?;
+                let cursor = match strategy {
+                    CursorStrategy::Materialized => BrowseCursor::materialized(
+                        &mut self.db,
+                        &self.views,
+                        view,
+                        ViewQuery::default(),
+                        None,
+                    )?,
+                    CursorStrategy::Auto => BrowseCursor::streamed(
+                        &mut self.db,
+                        &self.views,
+                        view,
+                        ViewQuery::default(),
+                        self.cfg.page_size,
+                    )?,
+                };
                 (schema, cursor)
             }
         };
@@ -494,6 +543,65 @@ impl World {
             w.show_current();
         }
         Ok(())
+    }
+
+    // -- External writes ---------------------------------------------------------
+
+    /// Insert a base row from outside any window (scripts, loaders, tests)
+    /// and propagate the delta to every watching window.
+    pub fn apply_insert(
+        &mut self,
+        table: &str,
+        values: Vec<wow_rel::value::Value>,
+    ) -> WowResult<wow_storage::Rid> {
+        let rid = self.db.insert(table, values)?;
+        let id = self.db.catalog().table(table)?.id;
+        let row = self
+            .db
+            .get_row(id, rid)?
+            .expect("row just inserted is readable");
+        let delta = wow_rel::delta::BaseDelta::insert(table, rid, row);
+        self.propagate_delta(&delta, None)?;
+        Ok(rid)
+    }
+
+    /// Update a base row in place from outside any window and propagate.
+    /// Returns whether the rid existed.
+    pub fn apply_update(
+        &mut self,
+        table: &str,
+        rid: wow_storage::Rid,
+        values: Vec<wow_rel::value::Value>,
+    ) -> WowResult<bool> {
+        let id = self.db.catalog().table(table)?.id;
+        let Some(old) = self.db.get_row(id, rid)? else {
+            return Ok(false);
+        };
+        if !self.db.update_rid(table, rid, values)? {
+            return Ok(false);
+        }
+        let new = self
+            .db
+            .get_row(id, rid)?
+            .expect("row just updated is readable");
+        let delta = wow_rel::delta::BaseDelta::update(table, rid, old, new);
+        self.propagate_delta(&delta, None)?;
+        Ok(true)
+    }
+
+    /// Delete a base row from outside any window and propagate. Returns
+    /// whether the rid existed.
+    pub fn apply_delete(&mut self, table: &str, rid: wow_storage::Rid) -> WowResult<bool> {
+        let id = self.db.catalog().table(table)?.id;
+        let Some(old) = self.db.get_row(id, rid)? else {
+            return Ok(false);
+        };
+        if !self.db.delete_rid(table, rid)? {
+            return Ok(false);
+        }
+        let delta = wow_rel::delta::BaseDelta::delete(table, rid, old);
+        self.propagate_delta(&delta, None)?;
+        Ok(true)
     }
 
     // -- Rendering -----------------------------------------------------------------

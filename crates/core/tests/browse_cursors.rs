@@ -266,7 +266,7 @@ fn streamed_cursor_pages_join_views_incrementally() {
         vc
     };
     // Drain with the real catalog: streamed pages re-run the view query.
-    let mut drain = |cursor: &mut BrowseCursor, w: &mut World| {
+    let drain = |cursor: &mut BrowseCursor, w: &mut World| {
         let mut out = Vec::new();
         loop {
             match cursor.current_row() {

@@ -1,0 +1,278 @@
+//! Delta-propagation equivalence: a browse cursor maintained by pushing
+//! typed write deltas through the view algebra must show exactly the same
+//! screenful — same rows, same rids, same order — as one maintained by
+//! re-running its query after every write.
+//!
+//! Two worlds receive identical random write sequences; one has
+//! `delta_propagation` on (cursors are patched in place), the other off
+//! (every dependent window re-queries). After every single write, every
+//! watcher window's page must agree across the worlds.
+
+use proptest::prelude::*;
+use wow_core::config::WorldConfig;
+use wow_core::window_mgr::{WinId, WindowStyle};
+use wow_core::world::{CursorStrategy, World};
+use wow_rel::value::Value;
+use wow_storage::Rid;
+
+/// One random write against the base tables.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert into `ta` (id assigned by a monotone counter).
+    Insert { x: i64, tag: String },
+    /// Overwrite the non-key columns of a live `ta` row.
+    Update { idx: usize, x: i64, tag: String },
+    /// Delete a live `ta` row.
+    Delete { idx: usize },
+    /// Insert into `tb`, referencing a live `ta` row (or a dangling id).
+    InsertB { idx: usize, q: i64, dangle: bool },
+    /// Delete a live `tb` row.
+    DeleteB { idx: usize },
+}
+
+fn tag_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![Just("red"), Just("blue"), Just("green")].prop_map(|s| s.to_string())
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((-2i64..8), tag_strategy()).prop_map(|(x, tag)| Op::Insert { x, tag }),
+        ((0usize..16), (-2i64..8), tag_strategy()).prop_map(|(idx, x, tag)| Op::Update {
+            idx,
+            x,
+            tag
+        }),
+        (0usize..16).prop_map(|idx| Op::Delete { idx }),
+        ((0usize..16), (0i64..100), any::<bool>()).prop_map(|(idx, q, dangle)| Op::InsertB {
+            idx,
+            q,
+            dangle
+        }),
+        (0usize..16).prop_map(|idx| Op::DeleteB { idx }),
+    ]
+}
+
+/// Live-row bookkeeping shared by both worlds. The rids returned by the two
+/// worlds must stay identical (same storage, same op order), which we assert
+/// as we go — it is what makes a single list valid for both.
+struct Live {
+    /// (id, rid) of live `ta` rows.
+    a: Vec<(i64, Rid)>,
+    /// rids of live `tb` rows.
+    b: Vec<Rid>,
+    next_id: i64,
+    next_b_id: i64,
+}
+
+fn build_world(delta_on: bool, rows: &[(i64, String)], with_join: bool) -> (World, Vec<WinId>) {
+    let mut w = World::new(WorldConfig {
+        delta_propagation: delta_on,
+        page_size: 5,
+        ..WorldConfig::default()
+    });
+    w.db_mut()
+        .run(
+            "CREATE TABLE ta (id INT KEY, x INT, tag TEXT)
+             CREATE TABLE tb (id INT KEY, aid INT, q INT)
+             CREATE INDEX tb_aid ON tb (aid) USING HASH
+             RANGE OF a IS ta
+             RANGE OF b IS tb",
+        )
+        .unwrap();
+    for (i, (x, tag)) in rows.iter().enumerate() {
+        w.db_mut()
+            .insert(
+                "ta",
+                vec![
+                    Value::Int(i as i64),
+                    Value::Int(*x),
+                    Value::text(tag.clone()),
+                ],
+            )
+            .unwrap();
+    }
+    w.define_view("va", "RANGE OF a IS ta RETRIEVE (a.id, a.x, a.tag)")
+        .unwrap();
+    w.define_view(
+        "va_sel",
+        "RANGE OF a IS ta RETRIEVE (a.id, a.tag) WHERE a.x >= 3",
+    )
+    .unwrap();
+    w.define_view(
+        "detail",
+        "RANGE OF a IS ta RANGE OF b IS tb RETRIEVE (a.tag, b.q) WHERE a.id = b.aid",
+    )
+    .unwrap();
+    let s = w.open_session();
+    // An indexed cursor over a selection view and a forced-materialized
+    // cursor over the whole table; the join watcher streams.
+    let mut wins = vec![
+        w.open_window(s, "va_sel", None).unwrap(),
+        w.open_window_using(
+            s,
+            "va",
+            None,
+            WindowStyle::Form,
+            CursorStrategy::Materialized,
+        )
+        .unwrap(),
+    ];
+    if with_join {
+        wins.push(w.open_window(s, "detail", None).unwrap());
+    }
+    (w, wins)
+}
+
+/// Apply one op to both worlds, keeping the shared live lists in sync.
+/// Returns false if the op degenerated to a no-op (empty live list).
+fn apply(wd: &mut World, wf: &mut World, live: &mut Live, op: &Op) -> bool {
+    match op {
+        Op::Insert { x, tag } => {
+            let id = live.next_id;
+            live.next_id += 1;
+            let row = vec![Value::Int(id), Value::Int(*x), Value::text(tag.clone())];
+            let ra = wd.apply_insert("ta", row.clone()).unwrap();
+            let rb = wf.apply_insert("ta", row).unwrap();
+            assert_eq!(ra, rb, "worlds assign different rids");
+            live.a.push((id, ra));
+            true
+        }
+        Op::Update { idx, x, tag } => {
+            if live.a.is_empty() {
+                return false;
+            }
+            let (id, rid) = live.a[idx % live.a.len()];
+            let row = vec![Value::Int(id), Value::Int(*x), Value::text(tag.clone())];
+            assert!(wd.apply_update("ta", rid, row.clone()).unwrap());
+            assert!(wf.apply_update("ta", rid, row).unwrap());
+            true
+        }
+        Op::Delete { idx } => {
+            if live.a.is_empty() {
+                return false;
+            }
+            let (_, rid) = live.a.remove(idx % live.a.len());
+            assert!(wd.apply_delete("ta", rid).unwrap());
+            assert!(wf.apply_delete("ta", rid).unwrap());
+            true
+        }
+        Op::InsertB { idx, q, dangle } => {
+            let aid = if *dangle || live.a.is_empty() {
+                -1 // references no ta row: the join delta is provably empty
+            } else {
+                live.a[idx % live.a.len()].0
+            };
+            let id = live.next_b_id;
+            live.next_b_id += 1;
+            let row = vec![Value::Int(id), Value::Int(aid), Value::Int(*q)];
+            let ra = wd.apply_insert("tb", row.clone()).unwrap();
+            let rb = wf.apply_insert("tb", row).unwrap();
+            assert_eq!(ra, rb, "worlds assign different rids");
+            live.b.push(ra);
+            true
+        }
+        Op::DeleteB { idx } => {
+            if live.b.is_empty() {
+                return false;
+            }
+            let rid = live.b.remove(idx % live.b.len());
+            assert!(wd.apply_delete("tb", rid).unwrap());
+            assert!(wf.apply_delete("tb", rid).unwrap());
+            true
+        }
+    }
+}
+
+/// (id, rid) pairs of the initial `ta` rows, in insertion order.
+fn ta_rids(w: &mut World) -> Vec<(i64, Rid)> {
+    let id = w.db_mut().catalog().table("ta").unwrap().id;
+    w.db_mut()
+        .scan_table_raw(id)
+        .unwrap()
+        .into_iter()
+        .map(|(rid, t)| match t.values[0] {
+            Value::Int(i) => (i, rid),
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+    #[test]
+    fn delta_patched_pages_match_requeried_pages(
+        rows in proptest::collection::vec(((-2i64..8), tag_strategy()), 0..14),
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+        page_forward in any::<bool>(),
+    ) {
+        let (mut wd, wins_d) = build_world(true, &rows, false);
+        let (mut wf, wins_f) = build_world(false, &rows, false);
+        if page_forward {
+            for (a, b) in wins_d.iter().zip(&wins_f) {
+                wd.browse_next_page(*a).unwrap();
+                wf.browse_next_page(*b).unwrap();
+            }
+        }
+        let mut live = Live {
+            a: ta_rids(&mut wd),
+            b: Vec::new(),
+            next_id: rows.len() as i64,
+            next_b_id: 0,
+        };
+        for op in &ops {
+            if !apply(&mut wd, &mut wf, &mut live, op) {
+                continue;
+            }
+            for (a, b) in wins_d.iter().zip(&wins_f) {
+                let pa = wd.window(*a).unwrap().cursor.page_rows();
+                let pb = wf.window(*b).unwrap().cursor.page_rows();
+                prop_assert_eq!(&pa, &pb, "window pages diverged after {:?}", op);
+                // The patched cursor must still sit on a row of its page.
+                let cursor = &wd.window(*a).unwrap().cursor;
+                let current = cursor.current_row();
+                prop_assert_eq!(current.is_some(), !pa.is_empty());
+                if let Some(row) = current {
+                    let at_pos = pa.get(cursor.pos_in_page());
+                    prop_assert_eq!(
+                        Some(&row),
+                        at_pos,
+                        "current row not at pos_in_page after {:?}", op
+                    );
+                }
+            }
+        }
+        // Single-table watchers are deltable by construction: the patched
+        // world must never have fallen back to a re-query.
+        prop_assert_eq!(wd.stats.full_refreshes, 0);
+        prop_assert_eq!(wf.stats.delta_refreshes, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+    #[test]
+    fn join_watchers_stay_consistent(
+        rows in proptest::collection::vec(((-2i64..8), tag_strategy()), 0..10),
+        ops in proptest::collection::vec(op_strategy(), 1..10),
+    ) {
+        let (mut wd, wins_d) = build_world(true, &rows, true);
+        let (mut wf, wins_f) = build_world(false, &rows, true);
+        let mut live = Live {
+            a: ta_rids(&mut wd),
+            b: Vec::new(),
+            next_id: rows.len() as i64,
+            next_b_id: 0,
+        };
+        for op in &ops {
+            if !apply(&mut wd, &mut wf, &mut live, op) {
+                continue;
+            }
+            for (a, b) in wins_d.iter().zip(&wins_f) {
+                let pa = wd.window(*a).unwrap().cursor.page_rows();
+                let pb = wf.window(*b).unwrap().cursor.page_rows();
+                prop_assert_eq!(&pa, &pb, "window pages diverged after {:?}", op);
+            }
+        }
+        prop_assert_eq!(wf.stats.delta_refreshes, 0);
+    }
+}

@@ -537,6 +537,40 @@ impl Database {
         }
     }
 
+    /// Whether an index holds any entry for `values` — the allocation-free
+    /// existence probe delta propagation uses to decide if a write joins
+    /// with anything before running a residual query.
+    pub fn index_probe_exists(&mut self, index_name: &str, values: &[Value]) -> RelResult<bool> {
+        let idx = self.catalog.index(index_name)?.clone();
+        let key = Value::encode_composite(values);
+        self.counters.index_probes += 1;
+        match self.indexes.get_mut(&idx.name).expect("handle exists") {
+            IndexHandle::BTree(t) => {
+                if idx.unique {
+                    Ok(t.contains(&mut self.pool, &key)?)
+                } else {
+                    Ok(t.contains_prefix(&mut self.pool, &key)?)
+                }
+            }
+            IndexHandle::Hash(h) => Ok(h.contains(&mut self.pool, &key)?),
+        }
+    }
+
+    /// The name of an index of `table` whose key is exactly the single
+    /// column `column`, if one exists (primary-key indexes included when
+    /// the key is that one column).
+    pub fn index_on(&self, table: &str, column: &str) -> Option<String> {
+        let info = self.catalog.table(table).ok()?;
+        let col = info.schema.resolve(column).ok()?;
+        for idx_name in &info.indexes {
+            let idx = self.catalog.index(idx_name).ok()?;
+            if idx.columns == [col] {
+                return Some(idx_name.clone());
+            }
+        }
+        None
+    }
+
     /// Fetch one *page* of index entries in key order, starting strictly
     /// after `after` (pass `None` to start at the beginning). Returns up to
     /// `limit` `(key, rid)` pairs. This is the incremental access path that

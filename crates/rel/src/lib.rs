@@ -14,6 +14,8 @@
 //! * [`db`] — the [`db::Database`] facade tying storage, catalog, WAL and
 //!   transactions together.
 //! * [`dml`] — insert/update/delete with index maintenance and undo.
+//! * [`delta`] — typed write deltas ([`delta::BaseDelta`]) and the binding
+//!   helpers incremental view maintenance pushes through view algebra.
 //! * [`exec`] — physical operators: scans, filters, joins, sort, aggregate.
 //! * [`plan`] — logical plans, the planner, and a rule-based optimizer
 //!   (predicate pushdown, index selection, greedy join ordering).
@@ -37,6 +39,7 @@
 
 pub mod catalog;
 pub mod db;
+pub mod delta;
 pub mod dml;
 pub mod error;
 pub mod eval;

@@ -447,6 +447,38 @@ impl BTree {
         Ok(out)
     }
 
+    /// Whether any entry exists under exactly `key` — an allocation-free
+    /// existence probe that stops at the first hit. Delta propagation uses
+    /// this to decide whether a write joins with anything before paying for
+    /// a residual query.
+    pub fn contains<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        key: &[u8],
+    ) -> StorageResult<bool> {
+        let mut found = false;
+        self.range_scan(pool, Bound::Included(key), Bound::Included(key), |_, _| {
+            found = true;
+            false
+        })?;
+        Ok(found)
+    }
+
+    /// Whether any entry's (composite) key starts with `prefix` — the
+    /// existence probe counterpart of [`BTree::lookup_prefix`].
+    pub fn contains_prefix<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        prefix: &[u8],
+    ) -> StorageResult<bool> {
+        let mut found = false;
+        self.range_scan(pool, Bound::Included(prefix), Bound::Unbounded, |k, _| {
+            found = k.starts_with(prefix);
+            false
+        })?;
+        Ok(found)
+    }
+
     /// All rids whose (composite) key starts with `prefix` — the lookup used
     /// by non-unique indexes built with [`composite_key`].
     pub fn lookup_prefix<S: PageStore>(

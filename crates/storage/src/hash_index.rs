@@ -233,6 +233,23 @@ impl HashIndex {
         Ok(out)
     }
 
+    /// Whether any entry exists under `key` — the existence probe used by
+    /// delta propagation (walks one bucket chain, allocates nothing).
+    pub fn contains<S: PageStore>(
+        &self,
+        pool: &mut BufferPool<S>,
+        key: &[u8],
+    ) -> StorageResult<bool> {
+        let head = self.buckets[self.bucket_of(key)];
+        let mut found = false;
+        Self::for_each_entry(pool, head, |k, _| {
+            if k == key {
+                found = true;
+            }
+        })?;
+        Ok(found)
+    }
+
     /// Remove the entry `(key, rid)`. Returns whether it existed.
     ///
     /// Removal shifts the page's remaining entries over the hole; ordering

@@ -11,6 +11,7 @@
 //! view DDL respectively) — zero recomputation while the schema is stable.
 
 use crate::catalog::ViewCatalog;
+use crate::delta::{analyze_delta, DeltaPlan};
 use crate::error::ViewResult;
 use std::collections::{BTreeMap, BTreeSet};
 use wow_rel::db::Database;
@@ -74,6 +75,9 @@ pub fn overlap(db: &Database, vc: &ViewCatalog, a: &str, b: &str) -> ViewResult<
 pub struct DepIndex {
     /// view name → base tables it transitively reads.
     cache: BTreeMap<String, BTreeSet<String>>,
+    /// (view, table) → how writes to the table move through the view.
+    /// Derived lazily per pair; cleared with the dependency map.
+    plans: BTreeMap<(String, String), DeltaPlan>,
     /// Generations the cache was built against.
     table_gen: u64,
     view_gen: u64,
@@ -106,6 +110,7 @@ impl DepIndex {
             return Ok(());
         }
         self.cache.clear();
+        self.plans.clear();
         for name in vc.names() {
             let tables = base_tables(db, vc, &name)?;
             self.cache.insert(name, tables);
@@ -139,6 +144,25 @@ impl DepIndex {
         table: &str,
     ) -> ViewResult<bool> {
         Ok(self.base_tables(db, vc, view)?.contains(table))
+    }
+
+    /// The delta plan for pushing writes on `table` through `view`, cached
+    /// per (view, table) pair under the same generation invalidation as the
+    /// dependency map.
+    pub fn delta_plan(
+        &mut self,
+        db: &Database,
+        vc: &ViewCatalog,
+        view: &str,
+        table: &str,
+    ) -> ViewResult<&DeltaPlan> {
+        self.ensure(db, vc)?;
+        let key = (view.to_string(), table.to_string());
+        if !self.plans.contains_key(&key) {
+            let plan = analyze_delta(db, vc, view, table)?;
+            self.plans.insert(key.clone(), plan);
+        }
+        Ok(&self.plans[&key])
     }
 
     /// Every view that (transitively) reads `table`, sorted by name (cached).

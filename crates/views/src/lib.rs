@@ -16,9 +16,14 @@
 //!   rows) into base-table DML, including the "row escapes the view" check.
 //! * [`deps`] — the dependency graph from views to base tables, used by the
 //!   window manager to decide which windows to refresh after a commit.
+//! * [`delta`] — incremental view maintenance: classifying views as
+//!   delta-maintainable ([`delta::DeltaPlan`]) and pushing base-table write
+//!   deltas through selection, projection, and join to produce view-row
+//!   deltas windows apply in place.
 
 pub mod catalog;
 pub mod def;
+pub mod delta;
 pub mod deps;
 pub mod error;
 pub mod expand;
