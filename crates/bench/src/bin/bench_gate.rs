@@ -1,0 +1,167 @@
+//! `bench_gate` — CI regression gate over the repro output.
+//!
+//! ```text
+//! cargo run -p wow-bench --bin bench_gate --release -- BENCH_PR4.json BENCH_PR3.json
+//! ```
+//!
+//! Compares the freshly generated bench file (first arg, default
+//! `BENCH_PR4.json`) against the checked-in baseline from the previous PR
+//! (second arg, default `BENCH_PR3.json`) and exits non-zero when:
+//!
+//! * a required percentile field is missing from the current file
+//!   (`metrics.{browse_open,commit,delta_refresh}.{p50,p95,p99}_ns`), or
+//! * the browse-open or delta-commit p95 regressed more than 2× over the
+//!   baseline.
+//!
+//! The baseline may predate the `metrics` section (PR3 did): in that case
+//! the gate falls back to the duration cells of the rendered tables —
+//! Table 2's "open (indexed)" column and Figure 4's "delta commit" column,
+//! last (largest-cardinality) row — parsed from strings like "163.2 µs".
+
+use wow_bench::json::{parse, Json};
+
+/// The regression threshold: fail when current p95 exceeds 2× baseline.
+const MAX_RATIO: f64 = 2.0;
+
+/// Parse a rendered duration cell ("8314 ns", "163.2 µs", "30.91 ms",
+/// "1.20 s") into nanoseconds.
+fn parse_duration_ns(cell: &str) -> Option<f64> {
+    let cell = cell.trim();
+    let split = cell.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))?;
+    let value: f64 = cell[..split].parse().ok()?;
+    let scale = match cell[split..].trim() {
+        "ns" => 1.0,
+        "µs" | "us" => 1_000.0,
+        "ms" => 1_000_000.0,
+        "s" => 1_000_000_000.0,
+        _ => return None,
+    };
+    Some(value * scale)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// p95 for `op` from a file's `metrics` section, if present.
+fn metrics_p95(doc: &Json, op: &str) -> Option<f64> {
+    doc.get("metrics")?.get(op)?.get("p95_ns")?.as_f64()
+}
+
+/// A duration cell from the last row of the experiment titled `id`,
+/// in the column named `column`.
+fn table_cell_ns(doc: &Json, id: &str, column: &str) -> Option<f64> {
+    let exp = doc
+        .get("experiments")?
+        .items()
+        .iter()
+        .find(|e| e.get("id").and_then(Json::as_str) == Some(id))?;
+    let col = exp
+        .get("headers")?
+        .items()
+        .iter()
+        .position(|h| h.as_str() == Some(column))?;
+    let last = exp.get("rows")?.items().last()?;
+    parse_duration_ns(last.items().get(col)?.as_str()?)
+}
+
+/// Baseline p95 for a gated op: prefer the metrics section (baselines from
+/// PR4 on have one), else fall back to the rendered table cell.
+fn baseline_ns(doc: &Json, op: &str, table: &str, column: &str) -> Option<f64> {
+    metrics_p95(doc, op).or_else(|| table_cell_ns(doc, table, column))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current_path = args.first().map(String::as_str).unwrap_or("BENCH_PR4.json");
+    let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR3.json");
+
+    let (current, baseline) = match (load(current_path), load(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            std::process::exit(1);
+        }
+    };
+
+    let mut failures = Vec::new();
+
+    // Required percentile fields: the whole point of BENCH_PR4.json is to
+    // carry these, so their absence is itself a gate failure.
+    for op in ["browse_open", "commit", "delta_refresh"] {
+        for field in ["p50_ns", "p95_ns", "p99_ns"] {
+            let present = current
+                .get("metrics")
+                .and_then(|m| m.get(op))
+                .and_then(|o| o.get(field))
+                .and_then(Json::as_f64)
+                .is_some();
+            if !present {
+                failures.push(format!("{current_path}: missing metrics.{op}.{field}"));
+            }
+        }
+    }
+
+    // Regression checks: browse-open and delta-commit p95 vs 2× baseline.
+    let gates = [
+        ("browse_open", "Table 2", "open (indexed)"),
+        ("commit", "Figure 4", "delta commit"),
+    ];
+    for (op, table, column) in gates {
+        let cur = metrics_p95(&current, op);
+        let base = baseline_ns(&baseline, op, table, column);
+        match (cur, base) {
+            (Some(cur), Some(base)) if base > 0.0 => {
+                let ratio = cur / base;
+                let verdict = if ratio > MAX_RATIO { "FAIL" } else { "ok" };
+                println!(
+                    "{op:<14} p95 {:>12.0} ns vs baseline {:>12.0} ns  ({ratio:.2}×)  {verdict}",
+                    cur, base
+                );
+                if ratio > MAX_RATIO {
+                    failures.push(format!(
+                        "{op} p95 regressed {ratio:.2}× (limit {MAX_RATIO}×) vs {baseline_path}"
+                    ));
+                }
+            }
+            (cur, base) => {
+                if cur.is_none() {
+                    failures.push(format!("{current_path}: no p95 for {op}"));
+                }
+                if base.is_none() {
+                    failures.push(format!(
+                        "{baseline_path}: no baseline for {op} (metrics.{op}.p95_ns or {table} \"{column}\")"
+                    ));
+                }
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_gate: all checks passed");
+    } else {
+        for f in &failures {
+            eprintln!("bench_gate: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_duration_ns;
+
+    #[test]
+    fn duration_cells_parse() {
+        assert_eq!(parse_duration_ns("8314 ns"), Some(8314.0));
+        assert_eq!(parse_duration_ns("163.2 µs"), Some(163_200.0));
+        assert_eq!(parse_duration_ns("163.2 us"), Some(163_200.0));
+        assert_eq!(parse_duration_ns("30.91 ms"), Some(30_910_000.0));
+        assert_eq!(parse_duration_ns("1.20 s"), Some(1_200_000_000.0));
+        assert_eq!(parse_duration_ns("seq"), None);
+        assert_eq!(parse_duration_ns("1713.3×"), None);
+    }
+}

@@ -1,16 +1,24 @@
 //! `repro` — regenerate every table and figure of the evaluation.
 //!
 //! ```text
-//! cargo run -p wow-bench --bin repro --release            # everything
-//! cargo run -p wow-bench --bin repro --release -- table2  # one experiment
-//! cargo run -p wow-bench --bin repro --release -- --smoke # tiny sizes
+//! cargo run -p wow-bench --bin repro --release             # everything
+//! cargo run -p wow-bench --bin repro --release -- table2   # one experiment
+//! cargo run -p wow-bench --bin repro --release -- --smoke  # tiny sizes
+//! cargo run -p wow-bench --bin repro --release -- --metrics # dump percentiles
 //! ```
 //!
-//! Besides the rendered text, a machine-readable `BENCH_PR3.json` with the
-//! same rows is written to the working directory (disable with `--no-json`).
+//! Besides the rendered text, a machine-readable `BENCH_PR4.json` with the
+//! same rows — plus a `metrics` section carrying p50/p95/p99 latency
+//! percentiles per traced operation — is written to the working directory
+//! (disable with `--no-json`). `--metrics` additionally prints that section
+//! as a human-readable table. The percentiles come from running the
+//! instrumented workload (`experiments::instrumented_workload`) with the
+//! span tracer on, so `BENCH_PR4.json` is what the CI `bench_gate` binary
+//! diffs against the checked-in baseline.
 
 use wow_bench::experiments::{self, Scale};
-use wow_bench::{render_table, Table};
+use wow_bench::{fmt_duration, render_table, Table};
+use wow_obs::MetricsSnapshot;
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -32,7 +40,7 @@ fn json_array(items: impl Iterator<Item = String>) -> String {
 }
 
 /// Serialize the run. Hand-rolled: the offline build has no serde_json.
-fn to_json(scale: Scale, tables: &[Table]) -> String {
+fn to_json(scale: Scale, tables: &[Table], metrics: &MetricsSnapshot) -> String {
     let experiments = json_array(tables.iter().map(|t| {
         let headers = json_array(t.headers.iter().map(|h| format!("\"{}\"", json_escape(h))));
         let rows = json_array(
@@ -49,7 +57,60 @@ fn to_json(scale: Scale, tables: &[Table]) -> String {
             json_escape(&t.expectation)
         )
     }));
-    format!("{{\"bench\":\"PR3\",\"scale\":\"{scale:?}\",\"experiments\":{experiments}}}\n")
+    let ops = metrics
+        .ops
+        .iter()
+        .map(|(op, s)| {
+            format!(
+                "\"{}\":{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                json_escape(op.name()),
+                s.count,
+                s.mean_ns,
+                s.p50_ns,
+                s.p95_ns,
+                s.p99_ns,
+                s.max_ns
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let counters = metrics
+        .counters
+        .iter()
+        .map(|(name, v)| format!("\"{}\":{v}", json_escape(name)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"bench\":\"PR4\",\"scale\":\"{scale:?}\",\"experiments\":{experiments},\
+         \"metrics\":{{{ops}}},\"counters\":{{{counters}}}}}\n"
+    )
+}
+
+fn print_metrics(metrics: &MetricsSnapshot) {
+    println!("Traced-operation latency percentiles (instrumented workload)");
+    println!(
+        "  {:<14} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "op", "count", "mean", "p50", "p95", "p99", "max"
+    );
+    for (op, s) in &metrics.ops {
+        let d = |ns: u64| fmt_duration(std::time::Duration::from_nanos(ns));
+        println!(
+            "  {:<14} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            op.name(),
+            s.count,
+            d(s.mean_ns),
+            d(s.p50_ns),
+            d(s.p95_ns),
+            d(s.p99_ns),
+            d(s.max_ns)
+        );
+    }
+    println!();
+    println!("Gauges (pool / world / locks / exec / rows)");
+    for (name, v) in &metrics.counters {
+        println!("  {name:<26} {v}");
+    }
+    println!();
 }
 
 fn main() {
@@ -60,6 +121,7 @@ fn main() {
         Scale::Full
     };
     let write_json = !args.iter().any(|a| a == "--no-json");
+    let dump_metrics = args.iter().any(|a| a == "--metrics");
     let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let runs: Vec<(&str, fn(Scale) -> Table)> = vec![
         ("table1", experiments::table1_form_compile),
@@ -74,6 +136,7 @@ fn main() {
         ("table5", experiments::table5_locking),
         ("table6", experiments::table6_wal),
         ("table7", experiments::table7_expansion),
+        ("table8", experiments::table8_overhead),
     ];
     println!("Windows on the World — evaluation reproduction (scale: {scale:?})");
     println!("(reconstructed experiments; see DESIGN.md for the paper-text mismatch note)\n");
@@ -87,12 +150,22 @@ fn main() {
         tables.push(table);
     }
     if tables.is_empty() {
-        eprintln!("no experiment matched; known keys: table1..table7, table2b, figure1..figure4");
+        eprintln!("no experiment matched; known keys: table1..table8, table2b, figure1..figure4");
         std::process::exit(2);
     }
+    // Percentiles only accompany a full (unfiltered) run: a filtered run is
+    // someone iterating on one experiment, and the workload costs seconds.
+    let metrics = if filter.is_empty() && (write_json || dump_metrics) {
+        experiments::instrumented_workload(scale)
+    } else {
+        MetricsSnapshot::default()
+    };
+    if dump_metrics && !metrics.ops.is_empty() {
+        print_metrics(&metrics);
+    }
     if write_json {
-        let path = "BENCH_PR3.json";
-        match std::fs::write(path, to_json(scale, &tables)) {
+        let path = "BENCH_PR4.json";
+        match std::fs::write(path, to_json(scale, &tables, &metrics)) {
             Ok(()) => println!("wrote {path} ({} experiments)", tables.len()),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }

@@ -784,9 +784,9 @@ pub fn figure4_propagate(scale: Scale) -> Table {
             };
             world.apply_update("supplier", rid, status_row(11)).unwrap();
             let warm_rebuilds = world.dep_index().rebuilds();
-            world.stats.delta_refreshes = 0;
-            world.stats.full_refreshes = 0;
-            world.stats.delta_rows = 0;
+            // Measure only the warm phase: snapshot the counters and diff
+            // afterwards instead of zeroing the world's lifetime stats.
+            let base = world.stats.snapshot();
             let mut status = 11;
             let d = time_median(reps, || {
                 status += 1;
@@ -794,6 +794,7 @@ pub fn figure4_propagate(scale: Scale) -> Table {
                     .apply_update("supplier", rid, status_row(status))
                     .unwrap();
             });
+            let warm = world.stats.since(&base);
             assert_eq!(
                 world.dep_index().rebuilds() - warm_rebuilds,
                 0,
@@ -801,23 +802,23 @@ pub fn figure4_propagate(scale: Scale) -> Table {
             );
             if delta_on {
                 assert_eq!(
-                    world.stats.full_refreshes, 0,
+                    warm.full_refreshes, 0,
                     "warm deltable windows must never fall back to re-query"
                 );
                 assert_eq!(
-                    world.stats.delta_refreshes,
+                    warm.delta_refreshes,
                     2 * reps as u64,
                     "the selection and materialized watchers refresh via deltas"
                 );
             } else {
-                assert_eq!(world.stats.delta_refreshes, 0);
+                assert_eq!(warm.delta_refreshes, 0);
                 assert_eq!(
-                    world.stats.full_refreshes,
+                    warm.full_refreshes,
                     3 * reps as u64,
                     "the baseline re-runs every dependent window"
                 );
             }
-            per_mode.push((d, world.stats.delta_refreshes, world.stats.delta_rows));
+            per_mode.push((d, warm.delta_refreshes, warm.delta_rows));
         }
         let (d_delta, refreshes, rows) = per_mode[0];
         let (d_full, _, _) = per_mode[1];
@@ -1085,6 +1086,147 @@ pub fn table7_expansion(scale: Scale) -> Table {
     t
 }
 
+// ---------------------------------------------------------------------------
+// Table 8 — instrumentation overhead: traced vs untraced hot paths
+// ---------------------------------------------------------------------------
+
+/// Table 8: the cost of the span tracer on the three hottest interactive
+/// paths — window open, page forward, through-window commit with delta
+/// propagation — measured with runtime tracing off and on.
+pub fn table8_overhead(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table 8",
+        "instrumentation overhead: traced vs untraced hot paths",
+        &["hot path", "untraced", "traced", "overhead"],
+        "runtime tracing adds <5% to every hot path",
+    );
+    let n = scale.pick(300, 20_000);
+    let reps = scale.pick(5, 60);
+    // One world, both configurations interleaved over several rounds, with
+    // the per-configuration minimum of the medians kept: separate worlds
+    // (or one-shot ordering) let allocator and page-cache drift swamp the
+    // ~200 ns a span actually costs.
+    let mut world = student_world(n);
+    let s = world.open_session();
+    // A second window so commits exercise delta propagation.
+    let _watcher = world.open_window(s, "students", None).unwrap();
+    let editor = world.open_window(s, "students", None).unwrap();
+    let pager = world.open_window(s, "students", None).unwrap();
+    // [path][untraced, traced]
+    let mut results = [[Duration::MAX; 2]; 3];
+    let mut year = 10i64;
+    for round in 0..scale.pick(2, 8) {
+        // Alternate which configuration goes first so warm-up drift within
+        // a round cannot systematically favour either side.
+        let order = if round % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for traced in order {
+            let ti = traced as usize;
+            wow_obs::tracer().set_enabled(traced);
+            let d = time_median(reps, || {
+                let win = world.open_window(s, "students", None).unwrap();
+                world.close_window(win).unwrap();
+            });
+            results[0][ti] = results[0][ti].min(d);
+            let d = time_median(reps, || {
+                if !world.browse_next_page(pager).unwrap() {
+                    while world.browse_prev_page(pager).unwrap() {}
+                }
+            });
+            results[1][ti] = results[1][ti].min(d);
+            let d = time_median(reps, || {
+                world.enter_edit(editor).unwrap();
+                year += 1;
+                world
+                    .window_mut(editor)
+                    .unwrap()
+                    .form
+                    .set_text(2, &(year % 90).to_string());
+                world.commit(editor).unwrap();
+            });
+            results[2][ti] = results[2][ti].min(d);
+        }
+    }
+    wow_obs::tracer().set_enabled(false);
+    for (i, name) in ["browse open", "page forward", "delta commit"]
+        .iter()
+        .enumerate()
+    {
+        let [untraced, traced] = results[i];
+        let overhead = (traced.as_secs_f64() / untraced.as_secs_f64().max(1e-12) - 1.0) * 100.0;
+        t.push(vec![
+            name.to_string(),
+            fmt_duration(untraced),
+            fmt_duration(traced),
+            format!("{overhead:+.1}%"),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented workload — the percentile source for BENCH_*.json
+// ---------------------------------------------------------------------------
+
+/// Run a dedicated traced workload and return the full registry snapshot:
+/// per-operation latency summaries plus every absorbed gauge (`pool.*`,
+/// `world.*`, `locks.*`, `exec.*`, `rows.*`). This is what `repro` embeds
+/// as the `metrics`/`counters` sections of `BENCH_*.json` (and what the CI
+/// bench gate diffs across PRs): repeated window opens and page-forwards
+/// over an indexed view, through-window commits delta-propagated to a
+/// watcher, and a few rendered frames.
+pub fn instrumented_workload(scale: Scale) -> wow_obs::MetricsSnapshot {
+    let n = scale.pick(300, 100_000);
+    // Enough samples at smoke scale that p95 reflects the warm path, not
+    // the one cold-start outlier — the CI gate reads these percentiles.
+    let opens = scale.pick(25, 30);
+    let commits = scale.pick(25, 50);
+    let mut world = student_world(n);
+    let s = world.open_session();
+    let _watcher = world.open_window(s, "students", None).unwrap();
+    let editor = world.open_window(s, "students", None).unwrap();
+    // Untraced warmup so the recorded percentiles describe the steady
+    // state, not first-touch allocation and cold caches.
+    for _ in 0..5 {
+        let win = world.open_window(s, "students", None).unwrap();
+        world.browse_next_page(win).unwrap();
+        world.close_window(win).unwrap();
+        world.enter_edit(editor).unwrap();
+        world.window_mut(editor).unwrap().form.set_text(2, "3");
+        world.commit(editor).unwrap();
+    }
+    wow_obs::metrics().reset();
+    wow_obs::tracer().clear();
+    wow_obs::tracer().set_enabled(true);
+    for _ in 0..opens {
+        let win = world.open_window(s, "students", None).unwrap();
+        world.browse_next_page(win).unwrap();
+        world.browse_next_page(win).unwrap();
+        world.close_window(win).unwrap();
+    }
+    let mut year = 5i64;
+    for _ in 0..commits {
+        world.enter_edit(editor).unwrap();
+        year += 1;
+        world
+            .window_mut(editor)
+            .unwrap()
+            .form
+            .set_text(2, &(year % 90).to_string());
+        world.commit(editor).unwrap();
+        world.render();
+    }
+    wow_obs::tracer().set_enabled(false);
+    // Fold the legacy stats surfaces (PoolStats, WorldStats, lock/exec
+    // counters, per-table row counts) into the same snapshot the
+    // percentiles come from.
+    world.export_metrics();
+    wow_obs::metrics().snapshot()
+}
+
 /// Run every experiment at a scale.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![
@@ -1100,6 +1242,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         table5_locking(scale),
         table6_wal(scale),
         table7_expansion(scale),
+        table8_overhead(scale),
     ]
 }
 
@@ -1107,13 +1250,37 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
 mod tests {
     use super::*;
 
+    /// Both tests below toggle the process-global tracer; serialize them so
+    /// neither disables tracing mid-measurement of the other.
+    static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn every_experiment_runs_at_smoke_scale() {
+        let _serial = TRACE_LOCK.lock().unwrap();
         for table in run_all(Scale::Smoke) {
             assert!(!table.rows.is_empty(), "{} produced no rows", table.id);
             // Render must not panic and must carry the id.
             let text = crate::render_table(&table);
             assert!(text.contains(&table.id));
+        }
+    }
+
+    #[test]
+    fn instrumented_workload_yields_required_percentiles() {
+        let _serial = TRACE_LOCK.lock().unwrap();
+        let snap = instrumented_workload(Scale::Smoke);
+        for required in ["browse_open", "commit", "delta_refresh"] {
+            let (_, h) = snap
+                .ops
+                .iter()
+                .find(|(op, _)| op.name() == required)
+                .unwrap_or_else(|| panic!("workload must record {required}"));
+            assert!(h.count > 0);
+            assert!(h.p50_ns <= h.p95_ns && h.p95_ns <= h.p99_ns);
+        }
+        // All three legacy stats surfaces made it into the one snapshot.
+        for gauge in ["pool.hits", "world.commits", "rows.student"] {
+            assert!(snap.counter(gauge).is_some(), "missing gauge {gauge}");
         }
     }
 }

@@ -1,0 +1,260 @@
+//! A minimal JSON reader for the bench gate.
+//!
+//! The offline build has no serde_json; `repro` hand-writes its JSON and
+//! the CI regression gate needs to read it (and the checked-in baseline
+//! from the previous PR) back. This is a ~hundred-line recursive-descent
+//! parser over exactly the JSON subset those files use — objects, arrays,
+//! strings with simple escapes, numbers, booleans, null.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as f64 — the bench files stay well inside 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array (empty for non-arrays).
+    pub fn items(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            _ => &[],
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Returns `Err` with a byte offset and message on
+/// malformed input.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing input at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = Vec::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "bad utf-8 in string".to_string());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        let c = char::from_u32(hex).unwrap_or('\u{fffd}');
+                        out.extend_from_slice(c.to_string().as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            c => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        members.push((key, parse_value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_the_bench_shape() {
+        let src = r#"{"bench":"PR4","scale":"Smoke","experiments":[
+            {"id":"Table 2","headers":["a","b"],"rows":[["100","163.2 µs"]]}],
+            "metrics":{"browse_open":{"count":10,"p95_ns":12345}}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.get("bench").and_then(Json::as_str), Some("PR4"));
+        let exps = v.get("experiments").unwrap().items();
+        assert_eq!(exps.len(), 1);
+        assert_eq!(
+            exps[0].get("rows").unwrap().items()[0].items()[1].as_str(),
+            Some("163.2 µs")
+        );
+        let p95 = v
+            .get("metrics")
+            .and_then(|m| m.get("browse_open"))
+            .and_then(|o| o.get("p95_ns"))
+            .and_then(Json::as_f64);
+        assert_eq!(p95, Some(12345.0));
+    }
+
+    #[test]
+    fn escapes_and_numbers() {
+        let v = parse(r#"["a\"b\\c\nd", -1.5e3, true, false, null, "µs"]"#).unwrap();
+        assert_eq!(v.items()[0].as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(v.items()[1].as_f64(), Some(-1500.0));
+        assert_eq!(v.items()[2], Json::Bool(true));
+        assert_eq!(v.items()[4], Json::Null);
+        assert_eq!(v.items()[5].as_str(), Some("µs"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}extra").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn unicode_escape() {
+        let v = parse(r#""µs""#).unwrap();
+        assert_eq!(v.as_str(), Some("µs"));
+    }
+}

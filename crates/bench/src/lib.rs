@@ -10,6 +10,7 @@
 //! paper-vs-measured notes.
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
 pub use table::{render_table, Table};

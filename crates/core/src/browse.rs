@@ -482,6 +482,7 @@ impl Indexed {
     /// Fetch the page that starts strictly after `start` into `self.page`,
     /// setting `next_start`/`at_end` for the page after it.
     fn fetch_page(&mut self, db: &mut Database, start: Option<Vec<u8>>) -> WowResult<()> {
+        let mut span = wow_obs::span(wow_obs::Op::BrowsePage);
         let info = db.catalog().table(&self.upd.base_table)?.clone();
         self.page.clear();
         self.pos = 0;
@@ -539,6 +540,7 @@ impl Indexed {
         if self.page.is_empty() {
             self.at_end = true;
         }
+        span.arg(self.page.len() as u64);
         Ok(())
     }
 
@@ -714,11 +716,13 @@ impl Streamed {
     /// `LIMIT page_size+1 OFFSET page_no·page_size` — the extra row tells
     /// us whether a further page exists without another round trip.
     fn fetch_page(&mut self, db: &mut Database, vc: &ViewCatalog, page_no: usize) -> WowResult<()> {
+        let mut span = wow_obs::span(wow_obs::Op::BrowsePage);
         let mut q = self.query.clone();
         q.limit = Some((page_no * self.page_size, self.page_size + 1));
         let mut tuples = run_view_query(db, vc, &self.view, &q)?.tuples;
         self.at_end = tuples.len() <= self.page_size;
         tuples.truncate(self.page_size);
+        span.arg(tuples.len() as u64);
         self.page = tuples;
         self.page_no = page_no;
         self.pos = 0;
@@ -741,6 +745,7 @@ impl Streamed {
 
 impl Materialized {
     fn refill(&mut self, db: &mut Database, vc: &ViewCatalog) -> WowResult<()> {
+        let mut span = wow_obs::span(wow_obs::Op::BrowsePage);
         self.rows = match &self.upd {
             Some(upd) => {
                 // Updatable: fetch with rids, filter/sort client-side.
@@ -779,6 +784,7 @@ impl Materialized {
                 result.tuples.into_iter().map(|t| (None, t)).collect()
             }
         };
+        span.arg(self.rows.len() as u64);
         Ok(())
     }
 

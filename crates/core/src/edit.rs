@@ -133,6 +133,8 @@ impl World {
             return Ok(());
         }
         let assigns: Vec<(usize, Value)> = dirty.iter().map(|&i| (i, values[i].clone())).collect();
+        let mut span = wow_obs::span(wow_obs::Op::Commit);
+        span.arg(assigns.len() as u64);
         // Lock, snapshot the old base row (for undo and the delta), write,
         // re-read the new image, unlock.
         self.lock(session, &upd.base_table, LockMode::Exclusive)?;
@@ -170,6 +172,7 @@ impl World {
         self.refresh_window(win)?;
         let delta = BaseDelta::update(upd.base_table.clone(), rid, old_base, new_base);
         self.propagate_delta(&delta, Some(win))?;
+        span.finish();
         let _ = view;
         Ok(())
     }
@@ -190,6 +193,7 @@ impl World {
             )
         };
         let values = self.window(win)?.form.values()?;
+        let span = wow_obs::span(wow_obs::Op::Commit);
         self.lock(session, &upd.base_table, LockMode::Exclusive)?;
         let result = (|| -> WowResult<wow_storage::Rid> {
             let check = self.config().check_option;
@@ -216,6 +220,7 @@ impl World {
             .ok_or(WowError::NoCurrentRow)?;
         let delta = BaseDelta::insert(upd.base_table.clone(), rid, new_row);
         self.propagate_delta(&delta, Some(win))?;
+        span.finish();
         Ok(())
     }
 
@@ -241,6 +246,7 @@ impl World {
             (w.session, upd, rid, row)
         };
         let _ = old_view_row;
+        let span = wow_obs::span(wow_obs::Op::Commit);
         self.lock(session, &upd.base_table, LockMode::Exclusive)?;
         let result = (|| -> WowResult<Tuple> {
             let info = self.db_mut().catalog().table(&upd.base_table)?.clone();
@@ -263,6 +269,7 @@ impl World {
         self.refresh_window(win)?;
         let delta = BaseDelta::delete(upd.base_table.clone(), rid, old);
         self.propagate_delta(&delta, Some(win))?;
+        span.finish();
         Ok(())
     }
 

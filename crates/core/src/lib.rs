@@ -17,6 +17,9 @@
 //! * [`propagate`] — cross-window refresh after commits (Figure 4).
 //! * [`locks`] — a strict two-phase relation-lock manager with waits-for
 //!   deadlock detection (Table 5's ablation subject).
+//! * [`sys`] — system tables (`__wow_metrics`, `__wow_spans`,
+//!   `__wow_windows`, `__wow_locks`): the world's own runtime state exposed
+//!   as read-only windows through the standard `open_window` path.
 //! * [`undo`] — per-session undo of through-window writes.
 //! * [`config`] — tunables.
 //!
@@ -43,6 +46,7 @@ pub mod locks;
 pub mod propagate;
 pub mod qbf_mode;
 pub mod session;
+pub mod sys;
 pub mod undo;
 pub mod window_mgr;
 pub mod world;

@@ -70,6 +70,10 @@ impl LockManager {
 
     /// Request a lock.
     pub fn acquire(&mut self, who: Locker, table: &str, mode: LockMode) -> LockOutcome {
+        // Span arg encodes the outcome: 0 granted, 1 conflict, 2 deadlock.
+        // Recording takes only the tracer's own ring lock, never a table
+        // lock, so instrumenting this path cannot deadlock.
+        let mut span = wow_obs::span(wow_obs::Op::LockAcquire);
         let entry = self.tables.entry(table.to_string()).or_default();
         let blockers: Vec<Locker> = match mode {
             LockMode::Shared => match entry.exclusive {
@@ -104,11 +108,13 @@ impl LockManager {
             }
             self.waits_for.remove(&who);
             self.grants += 1;
+            span.arg(0);
             return LockOutcome::Granted;
         }
         // Would the wait close a cycle?
         if self.would_deadlock(who, &blockers) {
             self.deadlocks += 1;
+            span.arg(2);
             return LockOutcome::Deadlock;
         }
         self.waits_for
@@ -116,6 +122,7 @@ impl LockManager {
             .or_default()
             .extend(blockers.iter().copied());
         self.conflicts += 1;
+        span.arg(1);
         LockOutcome::Conflict { blockers }
     }
 

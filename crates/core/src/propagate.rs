@@ -78,11 +78,15 @@ impl World {
                     continue;
                 }
                 Some(Some(vd)) => {
+                    let mut span = wow_obs::span(wow_obs::Op::DeltaRefresh);
+                    span.arg(vd.len() as u64);
                     let applied = {
                         let (db, _vc, w) = self.parts(id)?;
                         let ok = w.cursor.apply_delta(db, vd)?;
                         if ok {
                             w.stale = false;
+                            w.last_refresh = crate::window_mgr::RefreshKind::Delta;
+                            w.refreshed_at = std::time::Instant::now();
                             if matches!(w.mode, Mode::Browse) {
                                 w.show_current();
                             }
@@ -90,9 +94,12 @@ impl World {
                         ok
                     };
                     if applied {
+                        span.finish();
                         self.stats.delta_refreshes += 1;
                         self.stats.delta_rows += vd.len() as u64;
                     } else {
+                        // The delta didn't land; don't count its span.
+                        span.cancel();
                         self.refresh_window(id)?;
                         self.stats.full_refreshes += 1;
                     }

@@ -1,0 +1,379 @@
+//! System tables: a window on the world's own internals.
+//!
+//! The paper's thesis is that every interaction with shared data happens
+//! through a window on a view. This module makes the system's *runtime
+//! state* — metrics, trace spans, open windows, held locks — shared data
+//! too: four ordinary base tables (`__sys_*`) are materialized from live
+//! state and four ordinary views (`__wow_*`) are registered over them, so
+//! `open_window(session, "__wow_metrics", None)` goes through the exact
+//! same forms/browse machinery as any user view.
+//!
+//! Semantics:
+//!
+//! * The backing tables are (re)materialized when a system window opens and
+//!   whenever it is refreshed — a system window shows a *snapshot*, and the
+//!   standard refresh key brings it current, exactly like a user window
+//!   over externally-written data.
+//! * System windows are forced read-only (editing metrics through a form is
+//!   meaningless) and use a materialized cursor — a stable snapshot of
+//!   state that changes under the reader's feet.
+//! * The view and table names differ (`__wow_metrics` over `__sys_metrics`)
+//!   because a view may not range over a relation with its own name.
+
+use crate::error::WowResult;
+use crate::locks::LockMode;
+use crate::world::World;
+use wow_rel::value::Value;
+
+/// The system views, with the QUEL definitions registered for them.
+pub const SYS_VIEWS: [(&str, &str); 4] = [
+    (
+        "__wow_metrics",
+        "RANGE OF m IS __sys_metrics RETRIEVE (m.metric, m.value)",
+    ),
+    (
+        "__wow_spans",
+        "RANGE OF s IS __sys_spans RETRIEVE (s.seq, s.op, s.start_us, s.dur_us, s.arg)",
+    ),
+    (
+        "__wow_windows",
+        "RANGE OF w IS __sys_windows \
+         RETRIEVE (w.win, w.view, w.session, w.mode, w.refresh, w.age_ms, w.stale, w.updatable)",
+    ),
+    (
+        "__wow_locks",
+        "RANGE OF l IS __sys_locks RETRIEVE (l.seq, l.relation, l.holder, l.mode)",
+    ),
+];
+
+const SYS_DDL: [&str; 4] = [
+    "CREATE TABLE __sys_metrics (metric TEXT KEY, value INT)",
+    "CREATE TABLE __sys_spans (seq INT KEY, op TEXT, start_us INT, dur_us INT, arg INT)",
+    "CREATE TABLE __sys_windows (win INT KEY, view TEXT, session INT, mode TEXT, \
+     refresh TEXT, age_ms INT, stale INT, updatable INT)",
+    "CREATE TABLE __sys_locks (seq INT KEY, relation TEXT, holder INT, mode TEXT)",
+];
+
+/// Whether `view` names a system view.
+pub fn is_sys_view(view: &str) -> bool {
+    SYS_VIEWS.iter().any(|(name, _)| *name == view)
+}
+
+impl World {
+    /// Push every legacy counter surface into the unified
+    /// [`wow_obs::MetricsRegistry`] as named gauges: the buffer pool's
+    /// `PoolStats`, the world's `WorldStats`, the per-table row counts the
+    /// optimizer's `StatsRegistry` tracks, the lock manager's counters, the
+    /// executor's counters, and the WAL append count. After this call the
+    /// registry snapshot is the one place to read all of them.
+    pub fn export_metrics(&self) {
+        let m = wow_obs::metrics();
+        let p = self.db().pool_stats();
+        m.set("pool.hits", p.hits);
+        m.set("pool.misses", p.misses);
+        m.set("pool.evictions", p.evictions);
+        m.set("pool.writebacks", p.writebacks);
+        m.set("pool.prefetches", p.prefetches);
+        m.set("pool.prefetch_hits", p.prefetch_hits);
+        let s = &self.stats;
+        m.set("world.commits", s.commits);
+        m.set("world.windows_refreshed", s.windows_refreshed);
+        m.set("world.propagations", s.propagations);
+        m.set("world.delta_refreshes", s.delta_refreshes);
+        m.set("world.full_refreshes", s.full_refreshes);
+        m.set("world.delta_rows", s.delta_rows);
+        m.set("world.frames", s.frames);
+        m.set("world.cells_emitted", s.cells_emitted);
+        let l = self.locks();
+        m.set("locks.grants", l.grants);
+        m.set("locks.conflicts", l.conflicts);
+        m.set("locks.deadlocks", l.deadlocks);
+        let c = self.db().counters();
+        m.set("exec.rows_scanned", c.rows_scanned);
+        m.set("exec.index_probes", c.index_probes);
+        m.set("exec.join_rows", c.join_rows);
+        m.set("exec.statements", c.statements);
+        if let Some(wal) = self.db().wal() {
+            m.set("wal.appended", wal.appended());
+        }
+        for name in self.db().catalog().table_names() {
+            if let Ok(info) = self.db().catalog().table(&name) {
+                m.set(&format!("rows.{name}"), self.db().row_count(info.id));
+            }
+        }
+    }
+
+    /// Materialize the system tables from live state (creating them and
+    /// registering the `__wow_*` views on first use). Called by
+    /// `open_window` and `refresh_window` for system views; harmless to
+    /// call directly.
+    pub fn sys_sync(&mut self) -> WowResult<()> {
+        self.sys_ensure()?;
+        self.export_metrics();
+        let metrics = metrics_rows();
+        let spans = span_rows();
+        let windows = self.window_rows();
+        let locks = self.lock_rows();
+        self.sys_rewrite("__sys_metrics", metrics)?;
+        self.sys_rewrite("__sys_spans", spans)?;
+        self.sys_rewrite("__sys_windows", windows)?;
+        self.sys_rewrite("__sys_locks", locks)?;
+        Ok(())
+    }
+
+    /// Create the backing tables and register the views, once.
+    fn sys_ensure(&mut self) -> WowResult<()> {
+        if self.db().catalog().has_table("__sys_metrics") {
+            return Ok(());
+        }
+        for ddl in SYS_DDL {
+            self.db_mut().run(ddl)?;
+        }
+        for (name, src) in SYS_VIEWS {
+            self.define_view(name, src)?;
+        }
+        Ok(())
+    }
+
+    /// Replace a backing table's contents. Writes go straight to the
+    /// database — deliberately *not* through propagation: open system
+    /// windows keep their snapshot until refreshed, like any window over
+    /// externally-written data.
+    fn sys_rewrite(&mut self, table: &str, rows: Vec<Vec<Value>>) -> WowResult<()> {
+        let db = self.db_mut();
+        let id = db.catalog().table(table)?.id;
+        for (rid, _) in db.scan_table_raw(id)? {
+            db.delete_rid(table, rid)?;
+        }
+        for row in rows {
+            db.insert(table, row)?;
+        }
+        Ok(())
+    }
+
+    fn window_rows(&self) -> Vec<Vec<Value>> {
+        self.windows
+            .values()
+            .map(|w| {
+                vec![
+                    Value::Int(w.id.0 as i64),
+                    Value::Text(w.view.clone()),
+                    Value::Int(w.session.0 as i64),
+                    Value::Text(w.mode.name().to_string()),
+                    Value::Text(w.last_refresh.name().to_string()),
+                    Value::Int(w.refreshed_at.elapsed().as_millis() as i64),
+                    Value::Int(w.stale as i64),
+                    Value::Int(w.is_updatable() as i64),
+                ]
+            })
+            .collect()
+    }
+
+    fn lock_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        for sid in self.session_ids() {
+            for (relation, mode) in self.locks().held_by(sid.0) {
+                rows.push(vec![
+                    Value::Int(rows.len() as i64),
+                    Value::Text(relation),
+                    Value::Int(sid.0 as i64),
+                    Value::Text(
+                        match mode {
+                            LockMode::Shared => "S",
+                            LockMode::Exclusive => "X",
+                        }
+                        .to_string(),
+                    ),
+                ]);
+            }
+        }
+        rows
+    }
+}
+
+/// `__sys_metrics` rows: every named gauge, plus one row per percentile of
+/// every traced operation's latency histogram.
+fn metrics_rows() -> Vec<Vec<Value>> {
+    let snap = wow_obs::metrics().snapshot();
+    let mut rows = Vec::new();
+    for (name, v) in &snap.counters {
+        rows.push(vec![Value::Text(name.clone()), Value::Int(*v as i64)]);
+    }
+    for (op, h) in &snap.ops {
+        let name = op.name();
+        for (suffix, v) in [
+            ("count", h.count),
+            ("mean_ns", h.mean_ns),
+            ("p50_ns", h.p50_ns),
+            ("p95_ns", h.p95_ns),
+            ("p99_ns", h.p99_ns),
+            ("max_ns", h.max_ns),
+        ] {
+            rows.push(vec![
+                Value::Text(format!("{name}.{suffix}")),
+                Value::Int(v as i64),
+            ]);
+        }
+    }
+    rows
+}
+
+/// `__sys_spans` rows: the tracer's ring, oldest first.
+fn span_rows() -> Vec<Vec<Value>> {
+    wow_obs::tracer()
+        .snapshot()
+        .into_iter()
+        .map(|s| {
+            vec![
+                Value::Int(s.seq as i64),
+                Value::Text(s.op.name().to_string()),
+                Value::Int(s.start_us as i64),
+                Value::Int((s.dur_ns / 1_000) as i64),
+                Value::Int(s.arg as i64),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::error::WowError;
+
+    fn world() -> World {
+        let mut w = World::new(WorldConfig::default());
+        w.db_mut()
+            .run("CREATE TABLE emp (name TEXT KEY, salary INT)")
+            .unwrap();
+        w.db_mut()
+            .run(r#"APPEND TO emp (name = "alice", salary = 120)"#)
+            .unwrap();
+        w.define_view("emps", "RANGE OF e IS emp RETRIEVE (e.name, e.salary)")
+            .unwrap();
+        w
+    }
+
+    #[test]
+    fn sys_view_names_are_recognized() {
+        assert!(is_sys_view("__wow_metrics"));
+        assert!(is_sys_view("__wow_locks"));
+        assert!(!is_sys_view("emps"));
+        assert!(
+            !is_sys_view("__sys_metrics"),
+            "backing tables are not views"
+        );
+    }
+
+    #[test]
+    fn metrics_window_opens_and_has_rows() {
+        let mut w = world();
+        let s = w.open_session();
+        let win = w.open_window(s, "__wow_metrics", None).unwrap();
+        let state = w.window(win).unwrap();
+        assert!(!state.is_updatable());
+        assert_eq!(state.read_only_reasons, vec!["system tables are read-only"]);
+        // The unified registry exported the legacy stats as gauges.
+        let row = w.current_row(win).unwrap();
+        assert!(row.is_some(), "metrics table is not empty");
+        let snap = wow_obs::metrics().snapshot();
+        assert!(snap.counter("world.commits").is_some());
+        assert!(snap.counter("pool.hits").is_some());
+        assert!(snap.counter("rows.emp").is_some());
+    }
+
+    #[test]
+    fn windows_table_lists_itself_after_refresh() {
+        let mut w = world();
+        let s = w.open_session();
+        let user = w.open_window(s, "emps", None).unwrap();
+        let win = w.open_window(s, "__wow_windows", None).unwrap();
+        // At open time the sync ran before this window existed; the user
+        // window is listed.
+        let names: Vec<String> = w
+            .db_mut()
+            .run("RANGE OF w IS __sys_windows RETRIEVE (w.view) SORT BY w.view")
+            .unwrap()
+            .tuples
+            .iter()
+            .map(|t| t.values[0].to_string())
+            .collect();
+        assert!(names.contains(&"emps".to_string()));
+        // After a refresh, the system window observes itself too.
+        w.refresh_window(win).unwrap();
+        let names: Vec<String> = w
+            .db_mut()
+            .run("RANGE OF w IS __sys_windows RETRIEVE (w.view) SORT BY w.view")
+            .unwrap()
+            .tuples
+            .iter()
+            .map(|t| t.values[0].to_string())
+            .collect();
+        assert!(names.contains(&"__wow_windows".to_string()));
+        let _ = user;
+    }
+
+    #[test]
+    fn sys_windows_reject_edits() {
+        let mut w = world();
+        let s = w.open_session();
+        for (view, _) in SYS_VIEWS {
+            let win = w.open_window(s, view, None).unwrap();
+            assert!(
+                matches!(w.enter_edit(win), Err(WowError::ReadOnly { .. })),
+                "{view} must refuse edit mode"
+            );
+            assert!(matches!(
+                w.enter_insert(win),
+                Err(WowError::ReadOnly { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn locks_table_shows_held_locks() {
+        let mut w = world();
+        let s = w.open_session();
+        assert!(w.try_lock(s, "emp", LockMode::Exclusive));
+        w.sys_sync().unwrap();
+        let rows = w
+            .db_mut()
+            .run("RANGE OF l IS __sys_locks RETRIEVE (l.relation, l.mode)")
+            .unwrap();
+        assert_eq!(rows.tuples.len(), 1);
+        assert_eq!(rows.tuples[0].values[0].to_string(), "emp");
+        assert_eq!(rows.tuples[0].values[1].to_string(), "X");
+        // Released locks vanish on the next sync.
+        w.release_locks(s);
+        w.sys_sync().unwrap();
+        let rows = w
+            .db_mut()
+            .run("RANGE OF l IS __sys_locks RETRIEVE (l.relation)")
+            .unwrap();
+        assert!(rows.tuples.is_empty());
+    }
+
+    #[test]
+    fn spans_window_carries_traced_operations() {
+        let mut w = world();
+        wow_obs::tracer().set_enabled(true);
+        let s = w.open_session();
+        let user = w.open_window(s, "emps", None).unwrap();
+        w.refresh_window(user).unwrap();
+        let win = w.open_window(s, "__wow_spans", None).unwrap();
+        wow_obs::tracer().set_enabled(false);
+        let ops: Vec<String> = w
+            .db_mut()
+            .run("RANGE OF s IS __sys_spans RETRIEVE (s.op)")
+            .unwrap()
+            .tuples
+            .iter()
+            .map(|t| t.values[0].to_string())
+            .collect();
+        assert!(
+            ops.iter().any(|o| o == "full_refresh"),
+            "refresh span captured: {ops:?}"
+        );
+        let _ = win;
+    }
+}

@@ -60,6 +60,39 @@ impl Mode {
     }
 }
 
+/// How a window's displayed rows were last brought up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshKind {
+    /// The initial fill at open time.
+    #[default]
+    Open,
+    /// The view query was re-run (full refresh).
+    Full,
+    /// The screenful was patched in place from a view delta.
+    Delta,
+}
+
+impl RefreshKind {
+    /// Stable lowercase name (status line, `__wow_windows` rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            RefreshKind::Open => "open",
+            RefreshKind::Full => "full",
+            RefreshKind::Delta => "delta",
+        }
+    }
+}
+
+/// Compact age display for the status line: seconds up to a minute, then
+/// whole minutes (precision nobody reads is just status-bar churn).
+fn fmt_age(secs: u64) -> String {
+    if secs < 60 {
+        format!("{secs}s")
+    } else {
+        format!("{}m", secs / 60)
+    }
+}
+
 /// The full state of one window.
 #[derive(Debug)]
 pub struct WindowState {
@@ -94,6 +127,10 @@ pub struct WindowState {
     /// Set when another window changed data this window may display while
     /// this window couldn't be refreshed (it was mid-edit).
     pub stale: bool,
+    /// How the displayed rows were last brought current.
+    pub last_refresh: RefreshKind,
+    /// When the displayed rows were last brought current.
+    pub refreshed_at: std::time::Instant,
 }
 
 impl WindowState {
@@ -124,7 +161,18 @@ impl WindowState {
                 ""
             };
             let stale = if self.stale { " [stale]" } else { "" };
-            format!("{}{ro}{q}{stale}", self.mode.name())
+            // Freshness: which refresh path last ran and how old the rows
+            // are. Suppressed until the first refresh — an untouched window
+            // is exactly as fresh as its open.
+            let fresh = match self.last_refresh {
+                RefreshKind::Open => String::new(),
+                kind => format!(
+                    " [{} {}]",
+                    kind.name(),
+                    fmt_age(self.refreshed_at.elapsed().as_secs())
+                ),
+            };
+            format!("{}{ro}{q}{stale}{fresh}", self.mode.name())
         } else {
             self.status.clone()
         };

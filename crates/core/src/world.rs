@@ -42,6 +42,36 @@ pub struct WorldStats {
     pub cells_emitted: u64,
 }
 
+impl WorldStats {
+    /// Copy out the current values — pair with [`WorldStats::since`] so a
+    /// warm-path measurement needs no mutable access to zero counters.
+    pub fn snapshot(&self) -> WorldStats {
+        *self
+    }
+
+    /// The activity accumulated since an earlier snapshot (field-wise
+    /// saturating difference).
+    pub fn since(&self, base: &WorldStats) -> WorldStats {
+        WorldStats {
+            commits: self.commits.saturating_sub(base.commits),
+            windows_refreshed: self
+                .windows_refreshed
+                .saturating_sub(base.windows_refreshed),
+            propagations: self.propagations.saturating_sub(base.propagations),
+            delta_refreshes: self.delta_refreshes.saturating_sub(base.delta_refreshes),
+            full_refreshes: self.full_refreshes.saturating_sub(base.full_refreshes),
+            delta_rows: self.delta_rows.saturating_sub(base.delta_rows),
+            frames: self.frames.saturating_sub(base.frames),
+            cells_emitted: self.cells_emitted.saturating_sub(base.cells_emitted),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&mut self) {
+        *self = WorldStats::default();
+    }
+}
+
 /// How a window's browse cursor is chosen at open time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CursorStrategy {
@@ -320,6 +350,14 @@ impl World {
         if !self.sessions.contains_key(&session) {
             return Err(WowError::NoSuchSession(session.0));
         }
+        let mut span = wow_obs::span(wow_obs::Op::BrowseOpen);
+        // System views materialize the world's own runtime state: create
+        // and fill their backing tables before the standard machinery runs,
+        // then everything below works unchanged.
+        let sys = crate::sys::is_sys_view(view);
+        if sys {
+            self.sys_sync()?;
+        }
         // Updatability decides the cursor strategy and writability.
         let (upd, reasons) = match analyze(&self.db, &self.views, view) {
             Ok(u) => (Some(u), Vec::new()),
@@ -327,6 +365,20 @@ impl World {
                 (None, why_not(&self.db, &self.views, view))
             }
             Err(other) => return Err(other.into()),
+        };
+        // System windows are read-only regardless of what updatability
+        // analysis says about their (perfectly ordinary) backing tables:
+        // writing metrics through a form is meaningless. They also force a
+        // materialized cursor — a stable snapshot of state that changes
+        // under the reader's feet.
+        let (upd, reasons, strategy) = if sys {
+            (
+                None,
+                vec!["system tables are read-only".to_string()],
+                CursorStrategy::Materialized,
+            )
+        } else {
+            (upd, reasons, strategy)
         };
         let (schema, cursor) = match &upd {
             Some(u) => {
@@ -415,10 +467,13 @@ impl World {
             qbf_pred: None,
             status: String::new(),
             stale: false,
+            last_refresh: crate::window_mgr::RefreshKind::Open,
+            refreshed_at: std::time::Instant::now(),
         };
         state.show_current();
         self.windows.insert(id, state);
         self.session_mut(session)?.add_window(id);
+        span.arg(id.0 as u64);
         Ok(id)
     }
 
@@ -536,12 +591,21 @@ impl World {
 
     /// Re-fetch a window's data explicitly.
     pub fn refresh_window(&mut self, win: WinId) -> WowResult<()> {
+        // System windows re-materialize live state before re-querying, so a
+        // refresh shows the world as of *now*, not as of open.
+        if crate::sys::is_sys_view(&self.window(win)?.view) {
+            self.sys_sync()?;
+        }
+        let span = wow_obs::span(wow_obs::Op::FullRefresh);
         let (db, vc, w) = self.parts(win)?;
         w.cursor.refresh(db, vc)?;
         w.stale = false;
+        w.last_refresh = crate::window_mgr::RefreshKind::Full;
+        w.refreshed_at = std::time::Instant::now();
         if matches!(w.mode, Mode::Browse) {
             w.show_current();
         }
+        span.finish();
         Ok(())
     }
 

@@ -31,6 +31,8 @@ pub struct FieldOverride {
 /// * `writable[i] == false` marks a field read-only (computed view columns,
 ///   key columns during edit — the caller decides).
 pub fn compile_form(name: &str, title: &str, schema: &Schema, writable: &[bool]) -> FormSpec {
+    let mut span = wow_obs::span(wow_obs::Op::FormCompile);
+    span.arg(schema.len() as u64);
     assert_eq!(
         writable.len(),
         schema.len(),

@@ -1,0 +1,279 @@
+//! HDR-style latency histograms with fixed bucket layout.
+//!
+//! Values (nanoseconds) are binned into power-of-two groups of
+//! [`SUB_BUCKETS`] linear sub-buckets each, giving a bounded relative error
+//! of `1 / SUB_BUCKETS` (~3%) across the full `u64` range with a few KiB of
+//! counts and **no allocation after construction** — recording is an index
+//! computation plus an increment, cheap enough for the tracer's hot path.
+
+/// Log2 of the linear sub-buckets per power-of-two group.
+const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per group (relative error ≤ 1/32 ≈ 3.1%).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Power-of-two groups tracked; values at or above 2^(SUB_BITS + GROUPS - 1)
+/// clamp into the last bucket (≈ 18 minutes in nanoseconds — far beyond any
+/// latency this system produces).
+const GROUPS: usize = 36;
+/// Total bucket count.
+const BUCKETS: usize = (GROUPS + 1) * SUB_BUCKETS as usize;
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for a value: small values are exact, larger values keep
+/// the top `SUB_BITS + 1` significant bits.
+fn index_of(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64; // ≥ SUB_BITS
+    let group = msb - SUB_BITS as u64 + 1;
+    let sub = (v >> (msb - SUB_BITS as u64)) - SUB_BUCKETS;
+    (((group * SUB_BUCKETS) + sub) as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound (inclusive) of the values a bucket holds — what percentile
+/// queries report, so they never under-state a latency.
+fn bucket_high(idx: usize) -> u64 {
+    let group = idx as u64 / SUB_BUCKETS;
+    let sub = idx as u64 % SUB_BUCKETS;
+    if group == 0 {
+        return sub;
+    }
+    let shift = group - 1;
+    ((SUB_BUCKETS + sub) << shift) + ((1u64 << shift) - 1)
+}
+
+/// A cheap, copyable summary of a histogram (what the metrics registry and
+/// the bench JSON carry around).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Mean, in nanoseconds.
+    pub mean_ns: u64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Largest value recorded.
+    pub max_ns: u64,
+}
+
+impl Histogram {
+    /// An empty histogram (the only allocation it will ever make).
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value (nanoseconds).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest value recorded (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest value recorded.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound off by at most
+    /// one bucket width (~3%). Exact `min`/`max` cap the ends.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                // The final bucket holds every clamped outlier; report the
+                // exact max instead of its (too small) nominal bound.
+                if idx == BUCKETS - 1 {
+                    return self.max;
+                }
+                return bucket_high(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram in.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Forget everything.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Copy out the summary percentiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            mean_ns: self.mean(),
+            p50_ns: self.value_at_quantile(0.50),
+            p95_ns: self.value_at_quantile(0.95),
+            p99_ns: self.value_at_quantile(0.99),
+            max_ns: self.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.count(), SUB_BUCKETS);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS - 1);
+        // Every one of the small values got its own bucket.
+        assert_eq!(h.value_at_quantile(0.0), 0);
+        assert_eq!(h.value_at_quantile(1.0), SUB_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_roundtrip_bounds_error() {
+        for v in [
+            1u64,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            12_345,
+            1_000_000,
+            123_456_789,
+            9_876_543_210,
+        ] {
+            let idx = index_of(v);
+            let high = bucket_high(idx);
+            assert!(high >= v, "upper bound must cover the value ({v})");
+            // Relative error of the reported bound ≤ 1/SUB_BUCKETS.
+            assert!(
+                (high - v) as f64 <= (v as f64 / SUB_BUCKETS as f64) + 1.0,
+                "bucket too wide for {v}: high={high}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1_000); // 1µs .. 10ms ramp
+        }
+        let p50 = h.value_at_quantile(0.50);
+        let p95 = h.value_at_quantile(0.95);
+        let p99 = h.value_at_quantile(0.99);
+        assert!((4_800_000..=5_300_000).contains(&p50), "p50={p50}");
+        assert!((9_200_000..=9_900_000).contains(&p95), "p95={p95}");
+        assert!((9_700_000..=10_000_000).contains(&p99), "p99={p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(h.value_at_quantile(1.0), 10_000_000);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(200);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 200);
+        a.reset();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn huge_values_clamp_instead_of_panicking() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.value_at_quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_carries_percentiles() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert!(s.p50_ns <= 1_100);
+        assert_eq!(s.max_ns, 1_000_000);
+        assert!(s.p99_ns <= 1_100, "outlier is past p99 of 100 samples");
+    }
+}

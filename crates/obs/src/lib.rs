@@ -1,0 +1,61 @@
+//! # wow-obs — a window on the system's own internals
+//!
+//! The paper's thesis is that every interaction with shared data goes
+//! through a window on a view; this crate makes the system's *runtime
+//! state* shared data too. It has three layers:
+//!
+//! * [`tracer`] — a ring-buffered span tracer with fixed-size records
+//!   (zero-alloc hot path). Instrumentation points live in form compile,
+//!   browse open/page fetch, query execution, delta vs. full refresh, lock
+//!   acquisition, WAL append, TUI redraw, and through-window commits.
+//! * [`histogram`] — HDR-style fixed-bucket latency histograms, one per
+//!   traced operation, giving p50/p95/p99 instead of means.
+//! * [`metrics`] — the unified [`metrics::MetricsRegistry`] that absorbs
+//!   the formerly scattered counter structs (`PoolStats`, `WorldStats`,
+//!   `StatsRegistry`) as named gauges behind one API.
+//!
+//! `wow-core` exposes all of it as browsable **system tables**
+//! (`__wow_metrics`, `__wow_spans`, `__wow_windows`, `__wow_locks`)
+//! through the standard `open_window` path.
+//!
+//! Gating: the `trace` cargo feature (default on) compiles instrumentation
+//! in; with the feature on, recording still costs one relaxed atomic load
+//! until [`Tracer::set_enabled`] turns it on.
+
+pub mod histogram;
+pub mod metrics;
+pub mod tracer;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use metrics::{metrics, MetricsRegistry, MetricsSnapshot};
+pub use tracer::{tracer, Op, Span, SpanGuard, Tracer};
+
+/// Start a span on the global tracer (one atomic load when tracing is off).
+#[inline]
+pub fn span(op: Op) -> SpanGuard {
+    tracer().start(op)
+}
+
+/// Record an instantaneous event on the global tracer.
+#[inline]
+pub fn event(op: Op, arg: u64) {
+    tracer().event(op, arg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_helper_is_callable_when_disabled() {
+        // Must not panic or record when tracing is off.
+        tracer().set_enabled(false);
+        let before = tracer().recorded();
+        {
+            let mut g = span(Op::TuiRedraw);
+            g.arg(1);
+        }
+        event(Op::TuiRedraw, 2);
+        assert_eq!(tracer().recorded(), before);
+    }
+}

@@ -1,0 +1,343 @@
+//! A ring-buffered span tracer.
+//!
+//! Each instrumented operation records one fixed-size [`Span`] — no
+//! allocation on the hot path; the ring is preallocated and old spans are
+//! overwritten. Tracing is double-gated:
+//!
+//! * the `trace` cargo feature compiles the instrumentation in or out
+//!   entirely (benches that want a provably-zero-cost build disable it);
+//! * at runtime an atomic flag ([`Tracer::set_enabled`]) turns recording on
+//!   or off — while off, a started span costs one relaxed atomic load.
+//!
+//! The ring is guarded by a mutex whose critical section is a slot write;
+//! the tracer never calls back into the system under the lock, so recording
+//! from *any* code path — including the lock manager — cannot deadlock
+//! (exercised by the concurrency tests).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The instrumented operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Op {
+    /// Compiling a default form from a schema.
+    FormCompile = 0,
+    /// Opening a window (cursor construction + form compile + analyze).
+    BrowseOpen,
+    /// Fetching one screenful into a browse cursor.
+    BrowsePage,
+    /// Executing a physical plan.
+    QueryExec,
+    /// Patching a window in place from a view delta.
+    DeltaRefresh,
+    /// Re-running a window's view query.
+    FullRefresh,
+    /// One lock-manager acquire call.
+    LockAcquire,
+    /// Appending one WAL record.
+    WalAppend,
+    /// Composing + diffing one screen frame.
+    TuiRedraw,
+    /// One through-window commit (edit/insert/delete).
+    Commit,
+}
+
+impl Op {
+    /// Every operation, in declaration order (indexes the registry's
+    /// histogram table).
+    pub const ALL: [Op; 10] = [
+        Op::FormCompile,
+        Op::BrowseOpen,
+        Op::BrowsePage,
+        Op::QueryExec,
+        Op::DeltaRefresh,
+        Op::FullRefresh,
+        Op::LockAcquire,
+        Op::WalAppend,
+        Op::TuiRedraw,
+        Op::Commit,
+    ];
+
+    /// Stable snake_case name (metric keys, system-table rows, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::FormCompile => "form_compile",
+            Op::BrowseOpen => "browse_open",
+            Op::BrowsePage => "browse_page",
+            Op::QueryExec => "query_exec",
+            Op::DeltaRefresh => "delta_refresh",
+            Op::FullRefresh => "full_refresh",
+            Op::LockAcquire => "lock_acquire",
+            Op::WalAppend => "wal_append",
+            Op::TuiRedraw => "tui_redraw",
+            Op::Commit => "commit",
+        }
+    }
+}
+
+/// One recorded span. Fixed-size by construction: labels are the [`Op`]
+/// enum, the free-form payload is a single integer argument (rows touched,
+/// bytes appended, outcome code — whatever the site finds useful).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Monotonic sequence number (global across ring wraps).
+    pub seq: u64,
+    /// What ran.
+    pub op: Op,
+    /// Start time, microseconds since the tracer was created.
+    pub start_us: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Site-specific argument.
+    pub arg: u64,
+}
+
+struct Ring {
+    buf: Vec<Span>,
+    /// Next slot to write.
+    head: usize,
+    /// Live spans (≤ capacity).
+    len: usize,
+}
+
+/// The tracer: a runtime-switchable, fixed-capacity span ring.
+pub struct Tracer {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    epoch: Instant,
+    ring: Mutex<Ring>,
+    capacity: usize,
+}
+
+/// Default ring capacity (fixed-size spans; ~256 KiB).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+static TRACER: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-global tracer.
+pub fn tracer() -> &'static Tracer {
+    TRACER.get_or_init(|| Tracer::new(DEFAULT_CAPACITY))
+}
+
+impl Tracer {
+    /// A tracer with its ring preallocated and recording disabled.
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            epoch: Instant::now(),
+            ring: Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity.max(1)),
+                head: 0,
+                len: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Turn recording on or off. Spans started while disabled stay
+    /// unrecorded even if tracing is enabled before they finish.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        cfg!(feature = "trace") && self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans recorded since creation (including ones the ring has since
+    /// overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Start a span. When tracing is off this is one atomic load and the
+    /// returned guard does nothing on drop.
+    #[inline]
+    pub fn start(&'static self, op: Op) -> SpanGuard {
+        if self.enabled() {
+            SpanGuard {
+                tracer: Some(self),
+                op,
+                start: Instant::now(),
+                arg: 0,
+            }
+        } else {
+            SpanGuard {
+                tracer: None,
+                op,
+                start: self.epoch,
+                arg: 0,
+            }
+        }
+    }
+
+    /// Record an instantaneous event (zero-duration span).
+    #[inline]
+    pub fn event(&self, op: Op, arg: u64) {
+        if self.enabled() {
+            self.record(op, Instant::now(), 0, arg);
+        }
+    }
+
+    /// Record a finished span. The only lock taken is the ring's own; no
+    /// other code runs under it.
+    pub fn record(&self, op: Op, end: Instant, dur_ns: u64, arg: u64) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let since_epoch = end.duration_since(self.epoch).as_micros() as u64;
+        let start_us = since_epoch.saturating_sub(dur_ns / 1_000);
+        let span = Span {
+            seq,
+            op,
+            start_us,
+            dur_ns,
+            arg,
+        };
+        let mut ring = self.ring.lock().expect("tracer ring poisoned");
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(span);
+            ring.head = ring.buf.len() % self.capacity;
+            ring.len = ring.buf.len();
+        } else {
+            let head = ring.head;
+            ring.buf[head] = span;
+            ring.head = (head + 1) % self.capacity;
+            ring.len = self.capacity;
+        }
+        crate::metrics::metrics().record(op, dur_ns);
+    }
+
+    /// The live spans, oldest first.
+    pub fn snapshot(&self) -> Vec<Span> {
+        let ring = self.ring.lock().expect("tracer ring poisoned");
+        let mut out = Vec::with_capacity(ring.len);
+        if ring.len < self.capacity {
+            out.extend_from_slice(&ring.buf[..ring.len]);
+        } else {
+            out.extend_from_slice(&ring.buf[ring.head..]);
+            out.extend_from_slice(&ring.buf[..ring.head]);
+        }
+        out
+    }
+
+    /// Drop every recorded span (the sequence counter keeps counting).
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().expect("tracer ring poisoned");
+        ring.buf.clear();
+        ring.head = 0;
+        ring.len = 0;
+    }
+}
+
+/// Times an operation from [`Tracer::start`] to drop (or an explicit
+/// [`SpanGuard::finish`]).
+pub struct SpanGuard {
+    tracer: Option<&'static Tracer>,
+    op: Op,
+    start: Instant,
+    arg: u64,
+}
+
+impl SpanGuard {
+    /// Attach the site-specific argument.
+    #[inline]
+    pub fn arg(&mut self, v: u64) {
+        self.arg = v;
+    }
+
+    /// Finish explicitly (drop does the same).
+    #[inline]
+    pub fn finish(self) {}
+
+    /// Abandon the span without recording it (the operation turned out not
+    /// to happen — e.g. a delta apply that fell back to a full refresh).
+    #[inline]
+    pub fn cancel(mut self) {
+        self.tracer = None;
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(t) = self.tracer.take() {
+            let dur = self.start.elapsed().as_nanos() as u64;
+            t.record(self.op, Instant::now(), dur, self.arg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(8);
+        t.set_enabled(false);
+        t.event(Op::Commit, 1);
+        assert!(t.snapshot().is_empty());
+        assert_eq!(t.recorded(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_latest() {
+        let t = Tracer::new(4);
+        t.set_enabled(true);
+        for i in 0..10u64 {
+            t.record(Op::QueryExec, Instant::now(), i, i);
+        }
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 4);
+        let seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first, latest kept");
+        assert_eq!(t.recorded(), 10);
+    }
+
+    #[test]
+    fn clear_empties_the_ring() {
+        let t = Tracer::new(4);
+        t.set_enabled(true);
+        t.event(Op::WalAppend, 0);
+        assert_eq!(t.snapshot().len(), 1);
+        t.clear();
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn op_names_are_stable() {
+        for op in Op::ALL {
+            assert!(!op.name().is_empty());
+        }
+        assert_eq!(Op::BrowseOpen.name(), "browse_open");
+        assert_eq!(Op::ALL.len(), 10);
+    }
+
+    #[test]
+    fn global_guard_roundtrip() {
+        let t = tracer();
+        let before = t.recorded();
+        t.set_enabled(true);
+        {
+            let mut g = t.start(Op::FormCompile);
+            g.arg(7);
+        }
+        t.set_enabled(false);
+        assert!(t.recorded() > before);
+        let spans = t.snapshot();
+        let mine = spans
+            .iter()
+            .rev()
+            .find(|s| s.op == Op::FormCompile && s.arg == 7);
+        assert!(mine.is_some(), "span with arg recorded");
+    }
+}

@@ -447,12 +447,14 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> Option<DataType> {
 /// blocks, so limit pushdown and scan readahead apply even to callers that
 /// want a fully materialized [`Rows`].
 pub fn execute(db: &mut Database, plan: &PhysicalPlan) -> RelResult<Rows> {
+    let mut span = wow_obs::span(wow_obs::Op::QueryExec);
     let schema = plan.output_schema(db)?;
     let mut op = stream::build_operator(db, plan, None)?;
     let mut tuples = Vec::new();
     while let Some(block) = op.next_block(db)? {
         tuples.extend(block.tuples);
     }
+    span.arg(tuples.len() as u64);
     Ok(Rows { schema, tuples })
 }
 

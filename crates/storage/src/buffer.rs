@@ -40,6 +40,32 @@ pub struct PoolStats {
     pub prefetch_hits: u64,
 }
 
+impl PoolStats {
+    /// Copy out the current values — pair with [`PoolStats::since`] to
+    /// measure a warm phase without zeroing the pool's lifetime counters.
+    pub fn snapshot(&self) -> PoolStats {
+        *self
+    }
+
+    /// The activity accumulated since an earlier snapshot (field-wise
+    /// saturating difference).
+    pub fn since(&self, base: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            evictions: self.evictions.saturating_sub(base.evictions),
+            writebacks: self.writebacks.saturating_sub(base.writebacks),
+            prefetches: self.prefetches.saturating_sub(base.prefetches),
+            prefetch_hits: self.prefetch_hits.saturating_sub(base.prefetch_hits),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&mut self) {
+        *self = PoolStats::default();
+    }
+}
+
 /// A buffer pool over a [`PageStore`].
 pub struct BufferPool<S: PageStore> {
     store: S,

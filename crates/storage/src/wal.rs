@@ -311,6 +311,7 @@ impl Wal {
     /// Append a record, returning its LSN. The record is buffered; call
     /// [`Wal::flush`] (done by commit) to make it durable.
     pub fn append(&mut self, rec: &LogRecord) -> StorageResult<Lsn> {
+        let mut span = wow_obs::span(wow_obs::Op::WalAppend);
         let payload = rec.encode();
         let mut frame = Vec::with_capacity(payload.len() + 12);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -323,6 +324,7 @@ impl Wal {
         }
         self.end += frame.len() as u64;
         self.appended += 1;
+        span.arg(frame.len() as u64);
         Ok(lsn)
     }
 

@@ -32,12 +32,14 @@ impl DamageTracker {
     /// Diff `next` against the previous frame, returning the patches to
     /// present, and remember `next`. A size change forces a full repaint.
     pub fn frame(&mut self, next: &ScreenBuffer) -> Vec<Patch> {
+        let mut span = wow_obs::span(wow_obs::Op::TuiRedraw);
         self.frames += 1;
         let patches = match &self.prev {
             Some(prev) if prev.size() == next.size() => next.diff(prev),
             _ => full_repaint(next),
         };
         self.cells_emitted += patches.len() as u64;
+        span.arg(patches.len() as u64);
         self.prev = Some(next.clone());
         patches
     }
