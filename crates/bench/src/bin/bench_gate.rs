@@ -1,22 +1,25 @@
 //! `bench_gate` — CI regression gate over the repro output.
 //!
 //! ```text
-//! cargo run -p wow-bench --bin bench_gate --release -- BENCH_PR4.json BENCH_PR3.json
+//! cargo run -p wow-bench --bin bench_gate --release -- BENCH_PR6.json BENCH_PR4.json
 //! ```
 //!
 //! Compares the freshly generated bench file (first arg, default
-//! `BENCH_PR4.json`) against the checked-in baseline from the previous PR
-//! (second arg, default `BENCH_PR3.json`) and exits non-zero when:
+//! `BENCH_PR6.json`) against the checked-in baseline from the previous PR
+//! (second arg, default `BENCH_PR4.json`) and exits non-zero when:
 //!
 //! * a required percentile field is missing from the current file
-//!   (`metrics.{browse_open,commit,delta_refresh}.{p50,p95,p99}_ns`), or
-//! * the browse-open or delta-commit p95 regressed more than 2× over the
-//!   baseline.
+//!   (`metrics.{browse_open,commit,delta_refresh,query_exec}.{p50,p95,p99}_ns`), or
+//! * the browse-open, delta-commit, or query-exec p95 regressed more than
+//!   2× over the baseline.
 //!
-//! The baseline may predate the `metrics` section (PR3 did): in that case
-//! the gate falls back to the duration cells of the rendered tables —
-//! Table 2's "open (indexed)" column and Figure 4's "delta commit" column,
-//! last (largest-cardinality) row — parsed from strings like "163.2 µs".
+//! The baseline may predate a gated metric: PR3 had no `metrics` section
+//! at all, and PR4 carries no `query_exec` percentiles (its workload never
+//! ran the top-level executor). A missing baseline therefore downgrades
+//! that gate to informational — the current value is printed and recorded
+//! for the *next* PR to diff against — while the older metrics still fall
+//! back to the duration cells of the rendered tables (Table 2's
+//! "open (indexed)" column, Figure 4's "delta commit" column, last row).
 
 use wow_bench::json::{parse, Json};
 
@@ -66,16 +69,10 @@ fn table_cell_ns(doc: &Json, id: &str, column: &str) -> Option<f64> {
     parse_duration_ns(last.items().get(col)?.as_str()?)
 }
 
-/// Baseline p95 for a gated op: prefer the metrics section (baselines from
-/// PR4 on have one), else fall back to the rendered table cell.
-fn baseline_ns(doc: &Json, op: &str, table: &str, column: &str) -> Option<f64> {
-    metrics_p95(doc, op).or_else(|| table_cell_ns(doc, table, column))
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let current_path = args.first().map(String::as_str).unwrap_or("BENCH_PR4.json");
-    let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR3.json");
+    let current_path = args.first().map(String::as_str).unwrap_or("BENCH_PR6.json");
+    let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR4.json");
 
     let (current, baseline) = match (load(current_path), load(baseline_path)) {
         (Ok(c), Ok(b)) => (c, b),
@@ -91,7 +88,7 @@ fn main() {
 
     // Required percentile fields: the whole point of BENCH_PR4.json is to
     // carry these, so their absence is itself a gate failure.
-    for op in ["browse_open", "commit", "delta_refresh"] {
+    for op in ["browse_open", "commit", "delta_refresh", "query_exec"] {
         for field in ["p50_ns", "p95_ns", "p99_ns"] {
             let present = current
                 .get("metrics")
@@ -105,14 +102,20 @@ fn main() {
         }
     }
 
-    // Regression checks: browse-open and delta-commit p95 vs 2× baseline.
+    // Regression checks: browse-open, delta-commit, and query-exec p95 vs
+    // 2× baseline. A gate whose table fallback is `None` tolerates a
+    // missing baseline (the metric is new in this PR): it reports the
+    // current value informationally instead of failing.
     let gates = [
-        ("browse_open", "Table 2", "open (indexed)"),
-        ("commit", "Figure 4", "delta commit"),
+        ("browse_open", Some(("Table 2", "open (indexed)"))),
+        ("commit", Some(("Figure 4", "delta commit"))),
+        ("query_exec", None),
     ];
-    for (op, table, column) in gates {
+    for (op, fallback) in gates {
         let cur = metrics_p95(&current, op);
-        let base = baseline_ns(&baseline, op, table, column);
+        let base = metrics_p95(&baseline, op).or_else(|| {
+            fallback.and_then(|(table, column)| table_cell_ns(&baseline, table, column))
+        });
         match (cur, base) {
             (Some(cur), Some(base)) if base > 0.0 => {
                 let ratio = cur / base;
@@ -127,14 +130,21 @@ fn main() {
                     ));
                 }
             }
+            (Some(cur), _) if fallback.is_none() => {
+                println!(
+                    "{op:<14} p95 {cur:>12.0} ns (no baseline in {baseline_path}; recorded for the next PR)"
+                );
+            }
             (cur, base) => {
                 if cur.is_none() {
                     failures.push(format!("{current_path}: no p95 for {op}"));
                 }
                 if base.is_none() {
-                    failures.push(format!(
-                        "{baseline_path}: no baseline for {op} (metrics.{op}.p95_ns or {table} \"{column}\")"
-                    ));
+                    if let Some((table, column)) = fallback {
+                        failures.push(format!(
+                            "{baseline_path}: no baseline for {op} (metrics.{op}.p95_ns or {table} \"{column}\")"
+                        ));
+                    }
                 }
             }
         }

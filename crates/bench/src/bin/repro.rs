@@ -7,13 +7,13 @@
 //! cargo run -p wow-bench --bin repro --release -- --metrics # dump percentiles
 //! ```
 //!
-//! Besides the rendered text, a machine-readable `BENCH_PR4.json` with the
+//! Besides the rendered text, a machine-readable `BENCH_PR6.json` with the
 //! same rows — plus a `metrics` section carrying p50/p95/p99 latency
 //! percentiles per traced operation — is written to the working directory
 //! (disable with `--no-json`). `--metrics` additionally prints that section
 //! as a human-readable table. The percentiles come from running the
 //! instrumented workload (`experiments::instrumented_workload`) with the
-//! span tracer on, so `BENCH_PR4.json` is what the CI `bench_gate` binary
+//! span tracer on, so `BENCH_PR6.json` is what the CI `bench_gate` binary
 //! diffs against the checked-in baseline.
 
 use wow_bench::experiments::{self, Scale};
@@ -81,7 +81,7 @@ fn to_json(scale: Scale, tables: &[Table], metrics: &MetricsSnapshot) -> String 
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "{{\"bench\":\"PR4\",\"scale\":\"{scale:?}\",\"experiments\":{experiments},\
+        "{{\"bench\":\"PR6\",\"scale\":\"{scale:?}\",\"experiments\":{experiments},\
          \"metrics\":{{{ops}}},\"counters\":{{{counters}}}}}\n"
     )
 }
@@ -133,6 +133,7 @@ fn main() {
         ("figure2", experiments::figure2_join_view),
         ("figure3", experiments::figure3_scan_crossover),
         ("figure4", experiments::figure4_propagate),
+        ("figure5", experiments::figure5_parallel_scaling),
         ("table5", experiments::table5_locking),
         ("table6", experiments::table6_wal),
         ("table7", experiments::table7_expansion),
@@ -150,7 +151,7 @@ fn main() {
         tables.push(table);
     }
     if tables.is_empty() {
-        eprintln!("no experiment matched; known keys: table1..table8, table2b, figure1..figure4");
+        eprintln!("no experiment matched; known keys: table1..table8, table2b, figure1..figure5");
         std::process::exit(2);
     }
     // Percentiles only accompany a full (unfiltered) run: a filtered run is
@@ -164,7 +165,7 @@ fn main() {
         print_metrics(&metrics);
     }
     if write_json {
-        let path = "BENCH_PR4.json";
+        let path = "BENCH_PR6.json";
         match std::fs::write(path, to_json(scale, &tables, &metrics)) {
             Ok(()) => println!("wrote {path} ({} experiments)", tables.len()),
             Err(e) => eprintln!("could not write {path}: {e}"),

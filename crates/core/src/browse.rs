@@ -57,7 +57,7 @@ pub fn view_schema_of(db: &Database, upd: &Updatability) -> WowResult<Schema> {
 }
 
 /// State for the incremental, index-ordered strategy.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Indexed {
     upd: Updatability,
     index: String,
@@ -84,7 +84,7 @@ pub struct Indexed {
 }
 
 /// State for the materialize-everything baseline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Materialized {
     rows: Vec<BrowseRow>,
     pos: usize,
@@ -98,7 +98,7 @@ pub struct Materialized {
 /// aggregate) views: each page is a fresh view query with
 /// `LIMIT page_size OFFSET page_no·page_size`, which the optimizer pushes
 /// into the streaming executor — production stops once the page fills.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Streamed {
     view: String,
     /// Restriction/ordering from QBF; `limit` is overwritten per page.
@@ -112,7 +112,7 @@ pub struct Streamed {
 }
 
 /// A window's position in its view.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum BrowseCursor {
     /// Incremental, index-ordered paging.
     Indexed(Indexed),

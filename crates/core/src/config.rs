@@ -21,6 +21,11 @@ pub struct WorldConfig {
     /// algebra and patches browse cursors in place; off forces the full
     /// re-query path on every affected window (the Figure 4 baseline).
     pub delta_propagation: bool,
+    /// Worker threads for intra-query and fan-out parallelism. `0` means
+    /// auto (available parallelism, capped); the `WOW_WORKERS` environment
+    /// variable overrides either way (see [`wow_par::resolve_workers`]).
+    /// `1` is exact serial execution.
+    pub workers: usize,
 }
 
 impl Default for WorldConfig {
@@ -32,6 +37,7 @@ impl Default for WorldConfig {
             locking: true,
             undo_depth: 64,
             delta_propagation: true,
+            workers: 0,
         }
     }
 }

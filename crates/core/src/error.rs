@@ -49,6 +49,13 @@ pub enum WowError {
         /// The window's mode.
         mode: &'static str,
     },
+    /// One or more windows failed to refresh during a propagation fan-out.
+    /// Every healthy window was still refreshed — the fan-out runs to
+    /// completion and reports the casualties afterwards.
+    PropagationFailed {
+        /// `(window id, error)` for each window whose refresh failed.
+        failures: Vec<(u32, String)>,
+    },
 }
 
 impl fmt::Display for WowError {
@@ -72,6 +79,18 @@ impl fmt::Display for WowError {
             WowError::NothingToUndo => write!(f, "nothing to undo"),
             WowError::WrongMode { wanted, mode } => {
                 write!(f, "cannot {wanted} in {mode} mode")
+            }
+            WowError::PropagationFailed { failures } => {
+                write!(
+                    f,
+                    "{} window refresh(es) failed during propagation: ",
+                    failures.len()
+                )?;
+                let msgs: Vec<String> = failures
+                    .iter()
+                    .map(|(id, e)| format!("window {id}: {e}"))
+                    .collect();
+                write!(f, "{}", msgs.join("; "))
             }
         }
     }

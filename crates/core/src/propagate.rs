@@ -5,12 +5,20 @@
 //! the subject of Figure 4: propagation cost is proportional to the number
 //! of *affected* windows; windows over disjoint data cost nothing.
 
-use crate::error::WowResult;
-use crate::window_mgr::{Mode, WinId};
+use crate::browse::BrowseCursor;
+use crate::error::{WowError, WowResult};
+use crate::window_mgr::{Mode, RefreshKind, WinId};
 use crate::world::World;
 use std::collections::BTreeMap;
+use wow_par::stats::{decision, Layer};
+use wow_rel::db::ExecCounters;
 use wow_rel::delta::BaseDelta;
 use wow_views::delta::{compute_view_delta, ViewDelta};
+
+/// Minimum refreshable windows before a fan-out goes parallel: with a
+/// single window there is nothing to overlap, and the scoped pool's thread
+/// spawn would be pure overhead.
+pub const PAR_FANOUT_MIN_WINDOWS: usize = 2;
 
 impl World {
     /// Push a typed write delta through the view algebra and patch every
@@ -60,8 +68,10 @@ impl World {
                 view_deltas.insert(view.clone(), vd);
             }
         }
-        // Phase 3: apply per window.
+        // Phase 3: patch deltable windows in place; everything else joins
+        // the full-refresh fan-out (parallel when wide enough) at the end.
         let mut refreshed = Vec::new();
+        let mut full = Vec::new();
         for (id, view) in affected {
             let mid_edit = matches!(
                 self.window(id)?.mode,
@@ -97,25 +107,22 @@ impl World {
                         span.finish();
                         self.stats.delta_refreshes += 1;
                         self.stats.delta_rows += vd.len() as u64;
+                        self.stats.windows_refreshed += 1;
+                        refreshed.push(id);
                     } else {
                         // The delta didn't land; don't count its span.
                         span.cancel();
-                        self.refresh_window(id)?;
-                        self.stats.full_refreshes += 1;
+                        full.push(id);
                     }
-                    self.stats.windows_refreshed += 1;
-                    refreshed.push(id);
                 }
                 _ => {
                     // Non-deltable view, oversized delta, or delta
                     // propagation disabled: the classic full re-query.
-                    self.refresh_window(id)?;
-                    self.stats.full_refreshes += 1;
-                    self.stats.windows_refreshed += 1;
-                    refreshed.push(id);
+                    full.push(id);
                 }
             }
         }
+        refreshed.extend(self.refresh_fanout(full)?);
         Ok(refreshed)
     }
 
@@ -147,7 +154,7 @@ impl World {
                 }
             }
         }
-        let mut refreshed = Vec::new();
+        let mut candidates = Vec::new();
         for id in affected {
             let mid_edit = matches!(
                 self.window(id)?.mode,
@@ -157,12 +164,102 @@ impl World {
                 self.window_mut(id)?.stale = true;
                 continue;
             }
-            self.refresh_window(id)?;
-            self.stats.full_refreshes += 1;
-            self.stats.windows_refreshed += 1;
-            refreshed.push(id);
+            candidates.push(id);
         }
-        Ok(refreshed)
+        self.refresh_fanout(candidates)
+    }
+
+    /// Refresh a set of windows, overlapping the re-queries across the
+    /// worker pool when the fan-out is wide enough.
+    ///
+    /// The split is *compute then apply*: the compute phase clones each
+    /// window's cursor and refreshes the clone against a
+    /// [`read replica`](wow_rel::db::Database::read_replica) (read-only
+    /// over shared pages, so any number may run concurrently); the apply
+    /// phase then splices the refreshed cursors back into the window states
+    /// sequentially, so counters, spans, and visible effects land in the
+    /// same deterministic order as a serial fan-out.
+    ///
+    /// A failing window does not abort the fan-out: every healthy window
+    /// still refreshes, and the failures come back together as one
+    /// [`WowError::PropagationFailed`].
+    fn refresh_fanout(&mut self, candidates: Vec<WinId>) -> WowResult<Vec<WinId>> {
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.db().workers();
+        // System windows re-materialize their backing tables on refresh,
+        // which needs the whole world mutably — any fan-out containing one
+        // stays serial.
+        let has_sys = candidates.iter().any(|id| {
+            self.windows
+                .get(id)
+                .is_none_or(|w| crate::sys::is_sys_view(&w.view))
+        });
+        let parallel = workers > 1 && candidates.len() >= PAR_FANOUT_MIN_WINDOWS && !has_sys;
+        decision(Layer::Fanout, parallel);
+        let mut refreshed = Vec::new();
+        let mut failures: Vec<(u32, String)> = Vec::new();
+        if parallel {
+            type Computed = (WinId, WowResult<(BrowseCursor, ExecCounters)>);
+            let computed: Vec<Computed> = {
+                let mut span = wow_obs::span(wow_obs::Op::ParCompute);
+                span.arg(candidates.len() as u64);
+                let db = self.db();
+                let views = self.views();
+                let windows = &self.windows;
+                let pool = wow_par::Pool::new(workers);
+                pool.map(candidates, |_, id| {
+                    let Some(w) = windows.get(&id) else {
+                        return (id, Err(WowError::NoSuchWindow(id.0)));
+                    };
+                    let mut replica = db.read_replica();
+                    let mut cursor = w.cursor.clone();
+                    let refresh = wow_obs::span(wow_obs::Op::FullRefresh);
+                    let r = cursor.refresh(&mut replica, views);
+                    refresh.finish();
+                    (id, r.map(|()| (cursor, replica.counters())))
+                })
+            };
+            let mut span = wow_obs::span(wow_obs::Op::ParApply);
+            for (id, res) in computed {
+                match res {
+                    Ok((cursor, counters)) => {
+                        self.db_mut().merge_counters(counters);
+                        let w = self.windows.get_mut(&id).expect("window seen in compute");
+                        w.cursor = cursor;
+                        w.stale = false;
+                        w.last_refresh = RefreshKind::Full;
+                        w.refreshed_at = std::time::Instant::now();
+                        if matches!(w.mode, Mode::Browse) {
+                            w.show_current();
+                        }
+                        self.stats.full_refreshes += 1;
+                        self.stats.windows_refreshed += 1;
+                        refreshed.push(id);
+                    }
+                    Err(e) => failures.push((id.0, e.to_string())),
+                }
+            }
+            span.arg(refreshed.len() as u64);
+            span.finish();
+        } else {
+            for id in candidates {
+                match self.refresh_window(id) {
+                    Ok(()) => {
+                        self.stats.full_refreshes += 1;
+                        self.stats.windows_refreshed += 1;
+                        refreshed.push(id);
+                    }
+                    Err(e) => failures.push((id.0, e.to_string())),
+                }
+            }
+        }
+        if failures.is_empty() {
+            Ok(refreshed)
+        } else {
+            Err(WowError::PropagationFailed { failures })
+        }
     }
 }
 
@@ -403,6 +500,113 @@ mod tests {
         w.commit(editor).unwrap();
         assert_eq!(w.stats.windows_refreshed, 1, "watcher now reads emp");
         assert_eq!(w.dep_index().rebuilds(), warm + 1);
+    }
+
+    #[test]
+    fn fanout_collects_per_window_errors_without_aborting() {
+        let mut w = world();
+        // A self-join view is not updatable, so its window gets a streamed
+        // cursor — one that re-runs the view query (by name, against the
+        // live catalog) on every refresh.
+        w.define_view(
+            "doomed",
+            "RANGE OF a IS emp RANGE OF b IS emp \
+             RETRIEVE (a.name, b.salary) WHERE a.name = b.name",
+        )
+        .unwrap();
+        let s = w.open_session();
+        let healthy = w.open_window(s, "toy_emps", None).unwrap();
+        let doomed = w.open_window(s, "doomed", None).unwrap();
+        // Poison the view after its window opened: every refresh now
+        // divides by zero at eval time.
+        w.redefine_view(
+            "doomed",
+            "RANGE OF a IS emp RANGE OF b IS emp \
+             RETRIEVE (a.name, b.salary / (b.salary - b.salary)) WHERE a.name = b.name",
+        )
+        .unwrap();
+        w.db_mut().run("RANGE OF emp IS emp").unwrap();
+        w.db_mut()
+            .run(r#"REPLACE emp (salary = 200) WHERE emp.name = "alice""#)
+            .unwrap();
+        let err = w.propagate_write("emp", None).unwrap_err();
+        let crate::error::WowError::PropagationFailed { failures } = err else {
+            panic!("expected PropagationFailed");
+        };
+        assert_eq!(failures.len(), 1, "exactly the poisoned window failed");
+        assert_eq!(failures[0].0, doomed.0);
+        // The healthy window was still refreshed — the fan-out ran to
+        // completion instead of aborting at the first failure.
+        assert_eq!(
+            w.current_row(healthy).unwrap().unwrap().values[1].to_string(),
+            "200"
+        );
+        assert_eq!(w.stats.windows_refreshed, 1);
+        assert_eq!(w.stats.full_refreshes, 1);
+    }
+
+    #[test]
+    fn parallel_fanout_matches_serial_pages_and_stats() {
+        // Two identical worlds, one serial, one maximally parallel: after
+        // the same write propagates, every window's visible page and every
+        // WorldStats counter must agree.
+        let build = |workers: usize| {
+            let cfg = WorldConfig {
+                delta_propagation: false,
+                workers,
+                ..WorldConfig::default()
+            };
+            let mut w = World::with_db(cfg, wow_rel::db::Database::in_memory());
+            // Exact width: benches and this test bypass the WOW_WORKERS
+            // override so "serial" stays serial under any environment.
+            w.db_mut().set_workers(workers);
+            w.db_mut()
+                .run("CREATE TABLE emp (name TEXT KEY, dept TEXT, salary INT)")
+                .unwrap();
+            for i in 0..64 {
+                w.db_mut()
+                    .run(&format!(
+                        r#"APPEND TO emp (name = "e{i:03}", dept = "d{}", salary = {})"#,
+                        i % 4,
+                        100 + i
+                    ))
+                    .unwrap();
+            }
+            let s = w.open_session();
+            let mut wins = Vec::new();
+            for v in 0..8 {
+                let name = format!("v{v}");
+                w.define_view(
+                    &name,
+                    &format!(
+                        r#"RANGE OF e IS emp RETRIEVE (e.name, e.salary) WHERE e.dept = "d{}""#,
+                        v % 4
+                    ),
+                )
+                .unwrap();
+                wins.push(w.open_window(s, &name, None).unwrap());
+            }
+            (w, wins)
+        };
+        let (mut serial, serial_wins) = build(1);
+        let (mut par, par_wins) = build(8);
+        assert_eq!(serial.db().workers(), 1);
+        assert_eq!(par.db().workers(), 8);
+        for w in [&mut serial, &mut par] {
+            w.db_mut().run("RANGE OF emp IS emp").unwrap();
+            w.db_mut()
+                .run(r#"REPLACE emp (salary = 999) WHERE emp.name = "e000""#)
+                .unwrap();
+        }
+        let a = serial.propagate_write("emp", None).unwrap();
+        let b = par.propagate_write("emp", None).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(serial.stats, par.stats, "WorldStats must agree exactly");
+        for (sw, pw) in serial_wins.iter().zip(&par_wins) {
+            let sp: Vec<_> = serial.window(*sw).unwrap().cursor.page_rows();
+            let pp: Vec<_> = par.window(*pw).unwrap().cursor.page_rows();
+            assert_eq!(sp, pp, "window pages diverged");
+        }
     }
 
     #[test]

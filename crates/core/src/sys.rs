@@ -26,7 +26,7 @@ use crate::world::World;
 use wow_rel::value::Value;
 
 /// The system views, with the QUEL definitions registered for them.
-pub const SYS_VIEWS: [(&str, &str); 4] = [
+pub const SYS_VIEWS: [(&str, &str); 5] = [
     (
         "__wow_metrics",
         "RANGE OF m IS __sys_metrics RETRIEVE (m.metric, m.value)",
@@ -44,14 +44,19 @@ pub const SYS_VIEWS: [(&str, &str); 4] = [
         "__wow_locks",
         "RANGE OF l IS __sys_locks RETRIEVE (l.seq, l.relation, l.holder, l.mode)",
     ),
+    (
+        "__wow_pool",
+        "RANGE OF p IS __sys_pool RETRIEVE (p.stat, p.value)",
+    ),
 ];
 
-const SYS_DDL: [&str; 4] = [
+const SYS_DDL: [&str; 5] = [
     "CREATE TABLE __sys_metrics (metric TEXT KEY, value INT)",
     "CREATE TABLE __sys_spans (seq INT KEY, op TEXT, start_us INT, dur_us INT, arg INT)",
     "CREATE TABLE __sys_windows (win INT KEY, view TEXT, session INT, mode TEXT, \
      refresh TEXT, age_ms INT, stale INT, updatable INT)",
     "CREATE TABLE __sys_locks (seq INT KEY, relation TEXT, holder INT, mode TEXT)",
+    "CREATE TABLE __sys_pool (stat TEXT KEY, value INT)",
 ];
 
 /// Whether `view` names a system view.
@@ -96,6 +101,10 @@ impl World {
         if let Some(wal) = self.db().wal() {
             m.set("wal.appended", wal.appended());
         }
+        m.set("par.workers", self.db().workers() as u64);
+        for (name, v) in wow_par::stats::snapshot().rows() {
+            m.set(&format!("par.{name}"), v);
+        }
         for name in self.db().catalog().table_names() {
             if let Ok(info) = self.db().catalog().table(&name) {
                 m.set(&format!("rows.{name}"), self.db().row_count(info.id));
@@ -114,10 +123,12 @@ impl World {
         let spans = span_rows();
         let windows = self.window_rows();
         let locks = self.lock_rows();
+        let pool = self.pool_rows();
         self.sys_rewrite("__sys_metrics", metrics)?;
         self.sys_rewrite("__sys_spans", spans)?;
         self.sys_rewrite("__sys_windows", windows)?;
         self.sys_rewrite("__sys_locks", locks)?;
+        self.sys_rewrite("__sys_pool", pool)?;
         Ok(())
     }
 
@@ -167,6 +178,19 @@ impl World {
                 ]
             })
             .collect()
+    }
+
+    /// `__sys_pool` rows: the worker-pool width plus the global scatter and
+    /// per-layer parallel-vs-serial decision counters from [`wow_par`].
+    fn pool_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = vec![vec![
+            Value::Text("workers".to_string()),
+            Value::Int(self.db().workers() as i64),
+        ]];
+        for (name, v) in wow_par::stats::snapshot().rows() {
+            rows.push(vec![Value::Text(name.to_string()), Value::Int(v as i64)]);
+        }
+        rows
     }
 
     fn lock_rows(&self) -> Vec<Vec<Value>> {
@@ -328,6 +352,43 @@ mod tests {
                 Err(WowError::ReadOnly { .. })
             ));
         }
+    }
+
+    #[test]
+    fn pool_window_reports_workers_and_decisions() {
+        let mut w = world();
+        let s = w.open_session();
+        let win = w.open_window(s, "__wow_pool", None).unwrap();
+        let state = w.window(win).unwrap();
+        assert!(!state.is_updatable(), "__wow_pool is read-only");
+        let rows = w
+            .db_mut()
+            .run("RANGE OF p IS __sys_pool RETRIEVE (p.stat, p.value)")
+            .unwrap();
+        let stats: Vec<String> = rows
+            .tuples
+            .iter()
+            .map(|t| t.values[0].to_string())
+            .collect();
+        for expected in [
+            "workers",
+            "tasks",
+            "chunks",
+            "scan_parallel",
+            "scan_serial",
+            "join_parallel",
+            "join_serial",
+            "fanout_parallel",
+            "fanout_serial",
+        ] {
+            assert!(stats.contains(&expected.to_string()), "missing {expected}");
+        }
+        let workers = rows
+            .tuples
+            .iter()
+            .find(|t| t.values[0].to_string() == "workers")
+            .unwrap();
+        assert_eq!(workers.values[1].to_string(), w.db().workers().to_string());
     }
 
     #[test]

@@ -114,7 +114,8 @@ impl World {
     }
 
     /// A world over a caller-prepared database (e.g. WAL-enabled).
-    pub fn with_db(cfg: WorldConfig, db: Database) -> World {
+    pub fn with_db(cfg: WorldConfig, mut db: Database) -> World {
+        db.set_workers(wow_par::resolve_workers(cfg.workers));
         World {
             cfg,
             db,

@@ -42,12 +42,18 @@ pub enum Op {
     TuiRedraw,
     /// One through-window commit (edit/insert/delete).
     Commit,
+    /// Partitioning work into chunks and dispatching it to the pool.
+    ParScatter,
+    /// Parallel read-only compute phase of a refresh fan-out.
+    ParCompute,
+    /// Sequential apply phase splicing parallel results into cursors.
+    ParApply,
 }
 
 impl Op {
     /// Every operation, in declaration order (indexes the registry's
     /// histogram table).
-    pub const ALL: [Op; 10] = [
+    pub const ALL: [Op; 13] = [
         Op::FormCompile,
         Op::BrowseOpen,
         Op::BrowsePage,
@@ -58,6 +64,9 @@ impl Op {
         Op::WalAppend,
         Op::TuiRedraw,
         Op::Commit,
+        Op::ParScatter,
+        Op::ParCompute,
+        Op::ParApply,
     ];
 
     /// Stable snake_case name (metric keys, system-table rows, JSON).
@@ -73,6 +82,9 @@ impl Op {
             Op::WalAppend => "wal_append",
             Op::TuiRedraw => "tui_redraw",
             Op::Commit => "commit",
+            Op::ParScatter => "par_scatter",
+            Op::ParCompute => "par_compute",
+            Op::ParApply => "par_apply",
         }
     }
 }
@@ -319,7 +331,8 @@ mod tests {
             assert!(!op.name().is_empty());
         }
         assert_eq!(Op::BrowseOpen.name(), "browse_open");
-        assert_eq!(Op::ALL.len(), 10);
+        assert_eq!(Op::ParScatter.name(), "par_scatter");
+        assert_eq!(Op::ALL.len(), 13);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub struct TableInfo {
 /// Held in memory and rebuilt by the embedding application on startup (the
 /// WAL protects data, not DDL — the same division INGRES-era systems drew
 /// between the schema file and the database).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: BTreeMap<String, TableInfo>,
     ids: BTreeMap<TableId, String>,

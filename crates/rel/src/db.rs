@@ -13,6 +13,7 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
+use std::sync::Arc;
 use wow_storage::btree::BTree;
 use wow_storage::buffer::BufferPool;
 use wow_storage::hash_index::{HashIndex, DEFAULT_BUCKETS};
@@ -75,6 +76,7 @@ impl PageStore for AnyStore {
 }
 
 /// Physical index handle.
+#[derive(Clone)]
 pub(crate) enum IndexHandle {
     BTree(BTree),
     Hash(HashIndex),
@@ -127,8 +129,13 @@ pub struct ExecCounters {
 }
 
 /// The database: the "world" that every window looks into.
+///
+/// The buffer pool is shared (`Arc`) so [`Database::read_replica`] can hand
+/// worker threads an independent `Database` view over the same page cache;
+/// everything else a replica holds is a snapshot clone of cheap in-memory
+/// metadata (catalog, heap page lists, index roots, stats).
 pub struct Database {
-    pub(crate) pool: BufferPool<AnyStore>,
+    pub(crate) pool: Arc<BufferPool<AnyStore>>,
     pub(crate) catalog: Catalog,
     pub(crate) heaps: HashMap<TableId, HeapFile>,
     pub(crate) indexes: HashMap<String, IndexHandle>,
@@ -138,6 +145,8 @@ pub struct Database {
     pub(crate) counters: ExecCounters,
     /// Persistent `RANGE OF var IS table` declarations, QUEL-style.
     pub(crate) ranges: BTreeMap<String, String>,
+    /// Worker pool for partitioned scans and parallel join builds.
+    pub(crate) par: wow_par::Pool,
 }
 
 impl Database {
@@ -162,7 +171,7 @@ impl Database {
 
     fn with_store(store: AnyStore, frames: usize) -> Database {
         Database {
-            pool: BufferPool::new(store, frames),
+            pool: Arc::new(BufferPool::new(store, frames)),
             catalog: Catalog::new(),
             heaps: HashMap::new(),
             indexes: HashMap::new(),
@@ -171,6 +180,42 @@ impl Database {
             txn: TxnState::default(),
             counters: ExecCounters::default(),
             ranges: BTreeMap::new(),
+            par: wow_par::Pool::default(),
+        }
+    }
+
+    /// Set the executor's worker-pool width exactly (no environment
+    /// override; benches use this to sweep 1/2/4/8 workers).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.par = wow_par::Pool::new(workers);
+    }
+
+    /// The executor's worker-pool width.
+    pub fn workers(&self) -> usize {
+        self.par.workers()
+    }
+
+    /// A read-only replica sharing this database's buffer pool.
+    ///
+    /// The replica clones the in-memory metadata (catalog, heap handles,
+    /// index roots, statistics, range declarations) and shares the page
+    /// cache, so any read — scans, index probes, view queries — returns
+    /// exactly what the source database would return *right now*. It has
+    /// no WAL, a fresh transaction state, and a serial worker pool (no
+    /// nested parallelism). Writing through a replica is a logic error:
+    /// metadata changes would not propagate back.
+    pub fn read_replica(&self) -> Database {
+        Database {
+            pool: Arc::clone(&self.pool),
+            catalog: self.catalog.clone(),
+            heaps: self.heaps.clone(),
+            indexes: self.indexes.clone(),
+            wal: None,
+            stats: self.stats.clone(),
+            txn: TxnState::default(),
+            counters: ExecCounters::default(),
+            ranges: self.ranges.clone(),
+            par: wow_par::Pool::serial(),
         }
     }
 
@@ -206,6 +251,15 @@ impl Database {
         self.counters
     }
 
+    /// Fold counters accumulated elsewhere (a [`Database::read_replica`]
+    /// that did work on another thread) into this database's totals.
+    pub fn merge_counters(&mut self, other: ExecCounters) {
+        self.counters.rows_scanned += other.rows_scanned;
+        self.counters.index_probes += other.index_probes;
+        self.counters.join_rows += other.join_rows;
+        self.counters.statements += other.statements;
+    }
+
     /// Reset executor counters (benches call this between phases).
     pub fn reset_counters(&mut self) {
         self.counters = ExecCounters::default();
@@ -230,7 +284,7 @@ impl Database {
             .iter()
             .map(|k| schema.resolve(k))
             .collect::<RelResult<_>>()?;
-        let heap = HeapFile::create(&mut self.pool)?;
+        let heap = HeapFile::create(&self.pool)?;
         let heap_meta = heap.meta_page();
         let id = self
             .catalog
@@ -272,11 +326,9 @@ impl Database {
             IndexKind::BTree => {
                 // Non-unique B+trees store composite (key ++ rid) entries, so
                 // the tree itself is created unique either way.
-                IndexHandle::BTree(BTree::create(&mut self.pool, unique)?)
+                IndexHandle::BTree(BTree::create(&self.pool, unique)?)
             }
-            IndexKind::Hash => {
-                IndexHandle::Hash(HashIndex::create(&mut self.pool, DEFAULT_BUCKETS)?)
-            }
+            IndexKind::Hash => IndexHandle::Hash(HashIndex::create(&self.pool, DEFAULT_BUCKETS)?),
         };
         let meta = match &handle {
             IndexHandle::BTree(t) => t.meta_page(),
@@ -298,13 +350,13 @@ impl Database {
     pub fn drop_table(&mut self, name: &str) -> RelResult<()> {
         let (info, indexes) = self.catalog.remove_table(name)?;
         if let Some(heap) = self.heaps.remove(&info.id) {
-            heap.destroy(&mut self.pool)?;
+            heap.destroy(&self.pool)?;
         }
         for idx in indexes {
             if let Some(handle) = self.indexes.remove(&idx.name) {
                 match handle {
-                    IndexHandle::BTree(t) => t.destroy(&mut self.pool)?,
-                    IndexHandle::Hash(h) => h.destroy(&mut self.pool)?,
+                    IndexHandle::BTree(t) => t.destroy(&self.pool)?,
+                    IndexHandle::Hash(h) => h.destroy(&self.pool)?,
                 }
             }
         }
@@ -318,8 +370,8 @@ impl Database {
         let info = self.catalog.remove_index(name)?;
         if let Some(handle) = self.indexes.remove(&info.name) {
             match handle {
-                IndexHandle::BTree(t) => t.destroy(&mut self.pool)?,
-                IndexHandle::Hash(h) => h.destroy(&mut self.pool)?,
+                IndexHandle::BTree(t) => t.destroy(&self.pool)?,
+                IndexHandle::Hash(h) => h.destroy(&self.pool)?,
             }
         }
         Ok(())
@@ -358,7 +410,7 @@ impl Database {
             .heaps
             .get(&table)
             .ok_or_else(|| RelError::NoSuchTable(format!("#{table}")))?;
-        match heap.get(&mut self.pool, rid)? {
+        match heap.get(&self.pool, rid)? {
             None => Ok(None),
             Some(bytes) => Ok(Some(Tuple::decode(&bytes)?)),
         }
@@ -372,7 +424,7 @@ impl Database {
             .ok_or_else(|| RelError::NoSuchTable(format!("#{table}")))?;
         let mut decode_err = None;
         let mut out = Vec::with_capacity(heap.len() as usize);
-        heap.scan(&mut self.pool, |rid, bytes| match Tuple::decode(bytes) {
+        heap.scan(&self.pool, |rid, bytes| match Tuple::decode(bytes) {
             Ok(t) => out.push((rid, t)),
             Err(e) => decode_err = Some(e),
         })?;
@@ -399,13 +451,12 @@ impl Database {
             .ok_or_else(|| RelError::NoSuchTable(format!("#{table}")))?;
         let mut decode_err = None;
         let mut out = Vec::new();
-        let in_range =
-            heap.scan_page(&mut self.pool, page_idx, |rid, bytes| {
-                match Tuple::decode(bytes) {
-                    Ok(t) => out.push((rid, t)),
-                    Err(e) => decode_err = Some(e),
-                }
-            })?;
+        let in_range = heap.scan_page(&self.pool, page_idx, |rid, bytes| {
+            match Tuple::decode(bytes) {
+                Ok(t) => out.push((rid, t)),
+                Err(e) => decode_err = Some(e),
+            }
+        })?;
         if let Some(e) = decode_err {
             return Err(e);
         }
@@ -419,6 +470,14 @@ impl Database {
     /// Number of rows in a table (from stats, exact under normal operation).
     pub fn row_count(&self, table: TableId) -> u64 {
         self.stats.get(table).rows
+    }
+
+    /// Number of heap data pages of a table (scan-partitioning unit).
+    pub(crate) fn table_page_count(&self, table: TableId) -> RelResult<usize> {
+        self.heaps
+            .get(&table)
+            .map(|h| h.page_count())
+            .ok_or_else(|| RelError::NoSuchTable(format!("#{table}")))
     }
 
     /// Full statistics for a table (row count plus any analyzed
@@ -475,7 +534,7 @@ impl Database {
         match self.indexes.get_mut(&idx.name).expect("handle exists") {
             IndexHandle::BTree(t) => {
                 if idx.unique {
-                    t.insert(&mut self.pool, &key, rid).map_err(|e| match e {
+                    t.insert(&self.pool, &key, rid).map_err(|e| match e {
                         wow_storage::StorageError::DuplicateKey => {
                             RelError::UniqueViolation(idx.name.clone())
                         }
@@ -483,14 +542,14 @@ impl Database {
                     })?;
                 } else {
                     let ck = wow_storage::btree::composite_key(&key, rid);
-                    t.insert(&mut self.pool, &ck, rid)?;
+                    t.insert(&self.pool, &ck, rid)?;
                 }
             }
             IndexHandle::Hash(h) => {
-                if idx.unique && !h.lookup(&mut self.pool, &key)?.is_empty() {
+                if idx.unique && !h.lookup(&self.pool, &key)?.is_empty() {
                     return Err(RelError::UniqueViolation(idx.name.clone()));
                 }
-                h.insert(&mut self.pool, &key, rid)?;
+                h.insert(&self.pool, &key, rid)?;
             }
         }
         Ok(())
@@ -506,14 +565,14 @@ impl Database {
         match self.indexes.get_mut(&idx.name).expect("handle exists") {
             IndexHandle::BTree(t) => {
                 if idx.unique {
-                    t.delete(&mut self.pool, &key, rid)?;
+                    t.delete(&self.pool, &key, rid)?;
                 } else {
                     let ck = wow_storage::btree::composite_key(&key, rid);
-                    t.delete(&mut self.pool, &ck, rid)?;
+                    t.delete(&self.pool, &ck, rid)?;
                 }
             }
             IndexHandle::Hash(h) => {
-                h.delete(&mut self.pool, &key, rid)?;
+                h.delete(&self.pool, &key, rid)?;
             }
         }
         Ok(())
@@ -528,12 +587,12 @@ impl Database {
         match self.indexes.get_mut(&idx.name).expect("handle exists") {
             IndexHandle::BTree(t) => {
                 if idx.unique {
-                    Ok(t.lookup(&mut self.pool, &key)?)
+                    Ok(t.lookup(&self.pool, &key)?)
                 } else {
-                    Ok(t.lookup_prefix(&mut self.pool, &key)?)
+                    Ok(t.lookup_prefix(&self.pool, &key)?)
                 }
             }
-            IndexHandle::Hash(h) => Ok(h.lookup(&mut self.pool, &key)?),
+            IndexHandle::Hash(h) => Ok(h.lookup(&self.pool, &key)?),
         }
     }
 
@@ -547,12 +606,12 @@ impl Database {
         match self.indexes.get_mut(&idx.name).expect("handle exists") {
             IndexHandle::BTree(t) => {
                 if idx.unique {
-                    Ok(t.contains(&mut self.pool, &key)?)
+                    Ok(t.contains(&self.pool, &key)?)
                 } else {
-                    Ok(t.contains_prefix(&mut self.pool, &key)?)
+                    Ok(t.contains_prefix(&self.pool, &key)?)
                 }
             }
-            IndexHandle::Hash(h) => Ok(h.contains(&mut self.pool, &key)?),
+            IndexHandle::Hash(h) => Ok(h.contains(&self.pool, &key)?),
         }
     }
 
@@ -594,15 +653,10 @@ impl Database {
             Some(k) => std::ops::Bound::Excluded(k),
             None => std::ops::Bound::Unbounded,
         };
-        tree.range_scan(
-            &mut self.pool,
-            lower,
-            std::ops::Bound::Unbounded,
-            |k, rid| {
-                out.push((k.to_vec(), rid));
-                out.len() < limit
-            },
-        )?;
+        tree.range_scan(&self.pool, lower, std::ops::Bound::Unbounded, |k, rid| {
+            out.push((k.to_vec(), rid));
+            out.len() < limit
+        })?;
         Ok(out)
     }
 
@@ -675,7 +729,7 @@ impl Database {
                         self.index_delete(&idx, &tuple, rid)?;
                     }
                     let heap = self.heaps.get_mut(&table).expect("heap exists");
-                    heap.delete(&mut self.pool, rid)?;
+                    heap.delete(&self.pool, rid)?;
                     self.stats.on_delete(table, 1);
                 }
             }
@@ -688,14 +742,14 @@ impl Database {
                         self.index_insert(&idx, &old, rid)?;
                     }
                     let heap = self.heaps.get_mut(&table).expect("heap exists");
-                    heap.update(&mut self.pool, rid, &old.encode())?;
+                    heap.update(&self.pool, rid, &old.encode())?;
                 }
             }
             UndoOp::Delete { table, rid: _, old } => {
                 // Reverse of delete: re-insert. The rid may change; indexes
                 // are rebuilt against the new rid.
                 let heap = self.heaps.get_mut(&table).expect("heap exists");
-                let new_rid = heap.insert(&mut self.pool, &old.encode())?;
+                let new_rid = heap.insert(&self.pool, &old.encode())?;
                 let info = self.catalog.table_by_id(table)?.clone();
                 for idx_name in &info.indexes {
                     let idx = self.catalog.index(idx_name)?.clone();

@@ -52,7 +52,7 @@ impl Database {
             .heaps
             .get_mut(&info.id)
             .ok_or_else(|| RelError::NoSuchTable(table.to_string()))?;
-        let rid = heap.insert(&mut self.pool, &encoded)?;
+        let rid = heap.insert(&self.pool, &encoded)?;
         if let Some(wal) = &mut self.wal {
             wal.append(&LogRecord::Insert {
                 txn,
@@ -117,7 +117,7 @@ impl Database {
         }
         {
             let heap = self.heaps.get_mut(&info.id).expect("heap exists");
-            heap.update(&mut self.pool, rid, &new.encode())?;
+            heap.update(&self.pool, rid, &new.encode())?;
         }
         for idx_name in &info.indexes {
             let idx = self.catalog.index(idx_name)?.clone();
@@ -165,7 +165,7 @@ impl Database {
         }
         {
             let heap = self.heaps.get_mut(&info.id).expect("heap exists");
-            heap.delete(&mut self.pool, rid)?;
+            heap.delete(&self.pool, rid)?;
         }
         if auto {
             if let Some(wal) = &mut self.wal {

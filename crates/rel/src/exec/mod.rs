@@ -21,6 +21,7 @@
 
 pub mod aggregate;
 pub mod join;
+pub mod par;
 pub mod sort;
 pub mod stream;
 
@@ -663,7 +664,7 @@ pub(crate) fn range_rids(
         Some(k) => Bound::Included(k.as_slice()),
         None => Bound::Unbounded,
     };
-    tree.range_scan(&mut db.pool, lb, Bound::Unbounded, |ek, rid| {
+    tree.range_scan(&db.pool, lb, Bound::Unbounded, |ek, rid| {
         if let Some(lk) = &lower_key {
             if !lower_incl && ek.starts_with(lk) {
                 return true; // skip the excluded lower key, keep going

@@ -19,7 +19,7 @@
 //! tree can be built once and driven incrementally (the browse cursors in
 //! `wow-core` rely on this to page join views without materializing them).
 
-use super::{aggregate, range_rids, sort, PhysicalPlan, Rows};
+use super::{aggregate, par, range_rids, sort, PhysicalPlan, Rows};
 use crate::catalog::TableId;
 use crate::db::Database;
 use crate::error::RelResult;
@@ -27,7 +27,7 @@ use crate::eval::{eval, eval_pred};
 use crate::expr::Expr;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use wow_storage::Rid;
 
 /// Target number of tuples per [`TupleBlock`]. Operators may emit smaller
@@ -83,6 +83,15 @@ pub fn build_operator(
             pred,
         } => {
             let table_id = db.catalog().table(table)?.id;
+            if par::scan_goes_parallel(db, table_id, stop_hint) {
+                return Ok(Box::new(ParSeqScanStream {
+                    table_id,
+                    pred: pred.clone(),
+                    buf: Vec::new(),
+                    pos: 0,
+                    built: false,
+                }));
+            }
             // A predicate drops rows unpredictably, so the hint only bounds
             // the scan when the scan emits every row it reads.
             let remaining = if pred.is_none() { stop_hint } else { None };
@@ -237,7 +246,7 @@ pub fn build_operator(
             Ok(Box::new(HashJoinStream {
                 left,
                 right: Some(right),
-                table: HashMap::new(),
+                table: par::JoinTable::empty(),
                 right_rows: Vec::new(),
                 left_keys: left_keys.clone(),
                 right_keys: right_keys.clone(),
@@ -310,6 +319,29 @@ impl Operator for SeqScanStream {
             return Ok(None);
         }
         Ok(Some(block))
+    }
+}
+
+/// Parallel sequential scan: partitions the page chain across the worker
+/// pool on first pull ([`par::parallel_scan`], order-preserving gather),
+/// then emits [`BLOCK_CAP`]-sized blocks from the materialized result.
+/// Selected only for large tables with no stop hint, where the scatter
+/// cost is amortized and no early stop is possible anyway.
+struct ParSeqScanStream {
+    table_id: TableId,
+    pred: Option<Expr>,
+    buf: Vec<Tuple>,
+    pos: usize,
+    built: bool,
+}
+
+impl Operator for ParSeqScanStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        if !self.built {
+            self.buf = par::parallel_scan(db, self.table_id, self.pred.as_ref())?;
+            self.built = true;
+        }
+        emit_buffered(&mut self.buf, &mut self.pos)
     }
 }
 
@@ -591,7 +623,7 @@ impl Operator for NestedLoopJoinStream {
 struct HashJoinStream {
     left: Box<dyn Operator>,
     right: Option<Box<dyn Operator>>,
-    table: HashMap<Vec<u8>, Vec<usize>>,
+    table: par::JoinTable,
     right_rows: Vec<Tuple>,
     left_keys: Vec<usize>,
     right_keys: Vec<usize>,
@@ -613,20 +645,7 @@ impl HashJoinStream {
             return Ok(());
         };
         self.right_rows = drain(right.as_mut(), db)?;
-        'build: for (i, r) in self.right_rows.iter().enumerate() {
-            let mut key_vals = Vec::with_capacity(self.right_keys.len());
-            for &k in &self.right_keys {
-                let v = &r.values[k];
-                if v.is_null() {
-                    continue 'build;
-                }
-                key_vals.push(v.clone());
-            }
-            self.table
-                .entry(Value::encode_composite(&key_vals))
-                .or_default()
-                .push(i);
-        }
+        self.table = par::build_join_table(db, &self.right_rows, &self.right_keys);
         if self.table.is_empty() {
             self.exhausted = true;
         }

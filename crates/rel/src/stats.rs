@@ -39,7 +39,7 @@ impl TableStats {
 }
 
 /// Statistics for all tables.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct StatsRegistry {
     tables: HashMap<TableId, TableStats>,
 }

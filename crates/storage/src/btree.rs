@@ -165,6 +165,7 @@ impl Node {
 }
 
 /// A B+tree index rooted at a meta page.
+#[derive(Clone)]
 pub struct BTree {
     meta: PageId,
     root: PageId,
@@ -174,7 +175,7 @@ pub struct BTree {
 
 impl BTree {
     /// Create an empty tree. `unique` rejects duplicate keys on insert.
-    pub fn create<S: PageStore>(pool: &mut BufferPool<S>, unique: bool) -> StorageResult<BTree> {
+    pub fn create<S: PageStore>(pool: &BufferPool<S>, unique: bool) -> StorageResult<BTree> {
         let meta = pool.allocate_page()?;
         let root = pool.allocate_page()?;
         let empty = Node::Leaf {
@@ -197,7 +198,7 @@ impl BTree {
     }
 
     /// Open an existing tree rooted at `meta`.
-    pub fn open<S: PageStore>(pool: &mut BufferPool<S>, meta: PageId) -> StorageResult<BTree> {
+    pub fn open<S: PageStore>(pool: &BufferPool<S>, meta: PageId) -> StorageResult<BTree> {
         let (root, count, unique) = pool.with_page(meta, |p| {
             let b = p.as_slice();
             (
@@ -234,12 +235,12 @@ impl BTree {
         self.unique
     }
 
-    fn read_node<S: PageStore>(pool: &mut BufferPool<S>, pid: PageId) -> StorageResult<Node> {
+    fn read_node<S: PageStore>(pool: &BufferPool<S>, pid: PageId) -> StorageResult<Node> {
         pool.with_page(pid, |p| Node::read_from(p.as_slice()))?
     }
 
     fn write_node<S: PageStore>(
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         pid: PageId,
         node: &Node,
     ) -> StorageResult<()> {
@@ -247,7 +248,7 @@ impl BTree {
         pool.with_page_mut(pid, |p| node.write_to(p.as_mut_slice()))
     }
 
-    fn persist_meta<S: PageStore>(&self, pool: &mut BufferPool<S>) -> StorageResult<()> {
+    fn persist_meta<S: PageStore>(&self, pool: &BufferPool<S>) -> StorageResult<()> {
         let (root, count) = (self.root, self.count);
         pool.with_page_mut(self.meta, |p| {
             let b = p.as_mut_slice();
@@ -260,7 +261,7 @@ impl BTree {
     /// if the key is already present.
     pub fn insert<S: PageStore>(
         &mut self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         key: &[u8],
         rid: Rid,
     ) -> StorageResult<()> {
@@ -286,7 +287,7 @@ impl BTree {
 
     fn insert_rec<S: PageStore>(
         &mut self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         pid: PageId,
         key: &[u8],
         rid: Rid,
@@ -394,11 +395,7 @@ impl BTree {
     }
 
     /// Find the leaf that would contain `key`, returning its page id.
-    fn find_leaf<S: PageStore>(
-        &self,
-        pool: &mut BufferPool<S>,
-        key: &[u8],
-    ) -> StorageResult<PageId> {
+    fn find_leaf<S: PageStore>(&self, pool: &BufferPool<S>, key: &[u8]) -> StorageResult<PageId> {
         let mut pid = self.root;
         loop {
             match Self::read_node(pool, pid)? {
@@ -421,7 +418,7 @@ impl BTree {
     /// All rids stored under exactly `key`.
     pub fn lookup<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         key: &[u8],
     ) -> StorageResult<Vec<Rid>> {
         let mut out = Vec::new();
@@ -451,11 +448,7 @@ impl BTree {
     /// existence probe that stops at the first hit. Delta propagation uses
     /// this to decide whether a write joins with anything before paying for
     /// a residual query.
-    pub fn contains<S: PageStore>(
-        &self,
-        pool: &mut BufferPool<S>,
-        key: &[u8],
-    ) -> StorageResult<bool> {
+    pub fn contains<S: PageStore>(&self, pool: &BufferPool<S>, key: &[u8]) -> StorageResult<bool> {
         let mut found = false;
         self.range_scan(pool, Bound::Included(key), Bound::Included(key), |_, _| {
             found = true;
@@ -468,7 +461,7 @@ impl BTree {
     /// existence probe counterpart of [`BTree::lookup_prefix`].
     pub fn contains_prefix<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         prefix: &[u8],
     ) -> StorageResult<bool> {
         let mut found = false;
@@ -483,7 +476,7 @@ impl BTree {
     /// by non-unique indexes built with [`composite_key`].
     pub fn lookup_prefix<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         prefix: &[u8],
     ) -> StorageResult<Vec<Rid>> {
         let mut out = Vec::new();
@@ -501,7 +494,7 @@ impl BTree {
     /// Remove the entry `(key, rid)`. Returns whether it existed.
     pub fn delete<S: PageStore>(
         &mut self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         key: &[u8],
         rid: Rid,
     ) -> StorageResult<bool> {
@@ -539,7 +532,7 @@ impl BTree {
     /// early when `f` returns `false`.
     pub fn range_scan<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         lower: Bound<&[u8]>,
         upper: Bound<&[u8]>,
         mut f: impl FnMut(&[u8], Rid) -> bool,
@@ -561,7 +554,7 @@ impl BTree {
     /// Collect a bounded range (convenience for tests).
     pub fn range<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         lower: Bound<&[u8]>,
         upper: Bound<&[u8]>,
     ) -> StorageResult<Vec<(Vec<u8>, Rid)>> {
@@ -576,7 +569,7 @@ impl BTree {
     /// Position a cursor at the first entry >= `lower`.
     pub fn cursor_at<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         lower: Bound<&[u8]>,
     ) -> StorageResult<BTreeCursor> {
         let (leaf, idx) = match lower {
@@ -609,7 +602,7 @@ impl BTree {
     }
 
     /// Free every page of the tree.
-    pub fn destroy<S: PageStore>(self, pool: &mut BufferPool<S>) -> StorageResult<()> {
+    pub fn destroy<S: PageStore>(self, pool: &BufferPool<S>) -> StorageResult<()> {
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
             if let Node::Internal {
@@ -626,7 +619,7 @@ impl BTree {
     }
 
     /// Depth of the tree (1 = just a root leaf). For tests and stats.
-    pub fn height<S: PageStore>(&self, pool: &mut BufferPool<S>) -> StorageResult<usize> {
+    pub fn height<S: PageStore>(&self, pool: &BufferPool<S>) -> StorageResult<usize> {
         let mut h = 1;
         let mut pid = self.root;
         loop {
@@ -673,7 +666,7 @@ impl BTreeCursor {
     /// Advance and return the next `(key, rid)` entry, or `None` at the end.
     pub fn next<S: PageStore>(
         &mut self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         tree: &BTree,
     ) -> StorageResult<Option<(Vec<u8>, Rid)>> {
         let _ = tree;
@@ -700,8 +693,8 @@ mod tests {
     use crate::store::MemStore;
 
     fn setup(unique: bool) -> (BufferPool<MemStore>, BTree) {
-        let mut pool = BufferPool::new(MemStore::new(), 64);
-        let tree = BTree::create(&mut pool, unique).unwrap();
+        let pool = BufferPool::new(MemStore::new(), 64);
+        let tree = BTree::create(&pool, unique).unwrap();
         (pool, tree)
     }
 
@@ -711,22 +704,22 @@ mod tests {
 
     #[test]
     fn insert_lookup_small() {
-        let (mut pool, mut t) = setup(true);
-        t.insert(&mut pool, b"banana", rid(1)).unwrap();
-        t.insert(&mut pool, b"apple", rid(2)).unwrap();
-        t.insert(&mut pool, b"cherry", rid(3)).unwrap();
-        assert_eq!(t.lookup(&mut pool, b"apple").unwrap(), vec![rid(2)]);
-        assert_eq!(t.lookup(&mut pool, b"banana").unwrap(), vec![rid(1)]);
-        assert_eq!(t.lookup(&mut pool, b"durian").unwrap(), Vec::<Rid>::new());
+        let (pool, mut t) = setup(true);
+        t.insert(&pool, b"banana", rid(1)).unwrap();
+        t.insert(&pool, b"apple", rid(2)).unwrap();
+        t.insert(&pool, b"cherry", rid(3)).unwrap();
+        assert_eq!(t.lookup(&pool, b"apple").unwrap(), vec![rid(2)]);
+        assert_eq!(t.lookup(&pool, b"banana").unwrap(), vec![rid(1)]);
+        assert_eq!(t.lookup(&pool, b"durian").unwrap(), Vec::<Rid>::new());
         assert_eq!(t.len(), 3);
     }
 
     #[test]
     fn unique_tree_rejects_duplicates() {
-        let (mut pool, mut t) = setup(true);
-        t.insert(&mut pool, b"k", rid(1)).unwrap();
+        let (pool, mut t) = setup(true);
+        t.insert(&pool, b"k", rid(1)).unwrap();
         assert!(matches!(
-            t.insert(&mut pool, b"k", rid(2)),
+            t.insert(&pool, b"k", rid(2)),
             Err(StorageError::DuplicateKey)
         ));
         assert_eq!(t.len(), 1);
@@ -734,17 +727,17 @@ mod tests {
 
     #[test]
     fn non_unique_tree_accumulates_duplicates() {
-        let (mut pool, mut t) = setup(false);
+        let (pool, mut t) = setup(false);
         for i in 0..10 {
-            t.insert(&mut pool, b"same", rid(i)).unwrap();
+            t.insert(&pool, b"same", rid(i)).unwrap();
         }
-        let rids = t.lookup(&mut pool, b"same").unwrap();
+        let rids = t.lookup(&pool, b"same").unwrap();
         assert_eq!(rids.len(), 10);
     }
 
     #[test]
     fn many_inserts_split_and_stay_sorted() {
-        let (mut pool, mut t) = setup(true);
+        let (pool, mut t) = setup(true);
         let n = 5000u32;
         // Insert in a scrambled order.
         let mut keys: Vec<u32> = (0..n).collect();
@@ -755,14 +748,11 @@ mod tests {
             keys.swap(i, j);
         }
         for &k in &keys {
-            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
-                .unwrap();
+            t.insert(&pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
         }
-        assert!(t.height(&mut pool).unwrap() >= 2, "tree must have split");
+        assert!(t.height(&pool).unwrap() >= 2, "tree must have split");
         // Full ordered scan returns every key in order.
-        let all = t
-            .range(&mut pool, Bound::Unbounded, Bound::Unbounded)
-            .unwrap();
+        let all = t.range(&pool, Bound::Unbounded, Bound::Unbounded).unwrap();
         assert_eq!(all.len(), n as usize);
         for (i, (k, r)) in all.iter().enumerate() {
             assert_eq!(k.as_slice(), (i as u32).to_be_bytes());
@@ -771,7 +761,7 @@ mod tests {
         // Point lookups all work.
         for probe in [0u32, 1, 17, 999, 2500, n - 1] {
             assert_eq!(
-                t.lookup(&mut pool, &probe.to_be_bytes()).unwrap(),
+                t.lookup(&pool, &probe.to_be_bytes()).unwrap(),
                 vec![rid(probe as u64)]
             );
         }
@@ -779,19 +769,18 @@ mod tests {
 
     #[test]
     fn range_bounds_are_respected() {
-        let (mut pool, mut t) = setup(true);
+        let (pool, mut t) = setup(true);
         for k in 0..100u32 {
-            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
-                .unwrap();
+            t.insert(&pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
         }
         let lo = 10u32.to_be_bytes();
         let hi = 20u32.to_be_bytes();
         let incl = t
-            .range(&mut pool, Bound::Included(&lo), Bound::Included(&hi))
+            .range(&pool, Bound::Included(&lo), Bound::Included(&hi))
             .unwrap();
         assert_eq!(incl.len(), 11);
         let excl = t
-            .range(&mut pool, Bound::Excluded(&lo), Bound::Excluded(&hi))
+            .range(&pool, Bound::Excluded(&lo), Bound::Excluded(&hi))
             .unwrap();
         assert_eq!(excl.len(), 9);
         assert_eq!(excl[0].0, 11u32.to_be_bytes());
@@ -799,33 +788,28 @@ mod tests {
 
     #[test]
     fn delete_removes_exact_entry() {
-        let (mut pool, mut t) = setup(false);
-        t.insert(&mut pool, b"k", rid(1)).unwrap();
-        t.insert(&mut pool, b"k", rid(2)).unwrap();
-        assert!(t.delete(&mut pool, b"k", rid(1)).unwrap());
-        assert_eq!(t.lookup(&mut pool, b"k").unwrap(), vec![rid(2)]);
-        assert!(!t.delete(&mut pool, b"k", rid(1)).unwrap());
-        assert!(!t.delete(&mut pool, b"missing", rid(1)).unwrap());
+        let (pool, mut t) = setup(false);
+        t.insert(&pool, b"k", rid(1)).unwrap();
+        t.insert(&pool, b"k", rid(2)).unwrap();
+        assert!(t.delete(&pool, b"k", rid(1)).unwrap());
+        assert_eq!(t.lookup(&pool, b"k").unwrap(), vec![rid(2)]);
+        assert!(!t.delete(&pool, b"k", rid(1)).unwrap());
+        assert!(!t.delete(&pool, b"missing", rid(1)).unwrap());
         assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn delete_across_split_leaves() {
-        let (mut pool, mut t) = setup(true);
+        let (pool, mut t) = setup(true);
         let n = 3000u32;
         for k in 0..n {
-            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
-                .unwrap();
+            t.insert(&pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
         }
         for k in (0..n).step_by(2) {
-            assert!(t
-                .delete(&mut pool, &k.to_be_bytes(), rid(k as u64))
-                .unwrap());
+            assert!(t.delete(&pool, &k.to_be_bytes(), rid(k as u64)).unwrap());
         }
         assert_eq!(t.len() as u32, n / 2);
-        let all = t
-            .range(&mut pool, Bound::Unbounded, Bound::Unbounded)
-            .unwrap();
+        let all = t.range(&pool, Bound::Unbounded, Bound::Unbounded).unwrap();
         assert!(all
             .iter()
             .all(|(k, _)| { u32::from_be_bytes(k.as_slice().try_into().unwrap()) % 2 == 1 }));
@@ -833,14 +817,13 @@ mod tests {
 
     #[test]
     fn cursor_walks_whole_tree_incrementally() {
-        let (mut pool, mut t) = setup(true);
+        let (pool, mut t) = setup(true);
         for k in 0..1000u32 {
-            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
-                .unwrap();
+            t.insert(&pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
         }
-        let mut cur = t.cursor_at(&mut pool, Bound::Unbounded).unwrap();
+        let mut cur = t.cursor_at(&pool, Bound::Unbounded).unwrap();
         let mut seen = 0u32;
-        while let Some((k, _)) = cur.next(&mut pool, &t).unwrap() {
+        while let Some((k, _)) = cur.next(&pool, &t).unwrap() {
             assert_eq!(k, seen.to_be_bytes());
             seen += 1;
         }
@@ -849,70 +832,66 @@ mod tests {
 
     #[test]
     fn cursor_seek_positions_mid_tree() {
-        let (mut pool, mut t) = setup(true);
+        let (pool, mut t) = setup(true);
         for k in (0..1000u32).step_by(2) {
-            t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
-                .unwrap();
+            t.insert(&pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
         }
         // Seek to a key that is absent (odd): next entry is the even above it.
         let probe = 501u32.to_be_bytes();
-        let mut cur = t.cursor_at(&mut pool, Bound::Included(&probe)).unwrap();
-        let (k, _) = cur.next(&mut pool, &t).unwrap().unwrap();
+        let mut cur = t.cursor_at(&pool, Bound::Included(&probe)).unwrap();
+        let (k, _) = cur.next(&pool, &t).unwrap().unwrap();
         assert_eq!(k, 502u32.to_be_bytes());
     }
 
     #[test]
     fn composite_keys_give_per_duplicate_deletion() {
-        let (mut pool, mut t) = setup(true); // physically unique
+        let (pool, mut t) = setup(true); // physically unique
         for i in 0..50u64 {
             let ck = composite_key(b"dept=sales", rid(i));
-            t.insert(&mut pool, &ck, rid(i)).unwrap();
+            t.insert(&pool, &ck, rid(i)).unwrap();
         }
-        let hits = t.lookup_prefix(&mut pool, b"dept=sales").unwrap();
+        let hits = t.lookup_prefix(&pool, b"dept=sales").unwrap();
         assert_eq!(hits.len(), 50);
         let ck = composite_key(b"dept=sales", rid(7));
-        assert!(t.delete(&mut pool, &ck, rid(7)).unwrap());
-        assert_eq!(t.lookup_prefix(&mut pool, b"dept=sales").unwrap().len(), 49);
+        assert!(t.delete(&pool, &ck, rid(7)).unwrap());
+        assert_eq!(t.lookup_prefix(&pool, b"dept=sales").unwrap().len(), 49);
     }
 
     #[test]
     fn reopen_preserves_tree() {
-        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let pool = BufferPool::new(MemStore::new(), 64);
         let meta;
         {
-            let mut t = BTree::create(&mut pool, true).unwrap();
+            let mut t = BTree::create(&pool, true).unwrap();
             meta = t.meta_page();
             for k in 0..2000u32 {
-                t.insert(&mut pool, &k.to_be_bytes(), rid(k as u64))
-                    .unwrap();
+                t.insert(&pool, &k.to_be_bytes(), rid(k as u64)).unwrap();
             }
         }
-        let t = BTree::open(&mut pool, meta).unwrap();
+        let t = BTree::open(&pool, meta).unwrap();
         assert_eq!(t.len(), 2000);
         assert!(t.is_unique());
         assert_eq!(
-            t.lookup(&mut pool, &1234u32.to_be_bytes()).unwrap(),
+            t.lookup(&pool, &1234u32.to_be_bytes()).unwrap(),
             vec![rid(1234)]
         );
     }
 
     #[test]
     fn oversized_key_is_rejected() {
-        let (mut pool, mut t) = setup(true);
+        let (pool, mut t) = setup(true);
         let big = vec![0u8; MAX_KEY + 1];
-        assert!(t.insert(&mut pool, &big, rid(0)).is_err());
+        assert!(t.insert(&pool, &big, rid(0)).is_err());
     }
 
     #[test]
     fn variable_length_keys_sort_lexicographically() {
-        let (mut pool, mut t) = setup(true);
+        let (pool, mut t) = setup(true);
         let keys: &[&[u8]] = &[b"a", b"aa", b"ab", b"b", b"ba", b""];
         for (i, k) in keys.iter().enumerate() {
-            t.insert(&mut pool, k, rid(i as u64)).unwrap();
+            t.insert(&pool, k, rid(i as u64)).unwrap();
         }
-        let all = t
-            .range(&mut pool, Bound::Unbounded, Bound::Unbounded)
-            .unwrap();
+        let all = t.range(&pool, Bound::Unbounded, Bound::Unbounded).unwrap();
         let got: Vec<&[u8]> = all.iter().map(|(k, _)| k.as_slice()).collect();
         assert_eq!(got, vec![&b""[..], b"a", b"aa", b"ab", b"b", b"ba"]);
     }
@@ -934,15 +913,15 @@ mod proptests {
                 1..300,
             )
         ) {
-            let mut pool = BufferPool::new(MemStore::new(), 64);
-            let mut tree = BTree::create(&mut pool, true).unwrap();
+            let pool = BufferPool::new(MemStore::new(), 64);
+            let mut tree = BTree::create(&pool, true).unwrap();
             let mut model: BTreeMap<Vec<u8>, Rid> = BTreeMap::new();
             let mut next_rid = 0u64;
             for (key, is_insert) in ops {
                 if is_insert {
                     let r = Rid::new(PageId(next_rid), 0);
                     next_rid += 1;
-                    match tree.insert(&mut pool, &key, r) {
+                    match tree.insert(&pool, &key, r) {
                         Ok(()) => {
                             prop_assert!(!model.contains_key(&key));
                             model.insert(key, r);
@@ -953,15 +932,15 @@ mod proptests {
                         Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
                     }
                 } else if let Some(&r) = model.get(&key) {
-                    prop_assert!(tree.delete(&mut pool, &key, r).unwrap());
+                    prop_assert!(tree.delete(&pool, &key, r).unwrap());
                     model.remove(&key);
                 } else {
                     // Deleting a missing key with an arbitrary rid is a no-op.
-                    let _ = tree.delete(&mut pool, &key, Rid::new(PageId(0), 0)).unwrap();
+                    let _ = tree.delete(&pool, &key, Rid::new(PageId(0), 0)).unwrap();
                 }
             }
             prop_assert_eq!(tree.len() as usize, model.len());
-            let all = tree.range(&mut pool, Bound::Unbounded, Bound::Unbounded).unwrap();
+            let all = tree.range(&pool, Bound::Unbounded, Bound::Unbounded).unwrap();
             let expect: Vec<(Vec<u8>, Rid)> =
                 model.iter().map(|(k, v)| (k.clone(), *v)).collect();
             prop_assert_eq!(all, expect);

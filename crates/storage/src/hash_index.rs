@@ -44,6 +44,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// A hash index rooted at a meta page.
+#[derive(Clone)]
 pub struct HashIndex {
     meta: PageId,
     buckets: Vec<PageId>,
@@ -52,10 +53,7 @@ pub struct HashIndex {
 
 impl HashIndex {
     /// Create an empty index with `buckets` buckets.
-    pub fn create<S: PageStore>(
-        pool: &mut BufferPool<S>,
-        buckets: usize,
-    ) -> StorageResult<HashIndex> {
+    pub fn create<S: PageStore>(pool: &BufferPool<S>, buckets: usize) -> StorageResult<HashIndex> {
         assert!((1..=MAX_BUCKETS).contains(&buckets));
         let meta = pool.allocate_page()?;
         let heads = vec![PageId::INVALID; buckets];
@@ -75,7 +73,7 @@ impl HashIndex {
     }
 
     /// Open an existing index rooted at `meta`.
-    pub fn open<S: PageStore>(pool: &mut BufferPool<S>, meta: PageId) -> StorageResult<HashIndex> {
+    pub fn open<S: PageStore>(pool: &BufferPool<S>, meta: PageId) -> StorageResult<HashIndex> {
         let (buckets, count) = pool.with_page(meta, |p| {
             let b = p.as_slice();
             let n = get_u64(b, 0) as usize;
@@ -109,7 +107,7 @@ impl HashIndex {
         (fnv1a(key) % self.buckets.len() as u64) as usize
     }
 
-    fn persist_meta<S: PageStore>(&self, pool: &mut BufferPool<S>) -> StorageResult<()> {
+    fn persist_meta<S: PageStore>(&self, pool: &BufferPool<S>) -> StorageResult<()> {
         let count = self.count;
         let heads = self.buckets.clone();
         pool.with_page_mut(self.meta, |p| {
@@ -124,7 +122,7 @@ impl HashIndex {
     /// Insert an entry (duplicates allowed).
     pub fn insert<S: PageStore>(
         &mut self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         key: &[u8],
         rid: Rid,
     ) -> StorageResult<()> {
@@ -191,7 +189,7 @@ impl HashIndex {
     }
 
     fn for_each_entry<S: PageStore>(
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         head: PageId,
         mut f: impl FnMut(&[u8], Rid),
     ) -> StorageResult<()> {
@@ -220,7 +218,7 @@ impl HashIndex {
     /// All rids stored under `key`.
     pub fn lookup<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         key: &[u8],
     ) -> StorageResult<Vec<Rid>> {
         let head = self.buckets[self.bucket_of(key)];
@@ -235,11 +233,7 @@ impl HashIndex {
 
     /// Whether any entry exists under `key` — the existence probe used by
     /// delta propagation (walks one bucket chain, allocates nothing).
-    pub fn contains<S: PageStore>(
-        &self,
-        pool: &mut BufferPool<S>,
-        key: &[u8],
-    ) -> StorageResult<bool> {
+    pub fn contains<S: PageStore>(&self, pool: &BufferPool<S>, key: &[u8]) -> StorageResult<bool> {
         let head = self.buckets[self.bucket_of(key)];
         let mut found = false;
         Self::for_each_entry(pool, head, |k, _| {
@@ -256,7 +250,7 @@ impl HashIndex {
     /// within a bucket is incidental and hash lookups never depend on it.
     pub fn delete<S: PageStore>(
         &mut self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         key: &[u8],
         rid: Rid,
     ) -> StorageResult<bool> {
@@ -303,7 +297,7 @@ impl HashIndex {
     }
 
     /// Free every page of the index.
-    pub fn destroy<S: PageStore>(self, pool: &mut BufferPool<S>) -> StorageResult<()> {
+    pub fn destroy<S: PageStore>(self, pool: &BufferPool<S>) -> StorageResult<()> {
         for head in &self.buckets {
             let mut pid = *head;
             while pid.is_valid() {
@@ -316,7 +310,7 @@ impl HashIndex {
     }
 
     /// Longest bucket chain, in pages (for stats/tests).
-    pub fn max_chain_pages<S: PageStore>(&self, pool: &mut BufferPool<S>) -> StorageResult<usize> {
+    pub fn max_chain_pages<S: PageStore>(&self, pool: &BufferPool<S>) -> StorageResult<usize> {
         let mut max = 0;
         for head in &self.buckets {
             let mut len = 0;
@@ -337,8 +331,8 @@ mod tests {
     use crate::store::MemStore;
 
     fn setup(buckets: usize) -> (BufferPool<MemStore>, HashIndex) {
-        let mut pool = BufferPool::new(MemStore::new(), 64);
-        let idx = HashIndex::create(&mut pool, buckets).unwrap();
+        let pool = BufferPool::new(MemStore::new(), 64);
+        let idx = HashIndex::create(&pool, buckets).unwrap();
         (pool, idx)
     }
 
@@ -348,26 +342,26 @@ mod tests {
 
     #[test]
     fn insert_lookup_delete() {
-        let (mut pool, mut idx) = setup(DEFAULT_BUCKETS);
-        idx.insert(&mut pool, b"alice", rid(1)).unwrap();
-        idx.insert(&mut pool, b"bob", rid(2)).unwrap();
-        assert_eq!(idx.lookup(&mut pool, b"alice").unwrap(), vec![rid(1)]);
-        assert_eq!(idx.lookup(&mut pool, b"carol").unwrap(), Vec::<Rid>::new());
-        assert!(idx.delete(&mut pool, b"alice", rid(1)).unwrap());
-        assert!(!idx.delete(&mut pool, b"alice", rid(1)).unwrap());
-        assert_eq!(idx.lookup(&mut pool, b"alice").unwrap(), Vec::<Rid>::new());
+        let (pool, mut idx) = setup(DEFAULT_BUCKETS);
+        idx.insert(&pool, b"alice", rid(1)).unwrap();
+        idx.insert(&pool, b"bob", rid(2)).unwrap();
+        assert_eq!(idx.lookup(&pool, b"alice").unwrap(), vec![rid(1)]);
+        assert_eq!(idx.lookup(&pool, b"carol").unwrap(), Vec::<Rid>::new());
+        assert!(idx.delete(&pool, b"alice", rid(1)).unwrap());
+        assert!(!idx.delete(&pool, b"alice", rid(1)).unwrap());
+        assert_eq!(idx.lookup(&pool, b"alice").unwrap(), Vec::<Rid>::new());
         assert_eq!(idx.len(), 1);
     }
 
     #[test]
     fn duplicates_are_kept_and_deleted_individually() {
-        let (mut pool, mut idx) = setup(8);
+        let (pool, mut idx) = setup(8);
         for i in 0..20 {
-            idx.insert(&mut pool, b"dup", rid(i)).unwrap();
+            idx.insert(&pool, b"dup", rid(i)).unwrap();
         }
-        assert_eq!(idx.lookup(&mut pool, b"dup").unwrap().len(), 20);
-        assert!(idx.delete(&mut pool, b"dup", rid(11)).unwrap());
-        let left = idx.lookup(&mut pool, b"dup").unwrap();
+        assert_eq!(idx.lookup(&pool, b"dup").unwrap().len(), 20);
+        assert!(idx.delete(&pool, b"dup", rid(11)).unwrap());
+        let left = idx.lookup(&pool, b"dup").unwrap();
         assert_eq!(left.len(), 19);
         assert!(!left.contains(&rid(11)));
     }
@@ -375,84 +369,81 @@ mod tests {
     #[test]
     fn single_bucket_chains_pages() {
         // Force everything into one bucket to exercise chain growth.
-        let (mut pool, mut idx) = setup(1);
+        let (pool, mut idx) = setup(1);
         let n = 2000u64;
         for i in 0..n {
             let key = format!("key-{i:06}");
-            idx.insert(&mut pool, key.as_bytes(), rid(i)).unwrap();
+            idx.insert(&pool, key.as_bytes(), rid(i)).unwrap();
         }
-        assert!(idx.max_chain_pages(&mut pool).unwrap() > 1);
+        assert!(idx.max_chain_pages(&pool).unwrap() > 1);
         for i in (0..n).step_by(97) {
             let key = format!("key-{i:06}");
-            assert_eq!(idx.lookup(&mut pool, key.as_bytes()).unwrap(), vec![rid(i)]);
+            assert_eq!(idx.lookup(&pool, key.as_bytes()).unwrap(), vec![rid(i)]);
         }
     }
 
     #[test]
     fn many_keys_spread_over_buckets() {
-        let (mut pool, mut idx) = setup(DEFAULT_BUCKETS);
+        let (pool, mut idx) = setup(DEFAULT_BUCKETS);
         let n = 5000u64;
         for i in 0..n {
-            idx.insert(&mut pool, &i.to_be_bytes(), rid(i)).unwrap();
+            idx.insert(&pool, &i.to_be_bytes(), rid(i)).unwrap();
         }
         assert_eq!(idx.len(), n);
         for probe in [0u64, 1, 999, 2500, n - 1] {
             assert_eq!(
-                idx.lookup(&mut pool, &probe.to_be_bytes()).unwrap(),
+                idx.lookup(&pool, &probe.to_be_bytes()).unwrap(),
                 vec![rid(probe)]
             );
         }
         // A decent hash spreads: no chain should be wildly long.
-        assert!(idx.max_chain_pages(&mut pool).unwrap() <= 4);
+        assert!(idx.max_chain_pages(&pool).unwrap() <= 4);
     }
 
     #[test]
     fn delete_from_middle_of_page_keeps_rest() {
-        let (mut pool, mut idx) = setup(1);
+        let (pool, mut idx) = setup(1);
         for i in 0..10u64 {
-            idx.insert(&mut pool, format!("k{i}").as_bytes(), rid(i))
+            idx.insert(&pool, format!("k{i}").as_bytes(), rid(i))
                 .unwrap();
         }
-        assert!(idx.delete(&mut pool, b"k4", rid(4)).unwrap());
+        assert!(idx.delete(&pool, b"k4", rid(4)).unwrap());
         for i in 0..10u64 {
             let want: Vec<Rid> = if i == 4 { vec![] } else { vec![rid(i)] };
-            assert_eq!(
-                idx.lookup(&mut pool, format!("k{i}").as_bytes()).unwrap(),
-                want
-            );
+            assert_eq!(idx.lookup(&pool, format!("k{i}").as_bytes()).unwrap(), want);
         }
     }
 
     #[test]
     fn reopen_preserves_index() {
-        let mut pool = BufferPool::new(MemStore::new(), 64);
+        let pool = BufferPool::new(MemStore::new(), 64);
         let meta;
         {
-            let mut idx = HashIndex::create(&mut pool, 16).unwrap();
+            let mut idx = HashIndex::create(&pool, 16).unwrap();
             meta = idx.meta_page();
             for i in 0..500u64 {
-                idx.insert(&mut pool, &i.to_be_bytes(), rid(i)).unwrap();
+                idx.insert(&pool, &i.to_be_bytes(), rid(i)).unwrap();
             }
         }
-        let idx = HashIndex::open(&mut pool, meta).unwrap();
+        let idx = HashIndex::open(&pool, meta).unwrap();
         assert_eq!(idx.len(), 500);
         assert_eq!(
-            idx.lookup(&mut pool, &42u64.to_be_bytes()).unwrap(),
+            idx.lookup(&pool, &42u64.to_be_bytes()).unwrap(),
             vec![rid(42)]
         );
     }
 
     #[test]
     fn oversized_key_is_rejected() {
-        let (mut pool, mut idx) = setup(4);
+        let (pool, mut idx) = setup(4);
         let big = vec![0u8; MAX_KEY + 1];
-        assert!(idx.insert(&mut pool, &big, rid(0)).is_err());
+        assert!(idx.insert(&pool, &big, rid(0)).is_err());
     }
 
     #[test]
     fn empty_key_works() {
-        let (mut pool, mut idx) = setup(4);
-        idx.insert(&mut pool, b"", rid(9)).unwrap();
-        assert_eq!(idx.lookup(&mut pool, b"").unwrap(), vec![rid(9)]);
+        let (pool, mut idx) = setup(4);
+        idx.insert(&pool, b"", rid(9)).unwrap();
+        assert_eq!(idx.lookup(&pool, b"").unwrap(), vec![rid(9)]);
     }
 }

@@ -43,6 +43,7 @@ pub const SCAN_READAHEAD: usize = 8;
 ///
 /// The struct holds an in-memory mirror of the page chain (rebuilt on
 /// [`HeapFile::open`]) and a free-space cache used for first-fit placement.
+#[derive(Clone)]
 pub struct HeapFile {
     meta: PageId,
     pages: Vec<PageId>,
@@ -54,7 +55,7 @@ pub struct HeapFile {
 impl HeapFile {
     /// Create a new, empty heap file. Returns a handle rooted at a fresh
     /// meta page (persist the meta page id in your catalog).
-    pub fn create<S: PageStore>(pool: &mut BufferPool<S>) -> StorageResult<HeapFile> {
+    pub fn create<S: PageStore>(pool: &BufferPool<S>) -> StorageResult<HeapFile> {
         let meta = pool.allocate_page()?;
         pool.with_page_mut(meta, |p| {
             let b = p.as_mut_slice();
@@ -72,7 +73,7 @@ impl HeapFile {
 
     /// Open an existing heap file rooted at `meta`, rebuilding the in-memory
     /// page list by walking the chain.
-    pub fn open<S: PageStore>(pool: &mut BufferPool<S>, meta: PageId) -> StorageResult<HeapFile> {
+    pub fn open<S: PageStore>(pool: &BufferPool<S>, meta: PageId) -> StorageResult<HeapFile> {
         let (first, count) = pool.with_page(meta, |p| {
             (
                 PageId(get_u64(p.as_slice(), META_FIRST)),
@@ -121,13 +122,13 @@ impl HeapFile {
         self.pages.len()
     }
 
-    fn persist_count<S: PageStore>(&self, pool: &mut BufferPool<S>) -> StorageResult<()> {
+    fn persist_count<S: PageStore>(&self, pool: &BufferPool<S>) -> StorageResult<()> {
         let count = self.count;
         pool.with_page_mut(self.meta, |p| put_u64(p.as_mut_slice(), META_COUNT, count))
     }
 
     /// Append a new data page to the chain.
-    fn grow<S: PageStore>(&mut self, pool: &mut BufferPool<S>) -> StorageResult<PageId> {
+    fn grow<S: PageStore>(&mut self, pool: &BufferPool<S>) -> StorageResult<PageId> {
         let new = pool.allocate_page()?;
         pool.with_page_mut(new, |p| {
             put_u64(p.as_mut_slice(), 0, PageId::INVALID.0);
@@ -149,7 +150,7 @@ impl HeapFile {
     }
 
     /// Place a tagged cell somewhere in the file; returns its physical rid.
-    fn place<S: PageStore>(&mut self, pool: &mut BufferPool<S>, cell: &[u8]) -> StorageResult<Rid> {
+    fn place<S: PageStore>(&mut self, pool: &BufferPool<S>, cell: &[u8]) -> StorageResult<Rid> {
         // First fit over the free-space cache, preferring the last page
         // (append locality), then any page with room, then grow.
         let need = cell.len() + SLOT_ENTRY;
@@ -198,7 +199,7 @@ impl HeapFile {
     /// Insert a record and return its (stable) rid.
     pub fn insert<S: PageStore>(
         &mut self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         record: &[u8],
     ) -> StorageResult<Rid> {
         if record.len() > MAX_RECORD {
@@ -219,7 +220,7 @@ impl HeapFile {
     /// Read the raw cell at a physical rid.
     fn read_cell<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         rid: Rid,
     ) -> StorageResult<Option<Vec<u8>>> {
         if !self.pages.contains(&rid.page) {
@@ -234,7 +235,7 @@ impl HeapFile {
     /// Fetch a record by rid, following at most one forwarding stub.
     pub fn get<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         rid: Rid,
     ) -> StorageResult<Option<Vec<u8>>> {
         let Some(cell) = self.read_cell(pool, rid)? else {
@@ -259,11 +260,7 @@ impl HeapFile {
     }
 
     /// Delete a record by rid. Returns whether a record was deleted.
-    pub fn delete<S: PageStore>(
-        &mut self,
-        pool: &mut BufferPool<S>,
-        rid: Rid,
-    ) -> StorageResult<bool> {
+    pub fn delete<S: PageStore>(&mut self, pool: &BufferPool<S>, rid: Rid) -> StorageResult<bool> {
         let Some(cell) = self.read_cell(pool, rid)? else {
             return Ok(false);
         };
@@ -284,11 +281,7 @@ impl HeapFile {
         Ok(true)
     }
 
-    fn delete_cell<S: PageStore>(
-        &mut self,
-        pool: &mut BufferPool<S>,
-        rid: Rid,
-    ) -> StorageResult<()> {
+    fn delete_cell<S: PageStore>(&mut self, pool: &BufferPool<S>, rid: Rid) -> StorageResult<()> {
         let free = pool.with_page_mut(rid.page, |p| {
             let mut s = Slotted::open(&mut p.as_mut_slice()[REGION_OFF..]);
             s.delete(rid.slot);
@@ -304,7 +297,7 @@ impl HeapFile {
     /// the bytes physically move). Returns whether the record existed.
     pub fn update<S: PageStore>(
         &mut self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         rid: Rid,
         record: &[u8],
     ) -> StorageResult<bool> {
@@ -380,7 +373,7 @@ impl HeapFile {
     /// stubs are resolved; moved bodies are skipped).
     pub fn scan<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         mut f: impl FnMut(Rid, &[u8]),
     ) -> StorageResult<()> {
         let mut page_idx = 0;
@@ -399,7 +392,7 @@ impl HeapFile {
     /// through [`BufferPool::prefetch`].
     pub fn scan_page<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
         page_idx: usize,
         mut f: impl FnMut(Rid, &[u8]),
     ) -> StorageResult<bool> {
@@ -434,7 +427,7 @@ impl HeapFile {
     /// Collect every `(rid, record)` pair (convenience over [`HeapFile::scan`]).
     pub fn scan_all<S: PageStore>(
         &self,
-        pool: &mut BufferPool<S>,
+        pool: &BufferPool<S>,
     ) -> StorageResult<Vec<(Rid, Vec<u8>)>> {
         let mut out = Vec::with_capacity(self.count as usize);
         self.scan(pool, |rid, rec| out.push((rid, rec.to_vec())))?;
@@ -442,7 +435,7 @@ impl HeapFile {
     }
 
     /// Free every page of the heap (drop the relation).
-    pub fn destroy<S: PageStore>(self, pool: &mut BufferPool<S>) -> StorageResult<()> {
+    pub fn destroy<S: PageStore>(self, pool: &BufferPool<S>) -> StorageResult<()> {
         for pid in self.pages {
             pool.free_page(pid)?;
         }
@@ -456,17 +449,17 @@ mod tests {
     use crate::store::MemStore;
 
     fn setup() -> (BufferPool<MemStore>, HeapFile) {
-        let mut pool = BufferPool::new(MemStore::new(), 32);
-        let heap = HeapFile::create(&mut pool).unwrap();
+        let pool = BufferPool::new(MemStore::new(), 32);
+        let heap = HeapFile::create(&pool).unwrap();
         (pool, heap)
     }
 
     #[test]
     fn insert_get_round_trip() {
-        let (mut pool, mut heap) = setup();
-        let rid = heap.insert(&mut pool, b"hello").unwrap();
+        let (pool, mut heap) = setup();
+        let rid = heap.insert(&pool, b"hello").unwrap();
         assert_eq!(
-            heap.get(&mut pool, rid).unwrap().as_deref(),
+            heap.get(&pool, rid).unwrap().as_deref(),
             Some(&b"hello"[..])
         );
         assert_eq!(heap.len(), 1);
@@ -474,74 +467,71 @@ mod tests {
 
     #[test]
     fn get_missing_is_none() {
-        let (mut pool, heap) = setup();
-        assert_eq!(heap.get(&mut pool, Rid::new(PageId(999), 0)).unwrap(), None);
+        let (pool, heap) = setup();
+        assert_eq!(heap.get(&pool, Rid::new(PageId(999), 0)).unwrap(), None);
     }
 
     #[test]
     fn delete_removes_record() {
-        let (mut pool, mut heap) = setup();
-        let rid = heap.insert(&mut pool, b"x").unwrap();
-        assert!(heap.delete(&mut pool, rid).unwrap());
-        assert_eq!(heap.get(&mut pool, rid).unwrap(), None);
-        assert!(!heap.delete(&mut pool, rid).unwrap());
+        let (pool, mut heap) = setup();
+        let rid = heap.insert(&pool, b"x").unwrap();
+        assert!(heap.delete(&pool, rid).unwrap());
+        assert_eq!(heap.get(&pool, rid).unwrap(), None);
+        assert!(!heap.delete(&pool, rid).unwrap());
         assert_eq!(heap.len(), 0);
     }
 
     #[test]
     fn update_in_place_and_grow() {
-        let (mut pool, mut heap) = setup();
-        let rid = heap.insert(&mut pool, b"short").unwrap();
-        assert!(heap.update(&mut pool, rid, b"a bit longer record").unwrap());
+        let (pool, mut heap) = setup();
+        let rid = heap.insert(&pool, b"short").unwrap();
+        assert!(heap.update(&pool, rid, b"a bit longer record").unwrap());
         assert_eq!(
-            heap.get(&mut pool, rid).unwrap().as_deref(),
+            heap.get(&pool, rid).unwrap().as_deref(),
             Some(&b"a bit longer record"[..])
         );
     }
 
     #[test]
     fn update_that_moves_keeps_rid_stable() {
-        let (mut pool, mut heap) = setup();
+        let (pool, mut heap) = setup();
         // Fill a page almost completely so the grown record cannot stay.
         let filler = vec![b'f'; 700];
         let mut rids = Vec::new();
         for _ in 0..11 {
-            rids.push(heap.insert(&mut pool, &filler).unwrap());
+            rids.push(heap.insert(&pool, &filler).unwrap());
         }
         let victim = rids[5];
         let big = vec![b'B'; 3000];
-        assert!(heap.update(&mut pool, victim, &big).unwrap());
-        assert_eq!(
-            heap.get(&mut pool, victim).unwrap().as_deref(),
-            Some(&big[..])
-        );
+        assert!(heap.update(&pool, victim, &big).unwrap());
+        assert_eq!(heap.get(&pool, victim).unwrap().as_deref(), Some(&big[..]));
         // And update it again, even bigger, exercising stub refresh.
         let bigger = vec![b'C'; 6000];
-        assert!(heap.update(&mut pool, victim, &bigger).unwrap());
+        assert!(heap.update(&pool, victim, &bigger).unwrap());
         assert_eq!(
-            heap.get(&mut pool, victim).unwrap().as_deref(),
+            heap.get(&pool, victim).unwrap().as_deref(),
             Some(&bigger[..])
         );
         // Other records untouched.
         assert_eq!(
-            heap.get(&mut pool, rids[4]).unwrap().as_deref(),
+            heap.get(&pool, rids[4]).unwrap().as_deref(),
             Some(&filler[..])
         );
     }
 
     #[test]
     fn scan_sees_each_live_record_once() {
-        let (mut pool, mut heap) = setup();
+        let (pool, mut heap) = setup();
         let filler = vec![b'f'; 700];
         let mut rids = Vec::new();
         for _ in 0..11 {
-            rids.push(heap.insert(&mut pool, &filler).unwrap());
+            rids.push(heap.insert(&pool, &filler).unwrap());
         }
         // Move one record via growth, delete another.
         let big = vec![b'B'; 3000];
-        heap.update(&mut pool, rids[3], &big).unwrap();
-        heap.delete(&mut pool, rids[7]).unwrap();
-        let all = heap.scan_all(&mut pool).unwrap();
+        heap.update(&pool, rids[3], &big).unwrap();
+        heap.delete(&pool, rids[7]).unwrap();
+        let all = heap.scan_all(&pool).unwrap();
         assert_eq!(all.len(), 10);
         let got_rids: Vec<Rid> = all.iter().map(|(r, _)| *r).collect();
         assert!(
@@ -555,21 +545,21 @@ mod tests {
 
     #[test]
     fn records_spanning_many_pages() {
-        let (mut pool, mut heap) = setup();
+        let (pool, mut heap) = setup();
         let n = 2000;
         let mut rids = Vec::new();
         for i in 0..n {
             let rec = format!("record-{i:05}");
-            rids.push(heap.insert(&mut pool, rec.as_bytes()).unwrap());
+            rids.push(heap.insert(&pool, rec.as_bytes()).unwrap());
         }
         assert!(heap.page_count() > 1);
         assert_eq!(heap.len(), n);
         for (i, rid) in rids.iter().enumerate() {
-            let rec = heap.get(&mut pool, *rid).unwrap().unwrap();
+            let rec = heap.get(&pool, *rid).unwrap().unwrap();
             assert_eq!(rec, format!("record-{i:05}").as_bytes());
         }
         let mut seen = 0;
-        heap.scan(&mut pool, |_, _| seen += 1).unwrap();
+        heap.scan(&pool, |_, _| seen += 1).unwrap();
         assert_eq!(seen, n as usize);
     }
 
@@ -577,10 +567,10 @@ mod tests {
     fn scan_page_matches_scan_and_prefetches() {
         // Pool smaller than the heap so the scan cannot run entirely from
         // resident frames.
-        let mut pool = BufferPool::new(MemStore::new(), 12);
-        let mut heap = HeapFile::create(&mut pool).unwrap();
+        let pool = BufferPool::new(MemStore::new(), 12);
+        let mut heap = HeapFile::create(&pool).unwrap();
         for i in 0..12000 {
-            heap.insert(&mut pool, format!("record-{i:05}").as_bytes())
+            heap.insert(&pool, format!("record-{i:05}").as_bytes())
                 .unwrap();
         }
         assert!(heap.page_count() > SCAN_READAHEAD);
@@ -588,7 +578,7 @@ mod tests {
         let mut paged = Vec::new();
         let mut idx = 0;
         while heap
-            .scan_page(&mut pool, idx, |rid, rec| paged.push((rid, rec.to_vec())))
+            .scan_page(&pool, idx, |rid, rec| paged.push((rid, rec.to_vec())))
             .unwrap()
         {
             idx += 1;
@@ -600,70 +590,69 @@ mod tests {
             stats.prefetch_hits > 0,
             "readahead pages are then read: {stats:?}"
         );
-        let whole = heap.scan_all(&mut pool).unwrap();
+        let whole = heap.scan_all(&pool).unwrap();
         assert_eq!(paged, whole);
     }
 
     #[test]
     fn reopen_preserves_records() {
-        let mut pool = BufferPool::new(MemStore::new(), 32);
+        let pool = BufferPool::new(MemStore::new(), 32);
         let meta;
         let rid;
         {
-            let mut heap = HeapFile::create(&mut pool).unwrap();
+            let mut heap = HeapFile::create(&pool).unwrap();
             meta = heap.meta_page();
-            rid = heap.insert(&mut pool, b"durable").unwrap();
+            rid = heap.insert(&pool, b"durable").unwrap();
             for i in 0..500 {
-                heap.insert(&mut pool, format!("r{i}").as_bytes()).unwrap();
+                heap.insert(&pool, format!("r{i}").as_bytes()).unwrap();
             }
         }
-        let heap = HeapFile::open(&mut pool, meta).unwrap();
+        let heap = HeapFile::open(&pool, meta).unwrap();
         assert_eq!(heap.len(), 501);
         assert_eq!(
-            heap.get(&mut pool, rid).unwrap().as_deref(),
+            heap.get(&pool, rid).unwrap().as_deref(),
             Some(&b"durable"[..])
         );
     }
 
     #[test]
     fn too_large_record_is_rejected() {
-        let (mut pool, mut heap) = setup();
+        let (pool, mut heap) = setup();
         let huge = vec![0u8; MAX_RECORD + 1];
         assert!(matches!(
-            heap.insert(&mut pool, &huge),
+            heap.insert(&pool, &huge),
             Err(StorageError::RecordTooLarge { .. })
         ));
         // Max-size record is accepted.
         let max = vec![1u8; MAX_RECORD];
-        let rid = heap.insert(&mut pool, &max).unwrap();
-        assert_eq!(heap.get(&mut pool, rid).unwrap().unwrap().len(), MAX_RECORD);
+        let rid = heap.insert(&pool, &max).unwrap();
+        assert_eq!(heap.get(&pool, rid).unwrap().unwrap().len(), MAX_RECORD);
     }
 
     #[test]
     fn destroy_frees_pages() {
-        let (mut pool, mut heap) = setup();
+        let (pool, mut heap) = setup();
         for i in 0..100 {
-            heap.insert(&mut pool, format!("row{i}").as_bytes())
-                .unwrap();
+            heap.insert(&pool, format!("row{i}").as_bytes()).unwrap();
         }
         let meta = heap.meta_page();
-        heap.destroy(&mut pool).unwrap();
-        assert!(HeapFile::open(&mut pool, meta).is_err());
+        heap.destroy(&pool).unwrap();
+        assert!(HeapFile::open(&pool, meta).is_err());
     }
 
     #[test]
     fn interleaved_insert_delete_reuses_space() {
-        let (mut pool, mut heap) = setup();
+        let (pool, mut heap) = setup();
         let rec = vec![b'x'; 100];
         let mut live = Vec::new();
         for round in 0..20 {
             for _ in 0..50 {
-                live.push(heap.insert(&mut pool, &rec).unwrap());
+                live.push(heap.insert(&pool, &rec).unwrap());
             }
             // Delete half.
             for _ in 0..25 {
                 let rid = live.remove(round % live.len().max(1));
-                heap.delete(&mut pool, rid).unwrap();
+                heap.delete(&pool, rid).unwrap();
             }
         }
         assert_eq!(heap.len() as usize, live.len());

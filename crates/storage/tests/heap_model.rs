@@ -42,14 +42,14 @@ proptest! {
     fn heap_behaves_like_a_rid_keyed_map(
         ops in proptest::collection::vec(op_strategy(), 1..60)
     ) {
-        let mut pool = BufferPool::new(MemStore::new(), 16);
-        let mut heap = HeapFile::create(&mut pool).unwrap();
+        let pool = BufferPool::new(MemStore::new(), 16);
+        let mut heap = HeapFile::create(&pool).unwrap();
         let mut model: HashMap<Rid, Vec<u8>> = HashMap::new();
         let mut rids: Vec<Rid> = Vec::new();
         for op in ops {
             match op {
                 Op::Insert(rec) => {
-                    let rid = heap.insert(&mut pool, &rec).unwrap();
+                    let rid = heap.insert(&pool, &rec).unwrap();
                     prop_assert!(!model.contains_key(&rid), "rid reuse while live");
                     model.insert(rid, rec);
                     rids.push(rid);
@@ -57,7 +57,7 @@ proptest! {
                 Op::Update(i, rec) => {
                     if rids.is_empty() { continue; }
                     let rid = rids[i % rids.len()];
-                    let updated = heap.update(&mut pool, rid, &rec).unwrap();
+                    let updated = heap.update(&pool, rid, &rec).unwrap();
                     prop_assert_eq!(updated, model.contains_key(&rid));
                     if updated {
                         model.insert(rid, rec);
@@ -66,18 +66,18 @@ proptest! {
                 Op::Delete(i) => {
                     if rids.is_empty() { continue; }
                     let rid = rids[i % rids.len()];
-                    let deleted = heap.delete(&mut pool, rid).unwrap();
+                    let deleted = heap.delete(&pool, rid).unwrap();
                     prop_assert_eq!(deleted, model.remove(&rid).is_some());
                 }
                 Op::Get(i) => {
                     if rids.is_empty() { continue; }
                     let rid = rids[i % rids.len()];
-                    let got = heap.get(&mut pool, rid).unwrap();
+                    let got = heap.get(&pool, rid).unwrap();
                     prop_assert_eq!(got.as_ref(), model.get(&rid));
                 }
                 Op::ScanAll => {
                     let mut seen: HashMap<Rid, Vec<u8>> = HashMap::new();
-                    heap.scan(&mut pool, |rid, rec| {
+                    heap.scan(&pool, |rid, rec| {
                         seen.insert(rid, rec.to_vec());
                     })
                     .unwrap();
@@ -87,7 +87,7 @@ proptest! {
             prop_assert_eq!(heap.len() as usize, model.len());
         }
         // Final full check after the op stream.
-        let all = heap.scan_all(&mut pool).unwrap();
+        let all = heap.scan_all(&pool).unwrap();
         prop_assert_eq!(all.len(), model.len());
         for (rid, rec) in all {
             prop_assert_eq!(Some(&rec), model.get(&rid));
@@ -140,12 +140,12 @@ fn disk_failures_surface_as_errors_not_panics() {
         inner: MemStore::new(),
         writes_left: 6,
     };
-    let mut pool = BufferPool::new(store, 2);
-    let mut heap = HeapFile::create(&mut pool).unwrap();
+    let pool = BufferPool::new(store, 2);
+    let mut heap = HeapFile::create(&pool).unwrap();
     let rec = vec![7u8; 2000];
     let mut saw_error = false;
     for _ in 0..200 {
-        match heap.insert(&mut pool, &rec) {
+        match heap.insert(&pool, &rec) {
             Ok(_) => {}
             Err(StorageError::Io(e)) => {
                 assert!(e.to_string().contains("injected"));
@@ -164,7 +164,7 @@ fn flush_failures_are_reported() {
         inner: MemStore::new(),
         writes_left: 0,
     };
-    let mut pool = BufferPool::new(store, 8);
+    let pool = BufferPool::new(store, 8);
     let id = pool.allocate_page().unwrap();
     pool.with_page_mut(id, |p| p.as_mut_slice()[0] = 1).unwrap();
     assert!(matches!(pool.flush_all(), Err(StorageError::Io(_))));

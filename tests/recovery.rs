@@ -188,10 +188,10 @@ fn file_backed_store_round_trips_pages() {
         use wow::storage::heap::HeapFile;
         use wow::storage::store::FileStore;
         let store = FileStore::open(&path).unwrap();
-        let mut pool = BufferPool::new(store, 64);
-        let heap = HeapFile::open(&mut pool, meta).unwrap();
+        let pool = BufferPool::new(store, 64);
+        let heap = HeapFile::open(&pool, meta).unwrap();
         assert_eq!(heap.len(), 50);
-        let rows = heap.scan_all(&mut pool).unwrap();
+        let rows = heap.scan_all(&pool).unwrap();
         let t = wow::rel::tuple::Tuple::decode(&rows[0].1).unwrap();
         assert_eq!(t.values[0], Value::Int(0));
     }
