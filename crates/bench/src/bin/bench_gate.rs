@@ -1,24 +1,26 @@
 //! `bench_gate` — CI regression gate over the repro output.
 //!
 //! ```text
-//! cargo run -p wow-bench --bin bench_gate --release -- BENCH_PR6.json BENCH_PR4.json
+//! cargo run -p wow-bench --bin bench_gate --release -- BENCH_PR7.json BENCH_PR6.json
 //! ```
 //!
 //! Compares the freshly generated bench file (first arg, default
-//! `BENCH_PR6.json`) against the checked-in baseline from the previous PR
-//! (second arg, default `BENCH_PR4.json`) and exits non-zero when:
+//! `BENCH_PR7.json`) against the checked-in baseline from the previous PR
+//! (second arg, default `BENCH_PR6.json`) and exits non-zero when:
 //!
 //! * a required percentile field is missing from the current file
-//!   (`metrics.{browse_open,commit,delta_refresh,query_exec}.{p50,p95,p99}_ns`), or
+//!   (`metrics.{browse_open,commit,delta_refresh,query_exec,net_request,net_push}
+//!   .{p50,p95,p99}_ns`), or
 //! * the browse-open, delta-commit, or query-exec p95 regressed more than
-//!   2× over the baseline.
+//!   2× over the baseline. The PR6 baseline carries `query_exec`
+//!   percentiles, so that gate is enforcing from this PR on.
 //!
-//! The baseline may predate a gated metric: PR3 had no `metrics` section
-//! at all, and PR4 carries no `query_exec` percentiles (its workload never
-//! ran the top-level executor). A missing baseline therefore downgrades
-//! that gate to informational — the current value is printed and recorded
-//! for the *next* PR to diff against — while the older metrics still fall
-//! back to the duration cells of the rendered tables (Table 2's
+//! The `net_request` and `net_push` percentiles (new in PR7: the window
+//! server's request service time and push-delivery time) are reported
+//! informationally — they must be *present* in the current file, but have
+//! no baseline yet to regress against. A baseline may also predate an
+//! enforcing metric's `metrics` section entirely; the older metrics then
+//! fall back to the duration cells of the rendered tables (Table 2's
 //! "open (indexed)" column, Figure 4's "delta commit" column, last row).
 
 use wow_bench::json::{parse, Json};
@@ -71,8 +73,8 @@ fn table_cell_ns(doc: &Json, id: &str, column: &str) -> Option<f64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let current_path = args.first().map(String::as_str).unwrap_or("BENCH_PR6.json");
-    let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR4.json");
+    let current_path = args.first().map(String::as_str).unwrap_or("BENCH_PR7.json");
+    let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR6.json");
 
     let (current, baseline) = match (load(current_path), load(baseline_path)) {
         (Ok(c), Ok(b)) => (c, b),
@@ -86,9 +88,16 @@ fn main() {
 
     let mut failures = Vec::new();
 
-    // Required percentile fields: the whole point of BENCH_PR4.json is to
+    // Required percentile fields: the whole point of BENCH_PR7.json is to
     // carry these, so their absence is itself a gate failure.
-    for op in ["browse_open", "commit", "delta_refresh", "query_exec"] {
+    for op in [
+        "browse_open",
+        "commit",
+        "delta_refresh",
+        "query_exec",
+        "net_request",
+        "net_push",
+    ] {
         for field in ["p50_ns", "p95_ns", "p99_ns"] {
             let present = current
                 .get("metrics")
@@ -102,16 +111,20 @@ fn main() {
         }
     }
 
-    // Regression checks: browse-open, delta-commit, and query-exec p95 vs
-    // 2× baseline. A gate whose table fallback is `None` tolerates a
-    // missing baseline (the metric is new in this PR): it reports the
-    // current value informationally instead of failing.
+    // Regression checks: p95 vs 2× baseline. `enforcing: false` means the
+    // metric is new in this PR — its value is printed for the record (and
+    // for the *next* PR to diff against) but never fails the gate, even
+    // when a baseline happens to exist. An enforcing gate with a table
+    // fallback can still read its baseline from an older file that
+    // predates the `metrics` section.
     let gates = [
-        ("browse_open", Some(("Table 2", "open (indexed)"))),
-        ("commit", Some(("Figure 4", "delta commit"))),
-        ("query_exec", None),
+        ("browse_open", Some(("Table 2", "open (indexed)")), true),
+        ("commit", Some(("Figure 4", "delta commit")), true),
+        ("query_exec", None, true),
+        ("net_request", None, false),
+        ("net_push", None, false),
     ];
-    for (op, fallback) in gates {
+    for (op, fallback, enforcing) in gates {
         let cur = metrics_p95(&current, op);
         let base = metrics_p95(&baseline, op).or_else(|| {
             fallback.and_then(|(table, column)| table_cell_ns(&baseline, table, column))
@@ -119,18 +132,24 @@ fn main() {
         match (cur, base) {
             (Some(cur), Some(base)) if base > 0.0 => {
                 let ratio = cur / base;
-                let verdict = if ratio > MAX_RATIO { "FAIL" } else { "ok" };
+                let verdict = if ratio <= MAX_RATIO {
+                    "ok"
+                } else if enforcing {
+                    "FAIL"
+                } else {
+                    "high (informational)"
+                };
                 println!(
                     "{op:<14} p95 {:>12.0} ns vs baseline {:>12.0} ns  ({ratio:.2}×)  {verdict}",
                     cur, base
                 );
-                if ratio > MAX_RATIO {
+                if enforcing && ratio > MAX_RATIO {
                     failures.push(format!(
                         "{op} p95 regressed {ratio:.2}× (limit {MAX_RATIO}×) vs {baseline_path}"
                     ));
                 }
             }
-            (Some(cur), _) if fallback.is_none() => {
+            (Some(cur), _) if !enforcing => {
                 println!(
                     "{op:<14} p95 {cur:>12.0} ns (no baseline in {baseline_path}; recorded for the next PR)"
                 );
@@ -140,10 +159,13 @@ fn main() {
                     failures.push(format!("{current_path}: no p95 for {op}"));
                 }
                 if base.is_none() {
-                    if let Some((table, column)) = fallback {
-                        failures.push(format!(
+                    match fallback {
+                        Some((table, column)) => failures.push(format!(
                             "{baseline_path}: no baseline for {op} (metrics.{op}.p95_ns or {table} \"{column}\")"
-                        ));
+                        )),
+                        None => failures.push(format!(
+                            "{baseline_path}: no baseline for {op} (metrics.{op}.p95_ns)"
+                        )),
                     }
                 }
             }

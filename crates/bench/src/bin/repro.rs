@@ -7,13 +7,14 @@
 //! cargo run -p wow-bench --bin repro --release -- --metrics # dump percentiles
 //! ```
 //!
-//! Besides the rendered text, a machine-readable `BENCH_PR6.json` with the
+//! Besides the rendered text, a machine-readable `BENCH_PR7.json` with the
 //! same rows — plus a `metrics` section carrying p50/p95/p99 latency
-//! percentiles per traced operation — is written to the working directory
-//! (disable with `--no-json`). `--metrics` additionally prints that section
-//! as a human-readable table. The percentiles come from running the
+//! percentiles per traced operation, now including the `net_request` and
+//! `net_push` server ops — is written to the working directory (disable
+//! with `--no-json`). `--metrics` additionally prints that section as a
+//! human-readable table. The percentiles come from running the
 //! instrumented workload (`experiments::instrumented_workload`) with the
-//! span tracer on, so `BENCH_PR6.json` is what the CI `bench_gate` binary
+//! span tracer on, so `BENCH_PR7.json` is what the CI `bench_gate` binary
 //! diffs against the checked-in baseline.
 
 use wow_bench::experiments::{self, Scale};
@@ -81,7 +82,7 @@ fn to_json(scale: Scale, tables: &[Table], metrics: &MetricsSnapshot) -> String 
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "{{\"bench\":\"PR6\",\"scale\":\"{scale:?}\",\"experiments\":{experiments},\
+        "{{\"bench\":\"PR7\",\"scale\":\"{scale:?}\",\"experiments\":{experiments},\
          \"metrics\":{{{ops}}},\"counters\":{{{counters}}}}}\n"
     )
 }
@@ -138,6 +139,7 @@ fn main() {
         ("table6", experiments::table6_wal),
         ("table7", experiments::table7_expansion),
         ("table8", experiments::table8_overhead),
+        ("table9", experiments::table9_net),
     ];
     println!("Windows on the World — evaluation reproduction (scale: {scale:?})");
     println!("(reconstructed experiments; see DESIGN.md for the paper-text mismatch note)\n");
@@ -151,7 +153,7 @@ fn main() {
         tables.push(table);
     }
     if tables.is_empty() {
-        eprintln!("no experiment matched; known keys: table1..table8, table2b, figure1..figure5");
+        eprintln!("no experiment matched; known keys: table1..table9, table2b, figure1..figure5");
         std::process::exit(2);
     }
     // Percentiles only accompany a full (unfiltered) run: a filtered run is
@@ -165,7 +167,7 @@ fn main() {
         print_metrics(&metrics);
     }
     if write_json {
-        let path = "BENCH_PR6.json";
+        let path = "BENCH_PR7.json";
         match std::fs::write(path, to_json(scale, &tables, &metrics)) {
             Ok(()) => println!("wrote {path} ({} experiments)", tables.len()),
             Err(e) => eprintln!("could not write {path}: {e}"),

@@ -24,6 +24,7 @@ use wow_storage::wal::Wal;
 use wow_tui::geom::{Rect, Size};
 use wow_views::expand::{run_view_query, ViewQuery};
 use wow_views::updatable::analyze;
+use wow_workload::netload::NetLoadReport;
 use wow_workload::rng::DetRng;
 use wow_workload::suppliers::{self, SuppliersConfig};
 
@@ -1363,6 +1364,65 @@ pub fn table8_overhead(scale: Scale) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Table 9 — window server: request and commit→push latency vs clients
+// ---------------------------------------------------------------------------
+
+/// Table 9: the `wow-net` window server under a concurrent TCP clerk load.
+///
+/// For each client count the server gets a fresh student world; one client
+/// is a watcher measuring commit→push delivery, one is an editor stamping
+/// marker commits, and the rest replay deterministic browse scripts. The
+/// interesting column is commit→push p95: the time from a commit's `Ack`
+/// until another connection holds the refreshed screenful.
+pub fn table9_net(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table 9",
+        "window server: request and commit→push latency vs connected clients",
+        &[
+            "clients", "requests", "req p50", "req p95", "req p99", "push p50", "push p95",
+            "pushes",
+        ],
+        "commit→push delivery stays in the low milliseconds as clients grow",
+    );
+    let n = scale.pick(200, 2_000);
+    let counts: &[usize] = scale.pick(&[2, 4][..], &[1, 8, 64][..]);
+    for &clients in counts {
+        let server = wow_net::Server::start(
+            student_world(n),
+            "127.0.0.1:0",
+            wow_net::ServerConfig::default(),
+        )
+        .expect("bench server must bind a loopback port");
+        let cfg = wow_workload::netload::NetLoadConfig {
+            clients,
+            ops_per_client: scale.pick(6, 40),
+            commits: scale.pick(6, 30),
+            view: "students".into(),
+            edit_field: 2, // `year`: an integer column on the first screenful
+            commit_gap_ms: 2,
+            seed: 7 + clients as u64,
+        };
+        let report =
+            wow_workload::netload::run(server.local_addr(), &cfg).expect("net load run failed");
+        server.shutdown();
+        let ns = |v: u64| fmt_duration(Duration::from_nanos(v));
+        let req = |p: f64| ns(NetLoadReport::percentile(report.request_ns.clone(), p));
+        let push = |p: f64| ns(NetLoadReport::percentile(report.commit_push_ns.clone(), p));
+        t.push(vec![
+            clients.to_string(),
+            report.requests.to_string(),
+            req(50.0),
+            req(95.0),
+            req(99.0),
+            push(50.0),
+            push(95.0),
+            report.pushes.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
 // Instrumented workload — the percentile source for BENCH_*.json
 // ---------------------------------------------------------------------------
 
@@ -1426,6 +1486,30 @@ pub fn instrumented_workload(scale: Scale) -> wow_obs::MetricsSnapshot {
             ))
             .unwrap();
     }
+    // A short burst through the window server so `net_request` and
+    // `net_push` percentiles land in the snapshot too (the CI bench gate
+    // reports them informationally; they only record while the tracer is
+    // on, so this runs before it is disabled).
+    let server = wow_net::Server::start(
+        student_world(scale.pick(60, 2_000)),
+        "127.0.0.1:0",
+        wow_net::ServerConfig::default(),
+    )
+    .expect("instrumented workload server must bind a loopback port");
+    wow_workload::netload::run(
+        server.local_addr(),
+        &wow_workload::netload::NetLoadConfig {
+            clients: scale.pick(3, 8),
+            ops_per_client: scale.pick(5, 40),
+            commits: scale.pick(5, 25),
+            view: "students".into(),
+            edit_field: 2,
+            commit_gap_ms: 2,
+            seed: 11,
+        },
+    )
+    .expect("instrumented net load failed");
+    server.shutdown();
     wow_obs::tracer().set_enabled(false);
     // Fold the legacy stats surfaces (PoolStats, WorldStats, lock/exec
     // counters, per-table row counts) into the same snapshot the
@@ -1451,6 +1535,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         table6_wal(scale),
         table7_expansion(scale),
         table8_overhead(scale),
+        table9_net(scale),
     ]
 }
 

@@ -56,6 +56,11 @@ pub enum WowError {
         /// `(window id, error)` for each window whose refresh failed.
         failures: Vec<(u32, String)>,
     },
+    /// A network transport failure: connect/read/write errors, handshake
+    /// or protocol violations, or a connection closed mid-exchange. The
+    /// `wow-net` layer maps every `std::io::Error` and wire-decode failure
+    /// into this variant so remote callers get `WowResult` end to end.
+    Net(String),
 }
 
 impl fmt::Display for WowError {
@@ -92,6 +97,7 @@ impl fmt::Display for WowError {
                     .collect();
                 write!(f, "{}", msgs.join("; "))
             }
+            WowError::Net(msg) => write!(f, "network error: {msg}"),
         }
     }
 }

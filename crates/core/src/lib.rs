@@ -54,5 +54,6 @@ pub mod world;
 pub use config::WorldConfig;
 pub use error::{WowError, WowResult};
 pub use session::SessionId;
-pub use window_mgr::{Mode, WinId, WindowStyle};
-pub use world::World;
+pub use sys::{ConnectionInfo, ConnectionsProvider};
+pub use window_mgr::{Mode, RefreshKind, WinId, WindowStyle};
+pub use world::{RefreshEvent, World};

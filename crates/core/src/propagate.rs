@@ -92,18 +92,10 @@ impl World {
                     span.arg(vd.len() as u64);
                     let applied = {
                         let (db, _vc, w) = self.parts(id)?;
-                        let ok = w.cursor.apply_delta(db, vd)?;
-                        if ok {
-                            w.stale = false;
-                            w.last_refresh = crate::window_mgr::RefreshKind::Delta;
-                            w.refreshed_at = std::time::Instant::now();
-                            if matches!(w.mode, Mode::Browse) {
-                                w.show_current();
-                            }
-                        }
-                        ok
+                        w.cursor.apply_delta(db, vd)?
                     };
                     if applied {
+                        self.note_refresh(id, RefreshKind::Delta);
                         span.finish();
                         self.stats.delta_refreshes += 1;
                         self.stats.delta_rows += vd.len() as u64;
@@ -169,6 +161,29 @@ impl World {
         self.refresh_fanout(candidates)
     }
 
+    /// Refresh every open window that is not mid-edit (mid-edit windows go
+    /// stale, exactly like [`World::propagate_write`]). The blunt
+    /// instrument for writes whose footprint is unknown — a raw QUEL
+    /// statement executed over the network can touch any table, so the
+    /// server brings every window current rather than guessing. Returns
+    /// the ids refreshed.
+    pub fn refresh_all_windows(&mut self) -> WowResult<Vec<WinId>> {
+        self.stats.propagations += 1;
+        let mut candidates = Vec::new();
+        for id in self.window_ids() {
+            let mid_edit = matches!(
+                self.window(id)?.mode,
+                Mode::Edit | Mode::Insert | Mode::Query
+            );
+            if mid_edit {
+                self.window_mut(id)?.stale = true;
+            } else {
+                candidates.push(id);
+            }
+        }
+        self.refresh_fanout(candidates)
+    }
+
     /// Refresh a set of windows, overlapping the re-queries across the
     /// worker pool when the fan-out is wide enough.
     ///
@@ -228,12 +243,7 @@ impl World {
                         self.db_mut().merge_counters(counters);
                         let w = self.windows.get_mut(&id).expect("window seen in compute");
                         w.cursor = cursor;
-                        w.stale = false;
-                        w.last_refresh = RefreshKind::Full;
-                        w.refreshed_at = std::time::Instant::now();
-                        if matches!(w.mode, Mode::Browse) {
-                            w.show_current();
-                        }
+                        self.note_refresh(id, RefreshKind::Full);
                         self.stats.full_refreshes += 1;
                         self.stats.windows_refreshed += 1;
                         refreshed.push(id);

@@ -25,8 +25,39 @@ use crate::locks::LockMode;
 use crate::world::World;
 use wow_rel::value::Value;
 
+/// One live network connection, as reported by the embedding server's
+/// [`ConnectionsProvider`] and shown through `__wow_connections`.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectionInfo {
+    /// Server-assigned connection id.
+    pub conn: u64,
+    /// The session the connection is bound to (0 before the handshake).
+    pub session: u32,
+    /// Peer address (`ip:port`).
+    pub peer: String,
+    /// Connection state (`open`, `draining`, …).
+    pub state: String,
+    /// Requests handled on this connection.
+    pub requests: u64,
+    /// Push frames delivered to this connection.
+    pub pushes: u64,
+    /// Push frames coalesced away (superseded by a newer generation
+    /// before the writer drained them).
+    pub coalesced: u64,
+    /// Frames currently queued in the connection's outbox.
+    pub queued: u64,
+    /// Milliseconds since the connection was accepted.
+    pub age_ms: u64,
+}
+
+/// Closure a network server installs via
+/// [`World::set_connections_provider`] to surface its live connections as
+/// `__wow_connections` rows. Called during `sys_sync` with the world lock
+/// held, so it must not call back into the world.
+pub type ConnectionsProvider = Box<dyn Fn() -> Vec<ConnectionInfo> + Send>;
+
 /// The system views, with the QUEL definitions registered for them.
-pub const SYS_VIEWS: [(&str, &str); 5] = [
+pub const SYS_VIEWS: [(&str, &str); 6] = [
     (
         "__wow_metrics",
         "RANGE OF m IS __sys_metrics RETRIEVE (m.metric, m.value)",
@@ -38,7 +69,8 @@ pub const SYS_VIEWS: [(&str, &str); 5] = [
     (
         "__wow_windows",
         "RANGE OF w IS __sys_windows \
-         RETRIEVE (w.win, w.view, w.session, w.mode, w.refresh, w.age_ms, w.stale, w.updatable)",
+         RETRIEVE (w.win, w.view, w.session, w.mode, w.refresh, w.age_ms, w.stale, w.updatable, \
+         w.generation)",
     ),
     (
         "__wow_locks",
@@ -48,15 +80,23 @@ pub const SYS_VIEWS: [(&str, &str); 5] = [
         "__wow_pool",
         "RANGE OF p IS __sys_pool RETRIEVE (p.stat, p.value)",
     ),
+    (
+        "__wow_connections",
+        "RANGE OF c IS __sys_connections \
+         RETRIEVE (c.conn, c.session, c.peer, c.state, c.requests, c.pushes, c.coalesced, \
+         c.queued, c.age_ms)",
+    ),
 ];
 
-const SYS_DDL: [&str; 5] = [
+const SYS_DDL: [&str; 6] = [
     "CREATE TABLE __sys_metrics (metric TEXT KEY, value INT)",
     "CREATE TABLE __sys_spans (seq INT KEY, op TEXT, start_us INT, dur_us INT, arg INT)",
     "CREATE TABLE __sys_windows (win INT KEY, view TEXT, session INT, mode TEXT, \
-     refresh TEXT, age_ms INT, stale INT, updatable INT)",
+     refresh TEXT, age_ms INT, stale INT, updatable INT, generation INT)",
     "CREATE TABLE __sys_locks (seq INT KEY, relation TEXT, holder INT, mode TEXT)",
     "CREATE TABLE __sys_pool (stat TEXT KEY, value INT)",
+    "CREATE TABLE __sys_connections (conn INT KEY, session INT, peer TEXT, state TEXT, \
+     requests INT, pushes INT, coalesced INT, queued INT, age_ms INT)",
 ];
 
 /// Whether `view` names a system view.
@@ -124,11 +164,13 @@ impl World {
         let windows = self.window_rows();
         let locks = self.lock_rows();
         let pool = self.pool_rows();
+        let conns = self.conn_rows();
         self.sys_rewrite("__sys_metrics", metrics)?;
         self.sys_rewrite("__sys_spans", spans)?;
         self.sys_rewrite("__sys_windows", windows)?;
         self.sys_rewrite("__sys_locks", locks)?;
         self.sys_rewrite("__sys_pool", pool)?;
+        self.sys_rewrite("__sys_connections", conns)?;
         Ok(())
     }
 
@@ -175,6 +217,28 @@ impl World {
                     Value::Int(w.refreshed_at.elapsed().as_millis() as i64),
                     Value::Int(w.stale as i64),
                     Value::Int(w.is_updatable() as i64),
+                    Value::Int(w.generation as i64),
+                ]
+            })
+            .collect()
+    }
+
+    /// `__sys_connections` rows from the installed provider (empty when
+    /// the world is embedded rather than served).
+    fn conn_rows(&self) -> Vec<Vec<Value>> {
+        self.connection_rows()
+            .into_iter()
+            .map(|c| {
+                vec![
+                    Value::Int(c.conn as i64),
+                    Value::Int(c.session as i64),
+                    Value::Text(c.peer),
+                    Value::Text(c.state),
+                    Value::Int(c.requests as i64),
+                    Value::Int(c.pushes as i64),
+                    Value::Int(c.coalesced as i64),
+                    Value::Int(c.queued as i64),
+                    Value::Int(c.age_ms as i64),
                 ]
             })
             .collect()

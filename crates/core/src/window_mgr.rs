@@ -131,6 +131,11 @@ pub struct WindowState {
     pub last_refresh: RefreshKind,
     /// When the displayed rows were last brought current.
     pub refreshed_at: std::time::Instant,
+    /// Monotonic refresh generation: 1 at open, +1 on every refresh
+    /// (delta or full). Remote viewers use it to order pushed screenfuls —
+    /// a consumer that only accepts increasing generations can never
+    /// regress to an older state, however pushes are coalesced or delayed.
+    pub generation: u64,
 }
 
 impl WindowState {

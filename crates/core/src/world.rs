@@ -72,6 +72,25 @@ impl WorldStats {
     }
 }
 
+/// One window brought current by a refresh — the unit the network layer
+/// turns into a `WindowRefreshed` push frame. Recording is off by default
+/// (zero cost for embedded single-process use); a server turns it on with
+/// [`World::enable_refresh_events`] and drains the log after every request
+/// it executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshEvent {
+    /// The window that was refreshed.
+    pub win: WinId,
+    /// The session owning that window.
+    pub session: SessionId,
+    /// How it was brought current (delta patch or full re-query).
+    pub kind: crate::window_mgr::RefreshKind,
+    /// The window's refresh generation *after* this refresh. Strictly
+    /// increasing per window; consumers use it to coalesce (latest wins)
+    /// and to assert they never observe an older state after a newer one.
+    pub generation: u64,
+}
+
 /// How a window's browse cursor is chosen at open time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CursorStrategy {
@@ -105,6 +124,13 @@ pub struct World {
     cascade: u16,
     /// Aggregate counters.
     pub stats: WorldStats,
+    /// When set, every window refresh appends a [`RefreshEvent`] here for
+    /// [`World::take_refresh_events`] to drain.
+    notify_refreshes: bool,
+    refresh_events: Vec<RefreshEvent>,
+    /// Live-connection rows for the `__wow_connections` system view,
+    /// supplied by an embedding network server (none when embedded).
+    conn_provider: Option<crate::sys::ConnectionsProvider>,
 }
 
 impl World {
@@ -131,6 +157,54 @@ impl World {
             next_window: 1,
             cascade: 0,
             stats: WorldStats::default(),
+            notify_refreshes: false,
+            refresh_events: Vec::new(),
+            conn_provider: None,
+        }
+    }
+
+    /// Turn refresh-event recording on or off. While on, every window
+    /// refresh (delta or full, whatever triggered it) appends a
+    /// [`RefreshEvent`]; the embedding server drains them with
+    /// [`World::take_refresh_events`] after each request it executes and
+    /// turns them into push notifications. Turning recording off clears
+    /// any undrained events.
+    pub fn enable_refresh_events(&mut self, on: bool) {
+        self.notify_refreshes = on;
+        if !on {
+            self.refresh_events.clear();
+        }
+    }
+
+    /// Drain the refresh events recorded since the last drain.
+    pub fn take_refresh_events(&mut self) -> Vec<RefreshEvent> {
+        std::mem::take(&mut self.refresh_events)
+    }
+
+    /// Mark a window brought current: bump its generation, stamp the
+    /// refresh kind/time, clear staleness, reload the form in Browse mode,
+    /// and (when event recording is on) log a [`RefreshEvent`]. Every
+    /// refresh path funnels through here so generations are monotonic no
+    /// matter which path ran.
+    pub(crate) fn note_refresh(&mut self, win: WinId, kind: crate::window_mgr::RefreshKind) {
+        let Some(w) = self.windows.get_mut(&win) else {
+            return;
+        };
+        w.generation += 1;
+        w.last_refresh = kind;
+        w.refreshed_at = std::time::Instant::now();
+        w.stale = false;
+        if matches!(w.mode, Mode::Browse) {
+            w.show_current();
+        }
+        let event = RefreshEvent {
+            win,
+            session: w.session,
+            kind,
+            generation: w.generation,
+        };
+        if self.notify_refreshes {
+            self.refresh_events.push(event);
         }
     }
 
@@ -183,6 +257,18 @@ impl World {
     /// The lock manager (inspection).
     pub fn locks(&self) -> &LockManager {
         &self.locks
+    }
+
+    /// Install (or clear) the provider behind the `__wow_connections`
+    /// system view. A network server hands in a closure over its live
+    /// connection registry; `sys_sync` calls it to materialize one row per
+    /// connection. With no provider the view exists but is empty.
+    pub fn set_connections_provider(&mut self, p: Option<crate::sys::ConnectionsProvider>) {
+        self.conn_provider = p;
+    }
+
+    pub(crate) fn connection_rows(&self) -> Vec<crate::sys::ConnectionInfo> {
+        self.conn_provider.as_ref().map(|p| p()).unwrap_or_default()
     }
 
     /// Split borrow used by the mode modules: database + views + one
@@ -470,6 +556,7 @@ impl World {
             stale: false,
             last_refresh: crate::window_mgr::RefreshKind::Open,
             refreshed_at: std::time::Instant::now(),
+            generation: 1,
         };
         state.show_current();
         self.windows.insert(id, state);
@@ -600,12 +687,7 @@ impl World {
         let span = wow_obs::span(wow_obs::Op::FullRefresh);
         let (db, vc, w) = self.parts(win)?;
         w.cursor.refresh(db, vc)?;
-        w.stale = false;
-        w.last_refresh = crate::window_mgr::RefreshKind::Full;
-        w.refreshed_at = std::time::Instant::now();
-        if matches!(w.mode, Mode::Browse) {
-            w.show_current();
-        }
+        self.note_refresh(win, crate::window_mgr::RefreshKind::Full);
         span.finish();
         Ok(())
     }

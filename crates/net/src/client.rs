@@ -1,0 +1,354 @@
+//! A blocking client for the window server.
+//!
+//! One call per request: [`Client`] writes a frame, then reads until the
+//! matching response arrives. Push frames that arrive in between are
+//! stashed and handed out by [`Client::poll_push`] / [`Client::wait_push`],
+//! which also filter **stale generations**: a push whose generation does
+//! not exceed the last one seen for its window is discarded, so a caller
+//! that only consumes these APIs can never observe a window going
+//! backwards in time.
+
+use crate::proto::{Push, Request, Response, Screenful};
+use crate::wire::{self, FrameKind, ReadError, VERSION};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+use wow_core::{WowError, WowResult};
+
+/// A connected, handshaken session with a window server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_req: u64,
+    session: u32,
+    /// Pushes that arrived while waiting for a response.
+    stash: VecDeque<Push>,
+    /// Highest generation seen per window; lower-or-equal pushes drop.
+    seen_gen: BTreeMap<u32, u64>,
+}
+
+impl Client {
+    /// Connect and shake hands.
+    pub fn connect(addr: impl ToSocketAddrs) -> WowResult<Client> {
+        let stream = TcpStream::connect(addr).map_err(io_err("connect"))?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().map_err(io_err("clone"))?);
+        let mut client = Client {
+            writer: stream,
+            reader,
+            next_req: 1,
+            session: 0,
+            stash: VecDeque::new(),
+            seen_gen: BTreeMap::new(),
+        };
+        match client.call(&Request::Hello { version: VERSION })? {
+            Response::HelloOk { session, .. } => {
+                client.session = session;
+                Ok(client)
+            }
+            other => Err(WowError::Net(format!("bad handshake reply: {other:?}"))),
+        }
+    }
+
+    /// The server-side session id backing this connection.
+    pub fn session(&self) -> u32 {
+        self.session
+    }
+
+    /// Send one request and block for its response. Pushes received while
+    /// waiting are stashed for [`Client::poll_push`].
+    pub fn call(&mut self, req: &Request) -> WowResult<Response> {
+        let id = self.next_req;
+        self.next_req += 1;
+        wire::write_frame(&mut self.writer, FrameKind::Request, id, &req.encode())
+            .map_err(io_err("send"))?;
+        // No read timeout while a response is owed: the server always
+        // answers every request (that is the protocol's contract).
+        self.reader
+            .get_ref()
+            .set_read_timeout(None)
+            .map_err(io_err("timeout"))?;
+        loop {
+            let frame = wire::read_frame(&mut self.reader).map_err(read_err)?;
+            match frame.kind {
+                FrameKind::Push => self.stash_push(&frame.payload)?,
+                FrameKind::Response => {
+                    if frame.req_id != id {
+                        return Err(WowError::Net(format!(
+                            "response for request {} while waiting for {id}",
+                            frame.req_id
+                        )));
+                    }
+                    let resp = Response::decode(&frame.payload).map_err(WowError::from)?;
+                    if let Response::Error(e) = resp {
+                        return Err(e.into_wow());
+                    }
+                    return Ok(resp);
+                }
+                FrameKind::Request => {
+                    return Err(WowError::Net("server sent a request frame".into()))
+                }
+            }
+        }
+    }
+
+    fn stash_push(&mut self, payload: &[u8]) -> WowResult<()> {
+        let push = Push::decode(payload).map_err(WowError::from)?;
+        let Push::WindowRefreshed {
+            win, generation, ..
+        } = &push;
+        // Generation gate: only strictly newer screenfuls are kept.
+        let seen = self.seen_gen.entry(*win).or_insert(0);
+        if *generation <= *seen {
+            return Ok(());
+        }
+        *seen = *generation;
+        // A newer push for the same window supersedes a stashed one.
+        self.stash.retain(|p| {
+            let Push::WindowRefreshed { win: w, .. } = p;
+            w != win
+        });
+        self.stash.push_back(push);
+        Ok(())
+    }
+
+    /// Take one stashed push, if any, without touching the socket.
+    pub fn take_push(&mut self) -> Option<Push> {
+        self.stash.pop_front()
+    }
+
+    /// Drain the socket without blocking, then take one stashed push.
+    pub fn poll_push(&mut self) -> WowResult<Option<Push>> {
+        self.drain_socket(Duration::from_millis(1))?;
+        Ok(self.stash.pop_front())
+    }
+
+    /// Block up to `timeout` for a push.
+    pub fn wait_push(&mut self, timeout: Duration) -> WowResult<Option<Push>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(p) = self.stash.pop_front() {
+                return Ok(Some(p));
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            self.drain_socket(left.min(Duration::from_millis(20)))?;
+        }
+    }
+
+    /// Read frames until one push is stashed or `window` passes with the
+    /// socket quiet. Reading exactly one per call matters: under a steady
+    /// push stream, "keep reading while frames arrive" never goes quiet, so
+    /// the stash's same-window supersession would silently coalesce every
+    /// push into the newest one and the caller would see nothing until the
+    /// stream paused. Later frames stay buffered for the next call.
+    fn drain_socket(&mut self, window: Duration) -> WowResult<()> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(Some(window))
+            .map_err(io_err("timeout"))?;
+        match wire::read_frame(&mut self.reader) {
+            Ok(frame) if frame.kind == FrameKind::Push => self.stash_push(&frame.payload),
+            Ok(frame) => Err(WowError::Net(format!(
+                "unsolicited {:?} frame for request {}",
+                frame.kind, frame.req_id
+            ))),
+            Err(e) if e.is_timeout() => Ok(()),
+            Err(ReadError::Eof) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Highest refresh generation seen for a window (0 if none).
+    pub fn generation_of(&self, win: u32) -> u64 {
+        self.seen_gen.get(&win).copied().unwrap_or(0)
+    }
+
+    /// Record a generation learned from a response (`Screen` /
+    /// `WindowOpened`) so later stale pushes are filtered against it.
+    pub fn note_generation(&mut self, win: u32, generation: u64) {
+        let seen = self.seen_gen.entry(win).or_insert(0);
+        if generation > *seen {
+            *seen = generation;
+        }
+    }
+
+    // -- Typed wrappers (the clerk loop) ----------------------------------------
+
+    /// Keepalive round-trip.
+    pub fn ping(&mut self) -> WowResult<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Define a view.
+    pub fn define_view(&mut self, name: &str, src: &str) -> WowResult<()> {
+        match self.call(&Request::DefineView {
+            name: name.into(),
+            src: src.into(),
+        })? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Open a window; returns `(window id, updatable, initial screen)`.
+    pub fn open_window(&mut self, view: &str, grid: bool) -> WowResult<(u32, bool, Screenful)> {
+        match self.call(&Request::OpenWindow {
+            view: view.into(),
+            grid,
+        })? {
+            Response::WindowOpened {
+                win,
+                updatable,
+                generation,
+                screen,
+            } => {
+                self.note_generation(win, generation);
+                Ok((win, updatable, screen))
+            }
+            other => Err(unexpected("WindowOpened", &other)),
+        }
+    }
+
+    /// Close a window.
+    pub fn close_window(&mut self, win: u32) -> WowResult<()> {
+        match self.call(&Request::CloseWindow { win })? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    fn screen_call(&mut self, req: Request) -> WowResult<(bool, Screenful)> {
+        match self.call(&req)? {
+            Response::Screen {
+                win,
+                generation,
+                moved,
+                screen,
+            } => {
+                self.note_generation(win, generation);
+                Ok((moved, screen))
+            }
+            other => Err(unexpected("Screen", &other)),
+        }
+    }
+
+    /// Advance one row; returns `(moved, screen)`.
+    pub fn next(&mut self, win: u32) -> WowResult<(bool, Screenful)> {
+        self.screen_call(Request::BrowseNext { win })
+    }
+
+    /// Step back one row.
+    pub fn prev(&mut self, win: u32) -> WowResult<(bool, Screenful)> {
+        self.screen_call(Request::BrowsePrev { win })
+    }
+
+    /// Page forward.
+    pub fn next_page(&mut self, win: u32) -> WowResult<(bool, Screenful)> {
+        self.screen_call(Request::PageNext { win })
+    }
+
+    /// Page backward.
+    pub fn prev_page(&mut self, win: u32) -> WowResult<(bool, Screenful)> {
+        self.screen_call(Request::PagePrev { win })
+    }
+
+    /// Enter Edit mode on the current row.
+    pub fn enter_edit(&mut self, win: u32) -> WowResult<Screenful> {
+        Ok(self.screen_call(Request::EnterEdit { win })?.1)
+    }
+
+    /// Enter Insert mode.
+    pub fn enter_insert(&mut self, win: u32) -> WowResult<Screenful> {
+        Ok(self.screen_call(Request::EnterInsert { win })?.1)
+    }
+
+    /// Enter Query (query-by-form) mode.
+    pub fn enter_query(&mut self, win: u32) -> WowResult<Screenful> {
+        Ok(self.screen_call(Request::EnterQuery { win })?.1)
+    }
+
+    /// Type into a form field.
+    pub fn set_field(&mut self, win: u32, field: u16, text: &str) -> WowResult<()> {
+        match self.call(&Request::SetField {
+            win,
+            field,
+            text: text.into(),
+        })? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Commit the open mode (write the row, or apply the query).
+    pub fn commit(&mut self, win: u32) -> WowResult<Screenful> {
+        Ok(self.screen_call(Request::Commit { win })?.1)
+    }
+
+    /// Abandon the open mode.
+    pub fn cancel_mode(&mut self, win: u32) -> WowResult<Screenful> {
+        Ok(self.screen_call(Request::CancelMode { win })?.1)
+    }
+
+    /// Drop the active query restriction.
+    pub fn clear_query(&mut self, win: u32) -> WowResult<Screenful> {
+        Ok(self.screen_call(Request::ClearQuery { win })?.1)
+    }
+
+    /// Delete the current row.
+    pub fn delete_current(&mut self, win: u32) -> WowResult<Screenful> {
+        Ok(self.screen_call(Request::DeleteCurrent { win })?.1)
+    }
+
+    /// Undo this session's last through-window write.
+    pub fn undo(&mut self) -> WowResult<()> {
+        match self.call(&Request::Undo)? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Re-run the window's view query.
+    pub fn refresh(&mut self, win: u32) -> WowResult<Screenful> {
+        Ok(self.screen_call(Request::Refresh { win })?.1)
+    }
+
+    /// Fetch the screenful without moving.
+    pub fn screen(&mut self, win: u32) -> WowResult<Screenful> {
+        Ok(self.screen_call(Request::GetScreen { win })?.1)
+    }
+
+    /// Run raw QUEL; returns `(columns, rows)`.
+    pub fn quel(&mut self, src: &str) -> WowResult<(Vec<String>, Vec<Vec<wow_rel::value::Value>>)> {
+        match self.call(&Request::Quel { src: src.into() })? {
+            Response::Rows { columns, rows } => Ok((columns, rows)),
+            other => Err(unexpected("Rows", &other)),
+        }
+    }
+
+    /// Polite disconnect: tells the server, waits for `Bye`, closes.
+    pub fn goodbye(mut self) -> WowResult<()> {
+        match self.call(&Request::Goodbye)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected("Bye", &other)),
+        }
+    }
+}
+
+fn io_err(phase: &'static str) -> impl Fn(std::io::Error) -> WowError {
+    move |e| WowError::Net(format!("{phase}: {e}"))
+}
+
+fn read_err(e: ReadError) -> WowError {
+    e.into()
+}
+
+fn unexpected(wanted: &str, got: &Response) -> WowError {
+    WowError::Net(format!("expected {wanted}, got {got:?}"))
+}

@@ -1,0 +1,765 @@
+//! The window server: many TCP clerks, one shared [`World`].
+//!
+//! ## Threading model
+//!
+//! One accept thread, plus **two threads per connection**: a reader that
+//! decodes requests and executes them against the world, and a writer that
+//! drains that connection's outbox. Responses and pushes both travel
+//! through the outbox so a single thread owns the socket's write half and
+//! frames can never interleave.
+//!
+//! Lock order, everywhere: **world → connection map → outbox**. The
+//! `__wow_connections` provider runs under the world lock (`sys_sync`) and
+//! takes the map then each outbox; request handling takes the world then
+//! the map to route pushes — both follow the order, so no cycle exists.
+//!
+//! ## Push consistency
+//!
+//! A commit and the pushes it causes are produced under **one** world-lock
+//! critical section: the handler executes the request, drains the world's
+//! refresh events, and builds every pushed screenful before releasing the
+//! lock. A pushed `WindowRefreshed` is therefore always a complete
+//! post-commit state — no push can ever mix rows from before and after a
+//! commit, because nothing else can touch the world between the commit and
+//! the snapshot.
+//!
+//! Outboxes are bounded. A slow consumer coalesces: a queued push for a
+//! window is *replaced* by a newer-generation push for the same window
+//! (latest wins), and when the queue is still full the oldest push is
+//! dropped. Responses are never dropped. Generations are monotonic per
+//! window, so a client that ignores non-increasing generations can never
+//! regress, no matter what was coalesced away.
+
+use crate::proto::{ErrorFrame, Push, PushKind, Request, Response, Screenful};
+use crate::wire::{self, FrameKind, ReadError, VERSION};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::BufReader;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use wow_core::{ConnectionInfo, RefreshKind, SessionId, WinId, World, WowError, WowResult};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Disconnect a connection with no traffic for this long. `Ping`
+    /// counts as traffic — clients keepalive with it.
+    pub idle_timeout: Duration,
+    /// How often blocked reads wake up to check shutdown/idle state.
+    pub poll_interval: Duration,
+    /// Outbox bound per connection; beyond it the oldest *push* is
+    /// dropped (responses are never dropped).
+    pub outbox_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            idle_timeout: Duration::from_secs(300),
+            poll_interval: Duration::from_millis(50),
+            outbox_capacity: 64,
+        }
+    }
+}
+
+/// What the writer thread sends next.
+enum OutMsg {
+    /// Answer to one request; never dropped, never coalesced.
+    Response {
+        /// Echoed request id.
+        req_id: u64,
+        /// Encoded `Response`.
+        payload: Vec<u8>,
+    },
+    /// A `WindowRefreshed`; subject to coalescing and the queue bound.
+    Push {
+        /// The refreshed window (coalescing key).
+        win: u32,
+        /// Refresh generation (latest wins).
+        generation: u64,
+        /// Encoded `Push`.
+        payload: Vec<u8>,
+    },
+}
+
+/// Per-connection shared state.
+struct Conn {
+    id: u64,
+    peer: String,
+    session: Mutex<Option<SessionId>>,
+    outbox: Mutex<VecDeque<OutMsg>>,
+    wake: Condvar,
+    closing: AtomicBool,
+    requests: AtomicU64,
+    pushes: AtomicU64,
+    coalesced: AtomicU64,
+    started: Instant,
+}
+
+impl Conn {
+    /// Queue a message and wake the writer. Pushes coalesce per window
+    /// (newest generation wins) and respect the queue bound.
+    fn enqueue(&self, msg: OutMsg, capacity: usize) {
+        let mut q = self.outbox.lock().expect("outbox poisoned");
+        match msg {
+            OutMsg::Response { .. } => q.push_back(msg),
+            OutMsg::Push {
+                win,
+                generation,
+                payload,
+            } => {
+                let existing = q.iter_mut().find_map(|m| match m {
+                    OutMsg::Push {
+                        win: w,
+                        generation: g,
+                        payload: p,
+                    } if *w == win => Some((g, p)),
+                    _ => None,
+                });
+                if let Some((g, p)) = existing {
+                    // Same window already queued: keep whichever screenful
+                    // is newer, count the one that lost.
+                    if generation > *g {
+                        *g = generation;
+                        *p = payload;
+                    }
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    wow_obs::metrics().add("net.coalesced", 1);
+                } else {
+                    if q.len() >= capacity {
+                        // Full: sacrifice the oldest push (a stale screen a
+                        // newer push will supersede), never a response.
+                        if let Some(i) = q.iter().position(|m| matches!(m, OutMsg::Push { .. })) {
+                            q.remove(i);
+                            wow_obs::metrics().add("net.push_dropped", 1);
+                        }
+                    }
+                    q.push_back(OutMsg::Push {
+                        win,
+                        generation,
+                        payload,
+                    });
+                }
+            }
+        }
+        drop(q);
+        self.wake.notify_one();
+    }
+
+    fn start_closing(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        self.wake.notify_one();
+    }
+
+    fn info(&self) -> ConnectionInfo {
+        let session = self.session.lock().expect("session poisoned");
+        let state = if self.closing.load(Ordering::SeqCst) {
+            "closing"
+        } else if session.is_none() {
+            "handshake"
+        } else {
+            "active"
+        };
+        ConnectionInfo {
+            conn: self.id,
+            session: session.map(|s| s.0).unwrap_or(0),
+            peer: self.peer.clone(),
+            state: state.to_string(),
+            requests: self.requests.load(Ordering::Relaxed),
+            pushes: self.pushes.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            queued: self.outbox.lock().expect("outbox poisoned").len() as u64,
+            age_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+}
+
+type ConnMap = Arc<Mutex<BTreeMap<u64, Arc<Conn>>>>;
+
+/// State shared by every server thread.
+struct Shared {
+    world: Mutex<Option<World>>,
+    conns: ConnMap,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A running window server. Dropping it without calling
+/// [`Server::shutdown`] leaks the listener thread; tests and the examples
+/// always shut down.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Take ownership of a world and serve it on `addr` (use port 0 for an
+    /// ephemeral port; read it back with [`Server::local_addr`]).
+    pub fn start(mut world: World, addr: &str, cfg: ServerConfig) -> WowResult<Server> {
+        let listener = TcpListener::bind(addr).map_err(net_err("bind"))?;
+        let local = listener.local_addr().map_err(net_err("local_addr"))?;
+        let conns: ConnMap = Arc::new(Mutex::new(BTreeMap::new()));
+        // The world logs refresh events for the push router, and its
+        // `__wow_connections` system view reads live connection state. The
+        // provider captures only the connection map — not the world — so
+        // there is no ownership cycle to break on shutdown.
+        world.enable_refresh_events(true);
+        let conns_for_sys = Arc::clone(&conns);
+        world.set_connections_provider(Some(Box::new(move || {
+            let map = conns_for_sys.lock().expect("conns poisoned");
+            map.values().map(|c| c.info()).collect()
+        })));
+        let shared = Arc::new(Shared {
+            world: Mutex::new(Some(world)),
+            conns,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(1),
+            threads: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("wow-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(net_err("spawn accept"))?;
+        Ok(Server {
+            shared,
+            addr: local,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// How many connections are currently open.
+    pub fn connection_count(&self) -> usize {
+        self.shared.conns.lock().expect("conns poisoned").len()
+    }
+
+    /// Stop accepting, drain in-flight requests and outboxes, join every
+    /// thread, and hand the world back. In-flight requests complete
+    /// (handlers are synchronous in the reader threads); queued pushes and
+    /// responses are flushed before sockets close.
+    pub fn shutdown(mut self) -> World {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Ask every connection to wind down: readers notice the flag at
+        // their next poll tick, writers drain and exit.
+        {
+            let conns = self.shared.conns.lock().expect("conns poisoned");
+            for conn in conns.values() {
+                conn.start_closing();
+            }
+        }
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self
+            .shared
+            .threads
+            .lock()
+            .expect("threads poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        wow_obs::metrics().set("net.connections", 0);
+        let mut world = self
+            .shared
+            .world
+            .lock()
+            .expect("world poisoned")
+            .take()
+            .expect("world already taken");
+        // Return the world to ordinary embeddable shape.
+        world.set_connections_provider(None);
+        world.enable_refresh_events(false);
+        world
+    }
+}
+
+/// Build a `WowError::Net` from an io error with a phase label.
+fn net_err(phase: &'static str) -> impl Fn(std::io::Error) -> WowError {
+    move |e| WowError::Net(format!("{phase}: {e}"))
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(x) => x,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Frames are small and latency-sensitive; without this, responses
+        // sit in Nagle's buffer waiting on the client's delayed ACK and
+        // every request costs a 40 ms multiple.
+        stream.set_nodelay(true).ok();
+        let _span = wow_obs::span(wow_obs::Op::NetAccept);
+        let id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+        let conn = Arc::new(Conn {
+            id,
+            peer: peer.to_string(),
+            session: Mutex::new(None),
+            outbox: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            closing: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            pushes: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        let n = {
+            let mut conns = shared.conns.lock().expect("conns poisoned");
+            conns.insert(id, Arc::clone(&conn));
+            conns.len()
+        };
+        wow_obs::metrics().set("net.connections", n as u64);
+        wow_obs::metrics().add("net.accepts", 1);
+        let wstream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                shared.conns.lock().expect("conns poisoned").remove(&id);
+                continue;
+            }
+        };
+        let (rs, rc) = (Arc::clone(&shared), Arc::clone(&conn));
+        let reader = std::thread::Builder::new()
+            .name(format!("wow-net-r{id}"))
+            .spawn(move || reader_loop(stream, rs, rc));
+        let (ws, wc) = (Arc::clone(&shared), Arc::clone(&conn));
+        let writer = std::thread::Builder::new()
+            .name(format!("wow-net-w{id}"))
+            .spawn(move || writer_loop(wstream, ws, wc));
+        let mut threads = shared.threads.lock().expect("threads poisoned");
+        threads.extend(reader.into_iter().chain(writer));
+    }
+}
+
+/// Drain the outbox onto the socket until the connection is closing and
+/// the queue is empty.
+fn writer_loop(stream: TcpStream, shared: Arc<Shared>, conn: Arc<Conn>) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    loop {
+        let msg = {
+            let mut q = conn.outbox.lock().expect("outbox poisoned");
+            loop {
+                if let Some(m) = q.pop_front() {
+                    break Some(m);
+                }
+                if conn.closing.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = conn
+                    .wake
+                    .wait_timeout(q, shared.cfg.poll_interval)
+                    .expect("outbox poisoned");
+                q = guard;
+            }
+        };
+        let Some(msg) = msg else { break };
+        let (kind, req_id, payload) = match &msg {
+            OutMsg::Response { req_id, payload } => (FrameKind::Response, *req_id, payload),
+            OutMsg::Push { payload, .. } => (FrameKind::Push, 0, payload),
+        };
+        if wire::write_frame(&mut stream, kind, req_id, payload).is_err() {
+            // The peer stopped reading; abort both directions so the
+            // reader unblocks too.
+            conn.start_closing();
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+        if matches!(msg, OutMsg::Push { .. }) {
+            conn.pushes.fetch_add(1, Ordering::Relaxed);
+            wow_obs::metrics().add("net.pushes", 1);
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+/// Read and execute requests until the peer hangs up, the idle timeout
+/// fires, or the server shuts down.
+fn reader_loop(stream: TcpStream, shared: Arc<Shared>, conn: Arc<Conn>) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    let mut reader = BufReader::new(stream);
+    let mut last_activity = Instant::now();
+    loop {
+        if conn.closing.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match wire::read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(e) if e.is_timeout() => {
+                if last_activity.elapsed() > shared.cfg.idle_timeout {
+                    break;
+                }
+                continue;
+            }
+            Err(ReadError::Wire(w)) => {
+                // A malformed frame means the stream is unframeable from
+                // here on: report once and hang up.
+                conn.enqueue(
+                    OutMsg::Response {
+                        req_id: 0,
+                        payload: Response::Error(ErrorFrame::protocol(w.to_string())).encode(),
+                    },
+                    shared.cfg.outbox_capacity,
+                );
+                break;
+            }
+            Err(_) => break,
+        };
+        last_activity = Instant::now();
+        if frame.kind != FrameKind::Request {
+            conn.enqueue(
+                OutMsg::Response {
+                    req_id: frame.req_id,
+                    payload: Response::Error(ErrorFrame::protocol("clients send request frames"))
+                        .encode(),
+                },
+                shared.cfg.outbox_capacity,
+            );
+            break;
+        }
+        conn.requests.fetch_add(1, Ordering::Relaxed);
+        wow_obs::metrics().add("net.requests", 1);
+        let goodbye = {
+            let _span = wow_obs::span(wow_obs::Op::NetRequest);
+            handle_frame(&shared, &conn, frame.req_id, &frame.payload)
+        };
+        if goodbye {
+            break;
+        }
+    }
+    // Wind down: release the session (its locks and windows) and flush the
+    // writer out.
+    let session = conn.session.lock().expect("session poisoned").take();
+    if let Some(sess) = session {
+        let mut world = shared.world.lock().expect("world poisoned");
+        if let Some(world) = world.as_mut() {
+            let _ = world.close_session(sess);
+        }
+    }
+    conn.start_closing();
+    let n = {
+        let mut conns = shared.conns.lock().expect("conns poisoned");
+        conns.remove(&conn.id);
+        conns.len()
+    };
+    wow_obs::metrics().set("net.connections", n as u64);
+}
+
+/// Decode, execute, respond, and route pushes for one request frame.
+/// Returns true when the connection said goodbye.
+fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, req_id: u64, payload: &[u8]) -> bool {
+    let req = match Request::decode(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            conn.enqueue(
+                OutMsg::Response {
+                    req_id,
+                    payload: Response::Error(ErrorFrame::protocol(e.to_string())).encode(),
+                },
+                shared.cfg.outbox_capacity,
+            );
+            return false;
+        }
+    };
+    let goodbye = matches!(req, Request::Goodbye);
+    let resp = execute(shared, conn, &req);
+    conn.enqueue(
+        OutMsg::Response {
+            req_id,
+            payload: resp.encode(),
+        },
+        shared.cfg.outbox_capacity,
+    );
+    if goodbye {
+        conn.start_closing();
+    }
+    goodbye
+}
+
+/// Execute one request under the world lock. Pushes caused by the request
+/// are built and routed inside the same critical section — that single
+/// fact is the consistency guarantee (see the module docs).
+fn execute(shared: &Arc<Shared>, conn: &Arc<Conn>, req: &Request) -> Response {
+    // Handshake is special: it runs before a session exists.
+    if let Request::Hello { version } = req {
+        if *version != VERSION {
+            return Response::Error(ErrorFrame::protocol(format!(
+                "client speaks protocol {version}, server speaks {VERSION}"
+            )));
+        }
+        // Lock order is world → session; check-then-set is race-free here
+        // because only this connection's single reader thread says hello.
+        if conn.session.lock().expect("session poisoned").is_some() {
+            return Response::Error(ErrorFrame::protocol("already said hello"));
+        }
+        let mut world = shared.world.lock().expect("world poisoned");
+        let Some(world) = world.as_mut() else {
+            return Response::Error(ErrorFrame::protocol("server is shutting down"));
+        };
+        let sess = world.open_session();
+        *conn.session.lock().expect("session poisoned") = Some(sess);
+        return Response::HelloOk {
+            session: sess.0,
+            version: VERSION,
+        };
+    }
+    if matches!(req, Request::Ping) {
+        return Response::Pong;
+    }
+    if matches!(req, Request::Goodbye) {
+        return Response::Bye;
+    }
+    let Some(sess) = *conn.session.lock().expect("session poisoned") else {
+        return Response::Error(ErrorFrame::protocol("say hello first"));
+    };
+    let mut world_guard = shared.world.lock().expect("world poisoned");
+    let Some(world) = world_guard.as_mut() else {
+        return Response::Error(ErrorFrame::protocol("server is shutting down"));
+    };
+    // A session may only operate on its own windows; a foreign window id
+    // is indistinguishable from a nonexistent one.
+    if let Some(win) = req.target_window() {
+        match world.window(win) {
+            Ok(w) if w.session != sess => {
+                return Response::Error(ErrorFrame::from_wow(&WowError::NoSuchWindow(win.0)))
+            }
+            Err(e) => return Response::Error(ErrorFrame::from_wow(&e)),
+            Ok(_) => {}
+        }
+    }
+    let result = run_request(world, sess, req);
+    // Route refresh events to their owners while still holding the world
+    // lock: every pushed screenful is a pure post-request state.
+    let events = world.take_refresh_events();
+    if !events.is_empty() {
+        route_pushes(shared, world, conn, &result, events);
+    }
+    match result {
+        Ok(resp) => resp,
+        Err(e) => Response::Error(ErrorFrame::from_wow(&e)),
+    }
+}
+
+/// The request → world-call table.
+fn run_request(world: &mut World, sess: SessionId, req: &Request) -> WowResult<Response> {
+    let screen = |world: &World, win: WinId, moved: bool| -> WowResult<Response> {
+        let w = world.window(win)?;
+        Ok(Response::Screen {
+            win: win.0,
+            generation: w.generation,
+            moved,
+            screen: screenful_of(world, win)?,
+        })
+    };
+    match req {
+        Request::Hello { .. } | Request::Ping | Request::Goodbye => {
+            unreachable!("handled before dispatch")
+        }
+        Request::DefineView { name, src } => {
+            world.define_view(name, src)?;
+            Ok(Response::Ack)
+        }
+        Request::OpenWindow { view, grid } => {
+            let style = if *grid {
+                wow_core::WindowStyle::Grid
+            } else {
+                wow_core::WindowStyle::Form
+            };
+            let win = world.open_window_styled(sess, view, None, style)?;
+            let w = world.window(win)?;
+            Ok(Response::WindowOpened {
+                win: win.0,
+                updatable: w.is_updatable(),
+                generation: w.generation,
+                screen: screenful_of(world, win)?,
+            })
+        }
+        Request::CloseWindow { win } => {
+            world.close_window(WinId(*win))?;
+            Ok(Response::Ack)
+        }
+        Request::BrowseNext { win } => {
+            let moved = world.browse_next(WinId(*win))?;
+            screen(world, WinId(*win), moved)
+        }
+        Request::BrowsePrev { win } => {
+            let moved = world.browse_prev(WinId(*win))?;
+            screen(world, WinId(*win), moved)
+        }
+        Request::PageNext { win } => {
+            let moved = world.browse_next_page(WinId(*win))?;
+            screen(world, WinId(*win), moved)
+        }
+        Request::PagePrev { win } => {
+            let moved = world.browse_prev_page(WinId(*win))?;
+            screen(world, WinId(*win), moved)
+        }
+        Request::EnterEdit { win } => {
+            world.enter_edit(WinId(*win))?;
+            screen(world, WinId(*win), false)
+        }
+        Request::EnterInsert { win } => {
+            world.enter_insert(WinId(*win))?;
+            screen(world, WinId(*win), false)
+        }
+        Request::EnterQuery { win } => {
+            world.enter_query(WinId(*win))?;
+            screen(world, WinId(*win), false)
+        }
+        Request::SetField { win, field, text } => {
+            let w = world.window_mut(WinId(*win))?;
+            let nfields = w.form.spec.fields.len();
+            if *field as usize >= nfields {
+                return Err(WowError::Net(format!(
+                    "field {field} out of range (form has {nfields})"
+                )));
+            }
+            w.form.set_text(*field as usize, text);
+            Ok(Response::Ack)
+        }
+        Request::Commit { win } => {
+            world.commit(WinId(*win))?;
+            screen(world, WinId(*win), false)
+        }
+        Request::CancelMode { win } => {
+            world.cancel_mode(WinId(*win))?;
+            screen(world, WinId(*win), false)
+        }
+        Request::ClearQuery { win } => {
+            world.clear_query(WinId(*win))?;
+            screen(world, WinId(*win), false)
+        }
+        Request::DeleteCurrent { win } => {
+            world.delete_current(WinId(*win))?;
+            screen(world, WinId(*win), false)
+        }
+        Request::Undo => {
+            world.undo_last(sess)?;
+            Ok(Response::Ack)
+        }
+        Request::Refresh { win } => {
+            world.refresh_window(WinId(*win))?;
+            screen(world, WinId(*win), false)
+        }
+        Request::Quel { src } => {
+            let rows = world.db_mut().run(src).map_err(WowError::from)?;
+            // Raw QUEL bypasses the per-window commit path, so windows get
+            // no deltas; if the statement could have written, re-run every
+            // window's query so remote viewers see the change.
+            if quel_writes(src) {
+                world.refresh_all_windows()?;
+            }
+            Ok(Response::Rows {
+                columns: rows.schema.columns.iter().map(|c| c.name.clone()).collect(),
+                rows: rows.tuples.into_iter().map(|t| t.values).collect(),
+            })
+        }
+        Request::GetScreen { win } => screen(world, WinId(*win), false),
+    }
+}
+
+/// Whether a QUEL program can change stored data (conservative keyword
+/// scan; false positives only cost a refresh).
+fn quel_writes(src: &str) -> bool {
+    let upper = src.to_ascii_uppercase();
+    ["APPEND", "REPLACE", "DELETE", "CREATE", "DESTROY", "DROP"]
+        .iter()
+        .any(|kw| upper.contains(kw))
+}
+
+/// Deliver refresh events as `WindowRefreshed` pushes to the connections
+/// whose sessions own the refreshed windows. Runs under the world lock.
+fn route_pushes(
+    shared: &Arc<Shared>,
+    world: &World,
+    origin: &Arc<Conn>,
+    result: &WowResult<Response>,
+    events: Vec<wow_core::RefreshEvent>,
+) {
+    // The response already carries the target window's screen when the
+    // request succeeded with a Screen — don't also push it.
+    let carried: Option<WinId> = match result {
+        Ok(Response::Screen { win, .. }) | Ok(Response::WindowOpened { win, .. }) => {
+            Some(WinId(*win))
+        }
+        _ => None,
+    };
+    let conns = shared.conns.lock().expect("conns poisoned");
+    for ev in events {
+        let _span = wow_obs::span(wow_obs::Op::NetPush);
+        let target = conns
+            .values()
+            .find(|c| *c.session.lock().expect("session poisoned") == Some(ev.session));
+        let Some(target) = target else { continue };
+        if target.id == origin.id && carried == Some(ev.win) {
+            continue;
+        }
+        let Ok(screen) = screenful_of(world, ev.win) else {
+            continue;
+        };
+        let kind = match ev.kind {
+            RefreshKind::Delta => PushKind::Delta,
+            _ => PushKind::Full,
+        };
+        let payload = Push::WindowRefreshed {
+            win: ev.win.0,
+            kind,
+            generation: ev.generation,
+            screen,
+        }
+        .encode();
+        target.enqueue(
+            OutMsg::Push {
+                win: ev.win.0,
+                generation: ev.generation,
+                payload,
+            },
+            shared.cfg.outbox_capacity,
+        );
+    }
+}
+
+/// Snapshot a window's visible state. Public because it is the server's
+/// single source of truth for what a remote clerk sees — the N-client
+/// equivalence suite reuses it to render the single-process replay into
+/// the same comparison currency.
+pub fn screenful_of(world: &World, win: WinId) -> WowResult<Screenful> {
+    let w = world.window(win)?;
+    Ok(Screenful {
+        columns: w.schema.columns.iter().map(|c| c.name.clone()).collect(),
+        rows: w
+            .cursor
+            .page_rows()
+            .into_iter()
+            .map(|(_, t)| t.values)
+            .collect(),
+        current: w
+            .cursor
+            .current_row()
+            .map(|_| w.cursor.pos_in_page() as u16),
+        position: w.cursor.position().map(|p| p as u64),
+        total: w.cursor.known_len().map(|n| n as u64),
+        mode: w.mode.name().to_string(),
+        stale: w.stale,
+    })
+}

@@ -48,12 +48,19 @@ pub enum Op {
     ParCompute,
     /// Sequential apply phase splicing parallel results into cursors.
     ParApply,
+    /// Accepting one network connection (handshake included).
+    NetAccept,
+    /// Handling one wire-protocol request end to end (decode → execute →
+    /// response enqueued).
+    NetRequest,
+    /// Building and enqueueing one `WindowRefreshed` push frame.
+    NetPush,
 }
 
 impl Op {
     /// Every operation, in declaration order (indexes the registry's
     /// histogram table).
-    pub const ALL: [Op; 13] = [
+    pub const ALL: [Op; 16] = [
         Op::FormCompile,
         Op::BrowseOpen,
         Op::BrowsePage,
@@ -67,6 +74,9 @@ impl Op {
         Op::ParScatter,
         Op::ParCompute,
         Op::ParApply,
+        Op::NetAccept,
+        Op::NetRequest,
+        Op::NetPush,
     ];
 
     /// Stable snake_case name (metric keys, system-table rows, JSON).
@@ -85,6 +95,9 @@ impl Op {
             Op::ParScatter => "par_scatter",
             Op::ParCompute => "par_compute",
             Op::ParApply => "par_apply",
+            Op::NetAccept => "net_accept",
+            Op::NetRequest => "net_request",
+            Op::NetPush => "net_push",
         }
     }
 }
@@ -332,7 +345,8 @@ mod tests {
         }
         assert_eq!(Op::BrowseOpen.name(), "browse_open");
         assert_eq!(Op::ParScatter.name(), "par_scatter");
-        assert_eq!(Op::ALL.len(), 13);
+        assert_eq!(Op::NetPush.name(), "net_push");
+        assert_eq!(Op::ALL.len(), 16);
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //! * [`suppliers`] — the classic suppliers-parts-shipments world.
 //! * [`script`] — reproducible streams of window operations (browse/edit/
 //!   query mixes) for the concurrency and propagation experiments.
+//! * [`netload`] — the same op streams driven over TCP by N concurrent
+//!   `wow-net` clients, measuring request and commit→push latency.
 
 pub mod dist;
+pub mod netload;
 pub mod rng;
 pub mod script;
 pub mod suppliers;

@@ -1,6 +1,11 @@
 //! Two clerks, one database: lock conflicts, deadlock detection, and
 //! cross-window propagation.
 //!
+//! The same scenario runs over TCP in `examples/remote_clerks.rs`, where
+//! each clerk is a separate `wow-net` connection and the propagation at
+//! the end arrives as a pushed `WindowRefreshed` frame instead of an
+//! in-process refresh.
+//!
 //! ```text
 //! cargo run --example concurrent_sessions
 //! ```

@@ -1,0 +1,93 @@
+//! The `concurrent_sessions` scenario, but over TCP: two clerks at
+//! separate connections share one database through a `wow-net` server,
+//! and clerk B's screen updates by **server push** when clerk A commits.
+//!
+//! Where `examples/concurrent_sessions.rs` drives both clerks through one
+//! embedded `World` (same process, direct calls), this example puts the
+//! world behind a socket: same views, same edit, same propagation — the
+//! only difference is the wire. Read the two side by side.
+//!
+//! ```text
+//! cargo run --example remote_clerks
+//! ```
+
+use std::time::Duration;
+use wow::core::config::WorldConfig;
+use wow::core::world::World;
+use wow::net::{Client, Push, Server, ServerConfig};
+
+fn main() {
+    let mut world = World::new(WorldConfig::default());
+    world
+        .db_mut()
+        .run(
+            r#"
+            CREATE TABLE emp (name TEXT KEY, dept TEXT, salary INT)
+            APPEND TO emp (name = "alice", dept = "toy", salary = 120)
+            APPEND TO emp (name = "bob", dept = "shoe", salary = 90)
+            "#,
+        )
+        .unwrap();
+    world
+        .define_view(
+            "emps",
+            "RANGE OF e IS emp RETRIEVE (e.name, e.dept, e.salary)",
+        )
+        .unwrap();
+
+    // Serve the world on an ephemeral local port.
+    let server = Server::start(world, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    println!("window server listening on {addr}");
+
+    // Two clerks connect; each handshake opens a server-side session.
+    let mut clerk_a = Client::connect(addr).unwrap();
+    let mut clerk_b = Client::connect(addr).unwrap();
+    println!(
+        "clerk A is session {}, clerk B is session {}",
+        clerk_a.session(),
+        clerk_b.session()
+    );
+
+    let (win_a, updatable, _) = clerk_a.open_window("emps", false).unwrap();
+    assert!(updatable);
+    let (win_b, _, screen_b) = clerk_b.open_window("emps", false).unwrap();
+
+    println!("\n== before the edit ==");
+    println!("clerk B sees:\n{screen_b}");
+
+    // Clerk A raises alice's salary through their own window.
+    clerk_a.enter_edit(win_a).unwrap();
+    clerk_a.set_field(win_a, 2, "200").unwrap();
+    clerk_a.commit(win_a).unwrap();
+    println!("\nclerk A committed salary = 200 in their window");
+
+    // Clerk B did nothing — the server pushes the refreshed screenful.
+    let push = clerk_b
+        .wait_push(Duration::from_secs(2))
+        .unwrap()
+        .expect("the commit must push a refresh to clerk B");
+    let Push::WindowRefreshed {
+        win,
+        kind,
+        generation,
+        screen,
+    } = push;
+    assert_eq!(win, win_b);
+    println!("\n== after the push ==");
+    println!("clerk B received a {kind:?} refresh (generation {generation}):\n{screen}");
+
+    // The server's own state is visible through a system view.
+    let (sys_win, _, conns) = clerk_a.open_window("__wow_connections", false).unwrap();
+    println!("\n== __wow_connections ==");
+    println!("{conns}");
+    clerk_a.close_window(sys_win).unwrap();
+
+    clerk_a.goodbye().unwrap();
+    clerk_b.goodbye().unwrap();
+    let world = server.shutdown();
+    println!(
+        "\nserver drained; world returned with {} committed write(s)",
+        world.stats.commits
+    );
+}

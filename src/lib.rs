@@ -6,6 +6,7 @@
 
 pub use wow_core as core;
 pub use wow_forms as forms;
+pub use wow_net as net;
 pub use wow_obs as obs;
 pub use wow_rel as rel;
 pub use wow_storage as storage;

@@ -1,0 +1,279 @@
+//! N-client equivalence: K TCP clerks replaying an interleaved script
+//! must land every window in exactly the state a single-process `World`
+//! reaches replaying the same ops in the same order — the network layer
+//! may add latency, never semantics.
+//!
+//! Also here: the push consistency guarantees. Pushed `WindowRefreshed`
+//! frames carry strictly increasing generations, and a pushed screenful is
+//! always a pure post-commit state — a multi-row `REPLACE` that rewrites
+//! every salary to one value must never push a screen showing two
+//! different values (that would mean the push was built mid-commit).
+
+use std::time::Duration;
+use wow::core::config::WorldConfig;
+use wow::core::world::World;
+use wow::net::{screenful_of, Client, Push, Server, ServerConfig};
+use wow::workload::netload::apply_remote;
+use wow::workload::script::{self, WindowOp};
+use wow::workload::suppliers::{build_world, SuppliersConfig};
+use wow::workload::DetRng;
+use wow_core::{WinId, WowError};
+
+const SUPPLIERS: SuppliersConfig = SuppliersConfig {
+    suppliers: 12,
+    parts: 12,
+    shipments: 60,
+    seed: 9,
+};
+
+/// The interleaved multi-clerk script: per-clerk deterministic op streams
+/// consumed round-robin, so the server (serialized by its world lock) and
+/// the local replay see the identical total order.
+fn clerk_scripts(k: usize, len: usize) -> Vec<Vec<WindowOp>> {
+    (0..k)
+        .map(|c| {
+            let mut rng = DetRng::new(100 + c as u64);
+            // qty (field 3 on the shipments view) is writable and numeric.
+            script::mixed_script(&mut rng, len, 0.25, 3)
+        })
+        .collect()
+}
+
+#[test]
+fn k_clients_equal_single_process_replay() {
+    let k = 3;
+    let len = 40;
+    let scripts = clerk_scripts(k, len);
+
+    // Remote: K connections, ops driven round-robin.
+    let server = Server::start(
+        build_world(WorldConfig::default(), &SUPPLIERS),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut clients: Vec<(Client, u32)> = (0..k)
+        .map(|_| {
+            let mut c = Client::connect(addr).unwrap();
+            let (win, _, _) = c.open_window("shipments", false).unwrap();
+            (c, win)
+        })
+        .collect();
+    let mut remote_denials = 0u64;
+    // Round-robin interleaving: op index outer, clerk inner, so every clerk's
+    // i-th op lands before anyone's (i+1)-th. The index drives the total order.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..len {
+        for (c, (client, win)) in clients.iter_mut().enumerate() {
+            match apply_remote(client, *win, &scripts[c][i]) {
+                Ok(()) => {}
+                Err(WowError::LockConflict { .. } | WowError::Deadlock { .. }) => {
+                    remote_denials += 1
+                }
+                Err(other) => panic!("remote clerk {c} op {i} failed: {other}"),
+            }
+        }
+    }
+    let remote_screens: Vec<String> = clients
+        .iter_mut()
+        .map(|(c, win)| c.screen(*win).unwrap().to_string())
+        .collect();
+    for (c, _) in clients {
+        c.goodbye().unwrap();
+    }
+    let remote_world = server.shutdown();
+
+    // Local: K sessions in one world, same ops, same order.
+    let mut world = build_world(WorldConfig::default(), &SUPPLIERS);
+    let wins: Vec<WinId> = (0..k)
+        .map(|_| {
+            let s = world.open_session();
+            world.open_window(s, "shipments", None).unwrap()
+        })
+        .collect();
+    let mut local_denials = 0u64;
+    // Same round-robin total order as the remote replay above.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..len {
+        for c in 0..k {
+            match script::apply(&mut world, wins[c], &scripts[c][i]) {
+                Ok(()) => {}
+                Err(WowError::LockConflict { .. } | WowError::Deadlock { .. }) => {
+                    local_denials += 1
+                }
+                Err(other) => panic!("local clerk {c} op {i} failed: {other}"),
+            }
+        }
+    }
+
+    assert_eq!(
+        remote_denials, local_denials,
+        "lock denial pattern must match under identical interleaving"
+    );
+    for (c, win) in wins.iter().enumerate() {
+        let local = screenful_of(&world, *win).unwrap().to_string();
+        assert_eq!(
+            remote_screens[c], local,
+            "clerk {c}: remote screen diverged from the embedded replay"
+        );
+    }
+    // The databases agree too, not just the screens.
+    let dump = |w: &mut World| -> String {
+        let rows = w
+            .db_mut()
+            .run("RANGE OF s IS shipment RETRIEVE (s.spid, s.sno, s.pno, s.qty) SORT BY s.spid")
+            .unwrap();
+        rows.tuples
+            .iter()
+            .map(|t| {
+                t.values
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let mut remote_world = remote_world;
+    assert_eq!(dump(&mut remote_world), dump(&mut world));
+}
+
+#[test]
+fn pushed_screenfuls_are_never_mixed() {
+    let mut world = World::new(WorldConfig::default());
+    world
+        .db_mut()
+        .run("CREATE TABLE emp (name TEXT KEY, salary INT)")
+        .unwrap();
+    for i in 0..6 {
+        world
+            .db_mut()
+            .run(&format!(r#"APPEND TO emp (name = "e{i}", salary = 0)"#))
+            .unwrap();
+    }
+    world
+        .define_view("emps", "RANGE OF e IS emp RETRIEVE (e.name, e.salary)")
+        .unwrap();
+    let server = Server::start(world, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut watcher = Client::connect(addr).unwrap();
+    let (win, _, first) = watcher.open_window("emps", false).unwrap();
+    assert_eq!(first.rows.len(), 6);
+
+    // Writer rewrites EVERY row's salary to k in one statement, k rising.
+    // Any pushed screen mixing two salaries would prove a push was built
+    // from a half-applied commit.
+    let writer = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        for k in 1..=15 {
+            c.quel(&format!("RANGE OF e IS emp REPLACE e (salary = {k})"))
+                .unwrap();
+        }
+        c.goodbye().unwrap();
+    });
+
+    let mut last_gen = 1u64; // open was generation 1
+    let mut last_salary = 0i64;
+    let mut pushes = 0;
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        match watcher.wait_push(Duration::from_millis(100)).unwrap() {
+            Some(Push::WindowRefreshed {
+                win: pwin,
+                generation,
+                screen,
+                ..
+            }) => {
+                assert_eq!(pwin, win);
+                assert!(
+                    generation > last_gen,
+                    "generation regressed: {generation} after {last_gen}"
+                );
+                last_gen = generation;
+                pushes += 1;
+                let salaries: Vec<String> = screen.rows.iter().map(|r| r[1].to_string()).collect();
+                assert!(
+                    salaries.windows(2).all(|w| w[0] == w[1]),
+                    "mixed pre-/post-commit screenful pushed: {salaries:?}"
+                );
+                let k: i64 = salaries[0].parse().unwrap();
+                assert!(
+                    k >= last_salary,
+                    "salary went backwards: {k} after {last_salary}"
+                );
+                last_salary = k;
+                if k == 15 {
+                    break;
+                }
+            }
+            None => {
+                if last_salary == 15 {
+                    break;
+                }
+            }
+        }
+    }
+    writer.join().unwrap();
+    assert!(pushes > 0, "the watcher must have received pushes");
+    assert_eq!(
+        last_salary, 15,
+        "the final commit's screenful must be delivered (latest-wins coalescing)"
+    );
+    server.shutdown();
+}
+
+/// Coalescing under a deliberately slow consumer: the watcher never reads
+/// while 15 commits land, then drains — it must see few pushes, ending in
+/// the final state, with generations still increasing.
+#[test]
+fn slow_consumer_coalesces_to_latest() {
+    let mut world = World::new(WorldConfig::default());
+    world
+        .db_mut()
+        .run("CREATE TABLE emp (name TEXT KEY, salary INT)")
+        .unwrap();
+    world
+        .db_mut()
+        .run(r#"APPEND TO emp (name = "solo", salary = 0)"#)
+        .unwrap();
+    world
+        .define_view("emps", "RANGE OF e IS emp RETRIEVE (e.name, e.salary)")
+        .unwrap();
+    let server = Server::start(world, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut watcher = Client::connect(addr).unwrap();
+    let (_win, _, _) = watcher.open_window("emps", false).unwrap();
+
+    // All commits happen while the watcher is not reading its socket.
+    let mut writer = Client::connect(addr).unwrap();
+    let (wwin, _, _) = writer.open_window("emps", false).unwrap();
+    for k in 1..=15 {
+        writer.enter_edit(wwin).unwrap();
+        writer.set_field(wwin, 1, &k.to_string()).unwrap();
+        writer.commit(wwin).unwrap();
+    }
+    writer.goodbye().unwrap();
+
+    // Now drain. The outbox held at most a handful of frames; the last
+    // one must carry the final value.
+    let mut final_salary = String::new();
+    let mut last_gen = 1u64;
+    while let Some(Push::WindowRefreshed {
+        generation, screen, ..
+    }) = watcher.wait_push(Duration::from_millis(300)).unwrap()
+    {
+        assert!(generation > last_gen);
+        last_gen = generation;
+        final_salary = screen.rows[0][1].to_string();
+    }
+    assert_eq!(
+        final_salary, "15",
+        "the newest screenful must survive coalescing"
+    );
+    watcher.goodbye().unwrap();
+    server.shutdown();
+}
