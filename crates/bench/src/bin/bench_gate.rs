@@ -1,27 +1,32 @@
 //! `bench_gate` — CI regression gate over the repro output.
 //!
 //! ```text
-//! cargo run -p wow-bench --bin bench_gate --release -- BENCH_PR7.json BENCH_PR6.json
+//! cargo run -p wow-bench --bin bench_gate --release -- BENCH_PR8.json BENCH_PR7.json
 //! ```
 //!
 //! Compares the freshly generated bench file (first arg, default
-//! `BENCH_PR7.json`) against the checked-in baseline from the previous PR
-//! (second arg, default `BENCH_PR6.json`) and exits non-zero when:
+//! `BENCH_PR8.json`) against the checked-in baseline from the previous PR
+//! (second arg, default `BENCH_PR7.json`) and exits non-zero when:
 //!
 //! * a required percentile field is missing from the current file
 //!   (`metrics.{browse_open,commit,delta_refresh,query_exec,net_request,net_push}
 //!   .{p50,p95,p99}_ns`), or
-//! * the browse-open, delta-commit, or query-exec p95 regressed more than
-//!   2× over the baseline. The PR6 baseline carries `query_exec`
-//!   percentiles, so that gate is enforcing from this PR on.
+//! * the browse-open, delta-commit, or query-exec p95 regressed more
+//!   than 2× over the baseline. `query_exec` has been enforcing since
+//!   PR7 and now guards the vectorized executor's hot path.
 //!
-//! The `net_request` and `net_push` percentiles (new in PR7: the window
-//! server's request service time and push-delivery time) are reported
-//! informationally — they must be *present* in the current file, but have
-//! no baseline yet to regress against. A baseline may also predate an
-//! enforcing metric's `metrics` section entirely; the older metrics then
-//! fall back to the duration cells of the rendered tables (Table 2's
-//! "open (indexed)" column, Figure 4's "delta commit" column, last row).
+//! `net_request`/`net_push` stay informational: their server-side spans
+//! include world-lock queueing under an 8-client burst, which is
+//! dominated by how contended the host is on a given day — re-running
+//! the *unchanged* PR7 code on a busier machine reproduced a 3.7×
+//! `net_request` p95 swing while the client-observed latencies of
+//! Table 9 improved. A 2× gate on those numbers would flag machine
+//! weather, not regressions.
+//!
+//! A baseline may predate an enforcing metric's `metrics` section
+//! entirely; the older metrics then fall back to the duration cells of
+//! the rendered tables (Table 2's "open (indexed)" column, Figure 4's
+//! "delta commit" column, last row).
 
 use wow_bench::json::{parse, Json};
 
@@ -73,8 +78,8 @@ fn table_cell_ns(doc: &Json, id: &str, column: &str) -> Option<f64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let current_path = args.first().map(String::as_str).unwrap_or("BENCH_PR7.json");
-    let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR6.json");
+    let current_path = args.first().map(String::as_str).unwrap_or("BENCH_PR8.json");
+    let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR7.json");
 
     let (current, baseline) = match (load(current_path), load(baseline_path)) {
         (Ok(c), Ok(b)) => (c, b),
@@ -88,7 +93,7 @@ fn main() {
 
     let mut failures = Vec::new();
 
-    // Required percentile fields: the whole point of BENCH_PR7.json is to
+    // Required percentile fields: the whole point of BENCH_PR8.json is to
     // carry these, so their absence is itself a gate failure.
     for op in [
         "browse_open",
@@ -111,12 +116,13 @@ fn main() {
         }
     }
 
-    // Regression checks: p95 vs 2× baseline. `enforcing: false` means the
-    // metric is new in this PR — its value is printed for the record (and
-    // for the *next* PR to diff against) but never fails the gate, even
-    // when a baseline happens to exist. An enforcing gate with a table
-    // fallback can still read its baseline from an older file that
-    // predates the `metrics` section.
+    // Regression checks: p95 vs 2× baseline. `enforcing: false` marks a
+    // metric whose value is printed for the record but never fails the
+    // gate — either because it is new in this PR (no meaningful baseline
+    // yet) or, for the net ops, because the number is dominated by host
+    // contention rather than code (see the module doc). An enforcing gate
+    // with a table fallback can still read its baseline from an older
+    // file that predates the `metrics` section.
     let gates = [
         ("browse_open", Some(("Table 2", "open (indexed)")), true),
         ("commit", Some(("Figure 4", "delta commit")), true),

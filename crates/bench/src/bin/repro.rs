@@ -7,15 +7,16 @@
 //! cargo run -p wow-bench --bin repro --release -- --metrics # dump percentiles
 //! ```
 //!
-//! Besides the rendered text, a machine-readable `BENCH_PR7.json` with the
+//! Besides the rendered text, a machine-readable `BENCH_PR8.json` with the
 //! same rows — plus a `metrics` section carrying p50/p95/p99 latency
-//! percentiles per traced operation, now including the `net_request` and
-//! `net_push` server ops — is written to the working directory (disable
-//! with `--no-json`). `--metrics` additionally prints that section as a
-//! human-readable table. The percentiles come from running the
-//! instrumented workload (`experiments::instrumented_workload`) with the
-//! span tracer on, so `BENCH_PR7.json` is what the CI `bench_gate` binary
-//! diffs against the checked-in baseline.
+//! percentiles per traced operation, including the `net_request`/`net_push`
+//! server ops and the new `vec_eval` batch-evaluation span — is written to
+//! the working directory (disable with `--no-json`). `--metrics`
+//! additionally prints that section as a human-readable table. The
+//! percentiles come from running the instrumented workload
+//! (`experiments::instrumented_workload`) with the span tracer on, so
+//! `BENCH_PR8.json` is what the CI `bench_gate` binary diffs against the
+//! checked-in baseline.
 
 use wow_bench::experiments::{self, Scale};
 use wow_bench::{fmt_duration, render_table, Table};
@@ -82,7 +83,7 @@ fn to_json(scale: Scale, tables: &[Table], metrics: &MetricsSnapshot) -> String 
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "{{\"bench\":\"PR7\",\"scale\":\"{scale:?}\",\"experiments\":{experiments},\
+        "{{\"bench\":\"PR8\",\"scale\":\"{scale:?}\",\"experiments\":{experiments},\
          \"metrics\":{{{ops}}},\"counters\":{{{counters}}}}}\n"
     )
 }
@@ -135,6 +136,7 @@ fn main() {
         ("figure3", experiments::figure3_scan_crossover),
         ("figure4", experiments::figure4_propagate),
         ("figure5", experiments::figure5_parallel_scaling),
+        ("figure6", experiments::figure6_vectorized),
         ("table5", experiments::table5_locking),
         ("table6", experiments::table6_wal),
         ("table7", experiments::table7_expansion),
@@ -153,7 +155,7 @@ fn main() {
         tables.push(table);
     }
     if tables.is_empty() {
-        eprintln!("no experiment matched; known keys: table1..table9, table2b, figure1..figure5");
+        eprintln!("no experiment matched; known keys: table1..table9, table2b, figure1..figure6");
         std::process::exit(2);
     }
     // Percentiles only accompany a full (unfiltered) run: a filtered run is
@@ -167,7 +169,7 @@ fn main() {
         print_metrics(&metrics);
     }
     if write_json {
-        let path = "BENCH_PR7.json";
+        let path = "BENCH_PR8.json";
         match std::fs::write(path, to_json(scale, &tables, &metrics)) {
             Ok(()) => println!("wrote {path} ({} experiments)", tables.len()),
             Err(e) => eprintln!("could not write {path}: {e}"),

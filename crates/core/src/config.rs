@@ -26,6 +26,11 @@ pub struct WorldConfig {
     /// variable overrides either way (see [`wow_par::resolve_workers`]).
     /// `1` is exact serial execution.
     pub workers: usize,
+    /// Whether scans/filters/projections run on the vectorized batch
+    /// executor with compiled predicates; off forces the row-at-a-time
+    /// reference interpreter everywhere. The `WOW_VECTORIZED` environment
+    /// variable overrides either way (see [`wow_rel::db::resolve_vectorized`]).
+    pub vectorized: bool,
 }
 
 impl Default for WorldConfig {
@@ -38,6 +43,7 @@ impl Default for WorldConfig {
             undo_depth: 64,
             delta_propagation: true,
             workers: 0,
+            vectorized: true,
         }
     }
 }

@@ -138,6 +138,10 @@ impl World {
         m.set("exec.index_probes", c.index_probes);
         m.set("exec.join_rows", c.join_rows);
         m.set("exec.statements", c.statements);
+        m.set("exec.batches", c.batches);
+        // Percent of rows surviving vectorized filter passes: a coarse
+        // live view of how selective the compiled predicates are.
+        m.set("exec.sel_density", 100 * c.sel_out / c.sel_in.max(1));
         if let Some(wal) = self.db().wal() {
             m.set("wal.appended", wal.appended());
         }

@@ -55,12 +55,14 @@ pub enum Op {
     NetRequest,
     /// Building and enqueueing one `WindowRefreshed` push frame.
     NetPush,
+    /// Evaluating compiled predicates/projections over one column batch.
+    VecEval,
 }
 
 impl Op {
     /// Every operation, in declaration order (indexes the registry's
     /// histogram table).
-    pub const ALL: [Op; 16] = [
+    pub const ALL: [Op; 17] = [
         Op::FormCompile,
         Op::BrowseOpen,
         Op::BrowsePage,
@@ -77,6 +79,7 @@ impl Op {
         Op::NetAccept,
         Op::NetRequest,
         Op::NetPush,
+        Op::VecEval,
     ];
 
     /// Stable snake_case name (metric keys, system-table rows, JSON).
@@ -98,6 +101,7 @@ impl Op {
             Op::NetAccept => "net_accept",
             Op::NetRequest => "net_request",
             Op::NetPush => "net_push",
+            Op::VecEval => "vec_eval",
         }
     }
 }
@@ -346,7 +350,8 @@ mod tests {
         assert_eq!(Op::BrowseOpen.name(), "browse_open");
         assert_eq!(Op::ParScatter.name(), "par_scatter");
         assert_eq!(Op::NetPush.name(), "net_push");
-        assert_eq!(Op::ALL.len(), 16);
+        assert_eq!(Op::VecEval.name(), "vec_eval");
+        assert_eq!(Op::ALL.len(), 17);
     }
 
     #[test]

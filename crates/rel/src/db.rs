@@ -126,6 +126,26 @@ pub struct ExecCounters {
     pub join_rows: u64,
     /// Statements executed.
     pub statements: u64,
+    /// Column batches evaluated by the vectorized executor.
+    pub batches: u64,
+    /// Rows entering vectorized filter passes (selection-vector input).
+    pub sel_in: u64,
+    /// Rows surviving vectorized filter passes (selection-vector output).
+    pub sel_out: u64,
+}
+
+/// Resolve the vectorized-executor toggle: the `WOW_VECTORIZED` environment
+/// variable (`0`/`false`/`off`, `1`/`true`/`on`) overrides `flag`. The CI
+/// matrix sets it to run the whole suite under both engines.
+pub fn resolve_vectorized(flag: bool) -> bool {
+    match std::env::var("WOW_VECTORIZED") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "0" | "false" | "off" => false,
+            "1" | "true" | "on" => true,
+            _ => flag,
+        },
+        Err(_) => flag,
+    }
 }
 
 /// The database: the "world" that every window looks into.
@@ -147,6 +167,11 @@ pub struct Database {
     pub(crate) ranges: BTreeMap<String, String>,
     /// Worker pool for partitioned scans and parallel join builds.
     pub(crate) par: wow_par::Pool,
+    /// Whether scans/filters/projections run on the vectorized batch
+    /// executor (the row-at-a-time interpreter is the reference twin).
+    pub(crate) vectorized: bool,
+    /// Target rows per column batch on the vectorized path.
+    pub(crate) batch_size: usize,
 }
 
 impl Database {
@@ -181,6 +206,8 @@ impl Database {
             counters: ExecCounters::default(),
             ranges: BTreeMap::new(),
             par: wow_par::Pool::default(),
+            vectorized: resolve_vectorized(true),
+            batch_size: crate::exec::stream::BLOCK_CAP,
         }
     }
 
@@ -193,6 +220,28 @@ impl Database {
     /// The executor's worker-pool width.
     pub fn workers(&self) -> usize {
         self.par.workers()
+    }
+
+    /// Turn the vectorized batch executor on or off exactly (no environment
+    /// override; the equivalence tests use this to compare both engines).
+    pub fn set_vectorized(&mut self, on: bool) {
+        self.vectorized = on;
+    }
+
+    /// Whether the vectorized batch executor is on.
+    pub fn vectorized(&self) -> bool {
+        self.vectorized
+    }
+
+    /// Set the vectorized executor's target rows per batch (min 1; benches
+    /// and the equivalence proptest sweep this).
+    pub fn set_batch_size(&mut self, rows: usize) {
+        self.batch_size = rows.max(1);
+    }
+
+    /// Target rows per column batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
     }
 
     /// A read-only replica sharing this database's buffer pool.
@@ -216,6 +265,8 @@ impl Database {
             counters: ExecCounters::default(),
             ranges: self.ranges.clone(),
             par: wow_par::Pool::serial(),
+            vectorized: self.vectorized,
+            batch_size: self.batch_size,
         }
     }
 
@@ -258,6 +309,9 @@ impl Database {
         self.counters.index_probes += other.index_probes;
         self.counters.join_rows += other.join_rows;
         self.counters.statements += other.statements;
+        self.counters.batches += other.batches;
+        self.counters.sel_in += other.sel_in;
+        self.counters.sel_out += other.sel_out;
     }
 
     /// Reset executor counters (benches call this between phases).
@@ -465,6 +519,31 @@ impl Database {
         }
         self.counters.rows_scanned += out.len() as u64;
         Ok(Some(out))
+    }
+
+    /// Scan one data page of encoded rows into a caller-owned arena (see
+    /// [`wow_storage::heap::HeapFile::scan_page_into`]) — the zero-decode
+    /// access path of the vectorized executor, which decodes only the
+    /// columns a query touches ([`crate::value::decode_row_cols`]) and
+    /// reuses `arena`/`bounds` across pages so a page scan costs one
+    /// region copy and no per-row allocation. Returns `false` once
+    /// `page_idx` is past the end of the page chain. Counts every visited
+    /// row in `rows_scanned`, like [`Database::scan_table_page`].
+    pub(crate) fn scan_table_page_arena(
+        &mut self,
+        table: TableId,
+        page_idx: usize,
+        arena: &mut Vec<u8>,
+        bounds: &mut Vec<(u32, u32)>,
+    ) -> RelResult<bool> {
+        let heap = self
+            .heaps
+            .get(&table)
+            .ok_or_else(|| RelError::NoSuchTable(format!("#{table}")))?;
+        let before = bounds.len();
+        let in_range = heap.scan_page_into(&self.pool, page_idx, arena, bounds)?;
+        self.counters.rows_scanned += (bounds.len() - before) as u64;
+        Ok(in_range)
     }
 
     /// Number of rows in a table (from stats, exact under normal operation).

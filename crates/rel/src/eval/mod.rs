@@ -1,4 +1,13 @@
 //! Expression evaluation with SQL-style three-valued logic.
+//!
+//! Two evaluators share the kernels in this module:
+//!
+//! * [`eval`] — the row-at-a-time tree-walking interpreter (the reference
+//!   semantics);
+//! * [`compile`] — a one-time compiler to flat programs run over column
+//!   batches with selection vectors (the vectorized hot path).
+
+pub mod compile;
 
 use crate::error::{RelError, RelResult};
 use crate::expr::{glob_match, BinOp, Expr, UnOp};
@@ -53,20 +62,9 @@ pub fn eval(expr: &Expr, tuple: &Tuple) -> RelResult<Value> {
             }
             let r = eval(right, tuple)?;
             if op.is_comparison() {
-                return Ok(match l.compare(&r) {
-                    None => Value::Null,
-                    Some(ord) => Value::Bool(match op {
-                        BinOp::Eq => ord == Ordering::Equal,
-                        BinOp::Ne => ord != Ordering::Equal,
-                        BinOp::Lt => ord == Ordering::Less,
-                        BinOp::Le => ord != Ordering::Greater,
-                        BinOp::Gt => ord == Ordering::Greater,
-                        BinOp::Ge => ord != Ordering::Less,
-                        _ => unreachable!(),
-                    }),
-                });
+                return Ok(compare_op(*op, &l, &r));
             }
-            arithmetic(*op, l, r)
+            arithmetic(*op, &l, &r)
         }
         Expr::Unary { op, expr } => {
             let v = eval(expr, tuple)?;
@@ -112,7 +110,7 @@ pub fn eval_pred(expr: &Expr, tuple: &Tuple) -> RelResult<bool> {
 /// Truth value of a result (`None` = unknown). Non-boolean, non-null values
 /// are a type error surfaced as unknown=false at predicate positions; the
 /// planner typechecks predicates so this is belt-and-braces.
-fn truth(v: &Value) -> Option<bool> {
+pub(crate) fn truth(v: &Value) -> Option<bool> {
     match v {
         Value::Bool(b) => Some(*b),
         Value::Null => None,
@@ -120,12 +118,29 @@ fn truth(v: &Value) -> Option<bool> {
     }
 }
 
-fn arithmetic(op: BinOp, l: Value, r: Value) -> RelResult<Value> {
+/// One comparison, by reference — the kernel shared by the interpreter and
+/// the batch evaluator. NULL on either side yields NULL.
+pub(crate) fn compare_op(op: BinOp, l: &Value, r: &Value) -> Value {
+    match l.compare(r) {
+        None => Value::Null,
+        Some(ord) => Value::Bool(match op {
+            BinOp::Eq => ord == Ordering::Equal,
+            BinOp::Ne => ord != Ordering::Equal,
+            BinOp::Lt => ord == Ordering::Less,
+            BinOp::Le => ord != Ordering::Greater,
+            BinOp::Gt => ord == Ordering::Greater,
+            BinOp::Ge => ord != Ordering::Less,
+            _ => unreachable!("compare_op() called with {op:?}"),
+        }),
+    }
+}
+
+pub(crate) fn arithmetic(op: BinOp, l: &Value, r: &Value) -> RelResult<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
     // Int op Int stays exact; anything involving a float is float.
-    if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
         let (a, b) = (*a, *b);
         return match op {
             BinOp::Add => a

@@ -459,6 +459,86 @@ mod tests {
     }
 
     #[test]
+    fn sum_avg_count_over_all_null_group() {
+        // A group whose every input is NULL: SUM and AVG come out NULL
+        // (not 0), COUNT(col) is 0, while COUNT(*) still counts the rows.
+        let rows = Rows {
+            schema: Schema::new(vec![
+                Column::new("g", DataType::Text),
+                Column::new("x", DataType::Int),
+            ]),
+            tuples: vec![
+                Tuple::new(vec![Value::text("n"), Value::Null]),
+                Tuple::new(vec![Value::text("n"), Value::Null]),
+                Tuple::new(vec![Value::text("v"), Value::Int(5)]),
+            ],
+        };
+        let aggs = vec![
+            AggSpec {
+                func: AggFunc::Sum,
+                input: Some(1),
+                name: "s".into(),
+            },
+            AggSpec {
+                func: AggFunc::Avg,
+                input: Some(1),
+                name: "m".into(),
+            },
+            AggSpec {
+                func: AggFunc::Count,
+                input: Some(1),
+                name: "n".into(),
+            },
+            AggSpec {
+                func: AggFunc::Count,
+                input: None,
+                name: "all".into(),
+            },
+        ];
+        let schema = out_schema(&[0], &aggs, &rows);
+        let out = aggregate(schema, &rows, &[0], &aggs).unwrap();
+        assert_eq!(out.len(), 2);
+        let null_group = &out.tuples[0];
+        assert_eq!(null_group.values[0], Value::text("n"));
+        assert!(null_group.values[1].is_null(), "SUM over all-NULL is NULL");
+        assert!(null_group.values[2].is_null(), "AVG over all-NULL is NULL");
+        assert_eq!(null_group.values[3], Value::Int(0));
+        assert_eq!(null_group.values[4], Value::Int(2));
+        let live_group = &out.tuples[1];
+        assert_eq!(live_group.values[1], Value::Int(5));
+        assert_eq!(live_group.values[2], Value::Float(5.0));
+        assert_eq!(live_group.values[3], Value::Int(1));
+    }
+
+    #[test]
+    fn float_sum_and_minmax_over_all_nulls_are_null() {
+        let rows = Rows {
+            schema: Schema::new(vec![Column::new("x", DataType::Float)]),
+            tuples: vec![Tuple::new(vec![Value::Null]), Tuple::new(vec![Value::Null])],
+        };
+        let aggs = vec![
+            AggSpec {
+                func: AggFunc::Sum,
+                input: Some(0),
+                name: "s".into(),
+            },
+            AggSpec {
+                func: AggFunc::Min,
+                input: Some(0),
+                name: "lo".into(),
+            },
+            AggSpec {
+                func: AggFunc::Max,
+                input: Some(0),
+                name: "hi".into(),
+            },
+        ];
+        let schema = out_schema(&[], &aggs, &rows);
+        let out = aggregate(schema, &rows, &[], &aggs).unwrap();
+        assert!(out.tuples[0].values.iter().all(Value::is_null));
+    }
+
+    #[test]
     fn group_by_null_values_forms_a_group() {
         let rows = Rows {
             schema: Schema::new(vec![

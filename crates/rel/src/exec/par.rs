@@ -16,8 +16,9 @@
 //! small windows on the exact serial code path.
 
 use crate::catalog::TableId;
-use crate::db::Database;
+use crate::db::{Database, ExecCounters};
 use crate::error::RelResult;
+use crate::eval::compile::{self, Scratch};
 use crate::eval::eval_pred;
 use crate::expr::Expr;
 use crate::tuple::Tuple;
@@ -51,45 +52,72 @@ pub fn scan_goes_parallel(db: &Database, table: TableId, stop_hint: Option<usize
 
 /// Scan every page of `table`, evaluating `pred`, with page ranges
 /// fanned out across the worker pool. Output order (and content) is
-/// identical to the serial page-chain walk.
+/// identical to the serial page-chain walk. When the vectorized executor
+/// is on and the predicate compiles, each chunk runs through the same
+/// batch kernels as the serial vectorized scan
+/// (`stream::filter_pages_vectorized`); otherwise chunks evaluate the
+/// predicate row-at-a-time.
 pub fn parallel_scan(
     db: &mut Database,
     table: TableId,
     pred: Option<&Expr>,
 ) -> RelResult<Vec<Tuple>> {
     let pages = db.table_page_count(table)?;
+    let compiled = if db.vectorized() {
+        pred.and_then(compile::compile)
+    } else {
+        None
+    };
     let mut span = wow_obs::span(Op::ParScatter);
     let shared: &Database = db;
-    let chunks: Vec<RelResult<(Vec<Tuple>, u64)>> =
+    let chunks: Vec<RelResult<(Vec<Tuple>, ExecCounters)>> =
         shared.par.map_chunks(pages, MIN_PAGES_PER_CHUNK, |range| {
             let mut replica = shared.read_replica();
-            let mut out = Vec::new();
-            for page_idx in range {
-                let Some(rows) = replica.scan_table_page(table, page_idx)? else {
-                    break;
-                };
-                for (_, t) in rows {
-                    let keep = match pred {
-                        Some(p) => eval_pred(p, &t)?,
-                        None => true,
-                    };
-                    if keep {
-                        out.push(t);
-                    }
+            let out = match &compiled {
+                Some(prog) => {
+                    let mut scratch = Scratch::default();
+                    super::stream::filter_pages_vectorized(
+                        &mut replica,
+                        table,
+                        range,
+                        prog,
+                        &mut scratch,
+                    )?
                 }
-            }
-            Ok((out, replica.counters().rows_scanned))
+                None => {
+                    let mut out = Vec::new();
+                    for page_idx in range {
+                        let Some(rows) = replica.scan_table_page(table, page_idx)? else {
+                            break;
+                        };
+                        for (_, t) in rows {
+                            let keep = match pred {
+                                Some(p) => eval_pred(p, &t)?,
+                                None => true,
+                            };
+                            if keep {
+                                out.push(t);
+                            }
+                        }
+                    }
+                    out
+                }
+            };
+            Ok((out, replica.counters()))
         });
     span.arg(chunks.len() as u64);
     let mut tuples = Vec::new();
-    let mut scanned = 0u64;
+    let mut merged = ExecCounters::default();
     for chunk in chunks {
-        let (rows, rs) = chunk?;
+        let (rows, c) = chunk?;
         tuples.extend(rows);
-        scanned += rs;
+        merged.rows_scanned += c.rows_scanned;
+        merged.batches += c.batches;
+        merged.sel_in += c.sel_in;
+        merged.sel_out += c.sel_out;
     }
     span.finish();
-    db.counters.rows_scanned += scanned;
+    db.merge_counters(merged);
     Ok(tuples)
 }
 

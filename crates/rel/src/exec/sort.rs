@@ -83,4 +83,63 @@ mod tests {
         sort_rows(&mut rows, &[]);
         assert_eq!(rows[0].values[0], Value::Int(2));
     }
+
+    mod properties {
+        use super::super::*;
+        use crate::value::Value;
+        use proptest::prelude::*;
+
+        fn value_strategy() -> impl Strategy<Value = Value> {
+            prop_oneof![
+                Just(Value::Null),
+                (-5i64..5).prop_map(Value::Int),
+                (-5i32..5).prop_map(|i| Value::Float(i as f64 / 2.0)),
+                prop_oneof![Just("a"), Just("b"), Just("zz")].prop_map(Value::text),
+            ]
+        }
+
+        proptest! {
+            /// For arbitrary rows and key specs the output is a
+            /// permutation of the input, nondecreasing under [`compare`],
+            /// and stable (ties keep their original relative order).
+            #[test]
+            fn sorted_output_is_a_stable_ordered_permutation(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(value_strategy(), 3..4),
+                    0..24,
+                ),
+                keys in proptest::collection::vec((0usize..3, any::<bool>()), 0..3),
+            ) {
+                // Tag each row with its input position so stability is
+                // observable even among fully identical rows.
+                let tagged: Vec<Tuple> = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, vals)| {
+                        let mut v = vals.clone();
+                        v.push(Value::Int(i as i64));
+                        Tuple::new(v)
+                    })
+                    .collect();
+                let mut sorted = tagged.clone();
+                sort_rows(&mut sorted, &keys);
+
+                let mut expect = tagged.clone();
+                expect.sort_by(|a, b| {
+                    compare(a, b, &keys).then_with(|| {
+                        // Break ties by input position: exactly what a
+                        // stable sort guarantees.
+                        a.values[3].total_cmp(&b.values[3])
+                    })
+                });
+                prop_assert_eq!(&sorted, &expect);
+                for w in sorted.windows(2) {
+                    prop_assert!(
+                        compare(&w[0], &w[1], &keys) != Ordering::Greater,
+                        "output not ordered under the sort comparator"
+                    );
+                }
+            }
+        }
+    }
 }

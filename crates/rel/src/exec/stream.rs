@@ -18,16 +18,30 @@
 //! [`Operator::next_block`] call is handed `&mut Database` afresh, so the
 //! tree can be built once and driven incrementally (the browse cursors in
 //! `wow-core` rely on this to page join views without materializing them).
+//!
+//! # Vectorized twin
+//!
+//! When [`Database::vectorized`] is on, `SeqScan`-rooted `Filter`/`Project`
+//! chains are compiled into a **batch pipeline** instead: the scan reads
+//! raw row bytes, decodes only the columns the query touches into
+//! column-oriented [`Batch`]es of [`Database::batch_size`] rows, filters
+//! them through programs compiled once per query
+//! ([`crate::eval::compile`]), and materializes the remaining columns only
+//! for rows that survive (late materialization). Everything else — joins,
+//! sort, aggregate, distinct, limit, index scans — stays row-at-a-time and
+//! consumes the chain through an adapter, so the row engine remains the
+//! reference twin and is selected automatically for non-batchable plans.
 
 use super::{aggregate, par, range_rids, sort, PhysicalPlan, Rows};
 use crate::catalog::TableId;
 use crate::db::Database;
-use crate::error::RelResult;
+use crate::error::{RelError, RelResult};
+use crate::eval::compile::{self, Batch, Program, Scratch};
 use crate::eval::{eval, eval_pred};
 use crate::expr::Expr;
 use crate::tuple::Tuple;
-use crate::value::Value;
-use std::collections::HashSet;
+use crate::value::{decode_row, decode_row_cols, Value};
+use std::collections::{BTreeSet, HashSet};
 use wow_storage::Rid;
 
 /// Target number of tuples per [`TupleBlock`]. Operators may emit smaller
@@ -76,6 +90,11 @@ pub fn build_operator(
     plan: &PhysicalPlan,
     stop_hint: Option<usize>,
 ) -> RelResult<Box<dyn Operator>> {
+    if db.vectorized() {
+        if let Some(op) = build_vectorized(db, plan, stop_hint)? {
+            return Ok(op);
+        }
+    }
     match plan {
         PhysicalPlan::SeqScan {
             table,
@@ -269,6 +288,444 @@ fn drain(op: &mut dyn Operator, db: &mut Database) -> RelResult<Vec<Tuple>> {
         out.extend(block.tuples);
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized batch pipeline
+// ---------------------------------------------------------------------------
+
+/// A pull source of column [`Batch`]es — the vectorized counterpart of
+/// [`Operator`].
+trait BatchSource {
+    /// Produce the next batch (never one with an empty selection), or
+    /// `None` when the scan is exhausted.
+    fn next_batch(&mut self, db: &mut Database) -> RelResult<Option<Batch>>;
+}
+
+/// Try to compile a `SeqScan`-rooted `Filter*`/`Project?` chain into the
+/// vectorized batch pipeline. Returns `None` — fall back to row-at-a-time
+/// streaming — for any other plan shape, for parallel-eligible scans (the
+/// parallel scan applies the same kernels chunk-wise in `par`), and for
+/// expressions the compiler rejects.
+fn build_vectorized(
+    db: &mut Database,
+    plan: &PhysicalPlan,
+    stop_hint: Option<usize>,
+) -> RelResult<Option<Box<dyn Operator>>> {
+    let (proj, mut node) = match plan {
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            names: _,
+        } => (Some(exprs), input.as_ref()),
+        other => (None, other),
+    };
+    let mut filters: Vec<&Expr> = Vec::new();
+    let (table, scan_pred) = loop {
+        match node {
+            PhysicalPlan::Filter { input, pred } => {
+                filters.push(pred);
+                node = input.as_ref();
+            }
+            PhysicalPlan::SeqScan {
+                table,
+                alias: _,
+                pred,
+            } => break (table, pred.as_ref()),
+            _ => return Ok(None),
+        }
+    };
+    let table_id = db.catalog().table(table)?.id;
+    if par::scan_goes_parallel(db, table_id, stop_hint) {
+        return Ok(None);
+    }
+    let pred = match scan_pred {
+        Some(e) => match compile::compile(e) {
+            Some(p) => Some(p),
+            None => return Ok(None),
+        },
+        None => None,
+    };
+    // Filters apply innermost (closest to the scan) first.
+    filters.reverse();
+    let mut filter_progs = Vec::with_capacity(filters.len());
+    for f in filters {
+        match compile::compile(f) {
+            Some(p) => filter_progs.push(p),
+            None => return Ok(None),
+        }
+    }
+    let proj_progs = match proj {
+        Some(exprs) => {
+            let mut ps = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                match compile::compile(e) {
+                    Some(p) => ps.push(p),
+                    None => return Ok(None),
+                }
+            }
+            Some(ps)
+        }
+        None => None,
+    };
+    let ncols = node.output_schema(db)?.len();
+    // Column budget: the scan decodes the predicate's columns for every
+    // row, and everything the rest of the chain reads only for survivors.
+    let pred_cols: Vec<usize> = pred
+        .as_ref()
+        .map(|p| p.columns().to_vec())
+        .unwrap_or_default();
+    let mut needed: BTreeSet<usize> = BTreeSet::new();
+    for p in &filter_progs {
+        needed.extend(p.columns().iter().copied());
+    }
+    match &proj_progs {
+        Some(ps) => {
+            for p in ps {
+                needed.extend(p.columns().iter().copied());
+            }
+        }
+        None => needed.extend(0..ncols),
+    }
+    if pred_cols.iter().chain(needed.iter()).any(|&c| c >= ncols) {
+        // Out-of-range column: let the row engine surface its usual error.
+        return Ok(None);
+    }
+    let post_cols: Vec<usize> = needed
+        .into_iter()
+        .filter(|c| !pred_cols.contains(c))
+        .collect();
+    // As in the row engine, a stop hint only bounds the scan when nothing
+    // between the consumer and the heap drops rows.
+    let remaining = if pred.is_none() && filter_progs.is_empty() {
+        stop_hint
+    } else {
+        None
+    };
+    let mut src: Box<dyn BatchSource> = Box::new(VecSeqScanStream {
+        table_id,
+        pred,
+        pred_cols,
+        post_cols,
+        ncols,
+        scratch: Scratch::default(),
+        rows: RawRows::default(),
+        page_idx: 0,
+        pages_done: false,
+        remaining,
+    });
+    for p in filter_progs {
+        src = Box::new(VecFilterStream {
+            input: src,
+            pred: p,
+            scratch: Scratch::default(),
+        });
+    }
+    Ok(Some(match proj_progs {
+        Some(programs) => Box::new(VecProjectStream {
+            input: src,
+            programs,
+            scratch: Scratch::default(),
+        }),
+        None => Box::new(VecRowsAdapter { input: src }),
+    }))
+}
+
+/// Raw row bytes accumulated from page scans, consumed in batch-sized runs.
+///
+/// [`Database::scan_table_page_arena`] appends whole page regions into
+/// `arena` and row bounds into `bounds` directly (one region copy per
+/// page, no per-row work); this struct only tracks the drain cursor and
+/// reclaims the buffers — which are reused page after page — once empty.
+#[derive(Default)]
+struct RawRows {
+    arena: Vec<u8>,
+    /// `(start, end)` byte bounds of each row in `arena`.
+    bounds: Vec<(u32, u32)>,
+    /// Rows already consumed from the front of `bounds`.
+    consumed: usize,
+}
+
+impl RawRows {
+    /// Pull one more page into the arena via `db`; `false` past the end.
+    fn pull_page(&mut self, db: &mut Database, table: TableId, page_idx: usize) -> RelResult<bool> {
+        db.scan_table_page_arena(table, page_idx, &mut self.arena, &mut self.bounds)
+    }
+
+    /// Rows not yet handed out.
+    fn pending(&self) -> usize {
+        self.bounds.len() - self.consumed
+    }
+
+    /// The `i`-th pending row's bytes.
+    fn row(&self, i: usize) -> &[u8] {
+        let (s, e) = self.bounds[self.consumed + i];
+        &self.arena[s as usize..e as usize]
+    }
+
+    /// Consume the first `n` pending rows, reclaiming the arena once empty.
+    fn advance(&mut self, n: usize) {
+        self.consumed += n;
+        if self.consumed == self.bounds.len() {
+            self.arena.clear();
+            self.bounds.clear();
+            self.consumed = 0;
+        }
+    }
+}
+
+/// Decode `cols` for the first `n` pending rows into dense column vectors
+/// aligned with row indexes. A row narrower than a requested column is the
+/// same error the row engine raises for an out-of-range [`Expr::Column`].
+fn decode_dense(rows: &RawRows, n: usize, cols: &[usize], out: &mut [Vec<Value>]) -> RelResult<()> {
+    if cols.is_empty() {
+        return Ok(());
+    }
+    for &c in cols {
+        out[c].clear();
+        out[c].reserve(n);
+    }
+    for i in 0..n {
+        decode_row_cols(rows.row(i), cols, |c, v| out[c].push(v))?;
+        for &c in cols {
+            if out[c].len() != i + 1 {
+                return Err(RelError::NoSuchColumn(format!("#{c}")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decode `cols` only at the selected rows (late materialization); the
+/// unselected slots stay NULL and are never read.
+fn decode_at_sel(
+    rows: &RawRows,
+    sel: &[u32],
+    cols: &[usize],
+    n: usize,
+    out: &mut [Vec<Value>],
+) -> RelResult<()> {
+    if cols.is_empty() || sel.is_empty() {
+        return Ok(());
+    }
+    for &c in cols {
+        out[c].clear();
+        out[c].resize(n, Value::Null);
+    }
+    for &r in sel {
+        let i = r as usize;
+        decode_row_cols(rows.row(i), cols, |c, v| out[c][i] = v)?;
+    }
+    Ok(())
+}
+
+/// Run a contiguous page range through the batch filter kernels,
+/// materializing full tuples only for surviving rows. The parallel scan in
+/// [`super::par`] calls this once per chunk, so the partitioned and serial
+/// vectorized paths share the same compiled-predicate kernels.
+pub(crate) fn filter_pages_vectorized(
+    db: &mut Database,
+    table: TableId,
+    pages: std::ops::Range<usize>,
+    pred: &Program,
+    scratch: &mut Scratch,
+) -> RelResult<Vec<Tuple>> {
+    let pred_cols = pred.columns().to_vec();
+    // `columns()` is sorted, so the batch only needs to be as wide as the
+    // highest column the predicate reads.
+    let width = pred_cols.last().map_or(0, |&c| c + 1);
+    let mut rows = RawRows::default();
+    let mut out = Vec::new();
+    for page_idx in pages {
+        if !rows.pull_page(db, table, page_idx)? {
+            break;
+        }
+        while rows.pending() > 0 {
+            let n = rows.pending().min(db.batch_size());
+            let mut batch = Batch {
+                cols: vec![Vec::new(); width],
+                len: n,
+                sel: Batch::identity_sel(n),
+            };
+            decode_dense(&rows, n, &pred_cols, &mut batch.cols)?;
+            db.counters.batches += 1;
+            let mut span = wow_obs::span(wow_obs::Op::VecEval);
+            db.counters.sel_in += n as u64;
+            pred.filter(&mut batch, scratch)?;
+            db.counters.sel_out += batch.sel.len() as u64;
+            span.arg(batch.sel.len() as u64);
+            span.finish();
+            for &r in &batch.sel {
+                out.push(Tuple::new(decode_row(rows.row(r as usize))?));
+            }
+            rows.advance(n);
+        }
+    }
+    Ok(out)
+}
+
+/// Vectorized sequential scan: reads raw row bytes page-at-a-time, decodes
+/// only the predicate's columns, filters whole batches through a compiled
+/// program, then materializes the remaining needed columns for surviving
+/// rows only.
+struct VecSeqScanStream {
+    table_id: TableId,
+    /// Compiled scan predicate, if any.
+    pred: Option<Program>,
+    /// Columns the predicate reads: decoded for every scanned row.
+    pred_cols: Vec<usize>,
+    /// Columns the rest of the chain reads (minus `pred_cols`): decoded
+    /// only for rows that survive the filter.
+    post_cols: Vec<usize>,
+    /// Batch column count (the table's schema width).
+    ncols: usize,
+    scratch: Scratch,
+    rows: RawRows,
+    page_idx: usize,
+    pages_done: bool,
+    /// Pushed-down limit (only set when there is no predicate).
+    remaining: Option<usize>,
+}
+
+impl BatchSource for VecSeqScanStream {
+    fn next_batch(&mut self, db: &mut Database) -> RelResult<Option<Batch>> {
+        loop {
+            if self.remaining == Some(0) {
+                return Ok(None);
+            }
+            let target = match self.remaining {
+                Some(r) => r.min(db.batch_size()),
+                None => db.batch_size(),
+            };
+            while self.rows.pending() < target && !self.pages_done {
+                if self.rows.pull_page(db, self.table_id, self.page_idx)? {
+                    self.page_idx += 1;
+                } else {
+                    self.pages_done = true;
+                }
+            }
+            let n = self.rows.pending().min(target);
+            if n == 0 {
+                return Ok(None);
+            }
+            let mut batch = Batch {
+                cols: vec![Vec::new(); self.ncols],
+                len: n,
+                sel: Batch::identity_sel(n),
+            };
+            decode_dense(&self.rows, n, &self.pred_cols, &mut batch.cols)?;
+            db.counters.batches += 1;
+            if let Some(pred) = &self.pred {
+                let mut span = wow_obs::span(wow_obs::Op::VecEval);
+                db.counters.sel_in += n as u64;
+                pred.filter(&mut batch, &mut self.scratch)?;
+                db.counters.sel_out += batch.sel.len() as u64;
+                span.arg(batch.sel.len() as u64);
+                span.finish();
+            }
+            decode_at_sel(&self.rows, &batch.sel, &self.post_cols, n, &mut batch.cols)?;
+            self.rows.advance(n);
+            if let Some(r) = &mut self.remaining {
+                *r = r.saturating_sub(n);
+            }
+            if batch.sel.is_empty() {
+                continue; // fully filtered batch; keep scanning
+            }
+            return Ok(Some(batch));
+        }
+    }
+}
+
+/// Batch-native filter: narrows the selection vector in place. Its columns
+/// are materialized by the scan below (they are part of its `post_cols`).
+struct VecFilterStream {
+    input: Box<dyn BatchSource>,
+    pred: Program,
+    scratch: Scratch,
+}
+
+impl BatchSource for VecFilterStream {
+    fn next_batch(&mut self, db: &mut Database) -> RelResult<Option<Batch>> {
+        while let Some(mut b) = self.input.next_batch(db)? {
+            let mut span = wow_obs::span(wow_obs::Op::VecEval);
+            db.counters.sel_in += b.sel.len() as u64;
+            self.pred.filter(&mut b, &mut self.scratch)?;
+            db.counters.sel_out += b.sel.len() as u64;
+            span.arg(b.sel.len() as u64);
+            span.finish();
+            if !b.sel.is_empty() {
+                return Ok(Some(b));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Batch-native projection: evaluates compiled expressions over the
+/// selected rows and gathers the results into row-major tuples at the
+/// vectorized pipeline's boundary.
+struct VecProjectStream {
+    input: Box<dyn BatchSource>,
+    programs: Vec<Program>,
+    scratch: Scratch,
+}
+
+impl Operator for VecProjectStream {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        let Some(b) = self.input.next_batch(db)? else {
+            return Ok(None);
+        };
+        let m = b.sel.len();
+        let mut span = wow_obs::span(wow_obs::Op::VecEval);
+        let mut out_cols: Vec<Vec<Value>> = Vec::with_capacity(self.programs.len());
+        for p in &self.programs {
+            p.eval(&b, &mut self.scratch)?;
+            out_cols.push(
+                b.sel
+                    .iter()
+                    .map(|&r| p.take_result(&b, &mut self.scratch, r as usize))
+                    .collect(),
+            );
+        }
+        span.arg(m as u64);
+        span.finish();
+        let mut tuples = Vec::with_capacity(m);
+        for i in 0..m {
+            tuples.push(Tuple::new(
+                out_cols
+                    .iter_mut()
+                    .map(|c| std::mem::replace(&mut c[i], Value::Null))
+                    .collect(),
+            ));
+        }
+        Ok(Some(TupleBlock { tuples }))
+    }
+}
+
+/// Adapter at the top of a vectorized chain with no projection: gathers the
+/// selected rows of each batch back into row-major tuples.
+struct VecRowsAdapter {
+    input: Box<dyn BatchSource>,
+}
+
+impl Operator for VecRowsAdapter {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        let Some(mut b) = self.input.next_batch(db)? else {
+            return Ok(None);
+        };
+        let sel = std::mem::take(&mut b.sel);
+        let mut tuples = Vec::with_capacity(sel.len());
+        for &r in &sel {
+            let i = r as usize;
+            tuples.push(Tuple::new(
+                b.cols
+                    .iter_mut()
+                    .map(|c| std::mem::replace(&mut c[i], Value::Null))
+                    .collect(),
+            ));
+        }
+        Ok(Some(TupleBlock { tuples }))
+    }
 }
 
 /// Sequential heap scan, one page chain walk with buffer-pool readahead.
@@ -528,11 +985,11 @@ impl Operator for AggregateStream {
         if !self.built {
             let tuples = drain(self.input.as_mut(), db)?;
             let rows = Rows {
-                schema: self.in_schema.clone(),
+                schema: std::mem::take(&mut self.in_schema),
                 tuples,
             };
-            let out =
-                aggregate::aggregate(self.out_schema.clone(), &rows, &self.group_by, &self.aggs)?;
+            let out_schema = std::mem::take(&mut self.out_schema);
+            let out = aggregate::aggregate(out_schema, &rows, &self.group_by, &self.aggs)?;
             self.buf = out.tuples;
             self.built = true;
         }
@@ -546,7 +1003,7 @@ fn emit_buffered(buf: &mut [Tuple], pos: &mut usize) -> RelResult<Option<TupleBl
         return Ok(None);
     }
     let end = (*pos + BLOCK_CAP).min(buf.len());
-    let tuples = buf[*pos..end].to_vec();
+    let tuples = buf[*pos..end].iter_mut().map(std::mem::take).collect();
     *pos = end;
     Ok(Some(TupleBlock { tuples }))
 }
@@ -671,19 +1128,18 @@ impl HashJoinStream {
             }
             let l = &self.cur[self.next_li];
             self.next_li += 1;
-            let mut key_vals = Vec::with_capacity(self.left_keys.len());
+            let mut key = Vec::new();
             for &k in &self.left_keys {
                 let v = &l.values[k];
                 if v.is_null() {
                     continue 'next_left;
                 }
-                key_vals.push(v.clone());
+                v.encode_key(&mut key);
             }
-            let key = Value::encode_composite(&key_vals);
             if let Some(matches) = self.table.get(&key) {
                 self.cur_matches = matches.clone();
                 self.mi = 0;
-                self.cur_probe = Some(l.clone());
+                self.cur_probe = Some(std::mem::take(&mut self.cur[self.next_li - 1]));
                 return Ok(true);
             }
         }

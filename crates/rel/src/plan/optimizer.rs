@@ -572,7 +572,10 @@ fn build_access_path(
         }
     }
 
-    // Sequential scan with everything pushed down.
+    // Sequential scan with everything pushed down. Order the conjuncts
+    // most-selective-first so the AND short-circuit (and the vectorized
+    // selection-vector narrowing) discards rows on the cheapest test.
+    let conjuncts = order_conjuncts(conjuncts, &schema, &stats);
     let pred = residual_pred(&conjuncts, &[], &schema)?;
     let est = if conjuncts.is_empty() {
         base_rows
@@ -588,6 +591,46 @@ fn build_access_path(
         schema,
         aliases: vec![alias.to_string()],
         est_rows: est,
+    })
+}
+
+/// Order a pushed-down conjunction by estimated selectivity, ascending.
+///
+/// Only `col op const` comparisons are reordered — they cannot raise an
+/// evaluation error, so hoisting one past another conjunct never surfaces
+/// an error that left-to-right short-circuiting would have skipped (it can
+/// only skip more work). Everything else keeps its written order, after
+/// the estimable prefix. The sort is stable, so equal estimates also keep
+/// written order.
+fn order_conjuncts(conjuncts: Vec<Expr>, schema: &Schema, stats: &TableStats) -> Vec<Expr> {
+    if conjuncts.len() < 2 {
+        return conjuncts;
+    }
+    let mut estimable: Vec<(f64, Expr)> = Vec::new();
+    let mut rest: Vec<Expr> = Vec::new();
+    for conj in conjuncts {
+        match conjunct_selectivity(&conj, schema, stats) {
+            Some(sel) => estimable.push((sel, conj)),
+            None => rest.push(conj),
+        }
+    }
+    estimable.sort_by(|(a, _), (b, _)| a.total_cmp(b));
+    let mut out: Vec<Expr> = estimable.into_iter().map(|(_, e)| e).collect();
+    out.extend(rest);
+    out
+}
+
+/// Estimated selectivity of a single `col op const` conjunct, or `None`
+/// when the shape carries no estimate (and may error, so must not move).
+fn conjunct_selectivity(conj: &Expr, schema: &Schema, stats: &TableStats) -> Option<f64> {
+    let cc = as_col_const(conj)?;
+    let col = schema.index_of(&cc.col_name)?;
+    Some(match cc.op {
+        BinOp::Eq => stats.eq_selectivity(col),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => DEFAULT_RANGE_SELECTIVITY,
+        // `<>` keeps almost everything.
+        BinOp::Ne => 1.0 - stats.eq_selectivity(col),
+        _ => return None,
     })
 }
 
@@ -732,6 +775,46 @@ mod tests {
             alias: "t".into(),
             pred: None,
         }
+    }
+
+    #[test]
+    fn seq_scan_conjuncts_order_most_selective_first() {
+        use crate::schema::Column;
+        use crate::types::DataType;
+        use std::collections::HashMap;
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]);
+        let stats = TableStats {
+            rows: 1000,
+            distinct: HashMap::from([(0, 1000u64)]),
+        };
+        let col = |n: &str| Box::new(Expr::ColumnRef(n.into()));
+        let lit = |v: i64| Box::new(Expr::Literal(Value::Int(v)));
+        let eq_a = Expr::Binary {
+            op: BinOp::Eq,
+            left: col("a"),
+            right: lit(1),
+        };
+        let range_b = Expr::Binary {
+            op: BinOp::Lt,
+            left: col("b"),
+            right: lit(5),
+        };
+        // Column-to-column comparison: no estimate, must keep its slot at
+        // the back regardless of where it was written.
+        let opaque = Expr::Binary {
+            op: BinOp::Gt,
+            left: col("a"),
+            right: col("b"),
+        };
+        let ordered = order_conjuncts(
+            vec![opaque.clone(), range_b.clone(), eq_a.clone()],
+            &schema,
+            &stats,
+        );
+        assert_eq!(ordered, vec![eq_a, range_b, opaque]);
     }
 
     #[test]

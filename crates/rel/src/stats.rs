@@ -27,7 +27,13 @@ impl TableStats {
     /// Estimated selectivity of `col = const`.
     pub fn eq_selectivity(&self, col: usize) -> f64 {
         match self.distinct.get(&col) {
-            Some(&d) if d > 0 => 1.0 / d as f64,
+            Some(&d) if d > 0 => {
+                // The distinct count dates from the last analyze and can
+                // exceed the live row count after deletes; a column never
+                // has more distinct values than rows, so clamp before
+                // inverting or the estimate drops below one matching row.
+                1.0 / d.min(self.rows.max(1)) as f64
+            }
             _ => DEFAULT_EQ_SELECTIVITY,
         }
     }
@@ -110,6 +116,24 @@ mod tests {
         assert!((s.eq_cardinality(0) - 20.0).abs() < 1e-9);
         // Unknown column falls back to the default.
         assert_eq!(s.eq_selectivity(7), DEFAULT_EQ_SELECTIVITY);
+    }
+
+    #[test]
+    fn stale_distinct_clamps_to_live_rows() {
+        let mut r = StatsRegistry::new();
+        r.on_insert(1, 1000);
+        let mut d = HashMap::new();
+        d.insert(0, 800u64);
+        r.set_distinct(1, d);
+        // Heavy delete since the last analyze: the stored distinct count
+        // (800) now exceeds the live row count (10).
+        r.on_delete(1, 990);
+        let s = r.get(1);
+        assert!((s.eq_selectivity(0) - 0.1).abs() < 1e-12, "1/10, not 1/800");
+        assert!(s.eq_cardinality(0) <= s.rows as f64);
+        // Fully emptied table: the clamp floor keeps the estimate finite.
+        r.on_delete(1, 10);
+        assert!((r.get(1).eq_selectivity(0) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -305,6 +305,100 @@ pub fn encode_row(values: &[Value]) -> Vec<u8> {
     out
 }
 
+/// Decode only the columns listed in `wanted` (sorted, deduplicated) from an
+/// encoded row, calling `emit(col, value)` for each. Unwanted columns are
+/// skipped without decoding — text columns in particular are stepped over by
+/// length, with no UTF-8 validation and no `String` allocation. The walk
+/// stops as soon as the last wanted column has been emitted, so only the
+/// prefix actually read is validated; full-row validation (including the
+/// trailing-bytes check) is [`decode_row`]'s job.
+///
+/// This is the late-materialization primitive of the vectorized executor: a
+/// selective scan decodes just the predicate columns up front and the rest
+/// only for rows that survive the filter.
+pub fn decode_row_cols(
+    bytes: &[u8],
+    wanted: &[usize],
+    mut emit: impl FnMut(usize, Value),
+) -> RelResult<()> {
+    let corrupt = || RelError::Storage(wow_storage::StorageError::Corrupt("bad row encoding"));
+    if bytes.len() < 2 {
+        return Err(corrupt());
+    }
+    let n = u16::from_le_bytes(bytes[..2].try_into().unwrap()) as usize;
+    let mut pos = 2usize;
+    let mut next = 0usize;
+    for col in 0..n {
+        // Once every wanted column is emitted, skip the tail entirely —
+        // the full trailing-bytes validation is [`decode_row`]'s job.
+        if next == wanted.len() {
+            return Ok(());
+        }
+        let want = wanted.get(next) == Some(&col);
+        let tag = *bytes.get(pos).ok_or_else(corrupt)?;
+        pos += 1;
+        match tag {
+            0 => {
+                if want {
+                    emit(col, Value::Null);
+                }
+            }
+            1 => {
+                let s = bytes.get(pos..pos + 8).ok_or_else(corrupt)?;
+                if want {
+                    emit(col, Value::Int(i64::from_le_bytes(s.try_into().unwrap())));
+                }
+                pos += 8;
+            }
+            2 => {
+                let s = bytes.get(pos..pos + 8).ok_or_else(corrupt)?;
+                if want {
+                    emit(
+                        col,
+                        Value::Float(f64::from_bits(u64::from_le_bytes(s.try_into().unwrap()))),
+                    );
+                }
+                pos += 8;
+            }
+            3 => {
+                let s = bytes.get(pos..pos + 4).ok_or_else(corrupt)?;
+                let len = u32::from_le_bytes(s.try_into().unwrap()) as usize;
+                pos += 4;
+                let s = bytes.get(pos..pos + len).ok_or_else(corrupt)?;
+                if want {
+                    emit(
+                        col,
+                        Value::Text(String::from_utf8(s.to_vec()).map_err(|_| corrupt())?),
+                    );
+                }
+                pos += len;
+            }
+            4 => {
+                let b = *bytes.get(pos).ok_or_else(corrupt)?;
+                if want {
+                    emit(col, Value::Bool(b != 0));
+                }
+                pos += 1;
+            }
+            5 => {
+                let s = bytes.get(pos..pos + 4).ok_or_else(corrupt)?;
+                if want {
+                    emit(col, Value::Date(i32::from_le_bytes(s.try_into().unwrap())));
+                }
+                pos += 4;
+            }
+            _ => return Err(corrupt()),
+        }
+        if want {
+            next += 1;
+        }
+    }
+    if pos != bytes.len() {
+        return Err(corrupt());
+    }
+    Ok(())
+}
+
 /// Inverse of [`encode_row`].
 pub fn decode_row(bytes: &[u8]) -> RelResult<Vec<Value>> {
     let corrupt = || RelError::Storage(wow_storage::StorageError::Corrupt("bad row encoding"));
@@ -382,6 +476,54 @@ mod tests {
         let vals = sample_values();
         let bytes = encode_row(&vals);
         assert_eq!(decode_row(&bytes).unwrap(), vals);
+    }
+
+    #[test]
+    fn decode_row_cols_matches_full_decode_per_column() {
+        let vals = sample_values();
+        let bytes = encode_row(&vals);
+        // Every single-column subset, skipping across every type.
+        for want in 0..vals.len() {
+            let mut got = Vec::new();
+            decode_row_cols(&bytes, &[want], |c, v| got.push((c, v))).unwrap();
+            assert_eq!(got, vec![(want, vals[want].clone())]);
+        }
+        // A sparse multi-column subset, in order.
+        let mut got = Vec::new();
+        decode_row_cols(&bytes, &[1, 6, 10], |c, v| got.push((c, v))).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (1, Value::Int(-5)),
+                (6, Value::text("")),
+                (10, Value::Date(4890)),
+            ]
+        );
+        // Asking for every column reproduces decode_row.
+        let all: Vec<usize> = (0..vals.len()).collect();
+        let mut got = Vec::new();
+        decode_row_cols(&bytes, &all, |_, v| got.push(v)).unwrap();
+        assert_eq!(got, vals);
+    }
+
+    #[test]
+    fn decode_row_cols_validates_the_prefix_it_reads() {
+        let bytes = encode_row(&sample_values());
+        // The walk stops after the last wanted column: damage past it is
+        // not this function's job to catch (decode_row validates fully).
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(decode_row_cols(&bad, &[], |_, _| {}).is_ok());
+        assert!(decode_row_cols(&bad[..bad.len() - 7], &[0], |_, _| {}).is_ok());
+        // But truncation inside or before a wanted column is caught:
+        // col 1 is an Int whose 8 payload bytes are cut off here.
+        assert!(decode_row_cols(&bytes[..4], &[1], |_, _| {}).is_err());
+        // A wanted column past the end forces a full (validating) walk.
+        assert!(decode_row_cols(&bad, &[42], |_, _| {}).is_err());
+        // Columns past the end of the row are simply never emitted.
+        let mut got = Vec::new();
+        decode_row_cols(&bytes, &[42], |c, _| got.push(c)).unwrap();
+        assert!(got.is_empty());
     }
 
     #[test]

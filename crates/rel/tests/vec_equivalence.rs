@@ -1,0 +1,349 @@
+//! Vectorized-executor equivalence: for any predicate, projection, batch
+//! size, and worker count, the vectorized batch pipeline must behave
+//! exactly like the row-at-a-time reference interpreter — same rows, same
+//! order, same `rows_scanned`/`join_rows`/`index_probes` counters, and an
+//! error if and only if the reference errors.
+//!
+//! Two property suites:
+//!
+//! 1. `vectorized_matches_row_engine` (500 cases) runs whole plans over a
+//!    small freshly built table with NULLs, arbitrary conjunctions
+//!    (comparisons, arithmetic, division that can fail, LIKE, IS NULL,
+//!    disjunctions), expression projections, sort/distinct toggles, and
+//!    batch sizes down to a single row.
+//! 2. `vectorized_matches_row_engine_parallel` (100 cases) runs filtered
+//!    scans over a shared 5 000-row table with 2–8 workers, so the chunked
+//!    parallel scan exercises the same compiled kernels.
+//!
+//! LIMIT plans compare rows but not counters: both engines stop early at
+//! page granularity, but their batch sizes differ, so the number of rows
+//! pulled before the limit is satisfied may legitimately diverge.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use wow_rel::db::Database;
+use wow_rel::expr::{BinOp, Expr};
+use wow_rel::plan::{build_query_block, optimize};
+use wow_rel::quel::ast::{RetrieveStmt, SortKey, Target};
+use wow_rel::value::Value;
+
+fn small_world(rows: &[(i64, Option<i64>, &str)]) -> Database {
+    let mut db = Database::in_memory();
+    db.run("CREATE TABLE t (id INT KEY, x INT, tag TEXT) RANGE OF a IS t")
+        .unwrap();
+    for (id, x, tag) in rows {
+        db.insert(
+            "t",
+            vec![
+                Value::Int(*id),
+                x.map(Value::Int).unwrap_or(Value::Null),
+                Value::text(*tag),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// One WHERE conjunct over the small world's schema.
+#[derive(Debug, Clone)]
+enum Conj {
+    /// `a.x op v`
+    XCmp(BinOp, i64),
+    /// `(a.x arith k) op v`
+    XArithCmp(BinOp, i64, BinOp, i64),
+    /// `k / a.x > v` — errors on rows where `x = 0`, so the error paths of
+    /// both engines (and the AND-narrowing of the vectorized one) line up.
+    DivCmp(i64, i64),
+    /// `a.tag LIKE pattern`
+    TagLike(String),
+    /// `a.x IS NULL` (or its negation)
+    XIsNull(bool),
+    /// `lhs OR rhs`
+    Or(Box<Conj>, Box<Conj>),
+}
+
+impl Conj {
+    fn to_expr(&self) -> Expr {
+        let x = || Box::new(Expr::ColumnRef("a.x".into()));
+        let lit = |v: i64| Box::new(Expr::Literal(Value::Int(v)));
+        match self {
+            Conj::XCmp(op, v) => Expr::Binary {
+                op: *op,
+                left: x(),
+                right: lit(*v),
+            },
+            Conj::XArithCmp(aop, k, cop, v) => Expr::Binary {
+                op: *cop,
+                left: Box::new(Expr::Binary {
+                    op: *aop,
+                    left: x(),
+                    right: lit(*k),
+                }),
+                right: lit(*v),
+            },
+            Conj::DivCmp(k, v) => Expr::Binary {
+                op: BinOp::Gt,
+                left: Box::new(Expr::Binary {
+                    op: BinOp::Div,
+                    left: lit(*k),
+                    right: x(),
+                }),
+                right: lit(*v),
+            },
+            Conj::TagLike(p) => Expr::Like {
+                expr: Box::new(Expr::ColumnRef("a.tag".into())),
+                pattern: p.clone(),
+            },
+            Conj::XIsNull(negated) => {
+                let isnull = Expr::IsNull(x());
+                if *negated {
+                    Expr::Unary {
+                        op: wow_rel::expr::UnOp::Not,
+                        expr: Box::new(isnull),
+                    }
+                } else {
+                    isnull
+                }
+            }
+            Conj::Or(l, r) => Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(l.to_expr()),
+                right: Box::new(r.to_expr()),
+            },
+        }
+    }
+}
+
+fn cmp_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+fn conj_leaf() -> impl Strategy<Value = Conj> {
+    let arith = prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Mod),
+    ];
+    prop_oneof![
+        (cmp_strategy(), -2i64..8).prop_map(|(op, v)| Conj::XCmp(op, v)),
+        (arith, -3i64..4, cmp_strategy(), -4i64..8)
+            .prop_map(|(a, k, c, v)| Conj::XArithCmp(a, k, c, v)),
+        ((-20i64..20), (-4i64..4)).prop_map(|(k, v)| Conj::DivCmp(k, v)),
+        prop_oneof![Just("v*"), Just("*2"), Just("v?"), Just("red")]
+            .prop_map(|p| Conj::TagLike(p.to_string())),
+        any::<bool>().prop_map(Conj::XIsNull),
+    ]
+}
+
+fn conj_strategy() -> impl Strategy<Value = Conj> {
+    prop_oneof![
+        3 => conj_leaf(),
+        1 => (conj_leaf(), conj_leaf()).prop_map(|(l, r)| Conj::Or(Box::new(l), Box::new(r))),
+    ]
+}
+
+fn stmt(
+    conjs: &[Conj],
+    project_expr: bool,
+    unique: bool,
+    sorted: bool,
+    limit: Option<(usize, usize)>,
+) -> RetrieveStmt {
+    let mut targets = vec![
+        Target::Expr {
+            name: None,
+            expr: Expr::ColumnRef("a.x".into()),
+        },
+        Target::Expr {
+            name: None,
+            expr: Expr::ColumnRef("a.tag".into()),
+        },
+    ];
+    if project_expr {
+        targets.push(Target::Expr {
+            name: Some("xx".into()),
+            expr: Expr::Binary {
+                op: BinOp::Add,
+                left: Box::new(Expr::ColumnRef("a.x".into())),
+                right: Box::new(Expr::ColumnRef("a.id".into())),
+            },
+        });
+    }
+    RetrieveStmt {
+        unique,
+        targets,
+        where_: if conjs.is_empty() {
+            None
+        } else {
+            Some(Expr::conjunction(conjs.iter().map(Conj::to_expr).collect()))
+        },
+        group_by: vec![],
+        sort_by: if sorted {
+            vec![SortKey {
+                column: "a.x".into(),
+                ascending: true,
+            }]
+        } else {
+            vec![]
+        },
+        limit,
+    }
+}
+
+/// Run `plan` under both engines (replicas of `db`) and assert equivalence.
+/// `compare_counters` is off for LIMIT plans (see module doc).
+fn assert_engines_agree(
+    db: &Database,
+    plan: &wow_rel::exec::PhysicalPlan,
+    batch: usize,
+    workers: usize,
+    compare_counters: bool,
+) -> Result<(), TestCaseError> {
+    let mut row_db = db.read_replica();
+    row_db.set_workers(workers);
+    row_db.set_vectorized(false);
+    let mut vec_db = db.read_replica();
+    vec_db.set_workers(workers);
+    vec_db.set_vectorized(true);
+    vec_db.set_batch_size(batch);
+    let row_res = wow_rel::exec::execute(&mut row_db, plan);
+    let vec_res = wow_rel::exec::execute(&mut vec_db, plan);
+    match (row_res, vec_res) {
+        (Ok(r), Ok(v)) => {
+            prop_assert_eq!(
+                &r.tuples,
+                &v.tuples,
+                "engines disagree (order matters) at batch={}; plan:\n{}",
+                batch,
+                plan.explain()
+            );
+            prop_assert_eq!(r.schema.len(), v.schema.len());
+            if compare_counters {
+                let rc = row_db.counters();
+                let vc = vec_db.counters();
+                prop_assert_eq!(rc.rows_scanned, vc.rows_scanned, "rows_scanned differ");
+                prop_assert_eq!(rc.join_rows, vc.join_rows, "join_rows differ");
+                prop_assert_eq!(rc.index_probes, vc.index_probes, "index_probes differ");
+            }
+        }
+        (Err(_), Err(_)) => {
+            // Same failure verdict; which row's error surfaces first may
+            // differ between batch and row evaluation order.
+        }
+        (row, vec) => prop_assert!(
+            false,
+            "one engine errored, the other did not: row={:?} vec={:?}; plan:\n{}",
+            row.map(|r| r.tuples.len()),
+            vec.map(|r| r.tuples.len()),
+            plan.explain()
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    fn vectorized_matches_row_engine(
+        conjs in proptest::collection::vec(conj_strategy(), 0..4),
+        rows in proptest::collection::vec(
+            (
+                prop_oneof![4 => (-2i64..8).prop_map(Some), 1 => Just(None)],
+                prop_oneof![Just("v00"), Just("v12"), Just("red"), Just("")],
+            ),
+            0..40,
+        ),
+        batch in 1usize..300,
+        project_expr in any::<bool>(),
+        unique in any::<bool>(),
+        sorted in any::<bool>(),
+        limit in prop_oneof![3 => Just(None), 1 => ((0usize..4), (0usize..20)).prop_map(Some)],
+    ) {
+        let rows: Vec<(i64, Option<i64>, &str)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (x, tag))| (i as i64, *x, *tag))
+            .collect();
+        let db = small_world(&rows);
+        let stmt = stmt(&conjs, project_expr, unique, sorted, limit);
+        let block = build_query_block(&db, &stmt).unwrap();
+        let plan = optimize(&db, &block).unwrap();
+        assert_engines_agree(&db, &plan, batch, 1, limit.is_none())?;
+    }
+}
+
+/// Rows in the shared parallel-path table — above `PAR_SCAN_MIN_ROWS`.
+const BASE_ROWS: i64 = 5_000;
+
+thread_local! {
+    /// Built once per test thread; each case runs against read replicas.
+    static BASE: RefCell<Option<Database>> = const { RefCell::new(None) };
+}
+
+fn build_base() -> Database {
+    let mut db = Database::in_memory();
+    db.run("CREATE TABLE big (id INT KEY, grp INT, val TEXT) RANGE OF a IS big")
+        .unwrap();
+    for i in 0..BASE_ROWS {
+        db.insert(
+            "big",
+            vec![
+                Value::Int(i),
+                Value::Int(i % 53),
+                Value::Text(format!("v{:02}", i % 17)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn vectorized_matches_row_engine_parallel(
+        workers in 2usize..9,
+        batch in 1usize..2000,
+        op in cmp_strategy(),
+        bound in 0i64..60,
+        sorted in any::<bool>(),
+    ) {
+        let stmt = RetrieveStmt {
+            unique: false,
+            targets: vec![
+                Target::Expr { name: None, expr: Expr::ColumnRef("a.id".into()) },
+                Target::Expr { name: None, expr: Expr::ColumnRef("a.val".into()) },
+            ],
+            where_: Some(Expr::Binary {
+                op,
+                left: Box::new(Expr::ColumnRef("a.grp".into())),
+                right: Box::new(Expr::Literal(Value::Int(bound))),
+            }),
+            group_by: vec![],
+            sort_by: if sorted {
+                vec![SortKey { column: "a.id".into(), ascending: false }]
+            } else {
+                vec![]
+            },
+            limit: None,
+        };
+        BASE.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let db = slot.get_or_insert_with(build_base);
+            let block = build_query_block(db, &stmt).unwrap();
+            let plan = optimize(db, &block).unwrap();
+            assert_engines_agree(db, &plan, batch, workers, true)
+        })?;
+    }
+}

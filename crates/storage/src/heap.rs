@@ -402,11 +402,14 @@ impl HeapFile {
         let ahead = (page_idx + 1 + SCAN_READAHEAD).min(self.pages.len());
         pool.prefetch(&self.pages[page_idx + 1..ahead])?;
         let pid = self.pages[page_idx];
-        let cells: Vec<(u16, Vec<u8>)> = pool.with_page(pid, |p| {
-            let s = SlottedRead::open(&p.as_slice()[REGION_OFF..]);
-            s.iter().map(|(slot, c)| (slot, c.to_vec())).collect()
-        })?;
-        for (slot, cell) in cells {
+        // One copy of the whole slotted region instead of one `Vec` per
+        // cell: records reach `f` as slices into this buffer, so a full
+        // page scan costs a single allocation rather than one per row.
+        // (The copy itself is what lets `read_cell` re-enter the pool for
+        // forwarding stubs while we iterate.)
+        let region: Vec<u8> = pool.with_page(pid, |p| p.as_slice()[REGION_OFF..].to_vec())?;
+        let s = SlottedRead::open(&region);
+        for (slot, cell) in s.iter() {
             match cell.first() {
                 Some(&TAG_DATA) => f(Rid::new(pid, slot), &cell[1..]),
                 Some(&TAG_FWD) => {
@@ -420,6 +423,70 @@ impl HeapFile {
                 Some(&TAG_MOVED) => {} // surfaced via its stub
                 _ => return Err(StorageError::Corrupt("bad record tag")),
             }
+        }
+        Ok(true)
+    }
+
+    /// Scan one data page into a caller-owned arena: every live record's
+    /// bytes (record tag stripped) are described by a `(start, end)` pair
+    /// pushed onto `bounds`, in the same order [`HeapFile::scan_page`]
+    /// visits them. The whole slotted region is appended to `arena` with a
+    /// single copy and records become offsets into that copy, so a page
+    /// scan costs no per-record allocation or memcpy — this is the batch
+    /// executor's scan primitive, which drains the arena at its own
+    /// (batch-sized) pace and reuses both buffers across pages. Forwarded
+    /// record bodies land after the region copy but their bounds keep slot
+    /// order. Returns `false` once `page_idx` is past the end of the chain.
+    pub fn scan_page_into<S: PageStore>(
+        &self,
+        pool: &BufferPool<S>,
+        page_idx: usize,
+        arena: &mut Vec<u8>,
+        bounds: &mut Vec<(u32, u32)>,
+    ) -> StorageResult<bool> {
+        if page_idx >= self.pages.len() {
+            return Ok(false);
+        }
+        let ahead = (page_idx + 1 + SCAN_READAHEAD).min(self.pages.len());
+        pool.prefetch(&self.pages[page_idx + 1..ahead])?;
+        let pid = self.pages[page_idx];
+        let base = arena.len();
+        pool.with_page(pid, |p| {
+            arena.extend_from_slice(&p.as_slice()[REGION_OFF..])
+        })?;
+        // Forwarding stubs to resolve once the region borrow ends: the
+        // body bytes must be appended to `arena`, which is frozen while
+        // `SlottedRead` borrows it. `(bounds index, target rid)` pairs.
+        let mut fwds: Vec<(usize, Rid)> = Vec::new();
+        {
+            let region = &arena[base..];
+            let s = SlottedRead::open(region);
+            for slot in 0..s.slot_count() {
+                let Some((start, end)) = s.cell_range(slot) else {
+                    continue;
+                };
+                match region.get(start) {
+                    Some(&TAG_DATA) => {
+                        bounds.push(((base + start + 1) as u32, (base + end) as u32))
+                    }
+                    Some(&TAG_FWD) => {
+                        Rid::from_bytes(&region[start + 1..end])
+                            .map(|t| fwds.push((bounds.len(), t)))
+                            .ok_or(StorageError::Corrupt("bad fwd rid"))?;
+                        bounds.push((0, 0)); // placeholder, patched below
+                    }
+                    Some(&TAG_MOVED) => {} // surfaced via its stub
+                    _ => return Err(StorageError::Corrupt("bad record tag")),
+                }
+            }
+        }
+        for (bi, t) in fwds {
+            let body = self
+                .read_cell(pool, t)?
+                .ok_or(StorageError::Corrupt("dangling forward"))?;
+            let start = arena.len() as u32;
+            arena.extend_from_slice(&body[1..]);
+            bounds[bi] = (start, arena.len() as u32);
         }
         Ok(true)
     }
@@ -592,6 +659,46 @@ mod tests {
         );
         let whole = heap.scan_all(&pool).unwrap();
         assert_eq!(paged, whole);
+    }
+
+    #[test]
+    fn scan_page_into_matches_scan_page_with_forwards_and_deletes() {
+        let (pool, mut heap) = setup();
+        let filler = vec![b'f'; 700];
+        let mut rids = Vec::new();
+        for _ in 0..40 {
+            rids.push(heap.insert(&pool, &filler).unwrap());
+        }
+        // Grow one record past its page's free space so it moves and
+        // leaves a forwarding stub; tombstone another.
+        let big = vec![b'x'; 4000];
+        heap.update(&pool, rids[3], &big).unwrap();
+        heap.delete(&pool, rids[7]).unwrap();
+        assert!(heap.page_count() > 1);
+
+        let mut via_f = Vec::new();
+        let mut idx = 0;
+        while heap
+            .scan_page(&pool, idx, |_, rec| via_f.push(rec.to_vec()))
+            .unwrap()
+        {
+            idx += 1;
+        }
+        let mut arena = Vec::new();
+        let mut bounds = Vec::new();
+        let mut pages_seen = 0;
+        while heap
+            .scan_page_into(&pool, pages_seen, &mut arena, &mut bounds)
+            .unwrap()
+        {
+            pages_seen += 1;
+        }
+        assert_eq!(pages_seen, idx);
+        let via_arena: Vec<Vec<u8>> = bounds
+            .iter()
+            .map(|&(s, e)| arena[s as usize..e as usize].to_vec())
+            .collect();
+        assert_eq!(via_arena, via_f);
     }
 
     #[test]

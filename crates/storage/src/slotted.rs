@@ -295,6 +295,14 @@ impl<'a> SlottedRead<'a> {
 
     /// Read a record. Returns `None` for out-of-range or tombstoned slots.
     pub fn get(&self, slot: u16) -> Option<&'a [u8]> {
+        let (start, end) = self.cell_range(slot)?;
+        Some(&self.buf[start..end])
+    }
+
+    /// Byte range of a live record within the region buffer, or `None`
+    /// for out-of-range or tombstoned slots. Lets a caller that copied
+    /// the region elsewhere describe records as offsets into its copy.
+    pub fn cell_range(&self, slot: u16) -> Option<(usize, usize)> {
         if slot >= self.slot_count() {
             return None;
         }
@@ -302,7 +310,7 @@ impl<'a> SlottedRead<'a> {
         if off == TOMBSTONE {
             return None;
         }
-        Some(&self.buf[off as usize..off as usize + len as usize])
+        Some((off as usize, off as usize + len as usize))
     }
 
     /// Iterate over `(slot, record)` pairs of live records.
