@@ -1,19 +1,22 @@
 //! `bench_gate` — CI regression gate over the repro output.
 //!
 //! ```text
-//! cargo run -p wow-bench --bin bench_gate --release -- BENCH_PR8.json BENCH_PR7.json
+//! cargo run -p wow-bench --bin bench_gate --release -- BENCH_PR9.json BENCH_PR8.json
 //! ```
 //!
 //! Compares the freshly generated bench file (first arg, default
-//! `BENCH_PR8.json`) against the checked-in baseline from the previous PR
-//! (second arg, default `BENCH_PR7.json`) and exits non-zero when:
+//! `BENCH_PR9.json`) against the checked-in baseline from the previous PR
+//! (second arg, default `BENCH_PR8.json`) and exits non-zero when:
 //!
 //! * a required percentile field is missing from the current file
 //!   (`metrics.{browse_open,commit,delta_refresh,query_exec,net_request,net_push}
 //!   .{p50,p95,p99}_ns`), or
 //! * the browse-open, delta-commit, or query-exec p95 regressed more
 //!   than 2× over the baseline. `query_exec` has been enforcing since
-//!   PR7 and now guards the vectorized executor's hot path.
+//!   PR7 and now guards the vectorized executor's hot path, or
+//! * the `tracing.overhead_ratio` section is missing, or the measured
+//!   traced-vs-untraced executor overhead exceeds 5% — always-on causal
+//!   tracing must stay cheap enough to leave on.
 //!
 //! `net_request`/`net_push` stay informational: their server-side spans
 //! include world-lock queueing under an 8-client burst, which is
@@ -32,6 +35,10 @@ use wow_bench::json::{parse, Json};
 
 /// The regression threshold: fail when current p95 exceeds 2× baseline.
 const MAX_RATIO: f64 = 2.0;
+
+/// The tracing-overhead ceiling: traced runs may cost at most 5% more
+/// wall time than untraced runs of the same workload.
+const MAX_TRACING_OVERHEAD: f64 = 1.05;
 
 /// Parse a rendered duration cell ("8314 ns", "163.2 µs", "30.91 ms",
 /// "1.20 s") into nanoseconds.
@@ -78,8 +85,8 @@ fn table_cell_ns(doc: &Json, id: &str, column: &str) -> Option<f64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let current_path = args.first().map(String::as_str).unwrap_or("BENCH_PR8.json");
-    let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR7.json");
+    let current_path = args.first().map(String::as_str).unwrap_or("BENCH_PR9.json");
+    let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR8.json");
 
     let (current, baseline) = match (load(current_path), load(baseline_path)) {
         (Ok(c), Ok(b)) => (c, b),
@@ -176,6 +183,34 @@ fn main() {
                 }
             }
         }
+    }
+
+    // Tracing overhead: read from the current file only — the measurement
+    // is self-relative (traced vs untraced in the same process), so no
+    // baseline is involved and machine weather cancels out.
+    match current
+        .get("tracing")
+        .and_then(|t| t.get("overhead_ratio"))
+        .and_then(Json::as_f64)
+    {
+        Some(ratio) => {
+            let verdict = if ratio <= MAX_TRACING_OVERHEAD {
+                "ok"
+            } else {
+                "FAIL"
+            };
+            println!(
+                "tracing overhead {:.2}% (limit {:.0}%)  {verdict}",
+                (ratio - 1.0) * 100.0,
+                (MAX_TRACING_OVERHEAD - 1.0) * 100.0
+            );
+            if ratio > MAX_TRACING_OVERHEAD {
+                failures.push(format!(
+                    "tracing overhead {ratio:.3}× exceeds {MAX_TRACING_OVERHEAD}×"
+                ));
+            }
+        }
+        None => failures.push(format!("{current_path}: missing tracing.overhead_ratio")),
     }
 
     if failures.is_empty() {

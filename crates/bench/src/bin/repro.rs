@@ -5,20 +5,25 @@
 //! cargo run -p wow-bench --bin repro --release -- table2   # one experiment
 //! cargo run -p wow-bench --bin repro --release -- --smoke  # tiny sizes
 //! cargo run -p wow-bench --bin repro --release -- --metrics # dump percentiles
+//! cargo run -p wow-bench --bin repro --release -- --explain # annotated plan demo
 //! ```
 //!
-//! Besides the rendered text, a machine-readable `BENCH_PR8.json` with the
+//! Besides the rendered text, a machine-readable `BENCH_PR9.json` with the
 //! same rows — plus a `metrics` section carrying p50/p95/p99 latency
-//! percentiles per traced operation, including the `net_request`/`net_push`
-//! server ops and the new `vec_eval` batch-evaluation span — is written to
-//! the working directory (disable with `--no-json`). `--metrics`
-//! additionally prints that section as a human-readable table. The
-//! percentiles come from running the instrumented workload
-//! (`experiments::instrumented_workload`) with the span tracer on, so
-//! `BENCH_PR8.json` is what the CI `bench_gate` binary diffs against the
-//! checked-in baseline.
+//! percentiles per traced operation and a `tracing` section with the
+//! traced-vs-untraced overhead ratio the CI gate bounds — is written to
+//! the working directory (disable with `--no-json`). Two more artifacts
+//! ride along for CI: `METRICS.prom` (the Prometheus-format metrics dump,
+//! same text the wire-level `MetricsDump` request returns) and
+//! `SLOW_QUERIES.log` (the tracer's slow-query log). `--metrics`
+//! additionally prints the percentile section as a human-readable table;
+//! `--explain` prints an `EXPLAIN ANALYZE` annotated plan for a
+//! representative query and exits. The percentiles come from running the
+//! instrumented workload (`experiments::instrumented_workload`) with the
+//! span tracer on, so `BENCH_PR9.json` is what the CI `bench_gate` binary
+//! diffs against the checked-in baseline.
 
-use wow_bench::experiments::{self, Scale};
+use wow_bench::experiments::{self, Scale, TracingOverhead};
 use wow_bench::{fmt_duration, render_table, Table};
 use wow_obs::MetricsSnapshot;
 
@@ -42,7 +47,12 @@ fn json_array(items: impl Iterator<Item = String>) -> String {
 }
 
 /// Serialize the run. Hand-rolled: the offline build has no serde_json.
-fn to_json(scale: Scale, tables: &[Table], metrics: &MetricsSnapshot) -> String {
+fn to_json(
+    scale: Scale,
+    tables: &[Table],
+    metrics: &MetricsSnapshot,
+    overhead: Option<TracingOverhead>,
+) -> String {
     let experiments = json_array(tables.iter().map(|t| {
         let headers = json_array(t.headers.iter().map(|h| format!("\"{}\"", json_escape(h))));
         let rows = json_array(
@@ -82,9 +92,16 @@ fn to_json(scale: Scale, tables: &[Table], metrics: &MetricsSnapshot) -> String 
         .map(|(name, v)| format!("\"{}\":{v}", json_escape(name)))
         .collect::<Vec<_>>()
         .join(",");
+    let tracing = match overhead {
+        Some(o) => format!(
+            ",\"tracing\":{{\"untraced_ns\":{},\"traced_ns\":{},\"overhead_ratio\":{:.4}}}",
+            o.untraced_ns, o.traced_ns, o.ratio
+        ),
+        None => String::new(),
+    };
     format!(
-        "{{\"bench\":\"PR8\",\"scale\":\"{scale:?}\",\"experiments\":{experiments},\
-         \"metrics\":{{{ops}}},\"counters\":{{{counters}}}}}\n"
+        "{{\"bench\":\"PR9\",\"scale\":\"{scale:?}\",\"experiments\":{experiments},\
+         \"metrics\":{{{ops}}},\"counters\":{{{counters}}}{tracing}}}\n"
     )
 }
 
@@ -122,6 +139,11 @@ fn main() {
     } else {
         Scale::Full
     };
+    if args.iter().any(|a| a == "--explain") {
+        println!("EXPLAIN ANALYZE demo (student world, filter + sort + limit):\n");
+        println!("{}", experiments::explain_analyze_demo(scale));
+        return;
+    }
     let write_json = !args.iter().any(|a| a == "--no-json");
     let dump_metrics = args.iter().any(|a| a == "--metrics");
     let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
@@ -160,7 +182,15 @@ fn main() {
     }
     // Percentiles only accompany a full (unfiltered) run: a filtered run is
     // someone iterating on one experiment, and the workload costs seconds.
+    // A 1 ms slow threshold (vs the 100 ms production default) makes the
+    // workload's heavier root spans land in the slow-query log artifact;
+    // the env override survives the per-World threshold resets that
+    // constructing bench worlds would otherwise apply.
     let metrics = if filter.is_empty() && (write_json || dump_metrics) {
+        if std::env::var_os("WOW_SLOW_NS").is_none() {
+            std::env::set_var("WOW_SLOW_NS", "1000000");
+        }
+        wow_obs::tracer().set_slow_threshold_ns(wow_obs::resolve_slow_threshold_ns(1_000_000));
         experiments::instrumented_workload(scale)
     } else {
         MetricsSnapshot::default()
@@ -169,10 +199,37 @@ fn main() {
         print_metrics(&metrics);
     }
     if write_json {
-        let path = "BENCH_PR8.json";
-        match std::fs::write(path, to_json(scale, &tables, &metrics)) {
+        let overhead = experiments::tracing_overhead(scale);
+        println!(
+            "tracing overhead: untraced {} vs traced {} ({:.2}% — gate limit 5%)",
+            fmt_duration(std::time::Duration::from_nanos(overhead.untraced_ns)),
+            fmt_duration(std::time::Duration::from_nanos(overhead.traced_ns)),
+            (overhead.ratio - 1.0) * 100.0
+        );
+        let path = "BENCH_PR9.json";
+        match std::fs::write(path, to_json(scale, &tables, &metrics, Some(overhead))) {
             Ok(()) => println!("wrote {path} ({} experiments)", tables.len()),
             Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        match std::fs::write("METRICS.prom", wow_obs::prometheus(&metrics)) {
+            Ok(()) => println!("wrote METRICS.prom"),
+            Err(e) => eprintln!("could not write METRICS.prom: {e}"),
+        }
+        let slow = wow_obs::tracer().slow_snapshot();
+        let mut log = String::from("# slow-query log: root spans over the slow threshold\n");
+        for s in &slow {
+            log.push_str(&format!(
+                "trace={} span={} op={} dur_ns={} arg={}\n",
+                s.trace_id,
+                s.span_id,
+                s.op.name(),
+                s.dur_ns,
+                s.arg
+            ));
+        }
+        match std::fs::write("SLOW_QUERIES.log", log) {
+            Ok(()) => println!("wrote SLOW_QUERIES.log ({} entries)", slow.len()),
+            Err(e) => eprintln!("could not write SLOW_QUERIES.log: {e}"),
         }
     }
 }

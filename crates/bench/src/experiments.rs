@@ -1692,6 +1692,83 @@ pub fn instrumented_workload(scale: Scale) -> wow_obs::MetricsSnapshot {
     wow_obs::metrics().snapshot()
 }
 
+/// Traced-vs-untraced wall time over the same query workload — the
+/// "observability tax" the CI gate bounds at 5%.
+#[derive(Debug, Clone, Copy)]
+pub struct TracingOverhead {
+    /// Median workload wall time with the tracer off.
+    pub untraced_ns: u64,
+    /// Median workload wall time with the tracer on (spans recorded,
+    /// operators instrumented).
+    pub traced_ns: u64,
+    /// `traced_ns / untraced_ns`.
+    pub ratio: f64,
+}
+
+/// Measure the cost of leaving the tracer on: the same query workload is
+/// timed with tracing off and on, alternating, and the medians compared.
+/// Alternation keeps slow drift (thermal, cache, scheduler) from landing
+/// entirely on one side of the comparison.
+pub fn tracing_overhead(scale: Scale) -> TracingOverhead {
+    let n = scale.pick(2_000, 60_000);
+    let reps = scale.pick(3, 7);
+    let queries = scale.pick(8, 25);
+    let mut world = student_world(n);
+    let run_once = |world: &mut World| {
+        for i in 0..queries {
+            world
+                .db_mut()
+                .run(&format!(
+                    "RETRIEVE (s.sname, s.gpa) WHERE s.year = {} AND s.gpa > 2.0 SORT BY s.gpa",
+                    i % 4
+                ))
+                .unwrap();
+        }
+    };
+    run_once(&mut world); // warmup: first-touch allocation, cold caches
+    let mut untraced = Vec::with_capacity(reps);
+    let mut traced = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        wow_obs::tracer().set_enabled(false);
+        let t0 = Instant::now();
+        run_once(&mut world);
+        untraced.push(t0.elapsed().as_nanos() as u64);
+        wow_obs::tracer().set_enabled(true);
+        let t0 = Instant::now();
+        run_once(&mut world);
+        traced.push(t0.elapsed().as_nanos() as u64);
+    }
+    wow_obs::tracer().set_enabled(false);
+    untraced.sort_unstable();
+    traced.sort_unstable();
+    let u = untraced[reps / 2].max(1);
+    let t = traced[reps / 2];
+    TracingOverhead {
+        untraced_ns: u,
+        traced_ns: t,
+        ratio: t as f64 / u as f64,
+    }
+}
+
+/// The annotated plan behind `repro --explain`: one representative
+/// filter/sort/limit query run through `EXPLAIN ANALYZE`.
+pub fn explain_analyze_demo(scale: Scale) -> String {
+    let n = scale.pick(500, 20_000);
+    let mut world = student_world(n);
+    let rows = world
+        .db_mut()
+        .run(
+            "EXPLAIN ANALYZE RETRIEVE (s.sname, s.gpa) \
+             WHERE s.year = 2 AND s.gpa > 2.0 SORT BY s.gpa LIMIT 10",
+        )
+        .unwrap();
+    rows.tuples
+        .iter()
+        .map(|t| t.values[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 /// Run every experiment at a scale.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![

@@ -31,6 +31,11 @@ pub struct WorldConfig {
     /// reference interpreter everywhere. The `WOW_VECTORIZED` environment
     /// variable overrides either way (see [`wow_rel::db::resolve_vectorized`]).
     pub vectorized: bool,
+    /// Slow-query threshold: traced root spans at least this slow are
+    /// copied into the tracer's slow-query log. `0` disables the log; the
+    /// `WOW_SLOW_NS` environment variable overrides either way (see
+    /// [`wow_obs::resolve_slow_threshold_ns`]).
+    pub slow_query_ns: u64,
 }
 
 impl Default for WorldConfig {
@@ -44,6 +49,7 @@ impl Default for WorldConfig {
             delta_propagation: true,
             workers: 0,
             vectorized: true,
+            slow_query_ns: 100_000_000,
         }
     }
 }

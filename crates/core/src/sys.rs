@@ -2,9 +2,9 @@
 //!
 //! The paper's thesis is that every interaction with shared data happens
 //! through a window on a view. This module makes the system's *runtime
-//! state* — metrics, trace spans, open windows, held locks — shared data
-//! too: four ordinary base tables (`__sys_*`) are materialized from live
-//! state and four ordinary views (`__wow_*`) are registered over them, so
+//! state* — metrics, trace spans, causal traces, open windows, held locks —
+//! shared data too: ordinary base tables (`__sys_*`) are materialized from
+//! live state and ordinary views (`__wow_*`) are registered over them, so
 //! `open_window(session, "__wow_metrics", None)` goes through the exact
 //! same forms/browse machinery as any user view.
 //!
@@ -57,7 +57,7 @@ pub struct ConnectionInfo {
 pub type ConnectionsProvider = Box<dyn Fn() -> Vec<ConnectionInfo> + Send>;
 
 /// The system views, with the QUEL definitions registered for them.
-pub const SYS_VIEWS: [(&str, &str); 6] = [
+pub const SYS_VIEWS: [(&str, &str); 7] = [
     (
         "__wow_metrics",
         "RANGE OF m IS __sys_metrics RETRIEVE (m.metric, m.value)",
@@ -65,6 +65,11 @@ pub const SYS_VIEWS: [(&str, &str); 6] = [
     (
         "__wow_spans",
         "RANGE OF s IS __sys_spans RETRIEVE (s.seq, s.op, s.start_us, s.dur_us, s.arg)",
+    ),
+    (
+        "__wow_traces",
+        "RANGE OF t IS __sys_traces \
+         RETRIEVE (t.seq, t.trace, t.span, t.parent, t.op, t.start_us, t.dur_us, t.arg)",
     ),
     (
         "__wow_windows",
@@ -88,9 +93,11 @@ pub const SYS_VIEWS: [(&str, &str); 6] = [
     ),
 ];
 
-const SYS_DDL: [&str; 6] = [
+const SYS_DDL: [&str; 7] = [
     "CREATE TABLE __sys_metrics (metric TEXT KEY, value INT)",
     "CREATE TABLE __sys_spans (seq INT KEY, op TEXT, start_us INT, dur_us INT, arg INT)",
+    "CREATE TABLE __sys_traces (seq INT KEY, trace INT, span INT, parent INT, op TEXT, \
+     start_us INT, dur_us INT, arg INT)",
     "CREATE TABLE __sys_windows (win INT KEY, view TEXT, session INT, mode TEXT, \
      refresh TEXT, age_ms INT, stale INT, updatable INT, generation INT)",
     "CREATE TABLE __sys_locks (seq INT KEY, relation TEXT, holder INT, mode TEXT)",
@@ -149,6 +156,10 @@ impl World {
         for (name, v) in wow_par::stats::snapshot().rows() {
             m.set(&format!("par.{name}"), v);
         }
+        let t = wow_obs::tracer();
+        m.set("obs.spans_recorded", t.recorded());
+        m.set("obs.spans_dropped", t.dropped());
+        m.set("obs.slow_queries", t.slow_snapshot().len() as u64);
         for name in self.db().catalog().table_names() {
             if let Ok(info) = self.db().catalog().table(&name) {
                 m.set(&format!("rows.{name}"), self.db().row_count(info.id));
@@ -165,12 +176,14 @@ impl World {
         self.export_metrics();
         let metrics = metrics_rows();
         let spans = span_rows();
+        let traces = trace_rows();
         let windows = self.window_rows();
         let locks = self.lock_rows();
         let pool = self.pool_rows();
         let conns = self.conn_rows();
         self.sys_rewrite("__sys_metrics", metrics)?;
         self.sys_rewrite("__sys_spans", spans)?;
+        self.sys_rewrite("__sys_traces", traces)?;
         self.sys_rewrite("__sys_windows", windows)?;
         self.sys_rewrite("__sys_locks", locks)?;
         self.sys_rewrite("__sys_pool", pool)?;
@@ -308,6 +321,29 @@ fn metrics_rows() -> Vec<Vec<Value>> {
         }
     }
     rows
+}
+
+/// `__sys_traces` rows: the tracer's ring with its causal linkage — every
+/// live span's `trace`/`span`/`parent` ids, so one trace's tree can be
+/// reassembled with an ordinary QUEL query over the view (spans recorded
+/// outside any request context carry their own fresh trace ids).
+fn trace_rows() -> Vec<Vec<Value>> {
+    wow_obs::tracer()
+        .snapshot()
+        .into_iter()
+        .map(|s| {
+            vec![
+                Value::Int(s.seq as i64),
+                Value::Int(s.trace_id as i64),
+                Value::Int(s.span_id as i64),
+                Value::Int(s.parent_id as i64),
+                Value::Text(s.op.name().to_string()),
+                Value::Int(s.start_us as i64),
+                Value::Int((s.dur_ns / 1_000) as i64),
+                Value::Int(s.arg as i64),
+            ]
+        })
+        .collect()
 }
 
 /// `__sys_spans` rows: the tracer's ring, oldest first.
@@ -480,6 +516,47 @@ mod tests {
             .run("RANGE OF l IS __sys_locks RETRIEVE (l.relation)")
             .unwrap();
         assert!(rows.tuples.is_empty());
+    }
+
+    #[test]
+    fn traces_window_carries_causal_linkage() {
+        let mut w = world();
+        let t = wow_obs::tracer();
+        t.set_enabled(true);
+        let ctx = wow_obs::TraceContext::mint();
+        {
+            let _g = wow_obs::install_context(Some(ctx));
+            let s = w.open_session();
+            let win = w.open_window(s, "emps", None).unwrap();
+            w.refresh_window(win).unwrap();
+        }
+        w.sys_sync().unwrap();
+        t.set_enabled(false);
+        let rows = w
+            .db_mut()
+            .run("RANGE OF t IS __sys_traces RETRIEVE (t.trace, t.span, t.parent, t.op)")
+            .unwrap();
+        let mine: Vec<_> = rows
+            .tuples
+            .iter()
+            .filter(|r| r.values[0] == Value::Int(ctx.trace_id as i64))
+            .collect();
+        assert!(!mine.is_empty(), "trace rows for the minted trace exist");
+        // Every parent id resolves within the same trace (the minted root
+        // context itself has span id 0).
+        for row in &mine {
+            let parent = &row.values[2];
+            assert!(
+                *parent == Value::Int(0) || mine.iter().any(|r| &r.values[1] == parent),
+                "dangling parent in {row:?}"
+            );
+        }
+        // The metrics export carries the tracer's drop/record gauges.
+        w.export_metrics();
+        let snap = wow_obs::metrics().snapshot();
+        assert!(snap.counter("obs.spans_recorded").unwrap() > 0);
+        assert!(snap.counter("obs.spans_dropped").is_some());
+        assert!(snap.counter("obs.slow_queries").is_some());
     }
 
     #[test]

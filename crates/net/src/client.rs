@@ -8,8 +8,8 @@
 //! that only consumes these APIs can never observe a window going
 //! backwards in time.
 
-use crate::proto::{Push, Request, Response, Screenful};
-use crate::wire::{self, FrameKind, ReadError, VERSION};
+use crate::proto::{Push, Request, Response, Screenful, TraceSpan};
+use crate::wire::{self, FrameKind, ReadError, MIN_VERSION, VERSION};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -22,6 +22,11 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     next_req: u64,
     session: u32,
+    /// Protocol version settled in the handshake; trace contexts are
+    /// minted and attached to requests only at ≥ 2.
+    version: u8,
+    /// The trace id minted for the most recent request (0 before any).
+    last_trace: u64,
     /// Pushes that arrived while waiting for a response.
     stash: VecDeque<Push>,
     /// Highest generation seen per window; lower-or-equal pushes drop.
@@ -39,12 +44,15 @@ impl Client {
             reader,
             next_req: 1,
             session: 0,
+            version: MIN_VERSION,
+            last_trace: 0,
             stash: VecDeque::new(),
             seen_gen: BTreeMap::new(),
         };
         match client.call(&Request::Hello { version: VERSION })? {
-            Response::HelloOk { session, .. } => {
+            Response::HelloOk { session, version } => {
                 client.session = session;
+                client.version = version.min(VERSION);
                 Ok(client)
             }
             other => Err(WowError::Net(format!("bad handshake reply: {other:?}"))),
@@ -56,13 +64,37 @@ impl Client {
         self.session
     }
 
+    /// The protocol version negotiated with the server.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// The trace id this client stamped on its most recent request (0
+    /// before any traced request). Feed it to [`Client::fetch_trace`] to
+    /// pull the request's whole span tree back from the server.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace
+    }
+
     /// Send one request and block for its response. Pushes received while
-    /// waiting are stashed for [`Client::poll_push`].
+    /// waiting are stashed for [`Client::poll_push`]. On a v2 connection
+    /// every request carries a freshly minted trace id, so the server's
+    /// whole handling of it assembles into one retrievable tree.
     pub fn call(&mut self, req: &Request) -> WowResult<Response> {
         let id = self.next_req;
         self.next_req += 1;
-        wire::write_frame(&mut self.writer, FrameKind::Request, id, &req.encode())
-            .map_err(io_err("send"))?;
+        let trace = (self.version >= 2).then(|| {
+            self.last_trace = wow_obs::fresh_trace_id();
+            (self.last_trace, 0)
+        });
+        wire::write_frame_traced(
+            &mut self.writer,
+            FrameKind::Request,
+            id,
+            trace,
+            &req.encode(),
+        )
+        .map_err(io_err("send"))?;
         // No read timeout while a response is owed: the server always
         // answers every request (that is the protocol's contract).
         self.reader
@@ -329,6 +361,22 @@ impl Client {
         match self.call(&Request::Quel { src: src.into() })? {
             Response::Rows { columns, rows } => Ok((columns, rows)),
             other => Err(unexpected("Rows", &other)),
+        }
+    }
+
+    /// Admin: fetch the server's metrics registry as Prometheus text.
+    pub fn metrics_dump(&mut self) -> WowResult<String> {
+        match self.call(&Request::MetricsDump)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
+    /// Admin: fetch every span the server still holds for one trace.
+    pub fn fetch_trace(&mut self, trace_id: u64) -> WowResult<Vec<TraceSpan>> {
+        match self.call(&Request::FetchTrace { trace_id })? {
+            Response::Trace { spans } => Ok(spans),
+            other => Err(unexpected("Trace", &other)),
         }
     }
 

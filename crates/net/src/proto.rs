@@ -130,9 +130,12 @@ fn read_opt_u64(r: &mut PayloadReader<'_>) -> Result<Option<u64>, WireError> {
 /// A client request: the full clerk loop plus session plumbing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Handshake: must be the first request on a connection.
+    /// Handshake: must be the first request on a connection. The server
+    /// accepts any version in `MIN_VERSION..=VERSION` and replies with the
+    /// highest version both sides speak; traced (v2) frames flow only
+    /// after both ends agree on ≥ 2.
     Hello {
-        /// The client's protocol version.
+        /// The newest protocol version the client speaks.
         version: u8,
     },
     /// Keepalive; also resets the server's idle timer.
@@ -240,6 +243,15 @@ pub enum Request {
         /// Window id.
         win: u32,
     },
+    /// Admin: fetch the server's metrics registry as a Prometheus text
+    /// dump ([`Response::Metrics`]). Needs no session.
+    MetricsDump,
+    /// Admin: fetch every recorded span of one trace tree
+    /// ([`Response::Trace`]). Needs no session.
+    FetchTrace {
+        /// The trace id, e.g. the one a v2 client stamped on a request.
+        trace_id: u64,
+    },
 }
 
 impl Request {
@@ -330,6 +342,11 @@ impl Request {
                 w.u8(21);
                 w.u32(*win);
             }
+            Request::MetricsDump => w.u8(22),
+            Request::FetchTrace { trace_id } => {
+                w.u8(23);
+                w.u64(*trace_id);
+            }
         }
         w.into_bytes()
     }
@@ -370,6 +387,8 @@ impl Request {
             19 => Request::Refresh { win: r.u32()? },
             20 => Request::Quel { src: r.str()? },
             21 => Request::GetScreen { win: r.u32()? },
+            22 => Request::MetricsDump,
+            23 => Request::FetchTrace { trace_id: r.u64()? },
             tag => {
                 return Err(WireError::BadTag {
                     what: "request",
@@ -564,6 +583,51 @@ impl ErrorFrame {
 
 // -- Responses ----------------------------------------------------------------
 
+/// One span of a trace tree, flattened for the wire (what
+/// [`Response::Trace`] carries). Mirrors `wow_obs::Span` minus the ring
+/// sequence number, which is meaningless outside the server process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id, unique within the server's tracer.
+    pub span_id: u64,
+    /// The parent span's id; 0 marks a root.
+    pub parent_id: u64,
+    /// Operation name (`wow_obs::Op::name`).
+    pub op: String,
+    /// Span start, microseconds since the tracer epoch.
+    pub start_us: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Operation-specific argument (row count, window id, …).
+    pub arg: u64,
+}
+
+impl TraceSpan {
+    fn encode_into(&self, w: &mut PayloadWriter) {
+        w.u64(self.trace_id);
+        w.u64(self.span_id);
+        w.u64(self.parent_id);
+        w.str(&self.op);
+        w.u64(self.start_us);
+        w.u64(self.dur_ns);
+        w.u64(self.arg);
+    }
+
+    fn decode_from(r: &mut PayloadReader<'_>) -> Result<TraceSpan, WireError> {
+        Ok(TraceSpan {
+            trace_id: r.u64()?,
+            span_id: r.u64()?,
+            parent_id: r.u64()?,
+            op: r.str()?,
+            start_us: r.u64()?,
+            dur_ns: r.u64()?,
+            arg: r.u64()?,
+        })
+    }
+}
+
 /// A server response; each answers exactly one [`Request`].
 #[derive(Debug, Clone)]
 pub enum Response {
@@ -611,6 +675,16 @@ pub enum Response {
     },
     /// The request failed.
     Error(ErrorFrame),
+    /// Prometheus text dump of the server's metrics registry.
+    Metrics {
+        /// The exposition-format text.
+        text: String,
+    },
+    /// Every span the server still holds for one trace id.
+    Trace {
+        /// The spans, in recording order (parents may follow children).
+        spans: Vec<TraceSpan>,
+    },
 }
 
 impl Response {
@@ -665,6 +739,17 @@ impl Response {
                 w.u8(7);
                 e.encode_into(&mut w);
             }
+            Response::Metrics { text } => {
+                w.u8(8);
+                w.str(text);
+            }
+            Response::Trace { spans } => {
+                w.u8(9);
+                w.u32(spans.len() as u32);
+                for s in spans {
+                    s.encode_into(&mut w);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -712,6 +797,23 @@ impl Response {
                 Response::Rows { columns, rows }
             }
             7 => Response::Error(ErrorFrame::decode_from(&mut r)?),
+            8 => Response::Metrics { text: r.str()? },
+            9 => {
+                let n = r.u32()? as usize;
+                // Each span is ≥ 52 bytes; reject impossible counts before
+                // reserving anything.
+                if n > r.remaining() {
+                    return Err(WireError::Truncated {
+                        wanted: n,
+                        got: r.remaining(),
+                    });
+                }
+                let mut spans = Vec::with_capacity(n);
+                for _ in 0..n {
+                    spans.push(TraceSpan::decode_from(&mut r)?);
+                }
+                Response::Trace { spans }
+            }
             tag => {
                 return Err(WireError::BadTag {
                     what: "response",
@@ -861,6 +963,8 @@ mod tests {
                 src: "RANGE OF e IS emp RETRIEVE (e.name)".into(),
             },
             Request::GetScreen { win: 7 },
+            Request::MetricsDump,
+            Request::FetchTrace { trace_id: 0xDEAD },
         ]
     }
 
@@ -918,6 +1022,31 @@ mod tests {
                 table: "emp".into(),
                 blocker: 3,
             })),
+            Response::Metrics {
+                text: "# TYPE wow_gauge gauge\nwow_pool_hits 12\n".into(),
+            },
+            Response::Trace {
+                spans: vec![
+                    TraceSpan {
+                        trace_id: 9,
+                        span_id: 1,
+                        parent_id: 0,
+                        op: "net_request".into(),
+                        start_us: 100,
+                        dur_ns: 5_000,
+                        arg: 14,
+                    },
+                    TraceSpan {
+                        trace_id: 9,
+                        span_id: 2,
+                        parent_id: 1,
+                        op: "query_exec".into(),
+                        start_us: 101,
+                        dur_ns: 3_000,
+                        arg: 2,
+                    },
+                ],
+            },
         ];
         for resp in samples {
             let bytes = resp.encode();
@@ -996,6 +1125,26 @@ mod tests {
                 kind: PushKind::Full,
                 generation: 2,
                 screen: sample_screen(),
+            }
+            .encode(),
+        );
+        payloads.push(
+            Response::Metrics {
+                text: "wow_x 1\n".into(),
+            }
+            .encode(),
+        );
+        payloads.push(
+            Response::Trace {
+                spans: vec![TraceSpan {
+                    trace_id: 1,
+                    span_id: 2,
+                    parent_id: 0,
+                    op: "commit".into(),
+                    start_us: 3,
+                    dur_ns: 4,
+                    arg: 5,
+                }],
             }
             .encode(),
         );

@@ -30,12 +30,12 @@
 //! window, so a client that ignores non-increasing generations can never
 //! regress, no matter what was coalesced away.
 
-use crate::proto::{ErrorFrame, Push, PushKind, Request, Response, Screenful};
-use crate::wire::{self, FrameKind, ReadError, VERSION};
+use crate::proto::{ErrorFrame, Push, PushKind, Request, Response, Screenful, TraceSpan};
+use crate::wire::{self, FrameKind, ReadError, MIN_VERSION, VERSION};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::BufReader;
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use wow_core::{ConnectionInfo, RefreshKind, SessionId, WinId, World, WowError, WowResult};
@@ -78,6 +78,10 @@ enum OutMsg {
         win: u32,
         /// Refresh generation (latest wins).
         generation: u64,
+        /// The `(trace_id, span_id)` of the `NetPush` span that routed
+        /// this screenful — stamped on the frame for v2 clients so the
+        /// push joins the originating commit's trace tree.
+        trace: Option<(u64, u64)>,
         /// Encoded `Push`.
         payload: Vec<u8>,
     },
@@ -88,6 +92,9 @@ struct Conn {
     id: u64,
     peer: String,
     session: Mutex<Option<SessionId>>,
+    /// Protocol version negotiated in the `Hello` exchange; frames carry
+    /// trace prefixes only when this reaches 2.
+    version: AtomicU8,
     outbox: Mutex<VecDeque<OutMsg>>,
     wake: Condvar,
     closing: AtomicBool,
@@ -107,21 +114,24 @@ impl Conn {
             OutMsg::Push {
                 win,
                 generation,
+                trace,
                 payload,
             } => {
                 let existing = q.iter_mut().find_map(|m| match m {
                     OutMsg::Push {
                         win: w,
                         generation: g,
+                        trace: t,
                         payload: p,
-                    } if *w == win => Some((g, p)),
+                    } if *w == win => Some((g, t, p)),
                     _ => None,
                 });
-                if let Some((g, p)) = existing {
+                if let Some((g, t, p)) = existing {
                     // Same window already queued: keep whichever screenful
                     // is newer, count the one that lost.
                     if generation > *g {
                         *g = generation;
+                        *t = trace;
                         *p = payload;
                     }
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -138,6 +148,7 @@ impl Conn {
                     q.push_back(OutMsg::Push {
                         win,
                         generation,
+                        trace,
                         payload,
                     });
                 }
@@ -316,6 +327,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             id,
             peer: peer.to_string(),
             session: Mutex::new(None),
+            version: AtomicU8::new(MIN_VERSION),
             outbox: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
             closing: AtomicBool::new(false),
@@ -374,11 +386,16 @@ fn writer_loop(stream: TcpStream, shared: Arc<Shared>, conn: Arc<Conn>) {
             }
         };
         let Some(msg) = msg else { break };
-        let (kind, req_id, payload) = match &msg {
-            OutMsg::Response { req_id, payload } => (FrameKind::Response, *req_id, payload),
-            OutMsg::Push { payload, .. } => (FrameKind::Push, 0, payload),
+        let (kind, req_id, trace, payload) = match &msg {
+            OutMsg::Response { req_id, payload } => (FrameKind::Response, *req_id, None, payload),
+            OutMsg::Push { payload, trace, .. } => (FrameKind::Push, 0, *trace, payload),
         };
-        if wire::write_frame(&mut stream, kind, req_id, payload).is_err() {
+        // Trace prefixes only after both sides negotiated version 2; a v1
+        // client must keep receiving byte-identical v1 frames.
+        let trace = (conn.version.load(Ordering::Relaxed) >= 2)
+            .then_some(trace)
+            .flatten();
+        if wire::write_frame_traced(&mut stream, kind, req_id, trace, payload).is_err() {
             // The peer stopped reading; abort both directions so the
             // reader unblocks too.
             conn.start_closing();
@@ -440,6 +457,15 @@ fn reader_loop(stream: TcpStream, shared: Arc<Shared>, conn: Arc<Conn>) {
         conn.requests.fetch_add(1, Ordering::Relaxed);
         wow_obs::metrics().add("net.requests", 1);
         let goodbye = {
+            // Adopt the client's trace context (v2 frames) or mint a fresh
+            // trace, so everything this request does — executor operators,
+            // worker-pool scans, pushes to *other* clients — joins one tree
+            // rooted at this NetRequest span.
+            let ctx = frame
+                .trace
+                .map(|(trace_id, span_id)| wow_obs::TraceContext { trace_id, span_id })
+                .unwrap_or_else(wow_obs::TraceContext::mint);
+            let _trace = wow_obs::install_context(Some(ctx));
             let _span = wow_obs::span(wow_obs::Op::NetRequest);
             handle_frame(&shared, &conn, frame.req_id, &frame.payload)
         };
@@ -502,11 +528,14 @@ fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, req_id: u64, payload: &[
 fn execute(shared: &Arc<Shared>, conn: &Arc<Conn>, req: &Request) -> Response {
     // Handshake is special: it runs before a session exists.
     if let Request::Hello { version } = req {
-        if *version != VERSION {
+        if *version < MIN_VERSION {
             return Response::Error(ErrorFrame::protocol(format!(
-                "client speaks protocol {version}, server speaks {VERSION}"
+                "client speaks protocol {version}, server speaks {MIN_VERSION}..={VERSION}"
             )));
         }
+        // Settle on the newest version both sides understand; a newer
+        // client downgrades to us, an older one keeps its own version.
+        let negotiated = (*version).min(VERSION);
         // Lock order is world → session; check-then-set is race-free here
         // because only this connection's single reader thread says hello.
         if conn.session.lock().expect("session poisoned").is_some() {
@@ -518,9 +547,10 @@ fn execute(shared: &Arc<Shared>, conn: &Arc<Conn>, req: &Request) -> Response {
         };
         let sess = world.open_session();
         *conn.session.lock().expect("session poisoned") = Some(sess);
+        conn.version.store(negotiated, Ordering::SeqCst);
         return Response::HelloOk {
             session: sess.0,
-            version: VERSION,
+            version: negotiated,
         };
     }
     if matches!(req, Request::Ping) {
@@ -528,6 +558,36 @@ fn execute(shared: &Arc<Shared>, conn: &Arc<Conn>, req: &Request) -> Response {
     }
     if matches!(req, Request::Goodbye) {
         return Response::Bye;
+    }
+    // Admin requests need no session: they read observability state, not
+    // the clerk's windows.
+    if matches!(req, Request::MetricsDump) {
+        // Refresh the world-derived gauges so the dump is current, then
+        // render the registry.
+        let mut world = shared.world.lock().expect("world poisoned");
+        if let Some(world) = world.as_mut() {
+            world.export_metrics();
+        }
+        drop(world);
+        return Response::Metrics {
+            text: wow_obs::prometheus(&wow_obs::metrics().snapshot()),
+        };
+    }
+    if let Request::FetchTrace { trace_id } = req {
+        let spans = wow_obs::tracer()
+            .trace_spans(*trace_id)
+            .into_iter()
+            .map(|s| TraceSpan {
+                trace_id: s.trace_id,
+                span_id: s.span_id,
+                parent_id: s.parent_id,
+                op: s.op.name().to_string(),
+                start_us: s.start_us,
+                dur_ns: s.dur_ns,
+                arg: s.arg,
+            })
+            .collect();
+        return Response::Trace { spans };
     }
     let Some(sess) = *conn.session.lock().expect("session poisoned") else {
         return Response::Error(ErrorFrame::protocol("say hello first"));
@@ -572,7 +632,11 @@ fn run_request(world: &mut World, sess: SessionId, req: &Request) -> WowResult<R
         })
     };
     match req {
-        Request::Hello { .. } | Request::Ping | Request::Goodbye => {
+        Request::Hello { .. }
+        | Request::Ping
+        | Request::Goodbye
+        | Request::MetricsDump
+        | Request::FetchTrace { .. } => {
             unreachable!("handled before dispatch")
         }
         Request::DefineView { name, src } => {
@@ -706,7 +770,13 @@ fn route_pushes(
     };
     let conns = shared.conns.lock().expect("conns poisoned");
     for ev in events {
-        let _span = wow_obs::span(wow_obs::Op::NetPush);
+        // The NetPush span parents to the NetRequest (installed by the
+        // reader loop) that caused this refresh; its context is stamped on
+        // the outgoing frame so the receiving client can cite the same
+        // tree. One span per delivered screenful.
+        let mut span = wow_obs::span(wow_obs::Op::NetPush);
+        span.arg(ev.win.0 as u64);
+        let push_ctx = span.context();
         let target = conns
             .values()
             .find(|c| *c.session.lock().expect("session poisoned") == Some(ev.session));
@@ -732,6 +802,7 @@ fn route_pushes(
             OutMsg::Push {
                 win: ev.win.0,
                 generation: ev.generation,
+                trace: push_ctx.map(|c| (c.trace_id, c.span_id)),
                 payload,
             },
             shared.cfg.outbox_capacity,

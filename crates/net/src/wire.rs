@@ -5,13 +5,22 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic           b"WOWP"
-//!      4     1  protocol version (1)
+//!      4     1  protocol version (1 or 2)
 //!      5     1  frame kind       (0 request, 1 response, 2 push)
-//!      6     2  reserved         (must be 0)
+//!      6     1  flags            (v1: must be 0; v2: bit0 = trace prefix)
+//!      7     1  reserved         (must be 0)
 //!      8     8  request id, LE   (echoed in the response; 0 for pushes)
 //!     16     4  payload length, LE  (≤ MAX_PAYLOAD)
 //!     20     n  payload
 //! ```
+//!
+//! Version 2 adds causal-trace propagation: when header byte 6 has
+//! [`FLAG_TRACE`] set, the first [`TRACE_PREFIX_LEN`] payload bytes are a
+//! trace context — `trace_id` then parent `span_id`, both `u64` LE — which
+//! the reader strips into [`Frame::trace`]. A v1 frame is byte-identical
+//! to what this crate always produced, and [`write_frame`] still emits it,
+//! so an old peer never sees a byte it cannot parse unless it negotiated
+//! version 2 in the `Hello` exchange.
 //!
 //! All integers are little-endian. The decoder is written to survive a
 //! hostile peer: every read is bounds-checked, payload lengths are capped
@@ -26,12 +35,22 @@ use std::io::{Read, Write};
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"WOWP";
 
-/// Protocol version. A server refuses frames from a different version in
-/// the handshake so old clients fail fast with a clear error.
-pub const VERSION: u8 = 1;
+/// Newest protocol version this build speaks. Version 2 adds the optional
+/// per-frame trace prefix; the `Hello` exchange negotiates down to the
+/// highest version both sides support.
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version this build still accepts.
+pub const MIN_VERSION: u8 = 1;
 
 /// Fixed frame-header size.
 pub const HEADER_LEN: usize = 20;
+
+/// Header flag (byte 6, v2 only): the payload starts with a trace prefix.
+pub const FLAG_TRACE: u8 = 1;
+
+/// Size of the v2 trace prefix: `trace_id` + parent `span_id`, `u64` LE.
+pub const TRACE_PREFIX_LEN: usize = 16;
 
 /// Hard cap on a frame payload. Larger lengths are rejected before any
 /// buffer is allocated; honest payloads (screenfuls, QUEL results) are
@@ -68,7 +87,10 @@ pub struct Frame {
     pub kind: FrameKind,
     /// Request id (0 for pushes).
     pub req_id: u64,
-    /// The message payload (decode with `proto`).
+    /// Trace context carried by a v2 frame: `(trace_id, parent_span_id)`.
+    /// `None` for v1 frames and v2 frames without [`FLAG_TRACE`].
+    pub trace: Option<(u64, u64)>,
+    /// The message payload (decode with `proto`), trace prefix stripped.
     pub payload: Vec<u8>,
 }
 
@@ -110,7 +132,10 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
             WireError::BadVersion(v) => {
-                write!(f, "protocol version {v} (this build speaks {VERSION})")
+                write!(
+                    f,
+                    "protocol version {v} (this build speaks {MIN_VERSION}..={VERSION})"
+                )
             }
             WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             WireError::BadReserved => write!(f, "reserved header bytes set"),
@@ -184,7 +209,8 @@ impl From<ReadError> for wow_core::WowError {
     }
 }
 
-/// Write one frame.
+/// Write one v1 frame — byte-identical to every earlier release, safe to
+/// send before version negotiation completes or to a v1 peer.
 pub fn write_frame(
     w: &mut impl Write,
     kind: FrameKind,
@@ -194,11 +220,41 @@ pub fn write_frame(
     debug_assert!(payload.len() <= MAX_PAYLOAD);
     let mut header = [0u8; HEADER_LEN];
     header[0..4].copy_from_slice(&MAGIC);
-    header[4] = VERSION;
+    header[4] = MIN_VERSION;
     header[5] = kind as u8;
     header[8..16].copy_from_slice(&req_id.to_le_bytes());
     header[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Write one frame carrying a trace context `(trace_id, parent_span_id)`.
+/// With a trace this emits a v2 frame with [`FLAG_TRACE`] and the 16-byte
+/// prefix; without one it falls back to the plain v1 encoding, so callers
+/// can use it unconditionally once version 2 is negotiated.
+pub fn write_frame_traced(
+    w: &mut impl Write,
+    kind: FrameKind,
+    req_id: u64,
+    trace: Option<(u64, u64)>,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let Some((trace_id, parent_id)) = trace else {
+        return write_frame(w, kind, req_id, payload);
+    };
+    debug_assert!(payload.len() + TRACE_PREFIX_LEN <= MAX_PAYLOAD);
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4] = VERSION;
+    header[5] = kind as u8;
+    header[6] = FLAG_TRACE;
+    header[8..16].copy_from_slice(&req_id.to_le_bytes());
+    let len = (payload.len() + TRACE_PREFIX_LEN) as u32;
+    header[16..20].copy_from_slice(&len.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&trace_id.to_le_bytes())?;
+    w.write_all(&parent_id.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
@@ -224,11 +280,16 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, ReadError> {
         m.copy_from_slice(&header[0..4]);
         return Err(ReadError::Wire(WireError::BadMagic(m)));
     }
-    if header[4] != VERSION {
-        return Err(ReadError::Wire(WireError::BadVersion(header[4])));
+    let version = header[4];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(ReadError::Wire(WireError::BadVersion(version)));
     }
     let kind = FrameKind::from_u8(header[5]).map_err(ReadError::Wire)?;
-    if header[6] != 0 || header[7] != 0 {
+    // v1 reserves both bytes; v2 turns byte 6 into a flags field but every
+    // undefined bit must still be zero so future flags fail loudly.
+    let flags = header[6];
+    let known = if version >= 2 { FLAG_TRACE } else { 0 };
+    if flags & !known != 0 || header[7] != 0 {
         return Err(ReadError::Wire(WireError::BadReserved));
     }
     let req_id = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
@@ -238,9 +299,24 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, ReadError> {
     }
     let mut payload = vec![0u8; len as usize];
     read_exact(r, &mut payload)?;
+    let trace = if flags & FLAG_TRACE != 0 {
+        if payload.len() < TRACE_PREFIX_LEN {
+            return Err(ReadError::Wire(WireError::Truncated {
+                wanted: TRACE_PREFIX_LEN,
+                got: payload.len(),
+            }));
+        }
+        let trace_id = u64::from_le_bytes(payload[0..8].try_into().expect("8"));
+        let parent_id = u64::from_le_bytes(payload[8..16].try_into().expect("8"));
+        payload.drain(0..TRACE_PREFIX_LEN);
+        Some((trace_id, parent_id))
+    } else {
+        None
+    };
     Ok(Frame {
         kind,
         req_id,
+        trace,
         payload,
     })
 }
@@ -517,7 +593,60 @@ mod tests {
         let frame = read_frame(&mut buf.as_slice()).unwrap();
         assert_eq!(frame.kind, FrameKind::Request);
         assert_eq!(frame.req_id, 42);
+        assert_eq!(frame.trace, None);
         assert_eq!(frame.payload, b"hello");
+        assert_eq!(buf[4], MIN_VERSION, "plain frames stay v1 on the wire");
+    }
+
+    #[test]
+    fn traced_frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, FrameKind::Push, 7, Some((0xAB, 0xCD)), b"body").unwrap();
+        assert_eq!(buf[4], VERSION);
+        assert_eq!(buf[6], FLAG_TRACE);
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame.kind, FrameKind::Push);
+        assert_eq!(frame.req_id, 7);
+        assert_eq!(frame.trace, Some((0xAB, 0xCD)));
+        assert_eq!(frame.payload, b"body", "prefix is stripped from payload");
+    }
+
+    #[test]
+    fn traceless_traced_write_is_byte_identical_to_v1() {
+        let mut plain = Vec::new();
+        write_frame(&mut plain, FrameKind::Response, 3, b"x").unwrap();
+        let mut traced = Vec::new();
+        write_frame_traced(&mut traced, FrameKind::Response, 3, None, b"x").unwrap();
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn v2_rejects_unknown_flags_and_short_trace_prefix() {
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, FrameKind::Request, 1, Some((9, 9)), b"").unwrap();
+        // Any flag bit beyond FLAG_TRACE must be refused even on v2.
+        let mut bad_flags = buf.clone();
+        bad_flags[6] = FLAG_TRACE | 0x80;
+        assert!(matches!(
+            read_frame(&mut bad_flags.as_slice()),
+            Err(ReadError::Wire(WireError::BadReserved))
+        ));
+        // A trace flag on a payload too short for the prefix is truncation.
+        let mut short = buf.clone();
+        short[16..20].copy_from_slice(&8u32.to_le_bytes());
+        short.truncate(HEADER_LEN + 8);
+        assert!(matches!(
+            read_frame(&mut short.as_slice()),
+            Err(ReadError::Wire(WireError::Truncated { .. }))
+        ));
+        // A v1 frame may not carry the trace flag at all.
+        let mut v1 = Vec::new();
+        write_frame(&mut v1, FrameKind::Request, 1, b"").unwrap();
+        v1[6] = FLAG_TRACE;
+        assert!(matches!(
+            read_frame(&mut v1.as_slice()),
+            Err(ReadError::Wire(WireError::BadReserved))
+        ));
     }
 
     #[test]

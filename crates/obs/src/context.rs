@@ -1,0 +1,130 @@
+//! Request-scoped trace contexts.
+//!
+//! A [`TraceContext`] names a position in a causal trace: which trace the
+//! work belongs to (`trace_id`) and which span any child started under it
+//! should parent to (`span_id`). The *current* context lives in a
+//! thread-local slot; [`crate::Tracer::start`] reads it to fill a new
+//! span's `trace_id`/`parent_id` and installs the new span's own context
+//! for the guard's lifetime, so nested guards assemble into a tree with no
+//! explicit plumbing.
+//!
+//! The context crosses boundaries the thread-local cannot see on its own:
+//!
+//! * **threads** — `wow-par` captures the submitter's context before
+//!   spawning and installs it in every worker ([`install_context`]);
+//! * **the wire** — `wow-net` encodes `(trace_id, span_id)` into a frame
+//!   header extension and re-installs it server-side, so one client
+//!   request becomes one connected tree across processes.
+//!
+//! A context is sixteen bytes and `Copy`; reading the current one is a
+//! thread-local load. Nothing here takes a lock.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A position in a causal trace: the trace id plus the span id that
+/// children should parent to (`0` = no parent: children become roots of
+/// the trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Which trace this work belongs to (never 0 for a minted context).
+    pub trace_id: u64,
+    /// The span children should cite as `parent_id` (0 = root).
+    pub span_id: u64,
+}
+
+/// Trace ids are minted from a process-global counter; 0 is reserved to
+/// mean "no trace".
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Mint a process-unique trace id (never 0).
+pub fn fresh_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+impl TraceContext {
+    /// A fresh root context: a new trace with no parent span. Spans started
+    /// under it become roots of the new trace.
+    pub fn mint() -> TraceContext {
+        TraceContext {
+            trace_id: fresh_trace_id(),
+            span_id: 0,
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The context spans started on this thread currently parent to.
+pub fn current_context() -> Option<TraceContext> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Install `ctx` as this thread's current context until the returned guard
+/// drops, which restores whatever was installed before. Guards must be
+/// dropped in LIFO order (scope them; don't store them loose).
+pub fn install_context(ctx: Option<TraceContext>) -> ContextGuard {
+    let prev = CURRENT.with(|c| c.replace(ctx));
+    ContextGuard {
+        prev,
+        _not_send: PhantomData,
+    }
+}
+
+/// RAII restore of the previously installed context. `!Send`: it must drop
+/// on the thread that created it, or it would restore the wrong slot.
+pub struct ContextGuard {
+    prev: Option<TraceContext>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CURRENT.with(|c| c.set(prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_unique_and_nonzero() {
+        let a = fresh_trace_id();
+        let b = fresh_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        assert_eq!(current_context(), None);
+        let outer = TraceContext::mint();
+        {
+            let _g1 = install_context(Some(outer));
+            assert_eq!(current_context(), Some(outer));
+            let inner = TraceContext {
+                trace_id: outer.trace_id,
+                span_id: 42,
+            };
+            {
+                let _g2 = install_context(Some(inner));
+                assert_eq!(current_context(), Some(inner));
+            }
+            assert_eq!(current_context(), Some(outer));
+        }
+        assert_eq!(current_context(), None);
+    }
+
+    #[test]
+    fn context_does_not_leak_across_threads() {
+        let _g = install_context(Some(TraceContext::mint()));
+        std::thread::spawn(|| assert_eq!(current_context(), None))
+            .join()
+            .unwrap();
+    }
+}

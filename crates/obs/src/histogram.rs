@@ -255,6 +255,71 @@ mod tests {
     }
 
     #[test]
+    fn merge_of_disjoint_bucket_ranges() {
+        // `a` holds only tiny exact-bucket values, `b` only huge clamped
+        // ones — no bucket overlaps, so the merge must be a pure union.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=10u64 {
+            a.record(v);
+        }
+        for v in [1_000_000_000u64, 2_000_000_000, u64::MAX] {
+            b.record(v);
+        }
+        let (ca, cb) = (a.count(), b.count());
+        a.merge(&b);
+        assert_eq!(a.count(), ca + cb);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), u64::MAX);
+        // Low quantiles come from a's range, the top from b's.
+        assert!(a.value_at_quantile(0.5) <= 10);
+        assert_eq!(a.value_at_quantile(1.0), u64::MAX);
+        // Merging into an empty histogram is the identity.
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), a.count());
+        assert_eq!(empty.min(), a.min());
+        assert_eq!(empty.max(), a.max());
+        assert_eq!(empty.value_at_quantile(0.95), a.value_at_quantile(0.95));
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_and_max_bounded() {
+        let mut h = Histogram::new();
+        for v in [7u64, 300, 12_345, 999_999] {
+            h.record(v);
+        }
+        // q=0.0 must report a value covering the smallest recording
+        // (bucket upper bound, never below min, never above max)...
+        let q0 = h.value_at_quantile(0.0);
+        assert!(q0 >= h.min() && q0 <= h.max(), "q0={q0}");
+        // ...and q=1.0 is the exact max.
+        assert_eq!(h.value_at_quantile(1.0), h.max());
+        // Out-of-range quantiles clamp instead of panicking.
+        assert_eq!(h.value_at_quantile(-3.0), q0);
+        assert_eq!(h.value_at_quantile(42.0), h.max());
+        // A single-value histogram answers every quantile with that value's
+        // bucket, capped at the exact max.
+        let mut one = Histogram::new();
+        one.record(500);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(one.value_at_quantile(q), 500);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0, "empty min reports 0, not u64::MAX");
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.value_at_quantile(0.0), 0);
+        assert_eq!(h.value_at_quantile(1.0), 0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
     fn huge_values_clamp_instead_of_panicking() {
         let mut h = Histogram::new();
         h.record(u64::MAX);

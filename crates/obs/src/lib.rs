@@ -5,30 +5,38 @@
 //! state* shared data too. It has three layers:
 //!
 //! * [`tracer`] — a ring-buffered span tracer with fixed-size records
-//!   (zero-alloc hot path). Instrumentation points live in form compile,
-//!   browse open/page fetch, query execution, delta vs. full refresh, lock
-//!   acquisition, WAL append, TUI redraw, and through-window commits.
+//!   (zero-alloc hot path) and causal linkage: every span carries
+//!   `trace_id`/`span_id`/`parent_id`, so one request assembles into one
+//!   tree from wire decode to the last push frame. Root spans over a
+//!   configurable threshold land in a bounded slow-query log.
+//! * [`context`] — the request-scoped [`context::TraceContext`] that links
+//!   spans across nesting, thread, and wire boundaries.
 //! * [`histogram`] — HDR-style fixed-bucket latency histograms, one per
 //!   traced operation, giving p50/p95/p99 instead of means.
 //! * [`metrics`] — the unified [`metrics::MetricsRegistry`] that absorbs
 //!   the formerly scattered counter structs (`PoolStats`, `WorldStats`,
-//!   `StatsRegistry`) as named gauges behind one API.
+//!   `StatsRegistry`) as named gauges behind one API, renderable as a
+//!   Prometheus text dump ([`metrics::prometheus`]).
 //!
 //! `wow-core` exposes all of it as browsable **system tables**
-//! (`__wow_metrics`, `__wow_spans`, `__wow_windows`, `__wow_locks`)
-//! through the standard `open_window` path.
+//! (`__wow_metrics`, `__wow_spans`, `__wow_traces`, `__wow_windows`,
+//! `__wow_locks`) through the standard `open_window` path, and `wow-net`
+//! serves the Prometheus dump and per-trace span trees over admin
+//! requests.
 //!
 //! Gating: the `trace` cargo feature (default on) compiles instrumentation
 //! in; with the feature on, recording still costs one relaxed atomic load
 //! until [`Tracer::set_enabled`] turns it on.
 
+pub mod context;
 pub mod histogram;
 pub mod metrics;
 pub mod tracer;
 
+pub use context::{current_context, fresh_trace_id, install_context, ContextGuard, TraceContext};
 pub use histogram::{Histogram, HistogramSnapshot};
-pub use metrics::{metrics, MetricsRegistry, MetricsSnapshot};
-pub use tracer::{tracer, Op, Span, SpanGuard, Tracer};
+pub use metrics::{metrics, prometheus, MetricsRegistry, MetricsSnapshot};
+pub use tracer::{resolve_slow_threshold_ns, tracer, Op, Span, SpanGuard, Tracer};
 
 /// Start a span on the global tracer (one atomic load when tracing is off).
 #[inline]

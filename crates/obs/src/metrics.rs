@@ -129,6 +129,42 @@ impl MetricsRegistry {
     }
 }
 
+/// Render a snapshot in the Prometheus text exposition format — the
+/// metrics-export surface served over the wow-net admin request and dumped
+/// by the bench tools. Gauge names are the registry's dotted names with
+/// `.` mapped to `_` and a `wow_` prefix; per-op latencies become one
+/// summary family with `op` labels.
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    fn sanitize(name: &str) -> String {
+        name.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect()
+    }
+    let mut out = String::new();
+    out.push_str("# TYPE wow_gauge gauge\n");
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("wow_{} {}\n", sanitize(name), v));
+    }
+    out.push_str("# TYPE wow_op_latency_ns summary\n");
+    for (op, s) in &snap.ops {
+        let name = op.name();
+        for (q, v) in [("0.5", s.p50_ns), ("0.95", s.p95_ns), ("0.99", s.p99_ns)] {
+            out.push_str(&format!(
+                "wow_op_latency_ns{{op=\"{name}\",quantile=\"{q}\"}} {v}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "wow_op_latency_ns_count{{op=\"{name}\"}} {}\n",
+            s.count
+        ));
+        out.push_str(&format!(
+            "wow_op_latency_ns_sum{{op=\"{name}\"}} {}\n",
+            s.mean_ns.saturating_mul(s.count)
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +192,21 @@ mod tests {
         assert_eq!(c.count, 100);
         assert!(c.p50_ns >= 45_000 && c.p50_ns <= 55_000, "{c:?}");
         assert!(s.op(Op::WalAppend).is_none(), "unrecorded ops are absent");
+    }
+
+    #[test]
+    fn prometheus_renders_gauges_and_summaries() {
+        let m = MetricsRegistry::new();
+        m.set("pool.hits", 12);
+        m.record(Op::Commit, 1_000);
+        m.record(Op::Commit, 2_000);
+        let text = prometheus(&m.snapshot());
+        assert!(text.contains("# TYPE wow_gauge gauge"));
+        assert!(text.contains("wow_pool_hits 12"));
+        assert!(text.contains("wow_op_latency_ns{op=\"commit\",quantile=\"0.5\"}"));
+        assert!(text.contains("wow_op_latency_ns_count{op=\"commit\"} 2"));
+        // Every line is `name{labels} value` or a comment — no empty lines.
+        assert!(text.lines().all(|l| !l.trim().is_empty()));
     }
 
     #[test]

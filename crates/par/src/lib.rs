@@ -154,7 +154,11 @@ impl Pool {
         self.map(ranges, |_, r| f(r))
     }
 
-    /// Execute boxed tasks across the pool with panic propagation.
+    /// Execute boxed tasks across the pool with panic propagation. The
+    /// submitting thread's [`wow_obs::TraceContext`] is captured here and
+    /// installed in every worker, so spans recorded inside tasks parent to
+    /// the span that scattered the work — a fresh OS thread has no other
+    /// way to learn which request it is serving.
     fn run_tasks(&self, tasks: Vec<Task<'_>>) {
         let n = tasks.len();
         stats::note_tasks(n as u64);
@@ -162,11 +166,14 @@ impl Pool {
             return;
         }
         if self.workers == 1 || n == 1 {
+            // Inline on the submitting thread: the context is already
+            // installed there, making a size-1 pool bit-for-bit serial.
             for t in tasks {
                 t();
             }
             return;
         }
+        let ctx = wow_obs::current_context();
         let slots: Vec<Mutex<Option<Task<'_>>>> =
             tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let next = AtomicUsize::new(0);
@@ -175,26 +182,29 @@ impl Pool {
         let nthreads = self.workers.min(n);
         std::thread::scope(|s| {
             for _ in 0..nthreads {
-                s.spawn(|| loop {
-                    if poisoned.load(Ordering::Acquire) {
-                        return;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        return;
-                    }
-                    let task = slots[i]
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .take()
-                        .expect("each task runs once");
-                    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                        poisoned.store(true, Ordering::Release);
-                        let mut slot = panic_box.lock().unwrap_or_else(|e| e.into_inner());
-                        if slot.is_none() {
-                            *slot = Some(payload);
+                s.spawn(|| {
+                    let _trace = wow_obs::install_context(ctx);
+                    loop {
+                        if poisoned.load(Ordering::Acquire) {
+                            return;
                         }
-                        return;
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return;
+                        }
+                        let task = slots[i]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .take()
+                            .expect("each task runs once");
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                            poisoned.store(true, Ordering::Release);
+                            let mut slot = panic_box.lock().unwrap_or_else(|e| e.into_inner());
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            return;
+                        }
                     }
                 });
             }
@@ -337,6 +347,29 @@ mod tests {
             assert!(resolve_workers(0) >= 1);
         }
         assert!(resolve_workers(0) >= 1);
+    }
+
+    #[test]
+    fn workers_inherit_submitter_trace_context() {
+        let ctx = wow_obs::TraceContext::mint();
+        let _g = wow_obs::install_context(Some(ctx));
+        let pool = Pool::new(4);
+        let seen = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn({
+                    let seen = &seen;
+                    move || seen.lock().unwrap().push(wow_obs::current_context())
+                });
+            }
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 16);
+        assert!(
+            seen.iter()
+                .all(|c| c.map(|c| c.trace_id) == Some(ctx.trace_id)),
+            "every worker must observe the submitting thread's trace"
+        );
     }
 
     #[test]

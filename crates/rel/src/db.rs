@@ -913,6 +913,23 @@ impl Database {
                             .collect(),
                     };
                 }
+                Statement::ExplainAnalyze(r) => {
+                    let block = crate::plan::build_query_block(self, &r)?;
+                    let plan = crate::plan::optimize(self, &block)?;
+                    let (_rows, profile) = crate::exec::execute_analyzed(self, &plan)?;
+                    self.counters.statements += 1;
+                    last = crate::exec::Rows {
+                        schema: Schema::new(vec![crate::schema::Column::new(
+                            "plan",
+                            crate::types::DataType::Text,
+                        )]),
+                        tuples: profile
+                            .render(&plan)
+                            .lines()
+                            .map(|l| Tuple::new(vec![Value::text(l)]))
+                            .collect(),
+                    };
+                }
                 Statement::Append { table, assigns } => {
                     self.exec_append(&table, &assigns)?;
                 }

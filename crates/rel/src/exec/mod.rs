@@ -20,12 +20,14 @@
 //! * [`sort`] and [`aggregate`] (pipeline breakers in the streaming path).
 
 pub mod aggregate;
+pub mod analyze;
 pub mod join;
 pub mod par;
 pub mod sort;
 pub mod stream;
 
 pub use aggregate::{AggFunc, AggSpec};
+pub use analyze::{NodeStats, PlanProfile};
 pub use stream::{build_operator, Operator, TupleBlock, BLOCK_CAP};
 
 use crate::catalog::IndexKind;
@@ -457,6 +459,34 @@ pub fn execute(db: &mut Database, plan: &PhysicalPlan) -> RelResult<Rows> {
     }
     span.arg(tuples.len() as u64);
     Ok(Rows { schema, tuples })
+}
+
+/// Execute a physical plan to completion while profiling every operator
+/// (EXPLAIN ANALYZE).
+///
+/// Identical semantics to [`execute`], plus a [`PlanProfile`] with one
+/// [`NodeStats`] per plan node in [`PhysicalPlan::explain`] pre-order —
+/// render it with [`PlanProfile::render`]. When the tracer is recording,
+/// the same instrumentation also emits one `exec_op` span per operator,
+/// linked into the surrounding trace.
+pub fn execute_analyzed(db: &mut Database, plan: &PhysicalPlan) -> RelResult<(Rows, PlanProfile)> {
+    let mut span = wow_obs::span(wow_obs::Op::QueryExec);
+    let schema = plan.output_schema(db)?;
+    let sink = std::rc::Rc::new(std::cell::RefCell::new(vec![
+        NodeStats::default();
+        plan.node_count()
+    ]));
+    let mut op = stream::build_profiled(db, plan, None, sink.clone())?;
+    let mut tuples = Vec::new();
+    while let Some(block) = op.next_block(db)? {
+        tuples.extend(block.tuples);
+    }
+    // Operators above a satisfied limit flush at exhaustion; everything
+    // below flushes on drop.
+    drop(op);
+    span.arg(tuples.len() as u64);
+    let nodes = sink.borrow().clone();
+    Ok((Rows { schema, tuples }, PlanProfile { nodes }))
 }
 
 /// Execute a physical plan by materializing every operator's full output —

@@ -32,6 +32,7 @@
 //! consumes the chain through an adapter, so the row engine remains the
 //! reference twin and is selected automatically for non-batchable plans.
 
+use super::analyze::NodeStats;
 use super::{aggregate, par, range_rids, sort, PhysicalPlan, Rows};
 use crate::catalog::TableId;
 use crate::db::Database;
@@ -41,7 +42,11 @@ use crate::eval::{eval, eval_pred};
 use crate::expr::Expr;
 use crate::tuple::Tuple;
 use crate::value::{decode_row, decode_row_cols, Value};
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashSet};
+use std::rc::Rc;
+use std::time::Instant;
+use wow_obs::TraceContext;
 use wow_storage::Rid;
 
 /// Target number of tuples per [`TupleBlock`]. Operators may emit smaller
@@ -85,17 +90,131 @@ pub trait Operator {
 /// than that many tuples in total; operators use it to stop early (scans)
 /// or shed work (sort truncation). It is threaded down only through
 /// cardinality-preserving edges, so passing `None` is always correct.
+///
+/// When the global tracer is recording, every operator is wrapped in a
+/// lightweight shim that records one [`wow_obs::Op::ExecOp`] span at
+/// exhaustion, parented so the span tree mirrors the operator tree under
+/// whatever context (typically a `query_exec` span) is current at build
+/// time. When tracing is off the tree is built bare — zero overhead.
 pub fn build_operator(
     db: &mut Database,
     plan: &PhysicalPlan,
     stop_hint: Option<usize>,
 ) -> RelResult<Box<dyn Operator>> {
+    if wow_obs::tracer().enabled() {
+        let prof = Profiler {
+            sink: None,
+            next: Cell::new(0),
+            trace: true,
+        };
+        let parent = wow_obs::current_context();
+        build_with(
+            db,
+            plan,
+            stop_hint,
+            Some(Instr {
+                prof: &prof,
+                parent,
+            }),
+        )
+    } else {
+        build_with(db, plan, stop_hint, None)
+    }
+}
+
+/// Like [`build_operator`], but additionally collects per-node
+/// [`NodeStats`] into `sink`, which must hold one slot per plan node.
+/// Slots are written in explain pre-order when each operator is exhausted
+/// or dropped (see [`super::execute_analyzed`]).
+pub(super) fn build_profiled(
+    db: &mut Database,
+    plan: &PhysicalPlan,
+    stop_hint: Option<usize>,
+    sink: Rc<RefCell<Vec<NodeStats>>>,
+) -> RelResult<Box<dyn Operator>> {
+    let prof = Profiler {
+        sink: Some(sink),
+        next: Cell::new(0),
+        trace: wow_obs::tracer().enabled(),
+    };
+    let parent = wow_obs::current_context();
+    build_with(
+        db,
+        plan,
+        stop_hint,
+        Some(Instr {
+            prof: &prof,
+            parent,
+        }),
+    )
+}
+
+/// Shared state of one instrumented plan build.
+struct Profiler {
+    /// EXPLAIN ANALYZE stats destination (`None`: spans only).
+    sink: Option<Rc<RefCell<Vec<NodeStats>>>>,
+    /// Next pre-order node index (matches `explain` line order: a node is
+    /// numbered before its children, left subtree before right).
+    next: Cell<usize>,
+    /// Whether to allocate `exec_op` span ids (tracer was recording at
+    /// build time).
+    trace: bool,
+}
+
+impl Profiler {
+    /// Claim the next pre-order index and, when tracing, a span id whose
+    /// parent is `parent` (the enclosing operator's span, or the ambient
+    /// context for the root).
+    fn alloc(&self, parent: Option<TraceContext>) -> NodeInstr {
+        let idx = self.next.get();
+        self.next.set(idx + 1);
+        let span = self.trace.then(|| TraceContext {
+            trace_id: parent
+                .map(|p| p.trace_id)
+                .unwrap_or_else(wow_obs::fresh_trace_id),
+            span_id: wow_obs::tracer().alloc_span_id(),
+        });
+        NodeInstr { idx, span, parent }
+    }
+}
+
+/// Instrumentation handle threaded through one [`build_with`] recursion
+/// level: the shared profiler plus the parent operator's span context.
+#[derive(Clone, Copy)]
+struct Instr<'a> {
+    prof: &'a Profiler,
+    parent: Option<TraceContext>,
+}
+
+/// One plan node's claim: its pre-order index and (optional) span ids.
+#[derive(Clone, Copy)]
+struct NodeInstr {
+    idx: usize,
+    /// This node's own span context (children parent to it).
+    span: Option<TraceContext>,
+    /// The context this node's span records under.
+    parent: Option<TraceContext>,
+}
+
+fn build_with(
+    db: &mut Database,
+    plan: &PhysicalPlan,
+    stop_hint: Option<usize>,
+    instr: Option<Instr<'_>>,
+) -> RelResult<Box<dyn Operator>> {
     if db.vectorized() {
-        if let Some(op) = build_vectorized(db, plan, stop_hint)? {
+        if let Some(op) = build_vectorized(db, plan, stop_hint, instr)? {
             return Ok(op);
         }
     }
-    match plan {
+    // Claim this node's pre-order slot before building children, so the
+    // numbering matches `explain` line order.
+    let node = instr.map(|i| i.prof.alloc(i.parent));
+    let child = instr.map(|i| Instr {
+        prof: i.prof,
+        parent: node.and_then(|n| n.span).or(i.parent),
+    });
+    let op: Box<dyn Operator> = match plan {
         PhysicalPlan::SeqScan {
             table,
             alias: _,
@@ -103,24 +222,25 @@ pub fn build_operator(
         } => {
             let table_id = db.catalog().table(table)?.id;
             if par::scan_goes_parallel(db, table_id, stop_hint) {
-                return Ok(Box::new(ParSeqScanStream {
+                Box::new(ParSeqScanStream {
                     table_id,
                     pred: pred.clone(),
                     buf: Vec::new(),
                     pos: 0,
                     built: false,
-                }));
+                })
+            } else {
+                // A predicate drops rows unpredictably, so the hint only
+                // bounds the scan when the scan emits every row it reads.
+                let remaining = if pred.is_none() { stop_hint } else { None };
+                Box::new(SeqScanStream {
+                    table_id,
+                    pred: pred.clone(),
+                    page_idx: 0,
+                    exhausted: false,
+                    remaining,
+                })
             }
-            // A predicate drops rows unpredictably, so the hint only bounds
-            // the scan when the scan emits every row it reads.
-            let remaining = if pred.is_none() { stop_hint } else { None };
-            Ok(Box::new(SeqScanStream {
-                table_id,
-                pred: pred.clone(),
-                page_idx: 0,
-                exhausted: false,
-                remaining,
-            }))
         }
         PhysicalPlan::IndexScanEq {
             table,
@@ -136,12 +256,12 @@ pub fn build_operator(
                     rids.truncate(h);
                 }
             }
-            Ok(Box::new(RidFetchStream {
+            Box::new(RidFetchStream {
                 table_id,
                 rids,
                 pos: 0,
                 residual: residual.clone(),
-            }))
+            })
         }
         PhysicalPlan::IndexRange {
             table,
@@ -158,19 +278,19 @@ pub fn build_operator(
                     rids.truncate(h);
                 }
             }
-            Ok(Box::new(RidFetchStream {
+            Box::new(RidFetchStream {
                 table_id,
                 rids,
                 pos: 0,
                 residual: residual.clone(),
-            }))
+            })
         }
         PhysicalPlan::Filter { input, pred } => {
-            let input = build_operator(db, input, None)?;
-            Ok(Box::new(FilterStream {
+            let input = build_with(db, input, None, child)?;
+            Box::new(FilterStream {
                 input,
                 pred: pred.clone(),
-            }))
+            })
         }
         PhysicalPlan::Project {
             input,
@@ -178,11 +298,11 @@ pub fn build_operator(
             names: _,
         } => {
             // Projection is 1:1, so the hint survives.
-            let input = build_operator(db, input, stop_hint)?;
-            Ok(Box::new(ProjectStream {
+            let input = build_with(db, input, stop_hint, child)?;
+            Box::new(ProjectStream {
                 input,
                 exprs: exprs.clone(),
-            }))
+            })
         }
         PhysicalPlan::Limit {
             input,
@@ -195,30 +315,30 @@ pub fn build_operator(
                 (None, Some(c)) => Some(*c),
                 (None, None) => None,
             };
-            let input = build_operator(db, input, quota.map(|q| offset + q))?;
-            Ok(Box::new(LimitStream {
+            let input = build_with(db, input, quota.map(|q| offset + q), child)?;
+            Box::new(LimitStream {
                 input,
                 to_skip: *offset,
                 remaining: quota,
-            }))
+            })
         }
         PhysicalPlan::Distinct { input } => {
-            let input = build_operator(db, input, None)?;
-            Ok(Box::new(DistinctStream {
+            let input = build_with(db, input, None, child)?;
+            Box::new(DistinctStream {
                 input,
                 seen: HashSet::new(),
-            }))
+            })
         }
         PhysicalPlan::Sort { input, keys } => {
-            let input = build_operator(db, input, None)?;
-            Ok(Box::new(SortStream {
+            let input = build_with(db, input, None, child)?;
+            Box::new(SortStream {
                 input,
                 keys: keys.clone(),
                 truncate: stop_hint,
                 buf: Vec::new(),
                 pos: 0,
                 built: false,
-            }))
+            })
         }
         PhysicalPlan::Aggregate {
             input,
@@ -227,8 +347,8 @@ pub fn build_operator(
         } => {
             let out_schema = plan.output_schema(db)?;
             let in_schema = input.output_schema(db)?;
-            let input = build_operator(db, input, None)?;
-            Ok(Box::new(AggregateStream {
+            let input = build_with(db, input, None, child)?;
+            Box::new(AggregateStream {
                 input,
                 in_schema,
                 out_schema,
@@ -237,12 +357,12 @@ pub fn build_operator(
                 buf: Vec::new(),
                 pos: 0,
                 built: false,
-            }))
+            })
         }
         PhysicalPlan::NestedLoopJoin { left, right, pred } => {
-            let left = build_operator(db, left, None)?;
-            let right = build_operator(db, right, None)?;
-            Ok(Box::new(NestedLoopJoinStream {
+            let left = build_with(db, left, None, child)?;
+            let right = build_with(db, right, None, child)?;
+            Box::new(NestedLoopJoinStream {
                 left,
                 right: Some(right),
                 right_rows: Vec::new(),
@@ -251,7 +371,7 @@ pub fn build_operator(
                 li: 0,
                 ri: 0,
                 exhausted: false,
-            }))
+            })
         }
         PhysicalPlan::HashJoin {
             left,
@@ -260,9 +380,9 @@ pub fn build_operator(
             right_keys,
             residual,
         } => {
-            let left = build_operator(db, left, None)?;
-            let right = build_operator(db, right, None)?;
-            Ok(Box::new(HashJoinStream {
+            let left = build_with(db, left, None, child)?;
+            let right = build_with(db, right, None, child)?;
+            Box::new(HashJoinStream {
                 left,
                 right: Some(right),
                 table: par::JoinTable::empty(),
@@ -276,8 +396,124 @@ pub fn build_operator(
                 cur_matches: Vec::new(),
                 mi: 0,
                 exhausted: false,
-            }))
+            })
         }
+    };
+    Ok(match (instr, node) {
+        (Some(i), Some(n)) => Box::new(InstrOp {
+            input: op,
+            rec: NodeRecorder::new(i.prof, n),
+        }),
+        _ => op,
+    })
+}
+
+/// Accumulates one instrumented node's statistics and publishes them —
+/// into the profile sink and, when tracing, as an `exec_op` span with the
+/// node's pre-allocated span id — exactly once, at exhaustion or drop
+/// (operators under a satisfied limit are never pulled to exhaustion).
+struct NodeRecorder {
+    sink: Option<Rc<RefCell<Vec<NodeStats>>>>,
+    idx: usize,
+    span: Option<TraceContext>,
+    parent_id: u64,
+    rows_out: u64,
+    batches: u64,
+    elapsed_ns: u64,
+    done: bool,
+}
+
+impl NodeRecorder {
+    fn new(prof: &Profiler, node: NodeInstr) -> NodeRecorder {
+        NodeRecorder {
+            sink: prof.sink.clone(),
+            idx: node.idx,
+            span: node.span,
+            parent_id: node.parent.map(|p| p.span_id).unwrap_or(0),
+            rows_out: 0,
+            batches: 0,
+            elapsed_ns: 0,
+            done: false,
+        }
+    }
+
+    fn tally(&mut self, rows: u64) {
+        self.rows_out += rows;
+        self.batches += 1;
+    }
+
+    fn flush(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if let Some(sink) = &self.sink {
+            let mut nodes = sink.borrow_mut();
+            if let Some(slot) = nodes.get_mut(self.idx) {
+                *slot = NodeStats {
+                    rows_out: self.rows_out,
+                    batches: self.batches,
+                    elapsed_ns: self.elapsed_ns,
+                };
+            }
+        }
+        if let Some(ctx) = self.span {
+            wow_obs::tracer().record_at(
+                wow_obs::Op::ExecOp,
+                ctx.trace_id,
+                ctx.span_id,
+                self.parent_id,
+                self.elapsed_ns,
+                self.rows_out,
+            );
+        }
+    }
+}
+
+impl Drop for NodeRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Instrumentation shim around a row [`Operator`].
+struct InstrOp {
+    input: Box<dyn Operator>,
+    rec: NodeRecorder,
+}
+
+impl Operator for InstrOp {
+    fn next_block(&mut self, db: &mut Database) -> RelResult<Option<TupleBlock>> {
+        let t0 = Instant::now();
+        let r = self.input.next_block(db);
+        self.rec.elapsed_ns += t0.elapsed().as_nanos() as u64;
+        match &r {
+            Ok(Some(block)) => self.rec.tally(block.len() as u64),
+            Ok(None) => self.rec.flush(),
+            Err(_) => {}
+        }
+        r
+    }
+}
+
+/// Instrumentation shim around a vectorized [`BatchSource`]; rows out are
+/// the batches' surviving selections.
+struct InstrBatch {
+    input: Box<dyn BatchSource>,
+    rec: NodeRecorder,
+}
+
+impl BatchSource for InstrBatch {
+    fn next_batch(&mut self, db: &mut Database) -> RelResult<Option<Batch>> {
+        let t0 = Instant::now();
+        let r = self.input.next_batch(db);
+        self.rec.elapsed_ns += t0.elapsed().as_nanos() as u64;
+        match &r {
+            Ok(Some(batch)) => self.rec.tally(batch.sel.len() as u64),
+            Ok(None) => self.rec.flush(),
+            Err(_) => {}
+        }
+        r
     }
 }
 
@@ -311,6 +547,7 @@ fn build_vectorized(
     db: &mut Database,
     plan: &PhysicalPlan,
     stop_hint: Option<usize>,
+    instr: Option<Instr<'_>>,
 ) -> RelResult<Option<Box<dyn Operator>>> {
     let (proj, mut node) = match plan {
         PhysicalPlan::Project {
@@ -402,6 +639,27 @@ fn build_vectorized(
     } else {
         None
     };
+    // The fused chain covers several plan nodes. Claim their pre-order
+    // slots top-down (Project, then filters outermost-first, then the
+    // scan) so indices and span parentage line up with the plan tree even
+    // though the chain itself is assembled bottom-up. `VecRowsAdapter` is
+    // a pipeline artifact, not a plan node, and gets no slot.
+    let nfilters = filter_progs.len();
+    let nodes: Vec<NodeInstr> = match instr {
+        Some(i) => {
+            let total = usize::from(proj_progs.is_some()) + nfilters + 1;
+            let mut parent = i.parent;
+            (0..total)
+                .map(|_| {
+                    let n = i.prof.alloc(parent);
+                    parent = n.span.or(parent);
+                    n
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
+    let proj_off = usize::from(proj_progs.is_some());
     let mut src: Box<dyn BatchSource> = Box::new(VecSeqScanStream {
         table_id,
         pred,
@@ -414,19 +672,42 @@ fn build_vectorized(
         pages_done: false,
         remaining,
     });
-    for p in filter_progs {
+    if let Some(i) = instr {
+        src = Box::new(InstrBatch {
+            input: src,
+            rec: NodeRecorder::new(i.prof, nodes[proj_off + nfilters]),
+        });
+    }
+    // `filter_progs` is innermost-first; filter `j` maps to pre-order slot
+    // `proj_off + (nfilters - 1 - j)` (outermost filters come first).
+    for (j, p) in filter_progs.into_iter().enumerate() {
         src = Box::new(VecFilterStream {
             input: src,
             pred: p,
             scratch: Scratch::default(),
         });
+        if let Some(i) = instr {
+            src = Box::new(InstrBatch {
+                input: src,
+                rec: NodeRecorder::new(i.prof, nodes[proj_off + nfilters - 1 - j]),
+            });
+        }
     }
     Ok(Some(match proj_progs {
-        Some(programs) => Box::new(VecProjectStream {
-            input: src,
-            programs,
-            scratch: Scratch::default(),
-        }),
+        Some(programs) => {
+            let op = Box::new(VecProjectStream {
+                input: src,
+                programs,
+                scratch: Scratch::default(),
+            });
+            match instr {
+                Some(i) => Box::new(InstrOp {
+                    input: op,
+                    rec: NodeRecorder::new(i.prof, nodes[0]),
+                }),
+                None => op,
+            }
+        }
         None => Box::new(VecRowsAdapter { input: src }),
     }))
 }

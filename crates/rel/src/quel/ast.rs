@@ -117,6 +117,10 @@ pub enum Statement {
     Retrieve(RetrieveStmt),
     /// `EXPLAIN RETRIEVE (...) ...` — returns the physical plan as text.
     Explain(RetrieveStmt),
+    /// `EXPLAIN ANALYZE RETRIEVE (...) ...` — executes the query and
+    /// returns the plan annotated with per-operator row counts, batch
+    /// counts, and wall time.
+    ExplainAnalyze(RetrieveStmt),
     /// `APPEND TO table (col = expr, ...)`
     Append {
         /// Table name.

@@ -139,8 +139,14 @@ impl Parser {
             return Ok(Statement::Retrieve(self.retrieve_body()?));
         }
         if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
             self.expect_kw("RETRIEVE")?;
-            return Ok(Statement::Explain(self.retrieve_body()?));
+            let body = self.retrieve_body()?;
+            return Ok(if analyze {
+                Statement::ExplainAnalyze(body)
+            } else {
+                Statement::Explain(body)
+            });
         }
         if self.eat_kw("APPEND") {
             self.expect_kw("TO")?;
@@ -827,6 +833,16 @@ mod tests {
             one("EXPLAIN RETRIEVE (e.x)"),
             Statement::Explain(_)
         ));
+    }
+
+    #[test]
+    fn explain_analyze() {
+        assert!(matches!(
+            one("EXPLAIN ANALYZE RETRIEVE (e.x)"),
+            Statement::ExplainAnalyze(_)
+        ));
+        // `ANALYZE` alone still names the statistics statement.
+        assert!(matches!(one("ANALYZE emp"), Statement::Analyze(t) if t == "emp"));
     }
 
     #[test]

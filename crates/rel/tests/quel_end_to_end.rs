@@ -292,6 +292,32 @@ fn explain_shows_access_paths() {
 }
 
 #[test]
+fn explain_analyze_annotates_actual_rows() {
+    let mut db = world();
+    let rows = db
+        .run("EXPLAIN ANALYZE RETRIEVE (sp.qty) WHERE sp.sno = 1")
+        .unwrap();
+    let text: String = rows
+        .tuples
+        .iter()
+        .map(|t| t.values[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    // The query itself returns 6 shipments for supplier 1; the root
+    // operator's annotation must carry that actual count.
+    assert!(
+        text.lines().next().unwrap().contains("rows=6"),
+        "root annotation should show actual rows:\n{text}"
+    );
+    for line in text.lines() {
+        assert!(
+            line.contains("(actual") && line.contains("batches=") && line.contains("time="),
+            "every plan line gets an actual-stats annotation:\n{text}"
+        );
+    }
+}
+
+#[test]
 fn index_range_access_path_is_chosen_when_selective() {
     let mut db = Database::in_memory();
     db.run("CREATE TABLE nums (n INT KEY, label TEXT)").unwrap();

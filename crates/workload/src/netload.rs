@@ -82,6 +82,12 @@ pub struct NetLoadReport {
     /// may legitimately drop intermediate markers; only delivered ones
     /// sample here.
     pub commit_push_ns: Vec<u64>,
+    /// Spans in the editor's final commit trace, fetched over the
+    /// admin `FetchTrace` request after the run (0 when the server's
+    /// tracer is off).
+    pub trace_spans: u64,
+    /// Bytes of Prometheus text the admin `MetricsDump` request returned.
+    pub metrics_bytes: u64,
 }
 
 impl NetLoadReport {
@@ -177,6 +183,8 @@ pub fn run(addr: SocketAddr, cfg: &NetLoadConfig) -> WowResult<NetLoadReport> {
     let commits_done = Arc::new(AtomicU64::new(0));
     let pushes_seen = Arc::new(AtomicU64::new(0));
     let editors_finished = Arc::new(AtomicBool::new(false));
+    let trace_spans = Arc::new(AtomicU64::new(0));
+    let metrics_bytes = Arc::new(AtomicU64::new(0));
 
     // Watcher: first in, so the editor's pushes always have a viewer.
     let watcher = {
@@ -246,6 +254,7 @@ pub fn run(addr: SocketAddr, cfg: &NetLoadConfig) -> WowResult<NetLoadReport> {
         );
         let (commits, field, seed, gap) =
             (cfg.commits, cfg.edit_field, cfg.seed, cfg.commit_gap_ms);
+        let (trace_spans, metrics_bytes) = (Arc::clone(&trace_spans), Arc::clone(&metrics_bytes));
         std::thread::spawn(move || -> WowResult<()> {
             let mut c = Client::connect(addr)?;
             let (win, _, _) = c.open_window(&view, false)?;
@@ -281,6 +290,14 @@ pub fn run(addr: SocketAddr, cfg: &NetLoadConfig) -> WowResult<NetLoadReport> {
                     std::thread::sleep(Duration::from_millis(gap));
                 }
             }
+            // Exercise the admin surface while the run's spans are still
+            // in the server's ring: fetch the final commit's trace tree
+            // and a Prometheus metrics dump over the same connection.
+            let final_trace = c.last_trace_id();
+            if final_trace != 0 {
+                trace_spans.store(c.fetch_trace(final_trace)?.len() as u64, Ordering::Relaxed);
+            }
+            metrics_bytes.store(c.metrics_dump()?.len() as u64, Ordering::Relaxed);
             c.goodbye()
         })
     };
@@ -355,6 +372,8 @@ pub fn run(addr: SocketAddr, cfg: &NetLoadConfig) -> WowResult<NetLoadReport> {
         pushes: pushes_seen.load(Ordering::Relaxed),
         request_ns,
         commit_push_ns,
+        trace_spans: trace_spans.load(Ordering::Relaxed),
+        metrics_bytes: metrics_bytes.load(Ordering::Relaxed),
     })
 }
 
@@ -406,6 +425,10 @@ mod tests {
             "delivered markers must produce latency samples"
         );
         assert!(report.requests >= 10 + 2 * 30);
+        assert!(
+            report.metrics_bytes > 0,
+            "the editor's admin metrics dump must return Prometheus text"
+        );
     }
 
     #[test]
