@@ -8,7 +8,7 @@
 //! cargo run -p wow-bench --bin repro --release -- --explain # annotated plan demo
 //! ```
 //!
-//! Besides the rendered text, a machine-readable `BENCH_PR9.json` with the
+//! Besides the rendered text, a machine-readable `BENCH_PR10.json` with the
 //! same rows — plus a `metrics` section carrying p50/p95/p99 latency
 //! percentiles per traced operation and a `tracing` section with the
 //! traced-vs-untraced overhead ratio the CI gate bounds — is written to
@@ -20,7 +20,7 @@
 //! `--explain` prints an `EXPLAIN ANALYZE` annotated plan for a
 //! representative query and exits. The percentiles come from running the
 //! instrumented workload (`experiments::instrumented_workload`) with the
-//! span tracer on, so `BENCH_PR9.json` is what the CI `bench_gate` binary
+//! span tracer on, so `BENCH_PR10.json` is what the CI `bench_gate` binary
 //! diffs against the checked-in baseline.
 
 use wow_bench::experiments::{self, Scale, TracingOverhead};
@@ -100,7 +100,7 @@ fn to_json(
         None => String::new(),
     };
     format!(
-        "{{\"bench\":\"PR9\",\"scale\":\"{scale:?}\",\"experiments\":{experiments},\
+        "{{\"bench\":\"PR10\",\"scale\":\"{scale:?}\",\"experiments\":{experiments},\
          \"metrics\":{{{ops}}},\"counters\":{{{counters}}}{tracing}}}\n"
     )
 }
@@ -164,6 +164,7 @@ fn main() {
         ("table7", experiments::table7_expansion),
         ("table8", experiments::table8_overhead),
         ("table9", experiments::table9_net),
+        ("table10", experiments::table10_durability),
     ];
     println!("Windows on the World — evaluation reproduction (scale: {scale:?})");
     println!("(reconstructed experiments; see DESIGN.md for the paper-text mismatch note)\n");
@@ -177,7 +178,7 @@ fn main() {
         tables.push(table);
     }
     if tables.is_empty() {
-        eprintln!("no experiment matched; known keys: table1..table9, table2b, figure1..figure6");
+        eprintln!("no experiment matched; known keys: table1..table10, table2b, figure1..figure6");
         std::process::exit(2);
     }
     // Percentiles only accompany a full (unfiltered) run: a filtered run is
@@ -206,7 +207,7 @@ fn main() {
             fmt_duration(std::time::Duration::from_nanos(overhead.traced_ns)),
             (overhead.ratio - 1.0) * 100.0
         );
-        let path = "BENCH_PR9.json";
+        let path = "BENCH_PR10.json";
         match std::fs::write(path, to_json(scale, &tables, &metrics, Some(overhead))) {
             Ok(()) => println!("wrote {path} ({} experiments)", tables.len()),
             Err(e) => eprintln!("could not write {path}: {e}"),

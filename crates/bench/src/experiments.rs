@@ -1363,9 +1363,11 @@ pub fn table6_wal(scale: Scale) -> Table {
     let mut walled = make_db(true);
     let (d_wal, _) = time_once(|| insert_all(&mut walled));
     let mut wal = walled.take_wal().unwrap();
-    let mut recovered = make_db(false);
+    // Replay starts from an *empty* database: since the WAL carries DDL,
+    // the log itself recreates the table before the row inserts land.
+    let mut recovered = Database::in_memory();
     let (d_replay, applied) = time_once(|| recovered.replay_wal(&mut wal).unwrap());
-    assert_eq!(applied, n as u64);
+    assert_eq!(applied, n as u64 + 1, "n inserts + the CREATE TABLE");
     let tid = recovered.catalog().table("t").unwrap().id;
     assert_eq!(recovered.row_count(tid), n as u64);
     let us = |d: Duration| format!("{:.1}", d.as_micros() as f64 / n as f64);
@@ -1597,6 +1599,114 @@ pub fn table9_net(scale: Scale) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// Table 10 — the durability ladder: commit cost vs crash protection
+// ---------------------------------------------------------------------------
+
+/// Table 10: transactional insert cost at each rung of the durability
+/// ladder — no WAL, in-memory WAL, file-backed WAL without fsync, and
+/// file-backed WAL with an fsync on every commit — plus the cost of crash
+/// recovery (reopening the durable directory and replaying the log).
+///
+/// The fsync-per-commit configuration is deliberately the **last row**:
+/// the CI bench gate reads it from there as the informational
+/// `commit_fsync` metric. Each rung runs the same workload: `n`
+/// transactions of one insert each against a keyed two-column table.
+pub fn table10_durability(scale: Scale) -> Table {
+    use wow_storage::wal::SyncPolicy;
+    let mut t = Table::new(
+        "Table 10",
+        "durability ladder: commit cost from no WAL to fsync-per-commit",
+        &["configuration", "commits", "total", "per commit"],
+        "the fsync, not the logging, is the price of durable commits; recovery replays the committed prefix",
+    );
+    let n: usize = scale.pick(30, 300);
+    let schema = || {
+        Schema::new(vec![
+            Column::not_null("k", DataType::Int),
+            Column::new("payload", DataType::Text),
+        ])
+    };
+    let run_txns = |db: &mut Database| {
+        for k in 0..n {
+            db.begin().unwrap();
+            db.insert(
+                "t",
+                vec![Value::Int(k as i64), Value::text(format!("row-{k:08}"))],
+            )
+            .unwrap();
+            db.commit().unwrap();
+        }
+    };
+    let per = |d: Duration| fmt_duration(Duration::from_nanos((d.as_nanos() / n as u128) as u64));
+    let mut push = |label: &str, d: Duration| {
+        t.push(vec![label.into(), n.to_string(), fmt_duration(d), per(d)]);
+    };
+
+    // Rung 0: no WAL at all.
+    let mut plain = Database::in_memory();
+    plain.create_table("t", schema(), &["k"]).unwrap();
+    let (d_plain, _) = time_once(|| run_txns(&mut plain));
+    push("no WAL", d_plain);
+
+    // Rung 1: logging on, but the log is a memory buffer.
+    let mut mem = Database::in_memory();
+    mem.attach_wal(Wal::in_memory());
+    mem.create_table("t", schema(), &["k"]).unwrap();
+    let (d_mem, _) = time_once(|| run_txns(&mut mem));
+    push("in-memory WAL", d_mem);
+
+    // Rungs 2 and 3 share a durable directory setup; a closure keeps the
+    // plumbing (open, disable auto-checkpoints, pin the fsync policy so
+    // `WOW_FSYNC` can't skew the bench) in one place.
+    let durable_dir = |tag: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("wow-bench-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    let open_with_policy = |dir: &std::path::Path, policy: SyncPolicy| {
+        let mut db = Database::open_durable(dir).unwrap();
+        db.set_checkpoint_every(0);
+        let mut wal = db.take_wal().unwrap();
+        wal.set_sync_policy(policy);
+        db.attach_wal(wal);
+        db.create_table("t", schema(), &["k"]).unwrap();
+        db
+    };
+
+    // Rung 2: the log is a real file, but commits never fsync — fast, and
+    // crash-safe against process death (the OS page cache survives a
+    // `kill -9`), though not against power loss.
+    let lazy_dir = durable_dir("lazy");
+    let mut lazy = open_with_policy(&lazy_dir, SyncPolicy::Never);
+    let (d_lazy, _) = time_once(|| run_txns(&mut lazy));
+    push("file WAL, fsync never", d_lazy);
+
+    // Crash recovery: drop the handle with no checkpoint (the moral
+    // equivalent of `kill -9`) and time the reopen, which replays every
+    // committed transaction from the log.
+    drop(lazy);
+    let (d_recover, recovered) = time_once(|| Database::open_durable(&lazy_dir).unwrap());
+    let report = recovered.recovery_report().unwrap();
+    assert_eq!(report.replayed_ops as usize, n + 1, "n inserts + the DDL");
+    let tid = recovered.catalog().table("t").unwrap().id;
+    assert_eq!(recovered.row_count(tid), n as u64);
+    drop(recovered);
+    push("crash recovery (reopen + replay)", d_recover);
+    let _ = std::fs::remove_dir_all(&lazy_dir);
+
+    // Rung 3, last row by contract: every commit pays a real fsync.
+    let sync_dir = durable_dir("sync");
+    let mut sync = open_with_policy(&sync_dir, SyncPolicy::Commit);
+    let (d_sync, _) = time_once(|| run_txns(&mut sync));
+    push("file WAL, fsync on commit", d_sync);
+    drop(sync);
+    let _ = std::fs::remove_dir_all(&sync_dir);
+
+    t
+}
+
+// ---------------------------------------------------------------------------
 // Instrumented workload — the percentile source for BENCH_*.json
 // ---------------------------------------------------------------------------
 
@@ -1788,6 +1898,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         table7_expansion(scale),
         table8_overhead(scale),
         table9_net(scale),
+        table10_durability(scale),
     ]
 }
 

@@ -36,6 +36,12 @@ pub struct WorldConfig {
     /// `WOW_SLOW_NS` environment variable overrides either way (see
     /// [`wow_obs::resolve_slow_threshold_ns`]).
     pub slow_query_ns: u64,
+    /// Commits between automatic durable checkpoints (`0` disables them).
+    /// Only meaningful for worlds opened with
+    /// [`crate::world::World::open_durable`]; the `WOW_CKPT_EVERY`
+    /// environment variable overrides either way (see
+    /// [`wow_rel::durable::resolve_checkpoint_every`]).
+    pub checkpoint_every: u64,
 }
 
 impl Default for WorldConfig {
@@ -50,6 +56,7 @@ impl Default for WorldConfig {
             workers: 0,
             vectorized: true,
             slow_query_ns: 100_000_000,
+            checkpoint_every: 1024,
         }
     }
 }

@@ -151,6 +151,21 @@ impl World {
         m.set("exec.sel_density", 100 * c.sel_out / c.sel_in.max(1));
         if let Some(wal) = self.db().wal() {
             m.set("wal.appended", wal.appended());
+            m.set("wal.flushes", wal.flushes());
+            m.set("wal.bytes_written", wal.bytes_written());
+            m.set("wal.epoch", wal.epoch());
+            m.set(
+                "wal.fsync_on_commit",
+                (wal.sync_policy() == wow_storage::wal::SyncPolicy::Commit) as u64,
+            );
+        }
+        if let Some(r) = self.db().recovery_report() {
+            m.set("recovery.committed", r.committed.len() as u64);
+            m.set("recovery.in_flight", r.in_flight.len() as u64);
+            m.set("recovery.aborted", r.aborted.len() as u64);
+            m.set("recovery.replayed_ops", r.replayed_ops);
+            m.set("recovery.skipped_ops", r.skipped_ops);
+            m.set("recovery.checkpoints", self.db().checkpoints_taken());
         }
         m.set("par.workers", self.db().workers() as u64);
         for (name, v) in wow_par::stats::snapshot().rows() {

@@ -1,0 +1,81 @@
+//! `wow-serve` — serve a durable world directory over TCP.
+//!
+//! ```text
+//! wow-serve <dir> [addr]
+//! ```
+//!
+//! Opens (or creates) the durable world at `<dir>` with
+//! [`World::open_durable`], recovers whatever a previous incarnation left
+//! behind, and serves it on `addr` (default `127.0.0.1:0`, an ephemeral
+//! port). Prints exactly one line, `listening <addr>`, to stdout once the
+//! socket is bound — test harnesses parse it to find the port.
+//!
+//! Shutdown protocol: the process reads stdin. EOF or a `quit` line
+//! triggers a **graceful drain** — connections wind down, a durable
+//! checkpoint is taken, and `drained` is printed before exit. `kill -9`
+//! at any other moment is the crash the recovery path exists for: on the
+//! next start the WAL replays and no committed write is lost.
+
+use std::io::BufRead;
+use wow_core::{World, WorldConfig};
+use wow_net::server::{Server, ServerConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(dir) = args.next() else {
+        eprintln!("usage: wow-serve <dir> [addr]");
+        std::process::exit(2);
+    };
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("wow-serve: create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let world = match World::open_durable(WorldConfig::default(), &dir) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("wow-serve: open {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    if let Some(r) = world.db().recovery_report() {
+        eprintln!(
+            "wow-serve: recovered {} committed txn(s), {} op(s) replayed",
+            r.committed.len(),
+            r.replayed_ops
+        );
+    }
+    let server = match Server::start(world, &addr, ServerConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wow-serve: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The one line harnesses wait for; flushed so a piped reader sees it
+    // before any client traffic starts.
+    println!("listening {}", server.local_addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    // Park on stdin until the operator (or harness) asks for a drain.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    match server.drain() {
+        Ok(_world) => {
+            // stdout may already be closed (a harness that only read the
+            // banner); a failed farewell is not a failed drain.
+            let _ = writeln!(std::io::stdout(), "drained");
+        }
+        Err(e) => {
+            eprintln!("wow-serve: drain: {e}");
+            std::process::exit(1);
+        }
+    }
+}

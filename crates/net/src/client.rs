@@ -7,14 +7,114 @@
 //! not exceed the last one seen for its window is discarded, so a caller
 //! that only consumes these APIs can never observe a window going
 //! backwards in time.
+//!
+//! ## Reconnection
+//!
+//! A server crash (or restart) kills the TCP session, the server-side
+//! session, and every window in it. [`Client::reconnect`] /
+//! [`Client::reconnect_to`] rebuild all three: they dial with **capped
+//! exponential backoff plus deterministic jitter** (seeded, so a test run
+//! replays exactly), shake hands again for a fresh session, and re-open
+//! every window the client had open, resyncing the per-window generation
+//! gate to the fresh server's counters. Window ids change across a
+//! reconnect (they are server-side names); the returned
+//! [`ReconnectReport`] maps old ids to new ones so callers can rebind.
 
 use crate::proto::{Push, Request, Response, Screenful, TraceSpan};
 use crate::wire::{self, FrameKind, ReadError, MIN_VERSION, VERSION};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::BufReader;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 use wow_core::{WowError, WowResult};
+use wow_storage::fault::SplitMix64;
+
+/// How [`Client::reconnect`] paces its dial attempts.
+///
+/// Attempt `n` (0-based) sleeps `min(base * 2^n, cap)` scaled by a jitter
+/// factor drawn from a seeded [`SplitMix64`] — "equal jitter": half the
+/// delay is kept, the other half is uniformly random. Equal seeds replay
+/// the exact same schedule, which is what lets crash-recovery tests assert
+/// timing-adjacent behavior deterministically.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Dial attempts before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// Sleep before the second attempt (the first dials immediately).
+    pub base: Duration,
+    /// Ceiling the exponential never exceeds.
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> ReconnectPolicy {
+        ReconnectPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The sleep before attempt `attempt + 1` (0-based), jittered by `rng`.
+    /// Pure given the rng state, so schedules are replayable.
+    pub fn delay(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let nanos = exp.as_nanos().min(u64::MAX as u128) as u64;
+        let half = nanos / 2;
+        Duration::from_nanos(half + rng.next_u64() % (half + 1))
+    }
+}
+
+/// One window rebuilt by a reconnect: the old (dead) id, the new id, and
+/// the fresh screenful the server handed back on re-open.
+#[derive(Debug)]
+pub struct ReopenedWindow {
+    /// The window's id before the reconnect (now invalid).
+    pub old_win: u32,
+    /// The window's id on the new session.
+    pub new_win: u32,
+    /// Whether the re-opened window is updatable.
+    pub updatable: bool,
+    /// Post-recovery contents, straight from the new server.
+    pub screen: Screenful,
+}
+
+/// What a successful [`Client::reconnect`] accomplished.
+#[derive(Debug)]
+pub struct ReconnectReport {
+    /// The fresh server-side session id.
+    pub session: u32,
+    /// Dial attempts it took to get through (1 = first try).
+    pub attempts: u32,
+    /// Every window re-opened, in the order they were originally opened.
+    pub windows: Vec<ReopenedWindow>,
+}
+
+impl ReconnectReport {
+    /// The new id for a pre-crash window id, if it was re-opened.
+    pub fn remap(&self, old_win: u32) -> Option<u32> {
+        self.windows
+            .iter()
+            .find(|w| w.old_win == old_win)
+            .map(|w| w.new_win)
+    }
+}
+
+/// What the client remembers about a window so it can be re-opened on a
+/// fresh session after a reconnect.
+#[derive(Debug, Clone)]
+struct TrackedWindow {
+    view: String,
+    grid: bool,
+}
 
 /// A connected, handshaken session with a window server.
 pub struct Client {
@@ -31,6 +131,15 @@ pub struct Client {
     stash: VecDeque<Push>,
     /// Highest generation seen per window; lower-or-equal pushes drop.
     seen_gen: BTreeMap<u32, u64>,
+    /// The address this client last connected to (reconnect target).
+    addr: SocketAddr,
+    /// Windows opened through this client, in open order, so a reconnect
+    /// can rebuild them on the fresh session.
+    tracked: Vec<(u32, TrackedWindow)>,
+    /// View definitions made through this client. Views are world-process
+    /// state, not database state, so a restarted server has forgotten
+    /// them; a reconnect replays these before re-opening windows.
+    defined_views: Vec<(String, String)>,
 }
 
 impl Client {
@@ -38,6 +147,7 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> WowResult<Client> {
         let stream = TcpStream::connect(addr).map_err(io_err("connect"))?;
         stream.set_nodelay(true).ok();
+        let peer = stream.peer_addr().map_err(io_err("peer_addr"))?;
         let reader = BufReader::new(stream.try_clone().map_err(io_err("clone"))?);
         let mut client = Client {
             writer: stream,
@@ -48,6 +158,9 @@ impl Client {
             last_trace: 0,
             stash: VecDeque::new(),
             seen_gen: BTreeMap::new(),
+            addr: peer,
+            tracked: Vec::new(),
+            defined_views: Vec::new(),
         };
         match client.call(&Request::Hello { version: VERSION })? {
             Response::HelloOk { session, version } => {
@@ -57,6 +170,98 @@ impl Client {
             }
             other => Err(WowError::Net(format!("bad handshake reply: {other:?}"))),
         }
+    }
+
+    /// Reconnect to the same address (see [`Client::reconnect_to`]).
+    pub fn reconnect(&mut self, policy: &ReconnectPolicy) -> WowResult<ReconnectReport> {
+        self.reconnect_to(self.addr, policy)
+    }
+
+    /// Tear down and rebuild the session against `addr` — the same server
+    /// after a restart, or its replacement on a different port.
+    ///
+    /// Dials with capped exponential backoff and seeded jitter, shakes
+    /// hands for a fresh session, then re-opens every tracked window and
+    /// resets its generation gate to the fresh server's counter (the old
+    /// generations belong to a dead incarnation and mean nothing here).
+    /// Stashed pushes from the dead connection are discarded: their
+    /// screenfuls describe windows that no longer exist.
+    ///
+    /// On success the client is fully usable again; window ids have
+    /// changed and the returned [`ReconnectReport`] carries the mapping.
+    /// A window whose view no longer exists on the new server is reported
+    /// as the error that re-opening it produced.
+    pub fn reconnect_to(
+        &mut self,
+        addr: impl ToSocketAddrs,
+        policy: &ReconnectPolicy,
+    ) -> WowResult<ReconnectReport> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(io_err("resolve"))?.collect();
+        let mut rng = SplitMix64::new(policy.seed);
+        let mut attempts = 0u32;
+        let stream = loop {
+            attempts += 1;
+            let dial = addrs
+                .iter()
+                .find_map(|a| TcpStream::connect(a).ok())
+                .ok_or(())
+                .map_err(|_| WowError::Net(format!("reconnect: no server at {addrs:?}")));
+            match dial {
+                Ok(s) => break s,
+                Err(e) if attempts >= policy.max_attempts.max(1) => {
+                    wow_obs::metrics().add("net.reconnect_giveups", 1);
+                    return Err(e);
+                }
+                Err(_) => {
+                    std::thread::sleep(policy.delay(attempts - 1, &mut rng));
+                }
+            }
+        };
+        stream.set_nodelay(true).ok();
+        let peer = stream.peer_addr().map_err(io_err("peer_addr"))?;
+        self.reader = BufReader::new(stream.try_clone().map_err(io_err("clone"))?);
+        self.writer = stream;
+        self.addr = peer;
+        self.next_req = 1;
+        self.session = 0;
+        self.version = MIN_VERSION;
+        self.last_trace = 0;
+        self.stash.clear();
+        self.seen_gen.clear();
+        match self.call(&Request::Hello { version: VERSION })? {
+            Response::HelloOk { session, version } => {
+                self.session = session;
+                self.version = version.min(VERSION);
+            }
+            other => return Err(WowError::Net(format!("bad handshake reply: {other:?}"))),
+        }
+        // Replay view definitions first: a restarted server has recovered
+        // its tables from disk but views are process state and are gone.
+        // Best-effort — when the server survived (only the connection
+        // died) the views still exist and re-defining reports a name
+        // clash, which is not a failure of the reconnect.
+        for (name, src) in self.defined_views.clone() {
+            let _ = self.call(&Request::DefineView { name, src });
+        }
+        // Re-open every window on the fresh session. The tracked list is
+        // rebuilt as we go so a second reconnect keys off the new ids.
+        let old = std::mem::take(&mut self.tracked);
+        let mut windows = Vec::with_capacity(old.len());
+        for (old_win, t) in old {
+            let (new_win, updatable, screen) = self.open_window(&t.view, t.grid)?;
+            windows.push(ReopenedWindow {
+                old_win,
+                new_win,
+                updatable,
+                screen,
+            });
+        }
+        wow_obs::metrics().add("net.reconnects", 1);
+        Ok(ReconnectReport {
+            session: self.session,
+            attempts,
+            windows,
+        })
     }
 
     /// The server-side session id backing this connection.
@@ -224,7 +429,10 @@ impl Client {
             name: name.into(),
             src: src.into(),
         })? {
-            Response::Ack => Ok(()),
+            Response::Ack => {
+                self.defined_views.push((name.into(), src.into()));
+                Ok(())
+            }
             other => Err(unexpected("Ack", &other)),
         }
     }
@@ -242,6 +450,13 @@ impl Client {
                 screen,
             } => {
                 self.note_generation(win, generation);
+                self.tracked.push((
+                    win,
+                    TrackedWindow {
+                        view: view.into(),
+                        grid,
+                    },
+                ));
                 Ok((win, updatable, screen))
             }
             other => Err(unexpected("WindowOpened", &other)),
@@ -251,7 +466,11 @@ impl Client {
     /// Close a window.
     pub fn close_window(&mut self, win: u32) -> WowResult<()> {
         match self.call(&Request::CloseWindow { win })? {
-            Response::Ack => Ok(()),
+            Response::Ack => {
+                self.tracked.retain(|(w, _)| *w != win);
+                self.seen_gen.remove(&win);
+                Ok(())
+            }
             other => Err(unexpected("Ack", &other)),
         }
     }

@@ -17,7 +17,9 @@
 //! * [`proto`] — typed requests / responses / pushes and the error frame.
 //! * [`server`] — the accept loop, per-connection reader/writer threads,
 //!   bounded coalescing outboxes, and the push consistency guarantee.
-//! * [`client`] — a blocking client with generation-gated push delivery.
+//! * [`client`] — a blocking client with generation-gated push delivery
+//!   and crash reconnection (seeded backoff, session rebuild, window
+//!   re-open with generation resync).
 //!
 //! ```no_run
 //! use wow_net::{client::Client, server::{Server, ServerConfig}};
@@ -42,7 +44,7 @@ pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{Client, ReconnectPolicy, ReconnectReport, ReopenedWindow};
 pub use proto::{error_code, ErrorFrame, Push, PushKind, Request, Response, Screenful};
 pub use server::{screenful_of, Server, ServerConfig};
 pub use wire::{FrameKind, ReadError, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};

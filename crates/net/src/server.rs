@@ -296,6 +296,23 @@ impl Server {
         world.enable_refresh_events(false);
         world
     }
+
+    /// Graceful drain for durable worlds: shut down exactly like
+    /// [`Server::shutdown`], then take a durable checkpoint so the next
+    /// `open_durable` replays an empty log instead of the whole epoch's
+    /// WAL. On a world that was never opened durably the checkpoint step
+    /// is skipped — draining an in-memory world is just a shutdown.
+    ///
+    /// The checkpoint happens *after* every connection has fully wound
+    /// down, so it cannot race an in-flight commit and the snapshot is the
+    /// true final state of the served world.
+    pub fn drain(self) -> WowResult<World> {
+        let mut world = self.shutdown();
+        if world.db().durable_dir().is_some() {
+            world.checkpoint_durable()?;
+        }
+        Ok(world)
+    }
 }
 
 /// Build a `WowError::Net` from an io error with a phase label.

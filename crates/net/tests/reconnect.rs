@@ -1,0 +1,281 @@
+//! Crash and restart survival over the wire: graceful drain + reconnect,
+//! and the real thing — `kill -9` of a `wow-serve` process mid-session,
+//! restart from the same world directory, client resumes, and the window
+//! contents equal a never-crashed control run.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+use wow_core::{World, WorldConfig};
+use wow_net::{Client, ReconnectPolicy, Screenful, Server, ServerConfig};
+use wow_storage::fault::SplitMix64;
+
+const VIEW_SRC: &str = "RANGE OF e IS emp RETRIEVE (e.name, e.salary)";
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wow-net-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A reconnect policy tuned for tests: fast, many attempts, deterministic.
+fn test_policy() -> ReconnectPolicy {
+    ReconnectPolicy {
+        max_attempts: 20,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(100),
+        seed: 42,
+    }
+}
+
+#[test]
+fn backoff_schedule_is_deterministic_and_capped() {
+    let policy = ReconnectPolicy {
+        max_attempts: 10,
+        base: Duration::from_millis(10),
+        cap: Duration::from_millis(200),
+        seed: 7,
+    };
+    let mut a = SplitMix64::new(policy.seed);
+    let mut b = SplitMix64::new(policy.seed);
+    for attempt in 0..12 {
+        let da = policy.delay(attempt, &mut a);
+        let db = policy.delay(attempt, &mut b);
+        // Same seed, same schedule.
+        assert_eq!(da, db, "attempt {attempt}");
+        // Equal jitter around the capped exponential: the delay lives in
+        // [exp/2, exp].
+        let exp = (policy.base * 2u32.saturating_pow(attempt)).min(policy.cap);
+        assert!(
+            da >= exp / 2 && da <= exp,
+            "attempt {attempt}: {da:?} vs {exp:?}"
+        );
+    }
+    // Different seeds diverge somewhere (jitter is real).
+    let mut c = SplitMix64::new(99);
+    let diverges = (0..12)
+        .any(|i| policy.delay(i, &mut c) != policy.delay(i, &mut SplitMix64::new(policy.seed)));
+    assert!(diverges);
+}
+
+#[test]
+fn reconnect_fails_cleanly_when_nobody_answers() {
+    // Bind then immediately drop a listener so the port is (very likely)
+    // dead, then watch the client give up after max_attempts.
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let server = Server::start(
+        World::new(WorldConfig::default()),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let policy = ReconnectPolicy {
+        max_attempts: 3,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(4),
+        seed: 1,
+    };
+    let err = client.reconnect_to(addr, &policy).unwrap_err();
+    assert!(format!("{err}").contains("reconnect"), "{err}");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_then_reconnect_resumes_windows() {
+    let dir = tmp_dir("drain");
+    let world = World::open_durable(WorldConfig::default(), &dir).unwrap();
+    let server = Server::start(world, "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .quel("CREATE TABLE emp (name TEXT KEY, salary INT)")
+        .unwrap();
+    for i in 0..10 {
+        client
+            .quel(&format!(
+                r#"APPEND TO emp (name = "e{i}", salary = {})"#,
+                100 + i
+            ))
+            .unwrap();
+    }
+    client.define_view("emps", VIEW_SRC).unwrap();
+    let (win, _, screen_before) = client.open_window("emps", false).unwrap();
+    assert_eq!(screen_before.rows.len().min(10), screen_before.rows.len());
+
+    // Drain: checkpoints the durable world, then the process would exit.
+    let world = server.drain().unwrap();
+    drop(world);
+
+    // Restart from disk on a fresh port — recovery replays nothing (the
+    // drain checkpointed) but the table must be fully there.
+    let world2 = World::open_durable(WorldConfig::default(), &dir).unwrap();
+    assert_eq!(world2.db().recovery_report().unwrap().replayed_ops, 0);
+    let server2 = Server::start(world2, "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    let report = client
+        .reconnect_to(server2.local_addr(), &test_policy())
+        .unwrap();
+    assert_eq!(report.windows.len(), 1);
+    let reopened = &report.windows[0];
+    assert_eq!(reopened.old_win, win);
+    assert_eq!(
+        reopened.screen.rows, screen_before.rows,
+        "window contents survive a drain + restart"
+    );
+    let new_win = report.remap(win).unwrap();
+
+    // The resumed session is fully live: browse and write again.
+    client.next(new_win).unwrap();
+    client
+        .quel(r#"APPEND TO emp (name = "post", salary = 1)"#)
+        .unwrap();
+    client.goodbye().unwrap();
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// kill -9 torture: a real server process, really killed.
+// ---------------------------------------------------------------------------
+
+struct Serve {
+    child: Child,
+    addr: String,
+}
+
+/// Spawn `wow-serve <dir>` and wait for its "listening" line.
+fn spawn_serve(dir: &PathBuf) -> Serve {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wow-serve"))
+        .arg(dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn wow-serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let line = lines
+        .next()
+        .expect("wow-serve printed nothing")
+        .expect("read wow-serve stdout");
+    let addr = line
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+        .to_string();
+    Serve { child, addr }
+}
+
+/// The shared workload, phase one: schema, rows, a view, a window.
+fn phase_one(client: &mut Client) -> (u32, Screenful) {
+    client
+        .quel("CREATE TABLE emp (name TEXT KEY, salary INT)")
+        .unwrap();
+    for i in 0..8 {
+        client
+            .quel(&format!(
+                r#"APPEND TO emp (name = "e{i}", salary = {})"#,
+                100 + i
+            ))
+            .unwrap();
+    }
+    client.define_view("emps", VIEW_SRC).unwrap();
+    let (win, updatable, screen) = client.open_window("emps", false).unwrap();
+    assert!(updatable);
+    (win, screen)
+}
+
+/// Phase two, after the crash (or not, for the control): more writes,
+/// then the final refreshed screen.
+fn phase_two(client: &mut Client, win: u32) -> Screenful {
+    for i in 8..12 {
+        client
+            .quel(&format!(
+                r#"APPEND TO emp (name = "e{i}", salary = {})"#,
+                100 + i
+            ))
+            .unwrap();
+    }
+    client.quel("RANGE OF emp IS emp").unwrap();
+    client
+        .quel(r#"REPLACE emp (salary = 999) WHERE emp.name = "e0""#)
+        .unwrap();
+    client.refresh(win).unwrap();
+    client.screen(win).unwrap()
+}
+
+#[test]
+fn kill_nine_mid_session_loses_no_committed_write() {
+    // Control: the same workload against a server that never crashes.
+    let control_dir = tmp_dir("kill9-control");
+    let control_screen = {
+        let world = World::open_durable(WorldConfig::default(), &control_dir).unwrap();
+        let server = Server::start(world, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let (win, _) = phase_one(&mut client);
+        let screen = phase_two(&mut client, win);
+        client.goodbye().unwrap();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&control_dir);
+        screen
+    };
+
+    // Crash run: phase one against a real wow-serve process, then SIGKILL.
+    let dir = tmp_dir("kill9");
+    let serve = spawn_serve(&dir);
+    let mut client = Client::connect(&serve.addr).unwrap();
+    let (win, _) = phase_one(&mut client);
+    let mut child = serve.child;
+    child.kill().expect("SIGKILL wow-serve");
+    child.wait().expect("reap wow-serve");
+
+    // The committed writes must all be on disk: open the world directly
+    // first — this is the acceptance check for `World::open_durable`
+    // after `kill -9`, zero lost committed writes.
+    {
+        let mut world = World::open_durable(WorldConfig::default(), &dir).unwrap();
+        let rows = world
+            .db_mut()
+            .run("RANGE OF e IS emp RETRIEVE (e.name)")
+            .unwrap();
+        assert_eq!(
+            rows.tuples.len(),
+            8,
+            "all eight committed inserts recovered"
+        );
+    }
+
+    // Restart the server process from the same directory (new port), let
+    // the client reconnect, and finish the workload.
+    let serve2 = spawn_serve(&dir);
+    let report = client.reconnect_to(&*serve2.addr, &test_policy()).unwrap();
+    let new_win = report.remap(win).expect("window re-opened");
+    assert_eq!(
+        report.windows[0].screen.rows.len(),
+        8.min(report.windows[0].screen.rows.len())
+    );
+    let screen = phase_two(&mut client, new_win);
+
+    assert_eq!(
+        screen.rows, control_screen.rows,
+        "post-crash window contents equal the never-crashed control"
+    );
+    assert_eq!(screen.columns, control_screen.columns);
+
+    // Graceful drain this time: ask over stdin, wait for the goodbye.
+    client.goodbye().unwrap();
+    let mut child2 = serve2.child;
+    child2
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(b"quit\n")
+        .unwrap();
+    let status = child2.wait().expect("wow-serve exits after quit");
+    assert!(status.success(), "drain exit status: {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -72,12 +72,19 @@ pub enum Op {
     /// One streaming executor operator's lifetime (scan, filter, project,
     /// join, sort, aggregate, limit); `arg` carries its rows-out.
     ExecOp,
+    /// Forcing the WAL to stable storage (one fsync).
+    WalFsync,
+    /// Writing one durable checkpoint (snapshot + WAL rotation).
+    Checkpoint,
+    /// Recovering a durable database (analysis + committed-tail replay);
+    /// `arg` carries the number of replayed operations.
+    Recovery,
 }
 
 impl Op {
     /// Every operation, in declaration order (indexes the registry's
     /// histogram table).
-    pub const ALL: [Op; 18] = [
+    pub const ALL: [Op; 21] = [
         Op::FormCompile,
         Op::BrowseOpen,
         Op::BrowsePage,
@@ -96,6 +103,9 @@ impl Op {
         Op::NetPush,
         Op::VecEval,
         Op::ExecOp,
+        Op::WalFsync,
+        Op::Checkpoint,
+        Op::Recovery,
     ];
 
     /// Stable snake_case name (metric keys, system-table rows, JSON).
@@ -119,6 +129,9 @@ impl Op {
             Op::NetPush => "net_push",
             Op::VecEval => "vec_eval",
             Op::ExecOp => "exec_op",
+            Op::WalFsync => "wal_fsync",
+            Op::Checkpoint => "checkpoint",
+            Op::Recovery => "recovery",
         }
     }
 }
@@ -587,7 +600,9 @@ mod tests {
         assert_eq!(Op::NetPush.name(), "net_push");
         assert_eq!(Op::VecEval.name(), "vec_eval");
         assert_eq!(Op::ExecOp.name(), "exec_op");
-        assert_eq!(Op::ALL.len(), 18);
+        assert_eq!(Op::ALL.len(), 21);
+        assert_eq!(Op::WalFsync.name(), "wal_fsync");
+        assert_eq!(Op::Recovery.name(), "recovery");
     }
 
     #[test]

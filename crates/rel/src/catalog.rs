@@ -109,6 +109,48 @@ impl Catalog {
         Ok(id)
     }
 
+    /// Register a table under an explicit id (checkpoint restore and WAL
+    /// replay, where ids recorded on disk must be honored verbatim).
+    /// Advances the id allocator past `id` so later tables never collide.
+    pub fn add_table_with_id(
+        &mut self,
+        name: &str,
+        id: TableId,
+        schema: Schema,
+        heap_meta: PageId,
+        key: Vec<usize>,
+    ) -> RelResult<TableId> {
+        if self.tables.contains_key(name) || self.ids.contains_key(&id) {
+            return Err(RelError::AlreadyExists(name.to_string()));
+        }
+        self.next_id = self.next_id.max(id + 1);
+        self.tables.insert(
+            name.to_string(),
+            TableInfo {
+                id,
+                name: name.to_string(),
+                schema,
+                heap_meta,
+                key,
+                indexes: Vec::new(),
+            },
+        );
+        self.ids.insert(id, name.to_string());
+        self.generation += 1;
+        Ok(id)
+    }
+
+    /// The next id the allocator would hand out (serialized by checkpoints
+    /// so dropped-table ids stay retired across restarts).
+    pub fn next_table_id(&self) -> TableId {
+        self.next_id
+    }
+
+    /// Restore the id allocator's high-water mark (only ever moves forward).
+    pub fn set_next_table_id(&mut self, next: TableId) {
+        self.next_id = self.next_id.max(next);
+    }
+
     /// Remove a table and all its index entries; returns the removed infos.
     pub fn remove_table(&mut self, name: &str) -> RelResult<(TableInfo, Vec<IndexInfo>)> {
         let info = self

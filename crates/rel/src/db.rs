@@ -172,6 +172,15 @@ pub struct Database {
     pub(crate) vectorized: bool,
     /// Target rows per column batch on the vectorized path.
     pub(crate) batch_size: usize,
+    /// Durability bookkeeping when opened via [`Database::open_durable`].
+    pub(crate) durable: Option<crate::durable::DurableState>,
+}
+
+/// Whether writes to `table` are logged to the WAL. System mirror tables
+/// (`__sys_*`) are rebuilt from live counters on demand, so logging them
+/// would only bloat the log and force an fsync per refreshed row.
+pub(crate) fn wal_logged(table: &str) -> bool {
+    !table.starts_with("__sys_")
 }
 
 impl Database {
@@ -194,7 +203,7 @@ impl Database {
         ))
     }
 
-    fn with_store(store: AnyStore, frames: usize) -> Database {
+    pub(crate) fn with_store(store: AnyStore, frames: usize) -> Database {
         Database {
             pool: Arc::new(BufferPool::new(store, frames)),
             catalog: Catalog::new(),
@@ -208,6 +217,7 @@ impl Database {
             par: wow_par::Pool::default(),
             vectorized: resolve_vectorized(true),
             batch_size: crate::exec::stream::BLOCK_CAP,
+            durable: None,
         }
     }
 
@@ -267,6 +277,7 @@ impl Database {
             par: wow_par::Pool::serial(),
             vectorized: self.vectorized,
             batch_size: self.batch_size,
+            durable: None,
         }
     }
 
@@ -331,18 +342,42 @@ impl Database {
     /// when non-empty a unique B+tree index `pk_<table>` is created on them
     /// automatically — the ordered access path browse cursors rely on.
     pub fn create_table(&mut self, name: &str, schema: Schema, key: &[&str]) -> RelResult<TableId> {
-        if self.catalog.has_table(name) {
-            return Err(RelError::AlreadyExists(name.to_string()));
-        }
         let key_idx: Vec<usize> = key
             .iter()
             .map(|k| schema.resolve(k))
             .collect::<RelResult<_>>()?;
+        let id = self.create_table_at(
+            name,
+            self.catalog.next_table_id(),
+            schema.clone(),
+            key_idx.clone(),
+        )?;
+        if wal_logged(name) {
+            self.log_ddl(crate::durable::encode_create_table(
+                id, name, &schema, &key_idx,
+            ))?;
+        }
+        Ok(id)
+    }
+
+    /// Create a table under an explicit id, without WAL logging — the shared
+    /// body of [`Database::create_table`] and DDL replay (which must honor
+    /// the id recorded in the log).
+    pub(crate) fn create_table_at(
+        &mut self,
+        name: &str,
+        id: TableId,
+        schema: Schema,
+        key_idx: Vec<usize>,
+    ) -> RelResult<TableId> {
+        if self.catalog.has_table(name) {
+            return Err(RelError::AlreadyExists(name.to_string()));
+        }
         let heap = HeapFile::create(&self.pool)?;
         let heap_meta = heap.meta_page();
         let id = self
             .catalog
-            .add_table(name, schema, heap_meta, key_idx.clone())?;
+            .add_table_with_id(name, id, schema, heap_meta, key_idx.clone())?;
         self.heaps.insert(id, heap);
         if !key_idx.is_empty() {
             let pk_name = format!("pk_{name}");
@@ -361,10 +396,54 @@ impl Database {
         unique: bool,
     ) -> RelResult<()> {
         let col = self.catalog.table(table)?.schema.resolve(column)?;
-        self.create_index_internal(index_name, table, vec![col], kind, unique)
+        self.create_index_internal(index_name, table, vec![col], kind, unique)?;
+        if wal_logged(table) {
+            self.log_ddl(crate::durable::encode_create_index(
+                index_name,
+                table,
+                &[col],
+                kind,
+                unique,
+            ))?;
+        }
+        Ok(())
     }
 
-    fn create_index_internal(
+    /// Log one DDL statement as its own committed transaction (DDL is not
+    /// undoable, so it never joins the open transaction's undo scope).
+    pub(crate) fn log_ddl(&mut self, payload: Vec<u8>) -> RelResult<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let txn = self.txn.next;
+        self.txn.next += 1;
+        let wal = self.wal.as_mut().expect("checked above");
+        wal.append(&wow_storage::wal::LogRecord::Ddl {
+            txn,
+            bytes: payload,
+        })?;
+        wal.append(&wow_storage::wal::LogRecord::Commit { txn })?;
+        wal.flush()?;
+        Ok(())
+    }
+
+    /// Open an index handle from its meta page and register it (checkpoint
+    /// restore; the catalog entry must already exist).
+    pub(crate) fn open_index_handle(
+        &mut self,
+        name: &str,
+        kind: IndexKind,
+        meta: PageId,
+    ) -> RelResult<()> {
+        let handle = match kind {
+            IndexKind::BTree => IndexHandle::BTree(BTree::open(&self.pool, meta)?),
+            IndexKind::Hash => IndexHandle::Hash(HashIndex::open(&self.pool, meta)?),
+        };
+        self.indexes.insert(name.to_string(), handle);
+        Ok(())
+    }
+
+    pub(crate) fn create_index_internal(
         &mut self,
         index_name: &str,
         table: &str,
@@ -402,6 +481,7 @@ impl Database {
 
     /// Drop a table, its heap, and its indexes.
     pub fn drop_table(&mut self, name: &str) -> RelResult<()> {
+        let logged = self.catalog.has_table(name) && wal_logged(name);
         let (info, indexes) = self.catalog.remove_table(name)?;
         if let Some(heap) = self.heaps.remove(&info.id) {
             heap.destroy(&self.pool)?;
@@ -416,17 +496,31 @@ impl Database {
         }
         self.stats.remove(info.id);
         self.ranges.retain(|_, t| t != name);
+        if logged {
+            self.log_ddl(crate::durable::encode_drop_table(name))?;
+        }
         Ok(())
     }
 
     /// Drop a secondary index.
     pub fn drop_index(&mut self, name: &str) -> RelResult<()> {
+        let logged = match self.catalog.index(name) {
+            Ok(info) => self
+                .catalog
+                .table_by_id(info.table)
+                .map(|t| wal_logged(&t.name))
+                .unwrap_or(false),
+            Err(_) => false,
+        };
         let info = self.catalog.remove_index(name)?;
         if let Some(handle) = self.indexes.remove(&info.name) {
             match handle {
                 IndexHandle::BTree(t) => t.destroy(&self.pool)?,
                 IndexHandle::Hash(h) => h.destroy(&self.pool)?,
             }
+        }
+        if logged {
+            self.log_ddl(crate::durable::encode_drop_index(name))?;
         }
         Ok(())
     }
@@ -766,6 +860,7 @@ impl Database {
             wal.append(&wow_storage::wal::LogRecord::Commit { txn: id })?;
             wal.flush()?;
         }
+        self.note_commit()?;
         Ok(())
     }
 
@@ -782,6 +877,12 @@ impl Database {
             wal.append(&wow_storage::wal::LogRecord::Abort { txn: id })?;
         }
         Ok(())
+    }
+
+    /// The next transaction id that would be handed out (test visibility).
+    #[cfg(test)]
+    pub(crate) fn txn_next_for_tests(&self) -> TxnId {
+        self.txn.next
     }
 
     /// The transaction id DML should log under: the open transaction, or a

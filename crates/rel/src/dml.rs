@@ -11,7 +11,6 @@
 //! 6. record an undo entry if a transaction is open, and
 //! 7. bump statistics.
 
-use crate::catalog::TableId;
 use crate::db::{Database, UndoOp};
 use crate::error::{RelError, RelResult};
 use crate::tuple::Tuple;
@@ -53,22 +52,28 @@ impl Database {
             .get_mut(&info.id)
             .ok_or_else(|| RelError::NoSuchTable(table.to_string()))?;
         let rid = heap.insert(&self.pool, &encoded)?;
-        if let Some(wal) = &mut self.wal {
-            wal.append(&LogRecord::Insert {
-                txn,
-                table: info.id,
-                rid,
-                bytes: encoded,
-            })?;
+        let logged = crate::db::wal_logged(&info.name);
+        if logged {
+            if let Some(wal) = &mut self.wal {
+                wal.append(&LogRecord::Insert {
+                    txn,
+                    table: info.id,
+                    rid,
+                    bytes: encoded,
+                })?;
+            }
         }
         for idx_name in &info.indexes {
             let idx = self.catalog.index(idx_name)?.clone();
             self.index_insert(&idx, &tuple, rid)?;
         }
         if auto {
-            if let Some(wal) = &mut self.wal {
-                wal.append(&LogRecord::Commit { txn })?;
-                wal.flush()?;
+            if logged {
+                if let Some(wal) = &mut self.wal {
+                    wal.append(&LogRecord::Commit { txn })?;
+                    wal.flush()?;
+                }
+                self.note_commit()?;
             }
         } else {
             self.txn.undo.push(UndoOp::Insert {
@@ -106,14 +111,17 @@ impl Database {
             }
         }
         let (txn, auto) = self.dml_txn();
-        if let Some(wal) = &mut self.wal {
-            wal.append(&LogRecord::Update {
-                txn,
-                table: info.id,
-                rid,
-                old: old.encode(),
-                new: new.encode(),
-            })?;
+        let logged = crate::db::wal_logged(&info.name);
+        if logged {
+            if let Some(wal) = &mut self.wal {
+                wal.append(&LogRecord::Update {
+                    txn,
+                    table: info.id,
+                    rid,
+                    old: old.encode(),
+                    new: new.encode(),
+                })?;
+            }
         }
         {
             let heap = self.heaps.get_mut(&info.id).expect("heap exists");
@@ -129,9 +137,12 @@ impl Database {
             }
         }
         if auto {
-            if let Some(wal) = &mut self.wal {
-                wal.append(&LogRecord::Commit { txn })?;
-                wal.flush()?;
+            if logged {
+                if let Some(wal) = &mut self.wal {
+                    wal.append(&LogRecord::Commit { txn })?;
+                    wal.flush()?;
+                }
+                self.note_commit()?;
             }
         } else {
             self.txn.undo.push(UndoOp::Update {
@@ -151,13 +162,16 @@ impl Database {
             return Ok(false);
         };
         let (txn, auto) = self.dml_txn();
-        if let Some(wal) = &mut self.wal {
-            wal.append(&LogRecord::Delete {
-                txn,
-                table: info.id,
-                rid,
-                old: old.encode(),
-            })?;
+        let logged = crate::db::wal_logged(&info.name);
+        if logged {
+            if let Some(wal) = &mut self.wal {
+                wal.append(&LogRecord::Delete {
+                    txn,
+                    table: info.id,
+                    rid,
+                    old: old.encode(),
+                })?;
+            }
         }
         for idx_name in &info.indexes {
             let idx = self.catalog.index(idx_name)?.clone();
@@ -168,9 +182,12 @@ impl Database {
             heap.delete(&self.pool, rid)?;
         }
         if auto {
-            if let Some(wal) = &mut self.wal {
-                wal.append(&LogRecord::Commit { txn })?;
-                wal.flush()?;
+            if logged {
+                if let Some(wal) = &mut self.wal {
+                    wal.append(&LogRecord::Commit { txn })?;
+                    wal.flush()?;
+                }
+                self.note_commit()?;
             }
         } else {
             self.txn.undo.push(UndoOp::Delete {
@@ -184,52 +201,16 @@ impl Database {
         Ok(true)
     }
 
-    /// Replay a WAL into this database (which must already contain the
-    /// schema — DDL is not logged; see `DESIGN.md` §recovery). Tables are
-    /// matched by id, so recreate them in the same order. Returns the number
-    /// of operations applied.
+    /// Replay a WAL into this database. Committed DML is re-applied by rid
+    /// hint with a content fallback, and committed DDL records recreate
+    /// tables and indexes under their logged ids (see
+    /// [`crate::durable`] for the full protocol). Call this *before*
+    /// attaching a WAL, or every replayed operation is logged again.
+    /// Returns the number of operations applied.
     pub fn replay_wal(&mut self, wal: &mut wow_storage::wal::Wal) -> RelResult<u64> {
         let records: Vec<LogRecord> = wal.read_all()?.into_iter().map(|(_, r)| r).collect();
-        let report = wow_storage::recovery::analyze(&records);
-        let committed: std::collections::HashSet<u64> = report.committed.iter().copied().collect();
-        // Logged rids are not stable across replay (fresh heap allocates new
-        // pages), so maintain a translation map.
-        let mut rid_map: std::collections::HashMap<(TableId, Rid), Rid> =
-            std::collections::HashMap::new();
-        let mut applied = 0u64;
-        for rec in records {
-            if !committed.contains(&rec.txn()) {
-                continue;
-            }
-            match rec {
-                LogRecord::Insert {
-                    table, rid, bytes, ..
-                } => {
-                    let tname = self.catalog.table_by_id(table)?.name.clone();
-                    let tuple = Tuple::decode(&bytes)?;
-                    let new_rid = self.insert(&tname, tuple.values)?;
-                    rid_map.insert((table, rid), new_rid);
-                    applied += 1;
-                }
-                LogRecord::Update {
-                    table, rid, new, ..
-                } => {
-                    let tname = self.catalog.table_by_id(table)?.name.clone();
-                    let actual = rid_map.get(&(table, rid)).copied().unwrap_or(rid);
-                    let tuple = Tuple::decode(&new)?;
-                    self.update_rid(&tname, actual, tuple.values)?;
-                    applied += 1;
-                }
-                LogRecord::Delete { table, rid, .. } => {
-                    let tname = self.catalog.table_by_id(table)?.name.clone();
-                    let actual = rid_map.get(&(table, rid)).copied().unwrap_or(rid);
-                    self.delete_rid(&tname, actual)?;
-                    applied += 1;
-                }
-                _ => {}
-            }
-        }
-        Ok(applied)
+        let report = self.apply_committed(&records)?;
+        Ok(report.replayed_ops)
     }
 }
 

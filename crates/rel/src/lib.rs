@@ -41,6 +41,7 @@ pub mod catalog;
 pub mod db;
 pub mod delta;
 pub mod dml;
+pub mod durable;
 pub mod error;
 pub mod eval;
 pub mod exec;

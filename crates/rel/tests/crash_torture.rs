@@ -1,0 +1,424 @@
+//! Crash-torture harness: hundreds of (workload, kill-point, fault-seed)
+//! runs against a durable database with a fault-injecting WAL.
+//!
+//! Each run drives a seeded workload of explicit transactions over a
+//! durable world whose WAL backend injects short writes, fsync failures,
+//! and fsync timeouts on a deterministic schedule. At a seeded kill-point
+//! the process "loses power": the WAL's crash image (durable bytes plus a
+//! seeded torn prefix of the unsynced buffer) is written to disk as the
+//! real log, the database is dropped, and `open_durable` runs recovery.
+//!
+//! The oracle is a **shadow twin**: the same logical operations applied to
+//! plain in-memory maps. Recovery must reproduce the committed prefix
+//! exactly — every transaction whose commit returned `Ok` is present,
+//! every transaction that never committed is absent, and at most the one
+//! transaction whose commit *errored* (an injected fsync fault makes
+//! durability genuinely unknowable to the caller) may land on either
+//! side. That is the same contract a real disk gives a real database.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use wow_rel::db::Database;
+use wow_rel::durable::WAL_FILE;
+use wow_rel::schema::{Column, Schema};
+use wow_rel::types::DataType;
+use wow_rel::value::Value;
+use wow_storage::fault::{FaultPlan, FaultStats, SplitMix64};
+use wow_storage::wal::Wal;
+
+/// Multiset state of every user table: table → (key → salary list).
+/// A list per key, not a scalar, so the comparison is exact even though
+/// keys are unique here (cheap insurance against silent dup rows).
+type State = BTreeMap<String, BTreeMap<String, Vec<i64>>>;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert {
+        table: &'static str,
+        key: String,
+        salary: i64,
+    },
+    Update {
+        table: &'static str,
+        key: String,
+        salary: i64,
+    },
+    Delete {
+        table: &'static str,
+        key: String,
+    },
+}
+
+/// Why the workload stopped before its kill-point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Stop {
+    /// Reached the kill-point with no injected error surfacing.
+    Clean,
+    /// An error inside a transaction (op append, begin, abort): no commit
+    /// record can exist, so the transaction is determinately absent.
+    OpError,
+    /// The commit itself errored: the commit record may or may not have
+    /// reached the platter — indeterminate by design.
+    CommitError,
+    /// Creating the aux table errored mid-DDL: the table may or may not
+    /// exist after recovery (DDL commits are single-record transactions).
+    DdlError,
+}
+
+fn tmp_dir(run: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wow-torture-{}-{run}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn emp_schema() -> Schema {
+    Schema::new(vec![
+        Column::not_null("name", DataType::Text),
+        Column::new("salary", DataType::Int),
+    ])
+}
+
+fn apply_shadow(state: &mut State, op: &Op) {
+    match op {
+        Op::Insert { table, key, salary } => {
+            state
+                .entry(table.to_string())
+                .or_default()
+                .entry(key.clone())
+                .or_default()
+                .push(*salary);
+        }
+        Op::Update { table, key, salary } => {
+            let rows = state.get_mut(*table).unwrap().get_mut(key).unwrap();
+            rows.clear();
+            rows.push(*salary);
+        }
+        Op::Delete { table, key } => {
+            state.get_mut(*table).unwrap().remove(key);
+        }
+    }
+}
+
+fn apply_db(db: &mut Database, op: &Op) -> Result<(), wow_rel::RelError> {
+    match op {
+        Op::Insert { table, key, salary } => {
+            db.insert(table, vec![Value::text(key.clone()), Value::Int(*salary)])?;
+        }
+        Op::Update { table, key, salary } => {
+            let rids = db.index_lookup(&format!("pk_{table}"), &[Value::text(key.clone())])?;
+            let rid = *rids.first().expect("driver only updates live keys");
+            db.update_rid(
+                table,
+                rid,
+                vec![Value::text(key.clone()), Value::Int(*salary)],
+            )?;
+        }
+        Op::Delete { table, key } => {
+            let rids = db.index_lookup(&format!("pk_{table}"), &[Value::text(key.clone())])?;
+            let rid = *rids.first().expect("driver only deletes live keys");
+            db.delete_rid(table, rid)?;
+        }
+    }
+    Ok(())
+}
+
+/// Generate the next op for `table` given the driver's view of its rows.
+fn gen_op(rng: &mut SplitMix64, table: &'static str, live: &State) -> Op {
+    let keys: Vec<String> = live
+        .get(table)
+        .map(|m| m.keys().cloned().collect())
+        .unwrap_or_default();
+    let key = format!("k{}", rng.below(26));
+    let exists = keys.contains(&key);
+    let salary = rng.below(1000) as i64;
+    match rng.below(10) {
+        // Lean towards inserts so tables grow; flip kind when the rolled
+        // key's existence doesn't fit it.
+        0..=4 => {
+            if exists {
+                Op::Update { table, key, salary }
+            } else {
+                Op::Insert { table, key, salary }
+            }
+        }
+        5..=7 => {
+            if exists {
+                Op::Update { table, key, salary }
+            } else {
+                Op::Insert { table, key, salary }
+            }
+        }
+        _ => {
+            if exists {
+                Op::Delete { table, key }
+            } else {
+                Op::Insert { table, key, salary }
+            }
+        }
+    }
+}
+
+/// Read the recovered database back into the shadow's state shape.
+fn recovered_state(db: &mut Database, tables: &[&str]) -> State {
+    let mut out = State::new();
+    for t in tables {
+        let Ok(info) = db.catalog().table(t) else {
+            continue;
+        };
+        let id = info.id;
+        let mut rows: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+        for (_, tuple) in db.scan_table_raw(id).unwrap() {
+            let key = match &tuple.values[0] {
+                Value::Text(s) => s.to_string(),
+                other => panic!("bad key value {other:?}"),
+            };
+            let salary = match &tuple.values[1] {
+                Value::Int(i) => *i,
+                other => panic!("bad salary value {other:?}"),
+            };
+            rows.entry(key).or_default().push(salary);
+        }
+        out.insert(t.to_string(), rows);
+    }
+    out
+}
+
+struct RunParams {
+    run_id: u64,
+    seed: u64,
+    kill_after_commits: usize,
+    plan: FaultPlan,
+    mid_checkpoint: bool,
+    with_ddl: bool,
+}
+
+/// One full torture run. Returns the fault stats the WAL injected so the
+/// suite can prove each fault class actually fired.
+fn torture_run(p: RunParams) -> FaultStats {
+    let dir = tmp_dir(p.run_id);
+    let mut db = Database::open_durable(&dir).unwrap();
+    db.set_checkpoint_every(0);
+
+    // Prologue on the real file WAL: schema, then a checkpoint so the
+    // snapshot carries the table and the log rotates to epoch 1. The
+    // fault WAL swapped in below only ever sees workload records.
+    db.create_table("emp", emp_schema(), &["name"]).unwrap();
+    db.checkpoint_durable().unwrap();
+    let real_wal = db.take_wal().unwrap();
+    assert_eq!(real_wal.epoch(), 1);
+    drop(real_wal);
+    db.attach_wal(Wal::with_faults(p.plan));
+
+    let mut rng = SplitMix64::new(p.seed ^ 0xD1CE_D1CE);
+    let mut committed = State::new();
+    committed.insert("emp".into(), BTreeMap::new());
+    let mut live = committed.clone();
+    let mut stop = Stop::Clean;
+    let mut errored_txn: Vec<Op> = Vec::new();
+    let mut aux_created = false;
+
+    // Optional DDL through the fault WAL: a second table, logged as its
+    // own committed transaction and replayed from the log on recovery.
+    if p.with_ddl {
+        match db.create_table("aux", emp_schema(), &["name"]) {
+            Ok(_) => {
+                aux_created = true;
+                committed.insert("aux".into(), BTreeMap::new());
+                live = committed.clone();
+            }
+            Err(_) => stop = Stop::DdlError,
+        }
+    }
+
+    let mut commits = 0usize;
+    let mut did_ckpt = false;
+    'workload: while stop == Stop::Clean {
+        if commits == p.kill_after_commits {
+            // Maybe leave a transaction in flight as torn-tail material.
+            if rng.below(10) < 6 {
+                if db.begin().is_err() {
+                    stop = Stop::OpError;
+                    break 'workload;
+                }
+                for _ in 0..=rng.below(2) {
+                    let table = if aux_created && rng.below(2) == 1 {
+                        "aux"
+                    } else {
+                        "emp"
+                    };
+                    let op = gen_op(&mut rng, table, &live);
+                    if apply_db(&mut db, &op).is_err() {
+                        stop = Stop::OpError;
+                        break 'workload;
+                    }
+                }
+            }
+            break 'workload;
+        }
+        if p.mid_checkpoint && !did_ckpt && commits >= p.kill_after_commits / 2 && commits > 0 {
+            // A checkpoint mid-workload: snapshot absorbs the prefix, the
+            // fault log resets, and the crash exercises snapshot + tail.
+            db.checkpoint_durable().unwrap();
+            did_ckpt = true;
+        }
+        if db.begin().is_err() {
+            stop = Stop::OpError;
+            break 'workload;
+        }
+        let nops = 1 + rng.below(3);
+        let mut txn_ops: Vec<Op> = Vec::new();
+        for _ in 0..nops {
+            let table = if aux_created && rng.below(3) == 1 {
+                "aux"
+            } else {
+                "emp"
+            };
+            let op = gen_op(&mut rng, table, &live);
+            if apply_db(&mut db, &op).is_err() {
+                stop = Stop::OpError;
+                break 'workload;
+            }
+            apply_shadow(&mut live, &op);
+            txn_ops.push(op);
+        }
+        if rng.below(10) == 0 {
+            // Abort path: roll the driver back too. An error while writing
+            // the abort record still means "no commit record exists".
+            if db.abort().is_err() {
+                stop = Stop::OpError;
+                break 'workload;
+            }
+            live = committed.clone();
+            continue;
+        }
+        match db.commit() {
+            Ok(()) => {
+                committed = live.clone();
+                commits += 1;
+            }
+            Err(_) => {
+                stop = Stop::CommitError;
+                errored_txn = txn_ops;
+                break 'workload;
+            }
+        }
+    }
+
+    // Power loss: persist the crash image as the on-disk log and drop the
+    // process state. The snapshot epoch is 1 after the prologue
+    // checkpoint and tracks the fault WAL's epoch once mid-run
+    // checkpoints bump it, so the written image always matches it.
+    let mut wal = db.take_wal().unwrap();
+    let epoch = wal.epoch().max(1);
+    let stats = wal.fault_stats().unwrap();
+    let img = wal.crash_image().unwrap();
+    drop(wal);
+    drop(db);
+    Wal::write_image(&dir.join(WAL_FILE), epoch, &img).unwrap();
+
+    // Recovery must always succeed, torn tail or not.
+    let mut db = Database::open_durable(&dir)
+        .unwrap_or_else(|e| panic!("run {}: recovery failed: {e}", p.run_id));
+    let got = recovered_state(&mut db, &["emp", "aux"]);
+
+    // Build the acceptable post-recovery states.
+    let mut candidates: Vec<(State, &str)> = vec![(committed.clone(), "committed prefix")];
+    match stop {
+        Stop::Clean | Stop::OpError => {}
+        Stop::CommitError => {
+            // The errored commit may have made it to the platter.
+            let mut plus = committed.clone();
+            for op in &errored_txn {
+                apply_shadow(&mut plus, op);
+            }
+            candidates.push((plus, "committed prefix + indeterminate txn"));
+        }
+        Stop::DdlError => {
+            // The DDL commit may have made it: aux exists but is empty.
+            let mut plus = committed.clone();
+            plus.insert("aux".into(), BTreeMap::new());
+            candidates.push((plus, "committed prefix + indeterminate DDL"));
+        }
+    }
+    let ok = candidates.iter().any(|(c, _)| *c == got);
+    assert!(
+        ok,
+        "run {} (seed {}, kill {}, stop {:?}): recovered state matches no candidate.\n\
+         got: {:?}\ncandidates: {:?}",
+        p.run_id, p.seed, p.kill_after_commits, stop, got, candidates
+    );
+
+    // The recovered database is live: one more write must go through.
+    db.insert("emp", vec![Value::text("post-recovery"), Value::Int(1)])
+        .unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    stats
+}
+
+#[test]
+fn two_hundred_plus_crash_recoveries_match_the_shadow_twin() {
+    let plans: &[FaultPlan] = &[
+        FaultPlan::quiet(0),
+        FaultPlan {
+            seed: 0,
+            short_write_per_mille: 35,
+            fail_flush_per_mille: 0,
+            late_flush_per_mille: 0,
+        },
+        FaultPlan {
+            seed: 0,
+            short_write_per_mille: 0,
+            fail_flush_per_mille: 80,
+            late_flush_per_mille: 0,
+        },
+        FaultPlan {
+            seed: 0,
+            short_write_per_mille: 0,
+            fail_flush_per_mille: 0,
+            late_flush_per_mille: 80,
+        },
+        FaultPlan {
+            seed: 0,
+            short_write_per_mille: 25,
+            fail_flush_per_mille: 40,
+            late_flush_per_mille: 40,
+        },
+    ];
+    let kills = [0usize, 1, 3, 7, 12];
+    let mut runs = 0u64;
+    let mut total = FaultStats::default();
+    for (pi, plan) in plans.iter().enumerate() {
+        for (ki, kill) in kills.iter().enumerate() {
+            for seed in 0..10u64 {
+                let run_id = (pi as u64) * 1000 + (ki as u64) * 100 + seed;
+                let mut plan = *plan;
+                plan.seed = seed.wrapping_mul(0x9E37) ^ run_id;
+                let stats = torture_run(RunParams {
+                    run_id,
+                    seed,
+                    kill_after_commits: *kill,
+                    plan,
+                    mid_checkpoint: *kill >= 7 && seed % 3 == 0,
+                    with_ddl: seed % 2 == 1,
+                });
+                total.short_writes += stats.short_writes;
+                total.failed_flushes += stats.failed_flushes;
+                total.late_flushes += stats.late_flushes;
+                runs += 1;
+            }
+        }
+    }
+    assert!(runs >= 200, "matrix shrank below the torture floor: {runs}");
+    // The matrix must actually have exercised every fault class — a
+    // passing suite that injected nothing proves nothing.
+    assert!(total.short_writes > 0, "no torn writes injected: {total:?}");
+    assert!(
+        total.failed_flushes > 0,
+        "no fsync failures injected: {total:?}"
+    );
+    assert!(
+        total.late_flushes > 0,
+        "no fsync timeouts injected: {total:?}"
+    );
+}

@@ -14,6 +14,7 @@
 //! * [`hash_index`] — a bucket-chained hash index for equality lookups.
 //! * [`wal`] — a write-ahead log with commit/abort records.
 //! * [`recovery`] — replay of committed work after a crash.
+//! * [`fault`] — deterministic fault injection for crash-torture tests.
 //!
 //! Everything operates on raw byte strings; typed encoding/decoding lives one
 //! layer up in `wow-rel`.
@@ -33,6 +34,7 @@
 pub mod btree;
 pub mod buffer;
 pub mod error;
+pub mod fault;
 pub mod hash_index;
 pub mod heap;
 pub mod page;

@@ -83,7 +83,8 @@ pub fn replay(
         match rec {
             LogRecord::Insert { txn, .. }
             | LogRecord::Update { txn, .. }
-            | LogRecord::Delete { txn, .. } => {
+            | LogRecord::Delete { txn, .. }
+            | LogRecord::Ddl { txn, .. } => {
                 if committed.contains(txn) {
                     apply(rec)?;
                     report.replayed_ops += 1;

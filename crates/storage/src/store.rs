@@ -46,6 +46,19 @@ impl MemStore {
     pub fn resident_bytes(&self) -> usize {
         self.pages.iter().filter(|p| p.is_some()).count() * PAGE_SIZE
     }
+
+    /// Rebuild a store from page images restored by a checkpoint loader.
+    /// `None` slots are free pages; their ids go back on the free list so
+    /// allocation order after restore matches the snapshotted store.
+    pub fn from_parts(pages: Vec<Option<Page>>) -> MemStore {
+        let free = pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i as u64)
+            .collect();
+        MemStore { pages, free }
+    }
 }
 
 impl Default for MemStore {
@@ -106,60 +119,91 @@ impl PageStore for MemStore {
 }
 
 /// Size of the file header holding store metadata.
-const FILE_HEADER: u64 = 16;
-const MAGIC: u32 = 0x574F_5731; // "WOW1"
+const FILE_HEADER: u64 = 64;
+const MAGIC: u32 = 0x574F_5732; // "WOW2"
+const VERSION: u32 = 2;
+/// Sentinel for "no free page" in the free-list chain.
+const NIL: u64 = u64::MAX;
 
 /// A file-backed page store.
 ///
 /// Page `i` lives at byte offset `FILE_HEADER + i * PAGE_SIZE`. The header
-/// records a magic number and the allocated page count. The free list is
-/// kept in memory only: pages freed in a previous process lifetime are not
-/// recycled, which wastes space but never corrupts data — the trade the
-/// original systems of this era also made between checkpoints.
+/// records a magic number, the allocated page count, the head and length of
+/// the persistent free list, and an optional metadata blob (used by durable
+/// checkpoints to carry the serialized catalog alongside the page images).
+///
+/// Freed pages form an on-disk chain: the first 8 bytes of a free page hold
+/// the id of the next free page, and the header holds the chain head — so
+/// pages freed in one process lifetime are recycled in the next, and
+/// long-lived worlds stop growing without bound. The two writes a `free`
+/// performs (chain pointer, then header) are not atomic; a crash between
+/// them leaks that one page, which wastes space but never corrupts data.
+///
+/// The metadata blob lives after the last page. Allocating a page would
+/// overwrite it, so `allocate` invalidates any stored blob; checkpoint
+/// writers set it last.
 pub struct FileStore {
     file: File,
     next: u64,
-    free: Vec<u64>,
+    free_head: u64,
+    free_len: u64,
+    meta_len: u64,
+    meta_crc: u64,
 }
 
 impl FileStore {
     /// Open (or create) a store at `path`.
     pub fn open(path: &Path) -> StorageResult<FileStore> {
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)?;
         let len = file.metadata()?.len();
-        let next = if len < FILE_HEADER {
-            // Fresh file: write the header.
-            let mut header = [0u8; FILE_HEADER as usize];
-            header[..4].copy_from_slice(&MAGIC.to_le_bytes());
-            file.seek(SeekFrom::Start(0))?;
-            file.write_all(&header)?;
-            0
+        let mut store = FileStore {
+            file,
+            next: 0,
+            free_head: NIL,
+            free_len: 0,
+            meta_len: 0,
+            meta_crc: 0,
+        };
+        if len < FILE_HEADER {
+            // Fresh file (or a torn header from a crash during creation —
+            // nothing else can be in the file yet): write the header.
+            store.file.set_len(0)?;
+            store.write_header()?;
         } else {
             let mut header = [0u8; FILE_HEADER as usize];
-            file.seek(SeekFrom::Start(0))?;
-            file.read_exact(&mut header)?;
+            store.file.seek(SeekFrom::Start(0))?;
+            store.file.read_exact(&mut header)?;
             let magic = u32::from_le_bytes(header[..4].try_into().unwrap());
             if magic != MAGIC {
                 return Err(StorageError::Corrupt("bad file-store magic"));
             }
-            u64::from_le_bytes(header[8..16].try_into().unwrap())
-        };
-        Ok(FileStore {
-            file,
-            next,
-            free: Vec::new(),
-        })
+            let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            if version != VERSION {
+                return Err(StorageError::Corrupt("unsupported file-store version"));
+            }
+            store.next = u64::from_le_bytes(header[8..16].try_into().unwrap());
+            store.free_head = u64::from_le_bytes(header[16..24].try_into().unwrap());
+            store.free_len = u64::from_le_bytes(header[24..32].try_into().unwrap());
+            store.meta_len = u64::from_le_bytes(header[32..40].try_into().unwrap());
+            store.meta_crc = u64::from_le_bytes(header[40..48].try_into().unwrap());
+        }
+        Ok(store)
     }
 
     fn write_header(&mut self) -> StorageResult<()> {
         let mut header = [0u8; FILE_HEADER as usize];
         header[..4].copy_from_slice(&MAGIC.to_le_bytes());
+        header[4..8].copy_from_slice(&VERSION.to_le_bytes());
         header[8..16].copy_from_slice(&self.next.to_le_bytes());
+        header[16..24].copy_from_slice(&self.free_head.to_le_bytes());
+        header[24..32].copy_from_slice(&self.free_len.to_le_bytes());
+        header[32..40].copy_from_slice(&self.meta_len.to_le_bytes());
+        header[40..48].copy_from_slice(&self.meta_crc.to_le_bytes());
         self.file.seek(SeekFrom::Start(0))?;
         self.file.write_all(&header)?;
         Ok(())
@@ -168,15 +212,62 @@ impl FileStore {
     fn offset(id: PageId) -> u64 {
         FILE_HEADER + id.0 * PAGE_SIZE as u64
     }
+
+    /// Number of pages currently on the free list.
+    pub fn free_count(&self) -> u64 {
+        self.free_len
+    }
+
+    /// Store a metadata blob after the page region (checksummed; replaces
+    /// any previous blob). Checkpoints use this for the serialized catalog.
+    pub fn set_meta(&mut self, bytes: &[u8]) -> StorageResult<()> {
+        let off = Self::offset(PageId(self.next));
+        self.file.set_len(off)?;
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.write_all(bytes)?;
+        self.meta_len = bytes.len() as u64;
+        self.meta_crc = crate::wal::fnv1a(bytes);
+        self.write_header()?;
+        Ok(())
+    }
+
+    /// Read back the metadata blob, if one is stored. A checksum mismatch
+    /// (torn or bit-rotted blob) is an error, not silent garbage.
+    pub fn get_meta(&mut self) -> StorageResult<Option<Vec<u8>>> {
+        if self.meta_len == 0 {
+            return Ok(None);
+        }
+        let off = Self::offset(PageId(self.next));
+        let mut buf = vec![0u8; self.meta_len as usize];
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.read_exact(&mut buf)?;
+        if crate::wal::fnv1a(&buf) != self.meta_crc {
+            return Err(StorageError::Corrupt("file-store meta checksum mismatch"));
+        }
+        Ok(Some(buf))
+    }
 }
 
 impl PageStore for FileStore {
     fn allocate(&mut self) -> StorageResult<PageId> {
-        let id = if let Some(id) = self.free.pop() {
-            PageId(id)
+        let id = if self.free_head != NIL {
+            // Pop the head of the persistent free chain.
+            let id = PageId(self.free_head);
+            let mut link = [0u8; 8];
+            self.file.seek(SeekFrom::Start(Self::offset(id)))?;
+            self.file.read_exact(&mut link)?;
+            self.free_head = u64::from_le_bytes(link);
+            self.free_len -= 1;
+            self.write_header()?;
+            id
         } else {
             let id = PageId(self.next);
             self.next += 1;
+            if self.meta_len != 0 {
+                // The new page's bytes land where the blob was.
+                self.meta_len = 0;
+                self.meta_crc = 0;
+            }
             self.write_header()?;
             id
         };
@@ -209,7 +300,13 @@ impl PageStore for FileStore {
         if id.0 >= self.next {
             return Err(StorageError::PageNotFound(id.0));
         }
-        self.free.push(id.0);
+        // Chain pointer first, header second: a crash in between leaks the
+        // page instead of corrupting the chain.
+        self.file.seek(SeekFrom::Start(Self::offset(id)))?;
+        self.file.write_all(&self.free_head.to_le_bytes())?;
+        self.free_head = id.0;
+        self.free_len += 1;
+        self.write_header()?;
         Ok(())
     }
 
@@ -290,6 +387,63 @@ mod tests {
             let mut out = Page::zeroed();
             s.read(id, &mut out).unwrap();
             assert_eq!(out.as_slice()[100], 0x77);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filestore_free_list_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("wow-store-free-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let _ = std::fs::remove_file(&path);
+        let (a, b);
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            a = s.allocate().unwrap();
+            b = s.allocate().unwrap();
+            s.allocate().unwrap();
+            s.free(a).unwrap();
+            s.free(b).unwrap();
+            assert_eq!(s.free_count(), 2);
+            s.sync().unwrap();
+        }
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            assert_eq!(s.free_count(), 2, "free list persisted");
+            // LIFO chain: b was freed last, so it comes back first.
+            assert_eq!(s.allocate().unwrap(), b);
+            assert_eq!(s.allocate().unwrap(), a);
+            assert_eq!(s.free_count(), 0);
+            assert_eq!(s.page_count(), 3, "no growth: freed pages recycled");
+            // Recycled pages come back zeroed (the chain pointer is gone).
+            let mut out = Page::zeroed();
+            s.read(a, &mut out).unwrap();
+            assert!(out.as_slice().iter().all(|&x| x == 0));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filestore_meta_round_trips_and_allocate_invalidates() {
+        let dir = std::env::temp_dir().join(format!("wow-store-meta-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            s.allocate().unwrap();
+            s.set_meta(b"catalog goes here").unwrap();
+            s.sync().unwrap();
+        }
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            assert_eq!(
+                s.get_meta().unwrap().as_deref(),
+                Some(&b"catalog goes here"[..])
+            );
+            s.allocate().unwrap();
+            assert_eq!(s.get_meta().unwrap(), None, "allocate invalidates meta");
         }
         std::fs::remove_file(&path).unwrap();
     }

@@ -12,10 +12,19 @@
 //! n bytes  payload (bincode-free, hand-rolled tag + fields)
 //! ```
 //!
-//! The log backend is either an in-memory buffer (benches, crash-simulation
-//! tests) or an append-only file.
+//! A file-backed log starts with a 16-byte header (`"WOWL"` magic, format
+//! version, **epoch**). The epoch pairs the log with the checkpoint snapshot
+//! it extends: a checkpoint writes a snapshot stamped `epoch + 1` and then
+//! resets the log to that epoch, so recovery can tell a fresh tail from a
+//! stale pre-checkpoint log left behind by a crash between those two steps
+//! (see `wow-rel`'s durable-open path and DESIGN.md §Durability).
+//!
+//! The log backend is an in-memory buffer (benches, crash-simulation tests),
+//! an append-only file, or a deterministic fault-injecting log
+//! ([`crate::fault::FaultLog`]) for crash-torture tests.
 
 use crate::error::{StorageError, StorageResult};
+use crate::fault::{FaultLog, FaultPlan, FaultStats};
 use crate::rid::Rid;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -59,6 +68,10 @@ pub enum LogRecord {
     Commit { txn: TxnId },
     /// Transaction aborted; its effects must not be replayed.
     Abort { txn: TxnId },
+    /// A schema change (create/drop table/index). The payload is opaque to
+    /// this crate; the relational layer encodes and replays it so the WAL
+    /// protects DDL issued after the last checkpoint, not just data.
+    Ddl { txn: TxnId, bytes: Vec<u8> },
 }
 
 const TAG_BEGIN: u8 = 1;
@@ -67,8 +80,9 @@ const TAG_UPDATE: u8 = 3;
 const TAG_DELETE: u8 = 4;
 const TAG_COMMIT: u8 = 5;
 const TAG_ABORT: u8 = 6;
+const TAG_DDL: u8 = 7;
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -200,6 +214,11 @@ impl LogRecord {
                 out.push(TAG_ABORT);
                 out.extend_from_slice(&txn.to_le_bytes());
             }
+            LogRecord::Ddl { txn, bytes } => {
+                out.push(TAG_DDL);
+                out.extend_from_slice(&txn.to_le_bytes());
+                put_bytes(&mut out, bytes);
+            }
         }
         out
     }
@@ -232,6 +251,10 @@ impl LogRecord {
             },
             TAG_COMMIT => LogRecord::Commit { txn: r.u64()? },
             TAG_ABORT => LogRecord::Abort { txn: r.u64()? },
+            TAG_DDL => LogRecord::Ddl {
+                txn: r.u64()?,
+                bytes: r.bytes()?,
+            },
             _ => {
                 return Err(StorageError::WalCorrupt {
                     offset,
@@ -256,7 +279,36 @@ impl LogRecord {
             | LogRecord::Update { txn, .. }
             | LogRecord::Delete { txn, .. }
             | LogRecord::Commit { txn }
-            | LogRecord::Abort { txn } => *txn,
+            | LogRecord::Abort { txn }
+            | LogRecord::Ddl { txn, .. } => *txn,
+        }
+    }
+}
+
+/// When [`Wal::flush`] actually forces bytes to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Every flush (i.e. every commit) fsyncs. Crash-safe; the default.
+    #[default]
+    Commit,
+    /// Flushes are no-ops: writes reach the OS but are never forced. Fast,
+    /// but a power loss can take back acknowledged commits — only for
+    /// benches and workloads that can re-derive their data.
+    Never,
+}
+
+impl SyncPolicy {
+    /// Resolve the `WOW_FSYNC` environment override (`0`/`off`/`never` →
+    /// [`SyncPolicy::Never`], `1`/`on`/`commit` → [`SyncPolicy::Commit`])
+    /// over a configured default.
+    pub fn resolve(default: SyncPolicy) -> SyncPolicy {
+        match std::env::var("WOW_FSYNC") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "0" | "off" | "never" | "false" => SyncPolicy::Never,
+                "1" | "on" | "commit" | "true" => SyncPolicy::Commit,
+                _ => default,
+            },
+            Err(_) => default,
         }
     }
 }
@@ -264,6 +316,20 @@ impl LogRecord {
 enum Backend {
     Memory(Vec<u8>),
     File(File),
+    Fault(FaultLog),
+}
+
+/// Size of the file-backend header.
+const WAL_HEADER: u64 = 16;
+const WAL_MAGIC: u32 = 0x574F_574C; // "WOWL"
+const WAL_VERSION: u32 = 1;
+
+fn encode_wal_header(epoch: u64) -> [u8; WAL_HEADER as usize] {
+    let mut h = [0u8; WAL_HEADER as usize];
+    h[..4].copy_from_slice(&WAL_MAGIC.to_le_bytes());
+    h[4..8].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&epoch.to_le_bytes());
+    h
 }
 
 /// The write-ahead log.
@@ -271,31 +337,83 @@ pub struct Wal {
     backend: Backend,
     end: Lsn,
     appended: u64,
+    epoch: u64,
+    flushes: u64,
+    bytes_written: u64,
+    sync_policy: SyncPolicy,
 }
 
 impl Wal {
-    /// An in-memory log (used by benches and crash-simulation tests).
-    pub fn in_memory() -> Wal {
+    fn with_backend(backend: Backend, end: Lsn, epoch: u64) -> Wal {
         Wal {
-            backend: Backend::Memory(Vec::new()),
-            end: 0,
+            backend,
+            end,
             appended: 0,
+            epoch,
+            flushes: 0,
+            bytes_written: 0,
+            sync_policy: SyncPolicy::default(),
         }
     }
 
-    /// Open (or create) a file-backed log.
+    /// An in-memory log (used by benches and crash-simulation tests).
+    pub fn in_memory() -> Wal {
+        Self::with_backend(Backend::Memory(Vec::new()), 0, 0)
+    }
+
+    /// A log whose backend injects deterministic faults — see
+    /// [`crate::fault::FaultLog`]. Starts at epoch 0; use [`Wal::reset`] to
+    /// align it with a checkpoint's epoch.
+    pub fn with_faults(plan: FaultPlan) -> Wal {
+        Self::with_backend(Backend::Fault(FaultLog::new(plan)), 0, 0)
+    }
+
+    /// Open (or create) a file-backed log. A fresh (or torn-header) file is
+    /// initialized to epoch 0; otherwise the header's epoch is loaded.
     pub fn open(path: &Path) -> StorageResult<Wal> {
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .read(true)
             .append(true)
             .create(true)
             .open(path)?;
-        let end = file.metadata()?.len();
-        Ok(Wal {
-            backend: Backend::File(file),
-            end,
-            appended: 0,
-        })
+        let len = file.metadata()?.len();
+        let (end, epoch) = if len < WAL_HEADER {
+            // Fresh file, or a crash tore the header write itself: nothing
+            // after a partial header can be valid, so start over.
+            file.set_len(0)?;
+            file.write_all(&encode_wal_header(0))?;
+            file.sync_data()?;
+            (WAL_HEADER, 0)
+        } else {
+            let mut h = [0u8; WAL_HEADER as usize];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut h)?;
+            if u32::from_le_bytes(h[..4].try_into().unwrap()) != WAL_MAGIC {
+                return Err(StorageError::WalCorrupt {
+                    offset: 0,
+                    reason: "bad wal magic",
+                });
+            }
+            if u32::from_le_bytes(h[4..8].try_into().unwrap()) != WAL_VERSION {
+                return Err(StorageError::WalCorrupt {
+                    offset: 4,
+                    reason: "unsupported wal version",
+                });
+            }
+            (len, u64::from_le_bytes(h[8..16].try_into().unwrap()))
+        };
+        Ok(Self::with_backend(Backend::File(file), end, epoch))
+    }
+
+    /// Write a complete log image (header + frames) to `path` atomically
+    /// enough for tests: used by the crash-torture harness to materialize a
+    /// [`crate::fault::FaultLog::crash_image`] as a real on-disk log.
+    pub fn write_image(path: &Path, epoch: u64, frames: &[u8]) -> StorageResult<()> {
+        let mut out = Vec::with_capacity(frames.len() + WAL_HEADER as usize);
+        out.extend_from_slice(&encode_wal_header(epoch));
+        out.extend_from_slice(frames);
+        std::fs::write(path, out)?;
+        Ok(())
     }
 
     /// Current end-of-log position.
@@ -306,6 +424,70 @@ impl Wal {
     /// Records appended through this handle.
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Epoch of this log (pairs it with the checkpoint it extends).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Flush (fsync) calls that actually hit the backend.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Total framed bytes appended through this handle.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// This log's fsync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync_policy
+    }
+
+    /// Set the fsync policy (see [`SyncPolicy`]).
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
+        self.sync_policy = policy;
+    }
+
+    /// Injected-fault counters, when the backend is fault-injecting.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        match &self.backend {
+            Backend::Fault(f) => Some(f.stats()),
+            _ => None,
+        }
+    }
+
+    /// Simulated power loss (fault backend only): the bytes that survive.
+    pub fn crash_image(&mut self) -> Option<Vec<u8>> {
+        match &mut self.backend {
+            Backend::Fault(f) => Some(f.crash_image()),
+            _ => None,
+        }
+    }
+
+    /// Truncate the log and stamp a new epoch — the post-checkpoint reset.
+    /// Administrative: never injects faults.
+    pub fn reset(&mut self, epoch: u64) -> StorageResult<()> {
+        match &mut self.backend {
+            Backend::Memory(buf) => {
+                buf.clear();
+                self.end = 0;
+            }
+            Backend::File(f) => {
+                f.set_len(0)?;
+                f.write_all(&encode_wal_header(epoch))?;
+                f.sync_data()?;
+                self.end = WAL_HEADER;
+            }
+            Backend::Fault(f) => {
+                f.clear();
+                self.end = 0;
+            }
+        }
+        self.epoch = epoch;
+        Ok(())
     }
 
     /// Append a record, returning its LSN. The record is buffered; call
@@ -321,18 +503,28 @@ impl Wal {
         match &mut self.backend {
             Backend::Memory(buf) => buf.extend_from_slice(&frame),
             Backend::File(f) => f.write_all(&frame)?,
+            Backend::Fault(f) => f.append_frame(&frame)?,
         }
         self.end += frame.len() as u64;
         self.appended += 1;
+        self.bytes_written += frame.len() as u64;
         span.arg(frame.len() as u64);
         Ok(lsn)
     }
 
-    /// Force the log to stable storage.
+    /// Force the log to stable storage (subject to the [`SyncPolicy`]).
     pub fn flush(&mut self) -> StorageResult<()> {
-        if let Backend::File(f) = &mut self.backend {
-            f.sync_data()?;
+        if self.sync_policy == SyncPolicy::Never {
+            return Ok(());
         }
+        let mut span = wow_obs::span(wow_obs::Op::WalFsync);
+        match &mut self.backend {
+            Backend::Memory(_) => {}
+            Backend::File(f) => f.sync_data()?,
+            Backend::Fault(f) => f.flush()?,
+        }
+        self.flushes += 1;
+        span.arg(self.flushes);
         Ok(())
     }
 
@@ -344,10 +536,11 @@ impl Wal {
             Backend::Memory(b) => b.clone(),
             Backend::File(f) => {
                 let mut b = Vec::new();
-                f.seek(SeekFrom::Start(0))?;
+                f.seek(SeekFrom::Start(WAL_HEADER))?;
                 f.read_to_end(&mut b)?;
                 b
             }
+            Backend::Fault(f) => f.visible(),
         };
         Self::parse(&buf)
     }
@@ -380,7 +573,7 @@ impl Wal {
     pub fn raw(&self) -> Option<&[u8]> {
         match &self.backend {
             Backend::Memory(b) => Some(b),
-            Backend::File(_) => None,
+            _ => None,
         }
     }
 }
@@ -411,6 +604,10 @@ mod tests {
                 table: 7,
                 rid: Rid::new(PageId(3), 4),
                 old: b"new-bytes".to_vec(),
+            },
+            LogRecord::Ddl {
+                txn: 1,
+                bytes: b"create table t".to_vec(),
             },
             LogRecord::Commit { txn: 1 },
             LogRecord::Abort { txn: 2 },
@@ -500,6 +697,90 @@ mod tests {
     fn empty_log_parses_empty() {
         let mut wal = Wal::in_memory();
         assert!(wal.read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn epoch_survives_reopen_and_reset() {
+        let dir = std::env::temp_dir().join(format!("wow-wal-epoch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            assert_eq!(wal.epoch(), 0);
+            wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
+            wal.reset(7).unwrap();
+            assert_eq!(wal.epoch(), 7);
+            assert!(wal.read_all().unwrap().is_empty(), "reset truncates");
+            wal.append(&LogRecord::Begin { txn: 2 }).unwrap();
+            wal.flush().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            assert_eq!(wal.epoch(), 7, "epoch persisted in the header");
+            assert_eq!(wal.read_all().unwrap().len(), 1);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_header_is_reinitialized() {
+        let dir = std::env::temp_dir().join(format!("wow-wal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.wal");
+        std::fs::write(&path, [0x4C; 5]).unwrap(); // 5 bytes: torn header
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.epoch(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_image_round_trips() {
+        let dir = std::env::temp_dir().join(format!("wow-wal-img-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.wal");
+        let mut mem = Wal::in_memory();
+        for r in sample_records() {
+            mem.append(&r).unwrap();
+        }
+        Wal::write_image(&path, 3, mem.raw().unwrap()).unwrap();
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.epoch(), 3);
+        assert_eq!(wal.read_all().unwrap().len(), sample_records().len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sync_policy_never_skips_fsync_counting() {
+        let mut wal = Wal::with_faults(crate::fault::FaultPlan::quiet(5));
+        wal.set_sync_policy(SyncPolicy::Never);
+        wal.append(&LogRecord::Begin { txn: 1 }).unwrap();
+        wal.flush().unwrap();
+        assert_eq!(wal.flushes(), 0, "Never policy skips the backend fsync");
+        // The running process still sees the record (OS page cache view).
+        assert_eq!(wal.read_all().unwrap().len(), 1);
+        wal.set_sync_policy(SyncPolicy::Commit);
+        wal.flush().unwrap();
+        assert_eq!(wal.flushes(), 1);
+        // Now it is durable: the crash image parses to the full record.
+        let img = wal.crash_image().unwrap();
+        assert_eq!(Wal::parse(&img).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fault_backend_round_trips_and_counts() {
+        let mut wal = Wal::with_faults(crate::fault::FaultPlan::quiet(9));
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        wal.flush().unwrap();
+        assert_eq!(wal.read_all().unwrap().len(), sample_records().len());
+        assert_eq!(
+            wal.fault_stats().unwrap(),
+            crate::fault::FaultStats::default()
+        );
+        let img = wal.crash_image().unwrap();
+        assert_eq!(Wal::parse(&img).unwrap().len(), sample_records().len());
     }
 
     #[test]

@@ -74,8 +74,9 @@ fn committed_window_edits_survive_a_crash() {
     let mut wal = world.db_mut().take_wal().unwrap();
     drop(world);
 
+    // Replay starts from *empty*: the WAL carries the CREATE TABLE, so
+    // recovery reconstructs schema and data alike.
     let mut recovered = Database::in_memory();
-    schema_ddl(&mut recovered);
     recovered.replay_wal(&mut wal).unwrap();
 
     let tid = recovered.catalog().table("account").unwrap().id;
